@@ -1,0 +1,68 @@
+//! One Criterion bench per paper figure: each group runs the figure's
+//! distinctive simulation workload at a reduced matrix order, so
+//! `cargo bench` exercises (and times) the code path behind every figure
+//! without the multi-minute full sweeps — those are
+//! `cargo run -p mmc-bench --release --bin figures -- all [--full]`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmc_bench::{run_figure, simulate, Setting, SweepOpts};
+use mmc_core::algorithms::Tradeoff;
+use mmc_core::{params, ProblemSpec};
+use mmc_sim::MachineConfig;
+
+fn tiny_opts() -> SweepOpts {
+    SweepOpts { full: false, orders: Some(vec![60]), verbose: false }
+}
+
+fn bench_figures(c: &mut Criterion) {
+    // Figures that honor an order override.
+    for id in [
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "ablation_inclusion",
+        "ablation_grid",
+        "ablation_oblivious",
+        "lu_update",
+        "cluster",
+        "event_counts",
+    ] {
+        let mut g = c.benchmark_group(id);
+        g.sample_size(10);
+        g.bench_function("order_60", |b| {
+            let opts = tiny_opts();
+            b.iter(|| run_figure(id, &opts))
+        });
+        g.finish();
+    }
+
+    // Fig. 12 pins m = 384 in the real harness; bench its distinctive
+    // workload (bandwidth-dependent Tradeoff re-parameterization) at a
+    // reduced order instead.
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.bench_function("order_64_r_sweep", |b| {
+        let machine = MachineConfig::quad_q32();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for r in [0.05, 0.5, 0.95] {
+                let m_r = machine.clone().with_bandwidth_ratio(r);
+                let tp = params::tradeoff_params(&m_r).unwrap();
+                let stats =
+                    simulate(&Tradeoff::with_params(tp), &m_r, Setting::Ideal, ProblemSpec::square(64))
+                        .unwrap();
+                acc += stats.t_data(m_r.sigma_s, m_r.sigma_d);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

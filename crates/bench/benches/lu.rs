@@ -1,0 +1,98 @@
+//! Criterion benches for the LU extension: block kernels, full
+//! factorization wall-clock per tiling, and schedule-simulation
+//! throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mmc_lu::{exec, kernel, BlockedLu, SimLuHooks, UpdateTiling};
+use mmc_sim::{MachineConfig, SimConfig, Simulator};
+
+fn bench_lu_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lu_kernels");
+    for q in [32usize, 64] {
+        let a = exec::diagonally_dominant(1, q, 1);
+        let flops_getrf = (2 * q * q * q / 3) as u64;
+        g.throughput(Throughput::Elements(flops_getrf));
+        g.bench_with_input(BenchmarkId::new("getrf", q), &q, |b, &q| {
+            b.iter(|| {
+                let mut blk = a.block(0, 0).to_vec();
+                assert!(kernel::getrf_nopiv(&mut blk, q));
+                blk[0]
+            })
+        });
+        let mut lu = a.block(0, 0).to_vec();
+        assert!(kernel::getrf_nopiv(&mut lu, q));
+        let rhs = exec::diagonally_dominant(1, q, 2);
+        g.throughput(Throughput::Elements((q * q * q) as u64));
+        g.bench_with_input(BenchmarkId::new("trsm_left", q), &q, |b, &q| {
+            b.iter(|| {
+                let mut x = rhs.block(0, 0).to_vec();
+                kernel::trsm_left_lower_unit(&lu, &mut x, q);
+                x[0]
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("trsm_right", q), &q, |b, &q| {
+            b.iter(|| {
+                let mut x = rhs.block(0, 0).to_vec();
+                assert!(kernel::trsm_right_upper(&lu, &mut x, q));
+                x[0]
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_lu_factorization(c: &mut Criterion) {
+    let machine = MachineConfig::quad_q32();
+    let (n, q) = (12u32, 16usize);
+    let a = exec::diagonally_dominant(n, q, 3);
+    let mut g = c.benchmark_group("lu_factor_192");
+    g.sample_size(10);
+    for (name, lu) in [
+        ("w1_rowstripes", BlockedLu::new(1, UpdateTiling::RowStripes)),
+        ("w4_rowstripes", BlockedLu::new(4, UpdateTiling::RowStripes)),
+        ("w4_shared_opt", BlockedLu::new(4, UpdateTiling::SharedOpt)),
+        ("w4_tradeoff", BlockedLu::new(4, UpdateTiling::Tradeoff)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut m = a.clone();
+                exec::lu_factor(&mut m, &machine, &lu).unwrap();
+                m.block(0, 0)[0]
+            })
+        });
+    }
+    for w in [1u32, 4] {
+        g.bench_function(format!("w{w}_parallel"), |b| {
+            b.iter(|| {
+                let mut m = a.clone();
+                mmc_lu::lu_factor_parallel(&mut m, w).unwrap();
+                m.block(0, 0)[0]
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_lu_simulation(c: &mut Criterion) {
+    let machine = MachineConfig::quad_q32();
+    let n = 48u32;
+    let mut g = c.benchmark_group("lu_simulate_48");
+    g.sample_size(10);
+    for (name, lu) in [
+        ("w8_shared_opt", BlockedLu::new(8, UpdateTiling::SharedOpt)),
+        ("w8_tradeoff", BlockedLu::new(8, UpdateTiling::Tradeoff)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut sim = Simulator::new(SimConfig::lru(&machine), n, n, 1);
+                let mut hooks = SimLuHooks::new(&mut sim);
+                lu.run(&machine, n, &mut hooks).unwrap();
+                sim.stats().ms()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lu_kernels, bench_lu_factorization, bench_lu_simulation);
+criterion_main!(benches);

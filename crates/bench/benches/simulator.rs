@@ -1,0 +1,101 @@
+//! Criterion benches for the cache-hierarchy simulator substrate:
+//! raw LRU cache operations and full-schedule simulation throughput
+//! under each policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mmc_core::algorithms::{Algorithm, SharedOpt};
+use mmc_core::ProblemSpec;
+use mmc_sim::{Block, LruCache, MachineConfig, SimConfig, SimSink, Simulator};
+
+fn bench_lru_cache_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lru_cache");
+    let universe = 100_000;
+    for capacity in [21usize, 977] {
+        g.throughput(Throughput::Elements(universe as u64));
+        g.bench_with_input(BenchmarkId::new("streaming_insert", capacity), &capacity, |b, &cap| {
+            b.iter(|| {
+                let mut cache = LruCache::new(cap, universe);
+                for id in 0..universe as u32 {
+                    if !cache.touch(id) {
+                        cache.insert(id, false);
+                    }
+                }
+                cache.len()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("hot_touch", capacity), &capacity, |b, &cap| {
+            let mut cache = LruCache::new(cap, universe);
+            for id in 0..cap as u32 {
+                cache.insert(id, false);
+            }
+            b.iter(|| {
+                let mut acc = 0u64;
+                for rep in 0..universe as u32 {
+                    acc += cache.touch(rep % cap as u32) as u64;
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_schedule_simulation(c: &mut Criterion) {
+    let machine = MachineConfig::quad_q32();
+    let d = 60u32;
+    let problem = ProblemSpec::square(d);
+    let events = 5 * problem.total_fmas(); // ~3 reads + 1 write + 1 fma per block FMA
+    let mut g = c.benchmark_group("simulate_shared_opt");
+    g.throughput(Throughput::Elements(events));
+    g.sample_size(10);
+    g.bench_function("lru", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(SimConfig::lru(&machine), d, d, d);
+            SharedOpt.execute(&machine, &problem, &mut sim).unwrap();
+            sim.stats().ms()
+        })
+    });
+    g.bench_function("ideal", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(SimConfig::ideal(&machine), d, d, d);
+            SharedOpt.execute(&machine, &problem, &mut sim).unwrap();
+            sim.stats().ms()
+        })
+    });
+    g.finish();
+}
+
+fn bench_raw_access_path(c: &mut Criterion) {
+    let machine = MachineConfig::quad_q32();
+    let d = 64u32;
+    let mut g = c.benchmark_group("raw_access");
+    let n = 1_000_000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("lru_read_hit", |b| {
+        let mut sim = Simulator::new(SimConfig::lru(&machine), d, d, d);
+        sim.read(0, Block::a(0, 0)).unwrap();
+        b.iter(|| {
+            for _ in 0..n {
+                sim.read(0, Block::a(0, 0)).unwrap();
+            }
+            sim.stats().dist_hits[0]
+        })
+    });
+    g.bench_function("lru_read_miss_stream", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(SimConfig::lru(&machine), d, d, d);
+            for rep in 0..n / (d as u64 * d as u64) + 1 {
+                for i in 0..d {
+                    for k in 0..d {
+                        sim.read((rep % 4) as usize, Block::a(i, k)).unwrap();
+                    }
+                }
+            }
+            sim.stats().md_total()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lru_cache_ops, bench_schedule_simulation, bench_raw_access_path);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! `figures` — regenerate the paper's figures as CSV + text tables.
+//!
+//! ```text
+//! figures <id>... [--out DIR] [--full] [--orders 100,200,300] [--quiet]
+//! figures all
+//! figures list
+//! ```
+//!
+//! Each figure id produces one CSV file per panel under `--out`
+//! (default `target/figures`) and prints the same data as an aligned
+//! table. `--full` switches to the paper-exact sweep ranges (slow);
+//! `--orders` overrides the matrix-order sweep for quick looks; `--json`
+//! additionally writes each panel as a JSON document.
+
+use mmc_bench::{figure_ids, run_figure, SweepOpts};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: figures <id>...|all|list [--out DIR] [--full] [--json] [--orders N,N,...] [--quiet]\n\
+         known ids: {}",
+        figure_ids().join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut ids: Vec<String> = Vec::new();
+    let mut out = PathBuf::from("target/figures");
+    let mut json = false;
+    let mut opts = SweepOpts { verbose: true, ..SweepOpts::default() };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = PathBuf::from(args.next().unwrap_or_else(|| usage())),
+            "--full" => opts.full = true,
+            "--json" => json = true,
+            "--quiet" => opts.verbose = false,
+            "--orders" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                let orders: Result<Vec<u32>, _> =
+                    spec.split(',').map(|t| t.trim().parse::<u32>()).collect();
+                match orders {
+                    Ok(o) if !o.is_empty() => opts.orders = Some(o),
+                    _ => usage(),
+                }
+            }
+            "list" => {
+                for id in figure_ids() {
+                    println!("{id}");
+                }
+                return;
+            }
+            "all" => ids.extend(figure_ids().iter().map(|s| s.to_string())),
+            s if s.starts_with('-') => usage(),
+            s => ids.push(s.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        usage();
+    }
+    ids.dedup();
+    let known = figure_ids();
+    for id in &ids {
+        if !known.contains(&id.as_str()) {
+            eprintln!("unknown figure id {id:?}");
+            usage();
+        }
+    }
+
+    for id in &ids {
+        let t0 = Instant::now();
+        eprintln!("== {id} ==");
+        let panels = run_figure(id, &opts);
+        for panel in &panels {
+            match panel.write_csv(&out) {
+                Ok(path) => eprintln!("  wrote {}", path.display()),
+                Err(e) => {
+                    eprintln!("  failed to write CSV for {}: {e}", panel.id);
+                    std::process::exit(1);
+                }
+            }
+            if json {
+                match panel.write_json(&out) {
+                    Ok(path) => eprintln!("  wrote {}", path.display()),
+                    Err(e) => {
+                        eprintln!("  failed to write JSON for {}: {e}", panel.id);
+                        std::process::exit(1);
+                    }
+                }
+            }
+            println!("{}", panel.to_table());
+        }
+        eprintln!("== {id} done in {:.1}s ==\n", t0.elapsed().as_secs_f64());
+    }
+}

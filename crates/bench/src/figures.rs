@@ -1,0 +1,987 @@
+//! Figure definitions: every figure of the paper's evaluation section
+//! (Figs. 4–12) plus eight ablation/extension studies, expressed as
+//! sweeps over the simulator.
+//!
+//! Each `figN` function reproduces the corresponding paper figure's
+//! series; the harness does not draw plots but emits CSV + text tables
+//! whose *shape* (orderings, gaps, crossovers) is what the reproduction
+//! is judged on. See `EXPERIMENTS.md` at the workspace root.
+
+use crate::sweep::{simulate, Metric, Panel, Series, Setting};
+use mmc_core::algorithms::{
+    all_algorithms, Algorithm, DistributedEqual, DistributedOpt, OuterProduct, SharedEqual,
+    SharedOpt, Tradeoff,
+};
+use mmc_core::{bounds, formulas, params, ProblemSpec};
+use mmc_sim::{MachineConfig, SimConfig, Simulator};
+
+/// Sweep configuration shared by every figure.
+#[derive(Clone, Debug, Default)]
+pub struct SweepOpts {
+    /// Use the paper-exact (long) ranges instead of the trimmed defaults.
+    pub full: bool,
+    /// Override the matrix-order sweep entirely.
+    pub orders: Option<Vec<u32>>,
+    /// Print per-point progress to stderr.
+    pub verbose: bool,
+}
+
+impl SweepOpts {
+    /// Orders for Figs. 4–6 (paper: 50–600).
+    pub fn orders_lru_validation(&self) -> Vec<u32> {
+        if let Some(o) = &self.orders {
+            return o.clone();
+        }
+        let step = if self.full { 50 } else { 60 };
+        (step..=600).step_by(step as usize).collect()
+    }
+
+    /// Orders for Figs. 7–11 (paper: up to 1100).
+    pub fn orders_performance(&self) -> Vec<u32> {
+        if let Some(o) = &self.orders {
+            return o.clone();
+        }
+        let max = if self.full { 1100 } else { 600 };
+        (100..=max).step_by(100).collect()
+    }
+
+    /// Bandwidth ratios for Fig. 12 (`r = σ_S/(σ_S+σ_D)`, open interval).
+    pub fn r_values(&self) -> Vec<f64> {
+        (1..20).map(|i| i as f64 * 0.05).collect()
+    }
+
+    /// Fig. 12 matrix order (the paper fixes m = 384).
+    pub fn fig12_order(&self) -> u32 {
+        384
+    }
+
+    fn progress(&self, msg: &str) {
+        if self.verbose {
+            eprintln!("  [sweep] {msg}");
+        }
+    }
+}
+
+fn run(algo: &dyn Algorithm, machine: &MachineConfig, setting: Setting, d: u32) -> mmc_sim::SimStats {
+    simulate(algo, machine, setting, ProblemSpec::square(d)).unwrap_or_else(|e| {
+        panic!("{} under {:?} at order {d}: {e}", algo.name(), setting)
+    })
+}
+
+/// Fig. 4 — impact of the LRU policy on `M_S` of Shared Opt (`C_S = 977`):
+/// LRU at declared capacity, LRU at twice the declared capacity, the
+/// closed-form prediction, and twice the prediction (the Frigo et al.
+/// competitiveness envelope).
+pub fn fig4(opts: &SweepOpts) -> Vec<Panel> {
+    lru_validation_figure(
+        opts,
+        "fig4",
+        "Impact of LRU on M_S of Shared Opt., C_S = 977",
+        &SharedOpt,
+        Metric::Ms,
+        |p, m| formulas::shared_opt(p, m).expect("preset feasible").ms,
+    )
+}
+
+/// Fig. 5 — impact of the LRU policy on `M_D` of Distributed Opt
+/// (`C_D = 21`).
+pub fn fig5(opts: &SweepOpts) -> Vec<Panel> {
+    lru_validation_figure(
+        opts,
+        "fig5",
+        "Impact of LRU on M_D of Distributed Opt., C_D = 21",
+        &DistributedOpt::default(),
+        Metric::Md,
+        |p, m| formulas::distributed_opt(p, m).expect("preset feasible").md,
+    )
+}
+
+/// Fig. 6 — impact of the LRU policy on `T_data` of Tradeoff
+/// (`C_S = 977`, `C_D = 21`, unit bandwidths).
+pub fn fig6(opts: &SweepOpts) -> Vec<Panel> {
+    lru_validation_figure(
+        opts,
+        "fig6",
+        "Impact of LRU on T_data of Tradeoff, C_S = 977, C_D = 21",
+        &Tradeoff::default(),
+        Metric::TData,
+        |p, m| {
+            let t = params::tradeoff_params(m).expect("preset feasible");
+            formulas::tradeoff_with(p, m, &t).t_data(m)
+        },
+    )
+}
+
+fn lru_validation_figure(
+    opts: &SweepOpts,
+    id: &str,
+    title: &str,
+    algo: &dyn Algorithm,
+    metric: Metric,
+    formula: impl Fn(&ProblemSpec, &MachineConfig) -> f64,
+) -> Vec<Panel> {
+    let machine = MachineConfig::quad_q32();
+    let mut panel = Panel::new(id, title, "matrix order (blocks)", metric.label());
+    let mut lru1 = Series::new(format!("{} LRU (C)", algo.name()));
+    let mut lru2 = Series::new(format!("{} LRU (2C)", algo.name()));
+    let mut form = Series::new("Formula (C)");
+    let mut form2 = Series::new("2 x Formula (C)");
+    for d in opts.orders_lru_validation() {
+        opts.progress(&format!("{id}: order {d}"));
+        let problem = ProblemSpec::square(d);
+        let s1 = run(algo, &machine, Setting::LruAt(1), d);
+        let s2 = run(algo, &machine, Setting::LruAt(2), d);
+        let f = formula(&problem, &machine);
+        lru1.push(d as f64, metric.of(&s1, &machine));
+        lru2.push(d as f64, metric.of(&s2, &machine));
+        form.push(d as f64, f);
+        form2.push(d as f64, 2.0 * f);
+    }
+    panel.series = vec![lru1, lru2, form, form2];
+    vec![panel]
+}
+
+/// The three shared-cache machine presets of §4.1, optimistic
+/// distributed-cache occupancy.
+fn shared_presets() -> Vec<(&'static str, &'static str, MachineConfig)> {
+    vec![
+        ("a", "C_S = 977, q = 32", MachineConfig::quad_q32()),
+        ("b", "C_S = 245, q = 64", MachineConfig::quad_q64()),
+        ("c", "C_S = 157, q = 80", MachineConfig::quad_q80()),
+    ]
+}
+
+/// Fig. 7 — shared-cache misses `M_S` of Shared Opt (LRU-50 and IDEAL)
+/// against Outer Product, Shared Equal (LRU-50) and the lower bound, for
+/// the three block sizes.
+pub fn fig7(opts: &SweepOpts) -> Vec<Panel> {
+    shared_presets()
+        .into_iter()
+        .map(|(suffix, title, machine)| {
+            let mut panel =
+                Panel::new(format!("fig7{suffix}"), title, "matrix order (blocks)", Metric::Ms.label());
+            let mut so_lru = Series::new("Shared Opt. LRU-50");
+            let mut so_ideal = Series::new("Shared Opt. IDEAL");
+            let mut se_lru = Series::new("Shared Equal LRU-50");
+            let mut op = Series::new("Outer Product");
+            let mut lb = Series::new("Lower Bound");
+            for d in opts.orders_performance() {
+                opts.progress(&format!("fig7{suffix}: order {d}"));
+                let x = d as f64;
+                let problem = ProblemSpec::square(d);
+                so_lru.push(x, run(&SharedOpt, &machine, Setting::Lru50, d).ms() as f64);
+                so_ideal.push(x, run(&SharedOpt, &machine, Setting::Ideal, d).ms() as f64);
+                se_lru.push(x, run(&SharedEqual, &machine, Setting::Lru50, d).ms() as f64);
+                op.push(x, run(&OuterProduct::default(), &machine, Setting::LruAt(1), d).ms() as f64);
+                lb.push(x, bounds::ms_lower_bound(&problem, &machine));
+            }
+            panel.series = vec![so_lru, so_ideal, se_lru, op, lb];
+            panel
+        })
+        .collect()
+}
+
+/// Fig. 8 — distributed-cache misses `M_D` of Distributed Opt (LRU-50 and
+/// IDEAL) against Outer Product, Distributed Equal (LRU-50) and the lower
+/// bound, for `C_D ∈ {21, 16, 6}`.
+pub fn fig8(opts: &SweepOpts) -> Vec<Panel> {
+    let presets = vec![
+        ("a", "C_D = 21 (q = 32, two thirds for data)", MachineConfig::quad_q32()),
+        ("b", "C_D = 16 (q = 32, one half for data)", MachineConfig::quad_q32_pessimistic()),
+        ("c", "C_D = 6 (q = 64)", MachineConfig::quad_q64()),
+    ];
+    presets
+        .into_iter()
+        .map(|(suffix, title, machine)| {
+            let mut panel =
+                Panel::new(format!("fig8{suffix}"), title, "matrix order (blocks)", Metric::Md.label());
+            let mut do_lru = Series::new("Distributed Opt. LRU-50");
+            let mut do_ideal = Series::new("Distributed Opt. IDEAL");
+            let mut de_lru = Series::new("Distributed Equal LRU-50");
+            let mut op = Series::new("Outer Product");
+            let mut lb = Series::new("Lower Bound");
+            for d in opts.orders_performance() {
+                opts.progress(&format!("fig8{suffix}: order {d}"));
+                let x = d as f64;
+                let problem = ProblemSpec::square(d);
+                do_lru.push(x, run(&DistributedOpt::default(), &machine, Setting::Lru50, d).md() as f64);
+                do_ideal.push(x, run(&DistributedOpt::default(), &machine, Setting::Ideal, d).md() as f64);
+                de_lru.push(x, run(&DistributedEqual::default(), &machine, Setting::Lru50, d).md() as f64);
+                op.push(x, run(&OuterProduct::default(), &machine, Setting::LruAt(1), d).md() as f64);
+                lb.push(x, bounds::md_lower_bound(&problem, &machine));
+            }
+            panel.series = vec![do_lru, do_ideal, de_lru, op, lb];
+            panel
+        })
+        .collect()
+}
+
+/// Figs. 9–11 share this four-panel structure: `T_data` of all six
+/// algorithms under LRU-50 and IDEAL, for the optimistic and pessimistic
+/// distributed-cache occupancies of one shared-cache preset.
+fn tdata_figure(
+    opts: &SweepOpts,
+    fig: &str,
+    optimistic: MachineConfig,
+    pessimistic: MachineConfig,
+) -> Vec<Panel> {
+    let variants = [
+        ("a", Setting::Lru50, optimistic.clone()),
+        ("b", Setting::Ideal, optimistic),
+        ("c", Setting::Lru50, pessimistic.clone()),
+        ("d", Setting::Ideal, pessimistic),
+    ];
+    variants
+        .into_iter()
+        .map(|(suffix, setting, machine)| {
+            let title = format!(
+                "{} setting, C_S = {}, C_D = {}",
+                setting.label(),
+                machine.shared_capacity,
+                machine.dist_capacity
+            );
+            let mut panel = Panel::new(
+                format!("{fig}{suffix}"),
+                title,
+                "matrix order (blocks)",
+                Metric::TData.label(),
+            );
+            let algos = all_algorithms();
+            let mut series: Vec<Series> = algos
+                .iter()
+                .map(|a| Series::new(format!("{} {}", a.name(), setting.label())))
+                .collect();
+            // The paper's LRU-50 panels overlay Tradeoff IDEAL as a reference.
+            let mut tr_ideal =
+                (setting == Setting::Lru50).then(|| Series::new("Tradeoff IDEAL"));
+            let mut lb = Series::new("Lower Bound");
+            for d in opts.orders_performance() {
+                opts.progress(&format!("{fig}{suffix}: order {d}"));
+                let x = d as f64;
+                let problem = ProblemSpec::square(d);
+                for (a, s) in algos.iter().zip(series.iter_mut()) {
+                    let stats = run(a.as_ref(), &machine, setting, d);
+                    s.push(x, Metric::TData.of(&stats, &machine));
+                }
+                if let Some(s) = tr_ideal.as_mut() {
+                    let stats = run(&Tradeoff::default(), &machine, Setting::Ideal, d);
+                    s.push(x, Metric::TData.of(&stats, &machine));
+                }
+                lb.push(x, bounds::tdata_lower_bound(&problem, &machine));
+            }
+            if let Some(s) = tr_ideal {
+                series.push(s);
+            }
+            series.push(lb);
+            panel.series = series;
+            panel
+        })
+        .collect()
+}
+
+/// Fig. 9 — `T_data`, `C_S = 977`, `C_D ∈ {21, 16}`.
+pub fn fig9(opts: &SweepOpts) -> Vec<Panel> {
+    tdata_figure(opts, "fig9", MachineConfig::quad_q32(), MachineConfig::quad_q32_pessimistic())
+}
+
+/// Fig. 10 — `T_data`, `C_S = 245`, `C_D ∈ {6, 4}`.
+pub fn fig10(opts: &SweepOpts) -> Vec<Panel> {
+    tdata_figure(opts, "fig10", MachineConfig::quad_q64(), MachineConfig::quad_q64_pessimistic())
+}
+
+/// Fig. 11 — `T_data`, `C_S = 157`, `C_D ∈ {4, 3}`.
+pub fn fig11(opts: &SweepOpts) -> Vec<Panel> {
+    tdata_figure(opts, "fig11", MachineConfig::quad_q80(), MachineConfig::quad_q80_pessimistic())
+}
+
+/// Fig. 12 — `T_data` as a function of the bandwidth ratio
+/// `r = σ_S/(σ_S + σ_D)` (with `σ_S + σ_D = 1`), square matrices of order
+/// 384, IDEAL setting, for all six cache configurations.
+///
+/// Only Tradeoff's *schedule* depends on `r` (its `(α, β)` optimization
+/// reads the bandwidths); every other algorithm's miss counts are
+/// simulated once per configuration and recosted per `r`.
+pub fn fig12(opts: &SweepOpts) -> Vec<Panel> {
+    let d = opts.fig12_order();
+    let problem = ProblemSpec::square(d);
+    MachineConfig::paper_presets()
+        .into_iter()
+        .enumerate()
+        .map(|(idx, (label, machine))| {
+            let suffix = (b'a' + idx as u8) as char;
+            let title = format!(
+                "C_S = {}, C_D = {} ({label}), m = {d}",
+                machine.shared_capacity, machine.dist_capacity
+            );
+            let mut panel = Panel::new(
+                format!("fig12{suffix}"),
+                title,
+                "r = sigma_S / (sigma_S + sigma_D)",
+                Metric::TData.label(),
+            );
+            opts.progress(&format!("fig12{suffix}: fixed-count sims"));
+            // One simulation per r-independent algorithm.
+            let fixed: Vec<(String, mmc_sim::SimStats)> = [
+                ("Shared Opt. IDEAL", &SharedOpt as &dyn Algorithm),
+                ("Distributed Opt. IDEAL", &DistributedOpt::default()),
+                ("Shared Equal IDEAL", &SharedEqual),
+                ("Distributed Equal IDEAL", &DistributedEqual::default()),
+                ("Outer Product", &OuterProduct::default()),
+            ]
+            .into_iter()
+            .map(|(name, a)| (name.to_string(), run(a, &machine, Setting::Ideal, d)))
+            .collect();
+            let mut series: Vec<Series> =
+                fixed.iter().map(|(name, _)| Series::new(name.clone())).collect();
+            let mut tr = Series::new("Tradeoff IDEAL");
+            let mut lb = Series::new("Lower Bound");
+            // Tradeoff runs are cached per distinct (α, β).
+            let mut cache: Vec<(params::TradeoffParams, mmc_sim::SimStats)> = Vec::new();
+            for r in opts.r_values() {
+                let m_r = machine.clone().with_bandwidth_ratio(r);
+                for ((_, stats), s) in fixed.iter().zip(series.iter_mut()) {
+                    s.push(r, stats.t_data(m_r.sigma_s, m_r.sigma_d));
+                }
+                let tp = params::tradeoff_params(&m_r)
+                    .unwrap_or_else(|| panic!("tradeoff feasible on preset {label}"));
+                let stats = match cache.iter().find(|(p, _)| *p == tp) {
+                    Some((_, s)) => s.clone(),
+                    None => {
+                        opts.progress(&format!(
+                            "fig12{suffix}: tradeoff α={} β={} (r={r:.2})",
+                            tp.alpha, tp.beta
+                        ));
+                        let s = run(&Tradeoff::with_params(tp), &m_r, Setting::Ideal, d);
+                        cache.push((tp, s.clone()));
+                        s
+                    }
+                };
+                tr.push(r, stats.t_data(m_r.sigma_s, m_r.sigma_d));
+                lb.push(r, bounds::tdata_lower_bound(&problem, &m_r));
+            }
+            series.push(tr);
+            series.push(lb);
+            panel.series = series;
+            panel
+        })
+        .collect()
+}
+
+/// Ablation (beyond the paper): effect of the inclusive-hierarchy
+/// back-invalidation on LRU miss counts, for Shared Opt and Outer Product.
+pub fn ablation_inclusion(opts: &SweepOpts) -> Vec<Panel> {
+    let machine = MachineConfig::quad_q32();
+    let mut ms_panel = Panel::new(
+        "ablation_inclusion_ms",
+        "Inclusive vs non-inclusive LRU hierarchy (C_S = 977)",
+        "matrix order (blocks)",
+        Metric::Ms.label(),
+    );
+    let mut md_panel = Panel::new(
+        "ablation_inclusion_md",
+        "Inclusive vs non-inclusive LRU hierarchy (C_S = 977)",
+        "matrix order (blocks)",
+        Metric::Md.label(),
+    );
+    let algos: Vec<(&str, Box<dyn Algorithm>)> = vec![
+        ("Shared Opt.", Box::new(SharedOpt)),
+        ("Outer Product", Box::new(OuterProduct::default())),
+    ];
+    let mut ms_series: Vec<Series> = Vec::new();
+    let mut md_series: Vec<Series> = Vec::new();
+    for (name, _) in &algos {
+        for inc in ["inclusive", "non-inclusive"] {
+            ms_series.push(Series::new(format!("{name} {inc}")));
+            md_series.push(Series::new(format!("{name} {inc}")));
+        }
+    }
+    for d in opts.orders_lru_validation() {
+        opts.progress(&format!("ablation_inclusion: order {d}"));
+        let problem = ProblemSpec::square(d);
+        let mut idx = 0;
+        for (_, algo) in &algos {
+            for inclusive in [true, false] {
+                let cfg = SimConfig { inclusive, ..SimConfig::lru(&machine) };
+                let mut sim = Simulator::new(cfg, d, d, d);
+                algo.execute(&machine, &problem, &mut sim).unwrap();
+                ms_series[idx].push(d as f64, sim.stats().ms() as f64);
+                md_series[idx].push(d as f64, sim.stats().md() as f64);
+                idx += 1;
+            }
+        }
+    }
+    ms_panel.series = ms_series;
+    md_panel.series = md_series;
+    vec![ms_panel, md_panel]
+}
+
+/// Ablation (beyond the paper): Distributed Opt on non-square core counts
+/// via rectangular grids, against the per-core lower bound.
+pub fn ablation_grid(opts: &SweepOpts) -> Vec<Panel> {
+    let d = if opts.full { 240 } else { 120 };
+    let problem = ProblemSpec::square(d);
+    let mut panel = Panel::new(
+        "ablation_grid",
+        format!("Distributed Opt. on p-core grids (C_D = 21, order {d})"),
+        "cores p",
+        Metric::Md.label(),
+    );
+    let mut md = Series::new("Distributed Opt. IDEAL (best grid)");
+    let mut lbs = Series::new("Lower Bound");
+    for p in [1usize, 2, 4, 6, 8, 9, 12, 16] {
+        opts.progress(&format!("ablation_grid: p = {p}"));
+        let machine = MachineConfig::new(p, 977, 21, 32);
+        let grid = params::CoreGrid::square(p).unwrap_or_else(|| params::CoreGrid::balanced(p));
+        let algo = DistributedOpt::with_grid(grid);
+        let mut sim = Simulator::new(SimConfig::ideal(&machine), d, d, d);
+        algo.execute(&machine, &problem, &mut sim).unwrap();
+        md.push(p as f64, sim.stats().md() as f64);
+        lbs.push(p as f64, bounds::md_lower_bound(&problem, &machine));
+    }
+    panel.series = vec![md, lbs];
+    vec![panel]
+}
+
+/// Ablation (beyond the paper): the cache-oblivious recursive product
+/// (Frigo et al., the paper's reference \[5\]; multicore analysis in
+/// Blelloch et al., reference \[3\]) against the cache-aware schedules
+/// under full-capacity LRU. The recursion is asymptotically optimal at
+/// every level simultaneously but pays a constant factor over the aware
+/// tilings — this sweep measures that constant on both metrics.
+pub fn ablation_oblivious(opts: &SweepOpts) -> Vec<Panel> {
+    use mmc_core::algorithms::CacheOblivious;
+    let machine = MachineConfig::quad_q32();
+    let mut ms_panel = Panel::new(
+        "ablation_oblivious_ms",
+        "Cache-oblivious recursion vs cache-aware tilings (LRU, C_S = 977)",
+        "matrix order (blocks)",
+        Metric::Ms.label(),
+    );
+    let mut md_panel = Panel::new(
+        "ablation_oblivious_md",
+        "Cache-oblivious recursion vs cache-aware tilings (LRU, C_D = 21)",
+        "matrix order (blocks)",
+        Metric::Md.label(),
+    );
+    let algos: Vec<(&str, Box<dyn Algorithm>)> = vec![
+        ("Cache Oblivious", Box::new(CacheOblivious::new())),
+        ("Cache Oblivious (leaf 4)", Box::new(CacheOblivious::with_leaf(4))),
+        ("Shared Opt.", Box::new(SharedOpt)),
+        ("Distributed Opt.", Box::new(DistributedOpt::default())),
+        ("Outer Product", Box::new(OuterProduct::default())),
+    ];
+    let mut ms_series: Vec<Series> =
+        algos.iter().map(|(name, _)| Series::new(format!("{name} LRU"))).collect();
+    let mut md_series: Vec<Series> =
+        algos.iter().map(|(name, _)| Series::new(format!("{name} LRU"))).collect();
+    let mut ms_lb = Series::new("Lower Bound");
+    let mut md_lb = Series::new("Lower Bound");
+    for d in opts.orders_lru_validation() {
+        opts.progress(&format!("ablation_oblivious: order {d}"));
+        let problem = ProblemSpec::square(d);
+        for ((_, algo), (ms_s, md_s)) in
+            algos.iter().zip(ms_series.iter_mut().zip(md_series.iter_mut()))
+        {
+            let stats = run(algo.as_ref(), &machine, Setting::LruAt(1), d);
+            ms_s.push(d as f64, stats.ms() as f64);
+            md_s.push(d as f64, stats.md() as f64);
+        }
+        ms_lb.push(d as f64, bounds::ms_lower_bound(&problem, &machine));
+        md_lb.push(d as f64, bounds::md_lower_bound(&problem, &machine));
+    }
+    ms_series.push(ms_lb);
+    md_series.push(md_lb);
+    ms_panel.series = ms_series;
+    md_panel.series = md_series;
+    vec![ms_panel, md_panel]
+}
+
+/// Ablation (beyond the paper): the fully-associative assumption. The
+/// same schedules under `ways`-associative LRU caches at both levels —
+/// conflict misses push the measured counts away from the ideal-model
+/// predictions, quantifying the model/hardware gap of §2.1.
+pub fn ablation_associativity(opts: &SweepOpts) -> Vec<Panel> {
+    // Power-of-two capacities so every way count yields a power-of-two
+    // set count (realistic indexing); the paper's 977/21 preset has a
+    // *prime* shared capacity, whose modulo indexing is nearly
+    // conflict-free and would mask the effect being measured.
+    let machine = MachineConfig::new(4, 1024, 16, 32);
+    let orders: Vec<u32> = match &opts.orders {
+        Some(o) => o.clone(),
+        None => {
+            let max = if opts.full { 480 } else { 300 };
+            (60..=max).step_by(60).collect()
+        }
+    };
+    let ways: [(&str, Option<usize>); 5] = [
+        ("direct-mapped", Some(1)),
+        ("2-way", Some(2)),
+        ("8-way", Some(8)),
+        ("16-way", Some(16)),
+        ("fully associative", None),
+    ];
+    let algos: [(&str, Box<dyn Algorithm>); 2] = [
+        ("Shared Opt. M_S", Box::new(SharedOpt)),
+        ("Distributed Opt. M_D", Box::new(DistributedOpt::default())),
+    ];
+    algos
+        .into_iter()
+        .enumerate()
+        .map(|(ai, (aname, algo))| {
+            let mut panel = Panel::new(
+                format!("ablation_associativity_{}", if ai == 0 { "ms" } else { "md" }),
+                format!("{aname} under set-associative LRU (C_S = 1024, C_D = 16)"),
+                "matrix order (blocks)",
+                if ai == 0 { Metric::Ms.label() } else { Metric::Md.label() },
+            );
+            let mut series: Vec<Series> =
+                ways.iter().map(|(w, _)| Series::new(*w)).collect();
+            // The paper's LRU-50 mitigation (declare half the capacity,
+            // leave the rest as replacement slack) under the *least*
+            // associative configuration — the fix is what matters.
+            let mut lru50 = Series::new("direct-mapped, LRU-50 declaration");
+            let halved = machine.halved();
+            for &d in &orders {
+                opts.progress(&format!("ablation_associativity: {aname} order {d}"));
+                let problem = ProblemSpec::square(d);
+                for ((_, assoc), s) in ways.iter().zip(series.iter_mut()) {
+                    let cfg = SimConfig { associativity: *assoc, ..SimConfig::lru(&machine) };
+                    let mut sim = Simulator::new(cfg, d, d, d);
+                    algo.execute(&machine, &problem, &mut sim).unwrap();
+                    let y = if ai == 0 { sim.stats().ms() } else { sim.stats().md() };
+                    s.push(d as f64, y as f64);
+                }
+                let cfg = SimConfig { associativity: Some(1), ..SimConfig::lru(&machine) };
+                let mut sim = Simulator::new(cfg, d, d, d);
+                algo.execute(&halved, &problem, &mut sim).unwrap();
+                let y = if ai == 0 { sim.stats().ms() } else { sim.stats().md() };
+                lru50.push(d as f64, y as f64);
+            }
+            series.push(lru50);
+            panel.series = series;
+            panel
+        })
+        .collect()
+}
+
+/// Ablation (beyond the paper): continuous block-size sweep. The paper
+/// evaluates q in {32, 64, 80}; this re-derives the capacities from the
+/// byte sizes for every q and shows where `µ` collapses to 1 and the
+/// distributed-optimized strategies stop paying off (the Fig. 8(c)
+/// phenomenon as a function of q).
+pub fn q_sweep(opts: &SweepOpts) -> Vec<Panel> {
+    let elems = if opts.full { 3072u32 } else { 2048 }; // matrix order in elements
+    let mut panel = Panel::new(
+        "q_sweep",
+        format!("Block-size sweep, 8MB/256KB quad-core, {elems}x{elems}-element product"),
+        "block size q",
+        "predicted T_data (element blocks)",
+    );
+    let mut mu_s = Series::new("mu (C sub-block side)");
+    let mut lam = Series::new("lambda");
+    let mut t_so = Series::new("Shared Opt. predicted T_data");
+    let mut t_do = Series::new("Distributed Opt. predicted T_data");
+    let mut t_tr = Series::new("Tradeoff predicted T_data");
+    for q in [16u32, 24, 32, 40, 48, 64, 80, 96, 128] {
+        opts.progress(&format!("q_sweep: q = {q}"));
+        let Some(machine) =
+            MachineConfig::from_bytes(4, 8 << 20, 256 << 10, q as usize, 2.0 / 3.0)
+        else {
+            continue;
+        };
+        let order = (elems / q).max(1);
+        let problem = ProblemSpec::square(order);
+        mu_s.push(q as f64, params::mu(&machine).unwrap_or(0) as f64);
+        lam.push(q as f64, params::lambda(&machine).unwrap_or(0) as f64);
+        // Normalize to element-granularity traffic (misses x q^2) so
+        // different q values are comparable.
+        let scale = (q as f64) * (q as f64);
+        if let Some(p) = formulas::shared_opt(&problem, &machine) {
+            t_so.push(q as f64, p.t_data(&machine) * scale);
+        }
+        if let Some(p) = formulas::distributed_opt(&problem, &machine) {
+            t_do.push(q as f64, p.t_data(&machine) * scale);
+        }
+        if let Some(p) = formulas::tradeoff(&problem, &machine) {
+            t_tr.push(q as f64, p.t_data(&machine) * scale);
+        }
+    }
+    panel.series = vec![mu_s, lam, t_so, t_do, t_tr];
+    vec![panel]
+}
+
+/// Ablation (beyond the paper): rectangular problems. The paper sweeps
+/// square matrices only; this fixes the work volume `m·n·z` and varies
+/// the aspect ratio, checking that the normalized miss counts (CCR per
+/// block FMA) of the cache-aware schedules stay flat — the Maximum Reuse
+/// tilings never depend on the global shape, only on the cache sizes.
+pub fn ablation_shapes(opts: &SweepOpts) -> Vec<Panel> {
+    let machine = MachineConfig::quad_q32();
+    // Shapes of (roughly) constant volume 240³ scaled by `s`.
+    let base = if opts.full { 240u32 } else { 120 };
+    let shapes: Vec<(&str, u32, u32, u32)> = vec![
+        ("square", base, base, base),
+        ("tall C (4:1:1)", base * 4, base, base / 4),
+        ("wide C (1:4:1)", base / 4, base * 4, base),
+        ("deep k (1:1:16)", base / 4, base / 4, base * 16),
+        ("panel (16:16:1)", base * 4, base * 4, base / 16),
+    ];
+    let mut ms_panel = Panel::new(
+        "ablation_shapes_ccr_s",
+        format!("CCR_S across aspect ratios (volume = {base}^3 blocks, IDEAL)"),
+        "shape index",
+        "CCR_S = M_S / (m n z)",
+    );
+    let mut md_panel = Panel::new(
+        "ablation_shapes_ccr_d",
+        format!("per-core CCR_D across aspect ratios (volume = {base}^3 blocks, IDEAL)"),
+        "shape index",
+        "CCR_D (average)",
+    );
+    let mut so = Series::new("Shared Opt. CCR_S");
+    let mut so_b = Series::new("Lower bound CCR_S");
+    let mut dopt = Series::new("Distributed Opt. CCR_D");
+    let mut do_b = Series::new("Lower bound CCR_D");
+    for (idx, (name, m, n, z)) in shapes.iter().enumerate() {
+        opts.progress(&format!("ablation_shapes: {name}"));
+        let problem = ProblemSpec::new(*m, *n, *z);
+        let x = idx as f64;
+        let stats = simulate(&SharedOpt, &machine, Setting::Ideal, problem).unwrap();
+        so.push(x, stats.ccr_shared());
+        so_b.push(x, bounds::ccr_lower_bound(machine.shared_capacity));
+        let stats = simulate(&DistributedOpt::default(), &machine, Setting::Ideal, problem).unwrap();
+        dopt.push(x, stats.ccr_dist());
+        do_b.push(x, bounds::ccr_lower_bound(machine.dist_capacity));
+    }
+    ms_panel.series = vec![so, so_b];
+    md_panel.series = vec![dopt, do_b];
+    vec![ms_panel, md_panel]
+}
+
+/// Extension: BSP makespan versus compute intensity. Sweeps the per-FMA
+/// compute time `t_fma` (relative to the transfer time of one block) and
+/// reports each algorithm's bulk-synchronous makespan: at `t_fma = 0` the
+/// ranking is the paper's `T_data` story; as compute grows, all schedules
+/// converge to `mnz·t_fma/p` and the cache-awareness premium vanishes.
+pub fn timing(opts: &SweepOpts) -> Vec<Panel> {
+    use mmc_sim::{BspTiming, TimingModel};
+    let machine = MachineConfig::quad_q32();
+    let d = if opts.full { 192 } else { 96 };
+    let problem = ProblemSpec::square(d);
+    let mut panel = Panel::new(
+        "timing",
+        format!("BSP makespan vs compute intensity (order {d}, LRU, unit bandwidths)"),
+        "t_fma (block-transfer units)",
+        "BSP makespan",
+    );
+    let algos = all_algorithms();
+    let mut series: Vec<Series> = algos.iter().map(|a| Series::new(a.name())).collect();
+    let mut compute_floor = Series::new("compute floor mnz*t_fma/p");
+    for &t_fma in &[0.0f64, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
+        opts.progress(&format!("timing: t_fma = {t_fma}"));
+        let model = TimingModel { fma_time: t_fma, sigma_s: 1.0, sigma_d: 1.0 };
+        for (a, s) in algos.iter().zip(series.iter_mut()) {
+            let sim = Simulator::new(SimConfig::lru(&machine), d, d, d);
+            let mut bsp = BspTiming::new(sim, model);
+            a.execute(&machine, &problem, &mut bsp).unwrap();
+            let (makespan, _, _) = bsp.finish();
+            s.push(t_fma, makespan);
+        }
+        compute_floor.push(
+            t_fma,
+            problem.total_fmas() as f64 * t_fma / machine.cores as f64,
+        );
+    }
+    series.push(compute_floor);
+    panel.series = series;
+    vec![panel]
+}
+
+/// Extension (the paper's concluding future work): a cluster of
+/// multicores — a three-level cache tree — comparing the hierarchy-aware
+/// multi-level Maximum Reuse schedule against the flat two-level
+/// algorithms and the cache-oblivious recursion, per tree level.
+pub fn cluster(opts: &SweepOpts) -> Vec<Panel> {
+    use mmc_core::algorithms::{CacheOblivious, HierarchicalMaxReuse};
+    use mmc_sim::{TreeSimulator, TreeTopology};
+    // 4 nodes × (shared 977 × 4 cores of 21) with a 16k-block node cache.
+    let topo = TreeTopology::cluster(4, 16384, 4, 977, 21);
+    let total_cores = topo.cores();
+    // The flat algorithms see a two-level machine with all 16 cores.
+    let flat_machine = MachineConfig::new(total_cores, 977 * 4, 21, 32);
+    let orders: Vec<u32> = match &opts.orders {
+        Some(o) => o.clone(),
+        None => {
+            let max = if opts.full { 480 } else { 320 };
+            (64..=max).step_by(64).collect()
+        }
+    };
+    let mut panels: Vec<Panel> = (0..3)
+        .map(|l| {
+            Panel::new(
+                format!("cluster_l{l}"),
+                format!(
+                    "4-node x 4-core cluster, level {l} ({}) max misses per node",
+                    ["node cache", "shared cache", "private cache"][l]
+                ),
+                "matrix order (blocks)",
+                "level misses (max over nodes)",
+            )
+        })
+        .collect();
+    let names = ["Hierarchical Max Reuse", "Distributed Opt. (flat)", "Cache Oblivious"];
+    for p in &mut panels {
+        p.series = names.iter().map(|n| Series::new(*n)).collect();
+    }
+    for d in orders {
+        opts.progress(&format!("cluster: order {d}"));
+        let problem = ProblemSpec::square(d);
+        let mut stats = Vec::new();
+        {
+            let mut sim = TreeSimulator::new(topo.clone(), d, d, d);
+            HierarchicalMaxReuse::new(topo.clone()).run(&problem, &mut sim).unwrap();
+            stats.push(sim.into_stats());
+        }
+        {
+            let mut sim = TreeSimulator::new(topo.clone(), d, d, d);
+            DistributedOpt::default().execute(&flat_machine, &problem, &mut sim).unwrap();
+            stats.push(sim.into_stats());
+        }
+        {
+            let mut sim = TreeSimulator::new(topo.clone(), d, d, d);
+            CacheOblivious::new().execute(&flat_machine, &problem, &mut sim).unwrap();
+            stats.push(sim.into_stats());
+        }
+        for (si, st) in stats.iter().enumerate() {
+            for (l, p) in panels.iter_mut().enumerate() {
+                p.series[si].push(d as f64, st.level_misses(l) as f64);
+            }
+        }
+    }
+    panels
+}
+
+/// Extension (the paper's future work): LRU miss counts of the blocked LU
+/// factorization, whose trailing updates are scheduled with the paper's
+/// matrix-product tilings, against the Loomis–Whitney bound on the update
+/// stream.
+pub fn lu_update(opts: &SweepOpts) -> Vec<Panel> {
+    use mmc_lu::{bounds as lu_bounds, BlockedLu, SimLuHooks, UpdateTiling};
+    let machine = MachineConfig::quad_q32();
+    let orders: Vec<u32> = match &opts.orders {
+        Some(o) => o.clone(),
+        None => {
+            let max = if opts.full { 288 } else { 160 };
+            (32..=max).step_by(32).collect()
+        }
+    };
+    let variants: [(&str, BlockedLu); 4] = [
+        ("Row stripes w=1", BlockedLu::new(1, UpdateTiling::RowStripes)),
+        ("Row stripes w=8", BlockedLu::new(8, UpdateTiling::RowStripes)),
+        ("Shared Opt. tiles w=8", BlockedLu::new(8, UpdateTiling::SharedOpt)),
+        ("Tradeoff tiles w=8", BlockedLu::new(8, UpdateTiling::Tradeoff)),
+    ];
+    let mut ms_panel = Panel::new(
+        "lu_update_ms",
+        "Blocked LU on the q=32 quad-core (LRU), shared misses",
+        "matrix order (blocks)",
+        Metric::Ms.label(),
+    );
+    let mut md_panel = Panel::new(
+        "lu_update_md",
+        "Blocked LU on the q=32 quad-core (LRU), distributed misses",
+        "matrix order (blocks)",
+        Metric::Md.label(),
+    );
+    let mut ms_series: Vec<Series> =
+        variants.iter().map(|(name, _)| Series::new(*name)).collect();
+    let mut md_series: Vec<Series> =
+        variants.iter().map(|(name, _)| Series::new(*name)).collect();
+    let mut ms_lb = Series::new("Update-stream Lower Bound");
+    let mut md_lb = Series::new("Update-stream Lower Bound");
+    for n in orders {
+        opts.progress(&format!("lu_update: order {n}"));
+        for ((_, lu), (ms_s, md_s)) in
+            variants.iter().zip(ms_series.iter_mut().zip(md_series.iter_mut()))
+        {
+            let mut sim = Simulator::new(SimConfig::lru(&machine), n, n, 1);
+            let mut hooks = SimLuHooks::new(&mut sim);
+            lu.run(&machine, n, &mut hooks).unwrap();
+            ms_s.push(n as f64, sim.stats().ms() as f64);
+            md_s.push(n as f64, sim.stats().md() as f64);
+        }
+        ms_lb.push(n as f64, lu_bounds::ms_lower_bound(n as u64, &machine));
+        md_lb.push(n as f64, lu_bounds::md_lower_bound(n as u64, &machine));
+    }
+    ms_series.push(ms_lb);
+    md_series.push(md_lb);
+    ms_panel.series = ms_series;
+    md_panel.series = md_series;
+    vec![ms_panel, md_panel]
+}
+
+/// Extension: sanity comparison of every schedule replayed on real data —
+/// wall-clock lives in the Criterion benches; this records the per-schedule
+/// block-FMA throughput via the counting sink (no cache model).
+pub fn event_counts(opts: &SweepOpts) -> Vec<Panel> {
+    let d = if opts.full { 200 } else { 100 };
+    let problem = ProblemSpec::square(d);
+    let machine = MachineConfig::quad_q32();
+    let mut panel = Panel::new(
+        "event_counts",
+        format!("Schedule event volume (order {d})"),
+        "algorithm index",
+        "events",
+    );
+    let mut reads = Series::new("reads");
+    let mut writes = Series::new("writes");
+    let mut fmas = Series::new("fmas");
+    for (i, algo) in all_algorithms().iter().enumerate() {
+        let mut sink = mmc_sim::CountingSink::new();
+        algo.execute(&machine, &problem, &mut sink).unwrap();
+        reads.push(i as f64, sink.reads as f64);
+        writes.push(i as f64, sink.writes as f64);
+        fmas.push(i as f64, sink.fmas as f64);
+    }
+    panel.series = vec![reads, writes, fmas];
+    vec![panel]
+}
+
+/// Stable ids of every figure/ablation the harness can regenerate.
+pub fn figure_ids() -> Vec<&'static str> {
+    vec![
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "ablation_inclusion",
+        "ablation_grid",
+        "ablation_oblivious",
+        "ablation_associativity",
+        "ablation_shapes",
+        "q_sweep",
+        "timing",
+        "lu_update",
+        "cluster",
+        "event_counts",
+    ]
+}
+
+/// Run one figure by id.
+///
+/// # Panics
+/// Panics on an unknown id; use [`figure_ids`] for the valid set.
+pub fn run_figure(id: &str, opts: &SweepOpts) -> Vec<Panel> {
+    match id {
+        "fig4" => fig4(opts),
+        "fig5" => fig5(opts),
+        "fig6" => fig6(opts),
+        "fig7" => fig7(opts),
+        "fig8" => fig8(opts),
+        "fig9" => fig9(opts),
+        "fig10" => fig10(opts),
+        "fig11" => fig11(opts),
+        "fig12" => fig12(opts),
+        "ablation_inclusion" => ablation_inclusion(opts),
+        "ablation_grid" => ablation_grid(opts),
+        "ablation_oblivious" => ablation_oblivious(opts),
+        "ablation_associativity" => ablation_associativity(opts),
+        "ablation_shapes" => ablation_shapes(opts),
+        "timing" => timing(opts),
+        "q_sweep" => q_sweep(opts),
+        "lu_update" => lu_update(opts),
+        "cluster" => cluster(opts),
+        "event_counts" => event_counts(opts),
+        other => panic!("unknown figure id {other:?}; known: {:?}", figure_ids()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SweepOpts {
+        SweepOpts { full: false, orders: Some(vec![30, 60]), verbose: false }
+    }
+
+    #[test]
+    fn fig4_series_respect_competitiveness() {
+        let panels = fig4(&tiny());
+        assert_eq!(panels.len(), 1);
+        let p = &panels[0];
+        assert_eq!(p.series.len(), 4);
+        // LRU(2C) must stay within 2×formula at every sampled order.
+        for x in p.xs() {
+            let lru2 = p.series[1].y_at(x).unwrap();
+            let two_formula = p.series[3].y_at(x).unwrap();
+            assert!(lru2 <= two_formula, "x={x}: {lru2} > {two_formula}");
+        }
+    }
+
+    #[test]
+    fn fig7_shared_opt_beats_baselines() {
+        let opts = SweepOpts { orders: Some(vec![120]), ..SweepOpts::default() };
+        let panels = fig7(&opts);
+        assert_eq!(panels.len(), 3);
+        let p = &panels[0]; // q = 32
+        let x = 120.0;
+        let so = p.series[0].y_at(x).unwrap(); // Shared Opt LRU-50
+        let se = p.series[2].y_at(x).unwrap(); // Shared Equal LRU-50
+        let op = p.series[3].y_at(x).unwrap(); // Outer Product
+        let lb = p.series[4].y_at(x).unwrap();
+        assert!(so < se, "Shared Opt {so} must beat Shared Equal {se}");
+        assert!(so < op, "Shared Opt {so} must beat Outer Product {op}");
+        assert!(lb <= p.series[1].y_at(x).unwrap(), "lower bound below IDEAL");
+    }
+
+    #[test]
+    fn fig12_tradeoff_tracks_the_winner_at_the_extremes() {
+        let opts = SweepOpts::default();
+        // Use a tiny order through the private helper instead: run fig12
+        // sweeps on a reduced problem by monkeying the order is not
+        // possible, so sample two ratios directly.
+        let machine = MachineConfig::quad_q32();
+        let d = 96u32;
+        let stats_so = run(&SharedOpt, &machine, Setting::Ideal, d);
+        let stats_do = run(&DistributedOpt::default(), &machine, Setting::Ideal, d);
+        for (r, reference) in [(0.05, &stats_so), (0.95, &stats_do)] {
+            let m_r = machine.clone().with_bandwidth_ratio(r);
+            let tp = params::tradeoff_params(&m_r).unwrap();
+            let tr = run(&Tradeoff::with_params(tp), &m_r, Setting::Ideal, d);
+            let t_tr = tr.t_data(m_r.sigma_s, m_r.sigma_d);
+            let t_ref = reference.t_data(m_r.sigma_s, m_r.sigma_d);
+            assert!(
+                t_tr <= t_ref * 1.10,
+                "r={r}: Tradeoff {t_tr} should be within 10% of the specialist {t_ref}"
+            );
+        }
+        let _ = opts;
+    }
+
+    #[test]
+    fn every_figure_id_runs_on_a_tiny_sweep() {
+        // Smoke-test the registry (fig12 is skipped here: it pins m = 384
+        // and is exercised by the binary / integration tests).
+        let opts = tiny();
+        for id in figure_ids() {
+            if id == "fig12" {
+                continue;
+            }
+            let panels = run_figure(id, &opts);
+            assert!(!panels.is_empty(), "{id} produced no panels");
+            for p in &panels {
+                assert!(!p.series.is_empty(), "{id}/{} has no series", p.id);
+                assert!(
+                    p.series.iter().all(|s| !s.points.is_empty()),
+                    "{id}/{} has empty series",
+                    p.id
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # mmc-bench — experiment harness
+//!
+//! Regenerates every figure of the paper's evaluation section (Figs.
+//! 4–12) plus ablations, as CSV series and text tables:
+//!
+//! ```bash
+//! cargo run -p mmc-bench --release --bin figures -- all
+//! cargo run -p mmc-bench --release --bin figures -- fig7 --full
+//! ```
+//!
+//! The [`sweep`] module provides the simulation settings (IDEAL, LRU-50,
+//! LRU at scaled capacity) and series/panel plumbing; [`figures`] defines
+//! the per-figure sweeps. Criterion wall-clock benches live under
+//! `benches/`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod figures;
+pub mod sweep;
+
+pub use figures::{figure_ids, run_figure, SweepOpts};
+pub use sweep::{simulate, Metric, Panel, Series, Setting};

@@ -1,0 +1,327 @@
+//! Sweep engine: run (algorithm × setting × problem) simulations and
+//! collect labeled series, the building blocks of every figure.
+
+use mmc_core::algorithms::{AlgoError, Algorithm};
+use mmc_core::ProblemSpec;
+use mmc_sim::{MachineConfig, SimConfig, SimStats, Simulator};
+use serde::{Deserialize, Serialize};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// The simulation settings of the paper's evaluation (§4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Setting {
+    /// Omniscient replacement at the declared capacities — the
+    /// theoretical model.
+    Ideal,
+    /// LRU replacement with only *half* of each physical capacity declared
+    /// to the algorithm; "the other half is thus used by the LRU policy as
+    /// kind of an automatic prefetching buffer".
+    Lru50,
+    /// LRU replacement with physical capacities `factor ×` the declared
+    /// ones (Fig. 4–6 use factors 1 and 2).
+    LruAt(usize),
+}
+
+impl Setting {
+    /// Figure-legend label fragment.
+    pub fn label(&self) -> String {
+        match self {
+            Setting::Ideal => "IDEAL".to_string(),
+            Setting::Lru50 => "LRU-50".to_string(),
+            Setting::LruAt(1) => "LRU (C)".to_string(),
+            Setting::LruAt(f) => format!("LRU ({f}C)"),
+        }
+    }
+
+    /// The capacities declared to the algorithm.
+    pub fn declared(&self, machine: &MachineConfig) -> MachineConfig {
+        match self {
+            Setting::Lru50 => machine.halved(),
+            _ => machine.clone(),
+        }
+    }
+
+    /// The physical simulator configuration.
+    pub fn sim_config(&self, machine: &MachineConfig) -> SimConfig {
+        match self {
+            Setting::Ideal => SimConfig::ideal(machine),
+            Setting::Lru50 => SimConfig::lru(machine),
+            Setting::LruAt(f) => SimConfig::lru_scaled(machine, *f),
+        }
+    }
+}
+
+/// Run one simulation point.
+///
+/// Outer Product manages no residency, so under [`Setting::Ideal`] it is
+/// (as in the paper, which calls it "insensitive to cache policies") run
+/// once under full-capacity LRU instead.
+pub fn simulate(
+    algo: &dyn Algorithm,
+    machine: &MachineConfig,
+    setting: Setting,
+    problem: ProblemSpec,
+) -> Result<SimStats, AlgoError> {
+    let (declared, cfg) = if algo.id() == "outer_product" && setting == Setting::Ideal {
+        (machine.clone(), SimConfig::lru(machine))
+    } else {
+        (setting.declared(machine), setting.sim_config(machine))
+    };
+    let mut sim = Simulator::new(cfg, problem.m, problem.n, problem.z);
+    algo.execute(&declared, &problem, &mut sim)?;
+    Ok(sim.into_stats())
+}
+
+/// Which scalar a figure plots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Metric {
+    /// Shared-cache misses `M_S`.
+    Ms,
+    /// Max-over-cores distributed misses `M_D`.
+    Md,
+    /// `T_data = M_S/σ_S + M_D/σ_D`.
+    TData,
+}
+
+impl Metric {
+    /// Extract the metric from run statistics under `machine` bandwidths.
+    pub fn of(&self, stats: &SimStats, machine: &MachineConfig) -> f64 {
+        match self {
+            Metric::Ms => stats.ms() as f64,
+            Metric::Md => stats.md() as f64,
+            Metric::TData => stats.t_data(machine.sigma_s, machine.sigma_d),
+        }
+    }
+
+    /// Axis label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Metric::Ms => "shared cache misses M_S",
+            Metric::Md => "distributed cache misses M_D",
+            Metric::TData => "data access time T_data",
+        }
+    }
+}
+
+/// One plotted curve.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points in sweep order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// A new empty series.
+    pub fn new(label: impl Into<String>) -> Series {
+        Series { label: label.into(), points: Vec::new() }
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// The y value at a given x, if sampled.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points.iter().find(|(px, _)| (px - x).abs() < 1e-9).map(|&(_, y)| y)
+    }
+}
+
+/// One (sub-)figure: an x-axis sweep with several series.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Panel {
+    /// Stable file-system id, e.g. `fig7a`.
+    pub id: String,
+    /// Human title, e.g. `C_S = 977, q = 32`.
+    pub title: String,
+    /// X-axis label.
+    pub xlabel: String,
+    /// Y-axis label.
+    pub ylabel: String,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+impl Panel {
+    /// Create an empty panel.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        xlabel: impl Into<String>,
+        ylabel: impl Into<String>,
+    ) -> Panel {
+        Panel {
+            id: id.into(),
+            title: title.into(),
+            xlabel: xlabel.into(),
+            ylabel: ylabel.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Write `<id>.csv` under `dir` (one `x` column, one column per series).
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        write!(f, "{}", csv_quote(&self.xlabel))?;
+        for s in &self.series {
+            write!(f, ",{}", csv_quote(&s.label))?;
+        }
+        writeln!(f)?;
+        let xs = self.xs();
+        for x in xs {
+            write!(f, "{x}")?;
+            for s in &self.series {
+                match s.y_at(x) {
+                    Some(y) => write!(f, ",{y}")?,
+                    None => write!(f, ",")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(path)
+    }
+
+    /// Write `<id>.json` under `dir` (the full panel, serde-serialized,
+    /// for downstream plotting tools).
+    pub fn write_json(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        let file = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        serde_json::to_writer_pretty(file, self).map_err(std::io::Error::other)?;
+        Ok(path)
+    }
+
+    /// All distinct x values across series, in ascending order.
+    pub fn xs(&self) -> Vec<f64> {
+        let mut xs: Vec<f64> = self.series.iter().flat_map(|s| s.points.iter().map(|&(x, _)| x)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        xs
+    }
+
+    /// Render an aligned text table (what the `figures` binary prints).
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "## {} — {}", self.id, self.title);
+        let _ = writeln!(out, "   y: {}", self.ylabel);
+        let mut header = format!("{:>12}", self.xlabel);
+        for s in &self.series {
+            header.push_str(&format!(" {:>22}", truncate(&s.label, 22)));
+        }
+        let _ = writeln!(out, "{header}");
+        for x in self.xs() {
+            let mut row = format!("{:>12}", trim_float(x));
+            for s in &self.series {
+                match s.y_at(x) {
+                    Some(y) => row.push_str(&format!(" {:>22}", trim_float(y))),
+                    None => row.push_str(&format!(" {:>22}", "-")),
+                }
+            }
+            let _ = writeln!(out, "{row}");
+        }
+        out
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_string()
+    } else {
+        s.chars().take(n - 1).chain(std::iter::once('…')).collect()
+    }
+}
+
+fn trim_float(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+fn csv_quote(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmc_core::algorithms::SharedOpt;
+
+    #[test]
+    fn settings_declare_the_right_capacities() {
+        let m = MachineConfig::quad_q32();
+        assert_eq!(Setting::Ideal.declared(&m).shared_capacity, 977);
+        assert_eq!(Setting::Lru50.declared(&m).shared_capacity, 488);
+        assert_eq!(Setting::Lru50.sim_config(&m).shared_capacity, 977);
+        assert_eq!(Setting::LruAt(2).sim_config(&m).shared_capacity, 1954);
+        assert_eq!(Setting::LruAt(2).declared(&m).shared_capacity, 977);
+        assert_eq!(Setting::LruAt(1).label(), "LRU (C)");
+        assert_eq!(Setting::LruAt(2).label(), "LRU (2C)");
+    }
+
+    #[test]
+    fn simulate_runs_an_algorithm_end_to_end() {
+        let m = MachineConfig::quad_q32();
+        let p = ProblemSpec::square(30);
+        let stats = simulate(&SharedOpt, &m, Setting::Ideal, p).unwrap();
+        assert_eq!(stats.ms(), 30 * 30 + 2 * 30u64.pow(3) / 30);
+        let stats = simulate(&SharedOpt, &m, Setting::Lru50, p).unwrap();
+        assert!(stats.ms() >= 900);
+    }
+
+    #[test]
+    fn outer_product_falls_back_to_lru_under_ideal_setting() {
+        use mmc_core::algorithms::OuterProduct;
+        let m = MachineConfig::quad_q32();
+        let p = ProblemSpec::square(8);
+        let ideal = simulate(&OuterProduct::default(), &m, Setting::Ideal, p).unwrap();
+        let lru = simulate(&OuterProduct::default(), &m, Setting::LruAt(1), p).unwrap();
+        assert_eq!(ideal, lru);
+    }
+
+    #[test]
+    fn metric_extraction() {
+        let m = MachineConfig::quad_q32().with_bandwidths(2.0, 1.0);
+        let mut stats = SimStats::new(2);
+        stats.shared_misses = 10;
+        stats.dist_misses = vec![4, 6];
+        assert_eq!(Metric::Ms.of(&stats, &m), 10.0);
+        assert_eq!(Metric::Md.of(&stats, &m), 6.0);
+        assert_eq!(Metric::TData.of(&stats, &m), 5.0 + 6.0);
+    }
+
+    #[test]
+    fn panel_csv_and_table() {
+        let mut p = Panel::new("t", "title", "x", "y");
+        let mut s = Series::new("a,b");
+        s.push(1.0, 2.0);
+        s.push(2.0, 4.0);
+        p.series.push(s);
+        let dir = std::env::temp_dir().join("mmc_bench_test_csv");
+        let path = p.write_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(path).unwrap();
+        assert!(content.starts_with("x,\"a,b\"\n1,2\n2,4\n"));
+        let table = p.to_table();
+        assert!(table.contains("## t"));
+        assert!(table.contains('4'));
+    }
+
+    #[test]
+    fn series_y_at() {
+        let mut s = Series::new("s");
+        s.push(3.0, 9.0);
+        assert_eq!(s.y_at(3.0), Some(9.0));
+        assert_eq!(s.y_at(4.0), None);
+    }
+}

@@ -1,0 +1,323 @@
+//! **Distributed Opt** — Algorithm 2 (§3.2): the Maximum Reuse Algorithm
+//! adapted to minimize the number of distributed-cache misses `M_D`.
+//!
+//! Each core pins a `µ×µ` sub-block of `C` (with `1 + µ + µ² ≤ C_D`) in
+//! its private cache and fully computes it before writing it back; the
+//! `p` sub-blocks tile a `√p·µ × √p·µ` block of `C` held in the shared
+//! cache, distributed 2-D cyclically on the `√p×√p` core grid so that
+//! cores in the same grid row share the elements of `A` and cores in the
+//! same grid column share the fractions of rows of `B`.
+//!
+//! Predicted counts (divisible sizes): `M_S = mn + 2mnz/(µ√p)`,
+//! `M_D = mn/p + 2mnz/(pµ)`.
+
+use super::{tiles, AlgoError, Algorithm};
+use crate::formulas::{self, Prediction};
+use crate::params::{self, CoreGrid};
+use crate::problem::ProblemSpec;
+use mmc_sim::{Block, MachineConfig, SimSink};
+
+/// Algorithm 2 of the paper. See the module docs.
+///
+/// The paper assumes `√p` integral; [`DistributedOpt::with_grid`] extends
+/// the schedule to any `rows × cols == p` arrangement (the tile becomes
+/// `rows·µ × cols·µ`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DistributedOpt {
+    /// Explicit core grid; `None` means "require the paper's `√p×√p`".
+    pub grid: Option<CoreGrid>,
+}
+
+impl DistributedOpt {
+    /// Use an explicit core grid (extension for non-square `p`).
+    pub fn with_grid(grid: CoreGrid) -> DistributedOpt {
+        DistributedOpt { grid: Some(grid) }
+    }
+
+    fn resolve_grid(&self, machine: &MachineConfig) -> Result<CoreGrid, AlgoError> {
+        if let Some(g) = self.grid {
+            if g.cores() != machine.cores {
+                return Err(AlgoError::Infeasible {
+                    algorithm: "Distributed Opt",
+                    reason: format!(
+                        "grid {}x{} covers {} cores but the machine has {}",
+                        g.rows,
+                        g.cols,
+                        g.cores(),
+                        machine.cores
+                    ),
+                });
+            }
+            return Ok(g);
+        }
+        CoreGrid::square(machine.cores).ok_or_else(|| AlgoError::Infeasible {
+            algorithm: "Distributed Opt",
+            reason: format!("p = {} is not a perfect square (the paper assumes √p ∈ ℕ); use with_grid for a rectangular arrangement", machine.cores),
+        })
+    }
+
+    /// Stream the schedule into `sink`.
+    pub fn run<S: SimSink + ?Sized>(
+        &self,
+        machine: &MachineConfig,
+        problem: &ProblemSpec,
+        sink: &mut S,
+    ) -> Result<(), AlgoError> {
+        let manages = sink.manages_residency();
+        // Under automatic (LRU) replacement the capacity constraints are
+        // advisory; degrade to µ = 1 instead of failing (the paper's
+        // LRU-50 setting declares capacities below the IDEAL minima).
+        let mu = match params::mu(machine) {
+            Some(mu) => mu,
+            None if !manages => 1,
+            None => {
+                return Err(AlgoError::Infeasible {
+                    algorithm: "Distributed Opt",
+                    reason: format!(
+                        "distributed cache of {} blocks cannot hold 1 + µ + µ² for any µ ≥ 1",
+                        machine.dist_capacity
+                    ),
+                })
+            }
+        };
+        let grid = self.resolve_grid(machine)?;
+        let tr = grid.rows * mu; // tile rows
+        let tc = grid.cols * mu; // tile cols
+        // Shared cache must hold the C tile, one B row fraction, and the
+        // A elements of the current k (one per tile row).
+        let needed = tr as u64 * tc as u64 + tc as u64 + tr as u64;
+        if manages && needed > machine.shared_capacity as u64 {
+            return Err(AlgoError::Infeasible {
+                algorithm: "Distributed Opt",
+                reason: format!(
+                    "shared cache needs {}·{} + {} + {} = {} blocks, has {}",
+                    tr, tc, tc, tr, needed, machine.shared_capacity
+                ),
+            });
+        }
+        let (m, n, z) = (problem.m, problem.n, problem.z);
+
+        // Per-core sub-block inside a tile of size th×tw: core (r, cj)
+        // owns rows [r·µ, (r+1)·µ) ∩ [0, th) and cols [cj·µ, (cj+1)·µ) ∩ [0, tw).
+        let sub = |off: u32, extent: u32| -> std::ops::Range<u32> {
+            let lo = (off * mu).min(extent);
+            let hi = ((off + 1) * mu).min(extent);
+            lo..hi
+        };
+
+        for (i0, th) in tiles(m, tr) {
+            for (j0, tw) in tiles(n, tc) {
+                // Load a new block of C in the shared cache…
+                if manages {
+                    for i in i0..i0 + th {
+                        for j in j0..j0 + tw {
+                            sink.load_shared(Block::c(i, j))?;
+                        }
+                    }
+                }
+                // …and each core loads its µ×µ sub-block Cc in its cache.
+                if manages {
+                    for core in 0..machine.cores {
+                        let (r, cj) = grid.coords(core);
+                        for i in sub(r, th) {
+                            for j in sub(cj, tw) {
+                                sink.load_dist(core, Block::c(i0 + i, j0 + j))?;
+                            }
+                        }
+                    }
+                }
+                for k in 0..z {
+                    // Load a row B[k; j0..j0+tw] of B in the shared cache.
+                    if manages {
+                        for j in j0..j0 + tw {
+                            sink.load_shared(Block::b(k, j))?;
+                        }
+                    }
+                    for core in 0..machine.cores {
+                        let (r, cj) = grid.coords(core);
+                        let rows = sub(r, th);
+                        let cols = sub(cj, tw);
+                        if rows.is_empty() || cols.is_empty() {
+                            continue;
+                        }
+                        // Load Bc in the distributed cache of core c.
+                        if manages {
+                            for j in cols.clone() {
+                                sink.load_dist(core, Block::b(k, j0 + j))?;
+                            }
+                        }
+                        for i in rows.clone() {
+                            let a = Block::a(i0 + i, k);
+                            if manages {
+                                // Idempotent in the shared cache: cores of
+                                // the same grid row share this element.
+                                sink.load_shared(a)?;
+                                sink.load_dist(core, a)?;
+                            }
+                            for j in cols.clone() {
+                                let b = Block::b(k, j0 + j);
+                                let cb = Block::c(i0 + i, j0 + j);
+                                sink.read(core, a)?;
+                                sink.read(core, b)?;
+                                sink.read(core, cb)?;
+                                sink.fma(core, a, b, cb)?;
+                                sink.write(core, cb)?;
+                            }
+                            if manages {
+                                sink.evict_dist(core, a)?;
+                            }
+                        }
+                        if manages {
+                            for j in cols {
+                                sink.evict_dist(core, Block::b(k, j0 + j))?;
+                            }
+                        }
+                    }
+                    sink.barrier()?;
+                    if manages {
+                        // The A elements and B row of this k leave the
+                        // shared cache together.
+                        for i in i0..i0 + th {
+                            sink.evict_shared(Block::a(i, k))?;
+                        }
+                        for j in j0..j0 + tw {
+                            sink.evict_shared(Block::b(k, j))?;
+                        }
+                    }
+                }
+                // Each core updates its block Cc in the shared cache; the
+                // tile is written back to main memory.
+                if manages {
+                    for core in 0..machine.cores {
+                        let (r, cj) = grid.coords(core);
+                        for i in sub(r, th) {
+                            for j in sub(cj, tw) {
+                                sink.evict_dist(core, Block::c(i0 + i, j0 + j))?;
+                            }
+                        }
+                    }
+                    for i in i0..i0 + th {
+                        for j in j0..j0 + tw {
+                            sink.evict_shared(Block::c(i, j))?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Algorithm for DistributedOpt {
+    fn name(&self) -> &'static str {
+        "Distributed Opt."
+    }
+
+    fn id(&self) -> &'static str {
+        "distributed_opt"
+    }
+
+    fn execute(
+        &self,
+        machine: &MachineConfig,
+        problem: &ProblemSpec,
+        sink: &mut dyn SimSink,
+    ) -> Result<(), AlgoError> {
+        self.run(machine, problem, sink)
+    }
+
+    fn predict(&self, machine: &MachineConfig, problem: &ProblemSpec) -> Option<Prediction> {
+        match self.grid {
+            None => formulas::distributed_opt(problem, machine),
+            Some(_) => None, // rectangular extension: no paper formula
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmc_sim::{CountingSink, SimConfig, Simulator};
+
+    #[test]
+    fn ideal_counts_match_formula_exactly() {
+        // q=32 preset: µ = 4, √p = 2, tile = 8. m = n = 64, z = 10.
+        let machine = MachineConfig::quad_q32();
+        let problem = ProblemSpec::new(64, 64, 10);
+        let mut sim = Simulator::new(SimConfig::ideal(&machine), 64, 64, 10);
+        DistributedOpt::default().run(&machine, &problem, &mut sim).unwrap();
+        let stats = sim.stats();
+        let (m, n, z) = (64u64, 64, 10);
+        assert_eq!(stats.ms(), m * n + 2 * m * n * z / (4 * 2));
+        assert_eq!(stats.md(), m * n / 4 + 2 * m * n * z / (4 * 4));
+        assert_eq!(stats.total_fmas(), m * n * z);
+        assert_eq!(stats.shared_writebacks, m * n);
+        assert_eq!(stats.compute_imbalance(), 1.0);
+    }
+
+    #[test]
+    fn non_square_core_count_requires_explicit_grid() {
+        let machine = MachineConfig::new(6, 977, 21, 32);
+        let problem = ProblemSpec::square(8);
+        let mut sink = CountingSink::new();
+        assert!(matches!(
+            DistributedOpt::default().run(&machine, &problem, &mut sink),
+            Err(AlgoError::Infeasible { .. })
+        ));
+        // 2×3 grid works.
+        DistributedOpt::with_grid(CoreGrid { rows: 2, cols: 3 })
+            .run(&machine, &problem, &mut sink)
+            .unwrap();
+        assert_eq!(sink.fmas, problem.total_fmas());
+    }
+
+    #[test]
+    fn rectangular_grid_ideal_run_is_capacity_clean() {
+        let machine = MachineConfig::new(6, 977, 21, 32);
+        let problem = ProblemSpec::new(17, 9, 5);
+        let mut sim = Simulator::new(SimConfig { cores: 6, ..SimConfig::ideal(&machine) }, 17, 9, 5);
+        DistributedOpt::with_grid(CoreGrid { rows: 2, cols: 3 })
+            .run(&machine, &problem, &mut sim)
+            .unwrap();
+        assert_eq!(sim.stats().total_fmas(), problem.total_fmas());
+    }
+
+    #[test]
+    fn ragged_sizes_run_clean_under_ideal_checking() {
+        let machine = MachineConfig::quad_q32();
+        for (m, n, z) in [(1, 1, 1), (7, 13, 5), (9, 23, 3)] {
+            let problem = ProblemSpec::new(m, n, z);
+            let mut sim = Simulator::new(SimConfig::ideal(&machine), m, n, z);
+            DistributedOpt::default()
+                .run(&machine, &problem, &mut sim)
+                .unwrap_or_else(|e| panic!("{m}x{n}x{z}: {e}"));
+            assert_eq!(sim.stats().total_fmas(), problem.total_fmas());
+        }
+    }
+
+    #[test]
+    fn grid_covering_wrong_core_count_rejected() {
+        let machine = MachineConfig::new(4, 977, 21, 32);
+        let problem = ProblemSpec::square(8);
+        let mut sink = CountingSink::new();
+        assert!(matches!(
+            DistributedOpt::with_grid(CoreGrid { rows: 2, cols: 3 })
+                .run(&machine, &problem, &mut sink),
+            Err(AlgoError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn mu_one_still_works() {
+        // q = 64 preset: C_D = 6 → µ = 1 (the degenerate case Fig. 8(c)
+        // highlights).
+        let machine = MachineConfig::quad_q64();
+        let problem = ProblemSpec::new(8, 8, 4);
+        let mut sim = Simulator::new(SimConfig::ideal(&machine), 8, 8, 4);
+        DistributedOpt::default().run(&machine, &problem, &mut sim).unwrap();
+        let stats = sim.stats();
+        let (m, n, z) = (8u64, 8, 4);
+        assert_eq!(stats.ms(), m * n + 2 * m * n * z / 2);
+        assert_eq!(stats.md(), m * n / 4 + 2 * m * n * z / 4);
+    }
+}

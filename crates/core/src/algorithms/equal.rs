@@ -1,0 +1,398 @@
+//! **Equal** — the Toledo-inspired equal-thirds baselines (§4.1): "one
+//! third of [the cache] is equally allocated to each loaded matrix
+//! sub-block". The out-of-core algorithm of Toledo's survey targets a
+//! single cache level, so the paper declines it in two versions:
+//!
+//! * [`SharedEqual`] blocks for the *shared* cache with tiles of side
+//!   `t = ⌊√(C_S/3)⌋` (compare with Shared Opt's `λ ≈ √C_S`: the equal
+//!   split wastes a factor `√3` of shared-cache misses);
+//! * [`DistributedEqual`] blocks for each *distributed* cache with tiles
+//!   of side `t_D = ⌊√(C_D/3)⌋`, every core independently computing its
+//!   contiguous partition of `C`.
+
+use super::{chunk, tiles, AlgoError, Algorithm};
+use crate::formulas::{self, Prediction};
+use crate::params::{self, CoreGrid};
+use crate::problem::ProblemSpec;
+use mmc_sim::{Block, MachineConfig, SimSink};
+
+/// Equal-thirds blocking at the shared-cache level. See the module docs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SharedEqual;
+
+impl SharedEqual {
+    /// Stream the schedule into `sink`.
+    pub fn run<S: SimSink + ?Sized>(
+        machine: &MachineConfig,
+        problem: &ProblemSpec,
+        sink: &mut S,
+    ) -> Result<(), AlgoError> {
+        let manages = sink.manages_residency();
+        // Capacity arithmetic is only binding under explicit (IDEAL)
+        // management; under LRU degrade to unit tiles instead of failing.
+        let t = match params::equal_tile(machine.shared_capacity) {
+            Some(t) => t,
+            None if !manages => 1,
+            None => {
+                return Err(AlgoError::Infeasible {
+                    algorithm: "Shared Equal",
+                    reason: format!(
+                        "shared cache of {} blocks cannot hold three 1×1 tiles",
+                        machine.shared_capacity
+                    ),
+                })
+            }
+        };
+        if manages && machine.dist_capacity < 3 {
+            return Err(AlgoError::Infeasible {
+                algorithm: "Shared Equal",
+                reason: format!(
+                    "distributed caches need ≥ 3 blocks, got {}",
+                    machine.dist_capacity
+                ),
+            });
+        }
+        let p = machine.cores as u32;
+        let (m, n, z) = (problem.m, problem.n, problem.z);
+
+        for (i0, th) in tiles(m, t) {
+            for (j0, tw) in tiles(n, t) {
+                if manages {
+                    for i in i0..i0 + th {
+                        for j in j0..j0 + tw {
+                            sink.load_shared(Block::c(i, j))?;
+                        }
+                    }
+                }
+                for (k0, kb) in tiles(z, t) {
+                    if manages {
+                        for i in i0..i0 + th {
+                            for k in k0..k0 + kb {
+                                sink.load_shared(Block::a(i, k))?;
+                            }
+                        }
+                        for k in k0..k0 + kb {
+                            for j in j0..j0 + tw {
+                                sink.load_shared(Block::b(k, j))?;
+                            }
+                        }
+                    }
+                    // Cores split the tile rows; privately they stream
+                    // element triples exactly like Shared Opt's inner loop.
+                    for core in 0..p {
+                        let rows = chunk(th, p, core);
+                        let core = core as usize;
+                        for ii in rows {
+                            let i = i0 + ii;
+                            for k in k0..k0 + kb {
+                                let a = Block::a(i, k);
+                                if manages {
+                                    sink.load_dist(core, a)?;
+                                }
+                                for j in j0..j0 + tw {
+                                    let b = Block::b(k, j);
+                                    let cb = Block::c(i, j);
+                                    if manages {
+                                        sink.load_dist(core, b)?;
+                                        sink.load_dist(core, cb)?;
+                                    }
+                                    sink.read(core, a)?;
+                                    sink.read(core, b)?;
+                                    sink.read(core, cb)?;
+                                    sink.fma(core, a, b, cb)?;
+                                    sink.write(core, cb)?;
+                                    if manages {
+                                        sink.evict_dist(core, b)?;
+                                        sink.evict_dist(core, cb)?;
+                                    }
+                                }
+                                if manages {
+                                    sink.evict_dist(core, a)?;
+                                }
+                            }
+                        }
+                    }
+                    sink.barrier()?;
+                    if manages {
+                        for i in i0..i0 + th {
+                            for k in k0..k0 + kb {
+                                sink.evict_shared(Block::a(i, k))?;
+                            }
+                        }
+                        for k in k0..k0 + kb {
+                            for j in j0..j0 + tw {
+                                sink.evict_shared(Block::b(k, j))?;
+                            }
+                        }
+                    }
+                }
+                if manages {
+                    for i in i0..i0 + th {
+                        for j in j0..j0 + tw {
+                            sink.evict_shared(Block::c(i, j))?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Algorithm for SharedEqual {
+    fn name(&self) -> &'static str {
+        "Shared Equal"
+    }
+
+    fn id(&self) -> &'static str {
+        "shared_equal"
+    }
+
+    fn execute(
+        &self,
+        machine: &MachineConfig,
+        problem: &ProblemSpec,
+        sink: &mut dyn SimSink,
+    ) -> Result<(), AlgoError> {
+        SharedEqual::run(machine, problem, sink)
+    }
+
+    fn predict(&self, machine: &MachineConfig, problem: &ProblemSpec) -> Option<Prediction> {
+        formulas::shared_equal(problem, machine)
+    }
+}
+
+/// Equal-thirds blocking at the distributed-cache level. See the module docs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DistributedEqual {
+    /// Explicit core grid for the contiguous `C` partition; `None` picks
+    /// `√p×√p` when `p` is square, else the most-square factorization.
+    pub grid: Option<CoreGrid>,
+}
+
+impl DistributedEqual {
+    /// Use an explicit core grid.
+    pub fn with_grid(grid: CoreGrid) -> DistributedEqual {
+        DistributedEqual { grid: Some(grid) }
+    }
+
+    /// Stream the schedule into `sink`.
+    pub fn run<S: SimSink + ?Sized>(
+        &self,
+        machine: &MachineConfig,
+        problem: &ProblemSpec,
+        sink: &mut S,
+    ) -> Result<(), AlgoError> {
+        let manages = sink.manages_residency();
+        let td = match params::equal_tile(machine.dist_capacity) {
+            Some(t) => t,
+            None if !manages => 1,
+            None => {
+                return Err(AlgoError::Infeasible {
+                    algorithm: "Distributed Equal",
+                    reason: format!(
+                        "distributed cache of {} blocks cannot hold three 1×1 tiles",
+                        machine.dist_capacity
+                    ),
+                })
+            }
+        };
+        let grid = match self.grid {
+            Some(g) if g.cores() != machine.cores => {
+                return Err(AlgoError::Infeasible {
+                    algorithm: "Distributed Equal",
+                    reason: format!(
+                        "grid {}x{} covers {} cores but the machine has {}",
+                        g.rows,
+                        g.cols,
+                        g.cores(),
+                        machine.cores
+                    ),
+                })
+            }
+            Some(g) => g,
+            None => CoreGrid::square(machine.cores)
+                .unwrap_or_else(|| CoreGrid::balanced(machine.cores)),
+        };
+        let (m, n, z) = (problem.m, problem.n, problem.z);
+
+        for core in 0..machine.cores {
+            let (r, cj) = grid.coords(core);
+            let prows = chunk(m, grid.rows, r);
+            let pcols = chunk(n, grid.cols, cj);
+            for (ri, rth) in tiles(prows.len() as u32, td) {
+                let i0 = prows.start + ri;
+                for (rj, rtw) in tiles(pcols.len() as u32, td) {
+                    let j0 = pcols.start + rj;
+                    if manages {
+                        for i in i0..i0 + rth {
+                            for j in j0..j0 + rtw {
+                                sink.load_shared(Block::c(i, j))?;
+                                sink.load_dist(core, Block::c(i, j))?;
+                            }
+                        }
+                    }
+                    for (k0, kb) in tiles(z, td) {
+                        if manages {
+                            for i in i0..i0 + rth {
+                                for k in k0..k0 + kb {
+                                    sink.load_shared(Block::a(i, k))?;
+                                    sink.load_dist(core, Block::a(i, k))?;
+                                }
+                            }
+                            for k in k0..k0 + kb {
+                                for j in j0..j0 + rtw {
+                                    sink.load_shared(Block::b(k, j))?;
+                                    sink.load_dist(core, Block::b(k, j))?;
+                                }
+                            }
+                        }
+                        for i in i0..i0 + rth {
+                            for k in k0..k0 + kb {
+                                let a = Block::a(i, k);
+                                for j in j0..j0 + rtw {
+                                    let b = Block::b(k, j);
+                                    let cb = Block::c(i, j);
+                                    sink.read(core, a)?;
+                                    sink.read(core, b)?;
+                                    sink.read(core, cb)?;
+                                    sink.fma(core, a, b, cb)?;
+                                    sink.write(core, cb)?;
+                                }
+                            }
+                        }
+                        if manages {
+                            for i in i0..i0 + rth {
+                                for k in k0..k0 + kb {
+                                    sink.evict_dist(core, Block::a(i, k))?;
+                                    sink.evict_shared(Block::a(i, k))?;
+                                }
+                            }
+                            for k in k0..k0 + kb {
+                                for j in j0..j0 + rtw {
+                                    sink.evict_dist(core, Block::b(k, j))?;
+                                    sink.evict_shared(Block::b(k, j))?;
+                                }
+                            }
+                        }
+                    }
+                    if manages {
+                        for i in i0..i0 + rth {
+                            for j in j0..j0 + rtw {
+                                sink.evict_dist(core, Block::c(i, j))?;
+                                sink.evict_shared(Block::c(i, j))?;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Cores factor their partitions fully independently; the only
+        // synchronization is the final join.
+        sink.barrier()?;
+        Ok(())
+    }
+}
+
+impl Algorithm for DistributedEqual {
+    fn name(&self) -> &'static str {
+        "Distributed Equal"
+    }
+
+    fn id(&self) -> &'static str {
+        "distributed_equal"
+    }
+
+    fn execute(
+        &self,
+        machine: &MachineConfig,
+        problem: &ProblemSpec,
+        sink: &mut dyn SimSink,
+    ) -> Result<(), AlgoError> {
+        self.run(machine, problem, sink)
+    }
+
+    fn predict(&self, machine: &MachineConfig, problem: &ProblemSpec) -> Option<Prediction> {
+        formulas::distributed_equal(problem, machine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmc_sim::{CountingSink, SimConfig, Simulator};
+
+    #[test]
+    fn shared_equal_ideal_ms_matches_formula() {
+        // Custom machine with p | t for clean per-core counts:
+        // C_S = 768 → t = 16; C_D = 3.
+        let machine = MachineConfig::new(4, 768, 3, 32);
+        let problem = ProblemSpec::new(32, 32, 16);
+        let mut sim = Simulator::new(SimConfig::ideal(&machine), 32, 32, 16);
+        SharedEqual::run(&machine, &problem, &mut sim).unwrap();
+        let stats = sim.stats();
+        let (m, n, z) = (32u64, 32, 16);
+        assert_eq!(stats.ms(), m * n + 2 * m * n * z / 16);
+        // Per core: rows 16/4 = 4 per tile; per (i,k): 1 + 2·16.
+        assert_eq!(stats.md(), (m * n / (16 * 16)) * 4 * z * (1 + 2 * 16));
+        assert_eq!(stats.total_fmas(), m * n * z);
+    }
+
+    #[test]
+    fn distributed_equal_ideal_md_matches_formula() {
+        // C_D = 21 → t_D = 2; p = 4 in a 2×2 grid; m = n = 8 → each core a
+        // 4×4 partition = four 2×2 tiles; z = 6 (divisible by t_D).
+        let machine = MachineConfig::quad_q32();
+        let problem = ProblemSpec::new(8, 8, 6);
+        let mut sim = Simulator::new(SimConfig::ideal(&machine), 8, 8, 6);
+        DistributedEqual::default().run(&machine, &problem, &mut sim).unwrap();
+        let stats = sim.stats();
+        let (m, n, z, p) = (8u64, 8, 6, 4u64);
+        assert_eq!(stats.md(), m * n / p + 2 * m * n * z / (p * 2));
+        assert_eq!(stats.ms(), m * n + 2 * m * n * z / 2);
+        assert_eq!(stats.total_fmas(), m * n * z);
+    }
+
+    #[test]
+    fn shared_equal_tile_is_smaller_than_shared_opt_lambda() {
+        // The point of Fig. 7: λ = 30 beats t = 18 on the q=32 preset.
+        assert!(params::equal_tile(977).unwrap() < params::lambda(&MachineConfig::quad_q32()).unwrap());
+    }
+
+    #[test]
+    fn ragged_sizes_run_clean_under_ideal_checking() {
+        let machine = MachineConfig::quad_q32();
+        for (m, n, z) in [(1u32, 1, 1), (9, 5, 7), (19, 3, 11)] {
+            let problem = ProblemSpec::new(m, n, z);
+            let mut sim = Simulator::new(SimConfig::ideal(&machine), m, n, z);
+            SharedEqual::run(&machine, &problem, &mut sim)
+                .unwrap_or_else(|e| panic!("SharedEqual {m}x{n}x{z}: {e}"));
+            assert_eq!(sim.stats().total_fmas(), problem.total_fmas());
+            let mut sim = Simulator::new(SimConfig::ideal(&machine), m, n, z);
+            DistributedEqual::default()
+                .run(&machine, &problem, &mut sim)
+                .unwrap_or_else(|e| panic!("DistributedEqual {m}x{n}x{z}: {e}"));
+            assert_eq!(sim.stats().total_fmas(), problem.total_fmas());
+        }
+    }
+
+    #[test]
+    fn tiny_caches_rejected_under_ideal_but_degrade_under_lru() {
+        let problem = ProblemSpec::square(4);
+        let machine = MachineConfig::new(4, 2, 21, 32);
+        let mut sim = Simulator::new(SimConfig::ideal(&machine), 4, 4, 4);
+        assert!(SharedEqual::run(&machine, &problem, &mut sim).is_err());
+        let machine = MachineConfig::new(4, 977, 2, 32);
+        let mut sim = Simulator::new(SimConfig::ideal(&machine), 4, 4, 4);
+        assert!(DistributedEqual::default().run(&machine, &problem, &mut sim).is_err());
+        let mut sim = Simulator::new(SimConfig::ideal(&machine), 4, 4, 4);
+        assert!(SharedEqual::run(&machine, &problem, &mut sim).is_err());
+        // Automatic replacement: degrade to unit tiles and complete.
+        let mut sink = CountingSink::new();
+        SharedEqual::run(&machine, &problem, &mut sink).unwrap();
+        assert_eq!(sink.fmas, problem.total_fmas());
+        let mut sink = CountingSink::new();
+        DistributedEqual::default().run(&machine, &problem, &mut sink).unwrap();
+        assert_eq!(sink.fmas, problem.total_fmas());
+    }
+}

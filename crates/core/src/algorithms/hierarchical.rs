@@ -1,0 +1,241 @@
+//! **Hierarchical Maximum Reuse** — extension for arbitrary-depth cache
+//! trees ("clusters of multicores", the paper's concluding future work).
+//!
+//! Algorithm 2 generalizes naturally: at *every* tree level, each cache
+//! node pins its rectangular sub-tile of `C` for the entire `k` loop,
+//! while per-`k` fractions of a `B` row and elements of `A` stream
+//! through. The per-level tile sides compose bottom-up —
+//! `side(l) = grid(l+1) × side(l+1)` with the innermost side `µ` from the
+//! per-core capacity — so the paper's `√p·µ` tile is the two-level
+//! special case, and each level `l` needs
+//! `rows(l)·cols(l) + rows(l) + cols(l) ≤ C_l` (checked, like the
+//! `1 + µ + µ²` constraint of §3.2).
+//!
+//! The schedule runs under automatic (LRU) replacement — it targets the
+//! realistic [`TreeSimulator`](mmc_sim::TreeSimulator) — and, like every
+//! other schedule here, streams plain `read`/`write`/`fma` events, so it
+//! also executes on real data through `mmc-exec`'s `ExecSink`.
+
+use super::{tiles, AlgoError};
+use crate::params::{self, CoreGrid};
+use crate::problem::ProblemSpec;
+use mmc_sim::{Block, SimSink, TreeTopology};
+
+/// Multi-level Maximum Reuse schedule over a cache tree. See module docs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HierarchicalMaxReuse {
+    /// The cache tree the tiling is sized for.
+    pub topology: TreeTopology,
+}
+
+/// Per-level tiling derived from a topology.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HierarchicalTiling {
+    /// Balanced grid of each level's nodes under one parent.
+    pub grids: Vec<CoreGrid>,
+    /// `(rows, cols)` of the `C` sub-tile owned by one node of each level.
+    pub sides: Vec<(u32, u32)>,
+    /// Full tile processed per outer step:
+    /// `(grids[0].rows · sides[0].0, grids[0].cols · sides[0].1)`.
+    pub super_tile: (u32, u32),
+}
+
+impl HierarchicalMaxReuse {
+    /// Build for a topology.
+    pub fn new(topology: TreeTopology) -> HierarchicalMaxReuse {
+        HierarchicalMaxReuse { topology }
+    }
+
+    /// Derive (and validate) the per-level tiling.
+    pub fn tiling(&self) -> Result<HierarchicalTiling, AlgoError> {
+        let depth = self.topology.depth();
+        let infeasible = |reason: String| AlgoError::Infeasible {
+            algorithm: "Hierarchical Max Reuse",
+            reason,
+        };
+        let mu = params::max_reuse_param(self.topology.levels[depth - 1].capacity)
+            .ok_or_else(|| {
+                infeasible(format!(
+                    "innermost capacity {} cannot hold 1 + µ + µ²",
+                    self.topology.levels[depth - 1].capacity
+                ))
+            })?;
+        let grids: Vec<CoreGrid> =
+            self.topology.levels.iter().map(|l| CoreGrid::balanced(l.arity)).collect();
+        let mut sides = vec![(0u32, 0u32); depth];
+        sides[depth - 1] = (mu, mu);
+        for l in (0..depth - 1).rev() {
+            let child = grids[l + 1];
+            sides[l] = (child.rows * sides[l + 1].0, child.cols * sides[l + 1].1);
+        }
+        // Every level must hold its tile + a B-row fraction + A elements;
+        // the innermost (per-core) level streams a single element of A at
+        // a time, which is the 1 + µ + µ² constraint of §3.2.
+        for (l, &(r, c)) in sides.iter().enumerate() {
+            let a_elems = if l == depth - 1 { 1 } else { r as u64 };
+            let need = r as u64 * c as u64 + c as u64 + a_elems;
+            if need > self.topology.levels[l].capacity as u64 {
+                return Err(infeasible(format!(
+                    "level {l} needs {r}x{c} + {c} + {a_elems} = {need} blocks, capacity is {}",
+                    self.topology.levels[l].capacity
+                )));
+            }
+        }
+        let super_tile = (grids[0].rows * sides[0].0, grids[0].cols * sides[0].1);
+        Ok(HierarchicalTiling { grids, sides, super_tile })
+    }
+
+    /// Block-offset of `core`'s `µ×µ` region inside a super-tile.
+    fn core_offset(&self, tiling: &HierarchicalTiling, core: usize) -> (u32, u32) {
+        let depth = self.topology.depth();
+        let cores = self.topology.cores();
+        let (mut roff, mut coff) = (0u32, 0u32);
+        for l in 0..depth {
+            let digit = (core / (cores / self.topology.nodes_at(l)))
+                % self.topology.levels[l].arity;
+            let g = tiling.grids[l];
+            let (r, c) = ((digit as u32) % g.rows, (digit as u32) / g.rows);
+            roff += r * tiling.sides[l].0;
+            coff += c * tiling.sides[l].1;
+        }
+        (roff, coff)
+    }
+
+    /// Stream the schedule into `sink` (LRU-style; no residency
+    /// directives are emitted).
+    pub fn run<S: SimSink + ?Sized>(
+        &self,
+        problem: &ProblemSpec,
+        sink: &mut S,
+    ) -> Result<(), AlgoError> {
+        if sink.manages_residency() {
+            return Err(AlgoError::RequiresAutomaticReplacement {
+                algorithm: "Hierarchical Max Reuse",
+            });
+        }
+        let tiling = self.tiling()?;
+        let cores = self.topology.cores();
+        let offsets: Vec<(u32, u32)> =
+            (0..cores).map(|c| self.core_offset(&tiling, c)).collect();
+        let mu_r = tiling.sides[self.topology.depth() - 1].0;
+        let mu_c = tiling.sides[self.topology.depth() - 1].1;
+        let (m, n, z) = (problem.m, problem.n, problem.z);
+
+        for (i0, th) in tiles(m, tiling.super_tile.0) {
+            for (j0, tw) in tiles(n, tiling.super_tile.1) {
+                for k in 0..z {
+                    for (core, &(roff, coff)) in offsets.iter().enumerate() {
+                        if roff >= th || coff >= tw {
+                            continue; // clamped edge tile: nothing assigned
+                        }
+                        let rows = i0 + roff..i0 + (roff + mu_r).min(th);
+                        let cols = j0 + coff..j0 + (coff + mu_c).min(tw);
+                        for i in rows {
+                            let a = Block::a(i, k);
+                            for j in cols.clone() {
+                                let b = Block::b(k, j);
+                                let cb = Block::c(i, j);
+                                sink.read(core, a)?;
+                                sink.read(core, b)?;
+                                sink.read(core, cb)?;
+                                sink.fma(core, a, b, cb)?;
+                                sink.write(core, cb)?;
+                            }
+                        }
+                    }
+                    sink.barrier()?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmc_sim::{CountingSink, TreeSimulator, TreeTopology};
+
+    fn cluster() -> TreeTopology {
+        // 2 nodes × (1 shared × 4 cores): sides: µ(21)=4; shared 2×2 grid
+        // → 8×8; node level grid 1x2... capacities sized generously.
+        TreeTopology::cluster(2, 4096, 4, 977, 21)
+    }
+
+    #[test]
+    fn tiling_composes_bottom_up() {
+        let h = HierarchicalMaxReuse::new(cluster());
+        let t = h.tiling().unwrap();
+        assert_eq!(t.sides[2], (4, 4)); // µ = 4
+        assert_eq!(t.sides[1], (8, 8)); // 2×2 core grid
+        assert_eq!(t.sides[0], (8, 8)); // arity-1 shared level
+        // Node level: balanced(2) = 1×2 grid → super-tile 8×16.
+        assert_eq!(t.super_tile, (8, 16));
+    }
+
+    #[test]
+    fn two_level_tiling_matches_distributed_opt() {
+        let h = HierarchicalMaxReuse::new(TreeTopology::two_level(4, 977, 21));
+        let t = h.tiling().unwrap();
+        assert_eq!(t.super_tile, (8, 8)); // √p·µ = 2·4
+    }
+
+    #[test]
+    fn covers_every_fma_once_and_balances() {
+        let topo = cluster();
+        let h = HierarchicalMaxReuse::new(topo.clone());
+        // 16×16: exactly 2×1 super-tiles of 8×16.
+        let problem = ProblemSpec::new(16, 16, 5);
+        let mut sim = TreeSimulator::new(topo, 16, 16, 5);
+        h.run(&problem, &mut sim).unwrap();
+        assert_eq!(sim.stats().total_fmas(), problem.total_fmas());
+        let fmas = &sim.stats().fmas;
+        assert!(fmas.iter().all(|&f| f == fmas[0]), "balanced: {fmas:?}");
+    }
+
+    #[test]
+    fn ragged_problems_are_covered() {
+        let topo = cluster();
+        let h = HierarchicalMaxReuse::new(topo);
+        for (m, n, z) in [(1u32, 1, 1), (7, 13, 3), (19, 5, 2)] {
+            let problem = ProblemSpec::new(m, n, z);
+            let mut sink = CountingSink::new();
+            h.run(&problem, &mut sink).unwrap();
+            assert_eq!(sink.fmas, problem.total_fmas(), "{m}x{n}x{z}");
+        }
+    }
+
+    #[test]
+    fn infeasible_levels_are_reported() {
+        // Node-level cache too small for the composed tile (8×16 + …).
+        let topo = TreeTopology::cluster(2, 32, 4, 977, 21);
+        let h = HierarchicalMaxReuse::new(topo);
+        assert!(matches!(h.tiling(), Err(AlgoError::Infeasible { .. })));
+        // Innermost below the 3-block minimum.
+        let topo = TreeTopology::cluster(2, 4096, 4, 977, 2);
+        assert!(HierarchicalMaxReuse::new(topo).tiling().is_err());
+    }
+
+    #[test]
+    fn refuses_residency_managed_sinks() {
+        let h = HierarchicalMaxReuse::new(cluster());
+        let mut sink = mmc_sim::TraceSink::with_residency();
+        assert!(matches!(
+            h.run(&ProblemSpec::square(4), &mut sink),
+            Err(AlgoError::RequiresAutomaticReplacement { .. })
+        ));
+    }
+
+    #[test]
+    fn every_core_gets_a_distinct_region() {
+        let h = HierarchicalMaxReuse::new(cluster());
+        let t = h.tiling().unwrap();
+        let cores = h.topology.cores();
+        let mut seen = std::collections::BTreeSet::new();
+        for c in 0..cores {
+            assert!(seen.insert(h.core_offset(&t, c)), "core {c} collides");
+        }
+        // Offsets tile the super-tile exactly.
+        assert_eq!(seen.len() as u32 * 16, t.super_tile.0 * t.super_tile.1);
+    }
+}

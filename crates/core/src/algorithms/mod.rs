@@ -1,0 +1,256 @@
+//! The six matrix-product schedules of the paper's evaluation (§3–§4).
+//!
+//! * [`SharedOpt`] — Algorithm 1, minimizes shared-cache misses `M_S`;
+//! * [`DistributedOpt`] — Algorithm 2, minimizes distributed misses `M_D`;
+//! * [`Tradeoff`] — Algorithm 3, minimizes `T_data = M_S/σ_S + M_D/σ_D`;
+//! * [`OuterProduct`] — the ScaLAPACK-style reference on a core torus;
+//! * [`SharedEqual`] / [`DistributedEqual`] — the Toledo-inspired
+//!   equal-thirds baselines at each cache level.
+//!
+//! Every schedule is a *streaming* generator: it emits `read`/`write`/
+//! `fma` events (plus IDEAL residency directives when the sink manages
+//! residency) into a [`SimSink`] and never materializes a trace. The same
+//! schedule code therefore drives the cache simulator, the counting sink,
+//! and the real executor in `mmc-exec`.
+//!
+//! The paper's lockstep `foreach core c = 1..p in parallel` regions are
+//! serialized deterministically (core-major at the granularity of the
+//! paper's parallel bodies); miss counts are order-independent at that
+//! granularity because distinct cores touch distinct private caches and
+//! their shared-cache footprints within a region are managed explicitly
+//! (IDEAL) or disjoint up to the shared operand they are meant to share
+//! (LRU).
+
+mod distributed_opt;
+mod equal;
+mod hierarchical;
+mod oblivious;
+mod outer_product;
+mod shared_opt;
+mod tradeoff;
+
+pub use distributed_opt::DistributedOpt;
+pub use equal::{DistributedEqual, SharedEqual};
+pub use hierarchical::{HierarchicalMaxReuse, HierarchicalTiling};
+pub use oblivious::CacheOblivious;
+pub use outer_product::OuterProduct;
+pub use shared_opt::SharedOpt;
+pub use tradeoff::Tradeoff;
+
+use crate::formulas::Prediction;
+use crate::problem::ProblemSpec;
+use mmc_sim::{MachineConfig, SimError, SimSink};
+use serde::{Deserialize, Serialize};
+
+/// Why a schedule could not run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AlgoError {
+    /// The simulator rejected an event (capacity/residency violation —
+    /// a bug in the schedule, surfaced by IDEAL-mode checking).
+    Sim(SimError),
+    /// The machine cannot host this algorithm (cache too small, core count
+    /// not a perfect square, …).
+    Infeasible {
+        /// Algorithm name.
+        algorithm: &'static str,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The algorithm has no explicit residency management and only runs
+    /// under automatic (LRU) replacement; the paper notes Outer Product
+    /// "is insensitive to cache policies".
+    RequiresAutomaticReplacement {
+        /// Algorithm name.
+        algorithm: &'static str,
+    },
+}
+
+impl From<SimError> for AlgoError {
+    fn from(e: SimError) -> AlgoError {
+        AlgoError::Sim(e)
+    }
+}
+
+impl std::fmt::Display for AlgoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlgoError::Sim(e) => write!(f, "simulation error: {e}"),
+            AlgoError::Infeasible { algorithm, reason } => {
+                write!(f, "{algorithm} is infeasible on this machine: {reason}")
+            }
+            AlgoError::RequiresAutomaticReplacement { algorithm } => {
+                write!(f, "{algorithm} manages no residency and requires an LRU-mode sink")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AlgoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AlgoError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// A matrix-product schedule.
+pub trait Algorithm: Sync + Send {
+    /// Display name, matching the paper's figure legends.
+    fn name(&self) -> &'static str;
+
+    /// Stable machine-readable identifier (snake_case).
+    fn id(&self) -> &'static str;
+
+    /// Stream the schedule for `problem` on `machine` into `sink`.
+    fn execute(
+        &self,
+        machine: &MachineConfig,
+        problem: &ProblemSpec,
+        sink: &mut dyn SimSink,
+    ) -> Result<(), AlgoError>;
+
+    /// The paper's closed-form miss prediction, if it gives one.
+    fn predict(&self, machine: &MachineConfig, problem: &ProblemSpec) -> Option<Prediction>;
+}
+
+/// Identifier of one of the six algorithms (serde-friendly).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum AlgorithmKind {
+    /// Algorithm 1.
+    SharedOpt,
+    /// Algorithm 2.
+    DistributedOpt,
+    /// Algorithm 3.
+    Tradeoff,
+    /// ScaLAPACK-style outer product.
+    OuterProduct,
+    /// Equal thirds at the shared level.
+    SharedEqual,
+    /// Equal thirds at the distributed level.
+    DistributedEqual,
+}
+
+impl AlgorithmKind {
+    /// All six, in the paper's presentation order.
+    pub const ALL: [AlgorithmKind; 6] = [
+        AlgorithmKind::SharedOpt,
+        AlgorithmKind::DistributedOpt,
+        AlgorithmKind::Tradeoff,
+        AlgorithmKind::OuterProduct,
+        AlgorithmKind::SharedEqual,
+        AlgorithmKind::DistributedEqual,
+    ];
+
+    /// Instantiate the algorithm.
+    pub fn build(&self) -> Box<dyn Algorithm> {
+        match self {
+            AlgorithmKind::SharedOpt => Box::new(SharedOpt),
+            AlgorithmKind::DistributedOpt => Box::new(DistributedOpt::default()),
+            AlgorithmKind::Tradeoff => Box::new(Tradeoff::default()),
+            AlgorithmKind::OuterProduct => Box::new(OuterProduct::default()),
+            AlgorithmKind::SharedEqual => Box::new(SharedEqual),
+            AlgorithmKind::DistributedEqual => Box::new(DistributedEqual::default()),
+        }
+    }
+}
+
+/// All six algorithms, boxed, in presentation order.
+pub fn all_algorithms() -> Vec<Box<dyn Algorithm>> {
+    AlgorithmKind::ALL.iter().map(|k| k.build()).collect()
+}
+
+/// Contiguous balanced partition of `0..total` into `parts` chunks:
+/// chunk `idx` is `[idx·total/parts, (idx+1)·total/parts)`. Chunk sizes
+/// differ by at most one and the chunks exactly cover the range.
+pub(crate) fn chunk(total: u32, parts: u32, idx: u32) -> std::ops::Range<u32> {
+    debug_assert!(idx < parts);
+    let total = total as u64;
+    let parts = parts as u64;
+    let idx = idx as u64;
+    let lo = (idx * total / parts) as u32;
+    let hi = ((idx + 1) * total / parts) as u32;
+    lo..hi
+}
+
+/// Iterate `(start, len)` tiles of width `tile` covering `0..dim`, the
+/// last tile clamped.
+pub(crate) fn tiles(dim: u32, tile: u32) -> impl Iterator<Item = (u32, u32)> {
+    debug_assert!(tile > 0);
+    (0..dim).step_by(tile as usize).map(move |start| (start, tile.min(dim - start)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_partition_exactly() {
+        for total in [0u32, 1, 7, 8, 100] {
+            for parts in [1u32, 2, 3, 4, 7] {
+                let mut covered = 0u32;
+                let mut prev_end = 0u32;
+                for idx in 0..parts {
+                    let r = chunk(total, parts, idx);
+                    assert_eq!(r.start, prev_end, "chunks must be contiguous");
+                    prev_end = r.end;
+                    covered += r.len() as u32;
+                }
+                assert_eq!(prev_end, total);
+                assert_eq!(covered, total);
+                // Balance: sizes differ by at most 1.
+                let sizes: Vec<u32> =
+                    (0..parts).map(|i| chunk(total, parts, i).len() as u32).collect();
+                let max = *sizes.iter().max().unwrap();
+                let min = *sizes.iter().min().unwrap();
+                assert!(max - min <= 1, "total={total} parts={parts}: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiles_cover_dim() {
+        for dim in [1u32, 5, 8, 9, 30] {
+            for tile in [1u32, 3, 8, 64] {
+                let ts: Vec<(u32, u32)> = tiles(dim, tile).collect();
+                let sum: u32 = ts.iter().map(|&(_, l)| l).sum();
+                assert_eq!(sum, dim);
+                assert!(ts.iter().all(|&(_, l)| l >= 1 && l <= tile));
+                assert_eq!(ts[0].0, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn registry_has_six_distinct_algorithms() {
+        let algos = all_algorithms();
+        assert_eq!(algos.len(), 6);
+        let mut names: Vec<&str> = algos.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+        let mut ids: Vec<&str> = algos.iter().map(|a| a.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 6);
+    }
+
+    #[test]
+    fn kind_round_trips_through_serde() {
+        for k in AlgorithmKind::ALL {
+            let s = serde_json::to_string(&k).unwrap();
+            let back: AlgorithmKind = serde_json::from_str(&s).unwrap();
+            assert_eq!(k, back);
+        }
+        assert_eq!(serde_json::to_string(&AlgorithmKind::SharedOpt).unwrap(), "\"shared_opt\"");
+    }
+
+    #[test]
+    fn algo_error_display() {
+        let e = AlgoError::Infeasible { algorithm: "Tradeoff", reason: "p not square".into() };
+        assert!(e.to_string().contains("Tradeoff"));
+        let e = AlgoError::RequiresAutomaticReplacement { algorithm: "Outer Product" };
+        assert!(e.to_string().contains("LRU"));
+    }
+}

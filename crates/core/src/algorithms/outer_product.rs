@@ -1,0 +1,167 @@
+//! **Outer Product** — the ScaLAPACK-style reference algorithm (§4.1):
+//! cores form a (virtual) processor torus; `C` is split into `p`
+//! contiguous rectangular partitions, one per core; at each step `k` the
+//! `k`-th block column of `A` and block row of `B` are "broadcast" and
+//! every core performs the rank-1 block update of its partition.
+//!
+//! The algorithm does no cache management whatsoever — the paper notes it
+//! "is insensitive to cache policies, since it is not focusing on cache
+//! usage" — so it only runs against automatic-replacement (LRU) sinks.
+
+use super::{chunk, AlgoError, Algorithm};
+use crate::formulas::Prediction;
+use crate::params::CoreGrid;
+use crate::problem::ProblemSpec;
+use mmc_sim::{Block, MachineConfig, SimSink};
+
+/// The ScaLAPACK-style outer-product reference. See the module docs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OuterProduct {
+    /// Explicit core torus; `None` picks `√p×√p` when `p` is square and
+    /// the most-square factorization otherwise.
+    pub grid: Option<CoreGrid>,
+}
+
+impl OuterProduct {
+    /// Use an explicit core torus.
+    pub fn with_grid(grid: CoreGrid) -> OuterProduct {
+        OuterProduct { grid: Some(grid) }
+    }
+
+    /// Stream the schedule into `sink` (must not manage residency).
+    pub fn run<S: SimSink + ?Sized>(
+        &self,
+        machine: &MachineConfig,
+        problem: &ProblemSpec,
+        sink: &mut S,
+    ) -> Result<(), AlgoError> {
+        if sink.manages_residency() {
+            return Err(AlgoError::RequiresAutomaticReplacement { algorithm: "Outer Product" });
+        }
+        let grid = match self.grid {
+            Some(g) if g.cores() != machine.cores => {
+                return Err(AlgoError::Infeasible {
+                    algorithm: "Outer Product",
+                    reason: format!(
+                        "grid {}x{} covers {} cores but the machine has {}",
+                        g.rows,
+                        g.cols,
+                        g.cores(),
+                        machine.cores
+                    ),
+                })
+            }
+            Some(g) => g,
+            None => CoreGrid::square(machine.cores)
+                .unwrap_or_else(|| CoreGrid::balanced(machine.cores)),
+        };
+        let (m, n, z) = (problem.m, problem.n, problem.z);
+
+        for k in 0..z {
+            for core in 0..machine.cores {
+                let (r, cj) = grid.coords(core);
+                let rows = chunk(m, grid.rows, r);
+                let cols = chunk(n, grid.cols, cj);
+                for i in rows {
+                    let a = Block::a(i, k);
+                    for j in cols.clone() {
+                        let b = Block::b(k, j);
+                        let cb = Block::c(i, j);
+                        sink.read(core, a)?;
+                        sink.read(core, b)?;
+                        sink.read(core, cb)?;
+                        sink.fma(core, a, b, cb)?;
+                        sink.write(core, cb)?;
+                    }
+                }
+            }
+            sink.barrier()?;
+        }
+        Ok(())
+    }
+}
+
+impl Algorithm for OuterProduct {
+    fn name(&self) -> &'static str {
+        "Outer Product"
+    }
+
+    fn id(&self) -> &'static str {
+        "outer_product"
+    }
+
+    fn execute(
+        &self,
+        machine: &MachineConfig,
+        problem: &ProblemSpec,
+        sink: &mut dyn SimSink,
+    ) -> Result<(), AlgoError> {
+        self.run(machine, problem, sink)
+    }
+
+    fn predict(&self, _machine: &MachineConfig, _problem: &ProblemSpec) -> Option<Prediction> {
+        // The paper gives no closed form; its behaviour is purely LRU-driven.
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmc_sim::{CountingSink, SimConfig, Simulator, TraceSink};
+
+    #[test]
+    fn covers_all_fmas_once() {
+        let machine = MachineConfig::quad_q32();
+        let problem = ProblemSpec::new(10, 14, 6);
+        let mut sink = CountingSink::new();
+        OuterProduct::default().run(&machine, &problem, &mut sink).unwrap();
+        assert_eq!(sink.fmas, problem.total_fmas());
+        assert_eq!(sink.barriers, 6);
+    }
+
+    #[test]
+    fn refuses_residency_managed_sinks() {
+        let machine = MachineConfig::quad_q32();
+        let problem = ProblemSpec::square(4);
+        let mut sim = Simulator::new(SimConfig::ideal(&machine), 4, 4, 4);
+        assert!(matches!(
+            OuterProduct::default().run(&machine, &problem, &mut sim),
+            Err(AlgoError::RequiresAutomaticReplacement { .. })
+        ));
+        let mut trace = TraceSink::with_residency();
+        assert!(OuterProduct::default().run(&machine, &problem, &mut trace).is_err());
+    }
+
+    #[test]
+    fn streaming_working_set_defeats_small_caches() {
+        // With a C partition far larger than the distributed cache, every
+        // C access is a distributed miss: M_D^(c) ≥ (m/√p)(n/√p) per k.
+        let machine = MachineConfig::new(4, 977, 21, 32);
+        let d = 64u32;
+        let problem = ProblemSpec::square(d);
+        let mut sim = Simulator::new(SimConfig::lru(&machine), d, d, d);
+        OuterProduct::default().run(&machine, &problem, &mut sim).unwrap();
+        let per_core_c_touches = (d as u64 / 2) * (d as u64 / 2) * d as u64;
+        assert!(sim.stats().md() >= per_core_c_touches);
+    }
+
+    #[test]
+    fn balanced_grid_fallback_for_non_square_p() {
+        let machine = MachineConfig::new(6, 977, 21, 32);
+        let problem = ProblemSpec::new(9, 8, 3);
+        let mut sink = CountingSink::new();
+        OuterProduct::default().run(&machine, &problem, &mut sink).unwrap();
+        assert_eq!(sink.fmas, problem.total_fmas());
+    }
+
+    #[test]
+    fn wrong_explicit_grid_rejected() {
+        let machine = MachineConfig::new(4, 977, 21, 32);
+        let problem = ProblemSpec::square(4);
+        let mut sink = CountingSink::new();
+        assert!(OuterProduct::with_grid(CoreGrid { rows: 3, cols: 3 })
+            .run(&machine, &problem, &mut sink)
+            .is_err());
+    }
+}

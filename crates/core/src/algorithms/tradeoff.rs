@@ -1,0 +1,415 @@
+//! **Tradeoff** — Algorithm 3 (§3.3): minimize the overall data access
+//! time `T_data = M_S/σ_S + M_D/σ_D`.
+//!
+//! An `α×α` block of `C` lives in the shared cache together with a
+//! `β`-deep panel of `A` (`α×β`) and of `B` (`β×α`), under the constraint
+//! `α² + 2αβ ≤ C_S`. The `C` tile is split into `µ×µ` sub-blocks
+//! distributed 2-D cyclically over the `√p×√p` core grid; each core
+//! accumulates the `β` contributions of the current panels into each of
+//! its sub-blocks before moving on, so the per-`C`-element reload cost
+//! drops from once per `k` (Shared Opt) to once per `β` steps.
+//!
+//! Predicted counts (divisible sizes): `M_S = mn + 2mnz/α`;
+//! `M_D = mnz/(pβ) + 2mnz/(pµ)`, improving to `mn/p + 2mnz/(pµ)` in the
+//! special case `α = √p·µ` where each core owns a single sub-block per
+//! tile and loads it once.
+
+use super::{tiles, AlgoError, Algorithm};
+use crate::formulas::{self, Prediction};
+use crate::params::{self, TradeoffParams};
+use crate::problem::ProblemSpec;
+use mmc_sim::{Block, MachineConfig, SimSink};
+
+/// Algorithm 3 of the paper. See the module docs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Tradeoff {
+    /// Explicit `(α, β, µ, grid)`; `None` derives them from the machine's
+    /// capacities and bandwidths via [`params::tradeoff_params`].
+    pub params: Option<TradeoffParams>,
+}
+
+impl Tradeoff {
+    /// Run with explicit parameters (ablations, tests).
+    pub fn with_params(params: TradeoffParams) -> Tradeoff {
+        Tradeoff { params: Some(params) }
+    }
+
+    /// The parameters a strict (IDEAL-capacity) run on `machine` would use.
+    pub fn resolve_params(&self, machine: &MachineConfig) -> Result<TradeoffParams, AlgoError> {
+        self.resolve_params_mode(machine, false)
+    }
+
+    /// Parameter resolution; `lenient` relaxes the distributed-cache
+    /// constraint (µ degrades to 1) for automatic-replacement runs, where
+    /// the capacity arithmetic is advisory.
+    fn resolve_params_mode(
+        &self,
+        machine: &MachineConfig,
+        lenient: bool,
+    ) -> Result<TradeoffParams, AlgoError> {
+        let t = match self.params {
+            Some(t) => t,
+            None => {
+                let derived = match params::tradeoff_params(machine) {
+                    Some(t) => Some(t),
+                    None if lenient => params::tradeoff_params_with_mu(
+                        machine,
+                        params::mu(machine).unwrap_or(1),
+                    ),
+                    None => None,
+                };
+                derived.ok_or_else(|| AlgoError::Infeasible {
+                    algorithm: "Tradeoff",
+                    reason: format!(
+                        "no feasible (α, β): C_S = {}, C_D = {}, p = {}",
+                        machine.shared_capacity, machine.dist_capacity, machine.cores
+                    ),
+                })?
+            }
+        };
+        if t.grid.cores() != machine.cores {
+            return Err(AlgoError::Infeasible {
+                algorithm: "Tradeoff",
+                reason: format!(
+                    "grid {}x{} does not cover p = {}",
+                    t.grid.rows,
+                    t.grid.cols,
+                    machine.cores
+                ),
+            });
+        }
+        let step_r = t.grid.rows * t.mu;
+        let step_c = t.grid.cols * t.mu;
+        if t.alpha == 0 || t.alpha % step_r != 0 || t.alpha % step_c != 0 {
+            return Err(AlgoError::Infeasible {
+                algorithm: "Tradeoff",
+                reason: format!(
+                    "α = {} must be a positive multiple of grid·µ ({} and {})",
+                    t.alpha, step_r, step_c
+                ),
+            });
+        }
+        if t.beta == 0 || t.shared_footprint() > machine.shared_capacity as u64 {
+            return Err(AlgoError::Infeasible {
+                algorithm: "Tradeoff",
+                reason: format!(
+                    "α² + 2αβ = {} exceeds C_S = {} (α = {}, β = {})",
+                    t.shared_footprint(),
+                    machine.shared_capacity,
+                    t.alpha,
+                    t.beta
+                ),
+            });
+        }
+        let mu = t.mu as u64;
+        if !lenient && 1 + mu + mu * mu > machine.dist_capacity as u64 {
+            return Err(AlgoError::Infeasible {
+                algorithm: "Tradeoff",
+                reason: format!(
+                    "1 + µ + µ² = {} exceeds C_D = {}",
+                    1 + mu + mu * mu,
+                    machine.dist_capacity
+                ),
+            });
+        }
+        Ok(t)
+    }
+
+    /// Stream the schedule into `sink`.
+    pub fn run<S: SimSink + ?Sized>(
+        &self,
+        machine: &MachineConfig,
+        problem: &ProblemSpec,
+        sink: &mut S,
+    ) -> Result<(), AlgoError> {
+        let manages = sink.manages_residency();
+        let t = self.resolve_params_mode(machine, !manages)?;
+        let (alpha, beta, mu, grid) = (t.alpha, t.beta, t.mu, t.grid);
+        // Each core owns a single sub-block per tile exactly when the tile
+        // holds one µ×µ sub-block per grid position.
+        let single = alpha == grid.rows * mu && alpha == grid.cols * mu;
+        let (m, n, z) = (problem.m, problem.n, problem.z);
+
+        for (i0, th) in tiles(m, alpha) {
+            for (j0, tw) in tiles(n, alpha) {
+                // Step 1: the α×α block of C enters the shared cache.
+                if manages {
+                    for i in i0..i0 + th {
+                        for j in j0..j0 + tw {
+                            sink.load_shared(Block::c(i, j))?;
+                        }
+                    }
+                    if single {
+                        // Special case: every core pins its unique
+                        // sub-block for the whole tile computation.
+                        for core in 0..machine.cores {
+                            let (r, cj) = grid.coords(core);
+                            for i in cyclic(r, grid.rows, mu, th).flat_map(|s| s.clone()) {
+                                for j in cyclic(cj, grid.cols, mu, tw).flat_map(|s| s.clone()) {
+                                    sink.load_dist(core, Block::c(i0 + i, j0 + j))?;
+                                }
+                            }
+                        }
+                    }
+                }
+                // Step 2/5: β-deep panels of B and A stream through.
+                for (k0, kb) in tiles(z, beta) {
+                    if manages {
+                        for k in k0..k0 + kb {
+                            for j in j0..j0 + tw {
+                                sink.load_shared(Block::b(k, j))?;
+                            }
+                        }
+                        for i in i0..i0 + th {
+                            for k in k0..k0 + kb {
+                                sink.load_shared(Block::a(i, k))?;
+                            }
+                        }
+                    }
+                    // Steps 3/4: cores walk their cyclically-assigned µ×µ
+                    // sub-blocks, accumulating the β contributions.
+                    for core in 0..machine.cores {
+                        let (r, cj) = grid.coords(core);
+                        for rows in cyclic(r, grid.rows, mu, th) {
+                            for cols in cyclic(cj, grid.cols, mu, tw) {
+                                if manages && !single {
+                                    for i in rows.clone() {
+                                        for j in cols.clone() {
+                                            sink.load_dist(core, Block::c(i0 + i, j0 + j))?;
+                                        }
+                                    }
+                                }
+                                for k in k0..k0 + kb {
+                                    if manages {
+                                        for j in cols.clone() {
+                                            sink.load_dist(core, Block::b(k, j0 + j))?;
+                                        }
+                                    }
+                                    for i in rows.clone() {
+                                        let a = Block::a(i0 + i, k);
+                                        if manages {
+                                            sink.load_dist(core, a)?;
+                                        }
+                                        for j in cols.clone() {
+                                            let b = Block::b(k, j0 + j);
+                                            let cb = Block::c(i0 + i, j0 + j);
+                                            sink.read(core, a)?;
+                                            sink.read(core, b)?;
+                                            sink.read(core, cb)?;
+                                            sink.fma(core, a, b, cb)?;
+                                            sink.write(core, cb)?;
+                                        }
+                                        if manages {
+                                            sink.evict_dist(core, a)?;
+                                        }
+                                    }
+                                    if manages {
+                                        for j in cols.clone() {
+                                            sink.evict_dist(core, Block::b(k, j0 + j))?;
+                                        }
+                                    }
+                                }
+                                if manages && !single {
+                                    // The sub-block's updates land in the
+                                    // shared copy until the next substep.
+                                    for i in rows.clone() {
+                                        for j in cols.clone() {
+                                            sink.evict_dist(core, Block::c(i0 + i, j0 + j))?;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    sink.barrier()?;
+                    if manages {
+                        for k in k0..k0 + kb {
+                            for j in j0..j0 + tw {
+                                sink.evict_shared(Block::b(k, j))?;
+                            }
+                        }
+                        for i in i0..i0 + th {
+                            for k in k0..k0 + kb {
+                                sink.evict_shared(Block::a(i, k))?;
+                            }
+                        }
+                    }
+                }
+                // Step 6: the finished C tile returns to main memory.
+                if manages {
+                    if single {
+                        for core in 0..machine.cores {
+                            let (r, cj) = grid.coords(core);
+                            for i in cyclic(r, grid.rows, mu, th).flat_map(|s| s.clone()) {
+                                for j in cyclic(cj, grid.cols, mu, tw).flat_map(|s| s.clone()) {
+                                    sink.evict_dist(core, Block::c(i0 + i, j0 + j))?;
+                                }
+                            }
+                        }
+                    }
+                    for i in i0..i0 + th {
+                        for j in j0..j0 + tw {
+                            sink.evict_shared(Block::c(i, j))?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The µ-rows assigned cyclically to grid position `off` within a tile
+/// extent: sub-block indices `off, off+period, off+2·period, …`, each
+/// mapped to its (clamped) `µ`-wide range.
+fn cyclic(
+    off: u32,
+    period: u32,
+    mu: u32,
+    extent: u32,
+) -> impl Iterator<Item = std::ops::Range<u32>> + Clone {
+    (off..)
+        .step_by(period as usize)
+        .map(move |s| ((s * mu).min(extent))..(((s + 1) * mu).min(extent)))
+        .take_while(|r| !r.is_empty())
+}
+
+impl Algorithm for Tradeoff {
+    fn name(&self) -> &'static str {
+        "Tradeoff"
+    }
+
+    fn id(&self) -> &'static str {
+        "tradeoff"
+    }
+
+    fn execute(
+        &self,
+        machine: &MachineConfig,
+        problem: &ProblemSpec,
+        sink: &mut dyn SimSink,
+    ) -> Result<(), AlgoError> {
+        self.run(machine, problem, sink)
+    }
+
+    fn predict(&self, machine: &MachineConfig, problem: &ProblemSpec) -> Option<Prediction> {
+        let t = self.resolve_params(machine).ok()?;
+        Some(formulas::tradeoff_with(problem, machine, &t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CoreGrid;
+    use mmc_sim::{CountingSink, SimConfig, Simulator};
+
+    fn explicit(alpha: u32, beta: u32) -> Tradeoff {
+        Tradeoff::with_params(TradeoffParams {
+            alpha,
+            beta,
+            mu: 4,
+            grid: CoreGrid { rows: 2, cols: 2 },
+        })
+    }
+
+    #[test]
+    fn ideal_counts_match_formula_general_case() {
+        // α = 16 (> √p·µ = 8), β = 8: α² + 2αβ = 256 + 256 = 512 ≤ 977.
+        let machine = MachineConfig::quad_q32();
+        let problem = ProblemSpec::new(32, 32, 16);
+        let mut sim = Simulator::new(SimConfig::ideal(&machine), 32, 32, 16);
+        explicit(16, 8).run(&machine, &problem, &mut sim).unwrap();
+        let stats = sim.stats();
+        let (m, n, z, p) = (32u64, 32, 16, 4u64);
+        assert_eq!(stats.ms(), m * n + 2 * m * n * z / 16);
+        assert_eq!(stats.md(), m * n * z / (p * 8) + 2 * m * n * z / (p * 4));
+        assert_eq!(stats.total_fmas(), m * n * z);
+        assert_eq!(stats.shared_writebacks, m * n);
+    }
+
+    #[test]
+    fn ideal_counts_match_formula_single_subblock_case() {
+        // α = √p·µ = 8: each core owns one sub-block per tile.
+        let machine = MachineConfig::quad_q32();
+        let problem = ProblemSpec::new(16, 16, 12);
+        let mut sim = Simulator::new(SimConfig::ideal(&machine), 16, 16, 12);
+        explicit(8, 4).run(&machine, &problem, &mut sim).unwrap();
+        let stats = sim.stats();
+        let (m, n, z, p) = (16u64, 16, 12, 4u64);
+        assert_eq!(stats.ms(), m * n + 2 * m * n * z / 8);
+        assert_eq!(stats.md(), m * n / p + 2 * m * n * z / (p * 4));
+    }
+
+    #[test]
+    fn derived_params_run_clean_on_all_presets() {
+        for (label, machine) in MachineConfig::paper_presets() {
+            let problem = ProblemSpec::new(19, 7, 11); // ragged on purpose
+            let mut sim = Simulator::new(SimConfig::ideal(&machine), 19, 7, 11);
+            Tradeoff::default()
+                .run(&machine, &problem, &mut sim)
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+            assert_eq!(sim.stats().total_fmas(), problem.total_fmas());
+        }
+    }
+
+    #[test]
+    fn infeasible_explicit_params_rejected() {
+        let machine = MachineConfig::quad_q32();
+        let problem = ProblemSpec::square(8);
+        let mut sink = CountingSink::new();
+        // α not a multiple of √p·µ.
+        let t = Tradeoff::with_params(TradeoffParams {
+            alpha: 12,
+            beta: 1,
+            mu: 4,
+            grid: CoreGrid { rows: 2, cols: 2 },
+        });
+        assert!(matches!(
+            t.run(&machine, &problem, &mut sink),
+            Err(AlgoError::Infeasible { .. })
+        ));
+        // Footprint too big: α = 24, β = 100 → 576 + 4800 > 977.
+        let t = explicit(24, 100);
+        assert!(matches!(
+            t.run(&machine, &problem, &mut sink),
+            Err(AlgoError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn beta_trades_md_for_ms() {
+        // Same α, growing β: M_S identical, M_D strictly better.
+        let machine = MachineConfig::quad_q32();
+        let problem = ProblemSpec::new(32, 32, 32);
+        let run = |beta: u32| {
+            let mut sim = Simulator::new(SimConfig::ideal(&machine), 32, 32, 32);
+            explicit(16, beta).run(&machine, &problem, &mut sim).unwrap();
+            (sim.stats().ms(), sim.stats().md())
+        };
+        let (ms1, md1) = run(1);
+        let (ms8, md8) = run(8);
+        assert_eq!(ms1, ms8);
+        assert!(md8 < md1);
+    }
+
+    #[test]
+    fn cyclic_assignment_covers_tile_exactly() {
+        // Union over grid positions of cyclic sub-ranges == 0..extent.
+        for extent in [1u32, 7, 8, 16, 23] {
+            for period in [1u32, 2, 3] {
+                for mu in [1u32, 2, 4] {
+                    let mut seen = vec![0u32; extent as usize];
+                    for off in 0..period {
+                        for r in cyclic(off, period, mu, extent) {
+                            for i in r {
+                                seen[i as usize] += 1;
+                            }
+                        }
+                    }
+                    assert!(seen.iter().all(|&c| c == 1), "extent={extent} period={period} mu={mu}");
+                }
+            }
+        }
+    }
+}

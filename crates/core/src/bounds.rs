@@ -1,0 +1,118 @@
+//! Communication lower bounds (paper §2.3).
+//!
+//! The paper extends the Irony–Toledo–Tiskin analysis, built on the
+//! Loomis–Whitney inequality, to the two-level hierarchy: a computing
+//! system with a cache of `Z` blocks has a communication-to-computation
+//! ratio of at least `√(27/(8Z))` block loads per block FMA. Applied with
+//! `Z = C_S` (everything above the shared cache as one processor) and
+//! `Z = C_D` (one core), and combined through the bandwidths, this yields
+//! the lower bounds plotted in Figs. 7–12.
+
+use crate::problem::ProblemSpec;
+use mmc_sim::MachineConfig;
+
+/// The Loomis–Whitney bound on elementary multiplications: a processor
+/// accessing `n_a` elements of `A`, `n_b` of `B` and contributing to `n_c`
+/// elements of `C` performs at most `√(n_a·n_b·n_c)` multiplications
+/// (§2.3.1, after Ironya, Toledo & Tiskin).
+pub fn loomis_whitney_max_muls(n_a: f64, n_b: f64, n_c: f64) -> f64 {
+    (n_a * n_b * n_c).sqrt()
+}
+
+/// The optimal constant `k = √(8/27)` of the program
+/// `maximize √(ηνξ) subject to η + ν + ξ ≤ 2` (§2.3.1); attained at
+/// `η = ν = ξ = 2/3`.
+pub fn kappa() -> f64 {
+    (8.0f64 / 27.0).sqrt()
+}
+
+/// Lower bound on the communication-to-computation ratio of *any*
+/// conventional matrix product run through a cache of `capacity` blocks:
+/// `CCR ≥ √(27/(8·Z))` (§2.3.1).
+pub fn ccr_lower_bound(capacity: usize) -> f64 {
+    assert!(capacity > 0, "capacity must be positive");
+    (27.0 / (8.0 * capacity as f64)).sqrt()
+}
+
+/// Lower bound on shared-cache misses:
+/// `M_S ≥ m·n·z·√(27/(8·C_S))` (§2.3.2/§2.3.4).
+pub fn ms_lower_bound(problem: &ProblemSpec, machine: &MachineConfig) -> f64 {
+    problem.total_fmas() as f64 * ccr_lower_bound(machine.shared_capacity)
+}
+
+/// Lower bound on the per-core (maximum) distributed-cache misses for
+/// algorithms with balanced work:
+/// `M_D ≥ (m·n·z/p)·√(27/(8·C_D))` (§2.3.3/§2.3.4).
+pub fn md_lower_bound(problem: &ProblemSpec, machine: &MachineConfig) -> f64 {
+    problem.total_fmas() as f64 / machine.cores as f64
+        * ccr_lower_bound(machine.dist_capacity)
+}
+
+/// Lower bound on the overall data access time (§2.3.4):
+///
+/// `T_data ≥ m·n·z · ( √(27/(8C_S))/σ_S + √(27/(8C_D))/(p·σ_D) )`.
+pub fn tdata_lower_bound(problem: &ProblemSpec, machine: &MachineConfig) -> f64 {
+    ms_lower_bound(problem, machine) / machine.sigma_s
+        + md_lower_bound(problem, machine) / machine.sigma_d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kappa_solves_the_constrained_program() {
+        // Grid-search the feasible region η+ν+ξ ≤ 2 and confirm that
+        // √(ηνξ) never exceeds √(8/27) and attains it at (2/3, 2/3, 2/3).
+        let mut best = 0.0f64;
+        let steps = 200;
+        for i in 1..steps {
+            for j in 1..(steps - i) {
+                let eta = 2.0 * i as f64 / steps as f64;
+                let nu = 2.0 * j as f64 / steps as f64;
+                let xi = 2.0 - eta - nu;
+                if xi <= 0.0 {
+                    continue;
+                }
+                best = best.max((eta * nu * xi).sqrt());
+            }
+        }
+        assert!(best <= kappa() + 1e-9);
+        assert!(best > kappa() - 1e-2, "grid search should approach the optimum");
+        let at_opt = (2.0f64 / 3.0 * 2.0 / 3.0 * 2.0 / 3.0).sqrt();
+        assert!((at_opt - kappa()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ccr_bound_decreases_with_capacity() {
+        assert!(ccr_lower_bound(10) > ccr_lower_bound(100));
+        // √(27/8Z) at Z = 27/8 → exactly 1.
+        assert!((ccr_lower_bound(27) - (27.0f64 / 216.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounds_scale_with_problem_volume() {
+        let m = MachineConfig::quad_q32();
+        let p1 = ProblemSpec::square(100);
+        let p2 = ProblemSpec::square(200);
+        assert!((ms_lower_bound(&p2, &m) / ms_lower_bound(&p1, &m) - 8.0).abs() < 1e-9);
+        assert!((md_lower_bound(&p2, &m) / md_lower_bound(&p1, &m) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tdata_bound_combines_levels() {
+        let m = MachineConfig::quad_q32().with_bandwidths(2.0, 4.0);
+        let p = ProblemSpec::square(64);
+        let expect = ms_lower_bound(&p, &m) / 2.0 + md_lower_bound(&p, &m) / 4.0;
+        assert!((tdata_lower_bound(&p, &m) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loomis_whitney_is_symmetric() {
+        assert_eq!(
+            loomis_whitney_max_muls(2.0, 3.0, 4.0),
+            loomis_whitney_max_muls(4.0, 3.0, 2.0)
+        );
+        assert!((loomis_whitney_max_muls(4.0, 4.0, 4.0) - 8.0).abs() < 1e-12);
+    }
+}

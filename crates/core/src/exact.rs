@@ -1,0 +1,298 @@
+//! Exact IDEAL-mode miss counts in closed form — for *any* problem size,
+//! including ragged (non-divisible) ones.
+//!
+//! The paper's formulas (`formulas`) assume tile sizes divide the matrix
+//! dimensions. The schedules themselves clamp edge tiles, and this module
+//! mirrors that clamping arithmetically, so its counts equal the
+//! simulator's IDEAL counts **exactly, for every size** — in O(tiles)
+//! instead of O(mnz) — which makes instant predictions possible at orders
+//! far beyond what is simulable (used by `mmc plan`), and gives the
+//! test-suite a second, independent implementation of every count to
+//! crosscheck the simulator against.
+//!
+//! Derivations (write `R = ⌈m/t_r⌉`, `C = ⌈n/t_c⌉` for the tile grid):
+//!
+//! * every tiled schedule loads each `C` tile once plus, per `k`, one
+//!   `B`-row fraction (width `tw`) and `th` elements of `A`, so
+//!   `M_S = mn + z·(R·n + C·m)` with the schedule's own tile sides;
+//! * per-core distributed counts factor into per-axis aggregates of the
+//!   core's clamped sub-ranges (see each function).
+
+use crate::params::{self, CoreGrid, TradeoffParams};
+use crate::problem::ProblemSpec;
+use mmc_sim::MachineConfig;
+
+/// Exact per-run counts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExactCounts {
+    /// Shared-cache misses `M_S`.
+    pub ms: u64,
+    /// Per-core distributed-cache misses.
+    pub md_per_core: Vec<u64>,
+}
+
+impl ExactCounts {
+    /// The paper's `M_D = max_c` metric.
+    pub fn md(&self) -> u64 {
+        self.md_per_core.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// `⌈a/b⌉` for positive `b`.
+fn ceil_div(a: u64, b: u64) -> u64 {
+    a.div_ceil(b)
+}
+
+/// Shared `M_S` shape of every tiled Maximum-Reuse schedule:
+/// `mn + z·(R·n + C·m)`.
+fn tiled_ms(m: u64, n: u64, z: u64, tile_r: u64, tile_c: u64) -> u64 {
+    let r = ceil_div(m, tile_r);
+    let c = ceil_div(n, tile_c);
+    m * n + z * (r * n + c * m)
+}
+
+/// Balanced contiguous chunk length: chunk `idx` of `0..total` split
+/// `parts` ways (mirrors the schedules' `chunk`).
+fn chunk_len(total: u64, parts: u64, idx: u64) -> u64 {
+    (idx + 1) * total / parts - idx * total / parts
+}
+
+/// Exact counts of **Shared Opt** (Algorithm 1) with parameter `λ` on a
+/// `p`-core machine.
+pub fn shared_opt(problem: &ProblemSpec, machine: &MachineConfig) -> Option<ExactCounts> {
+    let lambda = params::lambda(machine)? as u64;
+    if machine.dist_capacity < 3 {
+        return None;
+    }
+    let (m, n, z) = (problem.m as u64, problem.n as u64, problem.z as u64);
+    let p = machine.cores as u64;
+    let ms = tiled_ms(m, n, z, lambda, lambda);
+    // Per core: for each tile column of width tw, each of the m tile rows
+    // contributes z·(1_{chunk≠∅} + 2·chunk_len) per row element — i.e.
+    // summed over tile rows, z·m·(…) per tile column.
+    let mut md_per_core = vec![0u64; p as usize];
+    let mut j0 = 0;
+    while j0 < n {
+        let tw = lambda.min(n - j0);
+        for (c, md) in md_per_core.iter_mut().enumerate() {
+            let len = chunk_len(tw, p, c as u64);
+            if len > 0 {
+                *md += z * m * (1 + 2 * len);
+            }
+        }
+        j0 += tw;
+    }
+    Some(ExactCounts { ms, md_per_core })
+}
+
+/// Per-axis aggregates of one grid position's clamped sub-ranges across
+/// the tile grid of `dim` split into `tile`-sized tiles, where the
+/// position owns `[off·µ, (off+1)·µ)` of every tile (Distributed Opt) —
+/// returns `(Σ len, #nonempty)`.
+fn dist_axis(dim: u64, tile: u64, mu: u64, off: u64) -> (u64, u64) {
+    let (mut sum, mut nonempty) = (0u64, 0u64);
+    let mut x0 = 0;
+    while x0 < dim {
+        let t = tile.min(dim - x0);
+        let lo = (off * mu).min(t);
+        let hi = ((off + 1) * mu).min(t);
+        if hi > lo {
+            sum += hi - lo;
+            nonempty += 1;
+        }
+        x0 += t;
+    }
+    (sum, nonempty)
+}
+
+/// Exact counts of **Distributed Opt** (Algorithm 2) with parameter `µ`
+/// on a `grid`-arranged machine.
+pub fn distributed_opt(
+    problem: &ProblemSpec,
+    machine: &MachineConfig,
+    grid: Option<CoreGrid>,
+) -> Option<ExactCounts> {
+    let mu = params::mu(machine)? as u64;
+    let grid = match grid {
+        Some(g) if g.cores() == machine.cores => g,
+        Some(_) => return None,
+        None => CoreGrid::square(machine.cores)?,
+    };
+    let (m, n, z) = (problem.m as u64, problem.n as u64, problem.z as u64);
+    let (tr, tc) = (grid.rows as u64 * mu, grid.cols as u64 * mu);
+    let ms = tiled_ms(m, n, z, tr, tc);
+    let mut md_per_core = Vec::with_capacity(machine.cores);
+    for core in 0..machine.cores {
+        let (r, cj) = grid.coords(core);
+        let (sr, nr) = dist_axis(m, tr, mu, r as u64);
+        let (sc, nc) = dist_axis(n, tc, mu, cj as u64);
+        // C sub-blocks once (Σrl·Σcl factorizes over the tile grid), plus
+        // per k: one B fraction per nonempty-row tile and one A element
+        // per sub-row with a nonempty column range.
+        md_per_core.push(sr * sc + z * (nr * sc + nc * sr));
+    }
+    Some(ExactCounts { ms, md_per_core })
+}
+
+/// Per-axis aggregates for the Tradeoff cyclic assignment: grid position
+/// `off` owns sub-ranges `off, off+period, …` (each `µ` wide, clamped) of
+/// every `alpha`-tile of `dim` — returns `(Σ len, #nonempty sub-ranges)`.
+fn cyclic_axis(dim: u64, alpha: u64, mu: u64, period: u64, off: u64) -> (u64, u64) {
+    let (mut sum, mut count) = (0u64, 0u64);
+    let mut x0 = 0;
+    while x0 < dim {
+        let t = alpha.min(dim - x0);
+        let mut s = off;
+        while s * mu < t {
+            let lo = s * mu;
+            let hi = ((s + 1) * mu).min(t);
+            sum += hi - lo;
+            count += 1;
+            s += period;
+        }
+        x0 += t;
+    }
+    (sum, count)
+}
+
+/// Exact counts of **Tradeoff** (Algorithm 3) with explicit parameters.
+pub fn tradeoff(
+    problem: &ProblemSpec,
+    machine: &MachineConfig,
+    t: &TradeoffParams,
+) -> Option<ExactCounts> {
+    if t.grid.cores() != machine.cores || t.alpha == 0 || t.beta == 0 {
+        return None;
+    }
+    let (m, n, z) = (problem.m as u64, problem.n as u64, problem.z as u64);
+    let (alpha, beta, mu) = (t.alpha as u64, t.beta as u64, t.mu as u64);
+    let single = t.alpha == t.grid.rows * t.mu && t.alpha == t.grid.cols * t.mu;
+    let ms = tiled_ms(m, n, z, alpha, alpha);
+    let substeps = ceil_div(z, beta);
+    // Per core, per tile: Σ over its sub-blocks (rl × cl) of
+    //   loads(C) + z·(cl + rl)
+    // with loads(C) = substeps·rl·cl in the general case (re-loaded every
+    // substep) and rl·cl in the single-sub-block case. The double sum
+    // over tiles × sub-blocks factorizes per axis because every tile of
+    // the same extent contributes identically — handled by aggregating
+    // over the actual tile grid in `cyclic_axis`.
+    let mut md_per_core = Vec::with_capacity(machine.cores);
+    for core in 0..machine.cores {
+        let (r, cj) = t.grid.coords(core);
+        let (sr, nr) = cyclic_axis(m, alpha, mu, t.grid.rows as u64, r as u64);
+        let (sc, nc) = cyclic_axis(n, alpha, mu, t.grid.cols as u64, cj as u64);
+        let c_loads = if single { sr * sc } else { substeps * sr * sc };
+        md_per_core.push(c_loads + z * (nr * sc + nc * sr));
+    }
+    Some(ExactCounts { ms, md_per_core })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{Algorithm, DistributedOpt, SharedOpt as SharedOptAlgo, Tradeoff as TradeoffAlgo};
+    use mmc_sim::{SimConfig, Simulator};
+
+    fn simulate(
+        algo: &dyn Algorithm,
+        machine: &MachineConfig,
+        problem: &ProblemSpec,
+    ) -> (u64, Vec<u64>) {
+        let mut sim = Simulator::new(SimConfig::ideal(machine), problem.m, problem.n, problem.z);
+        algo.execute(machine, problem, &mut sim).unwrap();
+        (sim.stats().ms(), sim.stats().dist_misses.clone())
+    }
+
+    const SHAPES: &[(u32, u32, u32)] = &[
+        (1, 1, 1),
+        (7, 13, 5),
+        (30, 30, 30),
+        (31, 29, 17),
+        (61, 59, 11),
+        (90, 45, 60),
+        (8, 64, 3),
+    ];
+
+    #[test]
+    fn shared_opt_exact_equals_simulation_on_ragged_sizes() {
+        let machine = MachineConfig::quad_q32();
+        for &(m, n, z) in SHAPES {
+            let problem = ProblemSpec::new(m, n, z);
+            let exact = shared_opt(&problem, &machine).unwrap();
+            let (ms, md) = simulate(&SharedOptAlgo, &machine, &problem);
+            assert_eq!(exact.ms, ms, "{m}x{n}x{z} M_S");
+            assert_eq!(exact.md_per_core, md, "{m}x{n}x{z} per-core M_D");
+        }
+    }
+
+    #[test]
+    fn distributed_opt_exact_equals_simulation_on_ragged_sizes() {
+        for machine in [MachineConfig::quad_q32(), MachineConfig::quad_q64()] {
+            for &(m, n, z) in SHAPES {
+                let problem = ProblemSpec::new(m, n, z);
+                let exact = distributed_opt(&problem, &machine, None).unwrap();
+                let (ms, md) = simulate(&DistributedOpt::default(), &machine, &problem);
+                assert_eq!(exact.ms, ms, "{m}x{n}x{z} M_S");
+                assert_eq!(exact.md_per_core, md, "{m}x{n}x{z} per-core M_D");
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_opt_exact_rectangular_grid() {
+        let machine = MachineConfig::new(6, 977, 21, 32);
+        let grid = CoreGrid::balanced(6);
+        for &(m, n, z) in SHAPES {
+            let problem = ProblemSpec::new(m, n, z);
+            let exact = distributed_opt(&problem, &machine, Some(grid)).unwrap();
+            let (ms, md) = simulate(&DistributedOpt::with_grid(grid), &machine, &problem);
+            assert_eq!((exact.ms, exact.md_per_core), (ms, md), "{m}x{n}x{z}");
+        }
+    }
+
+    #[test]
+    fn tradeoff_exact_equals_simulation_general_and_single() {
+        let machine = MachineConfig::quad_q32();
+        let grid = CoreGrid { rows: 2, cols: 2 };
+        for params in [
+            TradeoffParams { alpha: 16, beta: 4, mu: 4, grid },
+            TradeoffParams { alpha: 16, beta: 7, mu: 4, grid }, // β ∤ z cases
+            TradeoffParams { alpha: 8, beta: 4, mu: 4, grid },  // single sub-block
+            TradeoffParams { alpha: 24, beta: 1, mu: 4, grid },
+        ] {
+            for &(m, n, z) in SHAPES {
+                let problem = ProblemSpec::new(m, n, z);
+                let exact = tradeoff(&problem, &machine, &params).unwrap();
+                let algo = TradeoffAlgo::with_params(params);
+                let (ms, md) = simulate(&algo, &machine, &problem);
+                assert_eq!(exact.ms, ms, "{params:?} {m}x{n}x{z} M_S");
+                assert_eq!(exact.md_per_core, md, "{params:?} {m}x{n}x{z} M_D");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_matches_paper_formula_on_divisible_sizes() {
+        let machine = MachineConfig::quad_q32();
+        let problem = ProblemSpec::square(120);
+        let e = shared_opt(&problem, &machine).unwrap();
+        let f = crate::formulas::shared_opt(&problem, &machine).unwrap();
+        assert_eq!(e.ms as f64, f.ms);
+        let e = distributed_opt(&problem, &machine, None).unwrap();
+        let f = crate::formulas::distributed_opt(&problem, &machine).unwrap();
+        assert_eq!(e.ms as f64, f.ms);
+        assert_eq!(e.md() as f64, f.md);
+    }
+
+    #[test]
+    fn exact_is_fast_at_enormous_orders() {
+        // Orders far beyond simulability: the count is O(tiles).
+        let machine = MachineConfig::quad_q32();
+        let problem = ProblemSpec::new(1_000_000, 1_000_000, 1_000_000);
+        let e = shared_opt(&problem, &machine).unwrap();
+        assert!(e.ms > 0 && e.md() > 0);
+        // Asymptotic CCR_S → 2/λ.
+        let ccr = e.ms as f64 / problem.total_fmas() as f64;
+        assert!((ccr - 2.0 / 30.0).abs() < 1e-3, "{ccr}");
+    }
+}

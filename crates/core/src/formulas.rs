@@ -1,0 +1,207 @@
+//! Closed-form miss predictions (paper §3.1–§3.3).
+//!
+//! For each Maximum-Reuse-style algorithm the paper derives exact counts
+//! of shared misses `M_S` and per-core distributed misses `M_D` under the
+//! IDEAL policy. These functions transcribe those formulas; the test-suite
+//! checks that the *simulated* IDEAL counts equal them exactly on
+//! divisible problem sizes, which validates both the schedules and the
+//! transcription at once.
+//!
+//! The formulas assume the tile sizes divide the matrix dimensions (the
+//! paper's standing assumption); on ragged sizes the implementations clamp
+//! tiles and the formulas become close upper-ish approximations instead of
+//! identities.
+
+use crate::params::{self, TradeoffParams};
+use crate::problem::ProblemSpec;
+use mmc_sim::MachineConfig;
+
+/// Predicted misses of one algorithm on one problem.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Prediction {
+    /// Predicted shared-cache misses `M_S`.
+    pub ms: f64,
+    /// Predicted per-core (maximum) distributed-cache misses `M_D`.
+    pub md: f64,
+}
+
+impl Prediction {
+    /// Predicted data access time `T_data = M_S/σ_S + M_D/σ_D`.
+    pub fn t_data(&self, machine: &MachineConfig) -> f64 {
+        self.ms / machine.sigma_s + self.md / machine.sigma_d
+    }
+}
+
+/// Shared Opt (Algorithm 1): `M_S = mn + 2mnz/λ`,
+/// `M_D = 2mnz/p + mnz/λ` (§3.1).
+pub fn shared_opt(problem: &ProblemSpec, machine: &MachineConfig) -> Option<Prediction> {
+    let lambda = params::lambda(machine)? as f64;
+    let (mn, mnz) = volumes(problem);
+    let p = machine.cores as f64;
+    Some(Prediction {
+        ms: mn + 2.0 * mnz / lambda,
+        md: 2.0 * mnz / p + mnz / lambda,
+    })
+}
+
+/// Distributed Opt (Algorithm 2): `M_S = mn + 2mnz/(µ√p)`,
+/// `M_D = mn/p + 2mnz/(pµ)` (§3.2).
+pub fn distributed_opt(problem: &ProblemSpec, machine: &MachineConfig) -> Option<Prediction> {
+    let mu = params::mu(machine)? as f64;
+    let grid = params::CoreGrid::square(machine.cores)?;
+    let sqrt_p = grid.rows as f64;
+    let (mn, mnz) = volumes(problem);
+    let p = machine.cores as f64;
+    Some(Prediction {
+        ms: mn + 2.0 * mnz / (mu * sqrt_p),
+        md: mn / p + 2.0 * mnz / (p * mu),
+    })
+}
+
+/// Tradeoff (Algorithm 3) with explicit parameters:
+/// `M_S = mn + 2mnz/α`; `M_D = mnz/(pβ) + 2mnz/(pµ)` in the general case,
+/// or `mn/p + 2mnz/(pµ)` in the special case `α = √p·µ` where each core
+/// owns a single sub-block and loads it once (§3.3).
+pub fn tradeoff_with(
+    problem: &ProblemSpec,
+    machine: &MachineConfig,
+    t: &TradeoffParams,
+) -> Prediction {
+    let (mn, mnz) = volumes(problem);
+    let p = machine.cores as f64;
+    let ms = mn + 2.0 * mnz / t.alpha as f64;
+    let md = if t.alpha == t.grid.rows * t.mu {
+        mn / p + 2.0 * mnz / (p * t.mu as f64)
+    } else {
+        mnz / (p * t.beta as f64) + 2.0 * mnz / (p * t.mu as f64)
+    };
+    Prediction { ms, md }
+}
+
+/// Tradeoff with the parameters [`params::tradeoff_params`] would pick.
+pub fn tradeoff(problem: &ProblemSpec, machine: &MachineConfig) -> Option<Prediction> {
+    let t = params::tradeoff_params(machine)?;
+    Some(tradeoff_with(problem, machine, &t))
+}
+
+/// Shared Equal (Toledo-style equal thirds at the shared level):
+/// `M_S = mn + 2mnz/t` with `t = ⌊√(C_S/3)⌋`;
+/// `M_D = 2mnz/p + mnz/(pt)·p = 2mnz/p + mnz/t·(1/p)`… the per-core count
+/// is `(2mnz + mnz/t)/p`.
+pub fn shared_equal(problem: &ProblemSpec, machine: &MachineConfig) -> Option<Prediction> {
+    let t = params::equal_tile(machine.shared_capacity)? as f64;
+    let (mn, mnz) = volumes(problem);
+    let p = machine.cores as f64;
+    Some(Prediction {
+        ms: mn + 2.0 * mnz / t,
+        md: (2.0 * mnz + mnz / t) / p,
+    })
+}
+
+/// Distributed Equal (equal thirds at the distributed level):
+/// `M_D = mn/p + 2mnz/(p·t_D)` with `t_D = ⌊√(C_D/3)⌋`; every core streams
+/// its own tiles through the shared cache, so `M_S = mn + 2mnz/t_D`.
+pub fn distributed_equal(problem: &ProblemSpec, machine: &MachineConfig) -> Option<Prediction> {
+    let td = params::equal_tile(machine.dist_capacity)? as f64;
+    let (mn, mnz) = volumes(problem);
+    let p = machine.cores as f64;
+    Some(Prediction {
+        ms: mn + 2.0 * mnz / td,
+        md: mn / p + 2.0 * mnz / (p * td),
+    })
+}
+
+fn volumes(problem: &ProblemSpec) -> (f64, f64) {
+    let mn = problem.m as f64 * problem.n as f64;
+    (mn, mn * problem.z as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_opt_formula_paper_example() {
+        // C_S = 977 → λ = 30. For m = n = z = 600:
+        // M_S = 600² + 2·600³/30 = 360000 + 14400000.
+        let m = MachineConfig::quad_q32();
+        let p = ProblemSpec::square(600);
+        let pred = shared_opt(&p, &m).unwrap();
+        assert!((pred.ms - 14_760_000.0).abs() < 1e-6);
+        // M_D = 2·600³/4 + 600³/30.
+        assert!((pred.md - (108_000_000.0 + 7_200_000.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn distributed_opt_formula_paper_example() {
+        // C_D = 21 → µ = 4, √p = 2. m = 600:
+        // M_S = 360000 + 2·600³/8 = 360000 + 54e6;
+        // M_D = 90000 + 2·600³/16 = 90000 + 27e6.
+        let m = MachineConfig::quad_q32();
+        let p = ProblemSpec::square(600);
+        let pred = distributed_opt(&p, &m).unwrap();
+        assert!((pred.ms - 54_360_000.0).abs() < 1e-6);
+        assert!((pred.md - 27_090_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tradeoff_special_case_reduces_to_distributed_opt_md() {
+        let machine = MachineConfig::quad_q32();
+        let problem = ProblemSpec::square(240);
+        let t = TradeoffParams {
+            alpha: 8,
+            beta: 1,
+            mu: 4,
+            grid: params::CoreGrid { rows: 2, cols: 2 },
+        };
+        let pred = tradeoff_with(&problem, &machine, &t);
+        let dopt = distributed_opt(&problem, &machine).unwrap();
+        assert!((pred.md - dopt.md).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tradeoff_md_improves_with_beta() {
+        let machine = MachineConfig::quad_q32();
+        let problem = ProblemSpec::square(240);
+        let mk = |beta| TradeoffParams {
+            alpha: 16,
+            beta,
+            mu: 4,
+            grid: params::CoreGrid { rows: 2, cols: 2 },
+        };
+        let md1 = tradeoff_with(&problem, &machine, &mk(1)).md;
+        let md8 = tradeoff_with(&problem, &machine, &mk(8)).md;
+        assert!(md8 < md1, "larger β amortizes C sub-block reloads");
+    }
+
+    #[test]
+    fn equal_variants_are_sqrt3_worse_than_opt() {
+        // Asymptotically M_S(SharedEqual)/M_S(SharedOpt) → λ/t ≈ √3.
+        let machine = MachineConfig::quad_q32();
+        let problem = ProblemSpec::square(3000);
+        let opt = shared_opt(&problem, &machine).unwrap().ms - (3000.0f64 * 3000.0);
+        let eq = shared_equal(&problem, &machine).unwrap().ms - (3000.0f64 * 3000.0);
+        let ratio = eq / opt;
+        assert!(
+            (ratio - (30.0 / 18.0)).abs() < 1e-9,
+            "λ=30 vs t=18 → ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn t_data_uses_machine_bandwidths() {
+        let machine = MachineConfig::quad_q32().with_bandwidths(2.0, 0.5);
+        let pred = Prediction { ms: 100.0, md: 10.0 };
+        assert!((pred.t_data(&machine) - (50.0 + 20.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infeasible_machines_predict_none() {
+        let machine = MachineConfig::new(4, 2, 2, 32);
+        let problem = ProblemSpec::square(10);
+        assert!(shared_opt(&problem, &machine).is_none());
+        assert!(distributed_opt(&problem, &machine).is_none());
+        assert!(shared_equal(&problem, &machine).is_none());
+        assert!(distributed_equal(&problem, &machine).is_none());
+    }
+}

@@ -1,0 +1,82 @@
+//! Problem description: the dimensions of `C = A × B` in block units.
+
+use mmc_sim::BlockSpace;
+use serde::{Deserialize, Serialize};
+
+/// Dimensions of a matrix product in `q×q` blocks: `A` is `m×z`, `B` is
+/// `z×n`, `C` is `m×n` (paper §2.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProblemSpec {
+    /// Block rows of `A` and `C`.
+    pub m: u32,
+    /// Block columns of `B` and `C`.
+    pub n: u32,
+    /// Shared dimension (block columns of `A` / rows of `B`).
+    pub z: u32,
+}
+
+impl ProblemSpec {
+    /// A general rectangular problem.
+    pub fn new(m: u32, n: u32, z: u32) -> ProblemSpec {
+        assert!(m > 0 && n > 0 && z > 0, "problem dimensions must be positive");
+        ProblemSpec { m, n, z }
+    }
+
+    /// The square problem of order `d` blocks (what the paper's figures
+    /// sweep: "Matrix Order (In block units)").
+    pub fn square(d: u32) -> ProblemSpec {
+        ProblemSpec::new(d, d, d)
+    }
+
+    /// The dense block-id space for this problem.
+    pub fn block_space(&self) -> BlockSpace {
+        BlockSpace::new(self.m, self.n, self.z)
+    }
+
+    /// Total block multiply-accumulates of any conventional algorithm:
+    /// `m·n·z`.
+    pub fn total_fmas(&self) -> u64 {
+        self.m as u64 * self.n as u64 * self.z as u64
+    }
+
+    /// Number of blocks across the three matrices (`mz + zn + mn`).
+    pub fn total_blocks(&self) -> u64 {
+        let (m, n, z) = (self.m as u64, self.n as u64, self.z as u64);
+        m * z + z * n + m * n
+    }
+}
+
+impl std::fmt::Display for ProblemSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}x{}", self.m, self.n, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_sets_all_dims() {
+        let p = ProblemSpec::square(5);
+        assert_eq!((p.m, p.n, p.z), (5, 5, 5));
+        assert_eq!(p.total_fmas(), 125);
+        assert_eq!(p.total_blocks(), 75);
+    }
+
+    #[test]
+    fn block_space_dims_match() {
+        let p = ProblemSpec::new(2, 3, 4);
+        let s = p.block_space();
+        assert_eq!(s.m(), 2);
+        assert_eq!(s.n(), 3);
+        assert_eq!(s.z(), 4);
+        assert_eq!(s.total() as u64, p.total_blocks());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimension_rejected() {
+        let _ = ProblemSpec::new(1, 0, 1);
+    }
+}

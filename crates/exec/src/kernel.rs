@@ -1,0 +1,105 @@
+//! The sequential `q×q` block micro-kernel.
+//!
+//! Every algorithm in the paper bottoms out in "BLAS routines" on `q×q`
+//! blocks (§2.1). This is that routine: `C += A × B` on dense row-major
+//! `q×q` tiles, written so the inner loop is a contiguous
+//! multiply-accumulate over `C` and `B` rows that the compiler
+//! auto-vectorizes.
+
+/// `c += a × b` for row-major `q×q` blocks.
+///
+/// Deterministic: the accumulation order is fixed (`k` middle loop), so
+/// every executor that calls this kernel with the same operand order
+/// produces bit-identical results — which the test-suite exploits to
+/// compare schedules exactly.
+///
+/// # Panics
+/// Panics (via `debug_assert!` in release-with-debug builds and slice
+/// indexing otherwise) if any slice is shorter than `q²`.
+#[inline]
+pub fn block_fma(c: &mut [f64], a: &[f64], b: &[f64], q: usize) {
+    debug_assert!(c.len() >= q * q && a.len() >= q * q && b.len() >= q * q);
+    for i in 0..q {
+        let c_row = &mut c[i * q..(i + 1) * q];
+        let a_row = &a[i * q..(i + 1) * q];
+        for k in 0..q {
+            let aik = a_row[k];
+            let b_row = &b[k * q..(k + 1) * q];
+            for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                *cv += aik * *bv;
+            }
+        }
+    }
+}
+
+/// Reference scalar implementation (j-inner with explicit indexing), used
+/// to validate [`block_fma`].
+pub fn block_fma_reference(c: &mut [f64], a: &[f64], b: &[f64], q: usize) {
+    for i in 0..q {
+        for j in 0..q {
+            let mut acc = 0.0;
+            for k in 0..q {
+                acc += a[i * q + k] * b[k * q + j];
+            }
+            c[i * q + j] += acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(q: usize, f: impl Fn(usize, usize) -> f64) -> Vec<f64> {
+        let mut v = vec![0.0; q * q];
+        for i in 0..q {
+            for j in 0..q {
+                v[i * q + j] = f(i, j);
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn identity_times_anything() {
+        let q = 8;
+        let id = pattern(q, |i, j| if i == j { 1.0 } else { 0.0 });
+        let b = pattern(q, |i, j| (i * q + j) as f64);
+        let mut c = vec![0.0; q * q];
+        block_fma(&mut c, &id, &b, q);
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn accumulates_into_c() {
+        let q = 4;
+        let a = pattern(q, |_, _| 1.0);
+        let b = pattern(q, |_, _| 2.0);
+        let mut c = pattern(q, |_, _| 5.0);
+        block_fma(&mut c, &a, &b, q);
+        // Each element gains sum_k 1·2 = 2q.
+        assert!(c.iter().all(|&x| (x - (5.0 + 2.0 * q as f64)).abs() < 1e-12));
+    }
+
+    #[test]
+    fn matches_reference_on_irregular_data() {
+        for q in [1usize, 2, 3, 5, 8, 16, 32] {
+            let a = pattern(q, |i, j| ((i * 7 + j * 13) % 11) as f64 - 5.0);
+            let b = pattern(q, |i, j| ((i * 3 + j * 5) % 7) as f64 * 0.25);
+            let mut c1 = pattern(q, |i, j| (i + j) as f64);
+            let mut c2 = c1.clone();
+            block_fma(&mut c1, &a, &b, q);
+            block_fma_reference(&mut c2, &a, &b, q);
+            for (x, y) in c1.iter().zip(&c2) {
+                assert!((x - y).abs() < 1e-9, "q={q}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn q1_is_scalar_fma() {
+        let mut c = [10.0];
+        block_fma(&mut c, &[3.0], &[4.0], 1);
+        assert_eq!(c[0], 22.0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Reference block matrix product (the correctness oracle).
+
+use crate::kernel::block_fma;
+use crate::matrix::BlockMatrix;
+
+/// `C = A × B` by the canonical sequential triple loop over blocks, `k`
+/// ascending per `C` block.
+///
+/// Every schedule in `mmc-core` accumulates each `C` block's contributions
+/// in ascending `k` order and bottoms out in the same kernel, so their
+/// executed results are *bit-identical* to this oracle — the executor
+/// tests compare with `==`, not a tolerance.
+///
+/// # Panics
+/// Panics if the shapes or block sides are incompatible.
+pub fn gemm_naive(a: &BlockMatrix, b: &BlockMatrix) -> BlockMatrix {
+    assert_eq!(a.cols(), b.rows(), "inner block dimensions must agree");
+    assert_eq!(a.q(), b.q(), "block sides must agree");
+    let q = a.q();
+    let mut c = BlockMatrix::zeros(a.rows(), b.cols(), q);
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let cb = c.block_mut(i, j);
+            for k in 0..a.cols() {
+                block_fma(cb, a.block(i, k), b.block(k, j), q);
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_product() {
+        let q = 4;
+        let a = BlockMatrix::from_fn(3, 3, q, |i, j| if i == j { 1.0 } else { 0.0 });
+        let b = BlockMatrix::pseudo_random(3, 2, q, 1);
+        let c = gemm_naive(&a, &b);
+        assert_eq!(c, b.clone());
+    }
+
+    #[test]
+    fn small_known_product() {
+        // 1×1 blocks of q=1: plain scalar matrices.
+        let a = BlockMatrix::from_fn(2, 2, 1, |i, j| (i * 2 + j) as f64); // [0 1; 2 3]
+        let b = BlockMatrix::from_fn(2, 2, 1, |i, j| if i == j { 2.0 } else { 1.0 }); // [2 1; 1 2]
+        let c = gemm_naive(&a, &b);
+        assert_eq!(c.get(0, 0), 1.0);
+        assert_eq!(c.get(0, 1), 2.0);
+        assert_eq!(c.get(1, 0), 7.0);
+        assert_eq!(c.get(1, 1), 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner block dimensions")]
+    fn mismatched_shapes_rejected() {
+        let a = BlockMatrix::zeros(2, 3, 4);
+        let b = BlockMatrix::zeros(2, 2, 4);
+        let _ = gemm_naive(&a, &b);
+    }
+}

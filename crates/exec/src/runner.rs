@@ -1,0 +1,324 @@
+//! Executors: run the paper's schedules on real data.
+//!
+//! Two complementary paths:
+//!
+//! * [`ExecSink`] replays *exactly* the schedule an algorithm streams —
+//!   every `fma` event performs the `q×q` kernel — proving the schedules
+//!   compute the right product (the simulator only proved they touch the
+//!   right blocks);
+//! * [`gemm_parallel`] runs the tilings the algorithms prescribe with a
+//!   rayon thread pool, one task per `C` tile, which is how the schedules
+//!   map onto a real shared-memory machine (the paper's "future work:
+//!   implement all algorithms on state-of-the-art multicore machines").
+//!
+//! All executors accumulate each `C` block's contributions in ascending
+//! `k` order with the same kernel, so results are bit-identical across
+//! every path — tests compare with `==`.
+
+use crate::kernel::block_fma;
+use crate::matrix::BlockMatrix;
+use mmc_core::algorithms::{AlgoError, Algorithm};
+use mmc_core::{params, ProblemSpec};
+use mmc_sim::{Block, MachineConfig, MatrixId, SimError, SimSink};
+use rayon::prelude::*;
+
+/// A [`SimSink`] that *performs* the block arithmetic of a schedule.
+///
+/// Residency directives and reads are ignored (`manages_residency` is
+/// `false`, so schedules take their streamlined LRU-style path); each
+/// `fma(core, a, b, c)` event executes `C[c] += A[a] × B[b]`.
+pub struct ExecSink<'m> {
+    a: &'m BlockMatrix,
+    b: &'m BlockMatrix,
+    c: &'m mut BlockMatrix,
+    fmas: u64,
+}
+
+impl<'m> ExecSink<'m> {
+    /// Wrap the operands. `c` must be `a.rows × b.cols` blocks of the same
+    /// block side.
+    pub fn new(a: &'m BlockMatrix, b: &'m BlockMatrix, c: &'m mut BlockMatrix) -> ExecSink<'m> {
+        assert_eq!(a.cols(), b.rows(), "inner block dimensions must agree");
+        assert_eq!(a.q(), b.q(), "block sides must agree");
+        assert_eq!((c.rows(), c.cols(), c.q()), (a.rows(), b.cols(), a.q()));
+        ExecSink { a, b, c, fmas: 0 }
+    }
+
+    /// Number of block FMAs performed.
+    pub fn fmas(&self) -> u64 {
+        self.fmas
+    }
+}
+
+impl SimSink for ExecSink<'_> {
+    fn read(&mut self, _core: usize, _block: Block) -> Result<(), SimError> {
+        Ok(())
+    }
+    fn write(&mut self, _core: usize, _block: Block) -> Result<(), SimError> {
+        Ok(())
+    }
+    fn fma(&mut self, _core: usize, a: Block, b: Block, c: Block) -> Result<(), SimError> {
+        debug_assert_eq!(a.matrix, MatrixId::A);
+        debug_assert_eq!(b.matrix, MatrixId::B);
+        debug_assert_eq!(c.matrix, MatrixId::C);
+        debug_assert_eq!(a.col, b.row, "fma operands must share the k index");
+        block_fma(
+            self.c.block_mut(c.row, c.col),
+            self.a.block(a.row, a.col),
+            self.b.block(b.row, b.col),
+            self.a.q(),
+        );
+        self.fmas += 1;
+        Ok(())
+    }
+    fn load_shared(&mut self, _block: Block) -> Result<(), SimError> {
+        Ok(())
+    }
+    fn evict_shared(&mut self, _block: Block) -> Result<(), SimError> {
+        Ok(())
+    }
+    fn load_dist(&mut self, _core: usize, _block: Block) -> Result<(), SimError> {
+        Ok(())
+    }
+    fn evict_dist(&mut self, _core: usize, _block: Block) -> Result<(), SimError> {
+        Ok(())
+    }
+    fn barrier(&mut self) -> Result<(), SimError> {
+        Ok(())
+    }
+}
+
+/// Run `algorithm`'s exact schedule on real data (sequential replay).
+pub fn run_schedule(
+    algorithm: &dyn Algorithm,
+    machine: &MachineConfig,
+    a: &BlockMatrix,
+    b: &BlockMatrix,
+) -> Result<BlockMatrix, AlgoError> {
+    let problem = ProblemSpec::new(a.rows(), b.cols(), a.cols());
+    let mut c = BlockMatrix::zeros(a.rows(), b.cols(), a.q());
+    let mut sink = ExecSink::new(a, b, &mut c);
+    algorithm.execute(machine, &problem, &mut sink)?;
+    Ok(c)
+}
+
+/// A 3-D blocking of the product loop nest, in blocks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Tiling {
+    /// `C` tile rows.
+    pub tile_m: u32,
+    /// `C` tile columns.
+    pub tile_n: u32,
+    /// `k`-panel depth processed per tile pass.
+    pub tile_k: u32,
+}
+
+impl Tiling {
+    /// The tiling Shared Opt prescribes: `λ×λ` `C` tiles, rank-1 `k` panels.
+    pub fn shared_opt(machine: &MachineConfig) -> Option<Tiling> {
+        let l = params::lambda(machine)?;
+        Some(Tiling { tile_m: l, tile_n: l, tile_k: 1 })
+    }
+
+    /// The tiling Distributed Opt prescribes: `√p·µ` tiles, rank-1 panels.
+    pub fn distributed_opt(machine: &MachineConfig) -> Option<Tiling> {
+        let mu = params::mu(machine)?;
+        let grid = params::CoreGrid::square(machine.cores)?;
+        Some(Tiling { tile_m: grid.rows * mu, tile_n: grid.cols * mu, tile_k: 1 })
+    }
+
+    /// The tiling Tradeoff prescribes: `α×α` tiles, `β`-deep panels.
+    pub fn tradeoff(machine: &MachineConfig) -> Option<Tiling> {
+        let t = params::tradeoff_params(machine)?;
+        Some(Tiling { tile_m: t.alpha, tile_n: t.alpha, tile_k: t.beta })
+    }
+
+    /// Equal-thirds tiling for a cache of `capacity` blocks.
+    pub fn equal(capacity: usize) -> Option<Tiling> {
+        let t = params::equal_tile(capacity)?;
+        Some(Tiling { tile_m: t, tile_n: t, tile_k: t })
+    }
+}
+
+/// Raw pointer wrapper so disjoint `C` tiles can be filled from rayon
+/// tasks. Soundness argument at the single unsafe use site below.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f64);
+// SAFETY: the pointer is only dereferenced for block indices owned by the
+// current task; tasks own disjoint index sets (see `gemm_parallel`).
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// Accessor (rather than a public field) so closures capture the
+    /// `Sync` wrapper itself — Rust 2021's precise capture would otherwise
+    /// grab the raw `*mut f64` field, which is not `Sync`.
+    #[inline]
+    fn get(self) -> *mut f64 {
+        self.0
+    }
+}
+
+/// `C = A × B` with rayon tasks over `tiling`-sized `C` tiles.
+///
+/// Each task computes one `C` tile completely (all `k` panels in ascending
+/// order), mirroring how the paper's algorithms hand whole `C` tiles /
+/// sub-blocks to cores so that each output block is written by exactly one
+/// core.
+///
+/// # Panics
+/// Panics if the shapes or block sides are incompatible or the tiling has
+/// a zero dimension.
+pub fn gemm_parallel(a: &BlockMatrix, b: &BlockMatrix, tiling: Tiling) -> BlockMatrix {
+    assert_eq!(a.cols(), b.rows(), "inner block dimensions must agree");
+    assert_eq!(a.q(), b.q(), "block sides must agree");
+    assert!(
+        tiling.tile_m > 0 && tiling.tile_n > 0 && tiling.tile_k > 0,
+        "tiling must be positive, got {tiling:?}"
+    );
+    let (m, n, z) = (a.rows(), b.cols(), a.cols());
+    let q = a.q();
+    let q2 = q * q;
+    let mut c = BlockMatrix::zeros(m, n, q);
+
+    // Enumerate tiles (clamped at the edges).
+    let mut tiles = Vec::new();
+    let mut i0 = 0;
+    while i0 < m {
+        let th = tiling.tile_m.min(m - i0);
+        let mut j0 = 0;
+        while j0 < n {
+            let tw = tiling.tile_n.min(n - j0);
+            tiles.push((i0, th, j0, tw));
+            j0 += tw;
+        }
+        i0 += th;
+    }
+
+    let cptr = SendPtr(c.data_mut().as_mut_ptr());
+    let ncols = n as usize;
+    tiles.par_iter().for_each(|&(i0, th, j0, tw)| {
+        let mut k0 = 0;
+        while k0 < z {
+            let kb = tiling.tile_k.min(z - k0);
+            for i in i0..i0 + th {
+                for j in j0..j0 + tw {
+                    // SAFETY: block (i, j) belongs to exactly one tile —
+                    // tiles partition the (i, j) index grid — and each tile
+                    // is processed by exactly one task, so this mutable
+                    // slice is never aliased. The offset is in bounds by
+                    // construction (i < m, j < n).
+                    let cblk: &mut [f64] = unsafe {
+                        std::slice::from_raw_parts_mut(
+                            cptr.get().add((i as usize * ncols + j as usize) * q2),
+                            q2,
+                        )
+                    };
+                    for k in k0..k0 + kb {
+                        block_fma(cblk, a.block(i, k), b.block(k, j), q);
+                    }
+                }
+            }
+            k0 += kb;
+        }
+    });
+    c
+}
+
+/// Sequential blocked product with the same traversal as
+/// [`gemm_parallel`] (for single-thread baselines in benches).
+pub fn gemm_blocked(a: &BlockMatrix, b: &BlockMatrix, tiling: Tiling) -> BlockMatrix {
+    // One-task path: reuse the parallel code on the current thread.
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("single-thread pool")
+        .install(|| gemm_parallel(a, b, tiling))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::gemm_naive;
+    use mmc_core::algorithms::all_algorithms;
+
+    fn operands(m: u32, n: u32, z: u32, q: usize) -> (BlockMatrix, BlockMatrix) {
+        (
+            BlockMatrix::pseudo_random(m, z, q, 11),
+            BlockMatrix::pseudo_random(z, n, q, 22),
+        )
+    }
+
+    #[test]
+    fn every_schedule_computes_the_product_bit_exactly() {
+        let machine = MachineConfig::quad_q32();
+        let (a, b) = operands(9, 17, 6, 4);
+        let oracle = gemm_naive(&a, &b);
+        for algo in all_algorithms() {
+            let c = run_schedule(algo.as_ref(), &machine, &a, &b)
+                .unwrap_or_else(|e| panic!("{}: {e}", algo.name()));
+            assert_eq!(c, oracle, "{} result differs from oracle", algo.name());
+        }
+    }
+
+    #[test]
+    fn exec_sink_counts_fmas() {
+        let machine = MachineConfig::quad_q32();
+        let (a, b) = operands(4, 4, 4, 2);
+        let mut c = BlockMatrix::zeros(4, 4, 2);
+        let mut sink = ExecSink::new(&a, &b, &mut c);
+        mmc_core::algorithms::SharedOpt::run(
+            &machine,
+            &ProblemSpec::new(4, 4, 4),
+            &mut sink,
+        )
+        .unwrap();
+        assert_eq!(sink.fmas(), 64);
+    }
+
+    #[test]
+    fn parallel_tilings_match_oracle() {
+        let machine = MachineConfig::quad_q32();
+        let (a, b) = operands(13, 7, 9, 4);
+        let oracle = gemm_naive(&a, &b);
+        for tiling in [
+            Tiling::shared_opt(&machine).unwrap(),
+            Tiling::distributed_opt(&machine).unwrap(),
+            Tiling::tradeoff(&machine).unwrap(),
+            Tiling::equal(machine.shared_capacity).unwrap(),
+            Tiling { tile_m: 1, tile_n: 1, tile_k: 1 },
+            Tiling { tile_m: 64, tile_n: 64, tile_k: 64 },
+        ] {
+            let c = gemm_parallel(&a, &b, tiling);
+            assert_eq!(c, oracle, "tiling {tiling:?}");
+            let c = gemm_blocked(&a, &b, tiling);
+            assert_eq!(c, oracle, "blocked tiling {tiling:?}");
+        }
+    }
+
+    #[test]
+    fn tilings_derive_from_machine_params() {
+        let machine = MachineConfig::quad_q32();
+        assert_eq!(
+            Tiling::shared_opt(&machine).unwrap(),
+            Tiling { tile_m: 30, tile_n: 30, tile_k: 1 }
+        );
+        assert_eq!(
+            Tiling::distributed_opt(&machine).unwrap(),
+            Tiling { tile_m: 8, tile_n: 8, tile_k: 1 }
+        );
+        let t = Tiling::tradeoff(&machine).unwrap();
+        assert_eq!(t.tile_m % 8, 0);
+        assert!(t.tile_k >= 1);
+    }
+
+    #[test]
+    fn mismatched_operands_rejected() {
+        let a = BlockMatrix::zeros(2, 3, 4);
+        let b = BlockMatrix::zeros(2, 2, 4);
+        let r = std::panic::catch_unwind(|| {
+            gemm_parallel(&a, &b, Tiling { tile_m: 1, tile_n: 1, tile_k: 1 })
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,65 @@
+//! Communication analysis for the blocked LU extension.
+//!
+//! The trailing-update GEMMs perform `Σ_{k<n} (n−1−k)² = (n−1)n(2n−1)/6`
+//! block FMAs — asymptotically `n³/3`, the dominant work — and each one is
+//! a conventional matrix product, so the Loomis–Whitney bound of the paper
+//! (§2.3) applies verbatim to the update stream: any schedule through a
+//! cache of `Z` blocks pays at least `√(27/(8Z))` misses per block FMA on
+//! that stream.
+
+use mmc_core::bounds::ccr_lower_bound;
+use mmc_sim::MachineConfig;
+
+/// Block FMAs performed by the trailing updates of an `n×n` blocked LU.
+pub fn update_fmas(n: u64) -> u64 {
+    if n == 0 {
+        0
+    } else {
+        (n - 1) * n * (2 * n - 1) / 6
+    }
+}
+
+/// Block-level `trsm` solves (each side) of an `n×n` blocked LU.
+pub fn trsm_count(n: u64) -> u64 {
+    n * (n - 1) / 2
+}
+
+/// Lower bound on shared-cache misses attributable to the update stream.
+pub fn ms_lower_bound(n: u64, machine: &MachineConfig) -> f64 {
+    update_fmas(n) as f64 * ccr_lower_bound(machine.shared_capacity)
+}
+
+/// Lower bound on per-core distributed misses of the update stream
+/// (balanced-work assumption, as in the paper §2.3.4).
+pub fn md_lower_bound(n: u64, machine: &MachineConfig) -> f64 {
+    update_fmas(n) as f64 / machine.cores as f64 * ccr_lower_bound(machine.dist_capacity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_count_matches_sum_of_squares() {
+        for n in 0..50u64 {
+            let direct: u64 = (0..n).map(|k| (n - 1 - k) * (n - 1 - k)).sum();
+            assert_eq!(update_fmas(n), direct, "n={n}");
+        }
+    }
+
+    #[test]
+    fn asymptotics_are_cubic_over_three() {
+        let n = 1000u64;
+        let ratio = update_fmas(n) as f64 / (n as f64).powi(3);
+        assert!((ratio - 1.0 / 3.0).abs() < 2e-3);
+    }
+
+    #[test]
+    fn bounds_scale_with_problem() {
+        let m = MachineConfig::quad_q32();
+        assert!(ms_lower_bound(64, &m) > 0.0);
+        let r = ms_lower_bound(128, &m) / ms_lower_bound(64, &m);
+        assert!((r - 8.0).abs() < 0.5, "roughly cubic scaling, got {r}");
+        assert!(md_lower_bound(64, &m) < ms_lower_bound(64, &m) * 2.0);
+    }
+}

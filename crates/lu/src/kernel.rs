@@ -1,0 +1,228 @@
+//! Scalar kernels on `q×q` blocks for the blocked LU factorization:
+//! in-block factorization, triangular solves, and the subtractive
+//! multiply (`C -= A·B`) used by trailing updates.
+//!
+//! All blocks are dense row-major `q×q` tiles (the same layout as
+//! `mmc-exec`). Factorization is **without pivoting** — the extension
+//! targets diagonally dominant / SPD-like systems, as is conventional for
+//! cache-complexity studies of LU (pivoting permutes rows but does not
+//! change the communication pattern the analysis cares about).
+
+/// In-place unpivoted LU of one `q×q` block: on return the strictly lower
+/// triangle holds `L` (unit diagonal implied) and the upper triangle
+/// (with diagonal) holds `U`.
+///
+/// Returns `false` if a zero (or subnormal-tiny) pivot was hit; the
+/// factorization is then invalid — callers surface this as an error.
+#[must_use]
+pub fn getrf_nopiv(a: &mut [f64], q: usize) -> bool {
+    debug_assert!(a.len() >= q * q);
+    for k in 0..q {
+        let pivot = a[k * q + k];
+        if !pivot.is_normal() {
+            return false;
+        }
+        for i in k + 1..q {
+            let lik = a[i * q + k] / pivot;
+            a[i * q + k] = lik;
+            for j in k + 1..q {
+                a[i * q + j] -= lik * a[k * q + j];
+            }
+        }
+    }
+    true
+}
+
+/// Solve `L · X = B` where `L` is the unit-lower triangle packed in
+/// `lu` and `X` overwrites `b` (forward substitution on block rows).
+pub fn trsm_left_lower_unit(lu: &[f64], b: &mut [f64], q: usize) {
+    debug_assert!(lu.len() >= q * q && b.len() >= q * q);
+    for i in 1..q {
+        for k in 0..i {
+            let lik = lu[i * q + k];
+            if lik == 0.0 {
+                continue;
+            }
+            for j in 0..q {
+                b[i * q + j] -= lik * b[k * q + j];
+            }
+        }
+    }
+}
+
+/// Solve `X · U = A` where `U` is the (non-unit) upper triangle packed in
+/// `lu` and `X` overwrites `a` (column-oriented back substitution).
+///
+/// Returns `false` on a non-normal diagonal entry.
+#[must_use]
+pub fn trsm_right_upper(lu: &[f64], a: &mut [f64], q: usize) -> bool {
+    debug_assert!(lu.len() >= q * q && a.len() >= q * q);
+    for j in 0..q {
+        let ujj = lu[j * q + j];
+        if !ujj.is_normal() {
+            return false;
+        }
+        for i in 0..q {
+            let mut acc = a[i * q + j];
+            for k in 0..j {
+                acc -= a[i * q + k] * lu[k * q + j];
+            }
+            a[i * q + j] = acc / ujj;
+        }
+    }
+    true
+}
+
+/// `c -= a × b` on row-major `q×q` blocks (the trailing-update GEMM).
+#[inline]
+pub fn block_fms(c: &mut [f64], a: &[f64], b: &[f64], q: usize) {
+    debug_assert!(c.len() >= q * q && a.len() >= q * q && b.len() >= q * q);
+    for i in 0..q {
+        let c_row = &mut c[i * q..(i + 1) * q];
+        let a_row = &a[i * q..(i + 1) * q];
+        for k in 0..q {
+            let aik = a_row[k];
+            let b_row = &b[k * q..(k + 1) * q];
+            for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                *cv -= aik * *bv;
+            }
+        }
+    }
+}
+
+/// Split a packed in-block LU into explicit `(L, U)` dense blocks
+/// (`L` with unit diagonal). For verification and unpacking.
+pub fn unpack_lu(lu: &[f64], q: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut l = vec![0.0; q * q];
+    let mut u = vec![0.0; q * q];
+    for i in 0..q {
+        for j in 0..q {
+            let v = lu[i * q + j];
+            match i.cmp(&j) {
+                std::cmp::Ordering::Greater => l[i * q + j] = v,
+                std::cmp::Ordering::Equal => {
+                    l[i * q + j] = 1.0;
+                    u[i * q + j] = v;
+                }
+                std::cmp::Ordering::Less => u[i * q + j] = v,
+            }
+        }
+    }
+    (l, u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matmul(a: &[f64], b: &[f64], q: usize) -> Vec<f64> {
+        let mut c = vec![0.0; q * q];
+        for i in 0..q {
+            for k in 0..q {
+                for j in 0..q {
+                    c[i * q + j] += a[i * q + k] * b[k * q + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn diag_dominant(q: usize, seed: u64) -> Vec<f64> {
+        let mut a = vec![0.0; q * q];
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for i in 0..q {
+            for j in 0..q {
+                a[i * q + j] = next();
+            }
+            a[i * q + i] += q as f64; // strict diagonal dominance
+        }
+        a
+    }
+
+    fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn getrf_reconstructs_the_block() {
+        for q in [1usize, 2, 3, 5, 8, 16] {
+            let a = diag_dominant(q, q as u64);
+            let mut lu = a.clone();
+            assert!(getrf_nopiv(&mut lu, q), "q={q}");
+            let (l, u) = unpack_lu(&lu, q);
+            let recon = matmul(&l, &u, q);
+            assert!(max_abs_diff(&recon, &a) < 1e-9 * q as f64, "q={q}");
+        }
+    }
+
+    #[test]
+    fn getrf_detects_zero_pivot() {
+        let mut a = vec![0.0, 1.0, 1.0, 0.0]; // a[0][0] = 0
+        assert!(!getrf_nopiv(&mut a, 2));
+    }
+
+    #[test]
+    fn trsm_left_solves_unit_lower_system() {
+        let q = 6;
+        let a = diag_dominant(q, 3);
+        let mut lu = a.clone();
+        assert!(getrf_nopiv(&mut lu, q));
+        let (l, _) = unpack_lu(&lu, q);
+        let b = diag_dominant(q, 7);
+        let mut x = b.clone();
+        trsm_left_lower_unit(&lu, &mut x, q);
+        // L·X must equal B.
+        let recon = matmul(&l, &x, q);
+        assert!(max_abs_diff(&recon, &b) < 1e-10 * q as f64);
+    }
+
+    #[test]
+    fn trsm_right_solves_upper_system() {
+        let q = 6;
+        let a = diag_dominant(q, 4);
+        let mut lu = a.clone();
+        assert!(getrf_nopiv(&mut lu, q));
+        let (_, u) = unpack_lu(&lu, q);
+        let b = diag_dominant(q, 9);
+        let mut x = b.clone();
+        assert!(trsm_right_upper(&lu, &mut x, q));
+        // X·U must equal B.
+        let recon = matmul(&x, &u, q);
+        assert!(max_abs_diff(&recon, &b) < 1e-9 * q as f64);
+    }
+
+    #[test]
+    fn block_fms_subtracts_product() {
+        let q = 4;
+        let a = diag_dominant(q, 1);
+        let b = diag_dominant(q, 2);
+        let prod = matmul(&a, &b, q);
+        let mut c = prod.clone();
+        block_fms(&mut c, &a, &b, q);
+        assert!(c.iter().all(|&x| x.abs() < 1e-12));
+    }
+
+    #[test]
+    fn unpack_is_triangular() {
+        let q = 5;
+        let lu: Vec<f64> = (0..q * q).map(|i| i as f64 + 1.0).collect();
+        let (l, u) = unpack_lu(&lu, q);
+        for i in 0..q {
+            assert_eq!(l[i * q + i], 1.0);
+            for j in 0..q {
+                if j > i {
+                    assert_eq!(l[i * q + j], 0.0);
+                }
+                if j < i {
+                    assert_eq!(u[i * q + j], 0.0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # mmc-lu — blocked LU factorization on the multicore cache model
+//!
+//! The paper's stated future work ("we will tackle more complex
+//! operations, such as LU factorization", §6), built from the pieces this
+//! workspace already has:
+//!
+//! * a panelized right-looking **blocked LU schedule** ([`BlockedLu`])
+//!   whose trailing-submatrix updates — the `O(n³)` bulk of the work —
+//!   are scheduled with the paper's Maximum Reuse matrix-product tilings
+//!   ([`UpdateTiling::SharedOpt`], [`UpdateTiling::Tradeoff`]) or a naive
+//!   row-stripe baseline;
+//! * the same *one schedule, many consumers* architecture as the matrix
+//!   product: [`SimLuHooks`] streams the data movement into any
+//!   [`mmc_sim::SimSink`] (LRU simulation, reuse-distance profiling),
+//!   while [`exec::ExecLuHooks`] performs the real arithmetic on a
+//!   [`mmc_exec::BlockMatrix`] — unpivoted, so inputs should be
+//!   diagonally dominant (see [`exec::diagonally_dominant`]);
+//! * block kernels ([`kernel`]): unpivoted `getrf`, both triangular
+//!   solves, and the subtractive product;
+//! * the Loomis–Whitney analysis applied to the update stream
+//!   ([`bounds`]).
+//!
+//! ```
+//! use mmc_lu::{exec, BlockedLu, UpdateTiling};
+//! use mmc_sim::MachineConfig;
+//!
+//! let machine = MachineConfig::quad_q32();
+//! let a = exec::diagonally_dominant(6, 8, 1);
+//! let mut m = a.clone();
+//! exec::lu_factor(&mut m, &machine, &BlockedLu::new(2, UpdateTiling::SharedOpt)).unwrap();
+//! assert!(exec::residual(&m, &a) < 1e-10);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bounds;
+pub mod exec;
+pub mod kernel;
+pub mod parallel;
+pub mod schedule;
+
+pub use exec::{lu_factor, residual, ExecLuHooks};
+pub use parallel::lu_factor_parallel;
+pub use schedule::{BlockedLu, CountingLuHooks, LuError, LuHooks, SimLuHooks, UpdateTiling};

@@ -1,0 +1,426 @@
+//! The blocked LU schedule, written once and consumed twice.
+//!
+//! [`BlockedLu`] drives a [`LuHooks`] implementation through the
+//! LAPACK-style panelized right-looking factorization at block
+//! granularity:
+//!
+//! 1. factor a `w`-block-wide column panel (rank-1 block steps inside the
+//!    panel, parallel `trsm`s down the column);
+//! 2. triangular-solve the corresponding `U` block row against the
+//!    panel's diagonal blocks;
+//! 3. update the trailing submatrix with the `z = w` block GEMM
+//!    `M' -= L_panel × U_panel` — this is where the paper's Maximum Reuse
+//!    matrix-product scheduling plugs in (`UpdateTiling`), since the
+//!    trailing update dominates the O(n³) work.
+//!
+//! Consumers: [`SimLuHooks`] streams the data movement into any
+//! [`mmc_sim::SimSink`] (LRU simulation, profiling), and
+//! `exec::ExecLuHooks` performs the arithmetic on a real
+//! [`mmc_exec::BlockMatrix`]. Both walk the identical schedule, so the
+//! misses we count belong to exactly the factorization we verify.
+//!
+//! The factored matrix lives in block coordinates `(i, j)` of an `n×n`
+//! block matrix, mapped onto the simulator's id space as blocks of `C`
+//! (`BlockSpace::new(n, n, 1)`).
+
+use mmc_sim::{Block, MachineConfig, SimError, SimSink};
+
+/// Errors from an LU schedule run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LuError {
+    /// The simulator rejected an event.
+    Sim(SimError),
+    /// A diagonal block had a non-normal pivot during real execution.
+    SingularPivot {
+        /// Block row/column of the offending diagonal block.
+        k: u32,
+    },
+    /// Bad configuration (zero panel width, non-square matrix, …).
+    Invalid(String),
+}
+
+impl From<SimError> for LuError {
+    fn from(e: SimError) -> LuError {
+        LuError::Sim(e)
+    }
+}
+
+impl std::fmt::Display for LuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LuError::Sim(e) => write!(f, "simulation error: {e}"),
+            LuError::SingularPivot { k } => {
+                write!(f, "non-normal pivot in diagonal block ({k},{k}) — matrix needs pivoting")
+            }
+            LuError::Invalid(msg) => write!(f, "invalid LU configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LuError {}
+
+/// Receiver of the block-level LU operations.
+pub trait LuHooks {
+    /// Factor diagonal block `(k, k)` in place.
+    fn getrf(&mut self, core: usize, k: u32) -> Result<(), LuError>;
+    /// `M[i,k] ← M[i,k] · U_kk⁻¹` (column-panel solve).
+    fn trsm_col(&mut self, core: usize, k: u32, i: u32) -> Result<(), LuError>;
+    /// `M[k,j] ← L_kk⁻¹ · M[k,j]` (row-panel solve).
+    fn trsm_row(&mut self, core: usize, k: u32, j: u32) -> Result<(), LuError>;
+    /// `M[i,j] ← M[i,j] − M[i,k] · M[k,j]` (trailing update).
+    fn update(&mut self, core: usize, i: u32, k: u32, j: u32) -> Result<(), LuError>;
+    /// All cores synchronize.
+    fn barrier(&mut self) -> Result<(), LuError>;
+}
+
+/// How the trailing-submatrix GEMM is tiled across cores and caches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum UpdateTiling {
+    /// Contiguous row stripes per core, plain triple loop (the naive
+    /// baseline an out-of-the-box implementation would use).
+    #[default]
+    RowStripes,
+    /// The Shared-Opt pattern: `λ×λ` tiles of the trailing matrix pinned
+    /// in the shared cache, each tile row dealt element-wise to the cores
+    /// (`λ` from `C_S` as in Algorithm 1).
+    SharedOpt,
+    /// The Tradeoff pattern: `α×α` tiles with `µ×µ` sub-blocks cyclically
+    /// distributed on the `√p×√p` grid; the panel width plays the role of
+    /// the `β` accumulation depth.
+    Tradeoff,
+}
+
+/// Panelized right-looking blocked LU. See the module docs.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockedLu {
+    /// Panel width in blocks (`w ≥ 1`); the trailing GEMM runs at depth
+    /// `z = w`.
+    pub panel_width: u32,
+    /// Trailing-update schedule.
+    pub tiling: UpdateTiling,
+}
+
+impl Default for BlockedLu {
+    fn default() -> BlockedLu {
+        BlockedLu { panel_width: 1, tiling: UpdateTiling::RowStripes }
+    }
+}
+
+/// Balanced contiguous chunk `idx` of `0..total` split `parts` ways.
+fn chunk(total: u32, parts: u32, idx: u32) -> std::ops::Range<u32> {
+    let (total, parts, idx) = (total as u64, parts as u64, idx as u64);
+    ((idx * total / parts) as u32)..(((idx + 1) * total / parts) as u32)
+}
+
+impl BlockedLu {
+    /// Construct with the given panel width and tiling.
+    pub fn new(panel_width: u32, tiling: UpdateTiling) -> BlockedLu {
+        BlockedLu { panel_width, tiling }
+    }
+
+    /// Drive `hooks` through the factorization of an `n×n` block matrix
+    /// on `machine` (`machine` supplies the core count and, for the
+    /// cache-aware tilings, `C_S`/`C_D`).
+    pub fn run<H: LuHooks + ?Sized>(
+        &self,
+        machine: &MachineConfig,
+        n: u32,
+        hooks: &mut H,
+    ) -> Result<(), LuError> {
+        if self.panel_width == 0 {
+            return Err(LuError::Invalid("panel width must be at least 1".into()));
+        }
+        if n == 0 {
+            return Err(LuError::Invalid("matrix must have at least one block".into()));
+        }
+        let p = machine.cores as u32;
+        let w = self.panel_width;
+        let mut kp = 0;
+        while kp < n {
+            let pw = w.min(n - kp);
+            // --- 1. Panel factorization (columns kp..kp+pw) -------------
+            for t in 0..pw {
+                let k = kp + t;
+                hooks.getrf(0, k)?;
+                // Column solves below the diagonal, rows chunked on cores.
+                for core in 0..p {
+                    for i in chunk(n - (k + 1), p, core) {
+                        hooks.trsm_col(core as usize, k, k + 1 + i)?;
+                    }
+                }
+                // Row solves *within the panel* only.
+                for j in k + 1..kp + pw {
+                    hooks.trsm_row(0, k, j)?;
+                }
+                // Rank-1 update restricted to the panel columns.
+                for core in 0..p {
+                    for ii in chunk(n - (k + 1), p, core) {
+                        let i = k + 1 + ii;
+                        for j in k + 1..kp + pw {
+                            hooks.update(core as usize, i, k, j)?;
+                        }
+                    }
+                }
+                hooks.barrier()?;
+            }
+            // --- 2. U block row: columns right of the panel -------------
+            for core in 0..p {
+                for jj in chunk(n.saturating_sub(kp + pw), p, core) {
+                    let j = kp + pw + jj;
+                    for k in kp..kp + pw {
+                        for t in kp..k {
+                            hooks.update(core as usize, k, t, j)?;
+                        }
+                        hooks.trsm_row(core as usize, k, j)?;
+                    }
+                }
+            }
+            hooks.barrier()?;
+            // --- 3. Trailing update: M' -= L_panel × U_panel ------------
+            let base = kp + pw;
+            if base < n {
+                let trailing = n - base;
+                match self.tiling {
+                    UpdateTiling::RowStripes => {
+                        for core in 0..p {
+                            for ii in chunk(trailing, p, core) {
+                                let i = base + ii;
+                                for k in kp..kp + pw {
+                                    for j in base..n {
+                                        hooks.update(core as usize, i, k, j)?;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    UpdateTiling::SharedOpt => {
+                        let lambda = mmc_core::params::lambda(machine).unwrap_or(1);
+                        let mut i0 = 0;
+                        while i0 < trailing {
+                            let th = lambda.min(trailing - i0);
+                            let mut j0 = 0;
+                            while j0 < trailing {
+                                let tw = lambda.min(trailing - j0);
+                                for k in kp..kp + pw {
+                                    for i in 0..th {
+                                        for core in 0..p {
+                                            for jj in chunk(tw, p, core) {
+                                                hooks.update(
+                                                    core as usize,
+                                                    base + i0 + i,
+                                                    k,
+                                                    base + j0 + jj,
+                                                )?;
+                                            }
+                                        }
+                                    }
+                                }
+                                j0 += tw;
+                            }
+                            i0 += th;
+                        }
+                    }
+                    UpdateTiling::Tradeoff => {
+                        let (alpha, mu, rows, cols) =
+                            match mmc_core::params::tradeoff_params(machine) {
+                                Some(t) => (t.alpha, t.mu, t.grid.rows, t.grid.cols),
+                                None => (p, 1, 1, p), // degenerate fallback grid
+                            };
+                        let mut i0 = 0;
+                        while i0 < trailing {
+                            let th = alpha.min(trailing - i0);
+                            let mut j0 = 0;
+                            while j0 < trailing {
+                                let tw = alpha.min(trailing - j0);
+                                for core in 0..p {
+                                    let (r, cj) = (core % rows, core / rows);
+                                    // Cyclic µ×µ sub-blocks of this tile.
+                                    let mut si = r;
+                                    while si * mu < th {
+                                        let rlo = si * mu;
+                                        let rhi = ((si + 1) * mu).min(th);
+                                        let mut sj = cj;
+                                        while sj * mu < tw {
+                                            let clo = sj * mu;
+                                            let chi = ((sj + 1) * mu).min(tw);
+                                            for k in kp..kp + pw {
+                                                for i in rlo..rhi {
+                                                    for j in clo..chi {
+                                                        hooks.update(
+                                                            core as usize,
+                                                            base + i0 + i,
+                                                            k,
+                                                            base + j0 + j,
+                                                        )?;
+                                                    }
+                                                }
+                                            }
+                                            sj += cols;
+                                        }
+                                        si += rows;
+                                    }
+                                }
+                                j0 += tw;
+                            }
+                            i0 += th;
+                        }
+                    }
+                }
+            }
+            hooks.barrier()?;
+            kp += pw;
+        }
+        Ok(())
+    }
+}
+
+/// [`LuHooks`] consumer that streams the schedule's data movement into a
+/// [`SimSink`] (the blocks live in the `C` plane of the sink's id space).
+pub struct SimLuHooks<'a, S: SimSink + ?Sized> {
+    sink: &'a mut S,
+}
+
+impl<'a, S: SimSink + ?Sized> SimLuHooks<'a, S> {
+    /// Wrap a sink. Build the matching simulator/profiler with
+    /// `BlockSpace::new(n, n, 1)`.
+    pub fn new(sink: &'a mut S) -> SimLuHooks<'a, S> {
+        SimLuHooks { sink }
+    }
+}
+
+impl<S: SimSink + ?Sized> LuHooks for SimLuHooks<'_, S> {
+    fn getrf(&mut self, core: usize, k: u32) -> Result<(), LuError> {
+        let d = Block::c(k, k);
+        self.sink.read(core, d)?;
+        self.sink.write(core, d)?;
+        Ok(())
+    }
+    fn trsm_col(&mut self, core: usize, k: u32, i: u32) -> Result<(), LuError> {
+        self.sink.read(core, Block::c(k, k))?;
+        self.sink.read(core, Block::c(i, k))?;
+        self.sink.write(core, Block::c(i, k))?;
+        Ok(())
+    }
+    fn trsm_row(&mut self, core: usize, k: u32, j: u32) -> Result<(), LuError> {
+        self.sink.read(core, Block::c(k, k))?;
+        self.sink.read(core, Block::c(k, j))?;
+        self.sink.write(core, Block::c(k, j))?;
+        Ok(())
+    }
+    fn update(&mut self, core: usize, i: u32, k: u32, j: u32) -> Result<(), LuError> {
+        let (a, b, c) = (Block::c(i, k), Block::c(k, j), Block::c(i, j));
+        self.sink.read(core, a)?;
+        self.sink.read(core, b)?;
+        self.sink.read(core, c)?;
+        self.sink.fma(core, a, b, c)?;
+        self.sink.write(core, c)?;
+        Ok(())
+    }
+    fn barrier(&mut self) -> Result<(), LuError> {
+        self.sink.barrier()?;
+        Ok(())
+    }
+}
+
+/// A hook that counts operations by kind (tests, quick volume checks).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CountingLuHooks {
+    /// `getrf` calls.
+    pub getrfs: u64,
+    /// `trsm_col` calls.
+    pub trsm_cols: u64,
+    /// `trsm_row` calls.
+    pub trsm_rows: u64,
+    /// `update` calls.
+    pub updates: u64,
+    /// `barrier` calls.
+    pub barriers: u64,
+}
+
+impl LuHooks for CountingLuHooks {
+    fn getrf(&mut self, _core: usize, _k: u32) -> Result<(), LuError> {
+        self.getrfs += 1;
+        Ok(())
+    }
+    fn trsm_col(&mut self, _core: usize, _k: u32, _i: u32) -> Result<(), LuError> {
+        self.trsm_cols += 1;
+        Ok(())
+    }
+    fn trsm_row(&mut self, _core: usize, _k: u32, _j: u32) -> Result<(), LuError> {
+        self.trsm_rows += 1;
+        Ok(())
+    }
+    fn update(&mut self, _core: usize, _i: u32, _k: u32, _j: u32) -> Result<(), LuError> {
+        self.updates += 1;
+        Ok(())
+    }
+    fn barrier(&mut self) -> Result<(), LuError> {
+        self.barriers += 1;
+        Ok(())
+    }
+}
+
+/// Exact operation counts of the blocked LU on an `n×n` block matrix
+/// (independent of panel width): `getrf` = n, `trsm` = n(n−1)/2 each
+/// side, `update` = Σ_{k<n} (n−1−k)² = (n−1)n(2n−1)/6.
+pub fn expected_counts(n: u64) -> (u64, u64, u64) {
+    let trsm = n * (n - 1) / 2;
+    let updates = (n - 1) * n * (2 * n - 1) / 6;
+    (n, trsm, updates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmc_sim::MachineConfig;
+
+    #[test]
+    fn operation_counts_are_invariant_across_panel_widths_and_tilings() {
+        let machine = MachineConfig::quad_q32();
+        let n = 12u32;
+        let (g0, t0, u0) = expected_counts(n as u64);
+        for w in [1u32, 2, 3, 4, 12, 20] {
+            for tiling in [UpdateTiling::RowStripes, UpdateTiling::SharedOpt, UpdateTiling::Tradeoff] {
+                let mut hooks = CountingLuHooks::default();
+                BlockedLu::new(w, tiling).run(&machine, n, &mut hooks).unwrap();
+                assert_eq!(hooks.getrfs, g0, "w={w} {tiling:?}");
+                assert_eq!(hooks.trsm_cols + hooks.trsm_rows, 2 * t0, "w={w} {tiling:?}");
+                assert_eq!(hooks.trsm_cols, t0, "w={w} {tiling:?}");
+                assert_eq!(hooks.updates, u0, "w={w} {tiling:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn n1_has_single_factor_and_nothing_else() {
+        let machine = MachineConfig::quad_q32();
+        let mut hooks = CountingLuHooks::default();
+        BlockedLu::default().run(&machine, 1, &mut hooks).unwrap();
+        assert_eq!(hooks.getrfs, 1);
+        assert_eq!(hooks.trsm_cols + hooks.trsm_rows + hooks.updates, 0);
+    }
+
+    #[test]
+    fn zero_configs_rejected() {
+        let machine = MachineConfig::quad_q32();
+        let mut hooks = CountingLuHooks::default();
+        assert!(BlockedLu::new(0, UpdateTiling::RowStripes)
+            .run(&machine, 4, &mut hooks)
+            .is_err());
+        assert!(BlockedLu::default().run(&machine, 0, &mut hooks).is_err());
+    }
+
+    #[test]
+    fn sim_hooks_count_misses_on_lru() {
+        use mmc_sim::{SimConfig, SimSink as _, Simulator};
+        let machine = MachineConfig::quad_q32();
+        let n = 16u32;
+        let mut sim = Simulator::new(SimConfig::lru(&machine), n, n, 1);
+        let mut hooks = SimLuHooks::new(&mut sim);
+        BlockedLu::new(4, UpdateTiling::SharedOpt).run(&machine, n, &mut hooks).unwrap();
+        let (_, _, updates) = expected_counts(n as u64);
+        assert_eq!(sim.stats().total_fmas(), updates);
+        assert!(sim.stats().ms() >= (n as u64 * n as u64), "cold misses at least");
+        let _ = sim.barrier();
+    }
+}

@@ -1,0 +1,272 @@
+//! Set-associative LRU caches.
+//!
+//! The paper's model is *fully associative* ("our caches are also 'fully
+//! associative', and can therefore store any data from main memory",
+//! §2.1). Real caches are set-associative, and tiled kernels are the
+//! canonical victims of the resulting conflict misses. This module
+//! provides a `ways`-associative LRU cache with the same interface as the
+//! fully-associative [`LruCache`](crate::LruCache), so the simulator can
+//! quantify how far the ideal-model predictions drift on a realistic
+//! indexing scheme (`ablation_associativity` in the harness).
+//!
+//! Sets are indexed by `block_id mod sets` — the dense block id stands in
+//! for the address bits a real cache would use; consecutive blocks of a
+//! matrix row land in consecutive sets, which reproduces the classic
+//! power-of-two-leading-dimension conflict pathology when tile rows alias.
+
+use crate::lru::Eviction;
+
+const NONE: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct Way {
+    block: u32,
+    dirty: bool,
+    last_use: u64,
+}
+
+/// A `ways`-associative LRU cache of `capacity` blocks (`capacity/ways`
+/// sets, rounded up to at least one).
+#[derive(Clone, Debug)]
+pub struct SetAssocCache {
+    ways: usize,
+    sets: usize,
+    entries: Vec<Way>,
+    clock: u64,
+    len: usize,
+}
+
+impl SetAssocCache {
+    /// Create with `capacity` total blocks and `ways` blocks per set.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` or `ways == 0`.
+    pub fn new(capacity: usize, ways: usize) -> SetAssocCache {
+        assert!(capacity > 0, "cache capacity must be positive");
+        assert!(ways > 0, "associativity must be positive");
+        let ways = ways.min(capacity);
+        let sets = (capacity / ways).max(1);
+        SetAssocCache {
+            ways,
+            sets,
+            entries: vec![Way { block: NONE, dirty: false, last_use: 0 }; sets * ways],
+            clock: 0,
+            len: 0,
+        }
+    }
+
+    /// Total capacity actually usable (`sets × ways` — may round below the
+    /// requested capacity when `ways ∤ capacity`).
+    pub fn capacity(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Resident blocks.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn set_range(&self, id: u32) -> std::ops::Range<usize> {
+        let set = (id as usize) % self.sets;
+        set * self.ways..(set + 1) * self.ways
+    }
+
+    /// Whether `id` is resident (no recency update).
+    pub fn contains(&self, id: u32) -> bool {
+        self.entries[self.set_range(id)].iter().any(|w| w.block == id)
+    }
+
+    /// Probe; on hit refresh recency (and optionally mark dirty).
+    #[inline]
+    pub fn touch_with(&mut self, id: u32, dirty: bool) -> bool {
+        self.clock += 1;
+        let clock = self.clock;
+        let range = self.set_range(id);
+        for w in &mut self.entries[range] {
+            if w.block == id {
+                w.last_use = clock;
+                w.dirty |= dirty;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Probe for a read.
+    pub fn touch(&mut self, id: u32) -> bool {
+        self.touch_with(id, false)
+    }
+
+    /// Probe for a write.
+    pub fn touch_dirty(&mut self, id: u32) -> bool {
+        self.touch_with(id, true)
+    }
+
+    /// Mark dirty without a recency update. Returns `false` if absent.
+    pub fn mark_dirty(&mut self, id: u32) -> bool {
+        let range = self.set_range(id);
+        for w in &mut self.entries[range] {
+            if w.block == id {
+                w.dirty = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Insert `id` (must be absent), evicting the set's LRU way if full.
+    pub fn insert(&mut self, id: u32, dirty: bool) -> Option<Eviction> {
+        debug_assert!(!self.contains(id), "inserting resident block {id}");
+        self.clock += 1;
+        let clock = self.clock;
+        let range = self.set_range(id);
+        let set = &mut self.entries[range];
+        // Empty way first.
+        if let Some(w) = set.iter_mut().find(|w| w.block == NONE) {
+            *w = Way { block: id, dirty, last_use: clock };
+            self.len += 1;
+            return None;
+        }
+        // Evict the least recently used way of this set.
+        let victim = set
+            .iter_mut()
+            .min_by_key(|w| w.last_use)
+            .expect("sets have at least one way");
+        let ev = Eviction { block: victim.block, dirty: victim.dirty };
+        *victim = Way { block: id, dirty, last_use: clock };
+        Some(ev)
+    }
+
+    /// Remove `id` if resident, returning its dirty state.
+    pub fn remove(&mut self, id: u32) -> Option<bool> {
+        let range = self.set_range(id);
+        for w in &mut self.entries[range] {
+            if w.block == id {
+                let dirty = w.dirty;
+                *w = Way { block: NONE, dirty: false, last_use: 0 };
+                self.len -= 1;
+                return Some(dirty);
+            }
+        }
+        None
+    }
+
+    /// Resident ids (arbitrary order; diagnostics).
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.entries.iter().filter(|w| w.block != NONE).map(|w| w.block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lru::LruCache;
+
+    #[test]
+    fn single_set_behaves_like_full_lru() {
+        // ways == capacity → one set → identical miss sequence to the
+        // fully-associative cache on any trace.
+        let capacity = 8;
+        let mut assoc = SetAssocCache::new(capacity, capacity);
+        let mut full = LruCache::new(capacity, 1000);
+        let mut misses = (0u32, 0u32);
+        for t in 0..5000u32 {
+            let id = (t * 37 % 97) % 50;
+            if !assoc.touch(id) {
+                misses.0 += 1;
+                assoc.insert(id, false);
+            }
+            if !full.touch(id) {
+                misses.1 += 1;
+                full.insert(id, false);
+            }
+        }
+        assert_eq!(misses.0, misses.1);
+        assert_eq!(assoc.sets(), 1);
+    }
+
+    #[test]
+    fn conflicting_blocks_thrash_a_direct_mapped_cache() {
+        // Direct-mapped (1 way): ids congruent mod sets evict each other
+        // even though the cache is nearly empty.
+        let mut c = SetAssocCache::new(8, 1);
+        assert_eq!(c.sets(), 8);
+        let (a, b) = (0u32, 8u32); // same set
+        c.insert(a, false);
+        let ev = c.insert(b, false).expect("conflict eviction");
+        assert_eq!(ev.block, a);
+        assert_eq!(c.len(), 1, "seven other sets stay empty");
+        // A fully-associative cache of the same size would keep both.
+        let mut full = LruCache::new(8, 100);
+        full.insert(a, false);
+        assert!(full.insert(b, false).is_none());
+    }
+
+    #[test]
+    fn within_set_replacement_is_lru() {
+        let mut c = SetAssocCache::new(4, 2); // 2 sets × 2 ways
+        // Set 0 gets ids 0, 2, 4 (all even).
+        c.insert(0, false);
+        c.insert(2, false);
+        assert!(c.touch(0)); // 2 becomes LRU in its set
+        let ev = c.insert(4, false).unwrap();
+        assert_eq!(ev.block, 2);
+        assert!(c.contains(0) && c.contains(4));
+    }
+
+    #[test]
+    fn dirty_travels_through_eviction_and_remove() {
+        let mut c = SetAssocCache::new(2, 1);
+        c.insert(0, false);
+        assert!(c.touch_dirty(0));
+        let ev = c.insert(2, false).unwrap(); // same set as 0
+        assert!(ev.dirty && ev.block == 0);
+        c.insert(1, true);
+        assert_eq!(c.remove(1), Some(true));
+        assert_eq!(c.remove(1), None);
+    }
+
+    #[test]
+    fn mark_dirty_does_not_refresh_recency() {
+        let mut c = SetAssocCache::new(2, 2);
+        c.insert(0, false);
+        c.insert(2, false); // same set (2 % 1? sets = 1) — capacity 2, ways 2 → 1 set
+        assert!(c.mark_dirty(0));
+        let ev = c.insert(4, false).unwrap();
+        assert_eq!(ev.block, 0, "0 is still LRU after mark_dirty");
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn rounding_when_ways_do_not_divide_capacity() {
+        let c = SetAssocCache::new(21, 4);
+        assert_eq!(c.sets(), 5);
+        assert_eq!(c.capacity(), 20);
+    }
+
+    #[test]
+    fn iter_lists_residents() {
+        let mut c = SetAssocCache::new(8, 2);
+        c.insert(3, false);
+        c.insert(7, false);
+        let mut ids: Vec<u32> = c.iter().collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![3, 7]);
+    }
+}

@@ -1,0 +1,264 @@
+//! Block-granularity addressing of the three matrices.
+//!
+//! Following the paper (§2.1), the atomic data unit manipulated by every
+//! algorithm is a square `q×q` *block* of matrix coefficients, not a single
+//! coefficient: "the atomic elements that we manipulate are not matrix
+//! coefficients but rather square blocks of coefficients of size q × q".
+//! Cache capacities (`C_S`, `C_D`) are counted in blocks.
+//!
+//! A [`Block`] names one such block by matrix and block coordinates. A
+//! [`BlockSpace`] maps blocks of a concrete problem (`A: m×z`, `B: z×n`,
+//! `C: m×n`, all in block units) onto a dense `0..total` integer range so
+//! that cache bookkeeping can be plain vector indexing with no hashing on
+//! the simulator's hot path.
+
+use serde::{Deserialize, Serialize};
+
+/// Which of the three matrices of the product `C = A × B` a block belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MatrixId {
+    /// The left operand, `m × z` blocks.
+    A,
+    /// The right operand, `z × n` blocks.
+    B,
+    /// The result, `m × n` blocks.
+    C,
+}
+
+impl MatrixId {
+    /// All three matrices, in `A, B, C` order.
+    pub const ALL: [MatrixId; 3] = [MatrixId::A, MatrixId::B, MatrixId::C];
+}
+
+impl std::fmt::Display for MatrixId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatrixId::A => write!(f, "A"),
+            MatrixId::B => write!(f, "B"),
+            MatrixId::C => write!(f, "C"),
+        }
+    }
+}
+
+/// One `q×q` block of one matrix, addressed in block coordinates.
+///
+/// `row` and `col` are *block* indices: block `(row, col)` of matrix `M`
+/// covers coefficients `M[row*q .. (row+1)*q, col*q .. (col+1)*q]`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Block {
+    /// Owning matrix.
+    pub matrix: MatrixId,
+    /// Block-row index.
+    pub row: u32,
+    /// Block-column index.
+    pub col: u32,
+}
+
+impl Block {
+    /// Block `(i, k)` of `A` (`i < m`, `k < z`).
+    #[inline(always)]
+    pub const fn a(i: u32, k: u32) -> Block {
+        Block { matrix: MatrixId::A, row: i, col: k }
+    }
+
+    /// Block `(k, j)` of `B` (`k < z`, `j < n`).
+    #[inline(always)]
+    pub const fn b(k: u32, j: u32) -> Block {
+        Block { matrix: MatrixId::B, row: k, col: j }
+    }
+
+    /// Block `(i, j)` of `C` (`i < m`, `j < n`).
+    #[inline(always)]
+    pub const fn c(i: u32, j: u32) -> Block {
+        Block { matrix: MatrixId::C, row: i, col: j }
+    }
+}
+
+impl std::fmt::Display for Block {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}[{},{}]", self.matrix, self.row, self.col)
+    }
+}
+
+/// Dense id assignment for every block of a concrete `C = A × B` problem.
+///
+/// Ids are laid out as `[A row-major | B row-major | C row-major]`, so the
+/// id range is `0..total()` and each cache can use a flat lookup table.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockSpace {
+    m: u32,
+    n: u32,
+    z: u32,
+    base_b: u32,
+    base_c: u32,
+    total: u32,
+}
+
+impl BlockSpace {
+    /// Build the id space for `A: m×z`, `B: z×n`, `C: m×n` (block units).
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero or the total block count overflows
+    /// `u32` (problems that large are far beyond anything simulable anyway).
+    pub fn new(m: u32, n: u32, z: u32) -> BlockSpace {
+        assert!(m > 0 && n > 0 && z > 0, "matrix dimensions must be positive");
+        let a = (m as u64) * (z as u64);
+        let b = (z as u64) * (n as u64);
+        let c = (m as u64) * (n as u64);
+        let total = a + b + c;
+        assert!(total <= u32::MAX as u64, "block space too large: {total} blocks");
+        BlockSpace {
+            m,
+            n,
+            z,
+            base_b: a as u32,
+            base_c: (a + b) as u32,
+            total: total as u32,
+        }
+    }
+
+    /// Number of block rows of `A` and `C`.
+    #[inline]
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// Number of block columns of `B` and `C`.
+    #[inline]
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Shared dimension: block columns of `A`, block rows of `B`.
+    #[inline]
+    pub fn z(&self) -> u32 {
+        self.z
+    }
+
+    /// Total number of distinct blocks across the three matrices.
+    #[inline]
+    pub fn total(&self) -> usize {
+        self.total as usize
+    }
+
+    /// Dense id of `block`.
+    ///
+    /// Bounds are checked with `debug_assert!` only: the simulator calls
+    /// this on every cache probe and the algorithms are trusted (and
+    /// tested) to stay in range. Use [`BlockSpace::checked_id`] at API
+    /// boundaries.
+    #[inline(always)]
+    pub fn id(&self, block: Block) -> u32 {
+        debug_assert!(self.in_bounds(block), "block out of bounds: {block}");
+        match block.matrix {
+            MatrixId::A => block.row * self.z + block.col,
+            MatrixId::B => self.base_b + block.row * self.n + block.col,
+            MatrixId::C => self.base_c + block.row * self.n + block.col,
+        }
+    }
+
+    /// Dense id of `block`, or `None` if its coordinates are out of range.
+    pub fn checked_id(&self, block: Block) -> Option<u32> {
+        if self.in_bounds(block) {
+            Some(self.id(block))
+        } else {
+            None
+        }
+    }
+
+    /// Whether `block`'s coordinates are valid for this problem.
+    #[inline]
+    pub fn in_bounds(&self, block: Block) -> bool {
+        let (rows, cols) = self.dims(block.matrix);
+        block.row < rows && block.col < cols
+    }
+
+    /// `(rows, cols)` in block units of one matrix.
+    #[inline]
+    pub fn dims(&self, matrix: MatrixId) -> (u32, u32) {
+        match matrix {
+            MatrixId::A => (self.m, self.z),
+            MatrixId::B => (self.z, self.n),
+            MatrixId::C => (self.m, self.n),
+        }
+    }
+
+    /// Inverse of [`BlockSpace::id`], for diagnostics and error messages.
+    pub fn block(&self, id: u32) -> Block {
+        assert!(id < self.total, "block id {id} out of range (< {})", self.total);
+        if id < self.base_b {
+            Block::a(id / self.z, id % self.z)
+        } else if id < self.base_c {
+            let off = id - self.base_b;
+            Block::b(off / self.n, off % self.n)
+        } else {
+            let off = id - self.base_c;
+            Block::c(off / self.n, off % self.n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_layout_is_dense_and_disjoint() {
+        let s = BlockSpace::new(3, 4, 5);
+        assert_eq!(s.total(), 3 * 5 + 5 * 4 + 3 * 4);
+        let mut seen = vec![false; s.total()];
+        for i in 0..3 {
+            for k in 0..5 {
+                seen[s.id(Block::a(i, k)) as usize] = true;
+            }
+        }
+        for k in 0..5 {
+            for j in 0..4 {
+                seen[s.id(Block::b(k, j)) as usize] = true;
+            }
+        }
+        for i in 0..3 {
+            for j in 0..4 {
+                seen[s.id(Block::c(i, j)) as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "every id must be covered exactly once");
+    }
+
+    #[test]
+    fn id_round_trips() {
+        let s = BlockSpace::new(7, 2, 9);
+        for id in 0..s.total() as u32 {
+            assert_eq!(s.id(s.block(id)), id);
+        }
+    }
+
+    #[test]
+    fn checked_id_rejects_out_of_bounds() {
+        let s = BlockSpace::new(2, 2, 2);
+        assert!(s.checked_id(Block::a(2, 0)).is_none());
+        assert!(s.checked_id(Block::b(0, 2)).is_none());
+        assert!(s.checked_id(Block::c(1, 1)).is_some());
+    }
+
+    #[test]
+    fn dims_per_matrix() {
+        let s = BlockSpace::new(3, 4, 5);
+        assert_eq!(s.dims(MatrixId::A), (3, 5));
+        assert_eq!(s.dims(MatrixId::B), (5, 4));
+        assert_eq!(s.dims(MatrixId::C), (3, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_rejected() {
+        let _ = BlockSpace::new(0, 1, 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Block::a(1, 2).to_string(), "A[1,2]");
+        assert_eq!(Block::b(0, 7).to_string(), "B[0,7]");
+        assert_eq!(Block::c(3, 3).to_string(), "C[3,3]");
+    }
+}

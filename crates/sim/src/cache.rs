@@ -1,0 +1,106 @@
+//! Internal cache abstraction: fully-associative or set-associative LRU
+//! behind one interface, so the hierarchy logic is written once.
+
+use crate::assoc::SetAssocCache;
+use crate::lru::{Eviction, LruCache};
+
+/// Either replacement structure, with the common operations inlined.
+#[derive(Clone, Debug)]
+pub(crate) enum AnyCache {
+    Full(LruCache),
+    SetAssoc(SetAssocCache),
+}
+
+impl AnyCache {
+    /// `associativity = None` → fully associative.
+    pub(crate) fn new(capacity: usize, universe: usize, associativity: Option<usize>) -> AnyCache {
+        match associativity {
+            None => AnyCache::Full(LruCache::new(capacity, universe)),
+            Some(ways) => AnyCache::SetAssoc(SetAssocCache::new(capacity, ways)),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn touch(&mut self, id: u32) -> bool {
+        match self {
+            AnyCache::Full(c) => c.touch(id),
+            AnyCache::SetAssoc(c) => c.touch(id),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn touch_dirty(&mut self, id: u32) -> bool {
+        match self {
+            AnyCache::Full(c) => c.touch_dirty(id),
+            AnyCache::SetAssoc(c) => c.touch_dirty(id),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn mark_dirty(&mut self, id: u32) -> bool {
+        match self {
+            AnyCache::Full(c) => c.mark_dirty(id),
+            AnyCache::SetAssoc(c) => c.mark_dirty(id),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn insert(&mut self, id: u32, dirty: bool) -> Option<Eviction> {
+        match self {
+            AnyCache::Full(c) => c.insert(id, dirty),
+            AnyCache::SetAssoc(c) => c.insert(id, dirty),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn remove(&mut self, id: u32) -> Option<bool> {
+        match self {
+            AnyCache::Full(c) => c.remove(id),
+            AnyCache::SetAssoc(c) => c.remove(id),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn contains(&self, id: u32) -> bool {
+        match self {
+            AnyCache::Full(c) => c.contains(id),
+            AnyCache::SetAssoc(c) => c.contains(id),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            AnyCache::Full(c) => c.len(),
+            AnyCache::SetAssoc(c) => c.len(),
+        }
+    }
+
+    /// Resident ids (diagnostics/tests).
+    pub(crate) fn resident_ids(&self) -> Vec<u32> {
+        match self {
+            AnyCache::Full(c) => c.iter_mru().collect(),
+            AnyCache::SetAssoc(c) => c.iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_backends_share_behaviour_on_hits() {
+        for assoc in [None, Some(4), Some(1)] {
+            let mut c = AnyCache::new(8, 100, assoc);
+            assert!(!c.touch(5));
+            c.insert(5, false);
+            assert!(c.touch(5));
+            assert!(c.touch_dirty(5));
+            assert!(c.mark_dirty(5));
+            assert!(c.contains(5));
+            assert_eq!(c.len(), 1);
+            assert_eq!(c.remove(5), Some(true));
+            assert!(c.resident_ids().is_empty());
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Simulator error type.
+
+use crate::block::Block;
+
+/// Errors raised by the simulator.
+///
+/// In LRU mode the simulator is total (replacement is automatic) and never
+/// errors. In IDEAL mode the *algorithm* manages residency explicitly, so
+/// violating a capacity or residency invariant is reported as an error —
+/// this is how the test-suite proves our algorithm implementations really
+/// fit in the cache budget the paper claims.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SimError {
+    /// An IDEAL-mode `load_shared` would exceed the shared-cache capacity.
+    SharedCapacityExceeded {
+        /// Shared-cache capacity in blocks.
+        capacity: usize,
+        /// The block whose load failed.
+        block: Block,
+    },
+    /// An IDEAL-mode `load_dist` would exceed a distributed-cache capacity.
+    DistCapacityExceeded {
+        /// The core whose private cache overflowed.
+        core: usize,
+        /// Distributed-cache capacity in blocks.
+        capacity: usize,
+        /// The block whose load failed.
+        block: Block,
+    },
+    /// A block was loaded into a distributed cache (or accessed) without
+    /// being resident in the shared cache first; the paper's hierarchy is
+    /// inclusive and "a data has to be first loaded in the shared cache
+    /// before it could be loaded in the distributed cache" (§2.1).
+    NotResidentShared {
+        /// The offending block.
+        block: Block,
+    },
+    /// A core read or wrote a block that is not in its distributed cache
+    /// (IDEAL mode with checking enabled).
+    NotResidentDist {
+        /// The accessing core.
+        core: usize,
+        /// The offending block.
+        block: Block,
+    },
+    /// The shared cache evicted a block while some distributed cache still
+    /// held a copy, violating inclusivity (IDEAL mode).
+    InclusionViolated {
+        /// The block still resident below.
+        block: Block,
+        /// A core whose private cache still holds it.
+        core: usize,
+    },
+    /// An explicit eviction named a block that was not resident.
+    EvictAbsent {
+        /// The offending block.
+        block: Block,
+        /// `None` for the shared cache, `Some(c)` for core `c`'s cache.
+        core: Option<usize>,
+    },
+    /// A core index was `>= p`.
+    UnknownCore {
+        /// The offending index.
+        core: usize,
+        /// Number of cores in the machine.
+        cores: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            SimError::SharedCapacityExceeded { capacity, block } => write!(
+                f,
+                "shared cache over capacity ({capacity} blocks) while loading {block}"
+            ),
+            SimError::DistCapacityExceeded { core, capacity, block } => write!(
+                f,
+                "distributed cache of core {core} over capacity ({capacity} blocks) while loading {block}"
+            ),
+            SimError::NotResidentShared { block } => {
+                write!(f, "{block} is not resident in the shared cache")
+            }
+            SimError::NotResidentDist { core, block } => {
+                write!(f, "{block} is not resident in the distributed cache of core {core}")
+            }
+            SimError::InclusionViolated { block, core } => write!(
+                f,
+                "inclusivity violated: shared cache evicted {block} still held by core {core}"
+            ),
+            SimError::EvictAbsent { block, core: Some(core) } => {
+                write!(f, "evicting absent block {block} from distributed cache of core {core}")
+            }
+            SimError::EvictAbsent { block, core: None } => {
+                write!(f, "evicting absent block {block} from shared cache")
+            }
+            SimError::UnknownCore { core, cores } => {
+                write!(f, "core index {core} out of range (machine has {cores} cores)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::DistCapacityExceeded { core: 2, capacity: 3, block: Block::c(1, 1) };
+        let s = e.to_string();
+        assert!(s.contains("core 2") && s.contains("C[1,1]") && s.contains('3'));
+        let e = SimError::EvictAbsent { block: Block::a(0, 0), core: None };
+        assert!(e.to_string().contains("shared"));
+    }
+}

@@ -1,0 +1,674 @@
+//! The two-level multicore cache-hierarchy simulator.
+//!
+//! Mirrors the paper's simulator (§4.1): one shared cache in front of main
+//! memory and `p` distributed (private) caches on top of it, all at block
+//! granularity. Two data-replacement policies are offered:
+//!
+//! * **LRU** — "read and write operations are made at the distributed
+//!   cache level (top of hierarchy); if a miss occurs, operations are
+//!   propagated throughout the hierarchy until a cache hit happens";
+//! * **IDEAL** — "the user manually decides which data needs to be
+//!   loaded/unloaded in a given cache; I/O operations are not propagated
+//!   throughout the hierarchy in case of a cache miss: it is the user['s]
+//!   responsibility to guarantee that a given data is present in every
+//!   caches below the target cache" — with optional strict checking that
+//!   turns that responsibility into hard errors.
+//!
+//! The *actual* capacities simulated here are deliberately independent of
+//! the capacities declared to the algorithms (see
+//! [`MachineConfig`]): Fig. 4–6 run algorithms
+//! parameterized for `C` on physical caches of size `C` and `2C`, and the
+//! LRU-50 setting declares half of the physical size.
+
+use crate::block::{Block, BlockSpace};
+use crate::cache::AnyCache;
+use crate::error::SimError;
+use crate::ideal::{IdealCache, LoadOutcome};
+use crate::machine::MachineConfig;
+use crate::sink::SimSink;
+use crate::stats::SimStats;
+
+/// Data-replacement policy of both cache levels.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+pub enum Policy {
+    /// Least-recently-used automatic replacement.
+    Lru,
+    /// Omniscient, explicitly managed replacement (the theoretical model).
+    Ideal,
+}
+
+impl std::fmt::Display for Policy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Physical configuration of a simulation run.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SimConfig {
+    /// Number of cores `p`.
+    pub cores: usize,
+    /// Replacement policy of both levels.
+    pub policy: Policy,
+    /// Actual shared-cache capacity in blocks.
+    pub shared_capacity: usize,
+    /// Actual per-core distributed-cache capacity in blocks.
+    pub dist_capacity: usize,
+    /// Enforce inclusivity: evicting a block from the shared cache
+    /// invalidates every distributed copy (LRU), or errors (IDEAL with
+    /// `check`). The paper's hierarchy is inclusive; disabling this is an
+    /// ablation.
+    pub inclusive: bool,
+    /// In IDEAL mode, verify residency on every access and directive.
+    /// Strongly recommended (and on by default): it machine-checks the
+    /// paper's capacity arithmetic. No effect under LRU.
+    pub check: bool,
+    /// LRU-mode associativity: `None` is the paper's fully-associative
+    /// model; `Some(ways)` simulates a set-associative cache at both
+    /// levels (ablation of the associativity assumption). Ignored by the
+    /// IDEAL policy.
+    pub associativity: Option<usize>,
+}
+
+impl SimConfig {
+    /// IDEAL policy at exactly the declared capacities of `machine`.
+    pub fn ideal(machine: &MachineConfig) -> SimConfig {
+        SimConfig {
+            cores: machine.cores,
+            policy: Policy::Ideal,
+            shared_capacity: machine.shared_capacity,
+            dist_capacity: machine.dist_capacity,
+            inclusive: true,
+            check: true,
+            associativity: None,
+        }
+    }
+
+    /// LRU policy with physical capacities `factor ×` the declared ones
+    /// (`factor = 1` for Fig. 4's "LRU (C_S)", `2` for "LRU (2C_S)").
+    pub fn lru_scaled(machine: &MachineConfig, factor: usize) -> SimConfig {
+        assert!(factor > 0, "capacity factor must be positive");
+        SimConfig {
+            cores: machine.cores,
+            policy: Policy::Lru,
+            shared_capacity: machine.shared_capacity * factor,
+            dist_capacity: machine.dist_capacity * factor,
+            inclusive: true,
+            check: false,
+            associativity: None,
+        }
+    }
+
+    /// LRU policy at exactly the declared capacities.
+    pub fn lru(machine: &MachineConfig) -> SimConfig {
+        SimConfig::lru_scaled(machine, 1)
+    }
+
+    /// LRU policy with `ways`-associative caches at both levels.
+    pub fn lru_assoc(machine: &MachineConfig, ways: usize) -> SimConfig {
+        SimConfig { associativity: Some(ways), ..SimConfig::lru(machine) }
+    }
+}
+
+enum Caches {
+    Lru { shared: AnyCache, dist: Vec<AnyCache> },
+    Ideal { shared: IdealCache, dist: Vec<IdealCache> },
+}
+
+/// The multicore cache-hierarchy simulator. Implements [`SimSink`]; feed it
+/// an algorithm schedule and read the counters back from
+/// [`Simulator::stats`].
+pub struct Simulator {
+    cfg: SimConfig,
+    space: BlockSpace,
+    caches: Caches,
+    stats: SimStats,
+}
+
+impl Simulator {
+    /// Build a simulator for the problem `A: m×z`, `B: z×n`, `C: m×n`
+    /// (block units) under `cfg`.
+    pub fn new(cfg: SimConfig, m: u32, n: u32, z: u32) -> Simulator {
+        let space = BlockSpace::new(m, n, z);
+        Simulator::with_space(cfg, space)
+    }
+
+    /// Like [`Simulator::new`] with a pre-built [`BlockSpace`].
+    pub fn with_space(cfg: SimConfig, space: BlockSpace) -> Simulator {
+        assert!(cfg.cores > 0, "simulator needs at least one core");
+        let universe = space.total();
+        let caches = match cfg.policy {
+            Policy::Lru => Caches::Lru {
+                shared: AnyCache::new(cfg.shared_capacity, universe, cfg.associativity),
+                dist: (0..cfg.cores)
+                    .map(|_| AnyCache::new(cfg.dist_capacity, universe, cfg.associativity))
+                    .collect(),
+            },
+            Policy::Ideal => Caches::Ideal {
+                shared: IdealCache::new(cfg.shared_capacity, universe),
+                dist: (0..cfg.cores).map(|_| IdealCache::new(cfg.dist_capacity, universe)).collect(),
+            },
+        };
+        let stats = SimStats::new(cfg.cores);
+        Simulator { cfg, space, caches, stats }
+    }
+
+    /// The counters accumulated so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Consume the simulator and return its counters.
+    pub fn into_stats(self) -> SimStats {
+        self.stats
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The block id space (problem dimensions).
+    pub fn space(&self) -> &BlockSpace {
+        &self.space
+    }
+
+    /// Whether `block` is currently resident in the shared cache.
+    pub fn shared_contains(&self, block: Block) -> bool {
+        let id = self.space.id(block);
+        match &self.caches {
+            Caches::Lru { shared, .. } => shared.contains(id),
+            Caches::Ideal { shared, .. } => shared.contains(id),
+        }
+    }
+
+    /// Whether `block` is currently resident in core `core`'s cache.
+    pub fn dist_contains(&self, core: usize, block: Block) -> bool {
+        let id = self.space.id(block);
+        match &self.caches {
+            Caches::Lru { dist, .. } => dist[core].contains(id),
+            Caches::Ideal { dist, .. } => dist[core].contains(id),
+        }
+    }
+
+    /// Current shared-cache occupancy in blocks.
+    pub fn shared_len(&self) -> usize {
+        match &self.caches {
+            Caches::Lru { shared, .. } => shared.len(),
+            Caches::Ideal { shared, .. } => shared.len(),
+        }
+    }
+
+    /// Current occupancy of core `core`'s cache in blocks.
+    pub fn dist_len(&self, core: usize) -> usize {
+        match &self.caches {
+            Caches::Lru { dist, .. } => dist[core].len(),
+            Caches::Ideal { dist, .. } => dist[core].len(),
+        }
+    }
+
+    /// Verify the inclusivity invariant (every distributed-resident block
+    /// is shared-resident). O(universe); for tests.
+    pub fn inclusion_holds(&self) -> bool {
+        match &self.caches {
+            Caches::Lru { shared, dist } => dist
+                .iter()
+                .all(|d| d.resident_ids().into_iter().all(|id| shared.contains(id))),
+            Caches::Ideal { shared, dist } => {
+                dist.iter().all(|d| d.iter().all(|id| shared.contains(id)))
+            }
+        }
+    }
+
+    #[inline]
+    fn check_core(&self, core: usize) -> Result<(), SimError> {
+        if core >= self.cfg.cores {
+            Err(SimError::UnknownCore { core, cores: self.cfg.cores })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// LRU access path shared by reads and writes.
+    #[inline]
+    fn lru_access(&mut self, core: usize, id: u32, is_write: bool) {
+        let Caches::Lru { shared, dist } = &mut self.caches else { unreachable!() };
+        let d = &mut dist[core];
+        let hit = if is_write { d.touch_dirty(id) } else { d.touch(id) };
+        if hit {
+            self.stats.dist_hits[core] += 1;
+            return;
+        }
+        self.stats.dist_misses[core] += 1;
+        if shared.touch(id) {
+            self.stats.shared_hits += 1;
+        } else {
+            self.stats.shared_misses += 1;
+            if let Some(ev) = shared.insert(id, false) {
+                let mut dirty = ev.dirty;
+                if self.cfg.inclusive {
+                    // Back-invalidate: inclusive hierarchies drop the
+                    // distributed copies of a block leaving the shared cache.
+                    for (c, dc) in dist.iter_mut().enumerate() {
+                        if let Some(d_dirty) = dc.remove(ev.block) {
+                            if d_dirty {
+                                self.stats.dist_writebacks[c] += 1;
+                                dirty = true;
+                            }
+                        }
+                    }
+                }
+                if dirty {
+                    self.stats.shared_writebacks += 1;
+                }
+            }
+        }
+        // Load into the distributed cache (write-allocate).
+        if let Some(ev) = dist[core].insert(id, is_write) {
+            if ev.dirty {
+                self.stats.dist_writebacks[core] += 1;
+                // Write the dirty copy back into the shared level; under
+                // inclusivity it is still resident there.
+                shared.mark_dirty(ev.block);
+            }
+        }
+    }
+
+    /// IDEAL access path: accesses hit by contract; optionally verified.
+    #[inline]
+    fn ideal_access(&mut self, core: usize, id: u32, is_write: bool) -> Result<(), SimError> {
+        let Caches::Ideal { dist, .. } = &mut self.caches else { unreachable!() };
+        let d = &mut dist[core];
+        if self.cfg.check && !d.contains(id) {
+            return Err(SimError::NotResidentDist { core, block: self.space.block(id) });
+        }
+        if is_write {
+            d.mark_dirty(id);
+        }
+        self.stats.dist_hits[core] += 1;
+        Ok(())
+    }
+}
+
+impl SimSink for Simulator {
+    #[inline]
+    fn read(&mut self, core: usize, block: Block) -> Result<(), SimError> {
+        self.check_core(core)?;
+        let id = self.space.id(block);
+        match self.cfg.policy {
+            Policy::Lru => {
+                self.lru_access(core, id, false);
+                Ok(())
+            }
+            Policy::Ideal => self.ideal_access(core, id, false),
+        }
+    }
+
+    #[inline]
+    fn write(&mut self, core: usize, block: Block) -> Result<(), SimError> {
+        self.check_core(core)?;
+        let id = self.space.id(block);
+        match self.cfg.policy {
+            Policy::Lru => {
+                self.lru_access(core, id, true);
+                Ok(())
+            }
+            Policy::Ideal => self.ideal_access(core, id, true),
+        }
+    }
+
+    #[inline]
+    fn fma(&mut self, core: usize, a: Block, b: Block, c: Block) -> Result<(), SimError> {
+        self.check_core(core)?;
+        if self.cfg.check {
+            if let Caches::Ideal { dist, .. } = &self.caches {
+                let d = &dist[core];
+                for blk in [a, b, c] {
+                    if !d.contains(self.space.id(blk)) {
+                        return Err(SimError::NotResidentDist { core, block: blk });
+                    }
+                }
+            }
+        }
+        self.stats.fmas[core] += 1;
+        Ok(())
+    }
+
+    #[inline]
+    fn load_shared(&mut self, block: Block) -> Result<(), SimError> {
+        let id = self.space.id(block);
+        match &mut self.caches {
+            Caches::Lru { .. } => Ok(()), // directive: no effect under LRU
+            Caches::Ideal { shared, .. } => match shared.load(id) {
+                Ok(LoadOutcome::Miss) => {
+                    self.stats.shared_misses += 1;
+                    Ok(())
+                }
+                Ok(LoadOutcome::Hit) => {
+                    self.stats.shared_hits += 1;
+                    Ok(())
+                }
+                Err(e) => Err(SimError::SharedCapacityExceeded { capacity: e.capacity, block }),
+            },
+        }
+    }
+
+    #[inline]
+    fn evict_shared(&mut self, block: Block) -> Result<(), SimError> {
+        let id = self.space.id(block);
+        let check = self.cfg.check;
+        let inclusive = self.cfg.inclusive;
+        match &mut self.caches {
+            Caches::Lru { .. } => Ok(()),
+            Caches::Ideal { shared, dist } => {
+                if check && inclusive {
+                    for (c, dc) in dist.iter().enumerate() {
+                        if dc.contains(id) {
+                            return Err(SimError::InclusionViolated { block, core: c });
+                        }
+                    }
+                }
+                match shared.evict(id) {
+                    Some(dirty) => {
+                        if dirty {
+                            self.stats.shared_writebacks += 1;
+                        }
+                        Ok(())
+                    }
+                    None if check => Err(SimError::EvictAbsent { block, core: None }),
+                    None => Ok(()),
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn load_dist(&mut self, core: usize, block: Block) -> Result<(), SimError> {
+        self.check_core(core)?;
+        let id = self.space.id(block);
+        let check = self.cfg.check;
+        match &mut self.caches {
+            Caches::Lru { .. } => Ok(()),
+            Caches::Ideal { shared, dist } => {
+                if check && !shared.contains(id) {
+                    return Err(SimError::NotResidentShared { block });
+                }
+                match dist[core].load(id) {
+                    Ok(LoadOutcome::Miss) => {
+                        self.stats.dist_misses[core] += 1;
+                        Ok(())
+                    }
+                    Ok(LoadOutcome::Hit) => {
+                        self.stats.dist_hits[core] += 1;
+                        Ok(())
+                    }
+                    Err(e) => {
+                        Err(SimError::DistCapacityExceeded { core, capacity: e.capacity, block })
+                    }
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn evict_dist(&mut self, core: usize, block: Block) -> Result<(), SimError> {
+        self.check_core(core)?;
+        let id = self.space.id(block);
+        let check = self.cfg.check;
+        match &mut self.caches {
+            Caches::Lru { .. } => Ok(()),
+            Caches::Ideal { shared, dist } => match dist[core].evict(id) {
+                Some(dirty) => {
+                    if dirty {
+                        self.stats.dist_writebacks[core] += 1;
+                        // Write back into the shared copy (inclusive hierarchy).
+                        shared.mark_dirty(id);
+                    }
+                    Ok(())
+                }
+                None if check => Err(SimError::EvictAbsent { block, core: Some(core) }),
+                None => Ok(()),
+            },
+        }
+    }
+
+    #[inline]
+    fn barrier(&mut self) -> Result<(), SimError> {
+        self.stats.barriers += 1;
+        Ok(())
+    }
+
+    fn manages_residency(&self) -> bool {
+        matches!(self.cfg.policy, Policy::Ideal)
+    }
+}
+
+// Small display impl kept separate to avoid macro noise above.
+impl Policy {
+    /// Stable lowercase label (`"lru"` / `"ideal"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Policy::Lru => "lru",
+            Policy::Ideal => "ideal",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lru_sim(cs: usize, cd: usize, cores: usize) -> Simulator {
+        let cfg = SimConfig {
+            cores,
+            policy: Policy::Lru,
+            shared_capacity: cs,
+            dist_capacity: cd,
+            inclusive: true,
+            check: false,
+            associativity: None,
+        };
+        Simulator::new(cfg, 4, 4, 4)
+    }
+
+    fn ideal_sim(cs: usize, cd: usize, cores: usize) -> Simulator {
+        let cfg = SimConfig {
+            cores,
+            policy: Policy::Ideal,
+            shared_capacity: cs,
+            dist_capacity: cd,
+            inclusive: true,
+            check: true,
+            associativity: None,
+        };
+        Simulator::new(cfg, 4, 4, 4)
+    }
+
+    #[test]
+    fn lru_cold_miss_hits_both_levels() {
+        let mut s = lru_sim(8, 2, 2);
+        s.read(0, Block::a(0, 0)).unwrap();
+        assert_eq!(s.stats().shared_misses, 1);
+        assert_eq!(s.stats().dist_misses[0], 1);
+        // Same core again: full hit.
+        s.read(0, Block::a(0, 0)).unwrap();
+        assert_eq!(s.stats().dist_hits[0], 1);
+        assert_eq!(s.stats().shared_misses, 1);
+        // Other core: shared hit, distributed miss.
+        s.read(1, Block::a(0, 0)).unwrap();
+        assert_eq!(s.stats().shared_hits, 1);
+        assert_eq!(s.stats().dist_misses[1], 1);
+    }
+
+    #[test]
+    fn lru_shared_eviction_back_invalidates() {
+        let mut s = lru_sim(2, 2, 1);
+        s.read(0, Block::a(0, 0)).unwrap();
+        s.read(0, Block::a(0, 1)).unwrap();
+        // Third distinct block evicts A[0,0] from shared; the distributed
+        // copy must disappear with it (inclusive hierarchy).
+        s.read(0, Block::a(0, 2)).unwrap();
+        assert!(!s.shared_contains(Block::a(0, 0)));
+        assert!(!s.dist_contains(0, Block::a(0, 0)));
+        assert!(s.inclusion_holds());
+        // Re-reading it is a miss at both levels again.
+        s.read(0, Block::a(0, 0)).unwrap();
+        assert_eq!(s.stats().shared_misses, 4);
+    }
+
+    #[test]
+    fn lru_dirty_eviction_counts_writeback() {
+        let mut s = lru_sim(16, 1, 1);
+        s.write(0, Block::c(0, 0)).unwrap();
+        // Distributed cache holds one block: the next access evicts the
+        // dirty C block back to shared.
+        s.read(0, Block::a(0, 0)).unwrap();
+        assert_eq!(s.stats().dist_writebacks[0], 1);
+        // Now push C[0,0] out of shared: its dirty state must surface as a
+        // shared writeback. Capacity 16 needs 15 more distinct blocks.
+        for k in 0..4 {
+            for i in 0..4 {
+                s.read(0, Block::b(k, i)).unwrap();
+            }
+        }
+        assert!(!s.shared_contains(Block::c(0, 0)));
+        assert_eq!(s.stats().shared_writebacks, 1);
+    }
+
+    #[test]
+    fn non_inclusive_mode_keeps_distributed_copies() {
+        let cfg = SimConfig {
+            cores: 1,
+            policy: Policy::Lru,
+            shared_capacity: 2,
+            // Larger than the shared level so the private copy can only
+            // disappear through back-invalidation, which is off here.
+            dist_capacity: 3,
+            inclusive: false,
+            check: false,
+            associativity: None,
+        };
+        let mut s = Simulator::new(cfg, 4, 4, 4);
+        s.read(0, Block::a(0, 0)).unwrap();
+        s.read(0, Block::a(0, 1)).unwrap();
+        s.read(0, Block::a(0, 2)).unwrap(); // evicts A[0,0] from shared only
+        assert!(!s.shared_contains(Block::a(0, 0)));
+        assert!(s.dist_contains(0, Block::a(0, 0)));
+    }
+
+    #[test]
+    fn ideal_requires_explicit_management() {
+        let mut s = ideal_sim(8, 2, 1);
+        // Access before load: checked error.
+        assert_eq!(
+            s.read(0, Block::a(0, 0)),
+            Err(SimError::NotResidentDist { core: 0, block: Block::a(0, 0) })
+        );
+        // Distributed load requires the shared copy first.
+        assert_eq!(
+            s.load_dist(0, Block::a(0, 0)),
+            Err(SimError::NotResidentShared { block: Block::a(0, 0) })
+        );
+        s.load_shared(Block::a(0, 0)).unwrap();
+        s.load_dist(0, Block::a(0, 0)).unwrap();
+        s.read(0, Block::a(0, 0)).unwrap();
+        assert_eq!(s.stats().shared_misses, 1);
+        assert_eq!(s.stats().dist_misses[0], 1);
+        assert_eq!(s.stats().dist_hits[0], 1);
+    }
+
+    #[test]
+    fn ideal_load_is_idempotent_and_counts_hits() {
+        let mut s = ideal_sim(8, 2, 1);
+        s.load_shared(Block::b(1, 1)).unwrap();
+        s.load_shared(Block::b(1, 1)).unwrap();
+        assert_eq!(s.stats().shared_misses, 1);
+        assert_eq!(s.stats().shared_hits, 1);
+    }
+
+    #[test]
+    fn ideal_capacity_is_enforced() {
+        let mut s = ideal_sim(2, 1, 1);
+        s.load_shared(Block::a(0, 0)).unwrap();
+        s.load_shared(Block::a(0, 1)).unwrap();
+        assert!(matches!(
+            s.load_shared(Block::a(0, 2)),
+            Err(SimError::SharedCapacityExceeded { capacity: 2, .. })
+        ));
+        s.load_dist(0, Block::a(0, 0)).unwrap();
+        assert!(matches!(
+            s.load_dist(0, Block::a(0, 1)),
+            Err(SimError::DistCapacityExceeded { core: 0, capacity: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn ideal_inclusion_violation_detected() {
+        let mut s = ideal_sim(4, 2, 1);
+        s.load_shared(Block::c(0, 0)).unwrap();
+        s.load_dist(0, Block::c(0, 0)).unwrap();
+        assert_eq!(
+            s.evict_shared(Block::c(0, 0)),
+            Err(SimError::InclusionViolated { block: Block::c(0, 0), core: 0 })
+        );
+        s.evict_dist(0, Block::c(0, 0)).unwrap();
+        s.evict_shared(Block::c(0, 0)).unwrap();
+    }
+
+    #[test]
+    fn ideal_dirty_propagation() {
+        let mut s = ideal_sim(4, 2, 1);
+        s.load_shared(Block::c(0, 0)).unwrap();
+        s.load_dist(0, Block::c(0, 0)).unwrap();
+        s.write(0, Block::c(0, 0)).unwrap();
+        s.evict_dist(0, Block::c(0, 0)).unwrap();
+        assert_eq!(s.stats().dist_writebacks[0], 1);
+        s.evict_shared(Block::c(0, 0)).unwrap();
+        assert_eq!(s.stats().shared_writebacks, 1);
+    }
+
+    #[test]
+    fn ideal_fma_checks_operands() {
+        let mut s = ideal_sim(8, 3, 1);
+        let (a, b, c) = (Block::a(0, 0), Block::b(0, 0), Block::c(0, 0));
+        assert!(s.fma(0, a, b, c).is_err());
+        for blk in [a, b, c] {
+            s.load_shared(blk).unwrap();
+            s.load_dist(0, blk).unwrap();
+        }
+        s.fma(0, a, b, c).unwrap();
+        assert_eq!(s.stats().fmas[0], 1);
+    }
+
+    #[test]
+    fn unknown_core_rejected() {
+        let mut s = lru_sim(4, 2, 2);
+        assert_eq!(
+            s.read(5, Block::a(0, 0)),
+            Err(SimError::UnknownCore { core: 5, cores: 2 })
+        );
+    }
+
+    #[test]
+    fn directives_are_noops_under_lru() {
+        let mut s = lru_sim(4, 2, 1);
+        s.load_shared(Block::a(0, 0)).unwrap();
+        s.load_dist(0, Block::a(0, 0)).unwrap();
+        s.evict_shared(Block::a(3, 3)).unwrap();
+        assert_eq!(s.stats().shared_misses, 0);
+        assert!(!s.shared_contains(Block::a(0, 0)));
+        assert!(!s.manages_residency());
+    }
+
+    #[test]
+    fn sim_config_constructors() {
+        let m = MachineConfig::quad_q32();
+        let c = SimConfig::ideal(&m);
+        assert_eq!(c.shared_capacity, 977);
+        assert!(matches!(c.policy, Policy::Ideal));
+        let c = SimConfig::lru_scaled(&m, 2);
+        assert_eq!(c.shared_capacity, 1954);
+        assert_eq!(c.dist_capacity, 42);
+        assert!(matches!(c.policy, Policy::Lru));
+    }
+}

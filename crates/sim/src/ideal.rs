@@ -1,0 +1,178 @@
+//! Explicitly managed ("omniscient") cache for the IDEAL policy.
+//!
+//! The paper's theoretical model (§2.1) assumes "we are able to totally
+//! control the behavior of each cache, and that we can load any data into
+//! any cache". In the simulator's IDEAL mode (§4.1) "the user manually
+//! decides which data needs to be loaded/unloaded in a given cache".
+//!
+//! This cache therefore has no replacement policy at all: loads fail when
+//! the cache is full, and the algorithm is responsible for evicting. That
+//! strictness is a feature — it turns the paper's capacity arithmetic
+//! (`1 + λ + λ² ≤ C_S`, `α² + 2αβ ≤ C_S`, …) into machine-checked
+//! invariants of our algorithm implementations.
+
+/// Result of an explicit load.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LoadOutcome {
+    /// The block was absent and has been loaded: one cache miss.
+    Miss,
+    /// The block was already resident: no traffic.
+    Hit,
+}
+
+/// Why an explicit load failed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CapacityExceeded {
+    /// The cache's capacity in blocks.
+    pub capacity: usize,
+}
+
+const ABSENT: u8 = 0;
+const CLEAN: u8 = 1;
+const DIRTY: u8 = 2;
+
+/// An explicitly managed cache of `capacity` blocks over ids `0..universe`.
+#[derive(Clone, Debug)]
+pub struct IdealCache {
+    capacity: usize,
+    flags: Vec<u8>,
+    len: usize,
+}
+
+impl IdealCache {
+    /// Create a cache holding up to `capacity` of the ids `0..universe`.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize, universe: usize) -> IdealCache {
+        assert!(capacity > 0, "IDEAL cache capacity must be positive");
+        IdealCache { capacity, flags: vec![ABSENT; universe], len: 0 }
+    }
+
+    /// Number of resident blocks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the cache is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Capacity in blocks.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether `id` is resident.
+    #[inline]
+    pub fn contains(&self, id: u32) -> bool {
+        self.flags[id as usize] != ABSENT
+    }
+
+    /// Whether `id` is resident and dirty.
+    #[inline]
+    pub fn is_dirty(&self, id: u32) -> bool {
+        self.flags[id as usize] == DIRTY
+    }
+
+    /// Ensure `id` is resident.
+    ///
+    /// Idempotent: loading a resident block is a [`LoadOutcome::Hit`] and
+    /// costs nothing. Loading into a full cache is an error: the IDEAL
+    /// policy never evicts on its own.
+    #[inline]
+    pub fn load(&mut self, id: u32) -> Result<LoadOutcome, CapacityExceeded> {
+        if self.flags[id as usize] != ABSENT {
+            return Ok(LoadOutcome::Hit);
+        }
+        if self.len == self.capacity {
+            return Err(CapacityExceeded { capacity: self.capacity });
+        }
+        self.flags[id as usize] = CLEAN;
+        self.len += 1;
+        Ok(LoadOutcome::Miss)
+    }
+
+    /// Evict `id`, returning whether its copy was dirty, or `None` if absent.
+    #[inline]
+    pub fn evict(&mut self, id: u32) -> Option<bool> {
+        let f = self.flags[id as usize];
+        if f == ABSENT {
+            return None;
+        }
+        self.flags[id as usize] = ABSENT;
+        self.len -= 1;
+        Some(f == DIRTY)
+    }
+
+    /// Mark `id` dirty. Returns `false` if absent.
+    #[inline]
+    pub fn mark_dirty(&mut self, id: u32) -> bool {
+        if self.flags[id as usize] == ABSENT {
+            return false;
+        }
+        self.flags[id as usize] = DIRTY;
+        true
+    }
+
+    /// Resident ids in increasing id order (diagnostics/tests only: O(universe)).
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.flags
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f != ABSENT)
+            .map(|(i, _)| i as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_is_idempotent() {
+        let mut c = IdealCache::new(2, 10);
+        assert_eq!(c.load(3), Ok(LoadOutcome::Miss));
+        assert_eq!(c.load(3), Ok(LoadOutcome::Hit));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn full_cache_rejects_loads() {
+        let mut c = IdealCache::new(1, 10);
+        c.load(0).unwrap();
+        assert_eq!(c.load(1), Err(CapacityExceeded { capacity: 1 }));
+        // Hit on the resident block still fine.
+        assert_eq!(c.load(0), Ok(LoadOutcome::Hit));
+    }
+
+    #[test]
+    fn evict_frees_space_and_reports_dirty() {
+        let mut c = IdealCache::new(1, 10);
+        c.load(4).unwrap();
+        assert!(c.mark_dirty(4));
+        assert_eq!(c.evict(4), Some(true));
+        assert_eq!(c.evict(4), None);
+        assert_eq!(c.load(5), Ok(LoadOutcome::Miss));
+        assert_eq!(c.evict(5), Some(false));
+    }
+
+    #[test]
+    fn mark_dirty_absent_is_false() {
+        let mut c = IdealCache::new(1, 10);
+        assert!(!c.mark_dirty(9));
+    }
+
+    #[test]
+    fn iter_lists_residents() {
+        let mut c = IdealCache::new(3, 10);
+        c.load(7).unwrap();
+        c.load(2).unwrap();
+        let ids: Vec<u32> = c.iter().collect();
+        assert_eq!(ids, vec![2, 7]);
+    }
+}

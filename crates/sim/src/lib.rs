@@ -1,0 +1,68 @@
+//! # mmc-sim — multicore cache-hierarchy simulator
+//!
+//! The simulation substrate of the `multicore-matmul` workspace: a
+//! block-granularity model of the multicore memory architecture of
+//!
+//! > M. Jacquelin, L. Marchal, Y. Robert, *Complexity analysis and
+//! > performance evaluation of matrix product on multicore architectures*,
+//! > LIP RRLIP2009-09 / ICPP 2009.
+//!
+//! The modeled machine (paper Fig. 1) has `p` cores behind a *shared*
+//! cache of `C_S` blocks (bandwidth `σ_S` to memory) and `p` private
+//! *distributed* caches of `C_D` blocks each (bandwidth `σ_D`); the
+//! hierarchy is inclusive and fully associative, and the data unit is a
+//! square `q×q` block of matrix coefficients.
+//!
+//! The simulator counts shared-cache misses `M_S`, per-core distributed
+//! misses `M_D^(c)` and derives the paper's objectives (`M_D = max_c`,
+//! `T_data = M_S/σ_S + M_D/σ_D`, CCRs) under either the omniscient
+//! **IDEAL** replacement policy of the theoretical model or a classical
+//! **LRU** policy (§4.1 of the paper).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use mmc_sim::{Block, MachineConfig, Policy, SimConfig, SimSink, Simulator};
+//!
+//! let machine = MachineConfig::quad_q32();
+//! let mut sim = Simulator::new(SimConfig::lru(&machine), 8, 8, 8);
+//! // Core 0 reads block (0,0) of A twice: one miss at each level, one hit.
+//! sim.read(0, Block::a(0, 0)).unwrap();
+//! sim.read(0, Block::a(0, 0)).unwrap();
+//! assert_eq!(sim.stats().shared_misses, 1);
+//! assert_eq!(sim.stats().dist_misses[0], 1);
+//! assert_eq!(sim.stats().dist_hits[0], 1);
+//! assert!(matches!(sim.config().policy, Policy::Lru));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analysis;
+pub mod assoc;
+pub mod block;
+pub(crate) mod cache;
+pub mod error;
+pub mod hierarchy;
+pub mod ideal;
+pub mod lru;
+pub mod machine;
+pub mod sink;
+pub mod stats;
+pub mod timing;
+pub mod tree;
+pub mod validate;
+
+pub use analysis::{ProfilingSink, StackDistanceProfile};
+pub use assoc::SetAssocCache;
+pub use block::{Block, BlockSpace, MatrixId};
+pub use error::SimError;
+pub use hierarchy::{Policy, SimConfig, Simulator};
+pub use ideal::{IdealCache, LoadOutcome};
+pub use lru::{Eviction, LruCache};
+pub use machine::MachineConfig;
+pub use sink::{CountingSink, SimSink, TraceEvent, TraceSink};
+pub use stats::SimStats;
+pub use timing::{BspTiming, TimingModel};
+pub use tree::{TreeLevel, TreeSimulator, TreeStats, TreeTopology};
+pub use validate::{validate_ideal_trace, TraceViolation};

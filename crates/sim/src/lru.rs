@@ -1,0 +1,365 @@
+//! Fully-associative LRU cache over dense block ids.
+//!
+//! The paper's simulator implements "a classical LRU replacement policy"
+//! as the realistic counterpart of the ideal-cache model (§4.1). This
+//! implementation is a fully-associative cache — the model's caches "can
+//! store any data from main memory" (§2.1) — with:
+//!
+//! * O(1) probe / insert / remove via a flat `index` table (dense block id
+//!   → slot) and an intrusive doubly-linked recency list over a slab;
+//! * no allocation after construction (the slab is pre-sized to capacity);
+//! * per-entry dirty bits so write-backs can be accounted separately from
+//!   misses, as the paper's miss formulas count loads only.
+
+/// A block evicted by [`LruCache::insert`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Eviction {
+    /// Dense id of the evicted block.
+    pub block: u32,
+    /// Whether the evicted copy had been written to.
+    pub dirty: bool,
+}
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct Slot {
+    block: u32,
+    prev: u32,
+    next: u32,
+    dirty: bool,
+}
+
+/// Fully-associative LRU cache of `capacity` blocks over ids `0..universe`.
+#[derive(Clone, Debug)]
+pub struct LruCache {
+    capacity: usize,
+    /// `index[id] == NIL` means absent, otherwise the slot index.
+    index: Vec<u32>,
+    slots: Vec<Slot>,
+    /// Most-recently-used slot.
+    head: u32,
+    /// Least-recently-used slot.
+    tail: u32,
+    /// Head of the free-slot list (threaded through `next`).
+    free: u32,
+    len: usize,
+}
+
+impl LruCache {
+    /// Create a cache holding up to `capacity` of the ids `0..universe`.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`: the hierarchy logic requires every level
+    /// to hold at least one block.
+    pub fn new(capacity: usize, universe: usize) -> LruCache {
+        assert!(capacity > 0, "LRU cache capacity must be positive");
+        let mut slots = Vec::with_capacity(capacity);
+        for i in 0..capacity {
+            slots.push(Slot {
+                block: NIL,
+                prev: NIL,
+                next: if i + 1 < capacity { (i + 1) as u32 } else { NIL },
+                dirty: false,
+            });
+        }
+        LruCache {
+            capacity,
+            index: vec![NIL; universe],
+            slots,
+            head: NIL,
+            tail: NIL,
+            free: if capacity > 0 { 0 } else { NIL },
+            len: 0,
+        }
+    }
+
+    /// Number of resident blocks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the cache is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Capacity in blocks.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether `id` is resident (does not affect recency).
+    #[inline]
+    pub fn contains(&self, id: u32) -> bool {
+        self.index[id as usize] != NIL
+    }
+
+    /// Whether `id` is resident and dirty.
+    #[inline]
+    pub fn is_dirty(&self, id: u32) -> bool {
+        let s = self.index[id as usize];
+        s != NIL && self.slots[s as usize].dirty
+    }
+
+    /// Probe for `id`; on a hit move it to the most-recently-used position.
+    ///
+    /// Returns `true` on hit.
+    #[inline]
+    pub fn touch(&mut self, id: u32) -> bool {
+        let slot = self.index[id as usize];
+        if slot == NIL {
+            return false;
+        }
+        self.move_to_front(slot);
+        true
+    }
+
+    /// Like [`LruCache::touch`], additionally marking the entry dirty on hit.
+    #[inline]
+    pub fn touch_dirty(&mut self, id: u32) -> bool {
+        let slot = self.index[id as usize];
+        if slot == NIL {
+            return false;
+        }
+        self.slots[slot as usize].dirty = true;
+        self.move_to_front(slot);
+        true
+    }
+
+    /// Mark `id` dirty without changing recency. Returns `false` if absent.
+    #[inline]
+    pub fn mark_dirty(&mut self, id: u32) -> bool {
+        let slot = self.index[id as usize];
+        if slot == NIL {
+            return false;
+        }
+        self.slots[slot as usize].dirty = true;
+        true
+    }
+
+    /// Insert `id` at the most-recently-used position.
+    ///
+    /// The caller must have established that `id` is absent (a real cache
+    /// inserts only on a miss); this is checked with `debug_assert!`.
+    /// If the cache is full the least-recently-used entry is evicted and
+    /// returned.
+    #[inline]
+    pub fn insert(&mut self, id: u32, dirty: bool) -> Option<Eviction> {
+        debug_assert!(!self.contains(id), "inserting already-resident block {id}");
+        let evicted = if self.len == self.capacity {
+            let victim = self.tail;
+            let slot = &mut self.slots[victim as usize];
+            let ev = Eviction { block: slot.block, dirty: slot.dirty };
+            self.index[ev.block as usize] = NIL;
+            self.unlink(victim);
+            self.push_free(victim);
+            self.len -= 1;
+            Some(ev)
+        } else {
+            None
+        };
+        let slot = self.pop_free();
+        {
+            let s = &mut self.slots[slot as usize];
+            s.block = id;
+            s.dirty = dirty;
+        }
+        self.link_front(slot);
+        self.index[id as usize] = slot;
+        self.len += 1;
+        evicted
+    }
+
+    /// Remove `id` if resident, returning whether its copy was dirty.
+    #[inline]
+    pub fn remove(&mut self, id: u32) -> Option<bool> {
+        let slot = self.index[id as usize];
+        if slot == NIL {
+            return None;
+        }
+        let dirty = self.slots[slot as usize].dirty;
+        self.index[id as usize] = NIL;
+        self.unlink(slot);
+        self.push_free(slot);
+        self.len -= 1;
+        Some(dirty)
+    }
+
+    /// Resident ids from most- to least-recently used (diagnostics/tests).
+    pub fn iter_mru(&self) -> impl Iterator<Item = u32> + '_ {
+        let mut cur = self.head;
+        std::iter::from_fn(move || {
+            if cur == NIL {
+                return None;
+            }
+            let s = &self.slots[cur as usize];
+            cur = s.next;
+            Some(s.block)
+        })
+    }
+
+    /// Drop every entry (recency and dirty state included).
+    pub fn clear(&mut self) {
+        let ids: Vec<u32> = self.iter_mru().collect();
+        for id in ids {
+            self.remove(id);
+        }
+    }
+
+    #[inline]
+    fn move_to_front(&mut self, slot: u32) {
+        if self.head == slot {
+            return;
+        }
+        self.unlink(slot);
+        self.link_front(slot);
+    }
+
+    #[inline]
+    fn unlink(&mut self, slot: u32) {
+        let (prev, next) = {
+            let s = &self.slots[slot as usize];
+            (s.prev, s.next)
+        };
+        if prev != NIL {
+            self.slots[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    #[inline]
+    fn link_front(&mut self, slot: u32) {
+        let old_head = self.head;
+        {
+            let s = &mut self.slots[slot as usize];
+            s.prev = NIL;
+            s.next = old_head;
+        }
+        if old_head != NIL {
+            self.slots[old_head as usize].prev = slot;
+        } else {
+            self.tail = slot;
+        }
+        self.head = slot;
+    }
+
+    #[inline]
+    fn push_free(&mut self, slot: u32) {
+        self.slots[slot as usize].next = self.free;
+        self.free = slot;
+    }
+
+    #[inline]
+    fn pop_free(&mut self) -> u32 {
+        let slot = self.free;
+        debug_assert!(slot != NIL, "free list exhausted with len {} < capacity {}", self.len, self.capacity);
+        self.free = self.slots[slot as usize].next;
+        slot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2, 10);
+        assert_eq!(c.insert(1, false), None);
+        assert_eq!(c.insert(2, false), None);
+        // Touch 1 so 2 becomes LRU.
+        assert!(c.touch(1));
+        let ev = c.insert(3, false).expect("full cache must evict");
+        assert_eq!(ev, Eviction { block: 2, dirty: false });
+        assert!(c.contains(1) && c.contains(3) && !c.contains(2));
+    }
+
+    #[test]
+    fn dirty_bit_travels_with_eviction() {
+        let mut c = LruCache::new(1, 10);
+        c.insert(5, false);
+        assert!(c.touch_dirty(5));
+        let ev = c.insert(6, false).unwrap();
+        assert!(ev.dirty && ev.block == 5);
+        // A clean entry evicts clean.
+        let ev = c.insert(7, false).unwrap();
+        assert!(!ev.dirty && ev.block == 6);
+    }
+
+    #[test]
+    fn remove_returns_dirty_state() {
+        let mut c = LruCache::new(3, 10);
+        c.insert(1, true);
+        c.insert(2, false);
+        assert_eq!(c.remove(1), Some(true));
+        assert_eq!(c.remove(2), Some(false));
+        assert_eq!(c.remove(2), None);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn mru_order_is_maintained() {
+        let mut c = LruCache::new(3, 10);
+        c.insert(1, false);
+        c.insert(2, false);
+        c.insert(3, false);
+        c.touch(1);
+        let order: Vec<u32> = c.iter_mru().collect();
+        assert_eq!(order, vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn slots_are_recycled_without_growth() {
+        let mut c = LruCache::new(4, 1000);
+        for round in 0..10u32 {
+            for i in 0..100u32 {
+                let id = round * 100 + i;
+                if !c.touch(id) {
+                    c.insert(id, false);
+                }
+            }
+        }
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.capacity(), 4);
+    }
+
+    #[test]
+    fn clear_empties_cache() {
+        let mut c = LruCache::new(3, 10);
+        c.insert(1, true);
+        c.insert(2, false);
+        c.clear();
+        assert!(c.is_empty());
+        assert!(!c.contains(1));
+        // Reusable after clear.
+        assert_eq!(c.insert(7, false), None);
+        assert!(c.contains(7));
+    }
+
+    #[test]
+    fn mark_dirty_does_not_change_recency() {
+        let mut c = LruCache::new(2, 10);
+        c.insert(1, false);
+        c.insert(2, false);
+        assert!(c.mark_dirty(1));
+        // 1 is still LRU (insertion order 1 then 2; mark_dirty must not promote).
+        let ev = c.insert(3, false).unwrap();
+        assert_eq!(ev, Eviction { block: 1, dirty: true });
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = LruCache::new(0, 10);
+    }
+}

@@ -1,0 +1,222 @@
+//! Machine model: core count, cache capacities (in blocks) and bandwidths.
+//!
+//! A [`MachineConfig`] carries the capacities an algorithm is *told about*
+//! (its tile parameters are derived from these). The simulator's *actual*
+//! cache sizes are configured separately (see
+//! [`SimConfig`](crate::SimConfig)); the paper's LRU-50 setting declares
+//! half of the physical capacity to the algorithm and lets the LRU policy
+//! use the other half "as kind of an automatic prefetching buffer" (§4.2).
+//!
+//! The presets encode the paper's simulated "realistic quad-core" (§4.1):
+//! 8 MB shared cache, four 256 KB private caches, with block sizes
+//! q ∈ {32, 64, 80} and the optimistic (two-thirds of the private cache
+//! for data) or pessimistic (one-half) assumptions, giving exactly the
+//! capacities the paper lists: `C_S ∈ {977, 245, 157}`,
+//! `C_D ∈ {21, 16, 6, 4, 3}`.
+
+use serde::{Deserialize, Serialize};
+
+/// Description of the multicore target (Fig. 1 of the paper).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Number of cores `p`.
+    pub cores: usize,
+    /// Shared-cache capacity `C_S`, in `q×q` blocks, as declared to algorithms.
+    pub shared_capacity: usize,
+    /// Per-core distributed-cache capacity `C_D`, in blocks.
+    pub dist_capacity: usize,
+    /// Memory→shared-cache bandwidth `σ_S` (blocks per time unit).
+    pub sigma_s: f64,
+    /// Shared→distributed-cache bandwidth `σ_D` (blocks per time unit).
+    pub sigma_d: f64,
+    /// Block side `q` (matrix coefficients); informational, used by the
+    /// real executor and for element-count conversions.
+    pub block_size: usize,
+}
+
+impl MachineConfig {
+    /// A machine with unit bandwidths; the common constructor for studies
+    /// that only look at miss counts.
+    pub fn new(cores: usize, shared_capacity: usize, dist_capacity: usize, block_size: usize) -> MachineConfig {
+        assert!(cores > 0, "machine needs at least one core");
+        assert!(shared_capacity > 0 && dist_capacity > 0, "cache capacities must be positive");
+        MachineConfig {
+            cores,
+            shared_capacity,
+            dist_capacity,
+            sigma_s: 1.0,
+            sigma_d: 1.0,
+            block_size,
+        }
+    }
+
+    /// Derive block capacities from byte sizes, the way §4.1 derives its
+    /// presets: a `q×q` block of `f64` takes `8q²` bytes; `data_fraction`
+    /// of each private cache is usable for data (the paper uses ⅔, or ½
+    /// in the pessimistic variant). Returns `None` if either capacity
+    /// rounds to zero blocks.
+    pub fn from_bytes(
+        cores: usize,
+        shared_bytes: usize,
+        dist_bytes: usize,
+        q: usize,
+        data_fraction: f64,
+    ) -> Option<MachineConfig> {
+        assert!((0.0..=1.0).contains(&data_fraction), "data fraction in [0, 1]");
+        let block_bytes = q * q * std::mem::size_of::<f64>();
+        let cs = shared_bytes / block_bytes;
+        let cd = (dist_bytes as f64 * data_fraction / block_bytes as f64) as usize;
+        if cs == 0 || cd == 0 {
+            return None;
+        }
+        Some(MachineConfig::new(cores, cs, cd, q))
+    }
+
+    /// Paper preset: q = 32, data occupy two thirds of each private cache
+    /// (`C_S = 977`, `C_D = 21`).
+    pub fn quad_q32() -> MachineConfig {
+        MachineConfig::new(4, 977, 21, 32)
+    }
+
+    /// Paper preset: q = 32, pessimistic one-half data assumption
+    /// (`C_S = 977`, `C_D = 16`).
+    pub fn quad_q32_pessimistic() -> MachineConfig {
+        MachineConfig::new(4, 977, 16, 32)
+    }
+
+    /// Paper preset: q = 64 (`C_S = 245`, `C_D = 6`).
+    pub fn quad_q64() -> MachineConfig {
+        MachineConfig::new(4, 245, 6, 64)
+    }
+
+    /// Paper preset: q = 64, pessimistic (`C_S = 245`, `C_D = 4`).
+    pub fn quad_q64_pessimistic() -> MachineConfig {
+        MachineConfig::new(4, 245, 4, 64)
+    }
+
+    /// Paper preset: q = 80 (`C_S = 157`, `C_D = 4`).
+    pub fn quad_q80() -> MachineConfig {
+        MachineConfig::new(4, 157, 4, 80)
+    }
+
+    /// Paper preset: q = 80, pessimistic (`C_S = 157`, `C_D = 3`).
+    pub fn quad_q80_pessimistic() -> MachineConfig {
+        MachineConfig::new(4, 157, 3, 80)
+    }
+
+    /// Every paper preset, with a short label, in the order the evaluation
+    /// section uses them.
+    pub fn paper_presets() -> Vec<(&'static str, MachineConfig)> {
+        vec![
+            ("q32_cd21", MachineConfig::quad_q32()),
+            ("q32_cd16", MachineConfig::quad_q32_pessimistic()),
+            ("q64_cd6", MachineConfig::quad_q64()),
+            ("q64_cd4", MachineConfig::quad_q64_pessimistic()),
+            ("q80_cd4", MachineConfig::quad_q80()),
+            ("q80_cd3", MachineConfig::quad_q80_pessimistic()),
+        ]
+    }
+
+    /// Replace both bandwidths.
+    pub fn with_bandwidths(mut self, sigma_s: f64, sigma_d: f64) -> MachineConfig {
+        assert!(sigma_s > 0.0 && sigma_d > 0.0, "bandwidths must be positive");
+        self.sigma_s = sigma_s;
+        self.sigma_d = sigma_d;
+        self
+    }
+
+    /// Bandwidths parameterized by the paper's Fig. 12 ratio
+    /// `r = σ_S / (σ_S + σ_D)` with `σ_S + σ_D = 1`: `σ_S = r`,
+    /// `σ_D = 1 − r`. `r` must lie strictly inside `(0, 1)`.
+    pub fn with_bandwidth_ratio(self, r: f64) -> MachineConfig {
+        assert!(r > 0.0 && r < 1.0, "bandwidth ratio must be in (0, 1), got {r}");
+        self.with_bandwidths(r, 1.0 - r)
+    }
+
+    /// The LRU-50 declaration: a machine whose declared capacities are half
+    /// of this one's (the physical simulator still runs at full size).
+    pub fn halved(&self) -> MachineConfig {
+        MachineConfig {
+            shared_capacity: (self.shared_capacity / 2).max(1),
+            dist_capacity: (self.dist_capacity / 2).max(1),
+            ..self.clone()
+        }
+    }
+
+    /// Whether the inclusivity precondition `C_S ≥ p·C_D` (§2.1) holds.
+    pub fn inclusivity_holds(&self) -> bool {
+        self.shared_capacity >= self.cores * self.dist_capacity
+    }
+
+    /// Convert a block count into matrix coefficients (`blocks × q²`).
+    pub fn blocks_to_elements(&self, blocks: u64) -> u64 {
+        blocks * (self.block_size as u64) * (self.block_size as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_presets_match_section_4_1() {
+        assert_eq!(MachineConfig::quad_q32().shared_capacity, 977);
+        assert_eq!(MachineConfig::quad_q32().dist_capacity, 21);
+        assert_eq!(MachineConfig::quad_q32_pessimistic().dist_capacity, 16);
+        assert_eq!(MachineConfig::quad_q64().shared_capacity, 245);
+        assert_eq!(MachineConfig::quad_q64().dist_capacity, 6);
+        assert_eq!(MachineConfig::quad_q64_pessimistic().dist_capacity, 4);
+        assert_eq!(MachineConfig::quad_q80().shared_capacity, 157);
+        assert_eq!(MachineConfig::quad_q80().dist_capacity, 4);
+        assert_eq!(MachineConfig::quad_q80_pessimistic().dist_capacity, 3);
+        for (_, m) in MachineConfig::paper_presets() {
+            assert_eq!(m.cores, 4);
+            assert!(m.inclusivity_holds(), "paper presets satisfy C_S >= p*C_D");
+        }
+    }
+
+    #[test]
+    fn from_bytes_reproduces_paper_derivations() {
+        // 8 MB shared / 256 KB private, q = 32: C_S = 1024 raw blocks
+        // (the paper trims to 977 for instructions/metadata; we expose the
+        // raw arithmetic), C_D = 21 at the two-thirds assumption and 16 at
+        // one half — matching §4.1 exactly for the private caches.
+        let m = MachineConfig::from_bytes(4, 8 << 20, 256 << 10, 32, 2.0 / 3.0).unwrap();
+        assert_eq!(m.shared_capacity, 1024);
+        assert_eq!(m.dist_capacity, 21);
+        let m = MachineConfig::from_bytes(4, 8 << 20, 256 << 10, 32, 0.5).unwrap();
+        assert_eq!(m.dist_capacity, 16);
+        // Blocks too large for the private cache → None.
+        assert!(MachineConfig::from_bytes(4, 8 << 20, 256 << 10, 256, 0.5).is_none());
+    }
+
+    #[test]
+    fn halved_declares_half() {
+        let m = MachineConfig::quad_q32().halved();
+        assert_eq!(m.shared_capacity, 488);
+        assert_eq!(m.dist_capacity, 10);
+        // Never below one block.
+        let tiny = MachineConfig::new(1, 1, 1, 8).halved();
+        assert_eq!(tiny.shared_capacity, 1);
+        assert_eq!(tiny.dist_capacity, 1);
+    }
+
+    #[test]
+    fn bandwidth_ratio_splits_unit_budget() {
+        let m = MachineConfig::quad_q32().with_bandwidth_ratio(0.25);
+        assert!((m.sigma_s - 0.25).abs() < 1e-12);
+        assert!((m.sigma_d - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth ratio")]
+    fn degenerate_ratio_rejected() {
+        let _ = MachineConfig::quad_q32().with_bandwidth_ratio(1.0);
+    }
+
+    #[test]
+    fn element_conversion_uses_q_squared() {
+        let m = MachineConfig::quad_q32();
+        assert_eq!(m.blocks_to_elements(3), 3 * 32 * 32);
+    }
+}

@@ -1,0 +1,251 @@
+//! The streaming event interface between algorithms and consumers.
+//!
+//! Algorithms never materialize their access traces (an order-600 run is
+//! on the order of 10⁹ events); instead they stream events into a
+//! [`SimSink`]. Three consumers ship with the workspace:
+//!
+//! * [`Simulator`](crate::Simulator) — counts cache misses under the LRU
+//!   or IDEAL policy (this crate);
+//! * [`CountingSink`] — counts raw events without any cache model (cheap
+//!   sanity checks and throughput benchmarks);
+//! * [`TraceSink`] — records the full event list (tiny unit tests only).
+//!
+//! The `mmc-exec` crate adds a fourth consumer that *performs* the block
+//! arithmetic, so the very same schedule code both predicts misses and
+//! computes real products.
+
+use crate::block::Block;
+use crate::error::SimError;
+
+/// Receiver of a matrix-product schedule's events.
+///
+/// `read`/`write`/`fma` model what the cores *do*; `load_*`/`evict_*` are
+/// residency-management directives that only have meaning under the IDEAL
+/// policy (§4.1: "the user manually decides which data needs to be
+/// loaded/unloaded in a given cache"). Sinks that do not manage residency
+/// (LRU simulation, counting, execution) treat the directives as no-ops and
+/// report [`SimSink::manages_residency`] `== false`, which lets schedules
+/// skip emitting per-element directives on their hot paths.
+pub trait SimSink {
+    /// Core `core` reads `block` (through its distributed cache).
+    fn read(&mut self, core: usize, block: Block) -> Result<(), SimError>;
+
+    /// Core `core` writes `block` (write-allocate, through its cache).
+    fn write(&mut self, core: usize, block: Block) -> Result<(), SimError>;
+
+    /// Core `core` performs the block multiply-accumulate `c += a × b`
+    /// (one `q×q×q` GEMM kernel invocation).
+    fn fma(&mut self, core: usize, a: Block, b: Block, c: Block) -> Result<(), SimError>;
+
+    /// IDEAL-mode directive: ensure `block` is resident in the shared cache.
+    fn load_shared(&mut self, block: Block) -> Result<(), SimError>;
+
+    /// IDEAL-mode directive: drop `block` from the shared cache.
+    fn evict_shared(&mut self, block: Block) -> Result<(), SimError>;
+
+    /// IDEAL-mode directive: ensure `block` is resident in core `core`'s
+    /// distributed cache (the block must already be in the shared cache —
+    /// the hierarchy is inclusive).
+    fn load_dist(&mut self, core: usize, block: Block) -> Result<(), SimError>;
+
+    /// IDEAL-mode directive: drop `block` from core `core`'s cache,
+    /// propagating its dirty state to the shared copy.
+    fn evict_dist(&mut self, core: usize, block: Block) -> Result<(), SimError>;
+
+    /// All cores synchronize. Purely bookkeeping — the simulator is not a
+    /// timing model — but schedules emit it where the paper's pseudo-code
+    /// has implicit lockstep, and executors may use it.
+    fn barrier(&mut self) -> Result<(), SimError>;
+
+    /// Whether residency directives have any effect on this sink. Sinks
+    /// returning `false` allow schedules to skip emitting per-element
+    /// `load_*`/`evict_*` calls in their innermost loops.
+    fn manages_residency(&self) -> bool {
+        false
+    }
+}
+
+/// A sink that merely counts events. No cache model, no residency checks.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CountingSink {
+    /// Number of `read` events.
+    pub reads: u64,
+    /// Number of `write` events.
+    pub writes: u64,
+    /// Number of `fma` events.
+    pub fmas: u64,
+    /// Number of residency directives (all four kinds).
+    pub directives: u64,
+    /// Number of barriers.
+    pub barriers: u64,
+}
+
+impl CountingSink {
+    /// A zeroed counter.
+    pub fn new() -> CountingSink {
+        CountingSink::default()
+    }
+
+    /// Total events of every kind.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes + self.fmas + self.directives + self.barriers
+    }
+}
+
+impl SimSink for CountingSink {
+    fn read(&mut self, _core: usize, _block: Block) -> Result<(), SimError> {
+        self.reads += 1;
+        Ok(())
+    }
+    fn write(&mut self, _core: usize, _block: Block) -> Result<(), SimError> {
+        self.writes += 1;
+        Ok(())
+    }
+    fn fma(&mut self, _core: usize, _a: Block, _b: Block, _c: Block) -> Result<(), SimError> {
+        self.fmas += 1;
+        Ok(())
+    }
+    fn load_shared(&mut self, _block: Block) -> Result<(), SimError> {
+        self.directives += 1;
+        Ok(())
+    }
+    fn evict_shared(&mut self, _block: Block) -> Result<(), SimError> {
+        self.directives += 1;
+        Ok(())
+    }
+    fn load_dist(&mut self, _core: usize, _block: Block) -> Result<(), SimError> {
+        self.directives += 1;
+        Ok(())
+    }
+    fn evict_dist(&mut self, _core: usize, _block: Block) -> Result<(), SimError> {
+        self.directives += 1;
+        Ok(())
+    }
+    fn barrier(&mut self) -> Result<(), SimError> {
+        self.barriers += 1;
+        Ok(())
+    }
+}
+
+/// One recorded schedule event (see [`TraceSink`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceEvent {
+    /// `read(core, block)`.
+    Read(usize, Block),
+    /// `write(core, block)`.
+    Write(usize, Block),
+    /// `fma(core, a, b, c)`.
+    Fma(usize, Block, Block, Block),
+    /// `load_shared(block)`.
+    LoadShared(Block),
+    /// `evict_shared(block)`.
+    EvictShared(Block),
+    /// `load_dist(core, block)`.
+    LoadDist(usize, Block),
+    /// `evict_dist(core, block)`.
+    EvictDist(usize, Block),
+    /// `barrier()`.
+    Barrier,
+}
+
+/// A sink recording every event verbatim. Only for small unit tests:
+/// memory grows linearly with the trace.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSink {
+    /// The recorded events, in emission order.
+    pub events: Vec<TraceEvent>,
+    /// Whether to report `manages_residency() == true` (records
+    /// directives emitted on IDEAL-style paths).
+    pub residency: bool,
+}
+
+impl TraceSink {
+    /// An empty trace recorder that reports `manages_residency() == false`.
+    pub fn new() -> TraceSink {
+        TraceSink::default()
+    }
+
+    /// An empty trace recorder that reports `manages_residency() == true`,
+    /// so schedules emit their full IDEAL-mode directive stream.
+    pub fn with_residency() -> TraceSink {
+        TraceSink { events: Vec::new(), residency: true }
+    }
+}
+
+impl SimSink for TraceSink {
+    fn read(&mut self, core: usize, block: Block) -> Result<(), SimError> {
+        self.events.push(TraceEvent::Read(core, block));
+        Ok(())
+    }
+    fn write(&mut self, core: usize, block: Block) -> Result<(), SimError> {
+        self.events.push(TraceEvent::Write(core, block));
+        Ok(())
+    }
+    fn fma(&mut self, core: usize, a: Block, b: Block, c: Block) -> Result<(), SimError> {
+        self.events.push(TraceEvent::Fma(core, a, b, c));
+        Ok(())
+    }
+    fn load_shared(&mut self, block: Block) -> Result<(), SimError> {
+        self.events.push(TraceEvent::LoadShared(block));
+        Ok(())
+    }
+    fn evict_shared(&mut self, block: Block) -> Result<(), SimError> {
+        self.events.push(TraceEvent::EvictShared(block));
+        Ok(())
+    }
+    fn load_dist(&mut self, core: usize, block: Block) -> Result<(), SimError> {
+        self.events.push(TraceEvent::LoadDist(core, block));
+        Ok(())
+    }
+    fn evict_dist(&mut self, core: usize, block: Block) -> Result<(), SimError> {
+        self.events.push(TraceEvent::EvictDist(core, block));
+        Ok(())
+    }
+    fn barrier(&mut self) -> Result<(), SimError> {
+        self.events.push(TraceEvent::Barrier);
+        Ok(())
+    }
+    fn manages_residency(&self) -> bool {
+        self.residency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_sink_counts_each_kind() {
+        let mut s = CountingSink::new();
+        s.read(0, Block::a(0, 0)).unwrap();
+        s.write(0, Block::c(0, 0)).unwrap();
+        s.fma(0, Block::a(0, 0), Block::b(0, 0), Block::c(0, 0)).unwrap();
+        s.load_shared(Block::a(0, 0)).unwrap();
+        s.evict_dist(1, Block::b(0, 0)).unwrap();
+        s.barrier().unwrap();
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.fmas, 1);
+        assert_eq!(s.directives, 2);
+        assert_eq!(s.barriers, 1);
+        assert_eq!(s.total(), 6);
+        assert!(!s.manages_residency());
+    }
+
+    #[test]
+    fn trace_sink_preserves_order() {
+        let mut s = TraceSink::with_residency();
+        s.load_shared(Block::c(1, 2)).unwrap();
+        s.read(3, Block::c(1, 2)).unwrap();
+        s.barrier().unwrap();
+        assert_eq!(
+            s.events,
+            vec![
+                TraceEvent::LoadShared(Block::c(1, 2)),
+                TraceEvent::Read(3, Block::c(1, 2)),
+                TraceEvent::Barrier,
+            ]
+        );
+        assert!(s.manages_residency());
+    }
+}

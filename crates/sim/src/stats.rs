@@ -1,0 +1,221 @@
+//! Miss counters and the paper's derived metrics.
+//!
+//! The two quantities the paper optimizes (§2.2) are
+//!
+//! * `M_S` — the number of shared-cache misses, and
+//! * `M_D = max_c M_D^(c)` — the *maximum* over cores of the per-core
+//!   distributed-cache misses (accesses from different private caches are
+//!   concurrent, so the slowest core is what matters),
+//!
+//! combined into the data access time `T_data = M_S/σ_S + M_D/σ_D`.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by a simulation run.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Shared-cache misses `M_S` (loads from main memory).
+    pub shared_misses: u64,
+    /// Shared-cache hits (probes served without touching memory).
+    pub shared_hits: u64,
+    /// Dirty blocks written back from the shared cache to memory.
+    pub shared_writebacks: u64,
+    /// Per-core distributed-cache misses `M_D^(c)`.
+    pub dist_misses: Vec<u64>,
+    /// Per-core distributed-cache hits.
+    pub dist_hits: Vec<u64>,
+    /// Per-core dirty evictions from the distributed cache back to shared.
+    pub dist_writebacks: Vec<u64>,
+    /// Per-core block-level multiply-accumulate operations `comp(c)`.
+    pub fmas: Vec<u64>,
+    /// Synchronization barriers emitted by the algorithm (bookkeeping).
+    pub barriers: u64,
+}
+
+impl SimStats {
+    /// Zeroed statistics for a `cores`-core machine.
+    pub fn new(cores: usize) -> SimStats {
+        SimStats {
+            shared_misses: 0,
+            shared_hits: 0,
+            shared_writebacks: 0,
+            dist_misses: vec![0; cores],
+            dist_hits: vec![0; cores],
+            dist_writebacks: vec![0; cores],
+            fmas: vec![0; cores],
+            barriers: 0,
+        }
+    }
+
+    /// Number of cores these statistics cover.
+    pub fn cores(&self) -> usize {
+        self.dist_misses.len()
+    }
+
+    /// `M_S`: total shared-cache misses.
+    #[inline]
+    pub fn ms(&self) -> u64 {
+        self.shared_misses
+    }
+
+    /// `M_D = max_c M_D^(c)`: the paper's distributed-cache miss metric.
+    #[inline]
+    pub fn md(&self) -> u64 {
+        self.dist_misses.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Sum over cores of distributed-cache misses.
+    #[inline]
+    pub fn md_total(&self) -> u64 {
+        self.dist_misses.iter().sum()
+    }
+
+    /// Mean per-core distributed-cache misses.
+    pub fn md_avg(&self) -> f64 {
+        if self.dist_misses.is_empty() {
+            0.0
+        } else {
+            self.md_total() as f64 / self.dist_misses.len() as f64
+        }
+    }
+
+    /// Total block multiply-accumulates `K = Σ_c comp(c)`; equals `m·n·z`
+    /// (in blocks) for any complete matrix product.
+    #[inline]
+    pub fn total_fmas(&self) -> u64 {
+        self.fmas.iter().sum()
+    }
+
+    /// `T_data = M_S/σ_S + M_D/σ_D` (§2.2).
+    pub fn t_data(&self, sigma_s: f64, sigma_d: f64) -> f64 {
+        assert!(sigma_s > 0.0 && sigma_d > 0.0, "bandwidths must be positive");
+        self.ms() as f64 / sigma_s + self.md() as f64 / sigma_d
+    }
+
+    /// Shared-cache communication-to-computation ratio `CCR_S = M_S / K`.
+    pub fn ccr_shared(&self) -> f64 {
+        let k = self.total_fmas();
+        if k == 0 {
+            f64::INFINITY
+        } else {
+            self.ms() as f64 / k as f64
+        }
+    }
+
+    /// Distributed communication-to-computation ratio
+    /// `CCR_D = (1/p) Σ_c M_D^(c)/comp(c)` (§2.3.3).
+    pub fn ccr_dist(&self) -> f64 {
+        let p = self.cores();
+        if p == 0 {
+            return f64::INFINITY;
+        }
+        let mut acc = 0.0;
+        for c in 0..p {
+            if self.fmas[c] == 0 {
+                return f64::INFINITY;
+            }
+            acc += self.dist_misses[c] as f64 / self.fmas[c] as f64;
+        }
+        acc / p as f64
+    }
+
+    /// Ratio of the busiest to the least busy core, in FMAs (1.0 = perfectly
+    /// balanced). Used by tests to confirm the paper's equal-distribution
+    /// assumption (§2.3.4) holds for our implementations.
+    pub fn compute_imbalance(&self) -> f64 {
+        let max = self.fmas.iter().copied().max().unwrap_or(0);
+        let min = self.fmas.iter().copied().min().unwrap_or(0);
+        if min == 0 {
+            f64::INFINITY
+        } else {
+            max as f64 / min as f64
+        }
+    }
+}
+
+impl std::fmt::Display for SimStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "M_S = {} (hits {}, writebacks {})",
+            self.shared_misses, self.shared_hits, self.shared_writebacks
+        )?;
+        writeln!(
+            f,
+            "M_D = {} (max of {:?})",
+            self.md(),
+            self.dist_misses
+        )?;
+        write!(
+            f,
+            "K = {} block FMAs over {} cores (CCR_S = {:.4}, CCR_D = {:.4})",
+            self.total_fmas(),
+            self.cores(),
+            self.ccr_shared(),
+            self.ccr_dist()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SimStats {
+        let mut s = SimStats::new(2);
+        s.shared_misses = 100;
+        s.dist_misses = vec![30, 50];
+        s.fmas = vec![400, 400];
+        s
+    }
+
+    #[test]
+    fn md_is_max_over_cores() {
+        let s = sample();
+        assert_eq!(s.md(), 50);
+        assert_eq!(s.md_total(), 80);
+        assert!((s.md_avg() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_data_combines_both_levels() {
+        let s = sample();
+        // 100/2 + 50/1
+        assert!((s.t_data(2.0, 1.0) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ccrs() {
+        let s = sample();
+        assert!((s.ccr_shared() - 100.0 / 800.0).abs() < 1e-12);
+        let expect = 0.5 * (30.0 / 400.0 + 50.0 / 400.0);
+        assert!((s.ccr_dist() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_compute_gives_infinite_ccr() {
+        let s = SimStats::new(2);
+        assert!(s.ccr_shared().is_infinite());
+        assert!(s.ccr_dist().is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn t_data_rejects_zero_bandwidth() {
+        let _ = sample().t_data(0.0, 1.0);
+    }
+
+    #[test]
+    fn imbalance_of_balanced_run_is_one() {
+        let s = sample();
+        assert_eq!(s.compute_imbalance(), 1.0);
+    }
+
+    #[test]
+    fn display_summarizes_everything() {
+        let text = sample().to_string();
+        assert!(text.contains("M_S = 100"));
+        assert!(text.contains("M_D = 50"));
+        assert!(text.contains("800 block FMAs over 2 cores"));
+    }
+}

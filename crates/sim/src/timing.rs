@@ -1,0 +1,223 @@
+//! Bulk-synchronous timing estimates on top of the miss counters.
+//!
+//! The paper's objective `T_data = M_S/σ_S + M_D/σ_D` charges every miss
+//! at full price and ignores computation. This module refines that into a
+//! simple BSP-style makespan: the schedules' `barrier()` events delimit
+//! supersteps, and each superstep costs
+//!
+//! ```text
+//! T_step = max_c ( fma_c · t_fma  +  dist_misses_c / σ_D )  +  ΔM_S / σ_S
+//! ```
+//!
+//! — cores proceed concurrently between barriers (private-cache fills are
+//! contention-free, §2.1), while the shared cache is a single resource
+//! filled at `σ_S`. Computation does not overlap communication (a
+//! pessimistic but simple model; the paper's `T_data` is the special case
+//! `t_fma = 0` with one superstep, so `makespan ≥`-style comparisons
+//! against `T_data` quantify how much the barrier structure costs).
+//!
+//! [`BspTiming`] wraps any [`Simulator`] and derives the per-superstep
+//! deltas from its counters, so it works with every schedule unchanged.
+
+use crate::block::Block;
+use crate::error::SimError;
+use crate::hierarchy::Simulator;
+use crate::sink::SimSink;
+
+/// Cost parameters of the BSP estimate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimingModel {
+    /// Time per block FMA (e.g. `2q³ / flops-per-core`).
+    pub fma_time: f64,
+    /// Memory → shared-cache bandwidth (blocks per time unit).
+    pub sigma_s: f64,
+    /// Shared → private-cache bandwidth, per core (blocks per time unit).
+    pub sigma_d: f64,
+}
+
+impl TimingModel {
+    /// Pure data-movement model (`t_fma = 0`): the paper's regime.
+    pub fn data_only(sigma_s: f64, sigma_d: f64) -> TimingModel {
+        TimingModel { fma_time: 0.0, sigma_s, sigma_d }
+    }
+}
+
+/// A [`SimSink`] decorator adding BSP makespan accounting to a simulator.
+pub struct BspTiming {
+    sim: Simulator,
+    model: TimingModel,
+    makespan: f64,
+    supersteps: u64,
+    // Snapshots at the previous barrier.
+    last_shared: u64,
+    last_dist: Vec<u64>,
+    last_fmas: Vec<u64>,
+}
+
+impl BspTiming {
+    /// Wrap `sim` (any policy) with cost model `model`.
+    pub fn new(sim: Simulator, model: TimingModel) -> BspTiming {
+        assert!(model.sigma_s > 0.0 && model.sigma_d > 0.0, "bandwidths must be positive");
+        assert!(model.fma_time >= 0.0, "FMA time must be non-negative");
+        let cores = sim.config().cores;
+        BspTiming {
+            sim,
+            model,
+            makespan: 0.0,
+            supersteps: 0,
+            last_shared: 0,
+            last_dist: vec![0; cores],
+            last_fmas: vec![0; cores],
+        }
+    }
+
+    fn close_superstep(&mut self) {
+        let stats = self.sim.stats();
+        let mut slowest = 0.0f64;
+        let mut any = false;
+        for c in 0..stats.cores() {
+            let d_fma = stats.fmas[c] - self.last_fmas[c];
+            let d_miss = stats.dist_misses[c] - self.last_dist[c];
+            if d_fma > 0 || d_miss > 0 {
+                any = true;
+            }
+            let t = d_fma as f64 * self.model.fma_time + d_miss as f64 / self.model.sigma_d;
+            slowest = slowest.max(t);
+        }
+        let d_shared = stats.shared_misses - self.last_shared;
+        if !any && d_shared == 0 {
+            return; // empty superstep (consecutive barriers)
+        }
+        self.makespan += slowest + d_shared as f64 / self.model.sigma_s;
+        self.supersteps += 1;
+        self.last_shared = stats.shared_misses;
+        self.last_dist.copy_from_slice(&stats.dist_misses);
+        self.last_fmas.copy_from_slice(&stats.fmas);
+    }
+
+    /// Close any trailing (un-barriered) superstep and return
+    /// `(makespan, supersteps, simulator)`.
+    pub fn finish(mut self) -> (f64, u64, Simulator) {
+        self.close_superstep();
+        (self.makespan, self.supersteps, self.sim)
+    }
+
+    /// Makespan accumulated so far (closed supersteps only).
+    pub fn makespan(&self) -> f64 {
+        self.makespan
+    }
+
+    /// Supersteps closed so far.
+    pub fn supersteps(&self) -> u64 {
+        self.supersteps
+    }
+
+    /// The wrapped simulator (its counters include the open superstep).
+    pub fn simulator(&self) -> &Simulator {
+        &self.sim
+    }
+}
+
+impl SimSink for BspTiming {
+    fn read(&mut self, core: usize, block: Block) -> Result<(), SimError> {
+        self.sim.read(core, block)
+    }
+    fn write(&mut self, core: usize, block: Block) -> Result<(), SimError> {
+        self.sim.write(core, block)
+    }
+    fn fma(&mut self, core: usize, a: Block, b: Block, c: Block) -> Result<(), SimError> {
+        self.sim.fma(core, a, b, c)
+    }
+    fn load_shared(&mut self, block: Block) -> Result<(), SimError> {
+        self.sim.load_shared(block)
+    }
+    fn evict_shared(&mut self, block: Block) -> Result<(), SimError> {
+        self.sim.evict_shared(block)
+    }
+    fn load_dist(&mut self, core: usize, block: Block) -> Result<(), SimError> {
+        self.sim.load_dist(core, block)
+    }
+    fn evict_dist(&mut self, core: usize, block: Block) -> Result<(), SimError> {
+        self.sim.evict_dist(core, block)
+    }
+    fn barrier(&mut self) -> Result<(), SimError> {
+        self.sim.barrier()?;
+        self.close_superstep();
+        Ok(())
+    }
+    fn manages_residency(&self) -> bool {
+        self.sim.manages_residency()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::SimConfig;
+    use crate::machine::MachineConfig;
+
+    fn sim() -> Simulator {
+        Simulator::new(SimConfig::lru(&MachineConfig::new(2, 16, 4, 32)), 8, 8, 8)
+    }
+
+    #[test]
+    fn one_superstep_costs_slowest_core_plus_shared_fill() {
+        let model = TimingModel { fma_time: 1.0, sigma_s: 2.0, sigma_d: 1.0 };
+        let mut t = BspTiming::new(sim(), model);
+        // Core 0: 2 distinct misses + 1 fma; core 1: 1 miss.
+        t.read(0, Block::a(0, 0)).unwrap();
+        t.read(0, Block::a(0, 1)).unwrap();
+        t.fma(0, Block::a(0, 0), Block::b(0, 0), Block::c(0, 0)).unwrap();
+        t.read(1, Block::a(0, 2)).unwrap();
+        t.barrier().unwrap();
+        // core 0: 1·1 + 2/1 = 3; core 1: 1; shared: 3 misses / 2 = 1.5.
+        assert!((t.makespan() - 4.5).abs() < 1e-12);
+        assert_eq!(t.supersteps(), 1);
+    }
+
+    #[test]
+    fn empty_supersteps_are_free() {
+        let model = TimingModel::data_only(1.0, 1.0);
+        let mut t = BspTiming::new(sim(), model);
+        t.barrier().unwrap();
+        t.barrier().unwrap();
+        assert_eq!(t.supersteps(), 0);
+        assert_eq!(t.makespan(), 0.0);
+    }
+
+    #[test]
+    fn finish_closes_the_trailing_superstep() {
+        let model = TimingModel::data_only(1.0, 1.0);
+        let mut t = BspTiming::new(sim(), model);
+        t.read(0, Block::a(0, 0)).unwrap();
+        let (makespan, steps, sim) = t.finish();
+        assert_eq!(steps, 1);
+        assert!((makespan - 2.0).abs() < 1e-12); // 1 dist + 1 shared miss
+        assert_eq!(sim.stats().shared_misses, 1);
+    }
+
+    #[test]
+    fn data_only_makespan_at_least_t_data() {
+        // With t_fma = 0 the BSP makespan dominates T_data: per-step maxes
+        // sum to at least the global max (M_D term) and the shared term is
+        // identical.
+        use crate::sink::SimSink as _;
+        let model = TimingModel::data_only(1.0, 1.0);
+        let mut t = BspTiming::new(sim(), model);
+        for i in 0..8u32 {
+            for j in 0..8u32 {
+                t.read((i % 2) as usize, Block::c(i, j)).unwrap();
+            }
+            t.barrier().unwrap();
+        }
+        let (makespan, _, simr) = t.finish();
+        let t_data = simr.stats().t_data(1.0, 1.0);
+        assert!(makespan >= t_data - 1e-9, "{makespan} vs {t_data}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidths")]
+    fn rejects_zero_bandwidth() {
+        let _ = BspTiming::new(sim(), TimingModel { fma_time: 0.0, sigma_s: 0.0, sigma_d: 1.0 });
+    }
+}

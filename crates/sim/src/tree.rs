@@ -1,0 +1,410 @@
+//! Arbitrary-depth cache hierarchies — "clusters of multicores".
+//!
+//! The paper's conclusion anticipates "yet another level of hierarchy (or
+//! tiling) in the algorithmic specification" for clusters of multicores.
+//! This module generalizes the two-level simulator to a *tree* of
+//! inclusive LRU caches: level 0 sits under main memory, each level-`l`
+//! node has `arity` level-`l+1` children, and the innermost level's
+//! caches are private to one core each.
+//!
+//! The paper's machine is the two-level special case
+//! ([`TreeTopology::two_level`]); a cluster of `N` quad-core processors is
+//! `[{N, C_node}, {1, C_S}, {4, C_D}]` ([`TreeTopology::cluster`]).
+//!
+//! Replacement is LRU at every level (the tree is the *realistic* model —
+//! the omniscient IDEAL policy stays with the flat two-level
+//! [`Simulator`](crate::Simulator)), so [`TreeSimulator`] accepts any
+//! schedule through the ordinary [`SimSink`] interface with residency
+//! directives as no-ops.
+
+use crate::block::{Block, BlockSpace};
+use crate::error::SimError;
+use crate::lru::LruCache;
+use crate::sink::SimSink;
+use serde::{Deserialize, Serialize};
+
+/// One level of the cache tree.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TreeLevel {
+    /// Nodes of this level per parent node (level 0: total nodes).
+    pub arity: usize,
+    /// Capacity of each node's cache, in blocks.
+    pub capacity: usize,
+    /// Bandwidth from the level above into this level (blocks/time).
+    pub bandwidth: f64,
+}
+
+/// A uniform cache tree, outermost level first.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TreeTopology {
+    /// The levels, from the one under main memory to the per-core caches.
+    pub levels: Vec<TreeLevel>,
+}
+
+impl TreeTopology {
+    /// Validate and build a topology.
+    ///
+    /// # Panics
+    /// Panics on an empty level list or zero arity/capacity.
+    pub fn new(levels: Vec<TreeLevel>) -> TreeTopology {
+        assert!(!levels.is_empty(), "topology needs at least one level");
+        for (i, l) in levels.iter().enumerate() {
+            assert!(l.arity > 0, "level {i}: arity must be positive");
+            assert!(l.capacity > 0, "level {i}: capacity must be positive");
+            assert!(l.bandwidth > 0.0, "level {i}: bandwidth must be positive");
+        }
+        TreeTopology { levels }
+    }
+
+    /// The paper's two-level machine: one shared cache over `p` private
+    /// caches.
+    pub fn two_level(cores: usize, shared: usize, dist: usize) -> TreeTopology {
+        TreeTopology::new(vec![
+            TreeLevel { arity: 1, capacity: shared, bandwidth: 1.0 },
+            TreeLevel { arity: cores, capacity: dist, bandwidth: 1.0 },
+        ])
+    }
+
+    /// A cluster of `nodes` processors, each with one shared cache of
+    /// `shared` blocks over `cores_per_node` private caches of `dist`
+    /// blocks, behind a per-node memory cache of `node_capacity` blocks.
+    pub fn cluster(
+        nodes: usize,
+        node_capacity: usize,
+        cores_per_node: usize,
+        shared: usize,
+        dist: usize,
+    ) -> TreeTopology {
+        TreeTopology::new(vec![
+            TreeLevel { arity: nodes, capacity: node_capacity, bandwidth: 1.0 },
+            TreeLevel { arity: 1, capacity: shared, bandwidth: 1.0 },
+            TreeLevel { arity: cores_per_node, capacity: dist, bandwidth: 1.0 },
+        ])
+    }
+
+    /// Number of levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Number of cache nodes at `level`.
+    pub fn nodes_at(&self, level: usize) -> usize {
+        self.levels[..=level].iter().map(|l| l.arity).product()
+    }
+
+    /// Total cores (= nodes of the innermost level).
+    pub fn cores(&self) -> usize {
+        self.nodes_at(self.depth() - 1)
+    }
+
+    /// The node at `level` on core `core`'s path to memory.
+    pub fn node_of(&self, level: usize, core: usize) -> usize {
+        core / (self.cores() / self.nodes_at(level))
+    }
+
+    /// Replace a level's bandwidth (builder style).
+    pub fn with_bandwidth(mut self, level: usize, bandwidth: f64) -> TreeTopology {
+        assert!(bandwidth > 0.0, "bandwidth must be positive");
+        self.levels[level].bandwidth = bandwidth;
+        self
+    }
+}
+
+/// Per-level counters of a tree simulation.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreeStats {
+    /// `misses[l][n]`: misses of node `n` at level `l`.
+    pub misses: Vec<Vec<u64>>,
+    /// `hits[l][n]`.
+    pub hits: Vec<Vec<u64>>,
+    /// Per-core block FMAs.
+    pub fmas: Vec<u64>,
+}
+
+impl TreeStats {
+    /// The paper's per-level metric generalized: the *maximum* miss count
+    /// over the (concurrent) nodes of `level`.
+    pub fn level_misses(&self, level: usize) -> u64 {
+        self.misses[level].iter().copied().max().unwrap_or(0)
+    }
+
+    /// Sum of misses over all nodes of `level` (total traffic into it).
+    pub fn level_total(&self, level: usize) -> u64 {
+        self.misses[level].iter().sum()
+    }
+
+    /// `T_data = Σ_l max-misses(l) / σ_l` over the given topology.
+    pub fn t_data(&self, topo: &TreeTopology) -> f64 {
+        topo.levels
+            .iter()
+            .enumerate()
+            .map(|(l, lvl)| self.level_misses(l) as f64 / lvl.bandwidth)
+            .sum()
+    }
+
+    /// Total block FMAs.
+    pub fn total_fmas(&self) -> u64 {
+        self.fmas.iter().sum()
+    }
+}
+
+/// LRU simulator over a [`TreeTopology`]. Implements [`SimSink`];
+/// residency directives are ignored (`manages_residency() == false`).
+pub struct TreeSimulator {
+    topo: TreeTopology,
+    space: BlockSpace,
+    /// `caches[l][n]`.
+    caches: Vec<Vec<LruCache>>,
+    stats: TreeStats,
+    inclusive: bool,
+}
+
+impl TreeSimulator {
+    /// Build for the problem `A: m×z`, `B: z×n`, `C: m×n` (block units).
+    pub fn new(topo: TreeTopology, m: u32, n: u32, z: u32) -> TreeSimulator {
+        TreeSimulator::with_space(topo, BlockSpace::new(m, n, z), true)
+    }
+
+    /// Build with an explicit block space and inclusivity flag.
+    pub fn with_space(topo: TreeTopology, space: BlockSpace, inclusive: bool) -> TreeSimulator {
+        let universe = space.total();
+        let caches: Vec<Vec<LruCache>> = topo
+            .levels
+            .iter()
+            .enumerate()
+            .map(|(l, lvl)| {
+                (0..topo.nodes_at(l)).map(|_| LruCache::new(lvl.capacity, universe)).collect()
+            })
+            .collect();
+        let stats = TreeStats {
+            misses: caches.iter().map(|level| vec![0; level.len()]).collect(),
+            hits: caches.iter().map(|level| vec![0; level.len()]).collect(),
+            fmas: vec![0; topo.cores()],
+        };
+        TreeSimulator { topo, space, caches, stats, inclusive }
+    }
+
+    /// The accumulated counters.
+    pub fn stats(&self) -> &TreeStats {
+        &self.stats
+    }
+
+    /// The topology simulated.
+    pub fn topology(&self) -> &TreeTopology {
+        &self.topo
+    }
+
+    /// Consume the simulator, returning its counters.
+    pub fn into_stats(self) -> TreeStats {
+        self.stats
+    }
+
+    /// Whether `block` is resident in node `node` of `level`.
+    pub fn contains(&self, level: usize, node: usize, block: Block) -> bool {
+        self.caches[level][node].contains(self.space.id(block))
+    }
+
+    /// Verify inclusion along every core's path (tests; O(universe)).
+    pub fn inclusion_holds(&self) -> bool {
+        for core in 0..self.topo.cores() {
+            for l in (1..self.topo.depth()).rev() {
+                let child = &self.caches[l][self.topo.node_of(l, core)];
+                let parent = &self.caches[l - 1][self.topo.node_of(l - 1, core)];
+                if !child.iter_mru().all(|id| parent.contains(id)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Recursively drop `id` from every cache in the subtree rooted at
+    /// (`level`, `node`), excluding that node itself.
+    fn back_invalidate(&mut self, level: usize, node: usize, id: u32) {
+        for l in level + 1..self.topo.depth() {
+            let per_parent = self.topo.nodes_at(l) / self.topo.nodes_at(level);
+            let lo = node * per_parent;
+            for n in lo..lo + per_parent {
+                self.caches[l][n].remove(id);
+            }
+        }
+    }
+
+    #[inline]
+    fn access(&mut self, core: usize, block: Block, write: bool) -> Result<(), SimError> {
+        if core >= self.topo.cores() {
+            return Err(SimError::UnknownCore { core, cores: self.topo.cores() });
+        }
+        let id = self.space.id(block);
+        let depth = self.topo.depth();
+        // Probe from the innermost level outward until a hit.
+        let mut hit_level = None;
+        for l in (0..depth).rev() {
+            let node = self.topo.node_of(l, core);
+            let cache = &mut self.caches[l][node];
+            let hit = if write && l == depth - 1 { cache.touch_dirty(id) } else { cache.touch(id) };
+            if hit {
+                self.stats.hits[l][node] += 1;
+                hit_level = Some(l);
+                break;
+            }
+            self.stats.misses[l][node] += 1;
+        }
+        // Fill the levels below the hit (or all levels on a memory access).
+        let first_fill = hit_level.map(|l| l + 1).unwrap_or(0);
+        for l in first_fill..depth {
+            let node = self.topo.node_of(l, core);
+            let dirty = write && l == depth - 1;
+            if let Some(ev) = self.caches[l][node].insert(id, dirty) {
+                if self.inclusive {
+                    self.back_invalidate(l, node, ev.block);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl SimSink for TreeSimulator {
+    fn read(&mut self, core: usize, block: Block) -> Result<(), SimError> {
+        self.access(core, block, false)
+    }
+    fn write(&mut self, core: usize, block: Block) -> Result<(), SimError> {
+        self.access(core, block, true)
+    }
+    fn fma(&mut self, core: usize, _a: Block, _b: Block, _c: Block) -> Result<(), SimError> {
+        if core >= self.stats.fmas.len() {
+            return Err(SimError::UnknownCore { core, cores: self.stats.fmas.len() });
+        }
+        self.stats.fmas[core] += 1;
+        Ok(())
+    }
+    fn load_shared(&mut self, _block: Block) -> Result<(), SimError> {
+        Ok(())
+    }
+    fn evict_shared(&mut self, _block: Block) -> Result<(), SimError> {
+        Ok(())
+    }
+    fn load_dist(&mut self, _core: usize, _block: Block) -> Result<(), SimError> {
+        Ok(())
+    }
+    fn evict_dist(&mut self, _core: usize, _block: Block) -> Result<(), SimError> {
+        Ok(())
+    }
+    fn barrier(&mut self) -> Result<(), SimError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cluster() -> TreeTopology {
+        // 2 nodes × (1 shared × 2 cores): 4 cores, depth 3.
+        TreeTopology::cluster(2, 64, 2, 16, 4)
+    }
+
+    #[test]
+    fn topology_arithmetic() {
+        let t = tiny_cluster();
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.nodes_at(0), 2);
+        assert_eq!(t.nodes_at(1), 2);
+        assert_eq!(t.nodes_at(2), 4);
+        assert_eq!(t.cores(), 4);
+        assert_eq!(t.node_of(0, 0), 0);
+        assert_eq!(t.node_of(0, 3), 1);
+        assert_eq!(t.node_of(2, 2), 2);
+    }
+
+    #[test]
+    fn two_level_matches_flat_simulator() {
+        use crate::hierarchy::{SimConfig, Simulator};
+        use crate::machine::MachineConfig;
+        // Same accesses through the tree (depth 2) and the flat simulator
+        // must count identically.
+        let machine = MachineConfig::new(2, 16, 4, 32);
+        let mut flat = Simulator::new(SimConfig::lru(&machine), 8, 8, 8);
+        let mut tree = TreeSimulator::new(TreeTopology::two_level(2, 16, 4), 8, 8, 8);
+        let accesses: Vec<(usize, Block)> = (0..400)
+            .map(|t| {
+                let core = t % 2;
+                let i = (t * 7 % 8) as u32;
+                let j = (t * 3 % 8) as u32;
+                (core, Block::c(i, j))
+            })
+            .collect();
+        for &(core, b) in &accesses {
+            flat.read(core, b).unwrap();
+            tree.read(core, b).unwrap();
+        }
+        assert_eq!(flat.stats().shared_misses, tree.stats().level_total(0));
+        for c in 0..2 {
+            assert_eq!(flat.stats().dist_misses[c], tree.stats().misses[1][c]);
+        }
+    }
+
+    #[test]
+    fn miss_propagates_through_all_levels_once() {
+        let mut sim = TreeSimulator::new(tiny_cluster(), 4, 4, 4);
+        sim.read(0, Block::a(0, 0)).unwrap();
+        for l in 0..3 {
+            assert_eq!(sim.stats().misses[l][0], 1, "level {l}");
+        }
+        // Second read: L1 hit only.
+        sim.read(0, Block::a(0, 0)).unwrap();
+        assert_eq!(sim.stats().hits[2][0], 1);
+        assert_eq!(sim.stats().misses[0][0], 1);
+        // Sibling core in the same node: hits at the shared level.
+        sim.read(1, Block::a(0, 0)).unwrap();
+        assert_eq!(sim.stats().hits[1][0], 1);
+        assert_eq!(sim.stats().misses[2][1], 1);
+        // Core on the *other* node: misses everywhere on its path.
+        sim.read(2, Block::a(0, 0)).unwrap();
+        assert_eq!(sim.stats().misses[0][1], 1);
+        assert_eq!(sim.stats().misses[1][1], 1);
+        assert_eq!(sim.stats().misses[2][2], 1);
+    }
+
+    #[test]
+    fn inclusion_holds_under_traffic() {
+        let mut sim = TreeSimulator::new(tiny_cluster(), 8, 8, 8);
+        for t in 0..2000u32 {
+            let core = (t % 4) as usize;
+            let b = Block::c(t * 13 % 8, t * 5 % 8);
+            if t % 3 == 0 {
+                sim.write(core, b).unwrap();
+            } else {
+                sim.read(core, b).unwrap();
+            }
+            debug_assert!(sim.inclusion_holds());
+        }
+        assert!(sim.inclusion_holds());
+    }
+
+    #[test]
+    fn t_data_weights_levels_by_bandwidth() {
+        let topo = tiny_cluster().with_bandwidth(0, 0.5).with_bandwidth(2, 2.0);
+        let mut sim = TreeSimulator::new(topo.clone(), 4, 4, 4);
+        sim.read(0, Block::a(0, 0)).unwrap();
+        // One miss per level: 1/0.5 + 1/1 + 1/2.
+        assert!((sim.stats().t_data(&topo) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_core_rejected() {
+        let mut sim = TreeSimulator::new(tiny_cluster(), 4, 4, 4);
+        assert!(sim.read(9, Block::a(0, 0)).is_err());
+        assert!(sim.fma(9, Block::a(0, 0), Block::b(0, 0), Block::c(0, 0)).is_err());
+    }
+
+    #[test]
+    fn directives_are_noops() {
+        let mut sim = TreeSimulator::new(tiny_cluster(), 4, 4, 4);
+        assert!(!sim.manages_residency());
+        sim.load_shared(Block::a(0, 0)).unwrap();
+        sim.load_dist(0, Block::a(0, 0)).unwrap();
+        assert!(!sim.contains(0, 0, Block::a(0, 0)));
+    }
+}

@@ -1,0 +1,174 @@
+//! Static validation of recorded IDEAL-mode schedules.
+//!
+//! The simulator enforces capacity and residency *operationally*; this
+//! module checks recorded traces ([`TraceSink`](crate::TraceSink))
+//! *structurally*: every load is eventually evicted (schedules must leave
+//! the caches empty), every access happens under residency, eviction
+//! order respects inclusivity, and loads into a full cache never happen.
+//! It reports the first violation with its event index — a debugging aid
+//! when developing new schedules, and a second, independent checker the
+//! tests run against every managed algorithm.
+
+use crate::block::Block;
+use crate::sink::TraceEvent;
+use std::collections::{HashMap, HashSet};
+
+/// A structural violation in a recorded schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceViolation {
+    /// Index of the offending event in the trace.
+    pub index: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "event #{}: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for TraceViolation {}
+
+/// Validate a recorded IDEAL-mode trace against the hierarchy's
+/// structural rules, with the given capacities.
+///
+/// Checks, in order of detection:
+/// 1. shared/distributed loads never exceed `shared_capacity` /
+///    `dist_capacity` (idempotent re-loads allowed);
+/// 2. distributed loads require shared residency; shared evictions
+///    require no distributed copies (inclusivity);
+/// 3. reads, writes and FMA operands are resident in the accessing
+///    core's cache;
+/// 4. evictions name resident blocks;
+/// 5. at end of trace both levels are empty (schedules clean up).
+pub fn validate_ideal_trace(
+    events: &[TraceEvent],
+    cores: usize,
+    shared_capacity: usize,
+    dist_capacity: usize,
+) -> Result<(), TraceViolation> {
+    let mut shared: HashSet<Block> = HashSet::new();
+    let mut dist: Vec<HashSet<Block>> = vec![HashSet::new(); cores];
+    let err = |index: usize, message: String| Err(TraceViolation { index, message });
+    // How many private caches hold each block (for inclusivity checks).
+    let mut holders: HashMap<Block, usize> = HashMap::new();
+
+    for (i, ev) in events.iter().enumerate() {
+        match *ev {
+            TraceEvent::LoadShared(b) => {
+                if !shared.contains(&b) && shared.len() == shared_capacity {
+                    return err(i, format!("shared cache full ({shared_capacity}) loading {b}"));
+                }
+                shared.insert(b);
+            }
+            TraceEvent::EvictShared(b) => {
+                if let Some(&n) = holders.get(&b) {
+                    if n > 0 {
+                        return err(i, format!("evicting {b} from shared while {n} private copies exist"));
+                    }
+                }
+                if !shared.remove(&b) {
+                    return err(i, format!("evicting absent {b} from shared"));
+                }
+            }
+            TraceEvent::LoadDist(c, b) => {
+                if c >= cores {
+                    return err(i, format!("core {c} out of range"));
+                }
+                if !shared.contains(&b) {
+                    return err(i, format!("core {c} loads {b} not resident in shared"));
+                }
+                if !dist[c].contains(&b) {
+                    if dist[c].len() == dist_capacity {
+                        return err(i, format!("core {c} cache full ({dist_capacity}) loading {b}"));
+                    }
+                    dist[c].insert(b);
+                    *holders.entry(b).or_insert(0) += 1;
+                }
+            }
+            TraceEvent::EvictDist(c, b) => {
+                if c >= cores || !dist[c].remove(&b) {
+                    return err(i, format!("core {c} evicts absent {b}"));
+                }
+                *holders.get_mut(&b).expect("holder count tracked") -= 1;
+            }
+            TraceEvent::Read(c, b) | TraceEvent::Write(c, b) => {
+                if c >= cores || !dist[c].contains(&b) {
+                    return err(i, format!("core {c} accesses {b} without residency"));
+                }
+            }
+            TraceEvent::Fma(c, a, bb, cc) => {
+                for op in [a, bb, cc] {
+                    if c >= cores || !dist[c].contains(&op) {
+                        return err(i, format!("core {c} FMA operand {op} not resident"));
+                    }
+                }
+            }
+            TraceEvent::Barrier => {}
+        }
+    }
+    if !shared.is_empty() {
+        let b = shared.iter().next().unwrap();
+        return err(events.len(), format!("{} blocks left in shared (e.g. {b})", shared.len()));
+    }
+    for (c, d) in dist.iter().enumerate() {
+        if !d.is_empty() {
+            return err(events.len(), format!("core {c} left {} blocks resident", d.len()));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::TraceEvent as E;
+
+    fn b(i: u32, j: u32) -> Block {
+        Block::c(i, j)
+    }
+
+    #[test]
+    fn clean_round_trip_passes() {
+        let t = vec![
+            E::LoadShared(b(0, 0)),
+            E::LoadDist(0, b(0, 0)),
+            E::Read(0, b(0, 0)),
+            E::Write(0, b(0, 0)),
+            E::EvictDist(0, b(0, 0)),
+            E::EvictShared(b(0, 0)),
+        ];
+        validate_ideal_trace(&t, 1, 2, 2).unwrap();
+    }
+
+    #[test]
+    fn detects_each_violation_kind() {
+        // Access without residency.
+        let t = vec![E::Read(0, b(0, 0))];
+        assert!(validate_ideal_trace(&t, 1, 2, 2).unwrap_err().message.contains("without residency"));
+        // Dist load without shared residency.
+        let t = vec![E::LoadDist(0, b(0, 0))];
+        assert!(validate_ideal_trace(&t, 1, 2, 2).unwrap_err().message.contains("not resident in shared"));
+        // Inclusivity violation.
+        let t = vec![E::LoadShared(b(0, 0)), E::LoadDist(0, b(0, 0)), E::EvictShared(b(0, 0))];
+        assert!(validate_ideal_trace(&t, 1, 2, 2).unwrap_err().message.contains("private copies"));
+        // Capacity overflow.
+        let t = vec![E::LoadShared(b(0, 0)), E::LoadShared(b(0, 1)), E::LoadShared(b(0, 2))];
+        assert!(validate_ideal_trace(&t, 1, 2, 2).unwrap_err().message.contains("full"));
+        // Residue at end.
+        let t = vec![E::LoadShared(b(0, 0))];
+        assert!(validate_ideal_trace(&t, 1, 2, 2).unwrap_err().message.contains("left in shared"));
+        // Evicting absent.
+        let t = vec![E::EvictShared(b(0, 0))];
+        assert!(validate_ideal_trace(&t, 1, 2, 2).unwrap_err().message.contains("absent"));
+    }
+
+    #[test]
+    fn violation_reports_event_index() {
+        let t = vec![E::Barrier, E::Barrier, E::Read(0, b(1, 1))];
+        let v = validate_ideal_trace(&t, 1, 2, 2).unwrap_err();
+        assert_eq!(v.index, 2);
+        assert!(v.to_string().contains("event #2"));
+    }
+}

@@ -1,0 +1,52 @@
+//! BSP makespan study: when does cache-awareness stop mattering?
+//!
+//! Wraps the simulator in the bulk-synchronous timing model and sweeps
+//! the compute intensity `t_fma` (time per block FMA, in units of one
+//! block transfer). At `t_fma = 0` the ranking is the paper's `T_data`
+//! story; once compute dominates, every reasonable schedule converges to
+//! the `mnz·t_fma/p` floor.
+//!
+//! ```bash
+//! cargo run --release --example bsp_timing -- 96
+//! ```
+
+use multicore_matmul::prelude::*;
+use multicore_matmul::sim::{BspTiming, TimingModel};
+
+fn main() {
+    let order: u32 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("matrix order"))
+        .unwrap_or(96);
+    let machine = MachineConfig::quad_q32();
+    let problem = ProblemSpec::square(order);
+    println!(
+        "BSP makespan, order {order} blocks on the q=32 quad-core \
+         (sigma_S = sigma_D = 1 block/unit)\n"
+    );
+    let algos = all_algorithms();
+    print!("{:>8}", "t_fma");
+    for a in &algos {
+        print!(" {:>18}", a.name());
+    }
+    println!(" {:>14}", "compute floor");
+    for t_fma in [0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0] {
+        let model = TimingModel { fma_time: t_fma, sigma_s: 1.0, sigma_d: 1.0 };
+        print!("{t_fma:>8}");
+        for a in &algos {
+            let sim = Simulator::new(SimConfig::lru(&machine), order, order, order);
+            let mut bsp = BspTiming::new(sim, model);
+            a.execute(&machine, &problem, &mut bsp).expect("schedule runs");
+            let (makespan, _, _) = bsp.finish();
+            print!(" {:>18.0}", makespan);
+        }
+        println!(
+            " {:>14.0}",
+            problem.total_fmas() as f64 * t_fma / machine.cores as f64
+        );
+    }
+    println!(
+        "\n(each cell: sum over barrier-delimited supersteps of \
+         max-core work + serialized shared fills)"
+    );
+}

@@ -1,0 +1,73 @@
+//! Clusters of multicores: the paper's concluding future work.
+//!
+//! Simulates a 4-node cluster (each node a quad-core with the paper's
+//! q=32 caches, behind a 16k-block node-level cache) and compares three
+//! schedules per tree level: the hierarchy-aware multi-level Maximum
+//! Reuse tiling, the flat two-level Distributed Opt (unaware of the node
+//! level), and the cache-oblivious recursion.
+//!
+//! ```bash
+//! cargo run --release --example cluster_hierarchy -- 256
+//! ```
+
+use multicore_matmul::prelude::*;
+use multicore_matmul::sim::{TreeSimulator, TreeTopology};
+
+fn main() {
+    let order: u32 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("matrix order"))
+        .unwrap_or(256);
+
+    let topo = TreeTopology::cluster(4, 16384, 4, 977, 21);
+    println!(
+        "cluster: {} nodes x {} cores, caches per level: {:?} blocks",
+        4,
+        4,
+        topo.levels.iter().map(|l| l.capacity).collect::<Vec<_>>()
+    );
+    let problem = ProblemSpec::square(order);
+    println!("problem: square order {order} blocks ({} block FMAs)\n", problem.total_fmas());
+
+    let flat_machine = MachineConfig::new(topo.cores(), 977 * 4, 21, 32);
+    let h = HierarchicalMaxReuse::new(topo.clone());
+    let tiling = h.tiling().expect("cluster hosts the hierarchical tiling");
+    println!(
+        "hierarchical tiling: super-tile {}x{}, per-level sides {:?}\n",
+        tiling.super_tile.0, tiling.super_tile.1, tiling.sides
+    );
+
+    let mut results: Vec<(&str, multicore_matmul::sim::TreeStats)> = Vec::new();
+    {
+        let mut sim = TreeSimulator::new(topo.clone(), order, order, order);
+        h.run(&problem, &mut sim).unwrap();
+        results.push(("Hierarchical Max Reuse", sim.into_stats()));
+    }
+    {
+        let mut sim = TreeSimulator::new(topo.clone(), order, order, order);
+        DistributedOpt::default().execute(&flat_machine, &problem, &mut sim).unwrap();
+        results.push(("Distributed Opt. (flat)", sim.into_stats()));
+    }
+    {
+        let mut sim = TreeSimulator::new(topo.clone(), order, order, order);
+        CacheOblivious::new().execute(&flat_machine, &problem, &mut sim).unwrap();
+        results.push(("Cache Oblivious", sim.into_stats()));
+    }
+
+    println!(
+        "{:<26} {:>14} {:>14} {:>14} {:>12}",
+        "schedule", "node misses", "shared misses", "private misses", "T_data"
+    );
+    for (name, stats) in &results {
+        println!(
+            "{:<26} {:>14} {:>14} {:>14} {:>12.0}",
+            name,
+            stats.level_misses(0),
+            stats.level_misses(1),
+            stats.level_misses(2),
+            stats.t_data(&topo),
+        );
+        assert_eq!(stats.total_fmas(), problem.total_fmas());
+    }
+    println!("\n(misses are the max over the concurrent nodes of each level)");
+}

@@ -1,0 +1,79 @@
+//! Policy comparison: how far is real LRU from the ideal-cache model?
+//!
+//! Replays the paper's §4.2 methodology for one algorithm: simulate under
+//! IDEAL, LRU at the declared capacity, LRU at twice the declared
+//! capacity, and the LRU-50 setting, and report the ratios against the
+//! closed-form prediction. The Frigo et al. result (cited by the paper)
+//! says LRU at capacity 2C is 2-competitive with an ideal cache of
+//! capacity C — watch the `LRU(2C)/formula` column stay below 2.
+//!
+//! ```bash
+//! cargo run --release --example policy_comparison -- shared_opt
+//! cargo run --release --example policy_comparison -- distributed_opt 60,120,240
+//! ```
+
+use multicore_matmul::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let which = args.next().unwrap_or_else(|| "shared_opt".to_string());
+    let orders: Vec<u32> = args
+        .next()
+        .map(|s| s.split(',').map(|t| t.parse().expect("order list")).collect())
+        .unwrap_or_else(|| vec![60, 120, 180, 240, 300]);
+
+    let machine = MachineConfig::quad_q32();
+    let algo: Box<dyn Algorithm> = match which.as_str() {
+        "shared_opt" => Box::new(SharedOpt),
+        "distributed_opt" => Box::new(DistributedOpt::default()),
+        "tradeoff" => Box::new(Tradeoff::default()),
+        "shared_equal" => Box::new(SharedEqual),
+        "distributed_equal" => Box::new(DistributedEqual::default()),
+        other => {
+            eprintln!(
+                "unknown algorithm {other}; pick one of shared_opt, distributed_opt, \
+                 tradeoff, shared_equal, distributed_equal"
+            );
+            std::process::exit(2);
+        }
+    };
+    // The metric each algorithm optimizes.
+    let metric = |stats: &SimStats| -> f64 {
+        match which.as_str() {
+            "shared_opt" | "shared_equal" => stats.ms() as f64,
+            "distributed_opt" | "distributed_equal" => stats.md() as f64,
+            _ => stats.t_data(machine.sigma_s, machine.sigma_d),
+        }
+    };
+
+    println!("algorithm: {} on the q=32 quad-core preset", algo.name());
+    println!(
+        "{:>7} {:>14} {:>14} {:>14} {:>14} {:>10} {:>10}",
+        "order", "IDEAL", "LRU(C)", "LRU(2C)", "LRU-50", "LRU(C)/F", "LRU(2C)/F"
+    );
+    for d in orders {
+        let problem = ProblemSpec::square(d);
+        let run = |cfg: SimConfig, declared: &MachineConfig| -> SimStats {
+            let mut sim = Simulator::new(cfg, d, d, d);
+            algo.execute(declared, &problem, &mut sim).expect("feasible");
+            sim.into_stats()
+        };
+        let ideal = run(SimConfig::ideal(&machine), &machine);
+        let lru1 = run(SimConfig::lru(&machine), &machine);
+        let lru2 = run(SimConfig::lru_scaled(&machine, 2), &machine);
+        let halved = machine.halved();
+        let lru50 = run(SimConfig::lru(&machine), &halved);
+        let f = metric(&ideal); // IDEAL counts == the paper's formulas
+        println!(
+            "{:>7} {:>14.0} {:>14.0} {:>14.0} {:>14.0} {:>10.3} {:>10.3}",
+            d,
+            f,
+            metric(&lru1),
+            metric(&lru2),
+            metric(&lru50),
+            metric(&lru1) / f,
+            metric(&lru2) / f,
+        );
+    }
+    println!("\nF = the algorithm's objective under IDEAL (equals the paper's formula).");
+}

@@ -1,0 +1,63 @@
+//! Reuse-distance profiling: one pass over a schedule yields the LRU miss
+//! curve for *every* shared-cache capacity — the whole Fig. 4 sweep (and
+//! any capacity the paper didn't plot) from a single simulation.
+//!
+//! ```bash
+//! cargo run --release --example reuse_profile -- shared_opt 60
+//! ```
+
+use multicore_matmul::prelude::*;
+use multicore_matmul::sim::ProfilingSink;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let which = args.next().unwrap_or_else(|| "shared_opt".to_string());
+    let order: u32 = args.next().map(|s| s.parse().expect("order")).unwrap_or(60);
+
+    let machine = MachineConfig::quad_q32();
+    let algo: Box<dyn Algorithm> = match which.as_str() {
+        "shared_opt" => Box::new(SharedOpt),
+        "distributed_opt" => Box::new(DistributedOpt::default()),
+        "tradeoff" => Box::new(Tradeoff::default()),
+        "outer_product" => Box::new(OuterProduct::default()),
+        "shared_equal" => Box::new(SharedEqual),
+        "distributed_equal" => Box::new(DistributedEqual::default()),
+        other => {
+            eprintln!("unknown algorithm {other}");
+            std::process::exit(2);
+        }
+    };
+
+    let problem = ProblemSpec::square(order);
+    let mut sink = ProfilingSink::new(problem.block_space(), machine.cores, machine.dist_capacity);
+    algo.execute(&machine, &problem, &mut sink).expect("schedule runs");
+
+    println!(
+        "{} on a {order}x{order}x{order} block product (private caches fixed at C_D = {}):",
+        algo.name(),
+        machine.dist_capacity
+    );
+    println!(
+        "shared-level stream: {} accesses, {} distinct blocks, deepest reuse {}",
+        sink.shared_profile.accesses(),
+        sink.shared_profile.distinct(),
+        sink.shared_profile.working_set()
+    );
+
+    println!("\n{:>10} {:>14} {:>12}", "C_S", "LRU misses", "CCR_S");
+    let fmas: u64 = sink.fmas.iter().sum();
+    for cs in [64usize, 128, 245, 488, 700, 931, 977, 1200, 1954, 4000] {
+        let misses = sink.shared_profile.misses_for_capacity(cs);
+        println!("{:>10} {:>14} {:>12.4}", cs, misses, misses as f64 / fmas as f64);
+    }
+    println!(
+        "\nlower bound at C_S = 977: CCR_S >= {:.4}  (sqrt(27/(8*977)))",
+        bounds::ccr_lower_bound(977)
+    );
+
+    println!("\nper-core distributed miss curve (core 0):");
+    println!("{:>10} {:>14}", "C_D", "LRU misses");
+    for cd in [3usize, 8, 16, 21, 42, 100] {
+        println!("{:>10} {:>14}", cd, sink.dist_profiles[0].misses_for_capacity(cd));
+    }
+}

@@ -1,0 +1,308 @@
+//! `mmc` — command-line front end to the multicore-matmul library.
+//!
+//! ```text
+//! mmc simulate --algo shared_opt --preset q32 --order 120 --setting ideal
+//! mmc plan     --preset q32 --order 1000
+//! mmc exec     --order 8 --q 32 --tiling tradeoff
+//! mmc lu       --order 64 --panel 8 --tiling shared_opt
+//! mmc profile  --algo shared_opt --order 60
+//! mmc list
+//! ```
+//!
+//! Every subcommand prints a compact human-readable report; simulation
+//! counts are exact (the simulator is deterministic).
+
+use multicore_matmul::lu::{bounds as lu_bounds, BlockedLu, SimLuHooks, UpdateTiling};
+use multicore_matmul::prelude::*;
+use multicore_matmul::sim::ProfilingSink;
+use std::collections::HashMap;
+use std::process::exit;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  mmc simulate --algo A --order N [--preset P] [--setting ideal|lru|lru2|lru50]\n  \
+           mmc plan [--preset P] [--order N] [--sigma-s X --sigma-d Y]\n  \
+           mmc exec --order N [--q Q] [--tiling T] [--seed S]\n  \
+           mmc lu --order N [--panel W] [--tiling T] [--q Q]\n  \
+           mmc profile --algo A --order N [--preset P]\n  \
+           mmc list\n\
+         presets: q32 q32p q64 q64p q80 q80p;\n\
+         algorithms: shared_opt distributed_opt tradeoff outer_product shared_equal distributed_equal cache_oblivious;\n\
+         tilings (exec): shared_opt distributed_opt tradeoff equal; (lu): row_stripes shared_opt tradeoff"
+    );
+    exit(2);
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            eprintln!("unexpected argument {flag:?}");
+            usage();
+        };
+        let Some(value) = it.next() else {
+            eprintln!("missing value for --{name}");
+            usage();
+        };
+        flags.insert(name.to_string(), value.clone());
+    }
+    flags
+}
+
+fn preset(flags: &HashMap<String, String>) -> MachineConfig {
+    match flags.get("preset").map(String::as_str).unwrap_or("q32") {
+        "q32" => MachineConfig::quad_q32(),
+        "q32p" => MachineConfig::quad_q32_pessimistic(),
+        "q64" => MachineConfig::quad_q64(),
+        "q64p" => MachineConfig::quad_q64_pessimistic(),
+        "q80" => MachineConfig::quad_q80(),
+        "q80p" => MachineConfig::quad_q80_pessimistic(),
+        other => {
+            eprintln!("unknown preset {other:?}");
+            usage();
+        }
+    }
+}
+
+fn num<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    match flags.get(key) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value for --{key}: {v:?}");
+            usage();
+        }),
+    }
+}
+
+fn algo(flags: &HashMap<String, String>) -> Box<dyn Algorithm> {
+    match flags.get("algo").map(String::as_str).unwrap_or_else(|| usage()) {
+        "shared_opt" => Box::new(SharedOpt),
+        "distributed_opt" => Box::new(DistributedOpt::default()),
+        "tradeoff" => Box::new(Tradeoff::default()),
+        "outer_product" => Box::new(OuterProduct::default()),
+        "shared_equal" => Box::new(SharedEqual),
+        "distributed_equal" => Box::new(DistributedEqual::default()),
+        "cache_oblivious" => Box::new(CacheOblivious::new()),
+        other => {
+            eprintln!("unknown algorithm {other:?}");
+            usage();
+        }
+    }
+}
+
+fn cmd_simulate(flags: HashMap<String, String>) {
+    let machine = preset(&flags);
+    let order: u32 = num(&flags, "order", 0);
+    if order == 0 {
+        eprintln!("--order is required");
+        usage();
+    }
+    let a = algo(&flags);
+    let problem = ProblemSpec::square(order);
+    let setting = flags.get("setting").map(String::as_str).unwrap_or("ideal");
+    let (declared, cfg) = match setting {
+        "ideal" if a.id() == "outer_product" || a.id() == "cache_oblivious" => {
+            eprintln!("note: {} manages no residency; running under LRU", a.name());
+            (machine.clone(), SimConfig::lru(&machine))
+        }
+        "ideal" => (machine.clone(), SimConfig::ideal(&machine)),
+        "lru" => (machine.clone(), SimConfig::lru(&machine)),
+        "lru2" => (machine.clone(), SimConfig::lru_scaled(&machine, 2)),
+        "lru50" => (machine.halved(), SimConfig::lru(&machine)),
+        other => {
+            eprintln!("unknown setting {other:?}");
+            usage();
+        }
+    };
+    let mut sim = Simulator::new(cfg, order, order, order);
+    let t0 = Instant::now();
+    if let Err(e) = a.execute(&declared, &problem, &mut sim) {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+    let dt = t0.elapsed();
+    let stats = sim.stats();
+    println!("{} on {} blocks ({setting}):", a.name(), problem);
+    println!("  M_S  = {:>14}   (lower bound {:>14.0})", stats.ms(), bounds::ms_lower_bound(&problem, &declared));
+    println!("  M_D  = {:>14}   (lower bound {:>14.0})", stats.md(), bounds::md_lower_bound(&problem, &declared));
+    println!("  T_data = {:>12.0} (sigma_S = {}, sigma_D = {})", stats.t_data(machine.sigma_s, machine.sigma_d), machine.sigma_s, machine.sigma_d);
+    println!("  CCR_S = {:.5}, CCR_D = {:.5}", stats.ccr_shared(), stats.ccr_dist());
+    if let Some(pred) = a.predict(&declared, &problem) {
+        println!("  paper formula: M_S = {:.0}, M_D = {:.0}", pred.ms, pred.md);
+    }
+    println!("  ({} block FMAs simulated in {:.2}s)", stats.total_fmas(), dt.as_secs_f64());
+}
+
+fn cmd_plan(flags: HashMap<String, String>) {
+    let mut machine = preset(&flags);
+    if let (Some(_), _) | (_, Some(_)) = (flags.get("sigma-s"), flags.get("sigma-d")) {
+        machine = machine
+            .with_bandwidths(num(&flags, "sigma-s", 1.0), num(&flags, "sigma-d", 1.0));
+    }
+    let order: u32 = num(&flags, "order", 1000);
+    let problem = ProblemSpec::square(order);
+    println!(
+        "machine: p = {}, C_S = {}, C_D = {}, q = {}, sigma_S = {}, sigma_D = {}",
+        machine.cores, machine.shared_capacity, machine.dist_capacity, machine.block_size,
+        machine.sigma_s, machine.sigma_d
+    );
+    println!("  lambda = {:?}, mu = {:?}", params::lambda(&machine), params::mu(&machine));
+    println!("  tradeoff: {:?} (alpha_num = {:.2})", params::tradeoff_params(&machine), params::alpha_num(&machine));
+    println!("\npredictions for a square order-{order} product:");
+    let mut best: Option<(&'static str, f64)> = None;
+    for a in all_algorithms() {
+        match a.predict(&machine, &problem) {
+            Some(p) => {
+                let t = p.t_data(&machine);
+                println!("  {:<20} M_S = {:>14.0}  M_D = {:>14.0}  T_data = {:>14.0}", a.name(), p.ms, p.md, t);
+                if best.map(|(_, bt)| t < bt).unwrap_or(true) {
+                    best = Some((a.name(), t));
+                }
+            }
+            None => println!("  {:<20} (no closed form)", a.name()),
+        }
+    }
+    println!("\nT_data lower bound: {:.0}", bounds::tdata_lower_bound(&problem, &machine));
+    if let Some((name, t)) = best {
+        println!("recommendation: {name} (predicted T_data = {t:.0})");
+    }
+}
+
+fn cmd_exec(flags: HashMap<String, String>) {
+    let machine = preset(&flags);
+    let order: u32 = num(&flags, "order", 8);
+    let q: usize = num(&flags, "q", 16);
+    let seed: u64 = num(&flags, "seed", 1);
+    let tiling = match flags.get("tiling").map(String::as_str).unwrap_or("tradeoff") {
+        "shared_opt" => Tiling::shared_opt(&machine),
+        "distributed_opt" => Tiling::distributed_opt(&machine),
+        "tradeoff" => Tiling::tradeoff(&machine),
+        "equal" => Tiling::equal(machine.shared_capacity),
+        other => {
+            eprintln!("unknown tiling {other:?}");
+            usage();
+        }
+    }
+    .unwrap_or_else(|| {
+        eprintln!("tiling infeasible on this preset");
+        exit(1);
+    });
+    let a = BlockMatrix::pseudo_random(order, order, q, seed);
+    let b = BlockMatrix::pseudo_random(order, order, q, seed + 1);
+    let t0 = Instant::now();
+    let c = gemm_parallel(&a, &b, tiling);
+    let dt = t0.elapsed().as_secs_f64();
+    let flops = 2.0 * (order as f64 * q as f64).powi(3);
+    println!(
+        "C = A x B, {}x{} blocks of {q}x{q} ({} x {} elements), tiling {:?}",
+        order, order, order as usize * q, order as usize * q, tiling
+    );
+    println!("  {dt:.3}s  ->  {:.2} GFLOP/s", flops / dt / 1e9);
+    let t0 = Instant::now();
+    let oracle = gemm_naive(&a, &b);
+    let dt_naive = t0.elapsed().as_secs_f64();
+    println!("  naive oracle: {dt_naive:.3}s; results identical: {}", c == oracle);
+    if c != oracle {
+        exit(1);
+    }
+}
+
+fn cmd_lu(flags: HashMap<String, String>) {
+    let machine = preset(&flags);
+    let order: u32 = num(&flags, "order", 64);
+    let panel: u32 = num(&flags, "panel", 8);
+    let q: usize = num(&flags, "q", 8);
+    let tiling = match flags.get("tiling").map(String::as_str).unwrap_or("shared_opt") {
+        "row_stripes" => UpdateTiling::RowStripes,
+        "shared_opt" => UpdateTiling::SharedOpt,
+        "tradeoff" => UpdateTiling::Tradeoff,
+        other => {
+            eprintln!("unknown LU tiling {other:?}");
+            usage();
+        }
+    };
+    // Simulated misses.
+    let lu = BlockedLu::new(panel, tiling);
+    let mut sim = Simulator::new(SimConfig::lru(&machine), order, order, 1);
+    let mut hooks = SimLuHooks::new(&mut sim);
+    if let Err(e) = lu.run(&machine, order, &mut hooks) {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+    println!("blocked LU, {order}x{order} blocks, panel {panel}, {tiling:?} updates:");
+    println!(
+        "  simulated LRU: M_S = {}, M_D = {} ({} update FMAs; bounds {:.0} / {:.0})",
+        sim.stats().ms(),
+        sim.stats().md(),
+        lu_bounds::update_fmas(order as u64),
+        lu_bounds::ms_lower_bound(order as u64, &machine),
+        lu_bounds::md_lower_bound(order as u64, &machine),
+    );
+    // Real factorization on a smaller instance if order is big.
+    let n_exec = order.min(24);
+    let a = multicore_matmul::lu::exec::diagonally_dominant(n_exec, q, 7);
+    let mut m = a.clone();
+    let t0 = Instant::now();
+    if let Err(e) = multicore_matmul::lu::lu_factor_parallel(&mut m, panel.min(n_exec)) {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+    println!(
+        "  executed {n_exec}x{n_exec} blocks (q = {q}) in {:.3}s; residual = {:.2e}",
+        t0.elapsed().as_secs_f64(),
+        multicore_matmul::lu::residual(&m, &a)
+    );
+}
+
+fn cmd_profile(flags: HashMap<String, String>) {
+    let machine = preset(&flags);
+    let order: u32 = num(&flags, "order", 60);
+    let a = algo(&flags);
+    let problem = ProblemSpec::square(order);
+    let mut sink = ProfilingSink::new(problem.block_space(), machine.cores, machine.dist_capacity);
+    if let Err(e) = a.execute(&machine, &problem, &mut sink) {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+    println!(
+        "{} on {problem} blocks — shared-level LRU miss curve (private caches at C_D = {}):",
+        a.name(),
+        machine.dist_capacity
+    );
+    println!("  {:>8} {:>14}", "C_S", "misses");
+    let base = machine.shared_capacity;
+    for cs in [base / 4, base / 2, base, 2 * base, 4 * base] {
+        println!("  {:>8} {:>14}", cs, sink.shared_profile.misses_for_capacity(cs));
+    }
+    println!(
+        "  stream: {} accesses, {} distinct blocks, deepest reuse {}",
+        sink.shared_profile.accesses(),
+        sink.shared_profile.distinct(),
+        sink.shared_profile.working_set()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else { usage() };
+    match cmd.as_str() {
+        "simulate" => cmd_simulate(parse_flags(rest)),
+        "plan" => cmd_plan(parse_flags(rest)),
+        "exec" => cmd_exec(parse_flags(rest)),
+        "lu" => cmd_lu(parse_flags(rest)),
+        "profile" => cmd_profile(parse_flags(rest)),
+        "list" => {
+            for a in all_algorithms() {
+                println!("{:<20} {}", a.id(), a.name());
+            }
+            println!("{:<20} Cache Oblivious (extension)", "cache_oblivious");
+        }
+        "--help" | "-h" | "help" => usage(),
+        other => {
+            eprintln!("unknown command {other:?}");
+            usage();
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! # multicore-matmul
+//!
+//! A full Rust reproduction of
+//!
+//! > Mathias Jacquelin, Loris Marchal, Yves Robert,
+//! > *Complexity analysis and performance evaluation of matrix product on
+//! > multicore architectures*, LIP RRLIP2009-09 / ICPP 2009
+//! > (HAL `ensl-00381458`).
+//!
+//! This facade crate re-exports the three library layers:
+//!
+//! * [`sim`] (`mmc-sim`) — the two-level (shared + distributed) multicore
+//!   cache-hierarchy simulator with LRU and IDEAL replacement policies;
+//! * [`core`] (`mmc-core`) — the paper's algorithms (Shared Opt,
+//!   Distributed Opt, Tradeoff) and baselines (Outer Product, Shared /
+//!   Distributed Equal), plus tile-parameter selection, lower bounds and
+//!   closed-form miss predictions;
+//! * [`exec`] (`mmc-exec`) — block-matrix storage, the `q×q` micro-kernel
+//!   and rayon-parallel executors that run the same schedules on real
+//!   data.
+//!
+//! See `examples/quickstart.rs` for a guided tour, and the `mmc-bench`
+//! crate for the harness that regenerates every figure of the paper.
+//!
+//! ```
+//! use multicore_matmul::prelude::*;
+//!
+//! // Simulate Algorithm 1 on the paper's quad-core q=32 preset and check
+//! // the shared-miss count against the paper's closed form mn + 2mnz/λ.
+//! let machine = MachineConfig::quad_q32();
+//! let problem = ProblemSpec::square(60);
+//! let mut sim = Simulator::new(SimConfig::ideal(&machine), 60, 60, 60);
+//! SharedOpt.execute(&machine, &problem, &mut sim).unwrap();
+//! assert_eq!(sim.stats().ms(), 60 * 60 + 2 * 60 * 60 * 60 / 30);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use mmc_core as core;
+pub use mmc_exec as exec;
+pub use mmc_lu as lu;
+pub use mmc_sim as sim;
+
+/// The names most programs need, in one `use`.
+pub mod prelude {
+    pub use mmc_core::algorithms::{
+        all_algorithms, AlgoError, Algorithm, AlgorithmKind, CacheOblivious, DistributedEqual,
+        DistributedOpt, HierarchicalMaxReuse, OuterProduct, SharedEqual, SharedOpt, Tradeoff,
+    };
+    pub use mmc_core::{bounds, formulas, params, CoreGrid, Prediction, ProblemSpec, TradeoffParams};
+    pub use mmc_exec::{gemm_naive, gemm_parallel, run_schedule, BlockMatrix, ExecSink, Tiling};
+    pub use mmc_sim::{
+        Block, BlockSpace, CountingSink, MachineConfig, MatrixId, Policy, SimConfig, SimError,
+        SimSink, SimStats, Simulator, TraceSink,
+    };
+}

@@ -1,0 +1,69 @@
+//! Integration tests of set-associative simulation through full schedules.
+
+use multicore_matmul::prelude::*;
+
+fn run_assoc(algo: &dyn Algorithm, machine: &MachineConfig, d: u32, ways: Option<usize>) -> SimStats {
+    let cfg = SimConfig { associativity: ways, ..SimConfig::lru(machine) };
+    let mut sim = Simulator::new(cfg, d, d, d);
+    algo.execute(machine, &ProblemSpec::square(d), &mut sim).unwrap();
+    sim.into_stats()
+}
+
+#[test]
+fn ways_equal_capacity_reproduces_fully_associative_counts() {
+    // A set-associative cache with a single set IS the LRU cache; the
+    // whole pipeline must agree, not just the cache unit tests. Use a
+    // machine whose capacities keep one set per cache.
+    let machine = MachineConfig::new(4, 64, 8, 32);
+    for kind in [AlgorithmKind::SharedOpt, AlgorithmKind::OuterProduct, AlgorithmKind::SharedEqual] {
+        let algo = kind.build();
+        let full = run_assoc(algo.as_ref(), &machine, 24, None);
+        // ways == capacity → sets = 1 at both levels (64-way shared,
+        // 8-way distributed caps to each capacity via min()).
+        let single_set = run_assoc(algo.as_ref(), &machine, 24, Some(64));
+        assert_eq!(full.ms(), single_set.ms(), "{}", algo.name());
+        assert_eq!(full.dist_misses, single_set.dist_misses, "{}", algo.name());
+    }
+}
+
+#[test]
+fn associativity_never_beats_unlimited_capacity_baseline() {
+    // Sanity bound: any configuration's misses are at least the cold
+    // misses and at most the total accesses.
+    let machine = MachineConfig::new(4, 1024, 16, 32);
+    let d = 40u32;
+    let problem = ProblemSpec::square(d);
+    let cold = problem.total_blocks();
+    for ways in [Some(1), Some(2), Some(8), None] {
+        let stats = run_assoc(&SharedOpt, &machine, d, ways);
+        assert!(stats.ms() >= cold, "{ways:?}");
+        let accesses = stats.shared_hits + stats.shared_misses;
+        assert!(stats.ms() <= accesses, "{ways:?}");
+        assert_eq!(stats.total_fmas(), problem.total_fmas());
+    }
+}
+
+#[test]
+fn restricted_associativity_costs_conflict_misses_on_tiled_schedules() {
+    // Tiled kernels are the canonical conflict-miss victims: on the
+    // paper's machine a direct-mapped index multiplies Shared Opt's
+    // shared misses several-fold over the fully-associative model the
+    // paper assumes. (Deterministic counts; a change here means the
+    // indexing semantics changed.)
+    let d = 60u32;
+    let prime = MachineConfig::quad_q32(); // C_S = 977
+    let full = run_assoc(&SharedOpt, &prime, d, None).ms();
+    let direct = run_assoc(&SharedOpt, &prime, d, Some(1)).ms();
+    assert_eq!(full, 18_000, "fully associative equals the formula");
+    assert!(
+        direct > 3 * full,
+        "direct-mapped {direct} should conflict heavily vs full {full}"
+    );
+    // More ways at the same capacity never increase misses *of the C tile
+    // working set* enough to beat the ideal model: full-assoc is minimal
+    // here (the schedule fits its declared capacity exactly).
+    for ways in [2usize, 8, 16] {
+        let w = run_assoc(&SharedOpt, &prime, d, Some(ways)).ms();
+        assert!(w >= full, "{ways}-way {w} vs full {full}");
+    }
+}

@@ -1,0 +1,107 @@
+//! End-to-end tests of the `mmc` command-line interface.
+
+use std::process::Command;
+
+fn mmc(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_mmc"))
+        .args(args)
+        .output()
+        .expect("run mmc binary");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn simulate_reports_exact_formula_match() {
+    let (ok, stdout, _) = mmc(&[
+        "simulate", "--algo", "shared_opt", "--order", "60", "--setting", "ideal",
+    ]);
+    assert!(ok);
+    // mn + 2mnz/λ = 3600 + 14400 = 18000 at order 60, λ = 30.
+    assert!(stdout.contains("M_S  =          18000"), "{stdout}");
+    assert!(stdout.contains("paper formula: M_S = 18000"), "{stdout}");
+}
+
+#[test]
+fn simulate_all_settings_and_algorithms() {
+    for algo in ["shared_opt", "distributed_opt", "tradeoff", "outer_product", "cache_oblivious"] {
+        for setting in ["ideal", "lru", "lru2", "lru50"] {
+            let (ok, stdout, stderr) = mmc(&[
+                "simulate", "--algo", algo, "--order", "16", "--setting", setting,
+            ]);
+            assert!(ok, "{algo}/{setting}: {stderr}");
+            assert!(stdout.contains("T_data"), "{algo}/{setting}: {stdout}");
+        }
+    }
+}
+
+#[test]
+fn plan_recommends_an_algorithm() {
+    let (ok, stdout, _) = mmc(&["plan", "--preset", "q32", "--order", "500"]);
+    assert!(ok);
+    assert!(stdout.contains("recommendation:"), "{stdout}");
+    assert!(stdout.contains("lambda = Some(30)"), "{stdout}");
+}
+
+#[test]
+fn exec_verifies_against_the_oracle() {
+    let (ok, stdout, _) = mmc(&["exec", "--order", "4", "--q", "8", "--tiling", "shared_opt"]);
+    assert!(ok);
+    assert!(stdout.contains("results identical: true"), "{stdout}");
+}
+
+#[test]
+fn lu_reports_misses_and_residual() {
+    let (ok, stdout, _) = mmc(&["lu", "--order", "24", "--panel", "4", "--tiling", "tradeoff"]);
+    assert!(ok);
+    assert!(stdout.contains("residual"), "{stdout}");
+    assert!(stdout.contains("M_S"), "{stdout}");
+}
+
+#[test]
+fn profile_prints_a_monotone_miss_curve() {
+    let (ok, stdout, _) = mmc(&["profile", "--algo", "shared_opt", "--order", "32"]);
+    assert!(ok, "{stdout}");
+    // Extract the miss column and check monotone non-increase.
+    let misses: Vec<u64> = stdout
+        .lines()
+        .filter_map(|l| {
+            let t: Vec<&str> = l.split_whitespace().collect();
+            if t.len() == 2 { t[1].parse().ok() } else { None }
+        })
+        .collect();
+    assert!(misses.len() >= 5, "{stdout}");
+    assert!(misses.windows(2).all(|w| w[1] <= w[0]), "{misses:?}");
+}
+
+#[test]
+fn unknown_inputs_fail_cleanly() {
+    let (ok, _, stderr) = mmc(&["simulate", "--algo", "nonsense", "--order", "8"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown algorithm"));
+    let (ok, _, _) = mmc(&["frobnicate"]);
+    assert!(!ok);
+    let (ok, _, stderr) = mmc(&["simulate", "--algo", "shared_opt"]);
+    assert!(!ok);
+    assert!(stderr.contains("--order is required"));
+}
+
+#[test]
+fn list_names_every_algorithm() {
+    let (ok, stdout, _) = mmc(&["list"]);
+    assert!(ok);
+    for id in [
+        "shared_opt",
+        "distributed_opt",
+        "tradeoff",
+        "outer_product",
+        "shared_equal",
+        "distributed_equal",
+        "cache_oblivious",
+    ] {
+        assert!(stdout.contains(id), "missing {id} in {stdout}");
+    }
+}

@@ -1,0 +1,114 @@
+//! Integration tests for the cluster (tree-hierarchy) extension.
+
+use multicore_matmul::prelude::*;
+use multicore_matmul::sim::{TreeSimulator, TreeTopology};
+
+fn cluster_topo() -> TreeTopology {
+    TreeTopology::cluster(4, 16384, 4, 977, 21)
+}
+
+#[test]
+fn hierarchical_schedule_executes_the_exact_product() {
+    // The schedule streams ordinary events, so ExecSink runs it on real
+    // data; ascending-k accumulation keeps it bit-identical to the oracle.
+    let topo = cluster_topo();
+    let h = HierarchicalMaxReuse::new(topo);
+    let (m, n, z, q) = (9u32, 17u32, 5u32, 4usize);
+    let a = BlockMatrix::pseudo_random(m, z, q, 1);
+    let b = BlockMatrix::pseudo_random(z, n, q, 2);
+    let oracle = gemm_naive(&a, &b);
+    let mut c = BlockMatrix::zeros(m, n, q);
+    let mut sink = ExecSink::new(&a, &b, &mut c);
+    h.run(&ProblemSpec::new(m, n, z), &mut sink).unwrap();
+    assert_eq!(c, oracle);
+}
+
+#[test]
+fn hierarchy_aware_tiling_beats_flat_distributed_opt_at_the_node_level() {
+    let topo = cluster_topo();
+    let d = 128u32;
+    let problem = ProblemSpec::square(d);
+    let run_tree = |f: &dyn Fn(&mut TreeSimulator)| -> multicore_matmul::sim::TreeStats {
+        let mut sim = TreeSimulator::new(topo.clone(), d, d, d);
+        f(&mut sim);
+        sim.into_stats()
+    };
+    let h = HierarchicalMaxReuse::new(topo.clone());
+    let hier = run_tree(&|sim| h.run(&problem, sim).unwrap());
+    let flat_machine = MachineConfig::new(topo.cores(), 977 * 4, 21, 32);
+    let flat = run_tree(&|sim| {
+        DistributedOpt::default().execute(&flat_machine, &problem, sim).unwrap()
+    });
+    assert_eq!(hier.total_fmas(), problem.total_fmas());
+    assert_eq!(flat.total_fmas(), problem.total_fmas());
+    // The point of the extra tiling level: fewer misses out of the
+    // node-level cache (the level the flat algorithm cannot see). This
+    // holds while the hierarchical panels fit the node cache (orders
+    // <= 128 on this topology); at larger orders the per-k streaming
+    // dominates and the recursion (cache-oblivious) takes over — see
+    // EXPERIMENTS.md, `cluster`.
+    assert!(
+        hier.level_misses(0) < flat.level_misses(0),
+        "hierarchical {} vs flat {} node-level misses",
+        hier.level_misses(0),
+        flat.level_misses(0)
+    );
+    // And no worse at the inner levels.
+    assert!(hier.level_misses(2) <= flat.level_misses(2));
+}
+
+#[test]
+fn all_flat_schedules_run_unchanged_on_the_tree() {
+    // The tree simulator is just another SimSink: every paper algorithm
+    // (LRU-driven) runs on it without modification.
+    let topo = TreeTopology::cluster(2, 8192, 2, 977, 21);
+    let flat_machine = MachineConfig::new(topo.cores(), 977, 21, 32);
+    let problem = ProblemSpec::square(24);
+    for algo in all_algorithms() {
+        let mut sim = TreeSimulator::new(topo.clone(), 24, 24, 24);
+        algo.execute(&flat_machine, &problem, &mut sim)
+            .unwrap_or_else(|e| panic!("{}: {e}", algo.name()));
+        assert_eq!(sim.stats().total_fmas(), problem.total_fmas(), "{}", algo.name());
+        assert!(sim.inclusion_holds(), "{}", algo.name());
+    }
+}
+
+#[test]
+fn deeper_hierarchies_compose() {
+    // Four levels: 2 racks × 2 nodes × 1 shared × 4 cores.
+    let topo = TreeTopology::new(vec![
+        multicore_matmul::sim::TreeLevel { arity: 2, capacity: 65536, bandwidth: 0.25 },
+        multicore_matmul::sim::TreeLevel { arity: 2, capacity: 16384, bandwidth: 0.5 },
+        multicore_matmul::sim::TreeLevel { arity: 1, capacity: 977, bandwidth: 1.0 },
+        multicore_matmul::sim::TreeLevel { arity: 4, capacity: 21, bandwidth: 2.0 },
+    ]);
+    assert_eq!(topo.cores(), 16);
+    let h = HierarchicalMaxReuse::new(topo.clone());
+    let tiling = h.tiling().unwrap();
+    assert_eq!(tiling.sides.len(), 4);
+    let problem = ProblemSpec::square(64);
+    let mut sim = TreeSimulator::new(topo.clone(), 64, 64, 64);
+    h.run(&problem, &mut sim).unwrap();
+    assert_eq!(sim.stats().total_fmas(), problem.total_fmas());
+    // Outer levels see (weakly) less traffic than inner ones.
+    assert!(sim.stats().level_total(0) <= sim.stats().level_total(1));
+    assert!(sim.stats().level_total(1) <= sim.stats().level_total(3));
+    assert!(sim.stats().t_data(&topo) > 0.0);
+}
+
+#[test]
+fn per_core_work_is_balanced_on_divisible_orders() {
+    let topo = cluster_topo();
+    let h = HierarchicalMaxReuse::new(topo.clone());
+    let tiling = h.tiling().unwrap();
+    // An order that is a multiple of the super-tile in both dimensions.
+    let d = tiling.super_tile.0.max(tiling.super_tile.1) * 3;
+    let problem = ProblemSpec::square(d);
+    let mut sim = TreeSimulator::new(topo, d, d, d);
+    h.run(&problem, &mut sim).unwrap();
+    let fmas = &sim.stats().fmas;
+    assert!(
+        fmas.iter().all(|&f| f == fmas[0]),
+        "every core does identical work on divisible orders: {fmas:?}"
+    );
+}

@@ -1,0 +1,160 @@
+//! Empirical LRU-competitiveness checks — the property Figs. 4–6 validate:
+//! a classical LRU cache of twice the declared capacity stays within twice
+//! the ideal-model miss count (Frigo et al., cited in §2.1/§4.2), and the
+//! qualitative winner of each objective is the algorithm the paper says.
+
+use multicore_matmul::prelude::*;
+
+fn lru_stats(algo: &dyn Algorithm, machine: &MachineConfig, factor: usize, d: u32) -> SimStats {
+    let mut sim = Simulator::new(SimConfig::lru_scaled(machine, factor), d, d, d);
+    algo.execute(machine, &ProblemSpec::square(d), &mut sim).unwrap();
+    sim.into_stats()
+}
+
+fn ideal_stats(algo: &dyn Algorithm, machine: &MachineConfig, d: u32) -> SimStats {
+    let mut sim = Simulator::new(SimConfig::ideal(machine), d, d, d);
+    algo.execute(machine, &ProblemSpec::square(d), &mut sim).unwrap();
+    sim.into_stats()
+}
+
+#[test]
+fn fig4_property_lru_2c_within_twice_formula_shared_opt() {
+    let machine = MachineConfig::quad_q32();
+    for d in [60u32, 120, 210] {
+        let lru2 = lru_stats(&SharedOpt, &machine, 2, d);
+        let ideal = ideal_stats(&SharedOpt, &machine, d);
+        assert!(
+            lru2.ms() <= 2 * ideal.ms(),
+            "order {d}: LRU(2C_S) {} > 2×IDEAL {}",
+            lru2.ms(),
+            ideal.ms()
+        );
+        // And LRU at the declared capacity is worse than at double.
+        let lru1 = lru_stats(&SharedOpt, &machine, 1, d);
+        assert!(lru1.ms() >= lru2.ms());
+    }
+}
+
+#[test]
+fn fig5_property_lru_2c_within_twice_formula_distributed_opt() {
+    let machine = MachineConfig::quad_q32();
+    let algo = DistributedOpt::default();
+    for d in [64u32, 128, 200] {
+        let lru2 = lru_stats(&algo, &machine, 2, d);
+        let ideal = ideal_stats(&algo, &machine, d);
+        assert!(
+            lru2.md() <= 2 * ideal.md(),
+            "order {d}: LRU(2C_D) {} > 2×IDEAL {}",
+            lru2.md(),
+            ideal.md()
+        );
+    }
+}
+
+#[test]
+fn fig6_property_lru_2c_within_twice_formula_tradeoff() {
+    let machine = MachineConfig::quad_q32();
+    let algo = Tradeoff::default();
+    for d in [64u32, 128] {
+        let lru2 = lru_stats(&algo, &machine, 2, d);
+        let ideal = ideal_stats(&algo, &machine, d);
+        let t_lru = lru2.t_data(1.0, 1.0);
+        let t_ideal = ideal.t_data(1.0, 1.0);
+        assert!(
+            t_lru <= 2.0 * t_ideal,
+            "order {d}: LRU(2C) T_data {t_lru} > 2×IDEAL {t_ideal}"
+        );
+    }
+}
+
+#[test]
+fn lru50_stays_within_twice_its_declared_formula() {
+    // The LRU-50 setting *is* the Frigo configuration: physical capacity
+    // 2× what the algorithm declares.
+    let machine = MachineConfig::quad_q32();
+    let halved = machine.halved();
+    for d in [60u32, 120] {
+        let problem = ProblemSpec::square(d);
+        let mut sim = Simulator::new(SimConfig::lru(&machine), d, d, d);
+        SharedOpt.execute(&halved, &problem, &mut sim).unwrap();
+        let formula = formulas::shared_opt(&problem, &halved).unwrap();
+        assert!(
+            (sim.stats().ms() as f64) <= 2.0 * formula.ms,
+            "order {d}: LRU-50 M_S {} vs 2×formula(½C) {}",
+            sim.stats().ms(),
+            2.0 * formula.ms
+        );
+    }
+}
+
+#[test]
+fn each_specialist_wins_its_own_objective_under_ideal() {
+    let machine = MachineConfig::quad_q32();
+    let d = 120u32;
+    let so = ideal_stats(&SharedOpt, &machine, d);
+    let dopt = ideal_stats(&DistributedOpt::default(), &machine, d);
+    let tr = ideal_stats(&Tradeoff::default(), &machine, d);
+    let se = ideal_stats(&SharedEqual, &machine, d);
+    let de = ideal_stats(&DistributedEqual::default(), &machine, d);
+    let mut op_sim = Simulator::new(SimConfig::lru(&machine), d, d, d);
+    OuterProduct::default().execute(&machine, &ProblemSpec::square(d), &mut op_sim).unwrap();
+    let op = op_sim.into_stats();
+
+    // Shared Opt minimizes M_S across the board.
+    for (name, other) in [("dist", &dopt), ("tr", &tr), ("se", &se), ("de", &de), ("op", &op)] {
+        assert!(so.ms() <= other.ms(), "Shared Opt M_S {} vs {name} {}", so.ms(), other.ms());
+    }
+    // Distributed Opt minimizes M_D.
+    for (name, other) in [("so", &so), ("tr", &tr), ("se", &se), ("de", &de), ("op", &op)] {
+        assert!(dopt.md() <= other.md(), "Distributed Opt M_D {} vs {name} {}", dopt.md(), other.md());
+    }
+    // Tradeoff minimizes T_data at unit bandwidths.
+    let t = |s: &SimStats| s.t_data(1.0, 1.0);
+    for (name, other) in [("so", &so), ("do", &dopt), ("se", &se), ("de", &de), ("op", &op)] {
+        assert!(t(&tr) <= t(other), "Tradeoff T_data {} vs {name} {}", t(&tr), t(other));
+    }
+    // And everything respects the lower bounds.
+    let problem = ProblemSpec::square(d);
+    assert!(so.ms() as f64 >= bounds::ms_lower_bound(&problem, &machine).floor());
+    assert!(dopt.md() as f64 >= bounds::md_lower_bound(&problem, &machine).floor());
+    assert!(t(&tr) >= bounds::tdata_lower_bound(&problem, &machine).floor());
+}
+
+#[test]
+fn tradeoff_follows_the_bandwidth_ratio() {
+    // As r = σ_S/(σ_S+σ_D) goes 0 → 1, Tradeoff morphs from the
+    // shared-optimized tiling to the distributed-optimized one (§3.3 and
+    // Fig. 12): compare against both specialists at the extremes.
+    let base = MachineConfig::quad_q32();
+    let d = 96u32;
+    let so = ideal_stats(&SharedOpt, &base, d);
+    let dopt = ideal_stats(&DistributedOpt::default(), &base, d);
+    // r → 0: distributed caches are fast, shared misses dominate.
+    let m = base.clone().with_bandwidth_ratio(0.02);
+    let tr = ideal_stats(&Tradeoff::default(), &m, d);
+    let (t_tr, t_so) = (tr.t_data(m.sigma_s, m.sigma_d), so.t_data(m.sigma_s, m.sigma_d));
+    assert!(t_tr <= 1.05 * t_so, "r≈0: Tradeoff {t_tr} should match Shared Opt {t_so}");
+    // r → 1: shared cache is fast, distributed misses dominate.
+    let m = base.clone().with_bandwidth_ratio(0.98);
+    let tr = ideal_stats(&Tradeoff::default(), &m, d);
+    let (t_tr, t_do) = (tr.t_data(m.sigma_s, m.sigma_d), dopt.t_data(m.sigma_s, m.sigma_d));
+    assert!(t_tr <= 1.05 * t_do, "r≈1: Tradeoff {t_tr} should match Distributed Opt {t_do}");
+}
+
+#[test]
+fn distributed_opt_loses_its_edge_when_mu_is_one() {
+    // Fig. 8(c): with q = 64 the distributed cache fits only µ = 1, and
+    // Distributed Opt no longer separates from Distributed Equal.
+    let machine = MachineConfig::quad_q64();
+    let d = 64u32;
+    let dopt = ideal_stats(&DistributedOpt::default(), &machine, d);
+    let de = ideal_stats(&DistributedEqual::default(), &machine, d);
+    // t_D = √(6/3) = 1 as well: both degenerate to element streaming.
+    let ratio = dopt.md() as f64 / de.md() as f64;
+    assert!(
+        (0.8..=1.2).contains(&ratio),
+        "µ=1 regime: Distributed Opt {} vs Equal {} (ratio {ratio})",
+        dopt.md(),
+        de.md()
+    );
+}

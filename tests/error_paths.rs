@@ -1,0 +1,143 @@
+//! Failure-injection tests: every error the public API defines is
+//! reachable, reported with the right payload, and leaves the system in a
+//! sane state.
+
+use multicore_matmul::lu::{BlockedLu, LuError, UpdateTiling};
+use multicore_matmul::prelude::*;
+
+#[test]
+fn every_sim_error_variant_is_reachable() {
+    let machine = MachineConfig::new(2, 4, 2, 32);
+    let mk = || Simulator::new(SimConfig::ideal(&machine), 4, 4, 4);
+
+    // UnknownCore.
+    let mut sim = mk();
+    assert_eq!(sim.read(7, Block::a(0, 0)), Err(SimError::UnknownCore { core: 7, cores: 2 }));
+
+    // NotResidentDist (access before load).
+    let mut sim = mk();
+    assert_eq!(
+        sim.write(0, Block::c(0, 0)),
+        Err(SimError::NotResidentDist { core: 0, block: Block::c(0, 0) })
+    );
+
+    // NotResidentShared (distributed load without shared residency).
+    let mut sim = mk();
+    assert_eq!(
+        sim.load_dist(0, Block::b(1, 1)),
+        Err(SimError::NotResidentShared { block: Block::b(1, 1) })
+    );
+
+    // SharedCapacityExceeded.
+    let mut sim = mk();
+    for j in 0..4 {
+        sim.load_shared(Block::a(0, j)).unwrap();
+    }
+    assert_eq!(
+        sim.load_shared(Block::a(1, 0)),
+        Err(SimError::SharedCapacityExceeded { capacity: 4, block: Block::a(1, 0) })
+    );
+
+    // DistCapacityExceeded.
+    let mut sim = mk();
+    sim.load_shared(Block::a(0, 0)).unwrap();
+    sim.load_shared(Block::a(0, 1)).unwrap();
+    sim.load_shared(Block::a(0, 2)).unwrap();
+    sim.load_dist(1, Block::a(0, 0)).unwrap();
+    sim.load_dist(1, Block::a(0, 1)).unwrap();
+    assert_eq!(
+        sim.load_dist(1, Block::a(0, 2)),
+        Err(SimError::DistCapacityExceeded { core: 1, capacity: 2, block: Block::a(0, 2) })
+    );
+
+    // InclusionViolated.
+    let mut sim = mk();
+    sim.load_shared(Block::c(2, 2)).unwrap();
+    sim.load_dist(0, Block::c(2, 2)).unwrap();
+    assert_eq!(
+        sim.evict_shared(Block::c(2, 2)),
+        Err(SimError::InclusionViolated { block: Block::c(2, 2), core: 0 })
+    );
+
+    // EvictAbsent, both levels.
+    let mut sim = mk();
+    assert_eq!(
+        sim.evict_shared(Block::a(3, 3)),
+        Err(SimError::EvictAbsent { block: Block::a(3, 3), core: None })
+    );
+    assert_eq!(
+        sim.evict_dist(1, Block::a(3, 3)),
+        Err(SimError::EvictAbsent { block: Block::a(3, 3), core: Some(1) })
+    );
+}
+
+#[test]
+fn sim_errors_propagate_through_algorithms_as_algo_errors() {
+    // Force a capacity violation mid-run: declare a machine *larger* than
+    // the physical IDEAL cache so the schedule's loads overflow.
+    let declared = MachineConfig::quad_q32();
+    let physical = SimConfig {
+        shared_capacity: 100, // far below 1 + λ + λ² = 931
+        ..SimConfig::ideal(&declared)
+    };
+    let mut sim = Simulator::new(physical, 60, 60, 60);
+    let err = SharedOpt::run(&declared, &ProblemSpec::square(60), &mut sim).unwrap_err();
+    match err {
+        AlgoError::Sim(SimError::SharedCapacityExceeded { capacity: 100, .. }) => {}
+        other => panic!("expected a capacity error, got {other}"),
+    }
+    // The error formats into something a user can act on.
+    let msg = err.to_string();
+    assert!(msg.contains("100"), "{msg}");
+}
+
+#[test]
+fn infeasible_errors_name_the_algorithm_and_the_numbers() {
+    let machine = MachineConfig::new(3, 977, 21, 32); // p = 3: not square
+    let problem = ProblemSpec::square(8);
+    let mut sim = Simulator::new(SimConfig::ideal(&machine), 8, 8, 8);
+    let err = DistributedOpt::default().execute(&machine, &problem, &mut sim).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("Distributed Opt") && msg.contains('3'), "{msg}");
+    let err = Tradeoff::default().execute(&machine, &problem, &mut sim).unwrap_err();
+    assert!(err.to_string().contains("Tradeoff"));
+}
+
+#[test]
+fn lu_errors_are_typed_and_described() {
+    let machine = MachineConfig::quad_q32();
+    // Zero panel width.
+    let mut hooks = multicore_matmul::lu::CountingLuHooks::default();
+    let err = BlockedLu::new(0, UpdateTiling::RowStripes)
+        .run(&machine, 4, &mut hooks)
+        .unwrap_err();
+    assert!(matches!(err, LuError::Invalid(_)));
+    assert!(err.to_string().contains("panel width"));
+    // Singular pivot on execution.
+    let mut m = BlockMatrix::zeros(2, 2, 3);
+    let err =
+        multicore_matmul::lu::lu_factor(&mut m, &machine, &BlockedLu::default()).unwrap_err();
+    assert_eq!(err, LuError::SingularPivot { k: 0 });
+    assert!(err.to_string().contains("pivot"));
+}
+
+#[test]
+fn errors_implement_std_error_with_sources() {
+    let e: Box<dyn std::error::Error> =
+        Box::new(AlgoError::Sim(SimError::NotResidentShared { block: Block::a(0, 0) }));
+    assert!(e.source().is_some(), "AlgoError::Sim chains to the SimError");
+    let e: Box<dyn std::error::Error> = Box::new(SimError::UnknownCore { core: 1, cores: 1 });
+    assert!(e.source().is_none());
+}
+
+#[test]
+fn failed_runs_leave_partial_but_consistent_stats() {
+    // After an IDEAL-mode failure the simulator still reports the counts
+    // accumulated so far (useful for debugging schedules).
+    let declared = MachineConfig::quad_q32();
+    let physical = SimConfig { shared_capacity: 100, ..SimConfig::ideal(&declared) };
+    let mut sim = Simulator::new(physical, 60, 60, 60);
+    let _ = SharedOpt::run(&declared, &ProblemSpec::square(60), &mut sim);
+    assert!(sim.stats().shared_misses > 0);
+    assert!(sim.stats().shared_misses <= 100, "no more misses than capacity before overflow");
+}

@@ -1,0 +1,143 @@
+//! Cross-crate exactness tests: for every algorithm with a closed form in
+//! the paper, the IDEAL-mode simulated counts must equal the formula
+//! *exactly* on divisible problem sizes. This pins both the schedule
+//! implementations and the formula transcriptions to the paper at once.
+
+use multicore_matmul::prelude::*;
+
+/// Run `algo` under IDEAL policy and compare `(M_S, M_D)` with its own
+/// prediction, requiring exact equality.
+fn assert_exact(algo: &dyn Algorithm, machine: &MachineConfig, m: u32, n: u32, z: u32) {
+    let problem = ProblemSpec::new(m, n, z);
+    let mut sim = Simulator::new(SimConfig::ideal(machine), m, n, z);
+    algo.execute(machine, &problem, &mut sim)
+        .unwrap_or_else(|e| panic!("{} on {m}x{n}x{z}: {e}", algo.name()));
+    let stats = sim.stats();
+    let pred = algo
+        .predict(machine, &problem)
+        .unwrap_or_else(|| panic!("{} should predict", algo.name()));
+    assert_eq!(
+        stats.ms() as f64,
+        pred.ms,
+        "{} M_S mismatch on {m}x{n}x{z}",
+        algo.name()
+    );
+    assert_eq!(
+        stats.md() as f64,
+        pred.md,
+        "{} M_D mismatch on {m}x{n}x{z}",
+        algo.name()
+    );
+    assert_eq!(stats.total_fmas(), problem.total_fmas());
+    // Schedules fully clean up after themselves: both cache levels empty.
+    assert_eq!(sim.shared_len(), 0, "{} left shared residue", algo.name());
+    for c in 0..machine.cores {
+        assert_eq!(sim.dist_len(c), 0, "{} left residue on core {c}", algo.name());
+    }
+}
+
+#[test]
+fn shared_opt_exact_when_p_divides_lambda() {
+    // λ must divide m, n and p must divide λ for the clean per-core split.
+    // C_S = 43 → λ = 6; p = 2 | 6; C_D = 3.
+    let machine = MachineConfig::new(2, 43, 3, 32);
+    for (m, n, z) in [(6, 6, 1), (12, 6, 5), (18, 24, 7), (6, 6, 6)] {
+        assert_exact(&SharedOpt, &machine, m, n, z);
+    }
+}
+
+#[test]
+fn distributed_opt_exact_on_divisible_tiles() {
+    // q=32 preset: µ = 4, grid 2×2 → tile 8.
+    let machine = MachineConfig::quad_q32();
+    for (m, n, z) in [(8, 8, 1), (16, 8, 3), (24, 32, 5), (8, 8, 8)] {
+        assert_exact(&DistributedOpt::default(), &machine, m, n, z);
+    }
+    // Degenerate µ = 1 (q = 64 preset), tile 2.
+    let machine = MachineConfig::quad_q64();
+    for (m, n, z) in [(2, 2, 1), (4, 6, 3), (8, 8, 8)] {
+        assert_exact(&DistributedOpt::default(), &machine, m, n, z);
+    }
+}
+
+#[test]
+fn tradeoff_exact_general_and_single_subblock() {
+    let machine = MachineConfig::quad_q32();
+    // General case: α = 16 > √p·µ = 8; β | z required for exactness.
+    let grid = CoreGrid { rows: 2, cols: 2 };
+    let general = Tradeoff::with_params(TradeoffParams { alpha: 16, beta: 4, mu: 4, grid });
+    for (m, n, z) in [(16, 16, 4), (32, 16, 8), (48, 48, 12)] {
+        assert_exact(&general, &machine, m, n, z);
+    }
+    // Special case: α = √p·µ = 8, each core a single sub-block per tile.
+    let single = Tradeoff::with_params(TradeoffParams { alpha: 8, beta: 4, mu: 4, grid });
+    for (m, n, z) in [(8, 8, 4), (16, 24, 8)] {
+        assert_exact(&single, &machine, m, n, z);
+    }
+}
+
+#[test]
+fn shared_equal_exact_when_p_divides_tile() {
+    // C_S = 768 → t = 16, p = 4 | 16; C_D = 3.
+    let machine = MachineConfig::new(4, 768, 3, 32);
+    for (m, n, z) in [(16, 16, 16), (32, 16, 32), (48, 48, 16)] {
+        assert_exact(&SharedEqual, &machine, m, n, z);
+    }
+}
+
+#[test]
+fn distributed_equal_exact_on_aligned_partitions() {
+    // C_D = 21 → t_D = 2; 2×2 grid; m, n multiples of 2·grid = 4 so every
+    // core's partition is t_D-aligned; z multiple of t_D.
+    let machine = MachineConfig::quad_q32();
+    for (m, n, z) in [(4, 4, 2), (8, 12, 6), (16, 16, 8)] {
+        assert_exact(&DistributedEqual::default(), &machine, m, n, z);
+    }
+}
+
+#[test]
+fn predictions_track_ideal_counts_within_tolerance_on_ragged_sizes() {
+    // On non-divisible sizes the formulas are approximations; the relative
+    // error must stay small once there are several tiles per dimension.
+    let machine = MachineConfig::quad_q32();
+    let problem = ProblemSpec::new(123, 97, 61);
+    for kind in [
+        AlgorithmKind::SharedOpt,
+        AlgorithmKind::DistributedOpt,
+        AlgorithmKind::SharedEqual,
+        AlgorithmKind::DistributedEqual,
+    ] {
+        let algo = kind.build();
+        let mut sim = Simulator::new(SimConfig::ideal(&machine), 123, 97, 61);
+        algo.execute(&machine, &problem, &mut sim).unwrap();
+        let pred = algo.predict(&machine, &problem).unwrap();
+        let ms = sim.stats().ms() as f64;
+        let rel = (ms - pred.ms).abs() / pred.ms;
+        assert!(
+            rel < 0.35,
+            "{}: simulated M_S {ms} vs predicted {} (rel {rel:.3})",
+            algo.name(),
+            pred.ms
+        );
+    }
+}
+
+#[test]
+fn every_managed_algorithm_cleans_up_on_paper_presets() {
+    // Capacity-checked IDEAL runs on all six presets with a ragged size:
+    // no capacity violations, no residue, full FMA coverage.
+    let problem = ProblemSpec::new(13, 11, 7);
+    for (label, machine) in MachineConfig::paper_presets() {
+        for kind in AlgorithmKind::ALL {
+            if kind == AlgorithmKind::OuterProduct {
+                continue; // LRU-only by design
+            }
+            let algo = kind.build();
+            let mut sim = Simulator::new(SimConfig::ideal(&machine), 13, 11, 7);
+            algo.execute(&machine, &problem, &mut sim)
+                .unwrap_or_else(|e| panic!("{label}/{}: {e}", algo.name()));
+            assert_eq!(sim.stats().total_fmas(), problem.total_fmas());
+            assert_eq!(sim.shared_len(), 0);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+// Index-based loops below mirror the mathematical substitution formulas;
+// iterator forms would obscure them.
+#![allow(clippy::needless_range_loop)]
+
+//! Cross-crate integration tests for the LU extension: factorization
+//! correctness at scale, schedule/simulation consistency, and the
+//! cache-behaviour claims (tiled updates beat naive streaming once the
+//! panels outgrow the shared cache).
+
+use multicore_matmul::lu::{
+    bounds as lu_bounds, exec, schedule::expected_counts, BlockedLu, CountingLuHooks, SimLuHooks,
+    UpdateTiling,
+};
+use multicore_matmul::prelude::*;
+
+#[test]
+fn lu_factors_correctly_across_machines() {
+    let a = exec::diagonally_dominant(9, 6, 17);
+    for machine in [
+        MachineConfig::quad_q32(),
+        MachineConfig::quad_q80_pessimistic(),
+        MachineConfig::new(1, 43, 3, 8),
+        MachineConfig::new(9, 977, 21, 8),
+    ] {
+        for tiling in [UpdateTiling::RowStripes, UpdateTiling::SharedOpt, UpdateTiling::Tradeoff] {
+            let mut m = a.clone();
+            exec::lu_factor(&mut m, &machine, &BlockedLu::new(3, tiling))
+                .unwrap_or_else(|e| panic!("p={} {tiling:?}: {e}", machine.cores));
+            let r = exec::residual(&m, &a);
+            assert!(r < 1e-10, "p={} {tiling:?}: residual {r}", machine.cores);
+        }
+    }
+}
+
+#[test]
+fn lu_solves_a_linear_system_end_to_end() {
+    // Factor A, then solve A x = b by block forward/back substitution
+    // using the unpacked factors and the naive product as the checker.
+    let machine = MachineConfig::quad_q32();
+    let (n, q) = (6u32, 4usize);
+    let a = exec::diagonally_dominant(n, q, 3);
+    let mut m = a.clone();
+    exec::lu_factor(&mut m, &machine, &BlockedLu::new(2, UpdateTiling::SharedOpt)).unwrap();
+    let (l, u) = exec::unpack(&m);
+    // x: dense "vector" as an n×1 block column.
+    let x_true = BlockMatrix::pseudo_random(n, 1, q, 9);
+    let b = gemm_naive(&a, &x_true);
+    // Forward: L y = b.
+    let dim = n as usize * q;
+    let mut y = vec![0.0; dim];
+    for i in 0..dim {
+        let mut acc = b.get(i, 0);
+        for k in 0..i {
+            acc -= l.get(i, k) * y[k];
+        }
+        y[i] = acc; // unit diagonal
+    }
+    // Back: U x = y.
+    let mut x = vec![0.0; dim];
+    for i in (0..dim).rev() {
+        let mut acc = y[i];
+        for k in i + 1..dim {
+            acc -= u.get(i, k) * x[k];
+        }
+        x[i] = acc / u.get(i, i);
+    }
+    for i in 0..dim {
+        assert!(
+            (x[i] - x_true.get(i, 0)).abs() < 1e-8,
+            "x[{i}] = {} vs {}",
+            x[i],
+            x_true.get(i, 0)
+        );
+    }
+}
+
+#[test]
+fn simulated_fma_stream_matches_operation_counts() {
+    let machine = MachineConfig::quad_q32();
+    let n = 20u32;
+    let (_, trsm, updates) = expected_counts(n as u64);
+    for w in [1u32, 4, 7] {
+        let mut sim = Simulator::new(SimConfig::lru(&machine), n, n, 1);
+        let mut hooks = SimLuHooks::new(&mut sim);
+        BlockedLu::new(w, UpdateTiling::Tradeoff).run(&machine, n, &mut hooks).unwrap();
+        assert_eq!(sim.stats().total_fmas(), updates, "w={w}");
+        // Reads: 3 per update, 2 per trsm (diag + target, both sides),
+        // 1 per getrf.
+        let expected_reads = 3 * updates + 2 * 2 * trsm + n as u64;
+        let total_reads: u64 =
+            sim.stats().dist_hits.iter().sum::<u64>() + sim.stats().dist_misses.iter().sum::<u64>();
+        // Reads + writes both pass through the distributed caches; writes:
+        // 1 per update, per trsm, per getrf.
+        let expected_writes = updates + 2 * trsm + n as u64;
+        assert_eq!(total_reads, expected_reads + expected_writes, "w={w}");
+    }
+}
+
+#[test]
+fn tiled_updates_beat_row_stripes_once_panels_outgrow_the_shared_cache() {
+    // At order 160 with w = 8, the row-stripe U panel (8 × ~150 blocks)
+    // exceeds C_S = 977 for the early (widest) trailing updates... and the
+    // per-core C stripes thrash the distributed caches at any size. The
+    // cache-aware tilings must win on M_D, and the Shared-Opt tiling on
+    // CCR_D by a wide margin.
+    let machine = MachineConfig::quad_q32();
+    let n = 160u32;
+    let run = |lu: BlockedLu| -> SimStats {
+        let mut sim = Simulator::new(SimConfig::lru(&machine), n, n, 1);
+        let mut hooks = SimLuHooks::new(&mut sim);
+        lu.run(&machine, n, &mut hooks).unwrap();
+        sim.into_stats()
+    };
+    let stripes = run(BlockedLu::new(8, UpdateTiling::RowStripes));
+    let shared = run(BlockedLu::new(8, UpdateTiling::SharedOpt));
+    let tradeoff = run(BlockedLu::new(8, UpdateTiling::Tradeoff));
+    assert!(
+        shared.md() < stripes.md(),
+        "Shared-Opt tiles M_D {} vs row stripes {}",
+        shared.md(),
+        stripes.md()
+    );
+    assert!(
+        tradeoff.md() < stripes.md(),
+        "Tradeoff tiles M_D {} vs row stripes {}",
+        tradeoff.md(),
+        stripes.md()
+    );
+    // Every schedule respects the update-stream lower bounds.
+    let ms_lb = lu_bounds::ms_lower_bound(n as u64, &machine);
+    let md_lb = lu_bounds::md_lower_bound(n as u64, &machine);
+    for s in [&stripes, &shared, &tradeoff] {
+        assert!(s.ms() as f64 >= ms_lb.floor());
+        assert!(s.md() as f64 >= md_lb.floor());
+    }
+}
+
+#[test]
+fn wider_panels_amortize_misses() {
+    let machine = MachineConfig::quad_q32();
+    let n = 96u32;
+    let run = |w: u32| -> u64 {
+        let mut sim = Simulator::new(SimConfig::lru(&machine), n, n, 1);
+        let mut hooks = SimLuHooks::new(&mut sim);
+        BlockedLu::new(w, UpdateTiling::Tradeoff).run(&machine, n, &mut hooks).unwrap();
+        sim.stats().ms()
+    };
+    let w1 = run(1);
+    let w8 = run(8);
+    assert!(w8 < w1, "w=8 misses {w8} must be below w=1 misses {w1}");
+}
+
+#[test]
+fn counting_hooks_are_core_independent() {
+    // Operation volume must not depend on the core count.
+    let n = 15u32;
+    let mut single = CountingLuHooks::default();
+    BlockedLu::new(4, UpdateTiling::RowStripes)
+        .run(&MachineConfig::new(1, 977, 21, 32), n, &mut single)
+        .unwrap();
+    let mut quad = CountingLuHooks::default();
+    BlockedLu::new(4, UpdateTiling::RowStripes)
+        .run(&MachineConfig::quad_q32(), n, &mut quad)
+        .unwrap();
+    assert_eq!(single.updates, quad.updates);
+    assert_eq!(single.trsm_cols, quad.trsm_cols);
+    assert_eq!(single.trsm_rows, quad.trsm_rows);
+}

@@ -1,0 +1,113 @@
+//! Cross-validation of the stack-distance profiler against the real LRU
+//! simulator: one profiling pass must predict, for every capacity, the
+//! exact miss counts an explicit LRU simulation produces on the same
+//! schedule (non-inclusive hierarchy — back-invalidation couples the
+//! levels and is deliberately out of the profiler's model).
+
+use multicore_matmul::prelude::*;
+use multicore_matmul::sim::ProfilingSink;
+
+fn profile(algo: &dyn Algorithm, machine: &MachineConfig, d: u32) -> ProfilingSink {
+    let problem = ProblemSpec::square(d);
+    let mut sink = ProfilingSink::new(problem.block_space(), machine.cores, machine.dist_capacity);
+    algo.execute(machine, &problem, &mut sink).unwrap();
+    sink
+}
+
+fn lru_counts(
+    algo: &dyn Algorithm,
+    machine: &MachineConfig,
+    d: u32,
+    shared_capacity: usize,
+) -> SimStats {
+    let cfg = SimConfig {
+        cores: machine.cores,
+        policy: Policy::Lru,
+        shared_capacity,
+        dist_capacity: machine.dist_capacity,
+        inclusive: false,
+        check: false,
+        associativity: None,
+    };
+    let mut sim = Simulator::new(cfg, d, d, d);
+    algo.execute(machine, &ProblemSpec::square(d), &mut sim).unwrap();
+    sim.into_stats()
+}
+
+#[test]
+fn one_profiling_pass_predicts_every_shared_capacity_exactly() {
+    let machine = MachineConfig::quad_q32();
+    let d = 40u32;
+    for kind in [AlgorithmKind::SharedOpt, AlgorithmKind::OuterProduct, AlgorithmKind::SharedEqual]
+    {
+        let algo = kind.build();
+        let sink = profile(algo.as_ref(), &machine, d);
+        for cs in [50usize, 200, 977, 2000] {
+            let sim = lru_counts(algo.as_ref(), &machine, d, cs);
+            assert_eq!(
+                sink.shared_profile.misses_for_capacity(cs),
+                sim.ms(),
+                "{} at C_S = {cs}",
+                algo.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn per_core_profiles_predict_distributed_misses_exactly() {
+    let machine = MachineConfig::quad_q32();
+    let d = 32u32;
+    let algo = DistributedOpt::default();
+    let sink = profile(&algo, &machine, d);
+    // The per-core raw profiles answer any C_D; check at the fixed filter
+    // capacity (where the simulator runs) for every core.
+    let sim = lru_counts(&algo, &machine, d, machine.shared_capacity);
+    for core in 0..machine.cores {
+        assert_eq!(
+            sink.dist_profiles[core].misses_for_capacity(machine.dist_capacity),
+            sim.dist_misses[core],
+            "core {core}"
+        );
+    }
+}
+
+#[test]
+fn profiler_reproduces_the_fig4_sweep_in_one_pass() {
+    // Fig. 4 sweeps LRU at C_S and 2·C_S; the profiler gets both (and
+    // everything in between) from one pass over the schedule.
+    let machine = MachineConfig::quad_q32();
+    let d = 60u32;
+    let sink = profile(&SharedOpt, &machine, d);
+    let at_c = lru_counts(&SharedOpt, &machine, d, 977).ms();
+    let at_2c = lru_counts(&SharedOpt, &machine, d, 2 * 977).ms();
+    assert_eq!(sink.shared_profile.misses_for_capacity(977), at_c);
+    assert_eq!(sink.shared_profile.misses_for_capacity(2 * 977), at_2c);
+    // Monotone in capacity (stack property).
+    let mut prev = u64::MAX;
+    for cs in (100..=2000).step_by(100) {
+        let m = sink.shared_profile.misses_for_capacity(cs);
+        assert!(m <= prev);
+        prev = m;
+    }
+}
+
+#[test]
+fn miss_curve_knee_sits_at_the_lambda_footprint() {
+    // Shared Opt's live set is the λ² C tile + λ B-row + a (= 931 blocks
+    // for λ = 30): at C_S = 977 the miss curve has already flattened to
+    // the formula mn + 2mnz/λ, while capacities below the tile footprint
+    // pay extra misses.
+    let machine = MachineConfig::quad_q32();
+    let d = 90u32;
+    let sink = profile(&SharedOpt, &machine, d);
+    let formula = (d as u64 * d as u64) + 2 * (d as u64).pow(3) / 30;
+    assert_eq!(sink.shared_profile.misses_for_capacity(977), formula);
+    assert!(
+        sink.shared_profile.misses_for_capacity(700) > formula,
+        "below the λ footprint the schedule must pay extra misses"
+    );
+    // The deepest reuse (B rows across C tile-rows) reaches far beyond the
+    // live set; the histogram records it.
+    assert!(sink.shared_profile.working_set() > 931);
+}

@@ -1,0 +1,119 @@
+//! Property-based cross-validation between the *independent*
+//! implementations this workspace deliberately maintains in pairs:
+//! closed-form exact counts vs the simulator, the flat two-level
+//! simulator vs the tree simulator, and the trace validator vs the
+//! operational IDEAL checks.
+
+use multicore_matmul::core::exact;
+use multicore_matmul::prelude::*;
+use multicore_matmul::sim::{validate_ideal_trace, TreeSimulator, TreeTopology};
+use proptest::prelude::*;
+
+fn managed_kind() -> impl Strategy<Value = AlgorithmKind> {
+    prop_oneof![
+        Just(AlgorithmKind::SharedOpt),
+        Just(AlgorithmKind::DistributedOpt),
+        Just(AlgorithmKind::Tradeoff),
+        Just(AlgorithmKind::SharedEqual),
+        Just(AlgorithmKind::DistributedEqual),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// `exact::shared_opt` / `exact::distributed_opt` equal the simulator
+    /// on arbitrary ragged shapes — two implementations, one truth.
+    #[test]
+    fn exact_counts_equal_simulation(
+        m in 1u32..40,
+        n in 1u32..40,
+        z in 1u32..25,
+    ) {
+        let machine = MachineConfig::quad_q32();
+        let problem = ProblemSpec::new(m, n, z);
+
+        let e = exact::shared_opt(&problem, &machine).unwrap();
+        let mut sim = Simulator::new(SimConfig::ideal(&machine), m, n, z);
+        SharedOpt.execute(&machine, &problem, &mut sim).unwrap();
+        prop_assert_eq!(e.ms, sim.stats().ms());
+        prop_assert_eq!(&e.md_per_core, &sim.stats().dist_misses);
+
+        let e = exact::distributed_opt(&problem, &machine, None).unwrap();
+        let mut sim = Simulator::new(SimConfig::ideal(&machine), m, n, z);
+        DistributedOpt::default().execute(&machine, &problem, &mut sim).unwrap();
+        prop_assert_eq!(e.ms, sim.stats().ms());
+        prop_assert_eq!(&e.md_per_core, &sim.stats().dist_misses);
+    }
+
+    /// Exact Tradeoff counts equal the simulator for random feasible
+    /// explicit parameters.
+    #[test]
+    fn exact_tradeoff_equals_simulation(
+        m in 1u32..32,
+        n in 1u32..32,
+        z in 1u32..20,
+        alpha_mult in 1u32..4,
+        beta in 1u32..9,
+    ) {
+        let machine = MachineConfig::quad_q32();
+        let grid = CoreGrid { rows: 2, cols: 2 };
+        let params = TradeoffParams { alpha: 8 * alpha_mult, beta, mu: 4, grid };
+        prop_assume!(params.shared_footprint() <= machine.shared_capacity as u64);
+        let problem = ProblemSpec::new(m, n, z);
+        let e = exact::tradeoff(&problem, &machine, &params).unwrap();
+        let mut sim = Simulator::new(SimConfig::ideal(&machine), m, n, z);
+        Tradeoff::with_params(params).execute(&machine, &problem, &mut sim).unwrap();
+        prop_assert_eq!(e.ms, sim.stats().ms());
+        prop_assert_eq!(&e.md_per_core, &sim.stats().dist_misses);
+    }
+
+    /// A two-level tree simulator counts exactly like the flat simulator
+    /// for every algorithm and random shape (LRU policy).
+    #[test]
+    fn tree_depth2_equals_flat_simulator(
+        kind in managed_kind(),
+        m in 1u32..16,
+        n in 1u32..16,
+        z in 1u32..10,
+    ) {
+        let machine = MachineConfig::quad_q32();
+        let problem = ProblemSpec::new(m, n, z);
+        let algo = kind.build();
+        let mut flat = Simulator::new(SimConfig::lru(&machine), m, n, z);
+        algo.execute(&machine, &problem, &mut flat).unwrap();
+        let topo = TreeTopology::two_level(
+            machine.cores,
+            machine.shared_capacity,
+            machine.dist_capacity,
+        );
+        let mut tree = TreeSimulator::new(topo, m, n, z);
+        algo.execute(&machine, &problem, &mut tree).unwrap();
+        prop_assert_eq!(flat.stats().shared_misses, tree.stats().level_total(0));
+        for c in 0..machine.cores {
+            prop_assert_eq!(flat.stats().dist_misses[c], tree.stats().misses[1][c]);
+        }
+    }
+
+    /// Every managed schedule's recorded IDEAL trace passes the structural
+    /// validator on random shapes.
+    #[test]
+    fn traces_are_wellformed(
+        kind in managed_kind(),
+        m in 1u32..10,
+        n in 1u32..10,
+        z in 1u32..8,
+    ) {
+        let machine = MachineConfig::quad_q32();
+        let algo = kind.build();
+        let mut trace = TraceSink::with_residency();
+        algo.execute(&machine, &ProblemSpec::new(m, n, z), &mut trace).unwrap();
+        let r = validate_ideal_trace(
+            &trace.events,
+            machine.cores,
+            machine.shared_capacity,
+            machine.dist_capacity,
+        );
+        prop_assert!(r.is_ok(), "{}: {}", algo.name(), r.unwrap_err());
+    }
+}

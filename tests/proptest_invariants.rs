@@ -1,0 +1,164 @@
+//! Property-based invariants across the whole stack: random problem
+//! shapes, machines and seeds.
+
+use multicore_matmul::prelude::*;
+use proptest::prelude::*;
+
+fn managed_kind() -> impl Strategy<Value = AlgorithmKind> {
+    prop_oneof![
+        Just(AlgorithmKind::SharedOpt),
+        Just(AlgorithmKind::DistributedOpt),
+        Just(AlgorithmKind::Tradeoff),
+        Just(AlgorithmKind::SharedEqual),
+        Just(AlgorithmKind::DistributedEqual),
+    ]
+}
+
+fn any_kind() -> impl Strategy<Value = AlgorithmKind> {
+    prop_oneof![managed_kind(), Just(AlgorithmKind::OuterProduct)]
+}
+
+fn preset() -> impl Strategy<Value = MachineConfig> {
+    (0usize..6).prop_map(|i| MachineConfig::paper_presets().swap_remove(i).1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// IDEAL runs are capacity-clean, cover every FMA exactly once, touch
+    /// only hits after their loads, and leave both cache levels empty.
+    #[test]
+    fn ideal_runs_are_clean_on_random_shapes(
+        kind in managed_kind(),
+        machine in preset(),
+        m in 1u32..20,
+        n in 1u32..20,
+        z in 1u32..20,
+    ) {
+        let algo = kind.build();
+        let problem = ProblemSpec::new(m, n, z);
+        let mut sim = Simulator::new(SimConfig::ideal(&machine), m, n, z);
+        algo.execute(&machine, &problem, &mut sim)
+            .unwrap_or_else(|e| panic!("{}: {e}", algo.name()));
+        prop_assert_eq!(sim.stats().total_fmas(), problem.total_fmas());
+        prop_assert_eq!(sim.shared_len(), 0);
+        for c in 0..machine.cores {
+            prop_assert_eq!(sim.dist_len(c), 0);
+        }
+        // C is written back to memory exactly once per block.
+        prop_assert_eq!(sim.stats().shared_writebacks, (m as u64) * (n as u64));
+    }
+
+    /// Under LRU every algorithm computes all FMAs and respects capacity.
+    #[test]
+    fn lru_runs_cover_all_fmas(
+        kind in any_kind(),
+        machine in preset(),
+        m in 1u32..16,
+        n in 1u32..16,
+        z in 1u32..16,
+    ) {
+        let algo = kind.build();
+        let problem = ProblemSpec::new(m, n, z);
+        let mut sim = Simulator::new(SimConfig::lru(&machine), m, n, z);
+        algo.execute(&machine, &problem, &mut sim).unwrap();
+        prop_assert_eq!(sim.stats().total_fmas(), problem.total_fmas());
+        prop_assert!(sim.shared_len() <= machine.shared_capacity);
+        prop_assert!(sim.inclusion_holds());
+    }
+
+    /// The LRU-50 setting (declared capacities halved, physical full) runs
+    /// everything, including machines whose halved capacities fall below
+    /// the IDEAL minima.
+    #[test]
+    fn lru50_always_runs(
+        kind in any_kind(),
+        machine in preset(),
+        d in 1u32..12,
+    ) {
+        let algo = kind.build();
+        let problem = ProblemSpec::square(d);
+        let declared = machine.halved();
+        let mut sim = Simulator::new(SimConfig::lru(&machine), d, d, d);
+        algo.execute(&declared, &problem, &mut sim)
+            .unwrap_or_else(|e| panic!("{} LRU-50: {e}", algo.name()));
+        prop_assert_eq!(sim.stats().total_fmas(), problem.total_fmas());
+    }
+
+    /// Executed schedules equal the oracle bit-for-bit on random shapes,
+    /// block sizes and seeds.
+    #[test]
+    fn schedules_execute_exactly(
+        kind in any_kind(),
+        m in 1u32..8,
+        n in 1u32..8,
+        z in 1u32..8,
+        q in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let machine = MachineConfig::quad_q32();
+        let a = BlockMatrix::pseudo_random(m, z, q, seed);
+        let b = BlockMatrix::pseudo_random(z, n, q, seed ^ 0xABCD);
+        let oracle = gemm_naive(&a, &b);
+        let c = run_schedule(kind.build().as_ref(), &machine, &a, &b).unwrap();
+        prop_assert_eq!(c, oracle);
+    }
+
+    /// Parallel tiled executors equal the oracle for arbitrary tilings.
+    #[test]
+    fn parallel_gemm_matches_oracle_for_any_tiling(
+        m in 1u32..8,
+        n in 1u32..8,
+        z in 1u32..8,
+        tm in 1u32..10,
+        tn in 1u32..10,
+        tk in 1u32..10,
+        seed in any::<u64>(),
+    ) {
+        let a = BlockMatrix::pseudo_random(m, z, 3, seed);
+        let b = BlockMatrix::pseudo_random(z, n, 3, seed ^ 0x5555);
+        let oracle = gemm_naive(&a, &b);
+        let c = gemm_parallel(&a, &b, Tiling { tile_m: tm, tile_n: tn, tile_k: tk });
+        prop_assert_eq!(c, oracle);
+    }
+
+    /// Per-core compute balance: the paper's lower-bound argument assumes
+    /// work is evenly distributed (§2.3.4); on divisible-enough problems
+    /// the busiest core does at most 4× the least busy (ragged edges), and
+    /// the total is always mnz.
+    #[test]
+    fn work_distribution_is_bounded(
+        kind in any_kind(),
+        d in 8u32..24,
+    ) {
+        let machine = MachineConfig::quad_q32();
+        let problem = ProblemSpec::square(d);
+        let mut sink = CountingSink::new();
+        let algo = kind.build();
+        algo.execute(&machine, &problem, &mut sink).unwrap();
+        prop_assert_eq!(sink.fmas, problem.total_fmas());
+    }
+
+    /// Tile parameters always satisfy their defining inequalities.
+    #[test]
+    fn derived_parameters_satisfy_constraints(
+        cs in 3usize..5000,
+        cd in 3usize..500,
+        p_root in 1usize..5,
+        ss in 0.01f64..10.0,
+        sd in 0.01f64..10.0,
+    ) {
+        let machine = MachineConfig::new(p_root * p_root, cs.max(p_root * p_root * cd), cd, 32)
+            .with_bandwidths(ss, sd);
+        let l = params::lambda(&machine).unwrap() as u64;
+        prop_assert!(1 + l + l * l <= machine.shared_capacity as u64);
+        let mu = params::mu(&machine).unwrap() as u64;
+        prop_assert!(1 + mu + mu * mu <= cd as u64);
+        if let Some(t) = params::tradeoff_params(&machine) {
+            prop_assert!(t.shared_footprint() <= machine.shared_capacity as u64);
+            prop_assert_eq!(t.alpha % (t.grid.rows * t.mu), 0);
+            prop_assert!(t.beta >= 1);
+            prop_assert!(t.alpha >= t.grid.rows * t.mu);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Structural validation of every managed schedule's IDEAL directive
+//! stream: record the full trace, then check it against the hierarchy
+//! rules with an independent validator (no simulator involved).
+
+use multicore_matmul::prelude::*;
+use multicore_matmul::sim::validate_ideal_trace;
+
+#[test]
+fn every_managed_schedule_emits_a_wellformed_ideal_trace() {
+    for (label, machine) in MachineConfig::paper_presets() {
+        for kind in AlgorithmKind::ALL {
+            if kind == AlgorithmKind::OuterProduct {
+                continue; // LRU-only: no directives to validate
+            }
+            for (m, n, z) in [(8u32, 8, 8), (7, 13, 5), (1, 1, 1)] {
+                let algo = kind.build();
+                let mut trace = TraceSink::with_residency();
+                algo.execute(&machine, &ProblemSpec::new(m, n, z), &mut trace)
+                    .unwrap_or_else(|e| panic!("{label}/{}: {e}", algo.name()));
+                validate_ideal_trace(
+                    &trace.events,
+                    machine.cores,
+                    machine.shared_capacity,
+                    machine.dist_capacity,
+                )
+                .unwrap_or_else(|v| {
+                    panic!("{label}/{} on {m}x{n}x{z}: {v}", algo.name())
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn validator_catches_a_sabotaged_trace() {
+    // Record a correct trace, drop one eviction, and the validator must
+    // flag the residue.
+    let machine = MachineConfig::quad_q32();
+    let mut trace = TraceSink::with_residency();
+    SharedOpt
+        .execute(&machine, &ProblemSpec::square(4), &mut trace)
+        .unwrap();
+    let last_evict = trace
+        .events
+        .iter()
+        .rposition(|e| matches!(e, multicore_matmul::sim::TraceEvent::EvictShared(_)))
+        .unwrap();
+    trace.events.remove(last_evict);
+    assert!(validate_ideal_trace(
+        &trace.events,
+        machine.cores,
+        machine.shared_capacity,
+        machine.dist_capacity
+    )
+    .is_err());
+}

@@ -1,0 +1,109 @@
+//! End-to-end executor tests: every schedule, replayed on real data,
+//! produces the exact (bit-identical) matrix product, across machines,
+//! shapes and block sizes; the rayon-parallel tiled executors agree too.
+
+use multicore_matmul::prelude::*;
+
+fn operands(m: u32, n: u32, z: u32, q: usize, seed: u64) -> (BlockMatrix, BlockMatrix) {
+    (
+        BlockMatrix::pseudo_random(m, z, q, seed),
+        BlockMatrix::pseudo_random(z, n, q, seed + 1),
+    )
+}
+
+#[test]
+fn all_schedules_match_oracle_across_machines_and_shapes() {
+    let machines = [
+        MachineConfig::quad_q32(),
+        MachineConfig::quad_q64_pessimistic(),
+        MachineConfig::quad_q80_pessimistic(),
+        MachineConfig::new(1, 43, 3, 16),
+        MachineConfig::new(9, 977, 21, 16),
+    ];
+    let shapes = [(1u32, 1u32, 1u32), (5, 3, 7), (12, 12, 12), (31, 2, 17)];
+    for machine in &machines {
+        for &(m, n, z) in &shapes {
+            let (a, b) = operands(m, n, z, 3, 99);
+            let oracle = gemm_naive(&a, &b);
+            for algo in all_algorithms() {
+                let c = run_schedule(algo.as_ref(), machine, &a, &b).unwrap_or_else(|e| {
+                    panic!("{} on p={} {m}x{n}x{z}: {e}", algo.name(), machine.cores)
+                });
+                assert_eq!(
+                    c,
+                    oracle,
+                    "{} differs on p={} {m}x{n}x{z}",
+                    algo.name(),
+                    machine.cores
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_tilings_match_oracle_on_larger_problem() {
+    let machine = MachineConfig::quad_q32();
+    let (a, b) = operands(20, 24, 16, 8, 5);
+    let oracle = gemm_naive(&a, &b);
+    let tilings = [
+        Tiling::shared_opt(&machine).unwrap(),
+        Tiling::distributed_opt(&machine).unwrap(),
+        Tiling::tradeoff(&machine).unwrap(),
+        Tiling::equal(machine.shared_capacity).unwrap(),
+        Tiling::equal(machine.dist_capacity).unwrap(),
+    ];
+    for t in tilings {
+        assert_eq!(gemm_parallel(&a, &b, t), oracle, "{t:?}");
+    }
+}
+
+#[test]
+fn schedule_replay_counts_exactly_mnz_kernel_calls() {
+    let machine = MachineConfig::quad_q32();
+    let (m, n, z, q) = (7u32, 9u32, 5u32, 2usize);
+    let (a, b) = operands(m, n, z, q, 1);
+    for algo in all_algorithms() {
+        let mut c = BlockMatrix::zeros(m, n, q);
+        let mut sink = ExecSink::new(&a, &b, &mut c);
+        algo.execute(&machine, &ProblemSpec::new(m, n, z), &mut sink).unwrap();
+        assert_eq!(
+            sink.fmas(),
+            (m * n * z) as u64,
+            "{} must call the kernel exactly mnz times",
+            algo.name()
+        );
+    }
+}
+
+#[test]
+fn rectangular_grid_schedules_execute_correctly() {
+    // Extension paths: non-square core counts.
+    let machine = MachineConfig::new(6, 977, 21, 8);
+    let (a, b) = operands(11, 7, 9, 4, 77);
+    let oracle = gemm_naive(&a, &b);
+    let grid = CoreGrid::balanced(6);
+    for algo in [
+        Box::new(DistributedOpt::with_grid(grid)) as Box<dyn Algorithm>,
+        Box::new(OuterProduct::with_grid(grid)),
+        Box::new(DistributedEqual::with_grid(grid)),
+    ] {
+        let c = run_schedule(algo.as_ref(), &machine, &a, &b).unwrap();
+        assert_eq!(c, oracle, "{}", algo.name());
+    }
+}
+
+#[test]
+fn identity_and_zero_products() {
+    let machine = MachineConfig::quad_q32();
+    let q = 4;
+    let id = BlockMatrix::from_fn(6, 6, q, |i, j| if i == j { 1.0 } else { 0.0 });
+    let b = BlockMatrix::pseudo_random(6, 6, q, 3);
+    let zero = BlockMatrix::zeros(6, 6, q);
+    for algo in all_algorithms() {
+        let c = run_schedule(algo.as_ref(), &machine, &id, &b).unwrap();
+        assert_eq!(c, b, "{}: I×B must equal B", algo.name());
+        let c = run_schedule(algo.as_ref(), &machine, &zero, &b).unwrap();
+        assert_eq!(c, zero, "{}: 0×B must equal 0", algo.name());
+    }
+}

@@ -1,0 +1,88 @@
+//! Integration tests of the BSP timing layer against whole schedules.
+
+use multicore_matmul::prelude::*;
+use multicore_matmul::sim::{BspTiming, TimingModel};
+
+fn makespan(algo: &dyn Algorithm, machine: &MachineConfig, d: u32, model: TimingModel) -> (f64, u64, SimStats) {
+    let sim = Simulator::new(SimConfig::lru(machine), d, d, d);
+    let mut bsp = BspTiming::new(sim, model);
+    algo.execute(machine, &ProblemSpec::square(d), &mut bsp).unwrap();
+    let (mk, steps, sim) = bsp.finish();
+    (mk, steps, sim.into_stats())
+}
+
+#[test]
+fn data_only_makespan_dominates_t_data_for_every_algorithm() {
+    // With t_fma = 0 each superstep costs max_c(dmiss_c)/σ_D + ΔM_S/σ_S;
+    // summed over steps that is ≥ M_D/σ_D (sum of per-step maxima ≥ max
+    // of sums) and the shared term telescopes to exactly M_S/σ_S.
+    let machine = MachineConfig::quad_q32();
+    let model = TimingModel::data_only(1.0, 1.0);
+    for algo in all_algorithms() {
+        let (mk, steps, stats) = makespan(algo.as_ref(), &machine, 48, model);
+        let t_data = stats.t_data(1.0, 1.0);
+        assert!(
+            mk >= t_data - 1e-6,
+            "{}: makespan {mk} < T_data {t_data}",
+            algo.name()
+        );
+        assert!(steps >= 1, "{}", algo.name());
+    }
+}
+
+#[test]
+fn compute_floor_is_respected_and_reached() {
+    // With enormous t_fma the makespan approaches the perfect-balance
+    // floor mnz·t_fma/p for the well-balanced schedules.
+    let machine = MachineConfig::quad_q32();
+    let d = 32u32;
+    let t_fma = 1e6;
+    let model = TimingModel { fma_time: t_fma, sigma_s: 1.0, sigma_d: 1.0 };
+    let floor = (d as f64).powi(3) * t_fma / machine.cores as f64;
+    for kind in [AlgorithmKind::DistributedOpt, AlgorithmKind::Tradeoff] {
+        let algo = kind.build();
+        let (mk, _, _) = makespan(algo.as_ref(), &machine, d, model);
+        assert!(mk >= floor, "{}", algo.name());
+        assert!(
+            mk <= 1.05 * floor + 1e7,
+            "{}: makespan {mk} far above compute floor {floor}",
+            algo.name()
+        );
+    }
+}
+
+#[test]
+fn fewer_barriers_never_hurt_distributed_equal() {
+    // Distributed Equal synchronizes once; its makespan equals the
+    // slowest core's total work + the serialized shared fills.
+    let machine = MachineConfig::quad_q32();
+    let model = TimingModel::data_only(1.0, 1.0);
+    let (mk, steps, stats) = makespan(&DistributedEqual::default(), &machine, 40, model);
+    assert_eq!(steps, 1);
+    let expect = stats.md() as f64 + stats.ms() as f64;
+    assert!((mk - expect).abs() < 1e-9, "{mk} vs {expect}");
+}
+
+#[test]
+fn faster_shared_bandwidth_reduces_makespan() {
+    let machine = MachineConfig::quad_q32();
+    let slow = TimingModel::data_only(0.5, 1.0);
+    let fast = TimingModel::data_only(4.0, 1.0);
+    let (mk_slow, _, _) = makespan(&SharedOpt, &machine, 48, slow);
+    let (mk_fast, _, _) = makespan(&SharedOpt, &machine, 48, fast);
+    assert!(mk_fast < mk_slow);
+}
+
+#[test]
+fn timing_works_under_ideal_policy_too() {
+    let machine = MachineConfig::quad_q32();
+    let sim = Simulator::new(SimConfig::ideal(&machine), 30, 30, 30);
+    let mut bsp = BspTiming::new(sim, TimingModel::data_only(1.0, 1.0));
+    SharedOpt.execute(&machine, &ProblemSpec::square(30), &mut bsp).unwrap();
+    assert!(bsp.manages_residency());
+    let (mk, steps, sim) = bsp.finish();
+    assert!(mk > 0.0 && steps > 0);
+    // Shared misses under IDEAL equal the formula; the makespan includes
+    // exactly that shared traffic.
+    assert_eq!(sim.stats().ms(), 30 * 30 + 2 * 27000 / 30);
+}
