@@ -53,9 +53,13 @@ fn bench_figures(c: &mut Criterion) {
             for r in [0.05, 0.5, 0.95] {
                 let m_r = machine.clone().with_bandwidth_ratio(r);
                 let tp = params::tradeoff_params(&m_r).unwrap();
-                let stats =
-                    simulate(&Tradeoff::with_params(tp), &m_r, Setting::Ideal, ProblemSpec::square(64))
-                        .unwrap();
+                let stats = simulate(
+                    &Tradeoff::with_params(tp),
+                    &m_r,
+                    Setting::Ideal,
+                    ProblemSpec::square(64),
+                )
+                .unwrap();
                 acc += stats.t_data(m_r.sigma_s, m_r.sigma_d);
             }
             acc

@@ -1,0 +1,93 @@
+//! `perf` — emit `BENCH_*.json` machine-readable performance records.
+//!
+//! ```bash
+//! cargo run -p mmc-bench --release --bin perf -- [--out DIR] [--order N] [--q Q]
+//! ```
+//!
+//! Writes `BENCH_exec.json` (parallel/blocked GEMM wall-clock) and
+//! `BENCH_sim.json` (simulator event throughput per algorithm) into the
+//! output directory (default `.`).
+
+use mmc_bench::perf::{best_seconds, write_records, PerfRecord};
+use mmc_bench::Setting;
+use mmc_core::algorithms::all_algorithms;
+use mmc_core::ProblemSpec;
+use mmc_exec::{gemm_blocked, gemm_parallel, BlockMatrix, Tiling};
+use mmc_sim::MachineConfig;
+use std::path::PathBuf;
+use std::process::exit;
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out = PathBuf::from(flag(&args, "--out").unwrap_or_else(|| ".".into()));
+    let order: u32 = flag(&args, "--order").map_or(12, |v| v.parse().unwrap_or(12));
+    let q: usize = flag(&args, "--q").map_or(16, |v| v.parse().unwrap_or(16));
+    if !out.is_dir() {
+        eprintln!("--out {} is not a directory", out.display());
+        exit(2);
+    }
+    let machine = MachineConfig::quad_q32();
+
+    // Executor suite: parallel vs cached single-thread blocked GEMM.
+    let a = BlockMatrix::pseudo_random(order, order, q, 1);
+    let b = BlockMatrix::pseudo_random(order, order, q, 2);
+    let flops = 2.0 * (order as f64 * q as f64).powi(3);
+    let mut exec_records = Vec::new();
+    for (name, tiling) in [
+        ("tradeoff", Tiling::tradeoff(&machine)),
+        ("shared_opt", Tiling::shared_opt(&machine)),
+        ("equal", Tiling::equal(machine.shared_capacity)),
+    ] {
+        let Some(tiling) = tiling else { continue };
+        let secs = best_seconds(3, || {
+            std::hint::black_box(gemm_parallel(&a, &b, tiling));
+        });
+        exec_records.push(PerfRecord {
+            suite: "exec".into(),
+            name: format!("gemm_parallel/{name}"),
+            order,
+            seconds: secs,
+            work: flops,
+            rate_unit: "flop".into(),
+        });
+        let secs = best_seconds(3, || {
+            std::hint::black_box(gemm_blocked(&a, &b, tiling));
+        });
+        exec_records.push(PerfRecord {
+            suite: "exec".into(),
+            name: format!("gemm_blocked/{name}"),
+            order,
+            seconds: secs,
+            work: flops,
+            rate_unit: "flop".into(),
+        });
+    }
+    let path = write_records(&out, "exec", &exec_records).expect("write BENCH_exec.json");
+    println!("wrote {} ({} records)", path.display(), exec_records.len());
+
+    // Simulator suite: block-FMA throughput under LRU per algorithm.
+    let problem = ProblemSpec::square(order.max(20));
+    let mut sim_records = Vec::new();
+    for algo in all_algorithms() {
+        let mut fmas = 0u64;
+        let secs = best_seconds(2, || {
+            let stats = mmc_bench::simulate(algo.as_ref(), &machine, Setting::LruAt(1), problem)
+                .expect("simulate");
+            fmas = stats.total_fmas();
+        });
+        sim_records.push(PerfRecord {
+            suite: "sim".into(),
+            name: format!("lru/{}", algo.id()),
+            order: problem.m,
+            seconds: secs,
+            work: fmas as f64,
+            rate_unit: "block_fmas".into(),
+        });
+    }
+    let path = write_records(&out, "sim", &sim_records).expect("write BENCH_sim.json");
+    println!("wrote {} ({} records)", path.display(), sim_records.len());
+}

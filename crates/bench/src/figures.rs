@@ -62,10 +62,14 @@ impl SweepOpts {
     }
 }
 
-fn run(algo: &dyn Algorithm, machine: &MachineConfig, setting: Setting, d: u32) -> mmc_sim::SimStats {
-    simulate(algo, machine, setting, ProblemSpec::square(d)).unwrap_or_else(|e| {
-        panic!("{} under {:?} at order {d}: {e}", algo.name(), setting)
-    })
+fn run(
+    algo: &dyn Algorithm,
+    machine: &MachineConfig,
+    setting: Setting,
+    d: u32,
+) -> mmc_sim::SimStats {
+    simulate(algo, machine, setting, ProblemSpec::square(d))
+        .unwrap_or_else(|e| panic!("{} under {:?} at order {d}: {e}", algo.name(), setting))
 }
 
 /// Fig. 4 — impact of the LRU policy on `M_S` of Shared Opt (`C_S = 977`):
@@ -158,8 +162,12 @@ pub fn fig7(opts: &SweepOpts) -> Vec<Panel> {
     shared_presets()
         .into_iter()
         .map(|(suffix, title, machine)| {
-            let mut panel =
-                Panel::new(format!("fig7{suffix}"), title, "matrix order (blocks)", Metric::Ms.label());
+            let mut panel = Panel::new(
+                format!("fig7{suffix}"),
+                title,
+                "matrix order (blocks)",
+                Metric::Ms.label(),
+            );
             let mut so_lru = Series::new("Shared Opt. LRU-50");
             let mut so_ideal = Series::new("Shared Opt. IDEAL");
             let mut se_lru = Series::new("Shared Equal LRU-50");
@@ -172,7 +180,10 @@ pub fn fig7(opts: &SweepOpts) -> Vec<Panel> {
                 so_lru.push(x, run(&SharedOpt, &machine, Setting::Lru50, d).ms() as f64);
                 so_ideal.push(x, run(&SharedOpt, &machine, Setting::Ideal, d).ms() as f64);
                 se_lru.push(x, run(&SharedEqual, &machine, Setting::Lru50, d).ms() as f64);
-                op.push(x, run(&OuterProduct::default(), &machine, Setting::LruAt(1), d).ms() as f64);
+                op.push(
+                    x,
+                    run(&OuterProduct::default(), &machine, Setting::LruAt(1), d).ms() as f64,
+                );
                 lb.push(x, bounds::ms_lower_bound(&problem, &machine));
             }
             panel.series = vec![so_lru, so_ideal, se_lru, op, lb];
@@ -193,8 +204,12 @@ pub fn fig8(opts: &SweepOpts) -> Vec<Panel> {
     presets
         .into_iter()
         .map(|(suffix, title, machine)| {
-            let mut panel =
-                Panel::new(format!("fig8{suffix}"), title, "matrix order (blocks)", Metric::Md.label());
+            let mut panel = Panel::new(
+                format!("fig8{suffix}"),
+                title,
+                "matrix order (blocks)",
+                Metric::Md.label(),
+            );
             let mut do_lru = Series::new("Distributed Opt. LRU-50");
             let mut do_ideal = Series::new("Distributed Opt. IDEAL");
             let mut de_lru = Series::new("Distributed Equal LRU-50");
@@ -204,10 +219,22 @@ pub fn fig8(opts: &SweepOpts) -> Vec<Panel> {
                 opts.progress(&format!("fig8{suffix}: order {d}"));
                 let x = d as f64;
                 let problem = ProblemSpec::square(d);
-                do_lru.push(x, run(&DistributedOpt::default(), &machine, Setting::Lru50, d).md() as f64);
-                do_ideal.push(x, run(&DistributedOpt::default(), &machine, Setting::Ideal, d).md() as f64);
-                de_lru.push(x, run(&DistributedEqual::default(), &machine, Setting::Lru50, d).md() as f64);
-                op.push(x, run(&OuterProduct::default(), &machine, Setting::LruAt(1), d).md() as f64);
+                do_lru.push(
+                    x,
+                    run(&DistributedOpt::default(), &machine, Setting::Lru50, d).md() as f64,
+                );
+                do_ideal.push(
+                    x,
+                    run(&DistributedOpt::default(), &machine, Setting::Ideal, d).md() as f64,
+                );
+                de_lru.push(
+                    x,
+                    run(&DistributedEqual::default(), &machine, Setting::Lru50, d).md() as f64,
+                );
+                op.push(
+                    x,
+                    run(&OuterProduct::default(), &machine, Setting::LruAt(1), d).md() as f64,
+                );
                 lb.push(x, bounds::md_lower_bound(&problem, &machine));
             }
             panel.series = vec![do_lru, do_ideal, de_lru, op, lb];
@@ -252,8 +279,7 @@ fn tdata_figure(
                 .map(|a| Series::new(format!("{} {}", a.name(), setting.label())))
                 .collect();
             // The paper's LRU-50 panels overlay Tradeoff IDEAL as a reference.
-            let mut tr_ideal =
-                (setting == Setting::Lru50).then(|| Series::new("Tradeoff IDEAL"));
+            let mut tr_ideal = (setting == Setting::Lru50).then(|| Series::new("Tradeoff IDEAL"));
             let mut lb = Series::new("Lower Bound");
             for d in opts.orders_performance() {
                 opts.progress(&format!("{fig}{suffix}: order {d}"));
@@ -534,8 +560,7 @@ pub fn ablation_associativity(opts: &SweepOpts) -> Vec<Panel> {
                 "matrix order (blocks)",
                 if ai == 0 { Metric::Ms.label() } else { Metric::Md.label() },
             );
-            let mut series: Vec<Series> =
-                ways.iter().map(|(w, _)| Series::new(*w)).collect();
+            let mut series: Vec<Series> = ways.iter().map(|(w, _)| Series::new(*w)).collect();
             // The paper's LRU-50 mitigation (declare half the capacity,
             // leave the rest as replacement slack) under the *least*
             // associative configuration — the fix is what matters.
@@ -584,8 +609,7 @@ pub fn q_sweep(opts: &SweepOpts) -> Vec<Panel> {
     let mut t_tr = Series::new("Tradeoff predicted T_data");
     for q in [16u32, 24, 32, 40, 48, 64, 80, 96, 128] {
         opts.progress(&format!("q_sweep: q = {q}"));
-        let Some(machine) =
-            MachineConfig::from_bytes(4, 8 << 20, 256 << 10, q as usize, 2.0 / 3.0)
+        let Some(machine) = MachineConfig::from_bytes(4, 8 << 20, 256 << 10, q as usize, 2.0 / 3.0)
         else {
             continue;
         };
@@ -649,7 +673,8 @@ pub fn ablation_shapes(opts: &SweepOpts) -> Vec<Panel> {
         let stats = simulate(&SharedOpt, &machine, Setting::Ideal, problem).unwrap();
         so.push(x, stats.ccr_shared());
         so_b.push(x, bounds::ccr_lower_bound(machine.shared_capacity));
-        let stats = simulate(&DistributedOpt::default(), &machine, Setting::Ideal, problem).unwrap();
+        let stats =
+            simulate(&DistributedOpt::default(), &machine, Setting::Ideal, problem).unwrap();
         dopt.push(x, stats.ccr_dist());
         do_b.push(x, bounds::ccr_lower_bound(machine.dist_capacity));
     }
@@ -687,10 +712,7 @@ pub fn timing(opts: &SweepOpts) -> Vec<Panel> {
             let (makespan, _, _) = bsp.finish();
             s.push(t_fma, makespan);
         }
-        compute_floor.push(
-            t_fma,
-            problem.total_fmas() as f64 * t_fma / machine.cores as f64,
-        );
+        compute_floor.push(t_fma, problem.total_fmas() as f64 * t_fma / machine.cores as f64);
     }
     series.push(compute_floor);
     panel.series = series;
@@ -793,10 +815,8 @@ pub fn lu_update(opts: &SweepOpts) -> Vec<Panel> {
         "matrix order (blocks)",
         Metric::Md.label(),
     );
-    let mut ms_series: Vec<Series> =
-        variants.iter().map(|(name, _)| Series::new(*name)).collect();
-    let mut md_series: Vec<Series> =
-        variants.iter().map(|(name, _)| Series::new(*name)).collect();
+    let mut ms_series: Vec<Series> = variants.iter().map(|(name, _)| Series::new(*name)).collect();
+    let mut md_series: Vec<Series> = variants.iter().map(|(name, _)| Series::new(*name)).collect();
     let mut ms_lb = Series::new("Update-stream Lower Bound");
     let mut md_lb = Series::new("Update-stream Lower Bound");
     for n in orders {

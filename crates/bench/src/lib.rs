@@ -17,7 +17,9 @@
 #![warn(rust_2018_idioms)]
 
 pub mod figures;
+pub mod perf;
 pub mod sweep;
 
 pub use figures::{figure_ids, run_figure, SweepOpts};
+pub use perf::{write_records, PerfRecord, PerfReport};
 pub use sweep::{simulate, Metric, Panel, Series, Setting};

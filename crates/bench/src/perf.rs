@@ -1,0 +1,105 @@
+//! Machine-readable performance records (`BENCH_*.json`).
+//!
+//! Criterion's reports are for humans; CI and the figure pipeline want
+//! flat JSON. A [`PerfRecord`] is one timed measurement (suite, name,
+//! problem size, seconds, optional derived rate); [`write_records`]
+//! serializes a batch to `BENCH_<suite>.json` in a target directory. The
+//! `perf` binary (`cargo run -p mmc-bench --bin perf`) emits records for
+//! the executor and the simulator.
+
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One timed measurement.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PerfRecord {
+    /// Suite the record belongs to (`"exec"`, `"sim"`, ...).
+    pub suite: String,
+    /// Measurement name within the suite.
+    pub name: String,
+    /// Problem order (blocks per matrix dimension).
+    pub order: u32,
+    /// Best observed wall-clock seconds.
+    pub seconds: f64,
+    /// Work per run, in the unit named by `rate_unit` (0 if untimed work).
+    pub work: f64,
+    /// Unit of `work` (`"flop"`, `"events"`, ...).
+    pub rate_unit: String,
+}
+
+impl PerfRecord {
+    /// Work per second (`work / seconds`); 0 if the timing is degenerate.
+    pub fn rate(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.work / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A batch of records plus the file layout they serialize to.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Suite name; the file is `BENCH_<suite>.json`.
+    pub suite: String,
+    /// The measurements.
+    pub records: Vec<PerfRecord>,
+}
+
+/// Serialize `records` to `<dir>/BENCH_<suite>.json` (pretty-printed),
+/// returning the path written.
+pub fn write_records(dir: &Path, suite: &str, records: &[PerfRecord]) -> io::Result<PathBuf> {
+    let report = PerfReport { suite: suite.to_string(), records: records.to_vec() };
+    let path = dir.join(format!("BENCH_{suite}.json"));
+    let file = std::fs::File::create(&path)?;
+    serde_json::to_writer_pretty(file, &report).map_err(io::Error::other)?;
+    Ok(path)
+}
+
+/// Time `f` (one warmup + `runs` timed runs) and return the best seconds.
+pub fn best_seconds<F: FnMut()>(runs: u32, mut f: F) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..runs.max(1) {
+        let t0 = std::time::Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_round_trip_and_land_in_named_file() {
+        let dir = std::env::temp_dir().join(format!("mmc-perf-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let records = vec![PerfRecord {
+            suite: "exec".into(),
+            name: "gemm_parallel/tradeoff".into(),
+            order: 8,
+            seconds: 0.25,
+            work: 1.0e9,
+            rate_unit: "flop".into(),
+        }];
+        let path = write_records(&dir, "exec", &records).unwrap();
+        assert!(path.file_name().unwrap().to_str().unwrap() == "BENCH_exec.json");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let back: PerfReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.records, records);
+        assert!((back.records[0].rate() - 4.0e9).abs() < 1.0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn best_seconds_is_positive() {
+        let s = best_seconds(2, || {
+            std::hint::black_box((0..1000u64).sum::<u64>());
+        });
+        assert!(s >= 0.0 && s.is_finite());
+    }
+}

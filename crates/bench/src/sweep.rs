@@ -198,7 +198,8 @@ impl Panel {
 
     /// All distinct x values across series, in ascending order.
     pub fn xs(&self) -> Vec<f64> {
-        let mut xs: Vec<f64> = self.series.iter().flat_map(|s| s.points.iter().map(|&(x, _)| x)).collect();
+        let mut xs: Vec<f64> =
+            self.series.iter().flat_map(|s| s.points.iter().map(|&(x, _)| x)).collect();
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
         xs

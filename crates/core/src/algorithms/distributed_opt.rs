@@ -83,8 +83,8 @@ impl DistributedOpt {
         let grid = self.resolve_grid(machine)?;
         let tr = grid.rows * mu; // tile rows
         let tc = grid.cols * mu; // tile cols
-        // Shared cache must hold the C tile, one B row fraction, and the
-        // A elements of the current k (one per tile row).
+                                 // Shared cache must hold the C tile, one B row fraction, and the
+                                 // A elements of the current k (one per tile row).
         let needed = tr as u64 * tc as u64 + tc as u64 + tr as u64;
         if manages && needed > machine.shared_capacity as u64 {
             return Err(AlgoError::Infeasible {
@@ -275,7 +275,8 @@ mod tests {
     fn rectangular_grid_ideal_run_is_capacity_clean() {
         let machine = MachineConfig::new(6, 977, 21, 32);
         let problem = ProblemSpec::new(17, 9, 5);
-        let mut sim = Simulator::new(SimConfig { cores: 6, ..SimConfig::ideal(&machine) }, 17, 9, 5);
+        let mut sim =
+            Simulator::new(SimConfig { cores: 6, ..SimConfig::ideal(&machine) }, 17, 9, 5);
         DistributedOpt::with_grid(CoreGrid { rows: 2, cols: 3 })
             .run(&machine, &problem, &mut sim)
             .unwrap();

@@ -211,8 +211,9 @@ impl DistributedEqual {
                 })
             }
             Some(g) => g,
-            None => CoreGrid::square(machine.cores)
-                .unwrap_or_else(|| CoreGrid::balanced(machine.cores)),
+            None => {
+                CoreGrid::square(machine.cores).unwrap_or_else(|| CoreGrid::balanced(machine.cores))
+            }
         };
         let (m, n, z) = (problem.m, problem.n, problem.z);
 
@@ -356,7 +357,9 @@ mod tests {
     #[test]
     fn shared_equal_tile_is_smaller_than_shared_opt_lambda() {
         // The point of Fig. 7: λ = 30 beats t = 18 on the q=32 preset.
-        assert!(params::equal_tile(977).unwrap() < params::lambda(&MachineConfig::quad_q32()).unwrap());
+        assert!(
+            params::equal_tile(977).unwrap() < params::lambda(&MachineConfig::quad_q32()).unwrap()
+        );
     }
 
     #[test]

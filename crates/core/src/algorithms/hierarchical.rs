@@ -49,12 +49,10 @@ impl HierarchicalMaxReuse {
     /// Derive (and validate) the per-level tiling.
     pub fn tiling(&self) -> Result<HierarchicalTiling, AlgoError> {
         let depth = self.topology.depth();
-        let infeasible = |reason: String| AlgoError::Infeasible {
-            algorithm: "Hierarchical Max Reuse",
-            reason,
-        };
-        let mu = params::max_reuse_param(self.topology.levels[depth - 1].capacity)
-            .ok_or_else(|| {
+        let infeasible =
+            |reason: String| AlgoError::Infeasible { algorithm: "Hierarchical Max Reuse", reason };
+        let mu =
+            params::max_reuse_param(self.topology.levels[depth - 1].capacity).ok_or_else(|| {
                 infeasible(format!(
                     "innermost capacity {} cannot hold 1 + µ + µ²",
                     self.topology.levels[depth - 1].capacity
@@ -91,8 +89,8 @@ impl HierarchicalMaxReuse {
         let cores = self.topology.cores();
         let (mut roff, mut coff) = (0u32, 0u32);
         for l in 0..depth {
-            let digit = (core / (cores / self.topology.nodes_at(l)))
-                % self.topology.levels[l].arity;
+            let digit =
+                (core / (cores / self.topology.nodes_at(l))) % self.topology.levels[l].arity;
             let g = tiling.grids[l];
             let (r, c) = ((digit as u32) % g.rows, (digit as u32) / g.rows);
             roff += r * tiling.sides[l].0;
@@ -115,8 +113,7 @@ impl HierarchicalMaxReuse {
         }
         let tiling = self.tiling()?;
         let cores = self.topology.cores();
-        let offsets: Vec<(u32, u32)> =
-            (0..cores).map(|c| self.core_offset(&tiling, c)).collect();
+        let offsets: Vec<(u32, u32)> = (0..cores).map(|c| self.core_offset(&tiling, c)).collect();
         let mu_r = tiling.sides[self.topology.depth() - 1].0;
         let mu_c = tiling.sides[self.topology.depth() - 1].1;
         let (m, n, z) = (problem.m, problem.n, problem.z);
@@ -169,7 +166,7 @@ mod tests {
         assert_eq!(t.sides[2], (4, 4)); // µ = 4
         assert_eq!(t.sides[1], (8, 8)); // 2×2 core grid
         assert_eq!(t.sides[0], (8, 8)); // arity-1 shared level
-        // Node level: balanced(2) = 1×2 grid → super-tile 8×16.
+                                        // Node level: balanced(2) = 1×2 grid → super-tile 8×16.
         assert_eq!(t.super_tile, (8, 16));
     }
 

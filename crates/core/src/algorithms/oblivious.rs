@@ -58,12 +58,7 @@ impl CacheOblivious {
         // Deal the top C-splitting levels out to the cores: descend the
         // recursion, cloning the task list at every m/n split, until we
         // have at least p independent C regions (or can't split further).
-        let mut tasks: Vec<Region> = vec![Region {
-            i0: 0,
-            m: problem.m,
-            j0: 0,
-            n: problem.n,
-        }];
+        let mut tasks: Vec<Region> = vec![Region { i0: 0, m: problem.m, j0: 0, n: problem.n }];
         let p = machine.cores;
         while tasks.len() < p {
             // Split the region with the largest splittable extent.
@@ -105,17 +100,11 @@ struct Region {
 impl Region {
     fn split_m(self) -> (Region, Region) {
         let h = self.m / 2;
-        (
-            Region { m: h, ..self },
-            Region { i0: self.i0 + h, m: self.m - h, ..self },
-        )
+        (Region { m: h, ..self }, Region { i0: self.i0 + h, m: self.m - h, ..self })
     }
     fn split_n(self) -> (Region, Region) {
         let h = self.n / 2;
-        (
-            Region { n: h, ..self },
-            Region { j0: self.j0 + h, n: self.n - h, ..self },
-        )
+        (Region { n: h, ..self }, Region { j0: self.j0 + h, n: self.n - h, ..self })
     }
 }
 

@@ -52,8 +52,9 @@ impl OuterProduct {
                 })
             }
             Some(g) => g,
-            None => CoreGrid::square(machine.cores)
-                .unwrap_or_else(|| CoreGrid::balanced(machine.cores)),
+            None => {
+                CoreGrid::square(machine.cores).unwrap_or_else(|| CoreGrid::balanced(machine.cores))
+            }
         };
         let (m, n, z) = (problem.m, problem.n, problem.z);
 

@@ -52,10 +52,9 @@ impl Tradeoff {
             None => {
                 let derived = match params::tradeoff_params(machine) {
                     Some(t) => Some(t),
-                    None if lenient => params::tradeoff_params_with_mu(
-                        machine,
-                        params::mu(machine).unwrap_or(1),
-                    ),
+                    None if lenient => {
+                        params::tradeoff_params_with_mu(machine, params::mu(machine).unwrap_or(1))
+                    }
                     None => None,
                 };
                 derived.ok_or_else(|| AlgoError::Infeasible {
@@ -72,9 +71,7 @@ impl Tradeoff {
                 algorithm: "Tradeoff",
                 reason: format!(
                     "grid {}x{} does not cover p = {}",
-                    t.grid.rows,
-                    t.grid.cols,
-                    machine.cores
+                    t.grid.rows, t.grid.cols, machine.cores
                 ),
             });
         }
@@ -365,16 +362,10 @@ mod tests {
             mu: 4,
             grid: CoreGrid { rows: 2, cols: 2 },
         });
-        assert!(matches!(
-            t.run(&machine, &problem, &mut sink),
-            Err(AlgoError::Infeasible { .. })
-        ));
+        assert!(matches!(t.run(&machine, &problem, &mut sink), Err(AlgoError::Infeasible { .. })));
         // Footprint too big: α = 24, β = 100 → 576 + 4800 > 977.
         let t = explicit(24, 100);
-        assert!(matches!(
-            t.run(&machine, &problem, &mut sink),
-            Err(AlgoError::Infeasible { .. })
-        ));
+        assert!(matches!(t.run(&machine, &problem, &mut sink), Err(AlgoError::Infeasible { .. })));
     }
 
     #[test]
@@ -407,7 +398,10 @@ mod tests {
                             }
                         }
                     }
-                    assert!(seen.iter().all(|&c| c == 1), "extent={extent} period={period} mu={mu}");
+                    assert!(
+                        seen.iter().all(|&c| c == 1),
+                        "extent={extent} period={period} mu={mu}"
+                    );
                 }
             }
         }

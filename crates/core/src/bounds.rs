@@ -44,8 +44,7 @@ pub fn ms_lower_bound(problem: &ProblemSpec, machine: &MachineConfig) -> f64 {
 /// algorithms with balanced work:
 /// `M_D ≥ (m·n·z/p)·√(27/(8·C_D))` (§2.3.3/§2.3.4).
 pub fn md_lower_bound(problem: &ProblemSpec, machine: &MachineConfig) -> f64 {
-    problem.total_fmas() as f64 / machine.cores as f64
-        * ccr_lower_bound(machine.dist_capacity)
+    problem.total_fmas() as f64 / machine.cores as f64 * ccr_lower_bound(machine.dist_capacity)
 }
 
 /// Lower bound on the overall data access time (§2.3.4):
@@ -109,10 +108,7 @@ mod tests {
 
     #[test]
     fn loomis_whitney_is_symmetric() {
-        assert_eq!(
-            loomis_whitney_max_muls(2.0, 3.0, 4.0),
-            loomis_whitney_max_muls(4.0, 3.0, 2.0)
-        );
+        assert_eq!(loomis_whitney_max_muls(2.0, 3.0, 4.0), loomis_whitney_max_muls(4.0, 3.0, 2.0));
         assert!((loomis_whitney_max_muls(4.0, 4.0, 4.0) - 8.0).abs() < 1e-12);
     }
 }

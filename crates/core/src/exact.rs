@@ -190,7 +190,9 @@ pub fn tradeoff(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::algorithms::{Algorithm, DistributedOpt, SharedOpt as SharedOptAlgo, Tradeoff as TradeoffAlgo};
+    use crate::algorithms::{
+        Algorithm, DistributedOpt, SharedOpt as SharedOptAlgo, Tradeoff as TradeoffAlgo,
+    };
     use mmc_sim::{SimConfig, Simulator};
 
     fn simulate(

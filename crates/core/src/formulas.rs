@@ -38,10 +38,7 @@ pub fn shared_opt(problem: &ProblemSpec, machine: &MachineConfig) -> Option<Pred
     let lambda = params::lambda(machine)? as f64;
     let (mn, mnz) = volumes(problem);
     let p = machine.cores as f64;
-    Some(Prediction {
-        ms: mn + 2.0 * mnz / lambda,
-        md: 2.0 * mnz / p + mnz / lambda,
-    })
+    Some(Prediction { ms: mn + 2.0 * mnz / lambda, md: 2.0 * mnz / p + mnz / lambda })
 }
 
 /// Distributed Opt (Algorithm 2): `M_S = mn + 2mnz/(µ√p)`,
@@ -52,10 +49,7 @@ pub fn distributed_opt(problem: &ProblemSpec, machine: &MachineConfig) -> Option
     let sqrt_p = grid.rows as f64;
     let (mn, mnz) = volumes(problem);
     let p = machine.cores as f64;
-    Some(Prediction {
-        ms: mn + 2.0 * mnz / (mu * sqrt_p),
-        md: mn / p + 2.0 * mnz / (p * mu),
-    })
+    Some(Prediction { ms: mn + 2.0 * mnz / (mu * sqrt_p), md: mn / p + 2.0 * mnz / (p * mu) })
 }
 
 /// Tradeoff (Algorithm 3) with explicit parameters:
@@ -92,10 +86,7 @@ pub fn shared_equal(problem: &ProblemSpec, machine: &MachineConfig) -> Option<Pr
     let t = params::equal_tile(machine.shared_capacity)? as f64;
     let (mn, mnz) = volumes(problem);
     let p = machine.cores as f64;
-    Some(Prediction {
-        ms: mn + 2.0 * mnz / t,
-        md: (2.0 * mnz + mnz / t) / p,
-    })
+    Some(Prediction { ms: mn + 2.0 * mnz / t, md: (2.0 * mnz + mnz / t) / p })
 }
 
 /// Distributed Equal (equal thirds at the distributed level):
@@ -105,10 +96,7 @@ pub fn distributed_equal(problem: &ProblemSpec, machine: &MachineConfig) -> Opti
     let td = params::equal_tile(machine.dist_capacity)? as f64;
     let (mn, mnz) = volumes(problem);
     let p = machine.cores as f64;
-    Some(Prediction {
-        ms: mn + 2.0 * mnz / td,
-        md: mn / p + 2.0 * mnz / (p * td),
-    })
+    Some(Prediction { ms: mn + 2.0 * mnz / td, md: mn / p + 2.0 * mnz / (p * td) })
 }
 
 fn volumes(problem: &ProblemSpec) -> (f64, f64) {
@@ -182,10 +170,7 @@ mod tests {
         let opt = shared_opt(&problem, &machine).unwrap().ms - (3000.0f64 * 3000.0);
         let eq = shared_equal(&problem, &machine).unwrap().ms - (3000.0f64 * 3000.0);
         let ratio = eq / opt;
-        assert!(
-            (ratio - (30.0 / 18.0)).abs() < 1e-9,
-            "λ=30 vs t=18 → ratio {ratio}"
-        );
+        assert!((ratio - (30.0 / 18.0)).abs() < 1e-9, "λ=30 vs t=18 → ratio {ratio}");
     }
 
     #[test]

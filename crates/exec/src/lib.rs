@@ -32,4 +32,7 @@ pub mod runner;
 
 pub use matrix::BlockMatrix;
 pub use naive::gemm_naive;
-pub use runner::{gemm_blocked, gemm_parallel, run_schedule, ExecSink, Tiling};
+pub use runner::{
+    gemm_blocked, gemm_parallel, gemm_parallel_traced, run_schedule, task_spans_to_chrome,
+    ExecSink, TaskSpan, Tiling,
+};

@@ -28,7 +28,12 @@ impl BlockMatrix {
 
     /// Build from a function of *global element* coordinates
     /// `(row, col) ∈ [0, rows·q) × [0, cols·q)`.
-    pub fn from_fn(rows: u32, cols: u32, q: usize, mut f: impl FnMut(usize, usize) -> f64) -> BlockMatrix {
+    pub fn from_fn(
+        rows: u32,
+        cols: u32,
+        q: usize,
+        mut f: impl FnMut(usize, usize) -> f64,
+    ) -> BlockMatrix {
         let mut m = BlockMatrix::zeros(rows, cols, q);
         for bi in 0..rows {
             for bj in 0..cols {
@@ -141,11 +146,7 @@ impl BlockMatrix {
     /// Panics if shapes differ.
     pub fn max_abs_diff(&self, other: &BlockMatrix) -> f64 {
         assert_eq!((self.rows, self.cols, self.q), (other.rows, other.cols, other.q));
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(x, y)| (x - y).abs())
-            .fold(0.0, f64::max)
+        self.data.iter().zip(&other.data).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
     }
 }
 

@@ -19,8 +19,11 @@ use crate::kernel::block_fma;
 use crate::matrix::BlockMatrix;
 use mmc_core::algorithms::{AlgoError, Algorithm};
 use mmc_core::{params, ProblemSpec};
-use mmc_sim::{Block, MachineConfig, MatrixId, SimError, SimSink};
+use mmc_sim::{Block, ChromeTraceBuilder, MachineConfig, MatrixId, SimError, SimSink};
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
 
 /// A [`SimSink`] that *performs* the block arithmetic of a schedule.
 ///
@@ -178,10 +181,99 @@ pub fn gemm_parallel(a: &BlockMatrix, b: &BlockMatrix, tiling: Tiling) -> BlockM
     );
     let (m, n, z) = (a.rows(), b.cols(), a.cols());
     let q = a.q();
-    let q2 = q * q;
     let mut c = BlockMatrix::zeros(m, n, q);
 
-    // Enumerate tiles (clamped at the edges).
+    let tiles = enumerate_tiles(m, n, tiling);
+    let cptr = SendPtr(c.data_mut().as_mut_ptr());
+    tiles.par_iter().for_each(|&tile| {
+        run_tile(a, b, cptr, z, tiling, tile);
+    });
+    c
+}
+
+/// One wall-clock task record from [`gemm_parallel_traced`]: which worker
+/// thread computed which `C` tile, and when.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpan {
+    /// Rayon worker-thread index that ran the task.
+    pub thread: usize,
+    /// First block row of the `C` tile.
+    pub row0: u32,
+    /// Block rows in the tile.
+    pub rows: u32,
+    /// First block column of the `C` tile.
+    pub col0: u32,
+    /// Block columns in the tile.
+    pub cols: u32,
+    /// Start, in microseconds since the call began.
+    pub start_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+}
+
+/// [`gemm_parallel`] plus a wall-clock flight record: returns the product
+/// and one [`TaskSpan`] per `C` tile (thread id, tile coordinates,
+/// start/duration). Spans are sorted by start time.
+pub fn gemm_parallel_traced(
+    a: &BlockMatrix,
+    b: &BlockMatrix,
+    tiling: Tiling,
+) -> (BlockMatrix, Vec<TaskSpan>) {
+    assert_eq!(a.cols(), b.rows(), "inner block dimensions must agree");
+    assert_eq!(a.q(), b.q(), "block sides must agree");
+    assert!(
+        tiling.tile_m > 0 && tiling.tile_n > 0 && tiling.tile_k > 0,
+        "tiling must be positive, got {tiling:?}"
+    );
+    let (m, n, z) = (a.rows(), b.cols(), a.cols());
+    let mut c = BlockMatrix::zeros(m, n, a.q());
+
+    let tiles = enumerate_tiles(m, n, tiling);
+    let cptr = SendPtr(c.data_mut().as_mut_ptr());
+    let spans: Mutex<Vec<TaskSpan>> = Mutex::new(Vec::with_capacity(tiles.len()));
+    let epoch = Instant::now();
+    tiles.par_iter().for_each(|&tile| {
+        let started = Instant::now();
+        run_tile(a, b, cptr, z, tiling, tile);
+        let dur = started.elapsed();
+        let (i0, th, j0, tw) = tile;
+        spans.lock().unwrap().push(TaskSpan {
+            thread: rayon::current_thread_index().unwrap_or(0),
+            row0: i0,
+            rows: th,
+            col0: j0,
+            cols: tw,
+            start_us: started.duration_since(epoch).as_secs_f64() * 1e6,
+            dur_us: dur.as_secs_f64() * 1e6,
+        });
+    });
+    let mut spans = spans.into_inner().unwrap();
+    spans.sort_by(|x, y| x.start_us.total_cmp(&y.start_us));
+    (c, spans)
+}
+
+/// Render executor [`TaskSpan`]s as Chrome trace-event JSON (one track
+/// per worker thread), loadable in Perfetto alongside simulated traces.
+pub fn task_spans_to_chrome(spans: &[TaskSpan]) -> String {
+    let mut b = ChromeTraceBuilder::new("mmc-exec gemm_parallel");
+    let threads = spans.iter().map(|s| s.thread).max().map_or(0, |t| t + 1);
+    for t in 0..threads {
+        b.thread(t as u64, &format!("worker {t}"));
+    }
+    for s in spans {
+        b.span(
+            s.thread as u64,
+            &format!("tile C[{}..{}, {}..{}]", s.row0, s.row0 + s.rows, s.col0, s.col0 + s.cols),
+            s.start_us,
+            s.dur_us,
+            &[("blocks", (s.rows as f64) * (s.cols as f64))],
+        );
+    }
+    b.finish()
+}
+
+/// Tile decomposition of an `m×n` block grid (clamped at the edges).
+fn enumerate_tiles(m: u32, n: u32, tiling: Tiling) -> Vec<(u32, u32, u32, u32)> {
     let mut tiles = Vec::new();
     let mut i0 = 0;
     while i0 < m {
@@ -194,45 +286,58 @@ pub fn gemm_parallel(a: &BlockMatrix, b: &BlockMatrix, tiling: Tiling) -> BlockM
         }
         i0 += th;
     }
+    tiles
+}
 
-    let cptr = SendPtr(c.data_mut().as_mut_ptr());
-    let ncols = n as usize;
-    tiles.par_iter().for_each(|&(i0, th, j0, tw)| {
-        let mut k0 = 0;
-        while k0 < z {
-            let kb = tiling.tile_k.min(z - k0);
-            for i in i0..i0 + th {
-                for j in j0..j0 + tw {
-                    // SAFETY: block (i, j) belongs to exactly one tile —
-                    // tiles partition the (i, j) index grid — and each tile
-                    // is processed by exactly one task, so this mutable
-                    // slice is never aliased. The offset is in bounds by
-                    // construction (i < m, j < n).
-                    let cblk: &mut [f64] = unsafe {
-                        std::slice::from_raw_parts_mut(
-                            cptr.get().add((i as usize * ncols + j as usize) * q2),
-                            q2,
-                        )
-                    };
-                    for k in k0..k0 + kb {
-                        block_fma(cblk, a.block(i, k), b.block(k, j), q);
-                    }
+/// Compute one `C` tile completely (all `k` panels in ascending order).
+fn run_tile(
+    a: &BlockMatrix,
+    b: &BlockMatrix,
+    cptr: SendPtr,
+    z: u32,
+    tiling: Tiling,
+    (i0, th, j0, tw): (u32, u32, u32, u32),
+) {
+    let q = a.q();
+    let q2 = q * q;
+    let ncols = b.cols() as usize;
+    let mut k0 = 0;
+    while k0 < z {
+        let kb = tiling.tile_k.min(z - k0);
+        for i in i0..i0 + th {
+            for j in j0..j0 + tw {
+                // SAFETY: block (i, j) belongs to exactly one tile —
+                // tiles partition the (i, j) index grid — and each tile
+                // is processed by exactly one task, so this mutable
+                // slice is never aliased. The offset is in bounds by
+                // construction (i < m, j < n).
+                let cblk: &mut [f64] = unsafe {
+                    std::slice::from_raw_parts_mut(
+                        cptr.get().add((i as usize * ncols + j as usize) * q2),
+                        q2,
+                    )
+                };
+                for k in k0..k0 + kb {
+                    block_fma(cblk, a.block(i, k), b.block(k, j), q);
                 }
             }
-            k0 += kb;
         }
-    });
-    c
+        k0 += kb;
+    }
 }
 
 /// Sequential blocked product with the same traversal as
 /// [`gemm_parallel`] (for single-thread baselines in benches).
+///
+/// The single-thread pool is built once and cached — building a fresh
+/// pool per call costs more than a small product itself and skews
+/// baseline timings.
 pub fn gemm_blocked(a: &BlockMatrix, b: &BlockMatrix, tiling: Tiling) -> BlockMatrix {
-    // One-task path: reuse the parallel code on the current thread.
-    rayon::ThreadPoolBuilder::new()
-        .num_threads(1)
-        .build()
-        .expect("single-thread pool")
+    static SINGLE_THREAD_POOL: OnceLock<rayon::ThreadPool> = OnceLock::new();
+    SINGLE_THREAD_POOL
+        .get_or_init(|| {
+            rayon::ThreadPoolBuilder::new().num_threads(1).build().expect("single-thread pool")
+        })
         .install(|| gemm_parallel(a, b, tiling))
 }
 
@@ -243,10 +348,7 @@ mod tests {
     use mmc_core::algorithms::all_algorithms;
 
     fn operands(m: u32, n: u32, z: u32, q: usize) -> (BlockMatrix, BlockMatrix) {
-        (
-            BlockMatrix::pseudo_random(m, z, q, 11),
-            BlockMatrix::pseudo_random(z, n, q, 22),
-        )
+        (BlockMatrix::pseudo_random(m, z, q, 11), BlockMatrix::pseudo_random(z, n, q, 22))
     }
 
     #[test]
@@ -267,12 +369,8 @@ mod tests {
         let (a, b) = operands(4, 4, 4, 2);
         let mut c = BlockMatrix::zeros(4, 4, 2);
         let mut sink = ExecSink::new(&a, &b, &mut c);
-        mmc_core::algorithms::SharedOpt::run(
-            &machine,
-            &ProblemSpec::new(4, 4, 4),
-            &mut sink,
-        )
-        .unwrap();
+        mmc_core::algorithms::SharedOpt::run(&machine, &ProblemSpec::new(4, 4, 4), &mut sink)
+            .unwrap();
         assert_eq!(sink.fmas(), 64);
     }
 
@@ -310,6 +408,34 @@ mod tests {
         let t = Tiling::tradeoff(&machine).unwrap();
         assert_eq!(t.tile_m % 8, 0);
         assert!(t.tile_k >= 1);
+    }
+
+    #[test]
+    fn traced_gemm_matches_and_covers_every_tile() {
+        let machine = MachineConfig::quad_q32();
+        let (a, b) = operands(9, 7, 5, 4);
+        let oracle = gemm_naive(&a, &b);
+        let tiling = Tiling { tile_m: 4, tile_n: 3, tile_k: 2 };
+        let (c, spans) = gemm_parallel_traced(&a, &b, tiling);
+        assert_eq!(c, oracle);
+        // One span per tile, tiles partition the 9×7 grid.
+        assert_eq!(spans.len(), 3 * 3);
+        let covered: u64 = spans.iter().map(|s| s.rows as u64 * s.cols as u64).sum();
+        assert_eq!(covered, 9 * 7);
+        assert!(spans.iter().all(|s| s.dur_us >= 0.0 && s.start_us >= 0.0));
+        // Sorted by start time.
+        assert!(spans.windows(2).all(|w| w[0].start_us <= w[1].start_us));
+        let _ = machine;
+    }
+
+    #[test]
+    fn task_spans_export_to_chrome_json() {
+        let (a, b) = operands(4, 4, 4, 2);
+        let (_, spans) = gemm_parallel_traced(&a, &b, Tiling { tile_m: 2, tile_n: 2, tile_k: 4 });
+        let text = task_spans_to_chrome(&spans);
+        assert!(text.starts_with('{') && text.ends_with('}'));
+        assert!(text.contains("\"traceEvents\""));
+        assert!(text.contains("tile C[0..2, 0..2]"));
     }
 
     #[test]

@@ -168,7 +168,9 @@ mod tests {
             m
         };
         for w in [2u32, 3, 4, 12] {
-            for tiling in [UpdateTiling::RowStripes, UpdateTiling::SharedOpt, UpdateTiling::Tradeoff] {
+            for tiling in
+                [UpdateTiling::RowStripes, UpdateTiling::SharedOpt, UpdateTiling::Tradeoff]
+            {
                 let mut m = a.clone();
                 lu_factor(&mut m, &machine, &BlockedLu::new(w, tiling)).unwrap();
                 assert_eq!(m, reference, "w={w}, {tiling:?}");

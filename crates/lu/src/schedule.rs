@@ -380,7 +380,9 @@ mod tests {
         let n = 12u32;
         let (g0, t0, u0) = expected_counts(n as u64);
         for w in [1u32, 2, 3, 4, 12, 20] {
-            for tiling in [UpdateTiling::RowStripes, UpdateTiling::SharedOpt, UpdateTiling::Tradeoff] {
+            for tiling in
+                [UpdateTiling::RowStripes, UpdateTiling::SharedOpt, UpdateTiling::Tradeoff]
+            {
                 let mut hooks = CountingLuHooks::default();
                 BlockedLu::new(w, tiling).run(&machine, n, &mut hooks).unwrap();
                 assert_eq!(hooks.getrfs, g0, "w={w} {tiling:?}");
@@ -404,9 +406,7 @@ mod tests {
     fn zero_configs_rejected() {
         let machine = MachineConfig::quad_q32();
         let mut hooks = CountingLuHooks::default();
-        assert!(BlockedLu::new(0, UpdateTiling::RowStripes)
-            .run(&machine, 4, &mut hooks)
-            .is_err());
+        assert!(BlockedLu::new(0, UpdateTiling::RowStripes).run(&machine, 4, &mut hooks).is_err());
         assert!(BlockedLu::default().run(&machine, 0, &mut hooks).is_err());
     }
 

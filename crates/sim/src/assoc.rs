@@ -144,10 +144,7 @@ impl SetAssocCache {
             return None;
         }
         // Evict the least recently used way of this set.
-        let victim = set
-            .iter_mut()
-            .min_by_key(|w| w.last_use)
-            .expect("sets have at least one way");
+        let victim = set.iter_mut().min_by_key(|w| w.last_use).expect("sets have at least one way");
         let ev = Eviction { block: victim.block, dirty: victim.dirty };
         *victim = Way { block: id, dirty, last_use: clock };
         Some(ev)
@@ -221,7 +218,7 @@ mod tests {
     #[test]
     fn within_set_replacement_is_lru() {
         let mut c = SetAssocCache::new(4, 2); // 2 sets × 2 ways
-        // Set 0 gets ids 0, 2, 4 (all even).
+                                              // Set 0 gets ids 0, 2, 4 (all even).
         c.insert(0, false);
         c.insert(2, false);
         assert!(c.touch(0)); // 2 becomes LRU in its set

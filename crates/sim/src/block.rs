@@ -107,14 +107,7 @@ impl BlockSpace {
         let c = (m as u64) * (n as u64);
         let total = a + b + c;
         assert!(total <= u32::MAX as u64, "block space too large: {total} blocks");
-        BlockSpace {
-            m,
-            n,
-            z,
-            base_b: a as u32,
-            base_c: (a + b) as u32,
-            total: total as u32,
-        }
+        BlockSpace { m, n, z, base_b: a as u32, base_c: (a + b) as u32, total: total as u32 }
     }
 
     /// Number of block rows of `A` and `C`.

@@ -146,7 +146,9 @@ impl Simulator {
             },
             Policy::Ideal => Caches::Ideal {
                 shared: IdealCache::new(cfg.shared_capacity, universe),
-                dist: (0..cfg.cores).map(|_| IdealCache::new(cfg.dist_capacity, universe)).collect(),
+                dist: (0..cfg.cores)
+                    .map(|_| IdealCache::new(cfg.dist_capacity, universe))
+                    .collect(),
             },
         };
         let stats = SimStats::new(cfg.cores);
@@ -211,9 +213,9 @@ impl Simulator {
     /// is shared-resident). O(universe); for tests.
     pub fn inclusion_holds(&self) -> bool {
         match &self.caches {
-            Caches::Lru { shared, dist } => dist
-                .iter()
-                .all(|d| d.resident_ids().into_iter().all(|id| shared.contains(id))),
+            Caches::Lru { shared, dist } => {
+                dist.iter().all(|d| d.resident_ids().into_iter().all(|id| shared.contains(id)))
+            }
             Caches::Ideal { shared, dist } => {
                 dist.iter().all(|d| d.iter().all(|id| shared.contains(id)))
             }
@@ -643,10 +645,7 @@ mod tests {
     #[test]
     fn unknown_core_rejected() {
         let mut s = lru_sim(4, 2, 2);
-        assert_eq!(
-            s.read(5, Block::a(0, 0)),
-            Err(SimError::UnknownCore { core: 5, cores: 2 })
-        );
+        assert_eq!(s.read(5, Block::a(0, 0)), Err(SimError::UnknownCore { core: 5, cores: 2 }));
     }
 
     #[test]

@@ -121,11 +121,7 @@ impl IdealCache {
 
     /// Resident ids in increasing id order (diagnostics/tests only: O(universe)).
     pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
-        self.flags
-            .iter()
-            .enumerate()
-            .filter(|(_, &f)| f != ABSENT)
-            .map(|(i, _)| i as u32)
+        self.flags.iter().enumerate().filter(|(_, &f)| f != ABSENT).map(|(i, _)| i as u32)
     }
 }
 

@@ -50,6 +50,7 @@ pub mod machine;
 pub mod sink;
 pub mod stats;
 pub mod timing;
+pub mod trace;
 pub mod tree;
 pub mod validate;
 
@@ -64,5 +65,9 @@ pub use machine::MachineConfig;
 pub use sink::{CountingSink, SimSink, TraceEvent, TraceSink};
 pub use stats::SimStats;
 pub use timing::{BspTiming, TimingModel};
+pub use trace::{
+    ChromeGranularity, ChromeTraceBuilder, EventKind, FlightRecorder, JournalEvent,
+    MetricsSnapshot, OccupancySample,
+};
 pub use tree::{TreeLevel, TreeSimulator, TreeStats, TreeTopology};
 pub use validate::{validate_ideal_trace, TraceViolation};

@@ -262,7 +262,12 @@ impl LruCache {
     #[inline]
     fn pop_free(&mut self) -> u32 {
         let slot = self.free;
-        debug_assert!(slot != NIL, "free list exhausted with len {} < capacity {}", self.len, self.capacity);
+        debug_assert!(
+            slot != NIL,
+            "free list exhausted with len {} < capacity {}",
+            self.len,
+            self.capacity
+        );
         self.free = self.slots[slot as usize].next;
         slot
     }

@@ -37,7 +37,12 @@ pub struct MachineConfig {
 impl MachineConfig {
     /// A machine with unit bandwidths; the common constructor for studies
     /// that only look at miss counts.
-    pub fn new(cores: usize, shared_capacity: usize, dist_capacity: usize, block_size: usize) -> MachineConfig {
+    pub fn new(
+        cores: usize,
+        shared_capacity: usize,
+        dist_capacity: usize,
+        block_size: usize,
+    ) -> MachineConfig {
         assert!(cores > 0, "machine needs at least one core");
         assert!(shared_capacity > 0 && dist_capacity > 0, "cache capacities must be positive");
         MachineConfig {

@@ -119,6 +119,29 @@ impl SimStats {
         acc / p as f64
     }
 
+    /// Shared-cache hit rate `hits / (hits + misses)` in `[0, 1]`.
+    /// Returns 0 when the shared cache was never probed, so the value is
+    /// always finite (and JSON-serializable).
+    pub fn shared_hit_rate(&self) -> f64 {
+        let probes = self.shared_hits + self.shared_misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.shared_hits as f64 / probes as f64
+        }
+    }
+
+    /// Core `core`'s distributed-cache hit rate in `[0, 1]` (0 when that
+    /// cache was never probed).
+    pub fn dist_hit_rate(&self, core: usize) -> f64 {
+        let probes = self.dist_hits[core] + self.dist_misses[core];
+        if probes == 0 {
+            0.0
+        } else {
+            self.dist_hits[core] as f64 / probes as f64
+        }
+    }
+
     /// Ratio of the busiest to the least busy core, in FMAs (1.0 = perfectly
     /// balanced). Used by tests to confirm the paper's equal-distribution
     /// assumption (§2.3.4) holds for our implementations.
@@ -137,14 +160,24 @@ impl std::fmt::Display for SimStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "M_S = {} (hits {}, writebacks {})",
-            self.shared_misses, self.shared_hits, self.shared_writebacks
+            "M_S = {} (hits {}, writebacks {}, hit rate {:.1}%)",
+            self.shared_misses,
+            self.shared_hits,
+            self.shared_writebacks,
+            100.0 * self.shared_hit_rate()
         )?;
         writeln!(
             f,
-            "M_D = {} (max of {:?})",
+            "M_D = {} (max of {:?}, hit rate {:.1}%)",
             self.md(),
-            self.dist_misses
+            self.dist_misses,
+            100.0
+                * if self.cores() == 0 {
+                    0.0
+                } else {
+                    (0..self.cores()).map(|c| self.dist_hit_rate(c)).sum::<f64>()
+                        / self.cores() as f64
+                }
         )?;
         write!(
             f,
@@ -217,5 +250,20 @@ mod tests {
         assert!(text.contains("M_S = 100"));
         assert!(text.contains("M_D = 50"));
         assert!(text.contains("800 block FMAs over 2 cores"));
+        assert!(text.contains("hit rate"));
+    }
+
+    #[test]
+    fn hit_rates_are_finite_fractions() {
+        let mut s = sample();
+        s.shared_hits = 300; // 300 hits vs 100 misses
+        s.dist_hits = vec![90, 50];
+        assert!((s.shared_hit_rate() - 0.75).abs() < 1e-12);
+        assert!((s.dist_hit_rate(0) - 0.75).abs() < 1e-12);
+        assert!((s.dist_hit_rate(1) - 0.5).abs() < 1e-12);
+        // Untouched stats: defined as 0, never NaN.
+        let empty = SimStats::new(2);
+        assert_eq!(empty.shared_hit_rate(), 0.0);
+        assert_eq!(empty.dist_hit_rate(0), 0.0);
     }
 }

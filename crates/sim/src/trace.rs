@@ -1,0 +1,830 @@
+//! Flight recorder: structured event journals, Chrome/Perfetto trace
+//! export, and JSON metrics snapshots.
+//!
+//! [`FlightRecorder`] is a [`SimSink`] decorator around a [`Simulator`]
+//! that records a *structured journal* of everything the schedule does:
+//! per-core read/write/FMA events, cache loads and evictions at both
+//! levels (derived exactly from the simulator's miss/writeback counters,
+//! so journal counts reconcile with [`SimStats`] by construction),
+//! barrier-delimited supersteps, and a cache-occupancy time series.
+//! Events are stamped with *logical time* from the same [`TimingModel`]
+//! the BSP estimator uses: per-core clocks advance by `fma_time` per FMA
+//! and `1/σ` per miss, and barriers synchronize all clocks to the
+//! maximum.
+//!
+//! Two export paths sit on top of the journal:
+//!
+//! * [`FlightRecorder::chrome_trace`] renders the Chrome trace-event JSON
+//!   format (hand-rolled — no external tracing dependency) that
+//!   `chrome://tracing` and [Perfetto](https://ui.perfetto.dev) load
+//!   directly: one track per core, a track for shared-level activity, and
+//!   counter tracks for cache occupancy;
+//! * [`MetricsSnapshot`] is a flat, serde-serializable summary (raw
+//!   counters plus the paper's derived metrics `M_S`, `M_D`, CCRs,
+//!   `T_data`, hit rates) for machine-readable CLI output.
+//!
+//! [`ChromeTraceBuilder`] is exposed separately so other crates (the
+//! executor's wall-clock task spans, benchmark emitters) can write the
+//! same format without depending on the simulator types.
+
+use crate::block::Block;
+use crate::error::SimError;
+use crate::hierarchy::Simulator;
+use crate::sink::SimSink;
+use crate::stats::SimStats;
+use crate::timing::TimingModel;
+use serde::{Deserialize, Serialize};
+
+/// Kind of one recorded flight-recorder event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum EventKind {
+    /// A core read a block (through its distributed cache).
+    Read,
+    /// A core wrote a block (write-allocate).
+    Write,
+    /// A core performed one block multiply-accumulate.
+    Fma,
+    /// A block was loaded into the shared cache (one per `M_S` miss).
+    SharedLoad,
+    /// A dirty block was written back from the shared cache to memory.
+    SharedEvict,
+    /// A block was loaded into a distributed cache (one per `M_D` miss).
+    DistLoad,
+    /// A dirty block was written back from a distributed cache.
+    DistEvict,
+    /// All cores synchronized; closes a superstep.
+    Barrier,
+}
+
+impl EventKind {
+    /// Short lower-case label used in trace exports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::Read => "read",
+            EventKind::Write => "write",
+            EventKind::Fma => "fma",
+            EventKind::SharedLoad => "load_shared",
+            EventKind::SharedEvict => "evict_shared",
+            EventKind::DistLoad => "load_dist",
+            EventKind::DistEvict => "evict_dist",
+            EventKind::Barrier => "barrier",
+        }
+    }
+}
+
+/// One record in the flight-recorder journal.
+///
+/// `ts` and `dur` are logical times from the recorder's [`TimingModel`]
+/// (misses cost `1/σ`, FMAs cost `fma_time`, hits are free).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JournalEvent {
+    /// What happened.
+    pub kind: EventKind,
+    /// The acting core; `None` for shared-level and barrier events.
+    pub core: Option<usize>,
+    /// The block involved, when known. Eviction events derived from LRU
+    /// writeback counters carry `None`: the counters say *that* a dirty
+    /// block left, not *which*.
+    pub block: Option<Block>,
+    /// Logical start time.
+    pub ts: f64,
+    /// Logical duration (0 for instantaneous bookkeeping events).
+    pub dur: f64,
+    /// Superstep index (barriers close supersteps, starting from 0).
+    pub superstep: u64,
+}
+
+/// Cache occupancy at one instant (sampled at every barrier).
+#[derive(Clone, Debug, PartialEq)]
+pub struct OccupancySample {
+    /// Logical time of the sample.
+    pub ts: f64,
+    /// Superstep index at the sample.
+    pub superstep: u64,
+    /// Blocks resident in the shared cache.
+    pub shared_blocks: usize,
+    /// Blocks resident in each distributed cache.
+    pub dist_blocks: Vec<usize>,
+}
+
+/// Export granularity for [`FlightRecorder::chrome_trace`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChromeGranularity {
+    /// One trace event per journal event. Exact, but large traces (an
+    /// order-`n` product journals `Θ(n³)` events) produce huge files.
+    Events,
+    /// One span per core per superstep, carrying event counts in its
+    /// `args`. Compact enough for any problem size.
+    Supersteps,
+}
+
+/// A [`SimSink`] decorator recording a structured event journal with
+/// logical timestamps, plus occupancy samples at every barrier.
+pub struct FlightRecorder {
+    sim: Simulator,
+    model: TimingModel,
+    clocks: Vec<f64>,
+    shared_clock: f64,
+    journal: Vec<JournalEvent>,
+    occupancy: Vec<OccupancySample>,
+    superstep: u64,
+}
+
+impl FlightRecorder {
+    /// Wrap `sim` (any policy), stamping events with costs from `model`.
+    pub fn new(sim: Simulator, model: TimingModel) -> FlightRecorder {
+        assert!(model.sigma_s > 0.0 && model.sigma_d > 0.0, "bandwidths must be positive");
+        assert!(model.fma_time >= 0.0, "FMA time must be non-negative");
+        let cores = sim.config().cores;
+        let mut rec = FlightRecorder {
+            sim,
+            model,
+            clocks: vec![0.0; cores],
+            shared_clock: 0.0,
+            journal: Vec::new(),
+            occupancy: Vec::new(),
+            superstep: 0,
+        };
+        rec.sample_occupancy();
+        rec
+    }
+
+    /// The wrapped simulator's counters.
+    pub fn stats(&self) -> &SimStats {
+        self.sim.stats()
+    }
+
+    /// The wrapped simulator.
+    pub fn simulator(&self) -> &Simulator {
+        &self.sim
+    }
+
+    /// The cost model stamping the journal.
+    pub fn model(&self) -> &TimingModel {
+        &self.model
+    }
+
+    /// The recorded journal, in emission order.
+    pub fn journal(&self) -> &[JournalEvent] {
+        &self.journal
+    }
+
+    /// Occupancy samples (one at construction, one per barrier).
+    pub fn occupancy(&self) -> &[OccupancySample] {
+        &self.occupancy
+    }
+
+    /// Supersteps closed so far (= barriers recorded).
+    pub fn supersteps(&self) -> u64 {
+        self.superstep
+    }
+
+    /// Core `core`'s logical clock.
+    pub fn clock(&self, core: usize) -> f64 {
+        self.clocks[core]
+    }
+
+    /// The latest logical time across all clocks.
+    pub fn elapsed(&self) -> f64 {
+        self.clocks.iter().copied().fold(self.shared_clock, f64::max)
+    }
+
+    /// Number of journal events of kind `kind`.
+    pub fn count(&self, kind: EventKind) -> u64 {
+        self.journal.iter().filter(|e| e.kind == kind).count() as u64
+    }
+
+    /// Number of journal events of kind `kind` attributed to `core`.
+    pub fn count_for_core(&self, kind: EventKind, core: usize) -> u64 {
+        self.journal.iter().filter(|e| e.kind == kind && e.core == Some(core)).count() as u64
+    }
+
+    /// Record an occupancy sample now (also done at every barrier).
+    pub fn sample_occupancy(&mut self) {
+        let cores = self.sim.config().cores;
+        self.occupancy.push(OccupancySample {
+            ts: self.elapsed(),
+            superstep: self.superstep,
+            shared_blocks: self.sim.shared_len(),
+            dist_blocks: (0..cores).map(|c| self.sim.dist_len(c)).collect(),
+        });
+    }
+
+    /// Unwrap, returning the simulator with its accumulated counters.
+    pub fn into_simulator(self) -> Simulator {
+        self.sim
+    }
+
+    /// Flat metrics summary of the run so far, labeled `label`.
+    pub fn snapshot(&self, label: &str) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::from_stats(
+            label,
+            self.sim.config().policy.label(),
+            self.sim.stats(),
+            &self.model,
+        );
+        snap.supersteps = self.superstep;
+        snap.elapsed = self.elapsed();
+        snap
+    }
+
+    fn push(
+        &mut self,
+        kind: EventKind,
+        core: Option<usize>,
+        block: Option<Block>,
+        ts: f64,
+        dur: f64,
+    ) {
+        self.journal.push(JournalEvent { kind, core, block, ts, dur, superstep: self.superstep });
+    }
+
+    /// Snapshot of the counters a forwarded event may change.
+    fn counters(&self, core: usize) -> (u64, u64, u64, u64) {
+        let s = self.sim.stats();
+        (s.shared_misses, s.dist_misses[core], s.shared_writebacks, s.dist_writebacks.iter().sum())
+    }
+
+    /// Journal an access (`read`/`write`) from counter deltas and advance
+    /// the core clock by the access's data cost.
+    fn record_access(
+        &mut self,
+        kind: EventKind,
+        core: usize,
+        block: Block,
+        pre: (u64, u64, u64, u64),
+    ) {
+        let (sm0, dm0, swb0, dwb0) = pre;
+        let (sm1, dm1, swb1, dwb1) = self.counters(core);
+        let shared_cost = (sm1 - sm0) as f64 / self.model.sigma_s;
+        let dist_cost = (dm1 - dm0) as f64 / self.model.sigma_d;
+        let t0 = self.clocks[core];
+        for _ in 0..(swb1 - swb0) {
+            self.push(EventKind::SharedEvict, Some(core), None, t0, 0.0);
+        }
+        for _ in 0..(dwb1 - dwb0) {
+            self.push(EventKind::DistEvict, Some(core), None, t0, 0.0);
+        }
+        if sm1 > sm0 {
+            self.push(EventKind::SharedLoad, Some(core), Some(block), t0, shared_cost);
+        }
+        if dm1 > dm0 {
+            self.push(EventKind::DistLoad, Some(core), Some(block), t0 + shared_cost, dist_cost);
+        }
+        self.push(kind, Some(core), Some(block), t0, shared_cost + dist_cost);
+        self.clocks[core] = t0 + shared_cost + dist_cost;
+    }
+}
+
+impl SimSink for FlightRecorder {
+    fn read(&mut self, core: usize, block: Block) -> Result<(), SimError> {
+        let pre = self.counters(core);
+        self.sim.read(core, block)?;
+        self.record_access(EventKind::Read, core, block, pre);
+        Ok(())
+    }
+
+    fn write(&mut self, core: usize, block: Block) -> Result<(), SimError> {
+        let pre = self.counters(core);
+        self.sim.write(core, block)?;
+        self.record_access(EventKind::Write, core, block, pre);
+        Ok(())
+    }
+
+    fn fma(&mut self, core: usize, a: Block, b: Block, c: Block) -> Result<(), SimError> {
+        self.sim.fma(core, a, b, c)?;
+        let t0 = self.clocks[core];
+        self.push(EventKind::Fma, Some(core), Some(c), t0, self.model.fma_time);
+        self.clocks[core] = t0 + self.model.fma_time;
+        Ok(())
+    }
+
+    fn load_shared(&mut self, block: Block) -> Result<(), SimError> {
+        let sm0 = self.sim.stats().shared_misses;
+        self.sim.load_shared(block)?;
+        if self.sim.stats().shared_misses > sm0 {
+            let cost = 1.0 / self.model.sigma_s;
+            let t0 = self.shared_clock;
+            self.push(EventKind::SharedLoad, None, Some(block), t0, cost);
+            self.shared_clock = t0 + cost;
+        }
+        Ok(())
+    }
+
+    fn evict_shared(&mut self, block: Block) -> Result<(), SimError> {
+        let swb0 = self.sim.stats().shared_writebacks;
+        self.sim.evict_shared(block)?;
+        if self.sim.stats().shared_writebacks > swb0 {
+            let t0 = self.shared_clock;
+            self.push(EventKind::SharedEvict, None, Some(block), t0, 0.0);
+        }
+        Ok(())
+    }
+
+    fn load_dist(&mut self, core: usize, block: Block) -> Result<(), SimError> {
+        let dm0 = self.sim.stats().dist_misses[core];
+        self.sim.load_dist(core, block)?;
+        if self.sim.stats().dist_misses[core] > dm0 {
+            let cost = 1.0 / self.model.sigma_d;
+            let t0 = self.clocks[core];
+            self.push(EventKind::DistLoad, Some(core), Some(block), t0, cost);
+            self.clocks[core] = t0 + cost;
+        }
+        Ok(())
+    }
+
+    fn evict_dist(&mut self, core: usize, block: Block) -> Result<(), SimError> {
+        let dwb0: u64 = self.sim.stats().dist_writebacks.iter().sum();
+        self.sim.evict_dist(core, block)?;
+        let dwb1: u64 = self.sim.stats().dist_writebacks.iter().sum();
+        if dwb1 > dwb0 {
+            let t0 = self.clocks[core];
+            self.push(EventKind::DistEvict, Some(core), Some(block), t0, 0.0);
+        }
+        Ok(())
+    }
+
+    fn barrier(&mut self) -> Result<(), SimError> {
+        self.sim.barrier()?;
+        let t = self.elapsed();
+        for c in self.clocks.iter_mut() {
+            *c = t;
+        }
+        self.shared_clock = t;
+        self.push(EventKind::Barrier, None, None, t, 0.0);
+        self.superstep += 1;
+        self.sample_occupancy();
+        Ok(())
+    }
+
+    fn manages_residency(&self) -> bool {
+        self.sim.manages_residency()
+    }
+}
+
+/// Flat summary of a simulated run: raw counters plus the paper's derived
+/// metrics. Serializes to a stable JSON object for `mmc --json` output.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Free-form label (typically the algorithm id).
+    pub label: String,
+    /// Replacement policy the run used (`"IDEAL"` or `"LRU"`).
+    pub policy: String,
+    /// Number of cores.
+    pub cores: usize,
+    /// Shared-cache misses.
+    pub shared_misses: u64,
+    /// Shared-cache hits.
+    pub shared_hits: u64,
+    /// Dirty writebacks from the shared cache to memory.
+    pub shared_writebacks: u64,
+    /// Per-core distributed-cache misses.
+    pub dist_misses: Vec<u64>,
+    /// Per-core distributed-cache hits.
+    pub dist_hits: Vec<u64>,
+    /// Per-core dirty writebacks from distributed caches.
+    pub dist_writebacks: Vec<u64>,
+    /// Per-core block FMA counts.
+    pub fmas: Vec<u64>,
+    /// Barriers emitted by the schedule.
+    pub barriers: u64,
+    /// `M_S` (= `shared_misses`).
+    pub ms: u64,
+    /// `M_D = max_c` per-core distributed misses.
+    pub md: u64,
+    /// Total block FMAs `K`.
+    pub total_fmas: u64,
+    /// `CCR_S = M_S / K` (0 if `K = 0`).
+    pub ccr_shared: f64,
+    /// `CCR_D = (1/p) Σ_c M_D^(c)/comp(c)` (0 if any core idled).
+    pub ccr_dist: f64,
+    /// `T_data = M_S/σ_S + M_D/σ_D`.
+    pub t_data: f64,
+    /// Memory → shared-cache bandwidth used for `t_data`.
+    pub sigma_s: f64,
+    /// Shared → distributed bandwidth used for `t_data`.
+    pub sigma_d: f64,
+    /// Shared-cache hit rate in `[0, 1]` (0 when there were no accesses).
+    pub shared_hit_rate: f64,
+    /// Per-core distributed-cache hit rates.
+    pub dist_hit_rates: Vec<f64>,
+    /// Supersteps closed (0 when not recorded through a flight recorder).
+    pub supersteps: u64,
+    /// Final logical time (0 when not recorded through a flight recorder).
+    pub elapsed: f64,
+}
+
+/// `x` if finite, else 0 — keeps JSON round-trippable (JSON has no
+/// Infinity/NaN literals).
+fn finite_or_zero(x: f64) -> f64 {
+    if x.is_finite() {
+        x
+    } else {
+        0.0
+    }
+}
+
+impl MetricsSnapshot {
+    /// Build a snapshot from raw counters and the cost model's bandwidths.
+    pub fn from_stats(
+        label: &str,
+        policy: &str,
+        stats: &SimStats,
+        model: &TimingModel,
+    ) -> MetricsSnapshot {
+        MetricsSnapshot {
+            label: label.to_string(),
+            policy: policy.to_string(),
+            cores: stats.cores(),
+            shared_misses: stats.shared_misses,
+            shared_hits: stats.shared_hits,
+            shared_writebacks: stats.shared_writebacks,
+            dist_misses: stats.dist_misses.clone(),
+            dist_hits: stats.dist_hits.clone(),
+            dist_writebacks: stats.dist_writebacks.clone(),
+            fmas: stats.fmas.clone(),
+            barriers: stats.barriers,
+            ms: stats.ms(),
+            md: stats.md(),
+            total_fmas: stats.total_fmas(),
+            ccr_shared: finite_or_zero(stats.ccr_shared()),
+            ccr_dist: finite_or_zero(stats.ccr_dist()),
+            t_data: stats.t_data(model.sigma_s, model.sigma_d),
+            sigma_s: model.sigma_s,
+            sigma_d: model.sigma_d,
+            shared_hit_rate: stats.shared_hit_rate(),
+            dist_hit_rates: (0..stats.cores()).map(|c| stats.dist_hit_rate(c)).collect(),
+            supersteps: 0,
+            elapsed: 0.0,
+        }
+    }
+}
+
+/// Incremental writer for the Chrome trace-event JSON format
+/// (`{"traceEvents": [...]}`), loadable by Perfetto and
+/// `chrome://tracing`. Hand-rolled — the workspace deliberately has no
+/// tracing dependency. All events share `pid` 1; tracks are `tid`s.
+pub struct ChromeTraceBuilder {
+    out: String,
+    any: bool,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_num(x: f64) -> String {
+    if !x.is_finite() {
+        "0".to_string()
+    } else if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+impl ChromeTraceBuilder {
+    /// Start a trace whose single process is named `process`.
+    pub fn new(process: &str) -> ChromeTraceBuilder {
+        let mut b = ChromeTraceBuilder {
+            out: String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["),
+            any: false,
+        };
+        b.raw(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(process)
+        ));
+        b
+    }
+
+    fn raw(&mut self, event: String) {
+        if self.any {
+            self.out.push(',');
+        }
+        self.out.push('\n');
+        self.out.push_str(&event);
+        self.any = true;
+    }
+
+    /// Name track `tid` (a `thread_name` metadata event).
+    pub fn thread(&mut self, tid: u64, name: &str) {
+        self.raw(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(name)
+        ));
+    }
+
+    /// A complete span (`ph: "X"`) on track `tid`; times in microseconds.
+    pub fn span(&mut self, tid: u64, name: &str, ts_us: f64, dur_us: f64, args: &[(&str, f64)]) {
+        let mut ev = format!(
+            "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\
+             \"ts\":{},\"dur\":{}",
+            json_escape(name),
+            fmt_num(ts_us),
+            fmt_num(dur_us)
+        );
+        if !args.is_empty() {
+            ev.push_str(",\"args\":{");
+            for (i, (k, v)) in args.iter().enumerate() {
+                if i > 0 {
+                    ev.push(',');
+                }
+                ev.push_str(&format!("\"{}\":{}", json_escape(k), fmt_num(*v)));
+            }
+            ev.push('}');
+        }
+        ev.push('}');
+        self.raw(ev);
+    }
+
+    /// A thread-scoped instant event (`ph: "i"`) on track `tid`.
+    pub fn instant(&mut self, tid: u64, name: &str, ts_us: f64) {
+        self.raw(format!(
+            "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{tid},\"ts\":{}}}",
+            json_escape(name),
+            fmt_num(ts_us)
+        ));
+    }
+
+    /// A counter sample (`ph: "C"`) named `name` with one series `value`.
+    pub fn counter(&mut self, name: &str, ts_us: f64, value: f64) {
+        self.raw(format!(
+            "{{\"name\":\"{}\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":{},\
+             \"args\":{{\"value\":{}}}}}",
+            json_escape(name),
+            fmt_num(ts_us),
+            fmt_num(value)
+        ));
+    }
+
+    /// Close the event array and return the JSON document.
+    pub fn finish(mut self) -> String {
+        self.out.push_str("\n]}");
+        self.out
+    }
+}
+
+impl FlightRecorder {
+    /// Track id used for shared-level (core-less) events.
+    fn shared_tid(&self) -> u64 {
+        self.sim.config().cores as u64
+    }
+
+    /// Render the journal as Chrome trace-event JSON (see module docs):
+    /// one track per core, one for shared-level activity, plus occupancy
+    /// counter tracks. Logical time units map to microseconds.
+    pub fn chrome_trace(&self, granularity: ChromeGranularity) -> String {
+        let cores = self.sim.config().cores;
+        let mut b = ChromeTraceBuilder::new("mmc-sim flight recorder");
+        for c in 0..cores {
+            b.thread(c as u64, &format!("core {c}"));
+        }
+        b.thread(self.shared_tid(), "shared cache");
+        match granularity {
+            ChromeGranularity::Events => self.chrome_events(&mut b),
+            ChromeGranularity::Supersteps => self.chrome_supersteps(&mut b),
+        }
+        for s in &self.occupancy {
+            b.counter("shared occupancy (blocks)", s.ts, s.shared_blocks as f64);
+            let dist: usize = s.dist_blocks.iter().sum();
+            b.counter("distributed occupancy (blocks, total)", s.ts, dist as f64);
+        }
+        b.finish()
+    }
+
+    fn chrome_events(&self, b: &mut ChromeTraceBuilder) {
+        for e in &self.journal {
+            let tid = e.core.map(|c| c as u64).unwrap_or_else(|| self.shared_tid());
+            let name = match e.block {
+                Some(blk) => format!("{} {blk}", e.kind.label()),
+                None => e.kind.label().to_string(),
+            };
+            if e.kind == EventKind::Barrier {
+                b.instant(tid, &name, e.ts);
+            } else if e.dur > 0.0 {
+                b.span(tid, &name, e.ts, e.dur, &[]);
+            } else {
+                b.instant(tid, &name, e.ts);
+            }
+        }
+    }
+
+    fn chrome_supersteps(&self, b: &mut ChromeTraceBuilder) {
+        let cores = self.sim.config().cores;
+        let tracks = cores + 1; // + shared-level track
+        let steps = self.superstep as usize + 1;
+        // Per (superstep, track): [reads, writes, fmas, loads, evicts],
+        // plus the time window covered.
+        let mut counts = vec![[0u64; 5]; steps * tracks];
+        let mut lo = vec![f64::INFINITY; steps * tracks];
+        let mut hi = vec![f64::NEG_INFINITY; steps * tracks];
+        for e in &self.journal {
+            if e.kind == EventKind::Barrier {
+                continue;
+            }
+            let track = e.core.unwrap_or(cores);
+            let slot = e.superstep as usize * tracks + track;
+            let bucket = match e.kind {
+                EventKind::Read => 0,
+                EventKind::Write => 1,
+                EventKind::Fma => 2,
+                EventKind::SharedLoad | EventKind::DistLoad => 3,
+                EventKind::SharedEvict | EventKind::DistEvict => 4,
+                EventKind::Barrier => unreachable!(),
+            };
+            counts[slot][bucket] += 1;
+            lo[slot] = lo[slot].min(e.ts);
+            hi[slot] = hi[slot].max(e.ts + e.dur);
+        }
+        for step in 0..steps {
+            for track in 0..tracks {
+                let slot = step * tracks + track;
+                if counts[slot] == [0; 5] {
+                    continue;
+                }
+                let [reads, writes, fmas, loads, evicts] = counts[slot];
+                b.span(
+                    track as u64,
+                    &format!("step {step}"),
+                    lo[slot],
+                    (hi[slot] - lo[slot]).max(0.0),
+                    &[
+                        ("reads", reads as f64),
+                        ("writes", writes as f64),
+                        ("fmas", fmas as f64),
+                        ("loads", loads as f64),
+                        ("evicts", evicts as f64),
+                    ],
+                );
+            }
+        }
+        for e in &self.journal {
+            if e.kind == EventKind::Barrier {
+                b.instant(self.shared_tid(), "barrier", e.ts);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::SimConfig;
+    use crate::machine::MachineConfig;
+
+    fn machine() -> MachineConfig {
+        MachineConfig::new(2, 16, 4, 32)
+    }
+
+    fn lru_recorder() -> FlightRecorder {
+        let sim = Simulator::new(SimConfig::lru(&machine()), 8, 8, 8);
+        FlightRecorder::new(sim, TimingModel { fma_time: 1.0, sigma_s: 2.0, sigma_d: 1.0 })
+    }
+
+    #[test]
+    fn journal_reconciles_with_stats() {
+        let mut r = lru_recorder();
+        for j in 0..6u32 {
+            r.read(0, Block::a(0, j)).unwrap();
+            r.read(0, Block::b(j, 0)).unwrap();
+            r.fma(0, Block::a(0, j), Block::b(j, 0), Block::c(0, 0)).unwrap();
+            r.write(0, Block::c(0, 0)).unwrap();
+            r.read(1, Block::a(1, j)).unwrap();
+        }
+        r.barrier().unwrap();
+        let stats = r.stats().clone();
+        assert_eq!(r.count(EventKind::Fma), stats.total_fmas());
+        assert_eq!(r.count(EventKind::SharedLoad), stats.shared_misses);
+        for c in 0..2 {
+            assert_eq!(r.count_for_core(EventKind::Fma, c), stats.fmas[c]);
+            assert_eq!(r.count_for_core(EventKind::DistLoad, c), stats.dist_misses[c]);
+        }
+        assert_eq!(r.count(EventKind::Read), 18);
+        assert_eq!(r.count(EventKind::Write), 6);
+        assert_eq!(r.count(EventKind::Barrier), 1);
+        assert_eq!(r.supersteps(), 1);
+    }
+
+    #[test]
+    fn clocks_advance_by_model_costs_and_sync_at_barriers() {
+        let mut r = lru_recorder();
+        // Core 0: one read missing both levels: 1/2 + 1/1 = 1.5, then an
+        // FMA at cost 1.0 → clock 2.5. Core 1 stays at 0 until the barrier.
+        r.read(0, Block::a(0, 0)).unwrap();
+        r.fma(0, Block::a(0, 0), Block::b(0, 0), Block::c(0, 0)).unwrap();
+        assert!((r.clock(0) - 2.5).abs() < 1e-12);
+        assert_eq!(r.clock(1), 0.0);
+        r.barrier().unwrap();
+        assert!((r.clock(1) - 2.5).abs() < 1e-12);
+        assert!((r.elapsed() - 2.5).abs() < 1e-12);
+        // A repeated read hits both levels: free.
+        r.read(0, Block::a(0, 0)).unwrap();
+        assert!((r.clock(0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ideal_directives_become_load_events() {
+        let sim = Simulator::new(SimConfig::ideal(&machine()), 4, 4, 4);
+        let mut r = FlightRecorder::new(sim, TimingModel::data_only(1.0, 1.0));
+        r.load_shared(Block::a(0, 0)).unwrap();
+        r.load_shared(Block::a(0, 0)).unwrap(); // hit: no event
+        r.load_dist(0, Block::a(0, 0)).unwrap();
+        r.read(0, Block::a(0, 0)).unwrap();
+        assert_eq!(r.count(EventKind::SharedLoad), 1);
+        assert_eq!(r.count(EventKind::DistLoad), 1);
+        assert_eq!(r.stats().shared_misses, 1);
+        assert_eq!(r.stats().dist_misses[0], 1);
+        // Evicting the clean copies writes nothing back: no evict events.
+        r.evict_dist(0, Block::a(0, 0)).unwrap();
+        r.evict_shared(Block::a(0, 0)).unwrap();
+        assert_eq!(r.count(EventKind::SharedEvict), 0);
+        assert_eq!(r.count(EventKind::DistEvict), 0);
+    }
+
+    #[test]
+    fn occupancy_is_sampled_at_barriers() {
+        let mut r = lru_recorder();
+        r.read(0, Block::a(0, 0)).unwrap();
+        r.read(0, Block::a(0, 1)).unwrap();
+        r.barrier().unwrap();
+        assert_eq!(r.occupancy().len(), 2); // construction + barrier
+        let last = &r.occupancy()[1];
+        assert_eq!(last.shared_blocks, 2);
+        assert_eq!(last.dist_blocks[0], 2);
+        assert_eq!(last.superstep, 1);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_per_core_tracks() {
+        let mut r = lru_recorder();
+        r.read(0, Block::a(0, 0)).unwrap();
+        r.fma(0, Block::a(0, 0), Block::b(0, 0), Block::c(0, 0)).unwrap();
+        r.read(1, Block::b(0, 0)).unwrap();
+        r.barrier().unwrap();
+        for granularity in [ChromeGranularity::Events, ChromeGranularity::Supersteps] {
+            let text = r.chrome_trace(granularity);
+            let doc: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+            let events = doc.get("traceEvents").and_then(|v| v.as_array()).unwrap();
+            let mut names = Vec::new();
+            for e in events {
+                if e.get("name").and_then(|n| n.as_str()) == Some("thread_name") {
+                    let args = e.get("args").unwrap();
+                    names.push(args.get("name").unwrap().as_str().unwrap().to_string());
+                }
+            }
+            assert!(names.contains(&"core 0".to_string()));
+            assert!(names.contains(&"core 1".to_string()));
+            assert!(names.contains(&"shared cache".to_string()));
+            // Occupancy counters are present.
+            assert!(events.iter().any(|e| e.get("ph").and_then(|p| p.as_str()) == Some("C")));
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let mut r = lru_recorder();
+        for j in 0..4u32 {
+            r.read(0, Block::a(0, j)).unwrap();
+            r.fma(0, Block::a(0, j), Block::b(j, 0), Block::c(0, 0)).unwrap();
+            r.read(1, Block::b(j, 1)).unwrap();
+            r.fma(1, Block::a(1, j), Block::b(j, 1), Block::c(1, 1)).unwrap();
+        }
+        r.barrier().unwrap();
+        let snap = r.snapshot("unit");
+        let text = serde_json::to_string_pretty(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(snap, back);
+        assert!(text.contains("\"ms\""));
+        assert!(text.contains("\"md\""));
+        assert!(text.contains("\"ccr_shared\""));
+        assert!(text.contains("\"t_data\""));
+        assert!(snap.shared_hit_rate >= 0.0 && snap.shared_hit_rate <= 1.0);
+        assert_eq!(snap.supersteps, 1);
+    }
+
+    #[test]
+    fn builder_escapes_and_balances() {
+        let mut b = ChromeTraceBuilder::new("p\"q\\r");
+        b.thread(0, "line\nbreak");
+        b.span(0, "s", 0.5, 1.25, &[("k", 2.0)]);
+        b.counter("c", 0.0, 3.0);
+        let text = b.finish();
+        let doc: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        assert_eq!(doc.get("traceEvents").and_then(|v| v.as_array()).unwrap().len(), 4);
+    }
+}

@@ -65,7 +65,10 @@ pub fn validate_ideal_trace(
             TraceEvent::EvictShared(b) => {
                 if let Some(&n) = holders.get(&b) {
                     if n > 0 {
-                        return err(i, format!("evicting {b} from shared while {n} private copies exist"));
+                        return err(
+                            i,
+                            format!("evicting {b} from shared while {n} private copies exist"),
+                        );
                     }
                 }
                 if !shared.remove(&b) {
@@ -81,7 +84,10 @@ pub fn validate_ideal_trace(
                 }
                 if !dist[c].contains(&b) {
                     if dist[c].len() == dist_capacity {
-                        return err(i, format!("core {c} cache full ({dist_capacity}) loading {b}"));
+                        return err(
+                            i,
+                            format!("core {c} cache full ({dist_capacity}) loading {b}"),
+                        );
                     }
                     dist[c].insert(b);
                     *holders.entry(b).or_insert(0) += 1;
@@ -146,10 +152,16 @@ mod tests {
     fn detects_each_violation_kind() {
         // Access without residency.
         let t = vec![E::Read(0, b(0, 0))];
-        assert!(validate_ideal_trace(&t, 1, 2, 2).unwrap_err().message.contains("without residency"));
+        assert!(validate_ideal_trace(&t, 1, 2, 2)
+            .unwrap_err()
+            .message
+            .contains("without residency"));
         // Dist load without shared residency.
         let t = vec![E::LoadDist(0, b(0, 0))];
-        assert!(validate_ideal_trace(&t, 1, 2, 2).unwrap_err().message.contains("not resident in shared"));
+        assert!(validate_ideal_trace(&t, 1, 2, 2)
+            .unwrap_err()
+            .message
+            .contains("not resident in shared"));
         // Inclusivity violation.
         let t = vec![E::LoadShared(b(0, 0)), E::LoadDist(0, b(0, 0)), E::EvictShared(b(0, 0))];
         assert!(validate_ideal_trace(&t, 1, 2, 2).unwrap_err().message.contains("private copies"));

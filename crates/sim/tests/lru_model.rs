@@ -30,11 +30,7 @@ impl ModelLru {
         }
     }
     fn insert(&mut self, id: u32, dirty: bool) -> Option<(u32, bool)> {
-        let evicted = if self.entries.len() == self.capacity {
-            self.entries.pop()
-        } else {
-            None
-        };
+        let evicted = if self.entries.len() == self.capacity { self.entries.pop() } else { None };
         self.entries.insert(0, (id, dirty));
         evicted
     }

@@ -14,10 +14,8 @@ use multicore_matmul::prelude::*;
 use multicore_matmul::sim::{BspTiming, TimingModel};
 
 fn main() {
-    let order: u32 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("matrix order"))
-        .unwrap_or(96);
+    let order: u32 =
+        std::env::args().nth(1).map(|s| s.parse().expect("matrix order")).unwrap_or(96);
     let machine = MachineConfig::quad_q32();
     let problem = ProblemSpec::square(order);
     println!(
@@ -40,10 +38,7 @@ fn main() {
             let (makespan, _, _) = bsp.finish();
             print!(" {:>18.0}", makespan);
         }
-        println!(
-            " {:>14.0}",
-            problem.total_fmas() as f64 * t_fma / machine.cores as f64
-        );
+        println!(" {:>14.0}", problem.total_fmas() as f64 * t_fma / machine.cores as f64);
     }
     println!(
         "\n(each cell: sum over barrier-delimited supersteps of \

@@ -75,8 +75,8 @@ fn main() {
         eprintln!("caches too small for {0}x{0} blocks — reduce --q", args.q);
         std::process::exit(1);
     }
-    let machine = MachineConfig::new(args.cores, cs, cd, args.q)
-        .with_bandwidths(args.sigma_s, args.sigma_d);
+    let machine =
+        MachineConfig::new(args.cores, cs, cd, args.q).with_bandwidths(args.sigma_s, args.sigma_d);
     let problem = ProblemSpec::square(args.order);
 
     println!("derived capacities: C_S = {cs} blocks, C_D = {cd} blocks (q = {})", args.q);
@@ -107,29 +107,22 @@ fn main() {
         None => println!("Tradeoff       : infeasible (needs square p and C_D >= 3)"),
     }
     if let Some(t) = params::equal_tile(machine.shared_capacity) {
-        println!("Equal thirds   : t = {t} (shared), t_D = {:?} (distributed)",
-            params::equal_tile(machine.dist_capacity));
+        println!(
+            "Equal thirds   : t = {t} (shared), t_D = {:?} (distributed)",
+            params::equal_tile(machine.dist_capacity)
+        );
     }
 
     println!(
         "\npredicted costs for a {0}x{0} block product (sigma_S = {1}, sigma_D = {2}):",
         args.order, args.sigma_s, args.sigma_d
     );
-    println!(
-        "{:<18} {:>16} {:>16} {:>16}",
-        "algorithm", "pred. M_S", "pred. M_D", "pred. T_data"
-    );
+    println!("{:<18} {:>16} {:>16} {:>16}", "algorithm", "pred. M_S", "pred. M_D", "pred. T_data");
     let mut best: Option<(String, f64)> = None;
     for algo in all_algorithms() {
         if let Some(p) = algo.predict(&machine, &problem) {
             let t = p.t_data(&machine);
-            println!(
-                "{:<18} {:>16.0} {:>16.0} {:>16.0}",
-                algo.name(),
-                p.ms,
-                p.md,
-                t
-            );
+            println!("{:<18} {:>16.0} {:>16.0} {:>16.0}", algo.name(), p.ms, p.md, t);
             if best.as_ref().is_none_or(|(_, bt)| t < *bt) {
                 best = Some((algo.name().to_string(), t));
             }
@@ -154,10 +147,7 @@ fn main() {
             println!("{:<18} M_S = {:>14}  M_D = {:>14}", "Tradeoff", e.ms, e.md());
         }
     }
-    println!(
-        "\nlower bound     T_data >= {:.0}",
-        bounds::tdata_lower_bound(&problem, &machine)
-    );
+    println!("\nlower bound     T_data >= {:.0}", bounds::tdata_lower_bound(&problem, &machine));
     if let Some((name, t)) = best {
         println!("recommendation: {name} (predicted T_data = {t:.0})");
     }

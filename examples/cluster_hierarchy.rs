@@ -14,10 +14,8 @@ use multicore_matmul::prelude::*;
 use multicore_matmul::sim::{TreeSimulator, TreeTopology};
 
 fn main() {
-    let order: u32 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("matrix order"))
-        .unwrap_or(256);
+    let order: u32 =
+        std::env::args().nth(1).map(|s| s.parse().expect("matrix order")).unwrap_or(256);
 
     let topo = TreeTopology::cluster(4, 16384, 4, 977, 21);
     println!(

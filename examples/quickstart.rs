@@ -15,9 +15,14 @@ fn main() {
     let order = 120;
     let problem = ProblemSpec::square(order);
 
-    println!("machine: p = {}, C_S = {}, C_D = {} (blocks of {}x{})",
-        machine.cores, machine.shared_capacity, machine.dist_capacity,
-        machine.block_size, machine.block_size);
+    println!(
+        "machine: p = {}, C_S = {}, C_D = {} (blocks of {}x{})",
+        machine.cores,
+        machine.shared_capacity,
+        machine.dist_capacity,
+        machine.block_size,
+        machine.block_size
+    );
     println!("problem: C = A x B, square, order {order} blocks\n");
 
     println!(

@@ -6,42 +6,56 @@
 //! mmc exec     --order 8 --q 32 --tiling tradeoff
 //! mmc lu       --order 64 --panel 8 --tiling shared_opt
 //! mmc profile  --algo shared_opt --order 60
+//! mmc trace    --algo shared_opt --order 60 --out trace.json
 //! mmc list
 //! ```
 //!
 //! Every subcommand prints a compact human-readable report; simulation
-//! counts are exact (the simulator is deterministic).
+//! counts are exact (the simulator is deterministic). `simulate`, `exec`
+//! and `profile` accept `--json` for machine-readable output; `trace`
+//! records a flight-recorder journal and exports Chrome trace-event JSON
+//! loadable at <https://ui.perfetto.dev>.
 
 use multicore_matmul::lu::{bounds as lu_bounds, BlockedLu, SimLuHooks, UpdateTiling};
 use multicore_matmul::prelude::*;
 use multicore_matmul::sim::ProfilingSink;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::process::exit;
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mmc simulate --algo A --order N [--preset P] [--setting ideal|lru|lru2|lru50]\n  \
+        "usage:\n  mmc simulate --algo A --order N [--preset P] [--setting ideal|lru|lru2|lru50] [--json]\n  \
            mmc plan [--preset P] [--order N] [--sigma-s X --sigma-d Y]\n  \
-           mmc exec --order N [--q Q] [--tiling T] [--seed S]\n  \
+           mmc exec --order N [--q Q] [--tiling T] [--seed S] [--json] [--trace-out F]\n  \
            mmc lu --order N [--panel W] [--tiling T] [--q Q]\n  \
-           mmc profile --algo A --order N [--preset P]\n  \
+           mmc profile --algo A --order N [--preset P] [--json]\n  \
+           mmc trace --algo A --order N --out F [--preset P] [--setting S] [--granularity G] [--fma-time T]\n  \
            mmc list\n\
          presets: q32 q32p q64 q64p q80 q80p;\n\
          algorithms: shared_opt distributed_opt tradeoff outer_product shared_equal distributed_equal cache_oblivious;\n\
-         tilings (exec): shared_opt distributed_opt tradeoff equal; (lu): row_stripes shared_opt tradeoff"
+         tilings (exec): shared_opt distributed_opt tradeoff equal; (lu): row_stripes shared_opt tradeoff;\n\
+         granularities (trace): auto events steps"
     );
     exit(2);
 }
 
+/// Flags that take no value (presence means `"true"`).
+const BOOL_FLAGS: &[&str] = &["json"];
+
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut flags = HashMap::new();
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     while let Some(flag) = it.next() {
         let Some(name) = flag.strip_prefix("--") else {
             eprintln!("unexpected argument {flag:?}");
             usage();
         };
+        if BOOL_FLAGS.contains(&name) {
+            flags.insert(name.to_string(), "true".to_string());
+            continue;
+        }
         let Some(value) = it.next() else {
             eprintln!("missing value for --{name}");
             usage();
@@ -92,6 +106,42 @@ fn algo(flags: &HashMap<String, String>) -> Box<dyn Algorithm> {
     }
 }
 
+/// Resolve a `--setting` name to the `(declared machine, sim config)`
+/// pair shared by `simulate` and `trace`.
+fn sim_setting(
+    setting: &str,
+    machine: &MachineConfig,
+    a: &dyn Algorithm,
+) -> (MachineConfig, SimConfig) {
+    match setting {
+        "ideal" if a.id() == "outer_product" || a.id() == "cache_oblivious" => {
+            eprintln!("note: {} manages no residency; running under LRU", a.name());
+            (machine.clone(), SimConfig::lru(machine))
+        }
+        "ideal" => (machine.clone(), SimConfig::ideal(machine)),
+        "lru" => (machine.clone(), SimConfig::lru(machine)),
+        "lru2" => (machine.clone(), SimConfig::lru_scaled(machine, 2)),
+        "lru50" => (machine.halved(), SimConfig::lru(machine)),
+        other => {
+            eprintln!("unknown setting {other:?}");
+            usage();
+        }
+    }
+}
+
+/// Machine-readable `mmc simulate --json` output.
+#[derive(Serialize, Deserialize)]
+struct SimulateReport {
+    algo: String,
+    order: u32,
+    setting: String,
+    ms_lower_bound: f64,
+    md_lower_bound: f64,
+    predicted_ms: Option<f64>,
+    predicted_md: Option<f64>,
+    metrics: MetricsSnapshot,
+}
+
 fn cmd_simulate(flags: HashMap<String, String>) {
     let machine = preset(&flags);
     let order: u32 = num(&flags, "order", 0);
@@ -102,20 +152,7 @@ fn cmd_simulate(flags: HashMap<String, String>) {
     let a = algo(&flags);
     let problem = ProblemSpec::square(order);
     let setting = flags.get("setting").map(String::as_str).unwrap_or("ideal");
-    let (declared, cfg) = match setting {
-        "ideal" if a.id() == "outer_product" || a.id() == "cache_oblivious" => {
-            eprintln!("note: {} manages no residency; running under LRU", a.name());
-            (machine.clone(), SimConfig::lru(&machine))
-        }
-        "ideal" => (machine.clone(), SimConfig::ideal(&machine)),
-        "lru" => (machine.clone(), SimConfig::lru(&machine)),
-        "lru2" => (machine.clone(), SimConfig::lru_scaled(&machine, 2)),
-        "lru50" => (machine.halved(), SimConfig::lru(&machine)),
-        other => {
-            eprintln!("unknown setting {other:?}");
-            usage();
-        }
-    };
+    let (declared, cfg) = sim_setting(setting, &machine, a.as_ref());
     let mut sim = Simulator::new(cfg, order, order, order);
     let t0 = Instant::now();
     if let Err(e) = a.execute(&declared, &problem, &mut sim) {
@@ -124,39 +161,81 @@ fn cmd_simulate(flags: HashMap<String, String>) {
     }
     let dt = t0.elapsed();
     let stats = sim.stats();
-    println!("{} on {} blocks ({setting}):", a.name(), problem);
-    println!("  M_S  = {:>14}   (lower bound {:>14.0})", stats.ms(), bounds::ms_lower_bound(&problem, &declared));
-    println!("  M_D  = {:>14}   (lower bound {:>14.0})", stats.md(), bounds::md_lower_bound(&problem, &declared));
-    println!("  T_data = {:>12.0} (sigma_S = {}, sigma_D = {})", stats.t_data(machine.sigma_s, machine.sigma_d), machine.sigma_s, machine.sigma_d);
-    println!("  CCR_S = {:.5}, CCR_D = {:.5}", stats.ccr_shared(), stats.ccr_dist());
-    if let Some(pred) = a.predict(&declared, &problem) {
-        println!("  paper formula: M_S = {:.0}, M_D = {:.0}", pred.ms, pred.md);
+    let pred = a.predict(&declared, &problem);
+    if flags.contains_key("json") {
+        let model = TimingModel::data_only(machine.sigma_s, machine.sigma_d);
+        let report = SimulateReport {
+            algo: a.id().to_string(),
+            order,
+            setting: setting.to_string(),
+            ms_lower_bound: bounds::ms_lower_bound(&problem, &declared),
+            md_lower_bound: bounds::md_lower_bound(&problem, &declared),
+            predicted_ms: pred.as_ref().map(|p| p.ms),
+            predicted_md: pred.as_ref().map(|p| p.md),
+            metrics: MetricsSnapshot::from_stats(
+                a.id(),
+                sim.config().policy.label(),
+                stats,
+                &model,
+            ),
+        };
+        println!("{}", serde_json::to_string_pretty(&report).expect("serialize report"));
+        return;
     }
-    println!("  ({} block FMAs simulated in {:.2}s)", stats.total_fmas(), dt.as_secs_f64());
+    println!("{} on {} blocks ({setting}):", a.name(), problem);
+    println!("{stats}");
+    println!(
+        "bounds: M_S >= {:.0}, M_D >= {:.0}",
+        bounds::ms_lower_bound(&problem, &declared),
+        bounds::md_lower_bound(&problem, &declared)
+    );
+    println!(
+        "T_data = {:.0} (sigma_S = {}, sigma_D = {})",
+        stats.t_data(machine.sigma_s, machine.sigma_d),
+        machine.sigma_s,
+        machine.sigma_d
+    );
+    if let Some(pred) = pred {
+        println!("paper formula: M_S = {:.0}, M_D = {:.0}", pred.ms, pred.md);
+    }
+    println!("({} block FMAs simulated in {:.2}s)", stats.total_fmas(), dt.as_secs_f64());
 }
 
 fn cmd_plan(flags: HashMap<String, String>) {
     let mut machine = preset(&flags);
     if let (Some(_), _) | (_, Some(_)) = (flags.get("sigma-s"), flags.get("sigma-d")) {
-        machine = machine
-            .with_bandwidths(num(&flags, "sigma-s", 1.0), num(&flags, "sigma-d", 1.0));
+        machine = machine.with_bandwidths(num(&flags, "sigma-s", 1.0), num(&flags, "sigma-d", 1.0));
     }
     let order: u32 = num(&flags, "order", 1000);
     let problem = ProblemSpec::square(order);
     println!(
         "machine: p = {}, C_S = {}, C_D = {}, q = {}, sigma_S = {}, sigma_D = {}",
-        machine.cores, machine.shared_capacity, machine.dist_capacity, machine.block_size,
-        machine.sigma_s, machine.sigma_d
+        machine.cores,
+        machine.shared_capacity,
+        machine.dist_capacity,
+        machine.block_size,
+        machine.sigma_s,
+        machine.sigma_d
     );
     println!("  lambda = {:?}, mu = {:?}", params::lambda(&machine), params::mu(&machine));
-    println!("  tradeoff: {:?} (alpha_num = {:.2})", params::tradeoff_params(&machine), params::alpha_num(&machine));
+    println!(
+        "  tradeoff: {:?} (alpha_num = {:.2})",
+        params::tradeoff_params(&machine),
+        params::alpha_num(&machine)
+    );
     println!("\npredictions for a square order-{order} product:");
     let mut best: Option<(&'static str, f64)> = None;
     for a in all_algorithms() {
         match a.predict(&machine, &problem) {
             Some(p) => {
                 let t = p.t_data(&machine);
-                println!("  {:<20} M_S = {:>14.0}  M_D = {:>14.0}  T_data = {:>14.0}", a.name(), p.ms, p.md, t);
+                println!(
+                    "  {:<20} M_S = {:>14.0}  M_D = {:>14.0}  T_data = {:>14.0}",
+                    a.name(),
+                    p.ms,
+                    p.md,
+                    t
+                );
                 if best.map(|(_, bt)| t < bt).unwrap_or(true) {
                     best = Some((a.name(), t));
                 }
@@ -170,12 +249,27 @@ fn cmd_plan(flags: HashMap<String, String>) {
     }
 }
 
+/// Machine-readable `mmc exec --json` output.
+#[derive(Serialize, Deserialize)]
+struct ExecReport {
+    order: u32,
+    q: usize,
+    tiling: String,
+    tasks: usize,
+    threads: usize,
+    seconds: f64,
+    gflops: f64,
+    naive_seconds: f64,
+    matches: bool,
+}
+
 fn cmd_exec(flags: HashMap<String, String>) {
     let machine = preset(&flags);
     let order: u32 = num(&flags, "order", 8);
     let q: usize = num(&flags, "q", 16);
     let seed: u64 = num(&flags, "seed", 1);
-    let tiling = match flags.get("tiling").map(String::as_str).unwrap_or("tradeoff") {
+    let tiling_name = flags.get("tiling").cloned().unwrap_or_else(|| "tradeoff".into());
+    let tiling = match tiling_name.as_str() {
         "shared_opt" => Tiling::shared_opt(&machine),
         "distributed_opt" => Tiling::distributed_opt(&machine),
         "tradeoff" => Tiling::tradeoff(&machine),
@@ -192,19 +286,50 @@ fn cmd_exec(flags: HashMap<String, String>) {
     let a = BlockMatrix::pseudo_random(order, order, q, seed);
     let b = BlockMatrix::pseudo_random(order, order, q, seed + 1);
     let t0 = Instant::now();
-    let c = gemm_parallel(&a, &b, tiling);
+    let (c, spans) = gemm_parallel_traced(&a, &b, tiling);
     let dt = t0.elapsed().as_secs_f64();
     let flops = 2.0 * (order as f64 * q as f64).powi(3);
-    println!(
-        "C = A x B, {}x{} blocks of {q}x{q} ({} x {} elements), tiling {:?}",
-        order, order, order as usize * q, order as usize * q, tiling
-    );
-    println!("  {dt:.3}s  ->  {:.2} GFLOP/s", flops / dt / 1e9);
+    let threads = spans.iter().map(|s| s.thread).max().map_or(0, |t| t + 1);
+    if let Some(path) = flags.get("trace-out") {
+        if let Err(e) = std::fs::write(path, task_spans_to_chrome(&spans)) {
+            eprintln!("error writing {path}: {e}");
+            exit(1);
+        }
+    }
     let t0 = Instant::now();
     let oracle = gemm_naive(&a, &b);
     let dt_naive = t0.elapsed().as_secs_f64();
-    println!("  naive oracle: {dt_naive:.3}s; results identical: {}", c == oracle);
-    if c != oracle {
+    let matches = c == oracle;
+    if flags.contains_key("json") {
+        let report = ExecReport {
+            order,
+            q,
+            tiling: tiling_name,
+            tasks: spans.len(),
+            threads,
+            seconds: dt,
+            gflops: flops / dt / 1e9,
+            naive_seconds: dt_naive,
+            matches,
+        };
+        println!("{}", serde_json::to_string_pretty(&report).expect("serialize report"));
+    } else {
+        println!(
+            "C = A x B, {}x{} blocks of {q}x{q} ({} x {} elements), tiling {:?}",
+            order,
+            order,
+            order as usize * q,
+            order as usize * q,
+            tiling
+        );
+        println!(
+            "  {dt:.3}s  ->  {:.2} GFLOP/s ({} tile tasks over {threads} threads)",
+            flops / dt / 1e9,
+            spans.len()
+        );
+        println!("  naive oracle: {dt_naive:.3}s; results identical: {matches}");
+    }
+    if !matches {
         exit(1);
     }
 }
@@ -256,6 +381,18 @@ fn cmd_lu(flags: HashMap<String, String>) {
     );
 }
 
+/// Machine-readable `mmc profile --json` output.
+#[derive(Serialize, Deserialize)]
+struct ProfileReport {
+    algo: String,
+    order: u32,
+    capacities: Vec<u64>,
+    misses: Vec<u64>,
+    accesses: u64,
+    distinct: u64,
+    working_set: u64,
+}
+
 fn cmd_profile(flags: HashMap<String, String>) {
     let machine = preset(&flags);
     let order: u32 = num(&flags, "order", 60);
@@ -266,14 +403,31 @@ fn cmd_profile(flags: HashMap<String, String>) {
         eprintln!("error: {e}");
         exit(1);
     }
+    let base = machine.shared_capacity;
+    let capacities = [base / 4, base / 2, base, 2 * base, 4 * base];
+    if flags.contains_key("json") {
+        let report = ProfileReport {
+            algo: a.id().to_string(),
+            order,
+            capacities: capacities.iter().map(|&c| c as u64).collect(),
+            misses: capacities
+                .iter()
+                .map(|&c| sink.shared_profile.misses_for_capacity(c))
+                .collect(),
+            accesses: sink.shared_profile.accesses(),
+            distinct: sink.shared_profile.distinct(),
+            working_set: sink.shared_profile.working_set() as u64,
+        };
+        println!("{}", serde_json::to_string_pretty(&report).expect("serialize report"));
+        return;
+    }
     println!(
         "{} on {problem} blocks — shared-level LRU miss curve (private caches at C_D = {}):",
         a.name(),
         machine.dist_capacity
     );
     println!("  {:>8} {:>14}", "C_S", "misses");
-    let base = machine.shared_capacity;
-    for cs in [base / 4, base / 2, base, 2 * base, 4 * base] {
+    for cs in capacities {
         println!("  {:>8} {:>14}", cs, sink.shared_profile.misses_for_capacity(cs));
     }
     println!(
@@ -281,6 +435,72 @@ fn cmd_profile(flags: HashMap<String, String>) {
         sink.shared_profile.accesses(),
         sink.shared_profile.distinct(),
         sink.shared_profile.working_set()
+    );
+}
+
+/// Journal-size threshold above which `--granularity auto` switches from
+/// per-event spans to per-superstep aggregation.
+const AUTO_GRANULARITY_LIMIT: usize = 200_000;
+
+fn cmd_trace(flags: HashMap<String, String>) {
+    let machine = preset(&flags);
+    let order: u32 = num(&flags, "order", 0);
+    if order == 0 {
+        eprintln!("--order is required");
+        usage();
+    }
+    let Some(out) = flags.get("out") else {
+        eprintln!("--out is required");
+        usage();
+    };
+    let a = algo(&flags);
+    let problem = ProblemSpec::square(order);
+    let setting = flags.get("setting").map(String::as_str).unwrap_or("lru");
+    let (declared, cfg) = sim_setting(setting, &machine, a.as_ref());
+    // Default FMA cost: one distributed-cache fill time per block FMA, so
+    // compute and data spans are comparable in the timeline.
+    let fma_time: f64 = num(&flags, "fma-time", 1.0 / machine.sigma_d);
+    let model = TimingModel { fma_time, sigma_s: machine.sigma_s, sigma_d: machine.sigma_d };
+    let mut rec = FlightRecorder::new(Simulator::new(cfg, order, order, order), model);
+    let t0 = Instant::now();
+    if let Err(e) = a.execute(&declared, &problem, &mut rec) {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+    let dt = t0.elapsed();
+    let granularity = match flags.get("granularity").map(String::as_str).unwrap_or("auto") {
+        "events" => ChromeGranularity::Events,
+        "steps" => ChromeGranularity::Supersteps,
+        "auto" if rec.journal().len() <= AUTO_GRANULARITY_LIMIT => ChromeGranularity::Events,
+        "auto" => ChromeGranularity::Supersteps,
+        other => {
+            eprintln!("unknown granularity {other:?}");
+            usage();
+        }
+    };
+    let text = rec.chrome_trace(granularity);
+    if let Err(e) = std::fs::write(out, &text) {
+        eprintln!("error writing {out}: {e}");
+        exit(1);
+    }
+    let stats = rec.stats();
+    println!("{} on {} blocks ({setting}), flight recorder:", a.name(), problem);
+    println!(
+        "  {} journal events, {} supersteps, logical makespan {:.0}",
+        rec.journal().len(),
+        rec.supersteps(),
+        rec.elapsed()
+    );
+    println!(
+        "  M_S = {}, M_D = {}, {} block FMAs (recorded in {:.2}s)",
+        stats.ms(),
+        stats.md(),
+        stats.total_fmas(),
+        dt.as_secs_f64()
+    );
+    println!(
+        "  wrote {out} ({:.1} KiB, {granularity:?} granularity) — load at https://ui.perfetto.dev",
+        text.len() as f64 / 1024.0
     );
 }
 
@@ -293,6 +513,7 @@ fn main() {
         "exec" => cmd_exec(parse_flags(rest)),
         "lu" => cmd_lu(parse_flags(rest)),
         "profile" => cmd_profile(parse_flags(rest)),
+        "trace" => cmd_trace(parse_flags(rest)),
         "list" => {
             for a in all_algorithms() {
                 println!("{:<20} {}", a.id(), a.name());

@@ -48,10 +48,16 @@ pub mod prelude {
         all_algorithms, AlgoError, Algorithm, AlgorithmKind, CacheOblivious, DistributedEqual,
         DistributedOpt, HierarchicalMaxReuse, OuterProduct, SharedEqual, SharedOpt, Tradeoff,
     };
-    pub use mmc_core::{bounds, formulas, params, CoreGrid, Prediction, ProblemSpec, TradeoffParams};
-    pub use mmc_exec::{gemm_naive, gemm_parallel, run_schedule, BlockMatrix, ExecSink, Tiling};
+    pub use mmc_core::{
+        bounds, formulas, params, CoreGrid, Prediction, ProblemSpec, TradeoffParams,
+    };
+    pub use mmc_exec::{
+        gemm_naive, gemm_parallel, gemm_parallel_traced, run_schedule, task_spans_to_chrome,
+        BlockMatrix, ExecSink, TaskSpan, Tiling,
+    };
     pub use mmc_sim::{
-        Block, BlockSpace, CountingSink, MachineConfig, MatrixId, Policy, SimConfig, SimError,
-        SimSink, SimStats, Simulator, TraceSink,
+        Block, BlockSpace, ChromeGranularity, ChromeTraceBuilder, CountingSink, EventKind,
+        FlightRecorder, MachineConfig, MatrixId, MetricsSnapshot, Policy, SimConfig, SimError,
+        SimSink, SimStats, Simulator, TimingModel, TraceSink,
     };
 }

@@ -2,7 +2,12 @@
 
 use multicore_matmul::prelude::*;
 
-fn run_assoc(algo: &dyn Algorithm, machine: &MachineConfig, d: u32, ways: Option<usize>) -> SimStats {
+fn run_assoc(
+    algo: &dyn Algorithm,
+    machine: &MachineConfig,
+    d: u32,
+    ways: Option<usize>,
+) -> SimStats {
     let cfg = SimConfig { associativity: ways, ..SimConfig::lru(machine) };
     let mut sim = Simulator::new(cfg, d, d, d);
     algo.execute(machine, &ProblemSpec::square(d), &mut sim).unwrap();
@@ -15,7 +20,8 @@ fn ways_equal_capacity_reproduces_fully_associative_counts() {
     // whole pipeline must agree, not just the cache unit tests. Use a
     // machine whose capacities keep one set per cache.
     let machine = MachineConfig::new(4, 64, 8, 32);
-    for kind in [AlgorithmKind::SharedOpt, AlgorithmKind::OuterProduct, AlgorithmKind::SharedEqual] {
+    for kind in [AlgorithmKind::SharedOpt, AlgorithmKind::OuterProduct, AlgorithmKind::SharedEqual]
+    {
         let algo = kind.build();
         let full = run_assoc(algo.as_ref(), &machine, 24, None);
         // ways == capacity → sets = 1 at both levels (64-way shared,
@@ -55,10 +61,7 @@ fn restricted_associativity_costs_conflict_misses_on_tiled_schedules() {
     let full = run_assoc(&SharedOpt, &prime, d, None).ms();
     let direct = run_assoc(&SharedOpt, &prime, d, Some(1)).ms();
     assert_eq!(full, 18_000, "fully associative equals the formula");
-    assert!(
-        direct > 3 * full,
-        "direct-mapped {direct} should conflict heavily vs full {full}"
-    );
+    assert!(direct > 3 * full, "direct-mapped {direct} should conflict heavily vs full {full}");
     // More ways at the same capacity never increase misses *of the C tile
     // working set* enough to beat the ideal model: full-assoc is minimal
     // here (the schedule fits its declared capacity exactly).

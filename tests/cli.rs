@@ -1,12 +1,10 @@
 //! End-to-end tests of the `mmc` command-line interface.
 
+use multicore_matmul::prelude::MetricsSnapshot;
 use std::process::Command;
 
 fn mmc(args: &[&str]) -> (bool, String, String) {
-    let out = Command::new(env!("CARGO_BIN_EXE_mmc"))
-        .args(args)
-        .output()
-        .expect("run mmc binary");
+    let out = Command::new(env!("CARGO_BIN_EXE_mmc")).args(args).output().expect("run mmc binary");
     (
         out.status.success(),
         String::from_utf8_lossy(&out.stdout).into_owned(),
@@ -16,22 +14,21 @@ fn mmc(args: &[&str]) -> (bool, String, String) {
 
 #[test]
 fn simulate_reports_exact_formula_match() {
-    let (ok, stdout, _) = mmc(&[
-        "simulate", "--algo", "shared_opt", "--order", "60", "--setting", "ideal",
-    ]);
+    let (ok, stdout, _) =
+        mmc(&["simulate", "--algo", "shared_opt", "--order", "60", "--setting", "ideal"]);
     assert!(ok);
     // mn + 2mnz/λ = 3600 + 14400 = 18000 at order 60, λ = 30.
-    assert!(stdout.contains("M_S  =          18000"), "{stdout}");
+    assert!(stdout.contains("M_S = 18000"), "{stdout}");
     assert!(stdout.contains("paper formula: M_S = 18000"), "{stdout}");
+    assert!(stdout.contains("hit rate"), "{stdout}");
 }
 
 #[test]
 fn simulate_all_settings_and_algorithms() {
     for algo in ["shared_opt", "distributed_opt", "tradeoff", "outer_product", "cache_oblivious"] {
         for setting in ["ideal", "lru", "lru2", "lru50"] {
-            let (ok, stdout, stderr) = mmc(&[
-                "simulate", "--algo", algo, "--order", "16", "--setting", setting,
-            ]);
+            let (ok, stdout, stderr) =
+                mmc(&["simulate", "--algo", algo, "--order", "16", "--setting", setting]);
             assert!(ok, "{algo}/{setting}: {stderr}");
             assert!(stdout.contains("T_data"), "{algo}/{setting}: {stdout}");
         }
@@ -70,7 +67,11 @@ fn profile_prints_a_monotone_miss_curve() {
         .lines()
         .filter_map(|l| {
             let t: Vec<&str> = l.split_whitespace().collect();
-            if t.len() == 2 { t[1].parse().ok() } else { None }
+            if t.len() == 2 {
+                t[1].parse().ok()
+            } else {
+                None
+            }
         })
         .collect();
     assert!(misses.len() >= 5, "{stdout}");
@@ -87,6 +88,74 @@ fn unknown_inputs_fail_cleanly() {
     let (ok, _, stderr) = mmc(&["simulate", "--algo", "shared_opt"]);
     assert!(!ok);
     assert!(stderr.contains("--order is required"));
+}
+
+#[test]
+fn simulate_json_round_trips_through_serde() {
+    let (ok, stdout, stderr) =
+        mmc(&["simulate", "--algo", "shared_opt", "--order", "60", "--setting", "ideal", "--json"]);
+    assert!(ok, "{stderr}");
+    let doc: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
+    assert_eq!(doc.get("algo").and_then(|v| v.as_str()), Some("shared_opt"));
+    let metrics = doc.get("metrics").expect("metrics object");
+    for key in ["ms", "md", "ccr_shared", "ccr_dist", "t_data", "shared_hit_rate", "dist_hit_rates"]
+    {
+        assert!(metrics.get(key).is_some(), "missing {key} in {stdout}");
+    }
+    assert_eq!(metrics.get("ms").and_then(|v| v.as_u64()), Some(18000));
+    // Typed round trip: JSON -> MetricsSnapshot -> JSON must be lossless.
+    let text = serde_json::to_string(metrics).unwrap();
+    let snap: MetricsSnapshot = serde_json::from_str(&text).expect("typed deserialize");
+    assert_eq!(snap.ms, 18000);
+    let again = serde_json::to_string(&snap).unwrap();
+    let reparsed: serde_json::Value = serde_json::from_str(&again).unwrap();
+    assert_eq!(*metrics, reparsed);
+}
+
+#[test]
+fn trace_writes_perfetto_json_with_per_core_tracks() {
+    let out = std::env::temp_dir().join(format!("mmc_cli_trace_{}.json", std::process::id()));
+    let out_s = out.to_str().unwrap();
+    let (ok, stdout, stderr) =
+        mmc(&["trace", "--algo", "shared_opt", "--order", "60", "--out", out_s]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("journal events"), "{stdout}");
+    let text = std::fs::read_to_string(&out).expect("trace file written");
+    std::fs::remove_file(&out).ok();
+    let doc: serde_json::Value = serde_json::from_str(&text).expect("valid Chrome trace JSON");
+    let events = doc.get("traceEvents").and_then(|v| v.as_array()).expect("traceEvents array");
+    let tracks: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("thread_name"))
+        .filter_map(|e| e.get("args")?.get("name")?.as_str())
+        .collect();
+    for core in 0..4 {
+        let label = format!("core {core}");
+        assert!(tracks.contains(&label.as_str()), "missing {label}: {tracks:?}");
+    }
+    assert!(tracks.contains(&"shared cache"), "{tracks:?}");
+    assert!(
+        events.iter().any(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X")),
+        "no span events in trace"
+    );
+    assert!(
+        events.iter().any(|e| e.get("ph").and_then(|p| p.as_str()) == Some("C")),
+        "no occupancy counters in trace"
+    );
+}
+
+#[test]
+fn exec_and_profile_emit_json() {
+    let (ok, stdout, stderr) =
+        mmc(&["exec", "--order", "4", "--q", "8", "--tiling", "shared_opt", "--json"]);
+    assert!(ok, "{stderr}");
+    let doc: serde_json::Value = serde_json::from_str(&stdout).expect("exec json");
+    assert_eq!(doc.get("matches").and_then(|v| v.as_bool()), Some(true), "{stdout}");
+    let (ok, stdout, stderr) = mmc(&["profile", "--algo", "shared_opt", "--order", "16", "--json"]);
+    assert!(ok, "{stderr}");
+    let doc: serde_json::Value = serde_json::from_str(&stdout).expect("profile json");
+    let misses = doc.get("misses").and_then(|v| v.as_array()).expect("misses array");
+    assert!(misses.len() >= 5, "{stdout}");
 }
 
 #[test]

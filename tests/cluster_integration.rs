@@ -36,9 +36,8 @@ fn hierarchy_aware_tiling_beats_flat_distributed_opt_at_the_node_level() {
     let h = HierarchicalMaxReuse::new(topo.clone());
     let hier = run_tree(&|sim| h.run(&problem, sim).unwrap());
     let flat_machine = MachineConfig::new(topo.cores(), 977 * 4, 21, 32);
-    let flat = run_tree(&|sim| {
-        DistributedOpt::default().execute(&flat_machine, &problem, sim).unwrap()
-    });
+    let flat =
+        run_tree(&|sim| DistributedOpt::default().execute(&flat_machine, &problem, sim).unwrap());
     assert_eq!(hier.total_fmas(), problem.total_fmas());
     assert_eq!(flat.total_fmas(), problem.total_fmas());
     // The point of the extra tiling level: fewer misses out of the

@@ -60,10 +60,7 @@ fn fig6_property_lru_2c_within_twice_formula_tradeoff() {
         let ideal = ideal_stats(&algo, &machine, d);
         let t_lru = lru2.t_data(1.0, 1.0);
         let t_ideal = ideal.t_data(1.0, 1.0);
-        assert!(
-            t_lru <= 2.0 * t_ideal,
-            "order {d}: LRU(2C) T_data {t_lru} > 2×IDEAL {t_ideal}"
-        );
+        assert!(t_lru <= 2.0 * t_ideal, "order {d}: LRU(2C) T_data {t_lru} > 2×IDEAL {t_ideal}");
     }
 }
 
@@ -106,7 +103,12 @@ fn each_specialist_wins_its_own_objective_under_ideal() {
     }
     // Distributed Opt minimizes M_D.
     for (name, other) in [("so", &so), ("tr", &tr), ("se", &se), ("de", &de), ("op", &op)] {
-        assert!(dopt.md() <= other.md(), "Distributed Opt M_D {} vs {name} {}", dopt.md(), other.md());
+        assert!(
+            dopt.md() <= other.md(),
+            "Distributed Opt M_D {} vs {name} {}",
+            dopt.md(),
+            other.md()
+        );
     }
     // Tradeoff minimizes T_data at unit bandwidths.
     let t = |s: &SimStats| s.t_data(1.0, 1.0);

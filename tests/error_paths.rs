@@ -108,15 +108,12 @@ fn lu_errors_are_typed_and_described() {
     let machine = MachineConfig::quad_q32();
     // Zero panel width.
     let mut hooks = multicore_matmul::lu::CountingLuHooks::default();
-    let err = BlockedLu::new(0, UpdateTiling::RowStripes)
-        .run(&machine, 4, &mut hooks)
-        .unwrap_err();
+    let err = BlockedLu::new(0, UpdateTiling::RowStripes).run(&machine, 4, &mut hooks).unwrap_err();
     assert!(matches!(err, LuError::Invalid(_)));
     assert!(err.to_string().contains("panel width"));
     // Singular pivot on execution.
     let mut m = BlockMatrix::zeros(2, 2, 3);
-    let err =
-        multicore_matmul::lu::lu_factor(&mut m, &machine, &BlockedLu::default()).unwrap_err();
+    let err = multicore_matmul::lu::lu_factor(&mut m, &machine, &BlockedLu::default()).unwrap_err();
     assert_eq!(err, LuError::SingularPivot { k: 0 });
     assert!(err.to_string().contains("pivot"));
 }

@@ -13,21 +13,10 @@ fn assert_exact(algo: &dyn Algorithm, machine: &MachineConfig, m: u32, n: u32, z
     algo.execute(machine, &problem, &mut sim)
         .unwrap_or_else(|e| panic!("{} on {m}x{n}x{z}: {e}", algo.name()));
     let stats = sim.stats();
-    let pred = algo
-        .predict(machine, &problem)
-        .unwrap_or_else(|| panic!("{} should predict", algo.name()));
-    assert_eq!(
-        stats.ms() as f64,
-        pred.ms,
-        "{} M_S mismatch on {m}x{n}x{z}",
-        algo.name()
-    );
-    assert_eq!(
-        stats.md() as f64,
-        pred.md,
-        "{} M_D mismatch on {m}x{n}x{z}",
-        algo.name()
-    );
+    let pred =
+        algo.predict(machine, &problem).unwrap_or_else(|| panic!("{} should predict", algo.name()));
+    assert_eq!(stats.ms() as f64, pred.ms, "{} M_S mismatch on {m}x{n}x{z}", algo.name());
+    assert_eq!(stats.md() as f64, pred.md, "{} M_D mismatch on {m}x{n}x{z}", algo.name());
     assert_eq!(stats.total_fmas(), problem.total_fmas());
     // Schedules fully clean up after themselves: both cache levels empty.
     assert_eq!(sim.shared_len(), 0, "{} left shared residue", algo.name());

@@ -63,11 +63,7 @@ fn fig12_smoke() {
         let dopt = find("Distributed Opt. IDEAL");
         for &(r, y) in &tr.points {
             let best = so.y_at(r).unwrap().min(dopt.y_at(r).unwrap());
-            assert!(
-                y <= 1.12 * best,
-                "{} r={r}: Tradeoff {y} vs best specialist {best}",
-                p.id
-            );
+            assert!(y <= 1.12 * best, "{} r={r}: Tradeoff {y} vs best specialist {best}", p.id);
         }
     }
 }

@@ -18,24 +18,90 @@ struct Golden {
 const GOLDEN_Q32: &[Golden] = &[
     // IDEAL counts are the paper's formulas at order 120 (divisible by
     // λ = 30 and by the √p·µ = 8 tile).
-    Golden { algo: AlgorithmKind::SharedOpt, setting: "ideal", order: 120, ms: 129_600, md: 979_200 },
-    Golden { algo: AlgorithmKind::DistributedOpt, setting: "ideal", order: 120, ms: 446_400, md: 219_600 },
-    Golden { algo: AlgorithmKind::Tradeoff, setting: "ideal", order: 120, ms: 244_800, md: 237_600 },
-    Golden { algo: AlgorithmKind::SharedEqual, setting: "ideal", order: 120, ms: 216_000, md: 978_120 },
-    Golden { algo: AlgorithmKind::DistributedEqual, setting: "ideal", order: 120, ms: 1_742_400, md: 435_600 },
+    Golden {
+        algo: AlgorithmKind::SharedOpt,
+        setting: "ideal",
+        order: 120,
+        ms: 129_600,
+        md: 979_200,
+    },
+    Golden {
+        algo: AlgorithmKind::DistributedOpt,
+        setting: "ideal",
+        order: 120,
+        ms: 446_400,
+        md: 219_600,
+    },
+    Golden {
+        algo: AlgorithmKind::Tradeoff,
+        setting: "ideal",
+        order: 120,
+        ms: 244_800,
+        md: 237_600,
+    },
+    Golden {
+        algo: AlgorithmKind::SharedEqual,
+        setting: "ideal",
+        order: 120,
+        ms: 216_000,
+        md: 978_120,
+    },
+    Golden {
+        algo: AlgorithmKind::DistributedEqual,
+        setting: "ideal",
+        order: 120,
+        ms: 1_742_400,
+        md: 435_600,
+    },
     // LRU behaviours (the Figs. 4–6 regimes). Note the LRU private cache
     // (21 blocks instead of the managed 3) *reduces* Shared Opt's M_D by
     // keeping recent B/C elements around, and cooperative shared-cache
     // reuse gives Distributed Equal a lower M_S than its eagerly-evicting
     // IDEAL schedule.
     Golden { algo: AlgorithmKind::SharedOpt, setting: "lru", order: 120, ms: 129_600, md: 533_760 },
-    Golden { algo: AlgorithmKind::SharedOpt, setting: "lru50", order: 120, ms: 187_200, md: 600_480 },
-    Golden { algo: AlgorithmKind::DistributedOpt, setting: "lru", order: 120, ms: 446_400, md: 648_000 },
-    Golden { algo: AlgorithmKind::DistributedOpt, setting: "lru2", order: 120, ms: 460_800, md: 223_200 },
+    Golden {
+        algo: AlgorithmKind::SharedOpt,
+        setting: "lru50",
+        order: 120,
+        ms: 187_200,
+        md: 600_480,
+    },
+    Golden {
+        algo: AlgorithmKind::DistributedOpt,
+        setting: "lru",
+        order: 120,
+        ms: 446_400,
+        md: 648_000,
+    },
+    Golden {
+        algo: AlgorithmKind::DistributedOpt,
+        setting: "lru2",
+        order: 120,
+        ms: 460_800,
+        md: 223_200,
+    },
     Golden { algo: AlgorithmKind::Tradeoff, setting: "lru", order: 120, ms: 296_544, md: 648_000 },
-    Golden { algo: AlgorithmKind::SharedEqual, setting: "lru", order: 120, ms: 283_608, md: 978_120 },
-    Golden { algo: AlgorithmKind::DistributedEqual, setting: "lru", order: 120, ms: 907_200, md: 435_600 },
-    Golden { algo: AlgorithmKind::OuterProduct, setting: "lru", order: 120, ms: 1_771_200, md: 871_200 },
+    Golden {
+        algo: AlgorithmKind::SharedEqual,
+        setting: "lru",
+        order: 120,
+        ms: 283_608,
+        md: 978_120,
+    },
+    Golden {
+        algo: AlgorithmKind::DistributedEqual,
+        setting: "lru",
+        order: 120,
+        ms: 907_200,
+        md: 435_600,
+    },
+    Golden {
+        algo: AlgorithmKind::OuterProduct,
+        setting: "lru",
+        order: 120,
+        ms: 1_771_200,
+        md: 871_200,
+    },
 ];
 
 #[test]
@@ -98,12 +164,6 @@ fn golden_counts_are_self_consistent() {
     let ideal: Vec<&Golden> = GOLDEN_Q32.iter().filter(|g| g.setting == "ideal").collect();
     let min_ms = ideal.iter().map(|g| g.ms).min().unwrap();
     let min_md = ideal.iter().map(|g| g.md).min().unwrap();
-    assert_eq!(
-        ideal.iter().find(|g| g.ms == min_ms).unwrap().algo,
-        AlgorithmKind::SharedOpt
-    );
-    assert_eq!(
-        ideal.iter().find(|g| g.md == min_md).unwrap().algo,
-        AlgorithmKind::DistributedOpt
-    );
+    assert_eq!(ideal.iter().find(|g| g.ms == min_ms).unwrap().algo, AlgorithmKind::SharedOpt);
+    assert_eq!(ideal.iter().find(|g| g.md == min_md).unwrap().algo, AlgorithmKind::DistributedOpt);
 }

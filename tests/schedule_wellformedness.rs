@@ -23,9 +23,7 @@ fn every_managed_schedule_emits_a_wellformed_ideal_trace() {
                     machine.shared_capacity,
                     machine.dist_capacity,
                 )
-                .unwrap_or_else(|v| {
-                    panic!("{label}/{} on {m}x{n}x{z}: {v}", algo.name())
-                });
+                .unwrap_or_else(|v| panic!("{label}/{} on {m}x{n}x{z}: {v}", algo.name()));
             }
         }
     }
@@ -37,9 +35,7 @@ fn validator_catches_a_sabotaged_trace() {
     // flag the residue.
     let machine = MachineConfig::quad_q32();
     let mut trace = TraceSink::with_residency();
-    SharedOpt
-        .execute(&machine, &ProblemSpec::square(4), &mut trace)
-        .unwrap();
+    SharedOpt.execute(&machine, &ProblemSpec::square(4), &mut trace).unwrap();
     let last_evict = trace
         .events
         .iter()

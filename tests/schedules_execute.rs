@@ -5,10 +5,7 @@
 use multicore_matmul::prelude::*;
 
 fn operands(m: u32, n: u32, z: u32, q: usize, seed: u64) -> (BlockMatrix, BlockMatrix) {
-    (
-        BlockMatrix::pseudo_random(m, z, q, seed),
-        BlockMatrix::pseudo_random(z, n, q, seed + 1),
-    )
+    (BlockMatrix::pseudo_random(m, z, q, seed), BlockMatrix::pseudo_random(z, n, q, seed + 1))
 }
 
 #[test]
@@ -29,13 +26,7 @@ fn all_schedules_match_oracle_across_machines_and_shapes() {
                 let c = run_schedule(algo.as_ref(), machine, &a, &b).unwrap_or_else(|e| {
                     panic!("{} on p={} {m}x{n}x{z}: {e}", algo.name(), machine.cores)
                 });
-                assert_eq!(
-                    c,
-                    oracle,
-                    "{} differs on p={} {m}x{n}x{z}",
-                    algo.name(),
-                    machine.cores
-                );
+                assert_eq!(c, oracle, "{} differs on p={} {m}x{n}x{z}", algo.name(), machine.cores);
             }
         }
     }

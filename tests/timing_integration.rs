@@ -3,7 +3,12 @@
 use multicore_matmul::prelude::*;
 use multicore_matmul::sim::{BspTiming, TimingModel};
 
-fn makespan(algo: &dyn Algorithm, machine: &MachineConfig, d: u32, model: TimingModel) -> (f64, u64, SimStats) {
+fn makespan(
+    algo: &dyn Algorithm,
+    machine: &MachineConfig,
+    d: u32,
+    model: TimingModel,
+) -> (f64, u64, SimStats) {
     let sim = Simulator::new(SimConfig::lru(machine), d, d, d);
     let mut bsp = BspTiming::new(sim, model);
     algo.execute(machine, &ProblemSpec::square(d), &mut bsp).unwrap();
@@ -21,11 +26,7 @@ fn data_only_makespan_dominates_t_data_for_every_algorithm() {
     for algo in all_algorithms() {
         let (mk, steps, stats) = makespan(algo.as_ref(), &machine, 48, model);
         let t_data = stats.t_data(1.0, 1.0);
-        assert!(
-            mk >= t_data - 1e-6,
-            "{}: makespan {mk} < T_data {t_data}",
-            algo.name()
-        );
+        assert!(mk >= t_data - 1e-6, "{}: makespan {mk} < T_data {t_data}", algo.name());
         assert!(steps >= 1, "{}", algo.name());
     }
 }

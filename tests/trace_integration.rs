@@ -1,0 +1,103 @@
+//! Golden tests for the flight recorder: the event journal, the Perfetto
+//! export, and the JSON metrics snapshot must all reconcile *exactly* with
+//! the simulator's own counters, under both LRU and IDEAL replacement.
+
+use multicore_matmul::prelude::*;
+
+/// Run `algo` at the given order through a [`FlightRecorder`] and return it.
+fn record(algo: &dyn Algorithm, order: u32, ideal: bool) -> FlightRecorder {
+    let machine = MachineConfig::quad_q32();
+    let problem = ProblemSpec::square(order);
+    let cfg = if ideal { SimConfig::ideal(&machine) } else { SimConfig::lru(&machine) };
+    let sim = Simulator::new(cfg, order, order, order);
+    let model = TimingModel::data_only(machine.sigma_s, machine.sigma_d);
+    let mut rec = FlightRecorder::new(sim, model);
+    algo.execute(&machine, &problem, &mut rec).expect("algorithm runs");
+    rec
+}
+
+#[test]
+fn journal_event_counts_equal_simstats_counters_under_both_policies() {
+    for ideal in [false, true] {
+        let rec = record(&SharedOpt, 12, ideal);
+        let stats = rec.stats().clone();
+        let policy = if ideal { "ideal" } else { "lru" };
+
+        // Per-core FMA events must pin the simulator's per-core FMA counters.
+        for (core, &fmas) in stats.fmas.iter().enumerate() {
+            assert_eq!(
+                rec.count_for_core(EventKind::Fma, core),
+                fmas,
+                "{policy}: core {core} fma events"
+            );
+        }
+        // Every shared/distributed miss becomes exactly one load event.
+        assert_eq!(
+            rec.count(EventKind::SharedLoad),
+            stats.shared_misses,
+            "{policy}: shared load events"
+        );
+        for (core, &misses) in stats.dist_misses.iter().enumerate() {
+            assert_eq!(
+                rec.count_for_core(EventKind::DistLoad, core),
+                misses,
+                "{policy}: core {core} dist load events"
+            );
+        }
+        // Every writeback becomes exactly one evict event.
+        assert_eq!(
+            rec.count(EventKind::SharedEvict),
+            stats.shared_writebacks,
+            "{policy}: shared evict events"
+        );
+        assert_eq!(
+            rec.count(EventKind::DistEvict),
+            stats.dist_writebacks.iter().sum::<u64>(),
+            "{policy}: dist evict events"
+        );
+        assert_eq!(rec.count(EventKind::Barrier), stats.barriers, "{policy}: barriers");
+        assert!(rec.elapsed() > 0.0, "{policy}: logical time advanced");
+    }
+}
+
+#[test]
+fn perfetto_event_export_reconciles_with_simstats() {
+    let rec = record(&SharedOpt, 8, false);
+    let stats = rec.stats().clone();
+    let text = rec.chrome_trace(ChromeGranularity::Events);
+    let doc: serde_json::Value = serde_json::from_str(&text).expect("valid Chrome trace JSON");
+    let events = doc.get("traceEvents").and_then(|v| v.as_array()).expect("traceEvents array");
+
+    // Count exported spans by their name prefix and reconcile with counters.
+    let count_named = |prefix: &str| -> u64 {
+        events
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(|p| p.as_str()) != Some("M")
+                    && e.get("name").and_then(|n| n.as_str()).is_some_and(|n| n.starts_with(prefix))
+            })
+            .count() as u64
+    };
+    assert_eq!(count_named("fma"), stats.total_fmas(), "fma spans == total FMAs");
+    assert_eq!(count_named("load_shared"), stats.shared_misses);
+    assert_eq!(count_named("load_dist"), stats.dist_misses.iter().sum::<u64>());
+    assert_eq!(count_named("barrier"), stats.barriers);
+}
+
+#[test]
+fn snapshot_serde_round_trip_is_lossless_for_every_algorithm() {
+    for algo in all_algorithms() {
+        let rec = record(algo.as_ref(), 8, false);
+        let snap = rec.snapshot(algo.id());
+        let text = serde_json::to_string(&snap).expect("serialize");
+        let back: MetricsSnapshot = serde_json::from_str(&text).expect("deserialize");
+        assert_eq!(snap, back, "{} snapshot round trip", algo.id());
+        assert_eq!(back.ms, rec.stats().ms(), "{} ms", algo.id());
+        assert!(back.t_data.is_finite(), "{} t_data finite", algo.id());
+        assert!(
+            back.dist_hit_rates.iter().all(|r| (0.0..=1.0).contains(r)),
+            "{} hit rates in range",
+            algo.id()
+        );
+    }
+}

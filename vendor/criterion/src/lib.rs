@@ -1,0 +1,176 @@
+//! Minimal vendored benchmarking facade (offline build stub).
+//!
+//! Mirrors the narrow slice of the `criterion` API the workspace benches
+//! use: `Criterion::benchmark_group`, `sample_size`, `throughput`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Throughput`,
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!` macros.
+//! Each benchmark runs a small fixed number of timed iterations and prints
+//! the best wall-clock time — enough to smoke-test the benches offline,
+//! not a statistics engine.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Number of timed iterations per benchmark (beyond one warmup).
+const ITERS: u32 = 3;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), throughput: None }
+    }
+}
+
+/// Units processed per iteration, for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark (`function/parameter`).
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { full: format!("{}/{}", function.into(), parameter) }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; the stub ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Record the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run a benchmark under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl ToString, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.to_string());
+        run_bench(&label, self.throughput, |b| f(b));
+        self
+    }
+
+    /// Run a benchmark that receives an input value by reference.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.full);
+        run_bench(&label, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    best: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping the best of a few runs.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warmup, then ITERS timed runs.
+        black_box(routine());
+        for _ in 0..ITERS {
+            let start = Instant::now();
+            black_box(routine());
+            let took = start.elapsed();
+            if self.best.is_none_or(|b| took < b) {
+                self.best = Some(took);
+            }
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut bencher = Bencher { best: None };
+    f(&mut bencher);
+    match bencher.best {
+        Some(best) => {
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) if best.as_secs_f64() > 0.0 => {
+                    format!("  ({:.3e} elem/s)", n as f64 / best.as_secs_f64())
+                }
+                Some(Throughput::Bytes(n)) if best.as_secs_f64() > 0.0 => {
+                    format!("  ({:.3e} B/s)", n as f64 / best.as_secs_f64())
+                }
+                _ => String::new(),
+            };
+            println!("bench {label:<48} best {best:?}{rate}");
+        }
+        None => println!("bench {label:<48} (no iterations)"),
+    }
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("stub");
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(4));
+        g.bench_function("sum", |b| b.iter(|| (0u64..4).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &k| b.iter(|| k * 7));
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_all_targets() {
+        benches();
+    }
+}

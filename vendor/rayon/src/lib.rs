@@ -1,0 +1,441 @@
+//! Minimal vendored rayon-compatible data-parallelism shim.
+//!
+//! The build environment for this workspace is offline, so the real
+//! `rayon` cannot be fetched. This stub covers the surface the workspace
+//! uses — `par_iter()` on slices, `into_par_iter()` on integer ranges,
+//! `for_each` / `map` / `find_any`, `ThreadPoolBuilder::install`, and
+//! `current_thread_index` — implemented with `std::thread::scope` workers
+//! pulling indices from an atomic counter (work stealing at the crudest
+//! possible granularity, which is plenty for block-sized tasks).
+//!
+//! Parallel iterators here are *indexed*: every source exposes random
+//! access, workers claim indices from a shared counter, and adapter
+//! chains (`map`) stay random-access. Panics in workers propagate to the
+//! caller via `std::thread::scope`'s join semantics.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// Index of the current worker within its pool, if any.
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The index of the current worker thread inside a parallel call, or
+/// `None` outside of one (mirrors `rayon::current_thread_index`).
+pub fn current_thread_index() -> Option<usize> {
+    WORKER_INDEX.with(|w| w.get())
+}
+
+/// Number of threads parallel calls use right now: the installed pool's
+/// size if inside [`ThreadPool::install`], else available parallelism.
+pub fn current_num_threads() -> usize {
+    POOL_THREADS
+        .with(|p| p.get())
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// Builder for a [`ThreadPool`] (configuration shim).
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Error type of [`ThreadPoolBuilder::build`]; building never fails here.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings.
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Cap the pool at `n` threads (0 means the default).
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = self
+            .num_threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A lightweight pool handle: parallel calls under [`ThreadPool::install`]
+/// use this pool's thread count. No threads are parked in the stub — they
+/// are scoped per parallel call.
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool as the current one.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|p| p.replace(Some(self.threads)));
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|p| p.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        op()
+    }
+
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Random-access parallel iterator: the single trait behind every source
+/// and adapter in this stub (rayon splits this across several traits; the
+/// prelude glob makes the difference invisible to callers).
+pub trait ParallelIterator: Sized + Sync {
+    /// Item produced for each index.
+    type Item: Send;
+
+    /// Number of items.
+    fn pi_len(&self) -> usize;
+
+    /// Produce the item at `index` (`index < pi_len()`).
+    fn pi_get(&self, index: usize) -> Self::Item;
+
+    /// Consume every item, in parallel.
+    fn for_each<F>(self, op: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        drive(&self, &|item| op(item), &AtomicBool::new(false));
+    }
+
+    /// Lazily map each item.
+    fn map<R, F>(self, op: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Send + Sync,
+    {
+        Map { base: self, op }
+    }
+
+    /// Find *some* item matching `predicate` (not necessarily the first).
+    fn find_any<P>(self, predicate: P) -> Option<Self::Item>
+    where
+        P: Fn(&Self::Item) -> bool + Send + Sync,
+    {
+        let found: Mutex<Option<Self::Item>> = Mutex::new(None);
+        let stop = AtomicBool::new(false);
+        drive(
+            &self,
+            &|item| {
+                if predicate(&item) {
+                    *found.lock().unwrap() = Some(item);
+                    stop.store(true, Ordering::Relaxed);
+                }
+            },
+            &stop,
+        );
+        found.into_inner().unwrap()
+    }
+
+    /// Collect all items into a `Vec`, preserving index order.
+    fn collect_vec(self) -> Vec<Self::Item> {
+        let n = self.pi_len();
+        let slots: Vec<Mutex<Option<Self::Item>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        {
+            let slots = &slots;
+            let indexed = IndexedSource { base: &self };
+            drive(
+                &indexed,
+                &|(i, item)| {
+                    *slots[i].lock().unwrap() = Some(item);
+                },
+                &AtomicBool::new(false),
+            );
+        }
+        slots.into_iter().map(|m| m.into_inner().unwrap().unwrap()).collect()
+    }
+}
+
+struct IndexedSource<'a, I> {
+    base: &'a I,
+}
+
+impl<I: ParallelIterator> ParallelIterator for IndexedSource<'_, I> {
+    type Item = (usize, I::Item);
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+    fn pi_get(&self, index: usize) -> Self::Item {
+        (index, self.base.pi_get(index))
+    }
+}
+
+/// Run `op` over all indices of `it` using scoped worker threads.
+fn drive<I, F>(it: &I, op: &F, stop: &AtomicBool)
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) + Sync,
+{
+    let len = it.pi_len();
+    if len == 0 {
+        return;
+    }
+    let workers = current_num_threads().min(len);
+    if workers <= 1 {
+        // Inline on the calling thread, still presenting a worker index.
+        let prev = WORKER_INDEX.with(|w| w.replace(Some(0)));
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                WORKER_INDEX.with(|w| w.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        for i in 0..len {
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+            op(it.pi_get(i));
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let next = &next;
+            scope.spawn(move || {
+                WORKER_INDEX.with(|wi| wi.set(Some(w)));
+                loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= len {
+                        break;
+                    }
+                    op(it.pi_get(i));
+                }
+            });
+        }
+    });
+}
+
+/// Lazy mapping adapter (see [`ParallelIterator::map`]).
+pub struct Map<I, F> {
+    base: I,
+    op: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Send + Sync,
+{
+    type Item = R;
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+    fn pi_get(&self, index: usize) -> R {
+        (self.op)(self.base.pi_get(index))
+    }
+}
+
+/// Borrowing parallel iterator over a slice (`par_iter()`).
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+    fn pi_get(&self, index: usize) -> &'a T {
+        &self.slice[index]
+    }
+}
+
+/// `par_iter()` entry point (rayon's `IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowing parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrowed item type.
+    type Item: Send;
+    /// Borrow `self` as a parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// `into_par_iter()` entry point (rayon's `IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// The produced parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type.
+    type Item: Send;
+    /// Convert `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Parallel iterator over an integer range.
+pub struct RangeIter<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! impl_range {
+    ($($t:ty),*) => {$(
+        impl ParallelIterator for RangeIter<$t> {
+            type Item = $t;
+            fn pi_len(&self) -> usize {
+                self.len
+            }
+            fn pi_get(&self, index: usize) -> $t {
+                self.start + index as $t
+            }
+        }
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Iter = RangeIter<$t>;
+            type Item = $t;
+            fn into_par_iter(self) -> RangeIter<$t> {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                RangeIter { start: self.start, len }
+            }
+        }
+    )*};
+}
+impl_range!(u32, u64, usize, i32, i64);
+
+impl<T: Send + Clone + Sync> IntoParallelIterator for Vec<T> {
+    type Iter = VecIter<T>;
+    type Item = T;
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { items: self }
+    }
+}
+
+/// Owning parallel iterator over a `Vec` (items are cloned out per index;
+/// the stub requires `Clone`, which every workspace use satisfies).
+pub struct VecIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send + Clone + Sync> ParallelIterator for VecIter<T> {
+    type Item = T;
+    fn pi_len(&self) -> usize {
+        self.items.len()
+    }
+    fn pi_get(&self, index: usize) -> T {
+        self.items[index].clone()
+    }
+}
+
+/// Everything callers normally import (`use rayon::prelude::*`).
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Run two closures, nominally in parallel (sequential in the stub).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn slice_par_iter_for_each_visits_everything() {
+        let data: Vec<u64> = (0..1000).collect();
+        let sum = AtomicUsize::new(0);
+        data.par_iter().for_each(|&x| {
+            sum.fetch_add(x as usize, Ordering::Relaxed);
+        });
+        assert_eq!(sum.into_inner(), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn range_map_find_any() {
+        let hit = (0u32..10_000)
+            .into_par_iter()
+            .map(|i| if i == 4321 { Err(i) } else { Ok(i) })
+            .find_any(|r| r.is_err());
+        assert_eq!(hit, Some(Err(4321)));
+        let miss = (0u32..100).into_par_iter().map(Ok::<u32, u32>).find_any(|r| r.is_err());
+        assert_eq!(miss, None);
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 1);
+            // Inline path still reports a worker index during iteration.
+            (0usize..4).into_par_iter().for_each(|_| {
+                assert_eq!(current_thread_index(), Some(0));
+            });
+        });
+        assert!(current_thread_index().is_none());
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            (0u32..64).into_par_iter().for_each(|i| {
+                if i == 13 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn collect_vec_preserves_order() {
+        let v = (0u32..100).into_par_iter().map(|i| i * 2).collect_vec();
+        assert_eq!(v, (0u32..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+}

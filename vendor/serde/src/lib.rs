@@ -1,0 +1,386 @@
+//! Minimal vendored serde-compatible serialization facade.
+//!
+//! The build environment for this workspace is fully offline, so the real
+//! `serde` crate cannot be fetched from crates.io. This stub provides the
+//! small slice of serde's surface the workspace actually uses — derive
+//! macros for structs and enums, plus JSON-friendly primitive and
+//! container impls — over a simple [`Value`] tree data model instead of
+//! serde's streaming visitor architecture.
+//!
+//! `serde_json` (also vendored) prints and parses this [`Value`] tree.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree: the data model every type serializes into.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Negative (or any signed) integer.
+    Int(i64),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object, as ordered key/value pairs (insertion order preserved).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on objects; `None` for other variants or absent keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(u) => Some(u),
+            Value::Int(i) if i >= 0 => Some(i as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64` if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            Value::UInt(u) if u <= i64::MAX as u64 => Some(u as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` if it is any kind of number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Float(f) => Some(f),
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str` if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool` if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice if it is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as object entries if it is an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Whether this is an object.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    /// Whether this is an array.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    /// Whether this is any kind of number.
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Int(_) | Value::UInt(_) | Value::Float(_))
+    }
+}
+
+/// Serialization / deserialization failure.
+#[derive(Clone, Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// An error carrying `msg`.
+    pub fn custom(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible into the [`Value`] data model.
+pub trait Serialize {
+    /// Convert `self` into a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a [`Value`] tree.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Derive-macro helper: fetch a required object field.
+#[doc(hidden)]
+pub fn __get_field<'v>(value: &'v Value, name: &str) -> Result<&'v Value, Error> {
+    match value {
+        Value::Object(_) => {
+            value.get(name).ok_or_else(|| Error::custom(format!("missing field `{name}`")))
+        }
+        other => {
+            Err(Error::custom(format!("expected object with field `{name}`, found {other:?}")))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let u = value
+                    .as_u64()
+                    .ok_or_else(|| Error::custom(format!(
+                        concat!("expected ", stringify!($t), ", found {:?}"), value)))?;
+                <$t>::try_from(u).map_err(|_| Error::custom(format!(
+                    concat!("value {} out of range for ", stringify!($t)), u)))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let i = value
+                    .as_i64()
+                    .ok_or_else(|| Error::custom(format!(
+                        concat!("expected ", stringify!($t), ", found {:?}"), value)))?;
+                <$t>::try_from(i).map_err(|_| Error::custom(format!(
+                    concat!("value {} out of range for ", stringify!($t)), i)))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_f64().ok_or_else(|| Error::custom(format!("expected f64, found {value:?}")))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(f64::from_value(value)? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_bool().ok_or_else(|| Error::custom(format!("expected bool, found {value:?}")))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::custom(format!("expected string, found {value:?}")))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::custom(format!("expected array, found {value:?}")))?
+            .iter()
+            .map(Deserialize::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident : $i:tt),+) with $len:expr;)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$i.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let arr = value
+                    .as_array()
+                    .ok_or_else(|| Error::custom(format!("expected array, found {value:?}")))?;
+                if arr.len() != $len {
+                    return Err(Error::custom(format!(
+                        "expected array of length {}, found {}", $len, arr.len())));
+                }
+                Ok(($($t::from_value(&arr[$i])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A0: 0) with 1;
+    (A0: 0, A1: 1) with 2;
+    (A0: 0, A1: 1, A2: 2) with 3;
+    (A0: 0, A1: 1, A2: 2, A3: 3) with 4;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-3i64).to_value()).unwrap(), -3);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(String::from_value(&"hi".to_string().to_value()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1.0f64, 2.0f64), (3.0, 4.0)];
+        let back: Vec<(f64, f64)> = Vec::from_value(&v.to_value()).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn get_field_errors_are_descriptive() {
+        let v = Value::Object(vec![("a".into(), Value::UInt(1))]);
+        assert!(__get_field(&v, "a").is_ok());
+        assert!(__get_field(&v, "b").unwrap_err().to_string().contains("missing field"));
+    }
+}

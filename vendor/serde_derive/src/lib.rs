@@ -1,0 +1,359 @@
+//! Derive macros for the vendored serde stub.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote` — the build environment is
+//! offline). Supports the shapes this workspace actually derives:
+//!
+//! * structs with named fields;
+//! * tuple structs (newtype → transparent, otherwise an array);
+//! * enums with unit and newtype variants (externally tagged, like serde),
+//!   honoring `#[serde(rename_all = "snake_case")]` on the container.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::str::FromStr;
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    Enum { name: String, variants: Vec<(String, bool)>, snake_case: bool },
+}
+
+/// Derive `serde::Serialize` (value-tree flavor).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let code = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut entries = String::new();
+            for f in fields {
+                entries.push_str(&format!(
+                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let mut entries = String::new();
+            for i in 0..*arity {
+                entries.push_str(&format!("::serde::Serialize::to_value(&self.{i}),"));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants, snake_case } => {
+            let mut arms = String::new();
+            for (v, has_payload) in variants {
+                let tag = wire_name(v, *snake_case);
+                if *has_payload {
+                    arms.push_str(&format!(
+                        "{name}::{v}(__inner) => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from(\"{tag}\"), \
+                              ::serde::Serialize::to_value(__inner))]),"
+                    ));
+                } else {
+                    arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{tag}\")),"
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    TokenStream::from_str(&code).expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize` (value-tree flavor).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let code = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(::serde::__get_field(value, \"{f}\")?)?,"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let mut inits = String::new();
+            for i in 0..*arity {
+                inits.push_str(&format!("::serde::Deserialize::from_value(&__arr[{i}])?,"));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let __arr = value.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected array for tuple struct {name}\"))?;\n\
+                         if __arr.len() != {arity} {{\n\
+                             return ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"wrong tuple-struct arity for {name}\"));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name}({inits}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants, snake_case } => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for (v, has_payload) in variants {
+                let tag = wire_name(v, *snake_case);
+                if *has_payload {
+                    payload_arms.push_str(&format!(
+                        "\"{tag}\" => ::std::result::Result::Ok(\
+                             {name}::{v}(::serde::Deserialize::from_value(__inner)?)),"
+                    ));
+                } else {
+                    unit_arms
+                        .push_str(&format!("\"{tag}\" => ::std::result::Result::Ok({name}::{v}),"));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match value {{\n\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                     ::std::format!(\"unknown {name} variant {{__other:?}}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                                 let (__tag, __inner) = &__fields[0];\n\
+                                 match __tag.as_str() {{\n\
+                                     {payload_arms}\n\
+                                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                         ::std::format!(\"unknown {name} variant {{__other:?}}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::format!(\"invalid {name} value {{__other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    TokenStream::from_str(&code).expect("serde_derive: generated Deserialize impl must parse")
+}
+
+/// CamelCase → snake_case, matching serde's `rename_all = "snake_case"`.
+fn snake(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+fn wire_name(variant: &str, snake_case: bool) -> String {
+    if snake_case {
+        snake(variant)
+    } else {
+        variant.to_string()
+    }
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut snake_case = false;
+
+    // Container attributes and visibility come before the keyword.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    let text = g.stream().to_string();
+                    if text.contains("serde")
+                        && text.contains("rename_all")
+                        && text.contains("snake_case")
+                    {
+                        snake_case = true;
+                    }
+                }
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                break;
+            }
+            Some(_) => i += 1,
+            None => panic!("serde_derive: no struct or enum found"),
+        }
+    }
+
+    let is_enum = matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "enum");
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+
+    // Generics are not supported (nothing in the workspace derives them).
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic types are not supported ({name})");
+        }
+    }
+
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                break Some(g.clone())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && !is_enum => {
+                let arity = split_top_level(g.stream().into_iter().collect()).len();
+                return Shape::TupleStruct { name, arity };
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => break None,
+            Some(_) => i += 1,
+            None => break None,
+        }
+    };
+    let Some(body) = body else {
+        panic!("serde_derive stub: unit structs are not supported ({name})")
+    };
+
+    if is_enum {
+        let mut variants = Vec::new();
+        for entry in split_top_level(body.stream().into_iter().collect()) {
+            let mut j = 0;
+            // Skip attributes / doc comments.
+            while let Some(TokenTree::Punct(p)) = entry.get(j) {
+                if p.as_char() == '#' {
+                    j += 2;
+                } else {
+                    break;
+                }
+            }
+            let Some(TokenTree::Ident(vn)) = entry.get(j) else {
+                continue; // trailing comma artifact
+            };
+            let vname = vn.to_string();
+            let has_payload = matches!(
+                entry.get(j + 1),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            );
+            if matches!(
+                entry.get(j + 1),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace
+            ) {
+                panic!("serde_derive stub: struct variants are not supported ({name}::{vname})");
+            }
+            variants.push((vname, has_payload));
+        }
+        Shape::Enum { name, variants, snake_case }
+    } else {
+        let mut fields = Vec::new();
+        for entry in split_top_level(body.stream().into_iter().collect()) {
+            let mut j = 0;
+            loop {
+                match entry.get(j) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '#' => j += 2,
+                    Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                        j += 1;
+                        if let Some(TokenTree::Group(g)) = entry.get(j) {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                j += 1;
+                            }
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            if let Some(TokenTree::Ident(fname)) = entry.get(j) {
+                fields.push(fname.to_string());
+            }
+        }
+        Shape::NamedStruct { name, fields }
+    }
+}
+
+/// Split a token list on commas at angle-bracket depth zero (so commas
+/// inside `Vec<(f64, f64)>`-style generic arguments don't split fields;
+/// parenthesized tuples are single groups and hide their commas anyway).
+fn split_top_level(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if !cur.is_empty() {
+                        out.push(std::mem::take(&mut cur));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
