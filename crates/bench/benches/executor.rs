@@ -21,6 +21,26 @@ fn bench_kernel(c: &mut Criterion) {
                 out.block(0, 0)[0]
             })
         });
+        // One series per dispatchable variant, so the SIMD-over-scalar
+        // ratio is visible in the criterion report on any host.
+        for v in mmc_exec::kernel::variants_available() {
+            g.bench_with_input(
+                BenchmarkId::new(format!("fma_{}", v.name()), q),
+                &q,
+                |bench, &q| {
+                    bench.iter(|| {
+                        mmc_exec::kernel::block_fma_with(
+                            v,
+                            out.block_mut(0, 0),
+                            a.block(0, 0),
+                            b.block(0, 0),
+                            q,
+                        );
+                        out.block(0, 0)[0]
+                    })
+                },
+            );
+        }
     }
     g.finish();
 }

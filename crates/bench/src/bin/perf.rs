@@ -4,7 +4,9 @@
 //! cargo run -p mmc-bench --release --bin perf -- [--out DIR] [--order N] [--q Q]
 //! ```
 //!
-//! Writes `BENCH_exec.json` (parallel/blocked GEMM wall-clock) and
+//! Writes `BENCH_exec.json` (parallel/blocked GEMM wall-clock, plus a
+//! per-micro-kernel-variant comparison at q=64 so the dispatched SIMD
+//! path's speedup over the scalar fallback is recorded) and
 //! `BENCH_sim.json` (simulator event throughput per algorithm) into the
 //! output directory (default `.`).
 
@@ -12,7 +14,9 @@ use mmc_bench::perf::{best_seconds, write_records, PerfRecord};
 use mmc_bench::Setting;
 use mmc_core::algorithms::all_algorithms;
 use mmc_core::ProblemSpec;
-use mmc_exec::{gemm_blocked, gemm_parallel, BlockMatrix, Tiling};
+use mmc_exec::{
+    gemm_blocked, gemm_parallel, gemm_parallel_with_kernel, kernel, BlockMatrix, Tiling,
+};
 use mmc_sim::MachineConfig;
 use std::path::PathBuf;
 use std::process::exit;
@@ -31,6 +35,7 @@ fn main() {
         exit(2);
     }
     let machine = MachineConfig::quad_q32();
+    let dispatched = kernel::variant().name();
 
     // Executor suite: parallel vs cached single-thread blocked GEMM.
     let a = BlockMatrix::pseudo_random(order, order, q, 1);
@@ -53,6 +58,7 @@ fn main() {
             seconds: secs,
             work: flops,
             rate_unit: "flop".into(),
+            kernel: dispatched.into(),
         });
         let secs = best_seconds(3, || {
             std::hint::black_box(gemm_blocked(&a, &b, tiling));
@@ -64,7 +70,34 @@ fn main() {
             seconds: secs,
             work: flops,
             rate_unit: "flop".into(),
+            kernel: dispatched.into(),
         });
+    }
+
+    // Kernel comparison: the same parallel GEMM at q=64 under every
+    // micro-kernel variant this host supports. The dispatched SIMD
+    // record vs the scalar record *is* the packing + register-blocking
+    // speedup claim, kept machine-readable.
+    let kq = 64;
+    let korder = 6u32;
+    let ka = BlockMatrix::pseudo_random(korder, korder, kq, 3);
+    let kb = BlockMatrix::pseudo_random(korder, korder, kq, 4);
+    let kflops = 2.0 * (korder as f64 * kq as f64).powi(3);
+    if let Some(tiling) = Tiling::tradeoff(&machine) {
+        for v in kernel::variants_available() {
+            let secs = best_seconds(3, || {
+                std::hint::black_box(gemm_parallel_with_kernel(&ka, &kb, tiling, v));
+            });
+            exec_records.push(PerfRecord {
+                suite: "exec".into(),
+                name: format!("gemm_q64/{}", v.name()),
+                order: korder,
+                seconds: secs,
+                work: kflops,
+                rate_unit: "flop".into(),
+                kernel: v.name().into(),
+            });
+        }
     }
     let path = write_records(&out, "exec", &exec_records).expect("write BENCH_exec.json");
     println!("wrote {} ({} records)", path.display(), exec_records.len());
@@ -86,6 +119,7 @@ fn main() {
             seconds: secs,
             work: fmas as f64,
             rate_unit: "block_fmas".into(),
+            kernel: "-".into(),
         });
     }
     let path = write_records(&out, "sim", &sim_records).expect("write BENCH_sim.json");

@@ -26,9 +26,20 @@ pub struct PerfRecord {
     pub work: f64,
     /// Unit of `work` (`"flop"`, `"events"`, ...).
     pub rate_unit: String,
+    /// Micro-kernel variant the measurement ran on (`"scalar"`,
+    /// `"avx2_fma"`, `"neon"`), or `"-"` for records where no kernel is
+    /// involved (simulator suites), so the perf trajectory attributes
+    /// speedups to the kernel in use.
+    #[serde(default = "PerfRecord::no_kernel")]
+    pub kernel: String,
 }
 
 impl PerfRecord {
+    /// Placeholder kernel name for suites that don't run one.
+    fn no_kernel() -> String {
+        "-".to_string()
+    }
+
     /// Work per second (`work / seconds`); 0 if the timing is degenerate.
     pub fn rate(&self) -> f64 {
         if self.seconds > 0.0 {
@@ -85,6 +96,7 @@ mod tests {
             seconds: 0.25,
             work: 1.0e9,
             rate_unit: "flop".into(),
+            kernel: "avx2_fma".into(),
         }];
         let path = write_records(&dir, "exec", &records).unwrap();
         assert!(path.file_name().unwrap().to_str().unwrap() == "BENCH_exec.json");
@@ -93,6 +105,16 @@ mod tests {
         assert_eq!(back.records, records);
         assert!((back.records[0].rate() - 4.0e9).abs() < 1.0);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn kernel_field_defaults_for_pre_kernel_records() {
+        // BENCH_*.json written before the kernel subsystem lacks the
+        // field; deserialization fills the placeholder.
+        let old = r#"{"suite":"sim","name":"lru/shared_opt","order":20,
+                      "seconds":0.1,"work":8000.0,"rate_unit":"block_fmas"}"#;
+        let rec: PerfRecord = serde_json::from_str(old).unwrap();
+        assert_eq!(rec.kernel, "-");
     }
 
     #[test]

@@ -1,0 +1,29 @@
+//! Quick standalone kernel throughput probe: times `block_fma_with` for
+//! every micro-kernel variant this host can dispatch, at a few block
+//! sides, without the criterion harness.
+//!
+//! ```bash
+//! cargo run --release -p mmc-exec --example kbench
+//! ```
+
+fn main() {
+    use mmc_exec::kernel::{block_fma_with, variant, variants_available};
+    use mmc_exec::BlockMatrix;
+    println!("dispatched: {}", variant());
+    for q in [32usize, 64, 96] {
+        let a = BlockMatrix::pseudo_random(1, 1, q, 1);
+        let b = BlockMatrix::pseudo_random(1, 1, q, 2);
+        let flops = 2.0 * (q as f64).powi(3);
+        for v in variants_available() {
+            let mut c = vec![0.0; q * q];
+            let reps = (2e8 / flops) as usize;
+            let t0 = std::time::Instant::now();
+            for _ in 0..reps {
+                block_fma_with(v, &mut c, a.block(0, 0), b.block(0, 0), q);
+            }
+            let s = t0.elapsed().as_secs_f64();
+            println!("q={q} {v}: {:.2} GFLOP/s", flops * reps as f64 / s / 1e9);
+            std::hint::black_box(&c);
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! The `q×q` block micro-kernel subsystem.
+//!
+//! Every algorithm in the paper bottoms out in "BLAS routines" on `q×q`
+//! blocks (§2.1). This module tree is that routine, grown from a single
+//! auto-vectorized scalar loop into a small BLIS-style stack:
+//!
+//! * [`scalar`] — the portable fallback: the original `i/k/j` triple loop
+//!   whose inner loop the compiler auto-vectorizes;
+//! * [`x86`] (x86_64 only) — register-blocked AVX2+FMA kernels holding an
+//!   [`MR`]`×`[`NR`] tile of `C` in YMM accumulators;
+//! * [`neon`] (aarch64 only) — the same register tiling on 128-bit NEON;
+//! * [`pack`] — thread-local scratch arenas that copy `A` row-panels and
+//!   `B` column-panels into contiguous micro-panel layout (the Maximum
+//!   Reuse residency pattern — a `µ×µ` tile of `C`, a row of `A`, a
+//!   column of `B` — materialized in memory order);
+//! * [`packed`] — the driver that runs the register kernels over packed
+//!   micro-panels for the parallel executor's tiles.
+//!
+//! # Dispatch
+//!
+//! The active [`KernelVariant`] is selected once per process (cached in a
+//! `OnceLock`): AVX2+FMA when `is_x86_feature_detected!` says so, NEON on
+//! aarch64, otherwise the scalar loop. Set `MMC_KERNEL=scalar` (or
+//! `avx2` / `neon` / `auto`) before the first kernel call to override.
+//!
+//! # Determinism
+//!
+//! Within one variant, every executor path performs, for each `C`
+//! element, one multiply-accumulate per `k` step in ascending `k` order —
+//! the SIMD variants use fused multiply-add everywhere (vector lanes and
+//! scalar edges alike), the scalar variant uses an unfused multiply+add
+//! everywhere. Results are therefore **bit-identical across executors**
+//! (`gemm_naive`, `run_schedule`, `gemm_parallel` packed or not) for any
+//! fixed variant, which the test suite checks with `==`. Switching
+//! variants changes rounding (fused vs unfused), so cross-variant
+//! comparisons use a tolerance.
+
+use std::sync::OnceLock;
+
+pub mod pack;
+pub mod packed;
+pub mod scalar;
+
+#[cfg(target_arch = "aarch64")]
+pub mod neon;
+#[cfg(target_arch = "x86_64")]
+pub mod x86;
+
+/// Rows of `C` held in registers by the SIMD micro-kernels.
+pub const MR: usize = 8;
+/// Columns of `C` held in registers by the SIMD micro-kernels.
+pub const NR: usize = 4;
+
+/// One implementation of the `q×q` block kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KernelVariant {
+    /// Portable scalar triple loop (auto-vectorized by the compiler).
+    Scalar,
+    /// 8×4 register-tiled AVX2 kernel using fused multiply-add (x86_64).
+    Avx2Fma,
+    /// 8×4 register-tiled NEON kernel using fused multiply-add (aarch64).
+    Neon,
+}
+
+impl KernelVariant {
+    /// Stable lowercase name, as reported by `mmc exec --json` and the
+    /// `BENCH_exec.json` records.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelVariant::Scalar => "scalar",
+            KernelVariant::Avx2Fma => "avx2_fma",
+            KernelVariant::Neon => "neon",
+        }
+    }
+
+    /// Whether this variant drives the packed-panel path (everything but
+    /// the scalar fallback does).
+    pub fn is_simd(self) -> bool {
+        !matches!(self, KernelVariant::Scalar)
+    }
+
+    /// Whether the current CPU can actually run this variant.
+    pub fn is_available(self) -> bool {
+        match self {
+            KernelVariant::Scalar => true,
+            KernelVariant::Avx2Fma => {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    std::arch::is_x86_feature_detected!("avx2")
+                        && std::arch::is_x86_feature_detected!("fma")
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                false
+            }
+            KernelVariant::Neon => cfg!(target_arch = "aarch64"),
+        }
+    }
+}
+
+impl std::fmt::Display for KernelVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Every variant the current CPU supports (the scalar fallback first).
+pub fn variants_available() -> Vec<KernelVariant> {
+    [KernelVariant::Scalar, KernelVariant::Avx2Fma, KernelVariant::Neon]
+        .into_iter()
+        .filter(|v| v.is_available())
+        .collect()
+}
+
+/// The dispatched kernel variant, selected once per process and cached.
+///
+/// Honors `MMC_KERNEL` (`scalar`, `avx2`, `neon`, `auto`) if it is set
+/// before the first kernel call; a requested variant the CPU lacks falls
+/// back to auto-detection.
+pub fn variant() -> KernelVariant {
+    static VARIANT: OnceLock<KernelVariant> = OnceLock::new();
+    *VARIANT.get_or_init(|| select(std::env::var("MMC_KERNEL").ok().as_deref()))
+}
+
+/// Resolve an `MMC_KERNEL`-style request against the CPU's abilities.
+fn select(request: Option<&str>) -> KernelVariant {
+    let requested = match request {
+        Some("scalar") => Some(KernelVariant::Scalar),
+        Some("avx2") | Some("avx2_fma") => Some(KernelVariant::Avx2Fma),
+        Some("neon") => Some(KernelVariant::Neon),
+        Some("auto") | None => None,
+        Some(other) => {
+            eprintln!("mmc-exec: unknown MMC_KERNEL value {other:?}; auto-detecting");
+            None
+        }
+    };
+    match requested {
+        Some(v) if v.is_available() => v,
+        Some(v) => {
+            eprintln!("mmc-exec: MMC_KERNEL={} unavailable on this CPU; auto-detecting", v.name());
+            best_available()
+        }
+        None => best_available(),
+    }
+}
+
+/// The fastest variant the CPU supports.
+fn best_available() -> KernelVariant {
+    if KernelVariant::Avx2Fma.is_available() {
+        KernelVariant::Avx2Fma
+    } else if KernelVariant::Neon.is_available() {
+        KernelVariant::Neon
+    } else {
+        KernelVariant::Scalar
+    }
+}
+
+/// `c += a × b` for row-major `q×q` blocks, via the dispatched kernel.
+///
+/// Deterministic: for a fixed [`variant`], the accumulation order per `C`
+/// element is ascending `k` with one multiply-accumulate per step, so
+/// every executor that calls this kernel with the same operand order
+/// produces bit-identical results — which the test-suite exploits to
+/// compare schedules exactly.
+///
+/// # Panics
+/// Panics (via `debug_assert!` in debug builds and slice indexing
+/// otherwise) if any slice is shorter than `q²`.
+#[inline]
+pub fn block_fma(c: &mut [f64], a: &[f64], b: &[f64], q: usize) {
+    block_fma_with(variant(), c, a, b, q)
+}
+
+/// [`block_fma`] through an explicitly chosen variant (for tests and
+/// benches). A variant the CPU lacks falls back to the scalar loop.
+#[inline]
+pub fn block_fma_with(v: KernelVariant, c: &mut [f64], a: &[f64], b: &[f64], q: usize) {
+    debug_assert!(c.len() >= q * q && a.len() >= q * q && b.len() >= q * q);
+    match v {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `is_available` verified AVX2+FMA; slice lengths checked
+        // by the debug_assert above and by indexing inside the kernel.
+        KernelVariant::Avx2Fma if v.is_available() => unsafe { x86::block_fma_avx2(c, a, b, q) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is baseline on aarch64.
+        KernelVariant::Neon if v.is_available() => unsafe { neon::block_fma_neon(c, a, b, q) },
+        _ => scalar::block_fma_scalar(c, a, b, q),
+    }
+}
+
+/// Reference scalar implementation (j-inner with explicit indexing), used
+/// to validate every dispatched variant.
+pub fn block_fma_reference(c: &mut [f64], a: &[f64], b: &[f64], q: usize) {
+    for i in 0..q {
+        for j in 0..q {
+            let mut acc = 0.0;
+            for k in 0..q {
+                acc += a[i * q + k] * b[k * q + j];
+            }
+            c[i * q + j] += acc;
+        }
+    }
+}
+
+/// Fused-FMA remainder kernel on unpacked row-major `q×q` operands:
+/// updates the `mi×nj` sub-tile of `C` at `(i0, j0)`, ascending `k` per
+/// element, one `f64::mul_add` per step — bit-identical to the SIMD
+/// lanes, so partial register tiles round exactly like full ones.
+pub(crate) fn edge_fused(
+    c: &mut [f64],
+    a: &[f64],
+    b: &[f64],
+    q: usize,
+    (i0, mi, j0, nj): (usize, usize, usize, usize),
+) {
+    for i in i0..i0 + mi {
+        for j in j0..j0 + nj {
+            let mut acc = c[i * q + j];
+            for k in 0..q {
+                acc = a[i * q + k].mul_add(b[k * q + j], acc);
+            }
+            c[i * q + j] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(q: usize, f: impl Fn(usize, usize) -> f64) -> Vec<f64> {
+        let mut v = vec![0.0; q * q];
+        for i in 0..q {
+            for j in 0..q {
+                v[i * q + j] = f(i, j);
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn identity_times_anything() {
+        let q = 8;
+        let id = pattern(q, |i, j| if i == j { 1.0 } else { 0.0 });
+        let b = pattern(q, |i, j| (i * q + j) as f64);
+        let mut c = vec![0.0; q * q];
+        block_fma(&mut c, &id, &b, q);
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn accumulates_into_c() {
+        let q = 4;
+        let a = pattern(q, |_, _| 1.0);
+        let b = pattern(q, |_, _| 2.0);
+        let mut c = pattern(q, |_, _| 5.0);
+        block_fma(&mut c, &a, &b, q);
+        // Each element gains sum_k 1·2 = 2q.
+        assert!(c.iter().all(|&x| (x - (5.0 + 2.0 * q as f64)).abs() < 1e-12));
+    }
+
+    #[test]
+    fn every_variant_matches_reference_on_irregular_data() {
+        for v in variants_available() {
+            for q in [1usize, 2, 3, 5, 8, 16, 32] {
+                let a = pattern(q, |i, j| ((i * 7 + j * 13) % 11) as f64 - 5.0);
+                let b = pattern(q, |i, j| ((i * 3 + j * 5) % 7) as f64 * 0.25);
+                let mut c1 = pattern(q, |i, j| (i + j) as f64);
+                let mut c2 = c1.clone();
+                block_fma_with(v, &mut c1, &a, &b, q);
+                block_fma_reference(&mut c2, &a, &b, q);
+                for (x, y) in c1.iter().zip(&c2) {
+                    assert!((x - y).abs() < 1e-9, "{v} q={q}: {x} vs {y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn q1_is_scalar_fma() {
+        let mut c = [10.0];
+        block_fma(&mut c, &[3.0], &[4.0], 1);
+        assert_eq!(c[0], 22.0);
+    }
+
+    /// CI smoke: the dispatched kernel agrees with the scalar fallback on
+    /// a `q=64` block (tolerance — fused vs unfused rounding differs).
+    #[test]
+    fn dispatched_matches_scalar_fallback() {
+        let q = 64;
+        let a = crate::BlockMatrix::pseudo_random(1, 1, q, 101);
+        let b = crate::BlockMatrix::pseudo_random(1, 1, q, 202);
+        let mut cd = vec![0.5; q * q];
+        let mut cs = cd.clone();
+        block_fma_with(variant(), &mut cd, a.block(0, 0), b.block(0, 0), q);
+        block_fma_with(KernelVariant::Scalar, &mut cs, a.block(0, 0), b.block(0, 0), q);
+        for (x, y) in cd.iter().zip(&cs) {
+            assert!((x - y).abs() < 1e-10, "dispatched {} vs scalar: {x} vs {y}", variant());
+        }
+    }
+
+    #[test]
+    fn selection_honors_requests_and_falls_back() {
+        assert_eq!(select(Some("scalar")), KernelVariant::Scalar);
+        let auto = select(None);
+        assert!(auto.is_available());
+        assert_eq!(select(Some("definitely-not-a-kernel")), auto);
+        // A SIMD request resolves to something the CPU can run.
+        assert!(select(Some("avx2")).is_available());
+        assert!(select(Some("neon")).is_available());
+        // The cached dispatch returns an available variant and is stable.
+        assert_eq!(variant(), variant());
+        assert!(variant().is_available());
+    }
+
+    #[test]
+    fn variant_names_are_stable() {
+        assert_eq!(KernelVariant::Scalar.name(), "scalar");
+        assert_eq!(KernelVariant::Avx2Fma.name(), "avx2_fma");
+        assert_eq!(KernelVariant::Neon.name(), "neon");
+        assert!(!KernelVariant::Scalar.is_simd());
+        assert!(KernelVariant::Avx2Fma.is_simd() && KernelVariant::Neon.is_simd());
+        assert_eq!(variants_available().first(), Some(&KernelVariant::Scalar));
+    }
+}

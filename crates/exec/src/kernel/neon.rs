@@ -1,0 +1,117 @@
+//! NEON register-blocked micro-kernels (aarch64).
+//!
+//! Same register tiling as the AVX2 kernels — an [`MR`]`×`[`NR`] tile of
+//! `C` in accumulators — but on 128-bit vectors: each `C` row is a pair
+//! of `float64x2_t` registers (16 accumulators of the 32 available), and
+//! each `k` step issues two `B` loads, eight `A` broadcasts, and sixteen
+//! fused multiply-adds.
+//!
+//! Rounding contract matches [`super::x86`]: one fused multiply-add per
+//! element per `k` step, ascending `k`, so full tiles, edges, and every
+//! executor path through the NEON variant agree bitwise.
+
+use super::{edge_fused, MR, NR};
+use core::arch::aarch64::*;
+
+/// `C(MR×NR) += Apanel × Bpanel` on packed micro-panels.
+///
+/// Layout contract is identical to
+/// [`micro_8x4_packed`](super::x86::micro_8x4_packed) on x86: `ap` holds
+/// `kc` groups of [`MR`] `A` values, `bp` holds `kc` groups of [`NR`]
+/// `B` values, `c` is an `MR×NR` tile with row stride `ldc`.
+///
+/// # Safety
+/// `ap` must have at least `kc·MR` elements, `bp` at least `kc·NR`, and
+/// the `MR` rows of `NR` elements at `c` (stride `ldc`) must be in
+/// bounds and unaliased.
+#[target_feature(enable = "neon")]
+pub unsafe fn micro_8x4_packed(kc: usize, ap: *const f64, bp: *const f64, c: *mut f64, ldc: usize) {
+    let mut lo = [vdupq_n_f64(0.0); MR];
+    let mut hi = [vdupq_n_f64(0.0); MR];
+    for r in 0..MR {
+        lo[r] = vld1q_f64(c.add(r * ldc));
+        hi[r] = vld1q_f64(c.add(r * ldc + 2));
+    }
+    for k in 0..kc {
+        let b_lo = vld1q_f64(bp.add(k * NR));
+        let b_hi = vld1q_f64(bp.add(k * NR + 2));
+        let ak = ap.add(k * MR);
+        for r in 0..MR {
+            let av = vdupq_n_f64(*ak.add(r));
+            lo[r] = vfmaq_f64(lo[r], av, b_lo);
+            hi[r] = vfmaq_f64(hi[r], av, b_hi);
+        }
+    }
+    for r in 0..MR {
+        vst1q_f64(c.add(r * ldc), lo[r]);
+        vst1q_f64(c.add(r * ldc + 2), hi[r]);
+    }
+}
+
+/// `c += a × b` on unpacked row-major `q×q` blocks, register-blocked.
+///
+/// # Safety
+/// Each slice must hold at least `q²` elements.
+#[target_feature(enable = "neon")]
+pub unsafe fn block_fma_neon(c: &mut [f64], a: &[f64], b: &[f64], q: usize) {
+    debug_assert!(c.len() >= q * q && a.len() >= q * q && b.len() >= q * q);
+    let cp = c.as_mut_ptr();
+    let apn = a.as_ptr();
+    let bpn = b.as_ptr();
+    let mut ir = 0;
+    while ir + MR <= q {
+        let mut jr = 0;
+        while jr + NR <= q {
+            let ctile = cp.add(ir * q + jr);
+            let mut lo = [vdupq_n_f64(0.0); MR];
+            let mut hi = [vdupq_n_f64(0.0); MR];
+            for r in 0..MR {
+                lo[r] = vld1q_f64(ctile.add(r * q));
+                hi[r] = vld1q_f64(ctile.add(r * q + 2));
+            }
+            for k in 0..q {
+                let b_lo = vld1q_f64(bpn.add(k * q + jr));
+                let b_hi = vld1q_f64(bpn.add(k * q + jr + 2));
+                for r in 0..MR {
+                    let av = vdupq_n_f64(*apn.add((ir + r) * q + k));
+                    lo[r] = vfmaq_f64(lo[r], av, b_lo);
+                    hi[r] = vfmaq_f64(hi[r], av, b_hi);
+                }
+            }
+            for r in 0..MR {
+                vst1q_f64(ctile.add(r * q), lo[r]);
+                vst1q_f64(ctile.add(r * q + 2), hi[r]);
+            }
+            jr += NR;
+        }
+        if jr < q {
+            edge_fused(c, a, b, q, (ir, MR, jr, q - jr));
+        }
+        ir += MR;
+    }
+    if ir < q {
+        edge_fused(c, a, b, q, (ir, q - ir, 0, q));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::block_fma_reference;
+
+    #[test]
+    fn neon_block_kernel_matches_reference() {
+        for q in [1usize, 4, 7, 8, 9, 12, 31, 32, 64] {
+            let a: Vec<f64> = (0..q * q).map(|x| ((x * 37) % 23) as f64 - 11.0).collect();
+            let b: Vec<f64> = (0..q * q).map(|x| ((x * 5) % 17) as f64 * 0.125).collect();
+            let mut c1: Vec<f64> = (0..q * q).map(|x| x as f64 * 0.01).collect();
+            let mut c2 = c1.clone();
+            // SAFETY: NEON is baseline on aarch64; slices are q².
+            unsafe { block_fma_neon(&mut c1, &a, &b, q) };
+            block_fma_reference(&mut c2, &a, &b, q);
+            for (i, (x, y)) in c1.iter().zip(&c2).enumerate() {
+                assert!((x - y).abs() < 1e-9, "q={q} elem {i}: {x} vs {y}");
+            }
+        }
+    }
+}

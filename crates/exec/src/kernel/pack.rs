@@ -1,0 +1,166 @@
+//! Panel packing: contiguous micro-panel operands for the register kernels.
+//!
+//! The parallel executor's tasks stream `A` row-panels and `B`
+//! column-panels out of block-major [`BlockMatrix`] storage. Before the
+//! `k` loop, each task copies the panels it is about to reuse into a
+//! thread-local scratch arena, laid out exactly in the order the
+//! [`MR`]`×`[`NR`] micro-kernels consume them:
+//!
+//! * `A` panels: per local block row, `⌈q/MR⌉` micro-panels of `MR`
+//!   values per `k` step (`[ip][k][r]`, rows past `q` zero-padded);
+//! * `B` panels: per local block column, `⌈q/NR⌉` micro-panels of `NR`
+//!   values per `k` step (`[jp][k][c]`, columns past `q` zero-padded).
+//!
+//! This materializes the Maximum Reuse residency pattern — a register
+//! tile of `C`, a sliver of `A`, a sliver of `B` — in actual memory
+//! order: the micro-kernel's entire `k` loop reads two forward-moving
+//! contiguous streams. Padding is multiplied by zero only in lanes that
+//! are never written back, so it cannot perturb results.
+
+use super::{MR, NR};
+use crate::matrix::BlockMatrix;
+use std::cell::RefCell;
+
+/// Thread-local packing scratch, reused across a task's `k` panels and
+/// across tasks run by the same worker thread.
+pub struct PackArena {
+    /// Packed `A` row-panel buffer.
+    pub a: Vec<f64>,
+    /// Packed `B` column-panel buffer.
+    pub b: Vec<f64>,
+}
+
+thread_local! {
+    static ARENA: RefCell<PackArena> =
+        const { RefCell::new(PackArena { a: Vec::new(), b: Vec::new() }) };
+}
+
+/// Run `f` with the current thread's packing arena.
+pub fn with_arena<R>(f: impl FnOnce(&mut PackArena) -> R) -> R {
+    ARENA.with(|cell| f(&mut cell.borrow_mut()))
+}
+
+/// Packed size of one block row's `A` micro-panels for a depth-`kc` panel.
+pub fn a_panel_stride(q: usize, kc: usize) -> usize {
+    q.div_ceil(MR) * kc * MR
+}
+
+/// Packed size of one block column's `B` micro-panels for a depth-`kc` panel.
+pub fn b_panel_stride(q: usize, kc: usize) -> usize {
+    q.div_ceil(NR) * kc * NR
+}
+
+/// Pack the `A` row-panel `A[i0..i0+th, k0..k0+kb]` into `dst`.
+///
+/// Layout: block row `bi`, then micro-panel `ip`, then `k` ascending over
+/// the whole `kb·q`-deep panel, then `MR` row values (zero-padded past
+/// `q`). `dst` is resized to `th · `[`a_panel_stride`]` elements.
+pub fn pack_a_panel(dst: &mut Vec<f64>, a: &BlockMatrix, i0: u32, th: u32, k0: u32, kb: u32) {
+    let q = a.q();
+    let kc = kb as usize * q;
+    let n_ip = q.div_ceil(MR);
+    dst.clear();
+    dst.resize(th as usize * a_panel_stride(q, kc), 0.0);
+    let mut off = 0;
+    for bi in 0..th {
+        for ip in 0..n_ip {
+            for kblk in 0..kb {
+                let blk = a.block(i0 + bi, k0 + kblk);
+                for kk in 0..q {
+                    for r in 0..MR {
+                        let row = ip * MR + r;
+                        if row < q {
+                            dst[off] = blk[row * q + kk];
+                        }
+                        off += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Pack the `B` column-panel `B[k0..k0+kb, j0..j0+tw]` into `dst`.
+///
+/// Layout: block column `bj`, then micro-panel `jp`, then `k` ascending
+/// over the whole `kb·q`-deep panel, then `NR` column values
+/// (zero-padded past `q`). `dst` is resized to `tw · `[`b_panel_stride`]`
+/// elements.
+pub fn pack_b_panel(dst: &mut Vec<f64>, b: &BlockMatrix, j0: u32, tw: u32, k0: u32, kb: u32) {
+    let q = b.q();
+    let kc = kb as usize * q;
+    let n_jp = q.div_ceil(NR);
+    dst.clear();
+    dst.resize(tw as usize * b_panel_stride(q, kc), 0.0);
+    let mut off = 0;
+    for bj in 0..tw {
+        for jp in 0..n_jp {
+            for kblk in 0..kb {
+                let blk = b.block(k0 + kblk, j0 + bj);
+                for kk in 0..q {
+                    let row = &blk[kk * q..(kk + 1) * q];
+                    for c in 0..NR {
+                        let col = jp * NR + c;
+                        if col < q {
+                            dst[off] = row[col];
+                        }
+                        off += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_panel_layout_round_trips() {
+        // 1 block row, 2 k blocks, q = 5 (ragged: n_ip = 1, rows 5..8 padded).
+        let q = 5;
+        let a = BlockMatrix::from_fn(1, 2, q, |i, j| (i * 100 + j) as f64);
+        let mut dst = Vec::new();
+        pack_a_panel(&mut dst, &a, 0, 1, 0, 2);
+        let kc = 2 * q;
+        assert_eq!(dst.len(), a_panel_stride(q, kc));
+        // Element (row r, global k) lives at [k][r]; global k spans both blocks.
+        for k in 0..kc {
+            for r in 0..MR {
+                let want = if r < q { (r * 100 + k) as f64 } else { 0.0 };
+                assert_eq!(dst[k * MR + r], want, "k={k} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn b_panel_layout_round_trips() {
+        // 2 k blocks, 1 block col, q = 6 (n_jp = 2, cols 4..8 of panel 1 ragged).
+        let q = 6;
+        let b = BlockMatrix::from_fn(2, 1, q, |i, j| (i * 10 + j) as f64);
+        let mut dst = Vec::new();
+        pack_b_panel(&mut dst, &b, 0, 1, 0, 2);
+        let kc = 2 * q;
+        assert_eq!(dst.len(), b_panel_stride(q, kc));
+        for jp in 0..q.div_ceil(NR) {
+            for k in 0..kc {
+                for c in 0..NR {
+                    let col = jp * NR + c;
+                    let want = if col < q { (k * 10 + col) as f64 } else { 0.0 };
+                    assert_eq!(dst[jp * kc * NR + k * NR + c], want, "jp={jp} k={k} c={c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arena_is_reused() {
+        let cap = with_arena(|ar| {
+            ar.a.resize(1024, 0.0);
+            ar.a.capacity()
+        });
+        let cap2 = with_arena(|ar| ar.a.capacity());
+        assert_eq!(cap, cap2, "same thread sees the same arena");
+    }
+}

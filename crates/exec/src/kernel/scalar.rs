@@ -1,0 +1,50 @@
+//! Portable scalar fallback kernel.
+//!
+//! The original micro-kernel of this crate: a plain `i/k/j` triple loop
+//! whose inner loop is a contiguous multiply-accumulate over a `C` row
+//! and a `B` row that the compiler auto-vectorizes. Every
+//! multiply-accumulate is an *unfused* multiply then add, per element in
+//! ascending `k` order — the determinism contract the SIMD variants
+//! mirror (with fused ops) on their side.
+
+/// `c += a × b` for row-major `q×q` blocks, scalar triple loop.
+///
+/// # Panics
+/// Panics (via `debug_assert!` in debug builds and slice indexing
+/// otherwise) if any slice is shorter than `q²`.
+#[inline]
+pub fn block_fma_scalar(c: &mut [f64], a: &[f64], b: &[f64], q: usize) {
+    debug_assert!(c.len() >= q * q && a.len() >= q * q && b.len() >= q * q);
+    for i in 0..q {
+        let c_row = &mut c[i * q..(i + 1) * q];
+        let a_row = &a[i * q..(i + 1) * q];
+        for k in 0..q {
+            let aik = a_row[k];
+            let b_row = &b[k * q..(k + 1) * q];
+            for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                *cv += aik * *bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::block_fma_reference;
+
+    #[test]
+    fn scalar_matches_reference() {
+        for q in [1usize, 3, 8, 17] {
+            let a: Vec<f64> = (0..q * q).map(|x| (x % 13) as f64 - 6.0).collect();
+            let b: Vec<f64> = (0..q * q).map(|x| (x % 7) as f64 * 0.5).collect();
+            let mut c1 = vec![1.0; q * q];
+            let mut c2 = c1.clone();
+            block_fma_scalar(&mut c1, &a, &b, q);
+            block_fma_reference(&mut c2, &a, &b, q);
+            for (x, y) in c1.iter().zip(&c2) {
+                assert!((x - y).abs() < 1e-9, "q={q}");
+            }
+        }
+    }
+}

@@ -1,15 +1,17 @@
 //! # mmc-exec — real execution of the paper's schedules
 //!
 //! While `mmc-sim` counts the cache misses of each schedule, this crate
-//! *runs* them: dense block-major `f64` matrices ([`BlockMatrix`]), the
-//! sequential `q×q` micro-kernel ([`kernel::block_fma`]), an exact
-//! schedule replayer ([`ExecSink`] / [`run_schedule`]) and rayon-parallel
-//! tiled executors ([`gemm_parallel`]) whose tilings come straight from
-//! the paper's parameters (`λ`, `√p·µ`, `(α, β)`).
+//! *runs* them: dense block-major `f64` matrices ([`BlockMatrix`]), a
+//! register-blocked `q×q` micro-kernel subsystem with runtime CPU
+//! dispatch and panel packing ([`kernel`]), an exact schedule replayer
+//! ([`ExecSink`] / [`run_schedule`]) and rayon-parallel tiled executors
+//! ([`gemm_parallel`]) whose tilings come straight from the paper's
+//! parameters (`λ`, `√p·µ`, `(α, β)`).
 //!
 //! Every path accumulates contributions in ascending `k` order with the
-//! same kernel, so all executors produce bit-identical results and the
-//! tests compare them with `==`.
+//! same dispatched kernel, so all executors produce bit-identical
+//! results and the tests compare them with `==`. See [`kernel`] for the
+//! dispatch rules and the `MMC_KERNEL` override.
 //!
 //! ```
 //! use mmc_exec::{gemm_parallel, gemm_naive, BlockMatrix, Tiling};
@@ -30,9 +32,10 @@ pub mod matrix;
 pub mod naive;
 pub mod runner;
 
+pub use kernel::KernelVariant;
 pub use matrix::BlockMatrix;
 pub use naive::gemm_naive;
 pub use runner::{
-    gemm_blocked, gemm_parallel, gemm_parallel_traced, run_schedule, task_spans_to_chrome,
-    ExecSink, TaskSpan, Tiling,
+    gemm_blocked, gemm_parallel, gemm_parallel_traced, gemm_parallel_with_kernel, run_schedule,
+    task_spans_to_chrome, ExecSink, TaskSpan, Tiling,
 };

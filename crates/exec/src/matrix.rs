@@ -19,6 +19,7 @@ pub struct BlockMatrix {
 
 impl BlockMatrix {
     /// An all-zero matrix of `rows × cols` blocks of side `q`.
+    #[must_use]
     pub fn zeros(rows: u32, cols: u32, q: usize) -> BlockMatrix {
         assert!(rows > 0 && cols > 0, "matrix must have at least one block");
         assert!(q > 0, "block side must be positive");
@@ -28,6 +29,7 @@ impl BlockMatrix {
 
     /// Build from a function of *global element* coordinates
     /// `(row, col) ∈ [0, rows·q) × [0, cols·q)`.
+    #[must_use]
     pub fn from_fn(
         rows: u32,
         cols: u32,
@@ -53,17 +55,38 @@ impl BlockMatrix {
     /// Filled with a deterministic pseudo-random pattern seeded by `seed`
     /// (splitmix64 over the element index — reproducible without pulling a
     /// RNG into the library API).
+    ///
+    /// Values are identical to hashing `(i << 32 | j) · M` per element;
+    /// the constant multiply is hoisted — `(i·2³² | j)·M = (i·2³²)·M +
+    /// j·M (mod 2⁶⁴)` since `j < 2³²` — so each row pays one multiply
+    /// and each element one add.
+    #[must_use]
     pub fn pseudo_random(rows: u32, cols: u32, q: usize, seed: u64) -> BlockMatrix {
-        BlockMatrix::from_fn(rows, cols, q, |i, j| {
-            let mut x = seed ^ ((i as u64) << 32 | j as u64).wrapping_mul(0x9E3779B97F4A7C15);
-            x ^= x >> 30;
-            x = x.wrapping_mul(0xBF58476D1CE4E5B9);
-            x ^= x >> 27;
-            x = x.wrapping_mul(0x94D049BB133111EB);
-            x ^= x >> 31;
-            // Map to [-1, 1) to keep products well-conditioned.
-            (x >> 11) as f64 / (1u64 << 52) as f64 - 1.0
-        })
+        const M: u64 = 0x9E3779B97F4A7C15;
+        let mut m = BlockMatrix::zeros(rows, cols, q);
+        for bi in 0..rows {
+            for bj in 0..cols {
+                let base_i = bi as usize * q;
+                let base_j = bj as usize * q;
+                let blk = m.block_mut(bi, bj);
+                for ii in 0..q {
+                    let row_mul = (((base_i + ii) as u64) << 32).wrapping_mul(M);
+                    let mut col_mul = (base_j as u64).wrapping_mul(M);
+                    for jj in 0..q {
+                        let mut x = seed ^ row_mul.wrapping_add(col_mul);
+                        x ^= x >> 30;
+                        x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+                        x ^= x >> 27;
+                        x = x.wrapping_mul(0x94D049BB133111EB);
+                        x ^= x >> 31;
+                        // Map to [-1, 1) to keep products well-conditioned.
+                        blk[ii * q + jj] = (x >> 11) as f64 / (1u64 << 52) as f64 - 1.0;
+                        col_mul = col_mul.wrapping_add(M);
+                    }
+                }
+            }
+        }
+        m
     }
 
     /// Block rows.
@@ -169,6 +192,25 @@ mod tests {
         m.set(7, 11, 42.5);
         assert_eq!(m.get(7, 11), 42.5);
         assert_eq!(m.block(1, 2)[3 * 4 + 3], 42.5);
+    }
+
+    /// The hoisted-multiply fill is bit-identical to the original
+    /// per-element splitmix64 formula, so seeds keep producing the same
+    /// matrices across releases.
+    #[test]
+    fn pseudo_random_matches_per_element_formula() {
+        let m = BlockMatrix::pseudo_random(3, 2, 5, 0xDEADBEEF);
+        let want = BlockMatrix::from_fn(3, 2, 5, |i, j| {
+            let mut x =
+                0xDEADBEEFu64 ^ ((i as u64) << 32 | j as u64).wrapping_mul(0x9E3779B97F4A7C15);
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+            x ^= x >> 27;
+            x = x.wrapping_mul(0x94D049BB133111EB);
+            x ^= x >> 31;
+            (x >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+        });
+        assert_eq!(m, want);
     }
 
     #[test]

@@ -15,14 +15,14 @@
 //! `k` order with the same kernel, so results are bit-identical across
 //! every path — tests compare with `==`.
 
-use crate::kernel::block_fma;
+use crate::kernel::{self, block_fma, KernelVariant};
 use crate::matrix::BlockMatrix;
 use mmc_core::algorithms::{AlgoError, Algorithm};
 use mmc_core::{params, ProblemSpec};
 use mmc_sim::{Block, ChromeTraceBuilder, MachineConfig, MatrixId, SimError, SimSink};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::sync::{Mutex, OnceLock};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 /// A [`SimSink`] that *performs* the block arithmetic of a schedule.
@@ -173,6 +173,19 @@ impl SendPtr {
 /// Panics if the shapes or block sides are incompatible or the tiling has
 /// a zero dimension.
 pub fn gemm_parallel(a: &BlockMatrix, b: &BlockMatrix, tiling: Tiling) -> BlockMatrix {
+    gemm_parallel_with_kernel(a, b, tiling, kernel::variant())
+}
+
+/// [`gemm_parallel`] through an explicitly chosen kernel variant (for
+/// benches and A/B perf records; normal callers use the dispatched
+/// variant). SIMD variants drive the packed-panel path; the scalar
+/// fallback streams unpacked blocks exactly like the original executor.
+pub fn gemm_parallel_with_kernel(
+    a: &BlockMatrix,
+    b: &BlockMatrix,
+    tiling: Tiling,
+    variant: KernelVariant,
+) -> BlockMatrix {
     assert_eq!(a.cols(), b.rows(), "inner block dimensions must agree");
     assert_eq!(a.q(), b.q(), "block sides must agree");
     assert!(
@@ -186,7 +199,7 @@ pub fn gemm_parallel(a: &BlockMatrix, b: &BlockMatrix, tiling: Tiling) -> BlockM
     let tiles = enumerate_tiles(m, n, tiling);
     let cptr = SendPtr(c.data_mut().as_mut_ptr());
     tiles.par_iter().for_each(|&tile| {
-        run_tile(a, b, cptr, z, tiling, tile);
+        run_tile(variant, a, b, cptr, z, tiling, tile);
     });
     c
 }
@@ -214,6 +227,11 @@ pub struct TaskSpan {
 /// [`gemm_parallel`] plus a wall-clock flight record: returns the product
 /// and one [`TaskSpan`] per `C` tile (thread id, tile coordinates,
 /// start/duration). Spans are sorted by start time.
+///
+/// Span collection is lock-free: each task produces its own record
+/// through `par_iter().map(...).collect()`, so tracing adds no shared
+/// lock to the timed region and does not perturb the wall-clock numbers
+/// it reports.
 pub fn gemm_parallel_traced(
     a: &BlockMatrix,
     b: &BlockMatrix,
@@ -225,29 +243,31 @@ pub fn gemm_parallel_traced(
         tiling.tile_m > 0 && tiling.tile_n > 0 && tiling.tile_k > 0,
         "tiling must be positive, got {tiling:?}"
     );
+    let variant = kernel::variant();
     let (m, n, z) = (a.rows(), b.cols(), a.cols());
     let mut c = BlockMatrix::zeros(m, n, a.q());
 
     let tiles = enumerate_tiles(m, n, tiling);
     let cptr = SendPtr(c.data_mut().as_mut_ptr());
-    let spans: Mutex<Vec<TaskSpan>> = Mutex::new(Vec::with_capacity(tiles.len()));
     let epoch = Instant::now();
-    tiles.par_iter().for_each(|&tile| {
-        let started = Instant::now();
-        run_tile(a, b, cptr, z, tiling, tile);
-        let dur = started.elapsed();
-        let (i0, th, j0, tw) = tile;
-        spans.lock().unwrap().push(TaskSpan {
-            thread: rayon::current_thread_index().unwrap_or(0),
-            row0: i0,
-            rows: th,
-            col0: j0,
-            cols: tw,
-            start_us: started.duration_since(epoch).as_secs_f64() * 1e6,
-            dur_us: dur.as_secs_f64() * 1e6,
-        });
-    });
-    let mut spans = spans.into_inner().unwrap();
+    let mut spans: Vec<TaskSpan> = tiles
+        .par_iter()
+        .map(|&tile| {
+            let started = Instant::now();
+            run_tile(variant, a, b, cptr, z, tiling, tile);
+            let dur = started.elapsed();
+            let (i0, th, j0, tw) = tile;
+            TaskSpan {
+                thread: rayon::current_thread_index().unwrap_or(0),
+                row0: i0,
+                rows: th,
+                col0: j0,
+                cols: tw,
+                start_us: started.duration_since(epoch).as_secs_f64() * 1e6,
+                dur_us: dur.as_secs_f64() * 1e6,
+            }
+        })
+        .collect();
     spans.sort_by(|x, y| x.start_us.total_cmp(&y.start_us));
     (c, spans)
 }
@@ -290,7 +310,45 @@ fn enumerate_tiles(m: u32, n: u32, tiling: Tiling) -> Vec<(u32, u32, u32, u32)> 
 }
 
 /// Compute one `C` tile completely (all `k` panels in ascending order).
+///
+/// SIMD kernel variants take the packed-panel path: the task's `A`
+/// row-panel and `B` column-panel are copied into the thread-local
+/// packing arena once per `k` panel and the register kernels run over
+/// contiguous micro-panels. The scalar fallback streams unpacked blocks
+/// through the original per-block kernel. Both orders accumulate each
+/// `C` element ascending in `k`, so results are bit-identical between
+/// the two paths of a given variant's rounding mode.
 fn run_tile(
+    variant: KernelVariant,
+    a: &BlockMatrix,
+    b: &BlockMatrix,
+    cptr: SendPtr,
+    z: u32,
+    tiling: Tiling,
+    tile: (u32, u32, u32, u32),
+) {
+    if variant.is_simd() && variant.is_available() {
+        run_tile_packed(variant, a, b, cptr, z, tiling, tile);
+    } else {
+        run_tile_blockwise(variant, a, b, cptr, z, tiling, tile);
+    }
+}
+
+/// Mutable view of `C` block `(i, j)` through the shared tile pointer.
+///
+/// # Safety
+/// Block `(i, j)` must belong to the caller's tile — tiles partition the
+/// `(i, j)` index grid and each tile is processed by exactly one task, so
+/// the slice is never aliased. The offset is in bounds for `i < m`,
+/// `j < n`.
+#[inline]
+unsafe fn c_block_mut<'c>(cptr: SendPtr, ncols: usize, q2: usize, i: u32, j: u32) -> &'c mut [f64] {
+    std::slice::from_raw_parts_mut(cptr.get().add((i as usize * ncols + j as usize) * q2), q2)
+}
+
+/// The original unpacked tile loop (scalar fallback path).
+fn run_tile_blockwise(
+    variant: KernelVariant,
     a: &BlockMatrix,
     b: &BlockMatrix,
     cptr: SendPtr,
@@ -306,24 +364,53 @@ fn run_tile(
         let kb = tiling.tile_k.min(z - k0);
         for i in i0..i0 + th {
             for j in j0..j0 + tw {
-                // SAFETY: block (i, j) belongs to exactly one tile —
-                // tiles partition the (i, j) index grid — and each tile
-                // is processed by exactly one task, so this mutable
-                // slice is never aliased. The offset is in bounds by
-                // construction (i < m, j < n).
-                let cblk: &mut [f64] = unsafe {
-                    std::slice::from_raw_parts_mut(
-                        cptr.get().add((i as usize * ncols + j as usize) * q2),
-                        q2,
-                    )
-                };
+                // SAFETY: see `c_block_mut` — (i, j) is owned by this tile.
+                let cblk = unsafe { c_block_mut(cptr, ncols, q2, i, j) };
                 for k in k0..k0 + kb {
-                    block_fma(cblk, a.block(i, k), b.block(k, j), q);
+                    kernel::block_fma_with(variant, cblk, a.block(i, k), b.block(k, j), q);
                 }
             }
         }
         k0 += kb;
     }
+}
+
+/// Packed-panel tile loop: pack once per `k` panel, then run the
+/// register kernels over every `C` block of the tile.
+fn run_tile_packed(
+    variant: KernelVariant,
+    a: &BlockMatrix,
+    b: &BlockMatrix,
+    cptr: SendPtr,
+    z: u32,
+    tiling: Tiling,
+    (i0, th, j0, tw): (u32, u32, u32, u32),
+) {
+    let q = a.q();
+    let q2 = q * q;
+    let ncols = b.cols() as usize;
+    kernel::pack::with_arena(|arena| {
+        let mut k0 = 0;
+        while k0 < z {
+            let kb = tiling.tile_k.min(z - k0);
+            let kc = kb as usize * q;
+            kernel::pack::pack_a_panel(&mut arena.a, a, i0, th, k0, kb);
+            kernel::pack::pack_b_panel(&mut arena.b, b, j0, tw, k0, kb);
+            let a_stride = kernel::pack::a_panel_stride(q, kc);
+            let b_stride = kernel::pack::b_panel_stride(q, kc);
+            for bi in 0..th {
+                let apack = &arena.a[bi as usize * a_stride..][..a_stride];
+                for bj in 0..tw {
+                    let bpack = &arena.b[bj as usize * b_stride..][..b_stride];
+                    // SAFETY: see `c_block_mut` — (i0+bi, j0+bj) is owned
+                    // by this tile.
+                    let cblk = unsafe { c_block_mut(cptr, ncols, q2, i0 + bi, j0 + bj) };
+                    kernel::packed::block_mul_packed(variant, cblk, q, kc, apack, bpack);
+                }
+            }
+            k0 += kb;
+        }
+    });
 }
 
 /// Sequential blocked product with the same traversal as
@@ -391,6 +478,30 @@ mod tests {
             assert_eq!(c, oracle, "tiling {tiling:?}");
             let c = gemm_blocked(&a, &b, tiling);
             assert_eq!(c, oracle, "blocked tiling {tiling:?}");
+        }
+    }
+
+    /// Every CPU-supported kernel variant, through both the packed
+    /// parallel path and the blockwise naive oracle, computes the same
+    /// product (tolerance across variants — fused vs unfused rounding —
+    /// and bit-exact against the oracle for the dispatched variant,
+    /// which `parallel_tilings_match_oracle` already pins down).
+    #[test]
+    fn kernel_variants_agree_across_paths() {
+        let (a, b) = operands(7, 5, 6, 8);
+        let oracle = gemm_naive(&a, &b);
+        for v in kernel::variants_available() {
+            for tiling in [
+                Tiling { tile_m: 3, tile_n: 2, tile_k: 2 },
+                Tiling { tile_m: 8, tile_n: 8, tile_k: 1 },
+            ] {
+                let c = gemm_parallel_with_kernel(&a, &b, tiling, v);
+                assert!(
+                    c.max_abs_diff(&oracle) < 1e-10,
+                    "variant {v} tiling {tiling:?} diverges: {}",
+                    c.max_abs_diff(&oracle)
+                );
+            }
         }
     }
 

@@ -36,7 +36,8 @@ fn usage() -> ! {
          presets: q32 q32p q64 q64p q80 q80p;\n\
          algorithms: shared_opt distributed_opt tradeoff outer_product shared_equal distributed_equal cache_oblivious;\n\
          tilings (exec): shared_opt distributed_opt tradeoff equal; (lu): row_stripes shared_opt tradeoff;\n\
-         granularities (trace): auto events steps"
+         granularities (trace): auto events steps;\n\
+         env: MMC_KERNEL=scalar|avx2|neon|auto forces the exec micro-kernel variant"
     );
     exit(2);
 }
@@ -255,6 +256,8 @@ struct ExecReport {
     order: u32,
     q: usize,
     tiling: String,
+    /// Dispatched micro-kernel variant (`scalar`, `avx2_fma`, `neon`).
+    kernel: String,
     tasks: usize,
     threads: usize,
     seconds: f64,
@@ -300,11 +303,13 @@ fn cmd_exec(flags: HashMap<String, String>) {
     let oracle = gemm_naive(&a, &b);
     let dt_naive = t0.elapsed().as_secs_f64();
     let matches = c == oracle;
+    let kernel = multicore_matmul::exec::kernel::variant().name();
     if flags.contains_key("json") {
         let report = ExecReport {
             order,
             q,
             tiling: tiling_name,
+            kernel: kernel.to_string(),
             tasks: spans.len(),
             threads,
             seconds: dt,
@@ -323,7 +328,7 @@ fn cmd_exec(flags: HashMap<String, String>) {
             tiling
         );
         println!(
-            "  {dt:.3}s  ->  {:.2} GFLOP/s ({} tile tasks over {threads} threads)",
+            "  {dt:.3}s  ->  {:.2} GFLOP/s ({} tile tasks over {threads} threads, {kernel} kernel)",
             flops / dt / 1e9,
             spans.len()
         );

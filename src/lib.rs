@@ -52,8 +52,8 @@ pub mod prelude {
         bounds, formulas, params, CoreGrid, Prediction, ProblemSpec, TradeoffParams,
     };
     pub use mmc_exec::{
-        gemm_naive, gemm_parallel, gemm_parallel_traced, run_schedule, task_spans_to_chrome,
-        BlockMatrix, ExecSink, TaskSpan, Tiling,
+        gemm_naive, gemm_parallel, gemm_parallel_traced, gemm_parallel_with_kernel, run_schedule,
+        task_spans_to_chrome, BlockMatrix, ExecSink, KernelVariant, TaskSpan, Tiling,
     };
     pub use mmc_sim::{
         Block, BlockSpace, ChromeGranularity, ChromeTraceBuilder, CountingSink, EventKind,

@@ -3,7 +3,8 @@
 //! The build environment for this workspace is offline, so the real
 //! `rayon` cannot be fetched. This stub covers the surface the workspace
 //! uses — `par_iter()` on slices, `into_par_iter()` on integer ranges,
-//! `for_each` / `map` / `find_any`, `ThreadPoolBuilder::install`, and
+//! `for_each` / `map` / `find_any` / `collect`,
+//! `ThreadPoolBuilder::install`, and
 //! `current_thread_index` — implemented with `std::thread::scope` workers
 //! pulling indices from an atomic counter (work stealing at the crudest
 //! possible granularity, which is plenty for block-sized tasks).
@@ -154,22 +155,63 @@ pub trait ParallelIterator: Sized + Sync {
         found.into_inner().unwrap()
     }
 
+    /// Collect all items into a collection, preserving index order
+    /// (rayon's `collect`; `Vec<T>` is the only implementor here).
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
     /// Collect all items into a `Vec`, preserving index order.
+    ///
+    /// Lock-free: `drive` hands each index to exactly one worker, so
+    /// every output slot is written exactly once with no shared lock,
+    /// and the scope join publishes the writes to the caller.
     fn collect_vec(self) -> Vec<Self::Item> {
         let n = self.pi_len();
-        let slots: Vec<Mutex<Option<Self::Item>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let mut slots: Vec<Option<Self::Item>> = Vec::new();
+        slots.resize_with(n, || None);
+        struct SlotsPtr<T>(*mut Option<T>);
+        // SAFETY: workers write disjoint slots (one index each, see
+        // `drive`), so sharing the base pointer across threads is sound.
+        unsafe impl<T: Send> Send for SlotsPtr<T> {}
+        unsafe impl<T: Send> Sync for SlotsPtr<T> {}
+        let ptr = SlotsPtr(slots.as_mut_ptr());
         {
-            let slots = &slots;
+            let ptr = &ptr;
             let indexed = IndexedSource { base: &self };
             drive(
                 &indexed,
                 &|(i, item)| {
-                    *slots[i].lock().unwrap() = Some(item);
+                    // SAFETY: `i < n` and each index is claimed by exactly
+                    // one worker, so this slot is written exactly once and
+                    // never read concurrently.
+                    unsafe { *ptr.0.add(i) = Some(item) };
                 },
                 &AtomicBool::new(false),
             );
         }
-        slots.into_iter().map(|m| m.into_inner().unwrap().unwrap()).collect()
+        slots.into_iter().map(|o| o.expect("every index driven")).collect()
+    }
+}
+
+/// Collections buildable from a parallel iterator (rayon's
+/// `FromParallelIterator`, narrowed to the workspace's use).
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Build the collection, preserving index order.
+    fn from_par_iter<I>(iter: I) -> Self
+    where
+        I: ParallelIterator<Item = T>;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I>(iter: I) -> Vec<T>
+    where
+        I: ParallelIterator<Item = T>,
+    {
+        iter.collect_vec()
     }
 }
 
@@ -368,7 +410,9 @@ impl<T: Send + Clone + Sync> ParallelIterator for VecIter<T> {
 
 /// Everything callers normally import (`use rayon::prelude::*`).
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
 }
 
 /// Run two closures, nominally in parallel (sequential in the stub).
@@ -437,5 +481,13 @@ mod tests {
     fn collect_vec_preserves_order() {
         let v = (0u32..100).into_par_iter().map(|i| i * 2).collect_vec();
         assert_eq!(v, (0u32..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collect_into_vec_preserves_order_and_drops_cleanly() {
+        // Non-Copy items exercise slot writes and drops.
+        let v: Vec<String> = (0u32..64).into_par_iter().map(|i| format!("item-{i}")).collect();
+        assert_eq!(v.len(), 64);
+        assert!(v.iter().enumerate().all(|(i, s)| s == &format!("item-{i}")));
     }
 }

@@ -3,7 +3,9 @@
 //! Hand-rolled token parsing (no `syn`/`quote` — the build environment is
 //! offline). Supports the shapes this workspace actually derives:
 //!
-//! * structs with named fields;
+//! * structs with named fields, honoring `#[serde(default)]` /
+//!   `#[serde(default = "path")]` on individual fields (missing fields
+//!   fall back instead of erroring);
 //! * tuple structs (newtype → transparent, otherwise an array);
 //! * enums with unit and newtype variants (externally tagged, like serde),
 //!   honoring `#[serde(rename_all = "snake_case")]` on the container.
@@ -13,9 +15,21 @@ use std::str::FromStr;
 
 #[derive(Debug)]
 enum Shape {
-    NamedStruct { name: String, fields: Vec<String> },
-    TupleStruct { name: String, arity: usize },
-    Enum { name: String, variants: Vec<(String, bool)>, snake_case: bool },
+    /// Fields carry an optional default: `None` (required), or
+    /// `Some(expr)` — the call that produces the fallback value.
+    NamedStruct {
+        name: String,
+        fields: Vec<(String, Option<String>)>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, bool)>,
+        snake_case: bool,
+    },
 }
 
 /// Derive `serde::Serialize` (value-tree flavor).
@@ -25,7 +39,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let code = match &shape {
         Shape::NamedStruct { name, fields } => {
             let mut entries = String::new();
-            for f in fields {
+            for (f, _) in fields {
                 entries.push_str(&format!(
                     "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),"
                 ));
@@ -93,10 +107,19 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let code = match &shape {
         Shape::NamedStruct { name, fields } => {
             let mut inits = String::new();
-            for f in fields {
-                inits.push_str(&format!(
-                    "{f}: ::serde::Deserialize::from_value(::serde::__get_field(value, \"{f}\")?)?,"
-                ));
+            for (f, default) in fields {
+                match default {
+                    None => inits.push_str(&format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::__get_field(value, \"{f}\")?)?,"
+                    )),
+                    Some(fallback) => inits.push_str(&format!(
+                        "{f}: match ::serde::__get_field(value, \"{f}\") {{\n\
+                             ::std::result::Result::Ok(__v) => \
+                                 ::serde::Deserialize::from_value(__v)?,\n\
+                             ::std::result::Result::Err(_) => {fallback},\n\
+                         }},"
+                    )),
+                }
             }
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
@@ -193,6 +216,29 @@ fn snake(name: &str) -> String {
         }
     }
     out
+}
+
+/// Recognize `#[serde(default)]` / `#[serde(default = "path")]` in the
+/// stringified attribute group, returning the fallback expression.
+fn parse_field_default(attr_text: &str) -> Option<String> {
+    // Only `#[serde(...)]` attributes — doc comments arrive as
+    // `#[doc = "..."]` and must not be scanned for keywords.
+    if !attr_text.trim_start().starts_with("serde") || !attr_text.contains("default") {
+        return None;
+    }
+    let after = attr_text.split("default").nth(1)?;
+    // `default = "Type::func"` — the quoted path is called; bare
+    // `default` falls back to `Default::default()`.
+    let mut quoted = after.trim_start().strip_prefix('=').map(|rest| {
+        let rest = rest.trim_start();
+        let rest = rest.strip_prefix('"').unwrap_or(rest);
+        rest.split('"').next().unwrap_or("").to_string()
+    });
+    if let Some(path) = quoted.take_if(|p| !p.is_empty()) {
+        Some(format!("{path}()"))
+    } else {
+        Some("::std::default::Default::default()".to_string())
+    }
 }
 
 fn wire_name(variant: &str, snake_case: bool) -> String {
@@ -307,9 +353,17 @@ fn parse_shape(input: TokenStream) -> Shape {
         let mut fields = Vec::new();
         for entry in split_top_level(body.stream().into_iter().collect()) {
             let mut j = 0;
+            let mut default = None;
             loop {
                 match entry.get(j) {
-                    Some(TokenTree::Punct(p)) if p.as_char() == '#' => j += 2,
+                    Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                        if let Some(TokenTree::Group(g)) = entry.get(j + 1) {
+                            if let Some(d) = parse_field_default(&g.stream().to_string()) {
+                                default = Some(d);
+                            }
+                        }
+                        j += 2;
+                    }
                     Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
                         j += 1;
                         if let Some(TokenTree::Group(g)) = entry.get(j) {
@@ -322,7 +376,7 @@ fn parse_shape(input: TokenStream) -> Shape {
                 }
             }
             if let Some(TokenTree::Ident(fname)) = entry.get(j) {
-                fields.push(fname.to_string());
+                fields.push((fname.to_string(), default));
             }
         }
         Shape::NamedStruct { name, fields }
