@@ -11,7 +11,7 @@ use mmc_core::{params, ProblemSpec};
 use mmc_sim::MachineConfig;
 
 fn tiny_opts() -> SweepOpts {
-    SweepOpts { full: false, orders: Some(vec![60]), verbose: false }
+    SweepOpts { orders: Some(vec![60]), ..SweepOpts::default() }
 }
 
 fn bench_figures(c: &mut Criterion) {

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! figures <id>... [--out DIR] [--full] [--orders 100,200,300] [--quiet]
+//!                 [--jobs N] [--resume] [--serial] [--no-cache]
 //! figures all
 //! figures list
 //! ```
@@ -11,14 +12,22 @@
 //! table. `--full` switches to the paper-exact sweep ranges (slow);
 //! `--orders` overrides the matrix-order sweep for quick looks; `--json`
 //! additionally writes each panel as a JSON document.
+//!
+//! Sweep points run sharded on a rayon pool (`--jobs N`, default all
+//! cores) and are written to a content-addressed cache under
+//! `<out>/cache/`; `--resume` serves completed points from that cache so
+//! an interrupted sweep picks up where it left off. `--serial` forces the
+//! single-threaded single-pass path (output is byte-identical either
+//! way); `--no-cache` disables the point cache entirely.
 
-use mmc_bench::{figure_ids, run_figure, SweepOpts};
+use mmc_bench::{figure_ids, run_figure_sharded, HarnessOpts, SweepOpts};
 use std::path::PathBuf;
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures <id>...|all|list [--out DIR] [--full] [--json] [--orders N,N,...] [--quiet]\n\
+        "usage: figures <id>...|all|list [--out DIR] [--full] [--json] [--orders N,N,...] \
+         [--quiet] [--jobs N] [--resume] [--serial] [--no-cache]\n\
          known ids: {}",
         figure_ids().join(", ")
     );
@@ -29,7 +38,9 @@ fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut out = PathBuf::from("target/figures");
     let mut json = false;
+    let mut no_cache = false;
     let mut opts = SweepOpts { verbose: true, ..SweepOpts::default() };
+    let mut harness = HarnessOpts::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -37,6 +48,16 @@ fn main() {
             "--full" => opts.full = true,
             "--json" => json = true,
             "--quiet" => opts.verbose = false,
+            "--jobs" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                match spec.parse::<usize>() {
+                    Ok(n) => harness.jobs = Some(n),
+                    Err(_) => usage(),
+                }
+            }
+            "--resume" => harness.resume = true,
+            "--serial" => harness.serial = true,
+            "--no-cache" => no_cache = true,
             "--orders" => {
                 let spec = args.next().unwrap_or_else(|| usage());
                 let orders: Result<Vec<u32>, _> =
@@ -68,11 +89,20 @@ fn main() {
             usage();
         }
     }
+    if !no_cache {
+        harness.cache_dir = Some(out.join("cache"));
+    }
 
+    let mut failures = 0usize;
     for id in &ids {
         let t0 = Instant::now();
         eprintln!("== {id} ==");
-        let panels = run_figure(id, &opts);
+        let (panels, report) = run_figure_sharded(id, &opts, &harness);
+        eprintln!("{}", report.summary(id));
+        for err in &report.errors {
+            eprintln!("  [points] FAILED {}: {}", err.point, err.message);
+        }
+        failures += report.failed;
         for panel in &panels {
             match panel.write_csv(&out) {
                 Ok(path) => eprintln!("  wrote {}", path.display()),
@@ -93,5 +123,9 @@ fn main() {
             println!("{}", panel.to_table());
         }
         eprintln!("== {id} done in {:.1}s ==\n", t0.elapsed().as_secs_f64());
+    }
+    if failures > 0 {
+        eprintln!("{failures} point(s) failed; affected cells are empty");
+        std::process::exit(1);
     }
 }

@@ -10,8 +10,9 @@
 //! `BENCH_sim.json` (simulator event throughput per algorithm) into the
 //! output directory (default `.`).
 
+use mmc_bench::figures::SweepOpts;
 use mmc_bench::perf::{best_seconds, write_records, PerfRecord};
-use mmc_bench::Setting;
+use mmc_bench::{run_figure_sharded, HarnessOpts, Setting};
 use mmc_core::algorithms::all_algorithms;
 use mmc_core::ProblemSpec;
 use mmc_exec::{
@@ -122,6 +123,45 @@ fn main() {
             kernel: "-".into(),
         });
     }
+    // Sharded figure harness: serial vs pooled wall-clock for one
+    // representative figure. The ratio of these two records is the
+    // `--jobs` speedup quoted in EXPERIMENTS.md.
+    let sweep = SweepOpts { orders: Some(vec![60, 120, 180, 240]), ..SweepOpts::default() };
+    let mut points = 0usize;
+    let serial_secs = best_seconds(2, || {
+        let opts = HarnessOpts { serial: true, ..HarnessOpts::default() };
+        let (_, report) = run_figure_sharded("fig4", &sweep, &opts);
+        points = report.total();
+    });
+    sim_records.push(PerfRecord {
+        suite: "sim".into(),
+        name: "figures/fig4_serial".into(),
+        order: 240,
+        seconds: serial_secs,
+        work: points as f64,
+        rate_unit: "points".into(),
+        kernel: "-".into(),
+    });
+    let jobs = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+    let sharded_secs = best_seconds(2, || {
+        let opts = HarnessOpts { jobs: Some(jobs), ..HarnessOpts::default() };
+        let (_, report) = run_figure_sharded("fig4", &sweep, &opts);
+        points = report.total();
+    });
+    sim_records.push(PerfRecord {
+        suite: "sim".into(),
+        name: format!("figures/fig4_jobs{jobs}"),
+        order: 240,
+        seconds: sharded_secs,
+        work: points as f64,
+        rate_unit: "points".into(),
+        kernel: "-".into(),
+    });
+    println!(
+        "figures fig4: serial {serial_secs:.3}s, --jobs {jobs} {sharded_secs:.3}s ({:.2}x)",
+        serial_secs / sharded_secs
+    );
+
     let path = write_records(&out, "sim", &sim_records).expect("write BENCH_sim.json");
     println!("wrote {} ({} records)", path.display(), sim_records.len());
 }

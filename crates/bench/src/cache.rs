@@ -1,0 +1,157 @@
+//! Content-addressed on-disk cache for completed sweep points.
+//!
+//! Each completed point is written to its own JSON file under the cache
+//! directory, addressed by an FNV-1a hash of the point's canonical key
+//! (the serde serialization of its [`PointSpec`](crate::points::PointSpec)
+//! prefixed with a harness version salt). The full key string is stored
+//! *inside* the file and verified on load, so a hash collision or a
+//! harness upgrade can never replay a stale value — it just misses.
+//!
+//! Writes go through a temp file + rename so an interrupted run (Ctrl-C,
+//! OOM kill) leaves either a complete entry or none; `--resume` then
+//! skips every point whose entry survived.
+
+use crate::points::PointValue;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Version salt mixed into every cache key. Bump whenever the meaning of
+/// a point (simulator semantics, spec encoding, value encoding) changes:
+/// old entries then miss instead of replaying stale results.
+pub const POINT_CACHE_VERSION: &str = "points-v1";
+
+/// 64-bit FNV-1a hash (the cache's file-addressing hash; collisions are
+/// tolerated because the full key is re-checked on load).
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct CacheEntry {
+    /// The full canonical key (salt + spec JSON), verified on load.
+    key: String,
+    /// The cached point value.
+    value: PointValue,
+}
+
+/// Handle on the on-disk point cache.
+///
+/// Stores are always enabled (a completed point is always worth keeping);
+/// loads are gated on `read` so a plain run recomputes everything while a
+/// `--resume` run is served from disk.
+#[derive(Clone, Debug)]
+pub struct PointCache {
+    dir: PathBuf,
+    read: bool,
+}
+
+impl PointCache {
+    /// Open (creating if needed) the cache under `dir`. `read` enables
+    /// serving hits (the `--resume` flag); writes always happen.
+    pub fn new(dir: impl Into<PathBuf>, read: bool) -> std::io::Result<PointCache> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(PointCache { dir, read })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Whether loads are enabled.
+    pub fn reads_enabled(&self) -> bool {
+        self.read
+    }
+
+    /// File path addressing `key`.
+    pub fn path_for(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{:016x}.json", fnv1a_64(key.as_bytes())))
+    }
+
+    /// Load the value cached under `key`, if reads are enabled and a
+    /// complete entry with a matching key exists.
+    pub fn load(&self, key: &str) -> Option<PointValue> {
+        if !self.read {
+            return None;
+        }
+        let text = std::fs::read_to_string(self.path_for(key)).ok()?;
+        let entry: CacheEntry = serde_json::from_str(&text).ok()?;
+        (entry.key == key).then_some(entry.value)
+    }
+
+    /// Store `value` under `key`, atomically (temp file + rename).
+    /// Best-effort: cache I/O failures never fail the sweep.
+    pub fn store(&self, key: &str, value: &PointValue) {
+        let path = self.path_for(key);
+        let tmp =
+            self.dir.join(format!(".{:016x}.tmp{}", fnv1a_64(key.as_bytes()), std::process::id()));
+        let entry = CacheEntry { key: key.to_string(), value: value.clone() };
+        if let Ok(text) = serde_json::to_string(&entry) {
+            let _ = std::fs::write(&tmp, text).and_then(|()| std::fs::rename(&tmp, &path));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mmc_point_cache_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let cache = PointCache::new(tmp_dir("round_trip"), true).unwrap();
+        let value = PointValue::Scalars(vec![1.5, -2.0, 0.0]);
+        cache.store("key-1", &value);
+        assert_eq!(cache.load("key-1"), Some(value));
+        assert_eq!(cache.load("key-2"), None);
+    }
+
+    #[test]
+    fn reads_gated_but_writes_always_on() {
+        let dir = tmp_dir("gated");
+        let write_only = PointCache::new(&dir, false).unwrap();
+        let value = PointValue::Scalars(vec![42.0]);
+        write_only.store("k", &value);
+        assert_eq!(write_only.load("k"), None, "reads disabled");
+        let reader = PointCache::new(&dir, true).unwrap();
+        assert_eq!(reader.load("k"), Some(value), "entry was still written");
+    }
+
+    #[test]
+    fn key_mismatch_in_entry_misses() {
+        // A colliding or stale file whose stored key differs must miss.
+        let cache = PointCache::new(tmp_dir("mismatch"), true).unwrap();
+        cache.store("old-key", &PointValue::Scalars(vec![1.0]));
+        let stale = cache.path_for("old-key");
+        let clashing = cache.path_for("new-key");
+        std::fs::rename(stale, clashing).unwrap();
+        assert_eq!(cache.load("new-key"), None);
+    }
+
+    #[test]
+    fn corrupt_entry_misses() {
+        let cache = PointCache::new(tmp_dir("corrupt"), true).unwrap();
+        std::fs::write(cache.path_for("k"), "{not json").unwrap();
+        assert_eq!(cache.load("k"), None);
+    }
+}

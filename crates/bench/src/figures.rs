@@ -6,14 +6,26 @@
 //! series; the harness does not draw plots but emits CSV + text tables
 //! whose *shape* (orderings, gaps, crossovers) is what the reproduction
 //! is judged on. See `EXPERIMENTS.md` at the workspace root.
+//!
+//! Every simulation a figure needs is requested through the
+//! [`PointRunner`] carried by [`SweepOpts`] as a declarative
+//! [`PointSpec`](crate::points::PointSpec): with the default inline
+//! runner the figure executes serially exactly as before, while the
+//! sharded driver ([`crate::points::run_figure_sharded`]) reuses these
+//! same functions to enumerate, parallelize, cache, and replay the
+//! points. A `None` from the runner means the point failed — its error
+//! is in the report — and the cell is simply left empty.
 
-use crate::sweep::{simulate, Metric, Panel, Series, Setting};
+use crate::points::{
+    AlgoSpec, BspSpec, ClusterSpec, ConfigSpec, LruSpec, LuSpec, PointRunner, PointSpec,
+};
+use crate::sweep::{Metric, Panel, Series, Setting};
 use mmc_core::algorithms::{
     all_algorithms, Algorithm, DistributedEqual, DistributedOpt, OuterProduct, SharedEqual,
     SharedOpt, Tradeoff,
 };
 use mmc_core::{bounds, formulas, params, ProblemSpec};
-use mmc_sim::{MachineConfig, SimConfig, Simulator};
+use mmc_sim::MachineConfig;
 
 /// Sweep configuration shared by every figure.
 #[derive(Clone, Debug, Default)]
@@ -24,6 +36,9 @@ pub struct SweepOpts {
     pub orders: Option<Vec<u32>>,
     /// Print per-point progress to stderr.
     pub verbose: bool,
+    /// Executor for the figure's sweep points (inline by default; the
+    /// sharded driver swaps in a shared enumerating/replaying runner).
+    pub runner: PointRunner,
 }
 
 impl SweepOpts {
@@ -62,14 +77,34 @@ impl SweepOpts {
     }
 }
 
+/// Request one `(algorithm × setting × square problem)` point.
 fn run(
+    opts: &SweepOpts,
+    fig: &str,
     algo: &dyn Algorithm,
     machine: &MachineConfig,
     setting: Setting,
     d: u32,
-) -> mmc_sim::SimStats {
-    simulate(algo, machine, setting, ProblemSpec::square(d))
-        .unwrap_or_else(|e| panic!("{} under {:?} at order {d}: {e}", algo.name(), setting))
+) -> Option<mmc_sim::SimStats> {
+    run_spec(opts, fig, AlgoSpec::named(algo.id()), machine, setting, ProblemSpec::square(d))
+}
+
+/// Request one point with an explicit algorithm spec.
+fn run_spec(
+    opts: &SweepOpts,
+    fig: &str,
+    algo: AlgoSpec,
+    machine: &MachineConfig,
+    setting: Setting,
+    problem: ProblemSpec,
+) -> Option<mmc_sim::SimStats> {
+    opts.runner.stats(PointSpec {
+        figure: fig.to_string(),
+        algo,
+        config: ConfigSpec::Setting(setting),
+        machine: machine.clone(),
+        problem,
+    })
 }
 
 /// Fig. 4 — impact of the LRU policy on `M_S` of Shared Opt (`C_S = 977`):
@@ -133,11 +168,13 @@ fn lru_validation_figure(
     for d in opts.orders_lru_validation() {
         opts.progress(&format!("{id}: order {d}"));
         let problem = ProblemSpec::square(d);
-        let s1 = run(algo, &machine, Setting::LruAt(1), d);
-        let s2 = run(algo, &machine, Setting::LruAt(2), d);
+        if let Some(s1) = run(opts, id, algo, &machine, Setting::LruAt(1), d) {
+            lru1.push(d as f64, metric.of(&s1, &machine));
+        }
+        if let Some(s2) = run(opts, id, algo, &machine, Setting::LruAt(2), d) {
+            lru2.push(d as f64, metric.of(&s2, &machine));
+        }
         let f = formula(&problem, &machine);
-        lru1.push(d as f64, metric.of(&s1, &machine));
-        lru2.push(d as f64, metric.of(&s2, &machine));
         form.push(d as f64, f);
         form2.push(d as f64, 2.0 * f);
     }
@@ -177,13 +214,20 @@ pub fn fig7(opts: &SweepOpts) -> Vec<Panel> {
                 opts.progress(&format!("fig7{suffix}: order {d}"));
                 let x = d as f64;
                 let problem = ProblemSpec::square(d);
-                so_lru.push(x, run(&SharedOpt, &machine, Setting::Lru50, d).ms() as f64);
-                so_ideal.push(x, run(&SharedOpt, &machine, Setting::Ideal, d).ms() as f64);
-                se_lru.push(x, run(&SharedEqual, &machine, Setting::Lru50, d).ms() as f64);
-                op.push(
-                    x,
-                    run(&OuterProduct::default(), &machine, Setting::LruAt(1), d).ms() as f64,
-                );
+                if let Some(s) = run(opts, "fig7", &SharedOpt, &machine, Setting::Lru50, d) {
+                    so_lru.push(x, s.ms() as f64);
+                }
+                if let Some(s) = run(opts, "fig7", &SharedOpt, &machine, Setting::Ideal, d) {
+                    so_ideal.push(x, s.ms() as f64);
+                }
+                if let Some(s) = run(opts, "fig7", &SharedEqual, &machine, Setting::Lru50, d) {
+                    se_lru.push(x, s.ms() as f64);
+                }
+                if let Some(s) =
+                    run(opts, "fig7", &OuterProduct::default(), &machine, Setting::LruAt(1), d)
+                {
+                    op.push(x, s.ms() as f64);
+                }
                 lb.push(x, bounds::ms_lower_bound(&problem, &machine));
             }
             panel.series = vec![so_lru, so_ideal, se_lru, op, lb];
@@ -219,22 +263,26 @@ pub fn fig8(opts: &SweepOpts) -> Vec<Panel> {
                 opts.progress(&format!("fig8{suffix}: order {d}"));
                 let x = d as f64;
                 let problem = ProblemSpec::square(d);
-                do_lru.push(
-                    x,
-                    run(&DistributedOpt::default(), &machine, Setting::Lru50, d).md() as f64,
-                );
-                do_ideal.push(
-                    x,
-                    run(&DistributedOpt::default(), &machine, Setting::Ideal, d).md() as f64,
-                );
-                de_lru.push(
-                    x,
-                    run(&DistributedEqual::default(), &machine, Setting::Lru50, d).md() as f64,
-                );
-                op.push(
-                    x,
-                    run(&OuterProduct::default(), &machine, Setting::LruAt(1), d).md() as f64,
-                );
+                if let Some(s) =
+                    run(opts, "fig8", &DistributedOpt::default(), &machine, Setting::Lru50, d)
+                {
+                    do_lru.push(x, s.md() as f64);
+                }
+                if let Some(s) =
+                    run(opts, "fig8", &DistributedOpt::default(), &machine, Setting::Ideal, d)
+                {
+                    do_ideal.push(x, s.md() as f64);
+                }
+                if let Some(s) =
+                    run(opts, "fig8", &DistributedEqual::default(), &machine, Setting::Lru50, d)
+                {
+                    de_lru.push(x, s.md() as f64);
+                }
+                if let Some(s) =
+                    run(opts, "fig8", &OuterProduct::default(), &machine, Setting::LruAt(1), d)
+                {
+                    op.push(x, s.md() as f64);
+                }
                 lb.push(x, bounds::md_lower_bound(&problem, &machine));
             }
             panel.series = vec![do_lru, do_ideal, de_lru, op, lb];
@@ -286,12 +334,16 @@ fn tdata_figure(
                 let x = d as f64;
                 let problem = ProblemSpec::square(d);
                 for (a, s) in algos.iter().zip(series.iter_mut()) {
-                    let stats = run(a.as_ref(), &machine, setting, d);
-                    s.push(x, Metric::TData.of(&stats, &machine));
+                    if let Some(stats) = run(opts, fig, a.as_ref(), &machine, setting, d) {
+                        s.push(x, Metric::TData.of(&stats, &machine));
+                    }
                 }
                 if let Some(s) = tr_ideal.as_mut() {
-                    let stats = run(&Tradeoff::default(), &machine, Setting::Ideal, d);
-                    s.push(x, Metric::TData.of(&stats, &machine));
+                    if let Some(stats) =
+                        run(opts, fig, &Tradeoff::default(), &machine, Setting::Ideal, d)
+                    {
+                        s.push(x, Metric::TData.of(&stats, &machine));
+                    }
                 }
                 lb.push(x, bounds::tdata_lower_bound(&problem, &machine));
             }
@@ -326,7 +378,10 @@ pub fn fig11(opts: &SweepOpts) -> Vec<Panel> {
 ///
 /// Only Tradeoff's *schedule* depends on `r` (its `(α, β)` optimization
 /// reads the bandwidths); every other algorithm's miss counts are
-/// simulated once per configuration and recosted per `r`.
+/// simulated once per configuration and recosted per `r`. Miss counts
+/// never depend on the bandwidths, so every point is keyed on the base
+/// (unit-bandwidth) preset machine — distinct Tradeoff points exist only
+/// per distinct `(α, β)`.
 pub fn fig12(opts: &SweepOpts) -> Vec<Panel> {
     let d = opts.fig12_order();
     let problem = ProblemSpec::square(d);
@@ -347,7 +402,7 @@ pub fn fig12(opts: &SweepOpts) -> Vec<Panel> {
             );
             opts.progress(&format!("fig12{suffix}: fixed-count sims"));
             // One simulation per r-independent algorithm.
-            let fixed: Vec<(String, mmc_sim::SimStats)> = [
+            let fixed: Vec<(&str, Option<mmc_sim::SimStats>)> = [
                 ("Shared Opt. IDEAL", &SharedOpt as &dyn Algorithm),
                 ("Distributed Opt. IDEAL", &DistributedOpt::default()),
                 ("Shared Equal IDEAL", &SharedEqual),
@@ -355,34 +410,33 @@ pub fn fig12(opts: &SweepOpts) -> Vec<Panel> {
                 ("Outer Product", &OuterProduct::default()),
             ]
             .into_iter()
-            .map(|(name, a)| (name.to_string(), run(a, &machine, Setting::Ideal, d)))
+            .map(|(name, a)| (name, run(opts, "fig12", a, &machine, Setting::Ideal, d)))
             .collect();
             let mut series: Vec<Series> =
-                fixed.iter().map(|(name, _)| Series::new(name.clone())).collect();
+                fixed.iter().map(|(name, _)| Series::new(*name)).collect();
             let mut tr = Series::new("Tradeoff IDEAL");
             let mut lb = Series::new("Lower Bound");
-            // Tradeoff runs are cached per distinct (α, β).
-            let mut cache: Vec<(params::TradeoffParams, mmc_sim::SimStats)> = Vec::new();
             for r in opts.r_values() {
                 let m_r = machine.clone().with_bandwidth_ratio(r);
                 for ((_, stats), s) in fixed.iter().zip(series.iter_mut()) {
-                    s.push(r, stats.t_data(m_r.sigma_s, m_r.sigma_d));
+                    if let Some(stats) = stats {
+                        s.push(r, stats.t_data(m_r.sigma_s, m_r.sigma_d));
+                    }
                 }
                 let tp = params::tradeoff_params(&m_r)
                     .unwrap_or_else(|| panic!("tradeoff feasible on preset {label}"));
-                let stats = match cache.iter().find(|(p, _)| *p == tp) {
-                    Some((_, s)) => s.clone(),
-                    None => {
-                        opts.progress(&format!(
-                            "fig12{suffix}: tradeoff α={} β={} (r={r:.2})",
-                            tp.alpha, tp.beta
-                        ));
-                        let s = run(&Tradeoff::with_params(tp), &m_r, Setting::Ideal, d);
-                        cache.push((tp, s.clone()));
-                        s
-                    }
-                };
-                tr.push(r, stats.t_data(m_r.sigma_s, m_r.sigma_d));
+                // Keyed on the base machine: equal (α, β) across r values
+                // dedupe to one point in the runner's memo/cache.
+                if let Some(stats) = run_spec(
+                    opts,
+                    "fig12",
+                    AlgoSpec::TradeoffWith(tp),
+                    &machine,
+                    Setting::Ideal,
+                    problem,
+                ) {
+                    tr.push(r, stats.t_data(m_r.sigma_s, m_r.sigma_d));
+                }
                 lb.push(r, bounds::tdata_lower_bound(&problem, &m_r));
             }
             series.push(tr);
@@ -409,10 +463,8 @@ pub fn ablation_inclusion(opts: &SweepOpts) -> Vec<Panel> {
         "matrix order (blocks)",
         Metric::Md.label(),
     );
-    let algos: Vec<(&str, Box<dyn Algorithm>)> = vec![
-        ("Shared Opt.", Box::new(SharedOpt)),
-        ("Outer Product", Box::new(OuterProduct::default())),
-    ];
+    let algos: Vec<(&str, &str)> =
+        vec![("Shared Opt.", "shared_opt"), ("Outer Product", "outer_product")];
     let mut ms_series: Vec<Series> = Vec::new();
     let mut md_series: Vec<Series> = Vec::new();
     for (name, _) in &algos {
@@ -423,15 +475,20 @@ pub fn ablation_inclusion(opts: &SweepOpts) -> Vec<Panel> {
     }
     for d in opts.orders_lru_validation() {
         opts.progress(&format!("ablation_inclusion: order {d}"));
-        let problem = ProblemSpec::square(d);
         let mut idx = 0;
-        for (_, algo) in &algos {
+        for (_, algo_id) in &algos {
             for inclusive in [true, false] {
-                let cfg = SimConfig { inclusive, ..SimConfig::lru(&machine) };
-                let mut sim = Simulator::new(cfg, d, d, d);
-                algo.execute(&machine, &problem, &mut sim).unwrap();
-                ms_series[idx].push(d as f64, sim.stats().ms() as f64);
-                md_series[idx].push(d as f64, sim.stats().md() as f64);
+                let stats = opts.runner.stats(PointSpec {
+                    figure: "ablation_inclusion".to_string(),
+                    algo: AlgoSpec::named(algo_id),
+                    config: ConfigSpec::Lru(LruSpec { inclusive, ..LruSpec::plain() }),
+                    machine: machine.clone(),
+                    problem: ProblemSpec::square(d),
+                });
+                if let Some(stats) = stats {
+                    ms_series[idx].push(d as f64, stats.ms() as f64);
+                    md_series[idx].push(d as f64, stats.md() as f64);
+                }
                 idx += 1;
             }
         }
@@ -458,10 +515,16 @@ pub fn ablation_grid(opts: &SweepOpts) -> Vec<Panel> {
         opts.progress(&format!("ablation_grid: p = {p}"));
         let machine = MachineConfig::new(p, 977, 21, 32);
         let grid = params::CoreGrid::square(p).unwrap_or_else(|| params::CoreGrid::balanced(p));
-        let algo = DistributedOpt::with_grid(grid);
-        let mut sim = Simulator::new(SimConfig::ideal(&machine), d, d, d);
-        algo.execute(&machine, &problem, &mut sim).unwrap();
-        md.push(p as f64, sim.stats().md() as f64);
+        if let Some(stats) = run_spec(
+            opts,
+            "ablation_grid",
+            AlgoSpec::DistGrid(grid),
+            &machine,
+            Setting::Ideal,
+            problem,
+        ) {
+            md.push(p as f64, stats.md() as f64);
+        }
         lbs.push(p as f64, bounds::md_lower_bound(&problem, &machine));
     }
     panel.series = vec![md, lbs];
@@ -475,7 +538,6 @@ pub fn ablation_grid(opts: &SweepOpts) -> Vec<Panel> {
 /// every level simultaneously but pays a constant factor over the aware
 /// tilings — this sweep measures that constant on both metrics.
 pub fn ablation_oblivious(opts: &SweepOpts) -> Vec<Panel> {
-    use mmc_core::algorithms::CacheOblivious;
     let machine = MachineConfig::quad_q32();
     let mut ms_panel = Panel::new(
         "ablation_oblivious_ms",
@@ -489,12 +551,12 @@ pub fn ablation_oblivious(opts: &SweepOpts) -> Vec<Panel> {
         "matrix order (blocks)",
         Metric::Md.label(),
     );
-    let algos: Vec<(&str, Box<dyn Algorithm>)> = vec![
-        ("Cache Oblivious", Box::new(CacheOblivious::new())),
-        ("Cache Oblivious (leaf 4)", Box::new(CacheOblivious::with_leaf(4))),
-        ("Shared Opt.", Box::new(SharedOpt)),
-        ("Distributed Opt.", Box::new(DistributedOpt::default())),
-        ("Outer Product", Box::new(OuterProduct::default())),
+    let algos: Vec<(&str, AlgoSpec)> = vec![
+        ("Cache Oblivious", AlgoSpec::named("cache_oblivious")),
+        ("Cache Oblivious (leaf 4)", AlgoSpec::ObliviousLeaf(4)),
+        ("Shared Opt.", AlgoSpec::named("shared_opt")),
+        ("Distributed Opt.", AlgoSpec::named("distributed_opt")),
+        ("Outer Product", AlgoSpec::named("outer_product")),
     ];
     let mut ms_series: Vec<Series> =
         algos.iter().map(|(name, _)| Series::new(format!("{name} LRU"))).collect();
@@ -508,9 +570,17 @@ pub fn ablation_oblivious(opts: &SweepOpts) -> Vec<Panel> {
         for ((_, algo), (ms_s, md_s)) in
             algos.iter().zip(ms_series.iter_mut().zip(md_series.iter_mut()))
         {
-            let stats = run(algo.as_ref(), &machine, Setting::LruAt(1), d);
-            ms_s.push(d as f64, stats.ms() as f64);
-            md_s.push(d as f64, stats.md() as f64);
+            if let Some(stats) = run_spec(
+                opts,
+                "ablation_oblivious",
+                algo.clone(),
+                &machine,
+                Setting::LruAt(1),
+                problem,
+            ) {
+                ms_s.push(d as f64, stats.ms() as f64);
+                md_s.push(d as f64, stats.md() as f64);
+            }
         }
         ms_lb.push(d as f64, bounds::ms_lower_bound(&problem, &machine));
         md_lb.push(d as f64, bounds::md_lower_bound(&problem, &machine));
@@ -546,14 +616,12 @@ pub fn ablation_associativity(opts: &SweepOpts) -> Vec<Panel> {
         ("16-way", Some(16)),
         ("fully associative", None),
     ];
-    let algos: [(&str, Box<dyn Algorithm>); 2] = [
-        ("Shared Opt. M_S", Box::new(SharedOpt)),
-        ("Distributed Opt. M_D", Box::new(DistributedOpt::default())),
-    ];
+    let algos: [(&str, &str); 2] =
+        [("Shared Opt. M_S", "shared_opt"), ("Distributed Opt. M_D", "distributed_opt")];
     algos
         .into_iter()
         .enumerate()
-        .map(|(ai, (aname, algo))| {
+        .map(|(ai, (aname, algo_id))| {
             let mut panel = Panel::new(
                 format!("ablation_associativity_{}", if ai == 0 { "ms" } else { "md" }),
                 format!("{aname} under set-associative LRU (C_S = 1024, C_D = 16)"),
@@ -565,22 +633,39 @@ pub fn ablation_associativity(opts: &SweepOpts) -> Vec<Panel> {
             // leave the rest as replacement slack) under the *least*
             // associative configuration — the fix is what matters.
             let mut lru50 = Series::new("direct-mapped, LRU-50 declaration");
-            let halved = machine.halved();
             for &d in &orders {
                 opts.progress(&format!("ablation_associativity: {aname} order {d}"));
-                let problem = ProblemSpec::square(d);
                 for ((_, assoc), s) in ways.iter().zip(series.iter_mut()) {
-                    let cfg = SimConfig { associativity: *assoc, ..SimConfig::lru(&machine) };
-                    let mut sim = Simulator::new(cfg, d, d, d);
-                    algo.execute(&machine, &problem, &mut sim).unwrap();
-                    let y = if ai == 0 { sim.stats().ms() } else { sim.stats().md() };
-                    s.push(d as f64, y as f64);
+                    let stats = opts.runner.stats(PointSpec {
+                        figure: "ablation_associativity".to_string(),
+                        algo: AlgoSpec::named(algo_id),
+                        config: ConfigSpec::Lru(LruSpec {
+                            associativity: *assoc,
+                            ..LruSpec::plain()
+                        }),
+                        machine: machine.clone(),
+                        problem: ProblemSpec::square(d),
+                    });
+                    if let Some(stats) = stats {
+                        let y = if ai == 0 { stats.ms() } else { stats.md() };
+                        s.push(d as f64, y as f64);
+                    }
                 }
-                let cfg = SimConfig { associativity: Some(1), ..SimConfig::lru(&machine) };
-                let mut sim = Simulator::new(cfg, d, d, d);
-                algo.execute(&halved, &problem, &mut sim).unwrap();
-                let y = if ai == 0 { sim.stats().ms() } else { sim.stats().md() };
-                lru50.push(d as f64, y as f64);
+                let stats = opts.runner.stats(PointSpec {
+                    figure: "ablation_associativity".to_string(),
+                    algo: AlgoSpec::named(algo_id),
+                    config: ConfigSpec::Lru(LruSpec {
+                        associativity: Some(1),
+                        declared_halved: true,
+                        ..LruSpec::plain()
+                    }),
+                    machine: machine.clone(),
+                    problem: ProblemSpec::square(d),
+                });
+                if let Some(stats) = stats {
+                    let y = if ai == 0 { stats.ms() } else { stats.md() };
+                    lru50.push(d as f64, y as f64);
+                }
             }
             series.push(lru50);
             panel.series = series;
@@ -594,6 +679,8 @@ pub fn ablation_associativity(opts: &SweepOpts) -> Vec<Panel> {
 /// byte sizes for every q and shows where `µ` collapses to 1 and the
 /// distributed-optimized strategies stop paying off (the Fig. 8(c)
 /// phenomenon as a function of q).
+///
+/// Pure closed-form formulas — no simulations, so nothing to shard.
 pub fn q_sweep(opts: &SweepOpts) -> Vec<Panel> {
     let elems = if opts.full { 3072u32 } else { 2048 }; // matrix order in elements
     let mut panel = Panel::new(
@@ -609,7 +696,8 @@ pub fn q_sweep(opts: &SweepOpts) -> Vec<Panel> {
     let mut t_tr = Series::new("Tradeoff predicted T_data");
     for q in [16u32, 24, 32, 40, 48, 64, 80, 96, 128] {
         opts.progress(&format!("q_sweep: q = {q}"));
-        let Some(machine) = MachineConfig::from_bytes(4, 8 << 20, 256 << 10, q as usize, 2.0 / 3.0)
+        // The paper's SI byte sizes (§4.1): 8 MB shared, 256 kB private.
+        let Some(machine) = MachineConfig::from_bytes(4, 8_000_000, 256_000, q as usize, 2.0 / 3.0)
         else {
             continue;
         };
@@ -670,12 +758,27 @@ pub fn ablation_shapes(opts: &SweepOpts) -> Vec<Panel> {
         opts.progress(&format!("ablation_shapes: {name}"));
         let problem = ProblemSpec::new(*m, *n, *z);
         let x = idx as f64;
-        let stats = simulate(&SharedOpt, &machine, Setting::Ideal, problem).unwrap();
-        so.push(x, stats.ccr_shared());
+        if let Some(stats) = run_spec(
+            opts,
+            "ablation_shapes",
+            AlgoSpec::named("shared_opt"),
+            &machine,
+            Setting::Ideal,
+            problem,
+        ) {
+            so.push(x, stats.ccr_shared());
+        }
         so_b.push(x, bounds::ccr_lower_bound(machine.shared_capacity));
-        let stats =
-            simulate(&DistributedOpt::default(), &machine, Setting::Ideal, problem).unwrap();
-        dopt.push(x, stats.ccr_dist());
+        if let Some(stats) = run_spec(
+            opts,
+            "ablation_shapes",
+            AlgoSpec::named("distributed_opt"),
+            &machine,
+            Setting::Ideal,
+            problem,
+        ) {
+            dopt.push(x, stats.ccr_dist());
+        }
         do_b.push(x, bounds::ccr_lower_bound(machine.dist_capacity));
     }
     ms_panel.series = vec![so, so_b];
@@ -689,7 +792,6 @@ pub fn ablation_shapes(opts: &SweepOpts) -> Vec<Panel> {
 /// ranking is the paper's `T_data` story; as compute grows, all schedules
 /// converge to `mnz·t_fma/p` and the cache-awareness premium vanishes.
 pub fn timing(opts: &SweepOpts) -> Vec<Panel> {
-    use mmc_sim::{BspTiming, TimingModel};
     let machine = MachineConfig::quad_q32();
     let d = if opts.full { 192 } else { 96 };
     let problem = ProblemSpec::square(d);
@@ -704,13 +806,17 @@ pub fn timing(opts: &SweepOpts) -> Vec<Panel> {
     let mut compute_floor = Series::new("compute floor mnz*t_fma/p");
     for &t_fma in &[0.0f64, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
         opts.progress(&format!("timing: t_fma = {t_fma}"));
-        let model = TimingModel { fma_time: t_fma, sigma_s: 1.0, sigma_d: 1.0 };
         for (a, s) in algos.iter().zip(series.iter_mut()) {
-            let sim = Simulator::new(SimConfig::lru(&machine), d, d, d);
-            let mut bsp = BspTiming::new(sim, model);
-            a.execute(&machine, &problem, &mut bsp).unwrap();
-            let (makespan, _, _) = bsp.finish();
-            s.push(t_fma, makespan);
+            let scalars = opts.runner.scalars(PointSpec {
+                figure: "timing".to_string(),
+                algo: AlgoSpec::named(a.id()),
+                config: ConfigSpec::Bsp(BspSpec { fma_time: t_fma }),
+                machine: machine.clone(),
+                problem,
+            });
+            if let Some(scalars) = scalars {
+                s.push(t_fma, scalars[0]);
+            }
         }
         compute_floor.push(t_fma, problem.total_fmas() as f64 * t_fma / machine.cores as f64);
     }
@@ -724,11 +830,15 @@ pub fn timing(opts: &SweepOpts) -> Vec<Panel> {
 /// multi-level Maximum Reuse schedule against the flat two-level
 /// algorithms and the cache-oblivious recursion, per tree level.
 pub fn cluster(opts: &SweepOpts) -> Vec<Panel> {
-    use mmc_core::algorithms::{CacheOblivious, HierarchicalMaxReuse};
-    use mmc_sim::{TreeSimulator, TreeTopology};
     // 4 nodes × (shared 977 × 4 cores of 21) with a 16k-block node cache.
-    let topo = TreeTopology::cluster(4, 16384, 4, 977, 21);
-    let total_cores = topo.cores();
+    let cluster_spec = ClusterSpec {
+        nodes: 4,
+        node_capacity: 16384,
+        cores_per_node: 4,
+        shared_capacity: 977,
+        dist_capacity: 21,
+    };
+    let total_cores = cluster_spec.nodes * cluster_spec.cores_per_node;
     // The flat algorithms see a two-level machine with all 16 cores.
     let flat_machine = MachineConfig::new(total_cores, 977 * 4, 21, 32);
     let orders: Vec<u32> = match &opts.orders {
@@ -751,32 +861,28 @@ pub fn cluster(opts: &SweepOpts) -> Vec<Panel> {
             )
         })
         .collect();
-    let names = ["Hierarchical Max Reuse", "Distributed Opt. (flat)", "Cache Oblivious"];
+    let entries: [(&str, &str); 3] = [
+        ("Hierarchical Max Reuse", "hierarchical_max_reuse"),
+        ("Distributed Opt. (flat)", "distributed_opt"),
+        ("Cache Oblivious", "cache_oblivious"),
+    ];
     for p in &mut panels {
-        p.series = names.iter().map(|n| Series::new(*n)).collect();
+        p.series = entries.iter().map(|(n, _)| Series::new(*n)).collect();
     }
     for d in orders {
         opts.progress(&format!("cluster: order {d}"));
-        let problem = ProblemSpec::square(d);
-        let mut stats = Vec::new();
-        {
-            let mut sim = TreeSimulator::new(topo.clone(), d, d, d);
-            HierarchicalMaxReuse::new(topo.clone()).run(&problem, &mut sim).unwrap();
-            stats.push(sim.into_stats());
-        }
-        {
-            let mut sim = TreeSimulator::new(topo.clone(), d, d, d);
-            DistributedOpt::default().execute(&flat_machine, &problem, &mut sim).unwrap();
-            stats.push(sim.into_stats());
-        }
-        {
-            let mut sim = TreeSimulator::new(topo.clone(), d, d, d);
-            CacheOblivious::new().execute(&flat_machine, &problem, &mut sim).unwrap();
-            stats.push(sim.into_stats());
-        }
-        for (si, st) in stats.iter().enumerate() {
-            for (l, p) in panels.iter_mut().enumerate() {
-                p.series[si].push(d as f64, st.level_misses(l) as f64);
+        for (si, (_, algo_id)) in entries.iter().enumerate() {
+            let scalars = opts.runner.scalars(PointSpec {
+                figure: "cluster".to_string(),
+                algo: AlgoSpec::named(algo_id),
+                config: ConfigSpec::Cluster(cluster_spec.clone()),
+                machine: flat_machine.clone(),
+                problem: ProblemSpec::square(d),
+            });
+            if let Some(level_misses) = scalars {
+                for (l, p) in panels.iter_mut().enumerate() {
+                    p.series[si].push(d as f64, level_misses[l]);
+                }
             }
         }
     }
@@ -788,7 +894,7 @@ pub fn cluster(opts: &SweepOpts) -> Vec<Panel> {
 /// matrix-product tilings, against the Loomis–Whitney bound on the update
 /// stream.
 pub fn lu_update(opts: &SweepOpts) -> Vec<Panel> {
-    use mmc_lu::{bounds as lu_bounds, BlockedLu, SimLuHooks, UpdateTiling};
+    use mmc_lu::bounds as lu_bounds;
     let machine = MachineConfig::quad_q32();
     let orders: Vec<u32> = match &opts.orders {
         Some(o) => o.clone(),
@@ -797,11 +903,11 @@ pub fn lu_update(opts: &SweepOpts) -> Vec<Panel> {
             (32..=max).step_by(32).collect()
         }
     };
-    let variants: [(&str, BlockedLu); 4] = [
-        ("Row stripes w=1", BlockedLu::new(1, UpdateTiling::RowStripes)),
-        ("Row stripes w=8", BlockedLu::new(8, UpdateTiling::RowStripes)),
-        ("Shared Opt. tiles w=8", BlockedLu::new(8, UpdateTiling::SharedOpt)),
-        ("Tradeoff tiles w=8", BlockedLu::new(8, UpdateTiling::Tradeoff)),
+    let variants: [(&str, u32, &str); 4] = [
+        ("Row stripes w=1", 1, "row_stripes"),
+        ("Row stripes w=8", 8, "row_stripes"),
+        ("Shared Opt. tiles w=8", 8, "shared_opt"),
+        ("Tradeoff tiles w=8", 8, "tradeoff"),
     ];
     let mut ms_panel = Panel::new(
         "lu_update_ms",
@@ -815,20 +921,29 @@ pub fn lu_update(opts: &SweepOpts) -> Vec<Panel> {
         "matrix order (blocks)",
         Metric::Md.label(),
     );
-    let mut ms_series: Vec<Series> = variants.iter().map(|(name, _)| Series::new(*name)).collect();
-    let mut md_series: Vec<Series> = variants.iter().map(|(name, _)| Series::new(*name)).collect();
+    let mut ms_series: Vec<Series> = variants.iter().map(|(name, ..)| Series::new(*name)).collect();
+    let mut md_series: Vec<Series> = variants.iter().map(|(name, ..)| Series::new(*name)).collect();
     let mut ms_lb = Series::new("Update-stream Lower Bound");
     let mut md_lb = Series::new("Update-stream Lower Bound");
     for n in orders {
         opts.progress(&format!("lu_update: order {n}"));
-        for ((_, lu), (ms_s, md_s)) in
+        for ((_, panel_w, tiling), (ms_s, md_s)) in
             variants.iter().zip(ms_series.iter_mut().zip(md_series.iter_mut()))
         {
-            let mut sim = Simulator::new(SimConfig::lru(&machine), n, n, 1);
-            let mut hooks = SimLuHooks::new(&mut sim);
-            lu.run(&machine, n, &mut hooks).unwrap();
-            ms_s.push(n as f64, sim.stats().ms() as f64);
-            md_s.push(n as f64, sim.stats().md() as f64);
+            let stats = opts.runner.stats(PointSpec {
+                figure: "lu_update".to_string(),
+                algo: AlgoSpec::BlockedLuSpec(LuSpec {
+                    panel: *panel_w,
+                    tiling: (*tiling).to_string(),
+                }),
+                config: ConfigSpec::LuLru,
+                machine: machine.clone(),
+                problem: ProblemSpec::new(n, n, 1),
+            });
+            if let Some(stats) = stats {
+                ms_s.push(n as f64, stats.ms() as f64);
+                md_s.push(n as f64, stats.md() as f64);
+            }
         }
         ms_lb.push(n as f64, lu_bounds::ms_lower_bound(n as u64, &machine));
         md_lb.push(n as f64, lu_bounds::md_lower_bound(n as u64, &machine));
@@ -857,11 +972,18 @@ pub fn event_counts(opts: &SweepOpts) -> Vec<Panel> {
     let mut writes = Series::new("writes");
     let mut fmas = Series::new("fmas");
     for (i, algo) in all_algorithms().iter().enumerate() {
-        let mut sink = mmc_sim::CountingSink::new();
-        algo.execute(&machine, &problem, &mut sink).unwrap();
-        reads.push(i as f64, sink.reads as f64);
-        writes.push(i as f64, sink.writes as f64);
-        fmas.push(i as f64, sink.fmas as f64);
+        let scalars = opts.runner.scalars(PointSpec {
+            figure: "event_counts".to_string(),
+            algo: AlgoSpec::named(algo.id()),
+            config: ConfigSpec::Counting,
+            machine: machine.clone(),
+            problem,
+        });
+        if let Some(counts) = scalars {
+            reads.push(i as f64, counts[0]);
+            writes.push(i as f64, counts[1]);
+            fmas.push(i as f64, counts[2]);
+        }
     }
     panel.series = vec![reads, writes, fmas];
     vec![panel]
@@ -926,7 +1048,7 @@ mod tests {
     use super::*;
 
     fn tiny() -> SweepOpts {
-        SweepOpts { full: false, orders: Some(vec![30, 60]), verbose: false }
+        SweepOpts { orders: Some(vec![30, 60]), ..SweepOpts::default() }
     }
 
     #[test]
@@ -962,17 +1084,25 @@ mod tests {
     #[test]
     fn fig12_tradeoff_tracks_the_winner_at_the_extremes() {
         let opts = SweepOpts::default();
-        // Use a tiny order through the private helper instead: run fig12
-        // sweeps on a reduced problem by monkeying the order is not
-        // possible, so sample two ratios directly.
+        // Sample two ratios directly at a tiny order instead of running
+        // the full m = 384 figure.
         let machine = MachineConfig::quad_q32();
         let d = 96u32;
-        let stats_so = run(&SharedOpt, &machine, Setting::Ideal, d);
-        let stats_do = run(&DistributedOpt::default(), &machine, Setting::Ideal, d);
+        let stats_so = run(&opts, "test", &SharedOpt, &machine, Setting::Ideal, d).unwrap();
+        let stats_do =
+            run(&opts, "test", &DistributedOpt::default(), &machine, Setting::Ideal, d).unwrap();
         for (r, reference) in [(0.05, &stats_so), (0.95, &stats_do)] {
             let m_r = machine.clone().with_bandwidth_ratio(r);
             let tp = params::tradeoff_params(&m_r).unwrap();
-            let tr = run(&Tradeoff::with_params(tp), &m_r, Setting::Ideal, d);
+            let tr = run_spec(
+                &opts,
+                "test",
+                AlgoSpec::TradeoffWith(tp),
+                &m_r,
+                Setting::Ideal,
+                ProblemSpec::square(d),
+            )
+            .unwrap();
             let t_tr = tr.t_data(m_r.sigma_s, m_r.sigma_d);
             let t_ref = reference.t_data(m_r.sigma_s, m_r.sigma_d);
             assert!(
@@ -980,7 +1110,6 @@ mod tests {
                 "r={r}: Tradeoff {t_tr} should be within 10% of the specialist {t_ref}"
             );
         }
-        let _ = opts;
     }
 
     #[test]
@@ -1003,5 +1132,7 @@ mod tests {
                 );
             }
         }
+        // No figure failed a point on the inline path.
+        assert_eq!(opts.runner.report().failed, 0);
     }
 }

@@ -10,16 +10,24 @@
 //!
 //! The [`sweep`] module provides the simulation settings (IDEAL, LRU-50,
 //! LRU at scaled capacity) and series/panel plumbing; [`figures`] defines
-//! the per-figure sweeps. Criterion wall-clock benches live under
-//! `benches/`.
+//! the per-figure sweeps; [`points`] decomposes them into independent
+//! sweep points for the sharded/resumable driver (`--jobs`/`--resume`),
+//! with [`cache`] providing the content-addressed on-disk point cache.
+//! Criterion wall-clock benches live under `benches/`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cache;
 pub mod figures;
 pub mod perf;
+pub mod points;
 pub mod sweep;
 
+pub use cache::{PointCache, POINT_CACHE_VERSION};
 pub use figures::{figure_ids, run_figure, SweepOpts};
 pub use perf::{write_records, PerfRecord, PerfReport};
+pub use points::{
+    run_figure_sharded, HarnessOpts, PointReport, PointRunner, PointSpec, PointValue, RunMode,
+};
 pub use sweep::{simulate, Metric, Panel, Series, Setting};

@@ -1,0 +1,843 @@
+//! Sweep points: every figure decomposed into independent, serializable
+//! units of simulation work.
+//!
+//! A [`PointSpec`] is a self-describing record of *one* simulation a
+//! figure needs — which algorithm, which machine, which cache/sink
+//! configuration, which problem — with a pure interpreter
+//! ([`PointSpec::compute`]) that produces its [`PointValue`]. Because the
+//! spec is the complete input, points can be:
+//!
+//! * **sharded** across a rayon pool (`figures <id> --jobs N`),
+//! * **cached** on disk keyed by their canonical serialization
+//!   ([`PointSpec::key`], served by [`crate::cache::PointCache`]), and
+//! * **isolated**: each point computes under `catch_unwind`, so one
+//!   failing point degrades to a recorded per-cell error instead of
+//!   killing the sweep.
+//!
+//! The figure functions in [`crate::figures`] stay the single source of
+//! truth for figure *structure* (panels, series, labels, x-values): they
+//! request every point through the [`PointRunner`] carried by
+//! [`crate::figures::SweepOpts`]. The sharded driver
+//! ([`run_figure_sharded`]) runs each figure function twice — once in
+//! `Enumerate` mode to collect the point list (placeholder values, no
+//! simulation), then, after the pool has filled the memo, in `Replay`
+//! mode to assemble the real output. Serial and sharded runs therefore
+//! execute the *same* figure code against the *same* computed values,
+//! which is what makes the merged CSV/JSON byte-identical by
+//! construction.
+
+use crate::cache::{PointCache, POINT_CACHE_VERSION};
+use crate::figures::{run_figure, SweepOpts};
+use crate::sweep::{simulate, Panel, Setting};
+use mmc_core::algorithms::{
+    Algorithm, CacheOblivious, DistributedEqual, DistributedOpt, HierarchicalMaxReuse,
+    OuterProduct, SharedEqual, SharedOpt, Tradeoff,
+};
+use mmc_core::params::{CoreGrid, TradeoffParams};
+use mmc_core::ProblemSpec;
+use mmc_lu::{BlockedLu, SimLuHooks, UpdateTiling};
+use mmc_sim::{
+    BspTiming, CountingSink, MachineConfig, SimConfig, SimStats, Simulator, TimingModel,
+    TreeSimulator, TreeTopology,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Which algorithm a point runs.
+///
+/// Default-parameterized algorithms go through [`AlgoSpec::Named`] (the
+/// stable [`Algorithm::id`] string); the variants carry the explicit
+/// parameters a few figures override.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum AlgoSpec {
+    /// An algorithm by its stable id (`shared_opt`, `outer_product`, …;
+    /// `hierarchical_max_reuse` is valid under [`ConfigSpec::Cluster`]).
+    Named(String),
+    /// Tradeoff with explicit `(α, β, µ, grid)` (Fig. 12).
+    TradeoffWith(TradeoffParams),
+    /// Distributed Opt on an explicit core grid (grid ablation).
+    DistGrid(CoreGrid),
+    /// Cache-oblivious recursion with an explicit leaf size.
+    ObliviousLeaf(u32),
+    /// Blocked LU with the given panel width and update tiling
+    /// (`row_stripes` / `shared_opt` / `tradeoff`); only valid under
+    /// [`ConfigSpec::LuLru`].
+    BlockedLuSpec(LuSpec),
+}
+
+/// Parameters of a blocked-LU point (see [`AlgoSpec::BlockedLuSpec`]).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LuSpec {
+    /// Panel width in blocks.
+    pub panel: u32,
+    /// Update tiling id: `row_stripes`, `shared_opt` or `tradeoff`.
+    pub tiling: String,
+}
+
+impl AlgoSpec {
+    /// Spec for a default-parameterized algorithm.
+    pub fn named(id: &str) -> AlgoSpec {
+        AlgoSpec::Named(id.to_string())
+    }
+
+    fn instantiate(&self) -> Result<Box<dyn Algorithm>, String> {
+        match self {
+            AlgoSpec::Named(id) => match id.as_str() {
+                "shared_opt" => Ok(Box::new(SharedOpt)),
+                "shared_equal" => Ok(Box::new(SharedEqual)),
+                "distributed_opt" => Ok(Box::new(DistributedOpt::default())),
+                "distributed_equal" => Ok(Box::new(DistributedEqual::default())),
+                "outer_product" => Ok(Box::new(OuterProduct::default())),
+                "tradeoff" => Ok(Box::new(Tradeoff::default())),
+                "cache_oblivious" => Ok(Box::new(CacheOblivious::new())),
+                other => Err(format!("unknown algorithm id {other:?}")),
+            },
+            AlgoSpec::TradeoffWith(tp) => Ok(Box::new(Tradeoff::with_params(*tp))),
+            AlgoSpec::DistGrid(grid) => Ok(Box::new(DistributedOpt::with_grid(*grid))),
+            AlgoSpec::ObliviousLeaf(leaf) => Ok(Box::new(CacheOblivious::with_leaf(*leaf))),
+            AlgoSpec::BlockedLuSpec(_) => {
+                Err("blocked LU runs under ConfigSpec::LuLru, not as an Algorithm".to_string())
+            }
+        }
+    }
+
+    fn short(&self) -> String {
+        match self {
+            AlgoSpec::Named(id) => id.clone(),
+            AlgoSpec::TradeoffWith(tp) => format!("tradeoff(a={},b={})", tp.alpha, tp.beta),
+            AlgoSpec::DistGrid(g) => format!("distributed_opt({}x{})", g.rows, g.cols),
+            AlgoSpec::ObliviousLeaf(l) => format!("cache_oblivious(leaf={l})"),
+            AlgoSpec::BlockedLuSpec(l) => format!("blocked_lu(w={},{})", l.panel, l.tiling),
+        }
+    }
+}
+
+/// How a point's simulator / sink is configured.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ConfigSpec {
+    /// A paper evaluation setting (IDEAL / LRU-50 / LRU at scaled
+    /// capacity) through [`crate::sweep::simulate`].
+    Setting(Setting),
+    /// Full-capacity LRU with explicit inclusivity / associativity
+    /// overrides (the ablations that build [`SimConfig`] by hand).
+    Lru(LruSpec),
+    /// BSP makespan under full-capacity LRU with the given per-FMA time
+    /// (unit bandwidths). Value: `Scalars[makespan]`.
+    Bsp(BspSpec),
+    /// Pure event counting (no cache model). Value:
+    /// `Scalars[reads, writes, fmas]`.
+    Counting,
+    /// Three-level cluster tree. Value: `Scalars[misses at level 0, 1, 2]`
+    /// (max over same-level nodes).
+    Cluster(ClusterSpec),
+    /// Blocked LU under full-capacity LRU (`z = 1` simulator); the
+    /// algorithm must be [`AlgoSpec::BlockedLuSpec`].
+    LuLru,
+}
+
+/// Overrides for [`ConfigSpec::Lru`] on top of [`SimConfig::lru`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LruSpec {
+    /// Inclusive hierarchy (back-invalidation) on or off.
+    pub inclusive: bool,
+    /// `Some(ways)` for set-associative caches, `None` for fully
+    /// associative.
+    pub associativity: Option<usize>,
+    /// Declare half the physical capacities to the algorithm (the LRU-50
+    /// declaration) while simulating at full size.
+    pub declared_halved: bool,
+}
+
+impl LruSpec {
+    /// Plain full-capacity LRU (the `SimConfig::lru` defaults).
+    pub fn plain() -> LruSpec {
+        LruSpec { inclusive: true, associativity: None, declared_halved: false }
+    }
+}
+
+/// Parameters of a [`ConfigSpec::Bsp`] point.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BspSpec {
+    /// Time per block FMA, in block-transfer units.
+    pub fma_time: f64,
+}
+
+/// Parameters of a [`ConfigSpec::Cluster`] point (see
+/// [`TreeTopology::cluster`]).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of multicore nodes.
+    pub nodes: usize,
+    /// Per-node cache capacity in blocks.
+    pub node_capacity: usize,
+    /// Cores per node.
+    pub cores_per_node: usize,
+    /// Per-node shared-cache capacity in blocks.
+    pub shared_capacity: usize,
+    /// Per-core private-cache capacity in blocks.
+    pub dist_capacity: usize,
+}
+
+impl ClusterSpec {
+    fn topology(&self) -> TreeTopology {
+        TreeTopology::cluster(
+            self.nodes,
+            self.node_capacity,
+            self.cores_per_node,
+            self.shared_capacity,
+            self.dist_capacity,
+        )
+    }
+}
+
+/// One independent sweep point: the complete input of one simulation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PointSpec {
+    /// Figure id the point belongs to (part of the cache key so figures
+    /// stay independently resumable).
+    pub figure: String,
+    /// Algorithm under test.
+    pub algo: AlgoSpec,
+    /// Simulator / sink configuration.
+    pub config: ConfigSpec,
+    /// Machine the algorithm is told about.
+    pub machine: MachineConfig,
+    /// Problem dimensions in blocks.
+    pub problem: ProblemSpec,
+}
+
+impl PointSpec {
+    /// Canonical cache/memo key: harness version salt + the spec's serde
+    /// serialization. Stable across processes for identical specs.
+    pub fn key(&self) -> String {
+        let body = serde_json::to_string(self).expect("PointSpec serializes");
+        format!("{POINT_CACHE_VERSION}|{body}")
+    }
+
+    /// Short human-readable description for progress lines and errors.
+    pub fn describe(&self) -> String {
+        format!(
+            "{}: {} {:?} {}x{}x{} (C_S={}, C_D={})",
+            self.figure,
+            self.algo.short(),
+            self.config_tag(),
+            self.problem.m,
+            self.problem.n,
+            self.problem.z,
+            self.machine.shared_capacity,
+            self.machine.dist_capacity,
+        )
+    }
+
+    fn config_tag(&self) -> String {
+        match &self.config {
+            ConfigSpec::Setting(s) => s.label(),
+            ConfigSpec::Lru(l) => format!(
+                "LRU(incl={}, assoc={:?}{})",
+                l.inclusive,
+                l.associativity,
+                if l.declared_halved { ", halved" } else { "" }
+            ),
+            ConfigSpec::Bsp(b) => format!("BSP(t_fma={})", b.fma_time),
+            ConfigSpec::Counting => "counting".to_string(),
+            ConfigSpec::Cluster(c) => format!("cluster({}x{})", c.nodes, c.cores_per_node),
+            ConfigSpec::LuLru => "LU LRU".to_string(),
+        }
+    }
+
+    /// A placeholder value of the right shape, returned during the
+    /// `Enumerate` pass (figure control flow never depends on point
+    /// values, so placeholders only have to type-check downstream math).
+    pub fn placeholder(&self) -> PointValue {
+        match &self.config {
+            ConfigSpec::Setting(_) | ConfigSpec::Lru(_) | ConfigSpec::LuLru => {
+                PointValue::Stats(SimStats::new(self.machine.cores))
+            }
+            ConfigSpec::Bsp(_) => PointValue::Scalars(vec![0.0]),
+            ConfigSpec::Counting | ConfigSpec::Cluster(_) => PointValue::Scalars(vec![0.0; 3]),
+        }
+    }
+
+    /// Run the simulation this point describes. Pure: everything the
+    /// result depends on is in `self`, which is what makes points
+    /// shardable and cacheable.
+    pub fn compute(&self) -> Result<PointValue, String> {
+        let problem = self.problem;
+        match &self.config {
+            ConfigSpec::Setting(setting) => {
+                let algo = self.algo.instantiate()?;
+                let stats = simulate(algo.as_ref(), &self.machine, *setting, problem)
+                    .map_err(|e| e.to_string())?;
+                Ok(PointValue::Stats(stats))
+            }
+            ConfigSpec::Lru(lru) => {
+                let algo = self.algo.instantiate()?;
+                let cfg = SimConfig {
+                    inclusive: lru.inclusive,
+                    associativity: lru.associativity,
+                    ..SimConfig::lru(&self.machine)
+                };
+                let declared =
+                    if lru.declared_halved { self.machine.halved() } else { self.machine.clone() };
+                let mut sim = Simulator::new(cfg, problem.m, problem.n, problem.z);
+                algo.execute(&declared, &problem, &mut sim).map_err(|e| e.to_string())?;
+                Ok(PointValue::Stats(sim.into_stats()))
+            }
+            ConfigSpec::Bsp(bsp) => {
+                let algo = self.algo.instantiate()?;
+                let model = TimingModel { fma_time: bsp.fma_time, sigma_s: 1.0, sigma_d: 1.0 };
+                let sim =
+                    Simulator::new(SimConfig::lru(&self.machine), problem.m, problem.n, problem.z);
+                let mut bsp_sim = BspTiming::new(sim, model);
+                algo.execute(&self.machine, &problem, &mut bsp_sim).map_err(|e| e.to_string())?;
+                let (makespan, _, _) = bsp_sim.finish();
+                Ok(PointValue::Scalars(vec![makespan]))
+            }
+            ConfigSpec::Counting => {
+                let algo = self.algo.instantiate()?;
+                let mut sink = CountingSink::new();
+                algo.execute(&self.machine, &problem, &mut sink).map_err(|e| e.to_string())?;
+                Ok(PointValue::Scalars(vec![
+                    sink.reads as f64,
+                    sink.writes as f64,
+                    sink.fmas as f64,
+                ]))
+            }
+            ConfigSpec::Cluster(cluster) => {
+                let topo = cluster.topology();
+                let mut sim = TreeSimulator::new(topo.clone(), problem.m, problem.n, problem.z);
+                match &self.algo {
+                    AlgoSpec::Named(id) if id == "hierarchical_max_reuse" => {
+                        HierarchicalMaxReuse::new(topo)
+                            .run(&problem, &mut sim)
+                            .map_err(|e| e.to_string())?;
+                    }
+                    other => {
+                        let algo = other.instantiate()?;
+                        algo.execute(&self.machine, &problem, &mut sim)
+                            .map_err(|e| e.to_string())?;
+                    }
+                }
+                let stats = sim.into_stats();
+                Ok(PointValue::Scalars((0..3).map(|l| stats.level_misses(l) as f64).collect()))
+            }
+            ConfigSpec::LuLru => {
+                let AlgoSpec::BlockedLuSpec(lu_spec) = &self.algo else {
+                    return Err("ConfigSpec::LuLru needs AlgoSpec::BlockedLuSpec".to_string());
+                };
+                let tiling = match lu_spec.tiling.as_str() {
+                    "row_stripes" => UpdateTiling::RowStripes,
+                    "shared_opt" => UpdateTiling::SharedOpt,
+                    "tradeoff" => UpdateTiling::Tradeoff,
+                    other => return Err(format!("unknown LU tiling {other:?}")),
+                };
+                let lu = BlockedLu::new(lu_spec.panel, tiling);
+                let n = problem.m;
+                let mut sim = Simulator::new(SimConfig::lru(&self.machine), n, n, 1);
+                {
+                    let mut hooks = SimLuHooks::new(&mut sim);
+                    lu.run(&self.machine, n, &mut hooks).map_err(|e| e.to_string())?;
+                }
+                Ok(PointValue::Stats(sim.into_stats()))
+            }
+        }
+    }
+}
+
+/// The result of one computed point.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum PointValue {
+    /// Full two-level simulator statistics.
+    Stats(SimStats),
+    /// Scalar results for points that are not plain simulations (BSP
+    /// makespan, event counts, per-level cluster misses).
+    Scalars(Vec<f64>),
+}
+
+impl PointValue {
+    /// The statistics, for simulator-backed points.
+    pub fn stats(&self) -> Option<&SimStats> {
+        match self {
+            PointValue::Stats(s) => Some(s),
+            PointValue::Scalars(_) => None,
+        }
+    }
+
+    /// The scalar vector, for scalar-valued points.
+    pub fn scalars(&self) -> Option<&[f64]> {
+        match self {
+            PointValue::Stats(_) => None,
+            PointValue::Scalars(v) => Some(v),
+        }
+    }
+}
+
+/// A recorded per-point failure (panic or error); the owning cell is left
+/// empty in the figure output and the sweep continues.
+#[derive(Clone, Debug)]
+pub struct PointError {
+    /// Figure the point belonged to.
+    pub figure: String,
+    /// Human description of the point ([`PointSpec::describe`]).
+    pub point: String,
+    /// Error or panic message.
+    pub message: String,
+}
+
+/// Counters and errors from one figure's point executions.
+#[derive(Clone, Debug, Default)]
+pub struct PointReport {
+    /// Points served from the on-disk cache.
+    pub cached: usize,
+    /// Points computed this run.
+    pub computed: usize,
+    /// Points that failed (error or panic).
+    pub failed: usize,
+    /// The recorded failures.
+    pub errors: Vec<PointError>,
+}
+
+impl PointReport {
+    /// Total points touched (cached + computed + failed).
+    pub fn total(&self) -> usize {
+        self.cached + self.computed + self.failed
+    }
+
+    /// One-line summary, as printed (and grepped by CI's cache-smoke job).
+    pub fn summary(&self, figure: &str) -> String {
+        format!(
+            "[points] {figure}: {} points — {} cached, {} computed, {} failed",
+            self.total(),
+            self.cached,
+            self.computed,
+            self.failed
+        )
+    }
+}
+
+const MODE_INLINE: u8 = 0;
+const MODE_ENUMERATE: u8 = 1;
+const MODE_REPLAY: u8 = 2;
+
+/// Execution mode of a [`PointRunner`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunMode {
+    /// Compute each point on first request (the serial path; also the
+    /// default for library callers).
+    Inline,
+    /// Record requested specs, return placeholders (first sharded pass).
+    Enumerate,
+    /// Serve memoized values computed by the pool (second sharded pass);
+    /// falls back to inline computation on an unexpected miss.
+    Replay,
+}
+
+type Outcome = Result<PointValue, String>;
+
+#[derive(Debug, Default)]
+struct RunnerInner {
+    mode: AtomicU8,
+    memo: Mutex<HashMap<String, Outcome>>,
+    pending: Mutex<Vec<(String, PointSpec)>>,
+    cache: Mutex<Option<PointCache>>,
+    cached: AtomicUsize,
+    computed: AtomicUsize,
+    failed: AtomicUsize,
+    errors: Mutex<Vec<PointError>>,
+}
+
+/// Shared executor for sweep points: memoizes by canonical key, consults
+/// the on-disk cache, isolates panics, and (in the sharded modes)
+/// separates point discovery from point computation. Cloning is cheap and
+/// shares all state — [`SweepOpts`](crate::figures::SweepOpts) carries a
+/// clone into every figure function.
+#[derive(Clone, Default)]
+pub struct PointRunner {
+    inner: Arc<RunnerInner>,
+}
+
+impl std::fmt::Debug for PointRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PointRunner")
+            .field("mode", &self.mode())
+            .field("memoized", &self.inner.memo.lock().unwrap().len())
+            .field("pending", &self.inner.pending.lock().unwrap().len())
+            .finish()
+    }
+}
+
+impl PointRunner {
+    /// A fresh inline runner with no cache.
+    pub fn new() -> PointRunner {
+        PointRunner::default()
+    }
+
+    /// Current mode.
+    pub fn mode(&self) -> RunMode {
+        match self.inner.mode.load(Ordering::Relaxed) {
+            MODE_ENUMERATE => RunMode::Enumerate,
+            MODE_REPLAY => RunMode::Replay,
+            _ => RunMode::Inline,
+        }
+    }
+
+    /// Switch mode (the sharded driver flips Enumerate → Replay).
+    pub fn set_mode(&self, mode: RunMode) {
+        let v = match mode {
+            RunMode::Inline => MODE_INLINE,
+            RunMode::Enumerate => MODE_ENUMERATE,
+            RunMode::Replay => MODE_REPLAY,
+        };
+        self.inner.mode.store(v, Ordering::Relaxed);
+    }
+
+    /// Attach an on-disk cache (hits require it to have reads enabled).
+    pub fn set_cache(&self, cache: PointCache) {
+        *self.inner.cache.lock().unwrap() = Some(cache);
+    }
+
+    /// Request a point's value. `None` means the point failed (its error
+    /// is in the report) — the caller leaves the cell empty.
+    pub fn point(&self, spec: PointSpec) -> Option<PointValue> {
+        let key = spec.key();
+        match self.mode() {
+            RunMode::Enumerate => {
+                let placeholder = spec.placeholder();
+                if !self.inner.memo.lock().unwrap().contains_key(&key) {
+                    let mut pending = self.inner.pending.lock().unwrap();
+                    if !pending.iter().any(|(k, _)| *k == key) {
+                        pending.push((key, spec));
+                    }
+                }
+                Some(placeholder)
+            }
+            RunMode::Replay | RunMode::Inline => {
+                if let Some(outcome) = self.inner.memo.lock().unwrap().get(&key) {
+                    return outcome.as_ref().ok().cloned();
+                }
+                self.resolve(key, &spec)
+            }
+        }
+    }
+
+    /// [`Self::point`] narrowed to simulator statistics.
+    pub fn stats(&self, spec: PointSpec) -> Option<SimStats> {
+        self.point(spec).and_then(|v| v.stats().cloned())
+    }
+
+    /// [`Self::point`] narrowed to scalar values.
+    pub fn scalars(&self, spec: PointSpec) -> Option<Vec<f64>> {
+        self.point(spec).and_then(|v| v.scalars().map(<[f64]>::to_vec))
+    }
+
+    /// Number of distinct points recorded by the Enumerate pass and not
+    /// yet computed.
+    pub fn pending_len(&self) -> usize {
+        self.inner.pending.lock().unwrap().len()
+    }
+
+    /// Compute every pending point (call under `ThreadPool::install` to
+    /// control the worker count). Each point is cache-checked, computed
+    /// under `catch_unwind`, memoized, and stored back to the cache.
+    pub fn compute_pending(&self, verbose: bool) {
+        use rayon::prelude::*;
+        let pending: Vec<(String, PointSpec)> =
+            std::mem::take(&mut *self.inner.pending.lock().unwrap());
+        pending.par_iter().for_each(|(key, spec)| {
+            if self.inner.memo.lock().unwrap().contains_key(key) {
+                return;
+            }
+            if verbose {
+                eprintln!("  [points] {}", spec.describe());
+            }
+            let _ = self.resolve(key.clone(), spec);
+        });
+    }
+
+    /// Cache-check, compute (panic-isolated), record, and store one point.
+    fn resolve(&self, key: String, spec: &PointSpec) -> Option<PointValue> {
+        let cache = self.inner.cache.lock().unwrap().clone();
+        if let Some(value) = cache.as_ref().and_then(|c| c.load(&key)) {
+            self.inner.cached.fetch_add(1, Ordering::Relaxed);
+            self.inner.memo.lock().unwrap().insert(key, Ok(value.clone()));
+            return Some(value);
+        }
+        let outcome = compute_guarded(spec);
+        match &outcome {
+            Ok(value) => {
+                self.inner.computed.fetch_add(1, Ordering::Relaxed);
+                if let Some(c) = &cache {
+                    c.store(&key, value);
+                }
+            }
+            Err(message) => {
+                self.inner.failed.fetch_add(1, Ordering::Relaxed);
+                self.inner.errors.lock().unwrap().push(PointError {
+                    figure: spec.figure.clone(),
+                    point: spec.describe(),
+                    message: message.clone(),
+                });
+            }
+        }
+        let value = outcome.as_ref().ok().cloned();
+        self.inner.memo.lock().unwrap().insert(key, outcome);
+        value
+    }
+
+    /// Snapshot the counters and errors.
+    pub fn report(&self) -> PointReport {
+        PointReport {
+            cached: self.inner.cached.load(Ordering::Relaxed),
+            computed: self.inner.computed.load(Ordering::Relaxed),
+            failed: self.inner.failed.load(Ordering::Relaxed),
+            errors: self.inner.errors.lock().unwrap().clone(),
+        }
+    }
+}
+
+/// Run `spec.compute()` with panic isolation: a panicking point becomes
+/// an `Err` naming the panic payload.
+fn compute_guarded(spec: &PointSpec) -> Outcome {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| spec.compute())) {
+        Ok(result) => result,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            Err(format!("panicked: {msg}"))
+        }
+    }
+}
+
+/// Options of the sharded driver (the `--jobs` / `--resume` surface).
+#[derive(Clone, Debug, Default)]
+pub struct HarnessOpts {
+    /// Worker count; `None` or `Some(0)` uses all available cores.
+    pub jobs: Option<usize>,
+    /// Serve completed points from the on-disk cache.
+    pub resume: bool,
+    /// Cache directory (`<out>/cache` in the binaries); `None` disables
+    /// the cache entirely.
+    pub cache_dir: Option<PathBuf>,
+    /// Force the single-pass serial path (still cache-writing, so a
+    /// serial run can seed a later `--resume`).
+    pub serial: bool,
+}
+
+/// Run one figure through the sharded harness: enumerate its points,
+/// compute them on a rayon pool (cache-served under `--resume`,
+/// panic-isolated), then replay the figure function against the memo.
+/// With `opts.serial` the figure runs in one inline pass instead; either
+/// way the emitted panels are byte-identical because the same figure code
+/// consumes the same computed values.
+pub fn run_figure_sharded(
+    id: &str,
+    opts: &SweepOpts,
+    harness: &HarnessOpts,
+) -> (Vec<Panel>, PointReport) {
+    let runner = PointRunner::new();
+    if let Some(dir) = &harness.cache_dir {
+        match PointCache::new(dir.clone(), harness.resume) {
+            Ok(cache) => runner.set_cache(cache),
+            Err(e) => eprintln!("  [points] cache disabled ({}): {e}", dir.display()),
+        }
+    }
+    let mut run_opts = opts.clone();
+    run_opts.runner = runner.clone();
+    if harness.serial {
+        let panels = run_figure(id, &run_opts);
+        return (panels, runner.report());
+    }
+    runner.set_mode(RunMode::Enumerate);
+    let mut enum_opts = run_opts.clone();
+    enum_opts.verbose = false;
+    let _ = run_figure(id, &enum_opts);
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(harness.jobs.unwrap_or(0))
+        .build()
+        .expect("thread pool");
+    pool.install(|| runner.compute_pending(opts.verbose));
+    runner.set_mode(RunMode::Replay);
+    let panels = run_figure(id, &run_opts);
+    (panels, runner.report())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(figure: &str, algo: AlgoSpec, config: ConfigSpec, d: u32) -> PointSpec {
+        PointSpec {
+            figure: figure.to_string(),
+            algo,
+            config,
+            machine: MachineConfig::quad_q32(),
+            problem: ProblemSpec::square(d),
+        }
+    }
+
+    #[test]
+    fn setting_point_matches_direct_simulate() {
+        let p = spec("t", AlgoSpec::named("shared_opt"), ConfigSpec::Setting(Setting::Ideal), 24);
+        let direct = simulate(
+            &SharedOpt,
+            &MachineConfig::quad_q32(),
+            Setting::Ideal,
+            ProblemSpec::square(24),
+        )
+        .unwrap();
+        assert_eq!(p.compute().unwrap(), PointValue::Stats(direct));
+    }
+
+    #[test]
+    fn keys_are_stable_and_distinguish_specs() {
+        let a = spec("t", AlgoSpec::named("shared_opt"), ConfigSpec::Setting(Setting::Ideal), 24);
+        let b = spec("t", AlgoSpec::named("shared_opt"), ConfigSpec::Setting(Setting::Ideal), 24);
+        let c = spec("t", AlgoSpec::named("shared_opt"), ConfigSpec::Setting(Setting::Lru50), 24);
+        assert_eq!(a.key(), b.key());
+        assert_ne!(a.key(), c.key());
+        assert!(a.key().starts_with(POINT_CACHE_VERSION));
+    }
+
+    #[test]
+    fn point_value_round_trips_through_serde() {
+        let p = spec("t", AlgoSpec::named("tradeoff"), ConfigSpec::Setting(Setting::Lru50), 20);
+        let value = p.compute().unwrap();
+        let text = serde_json::to_string(&value).unwrap();
+        let back: PointValue = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn runner_memoizes_and_counts() {
+        let runner = PointRunner::new();
+        let p = spec("t", AlgoSpec::named("shared_opt"), ConfigSpec::Setting(Setting::Ideal), 16);
+        let first = runner.point(p.clone()).unwrap();
+        let second = runner.point(p).unwrap();
+        assert_eq!(first, second);
+        let report = runner.report();
+        assert_eq!((report.computed, report.cached, report.failed), (1, 0, 0));
+    }
+
+    #[test]
+    fn failing_point_degrades_to_recorded_error() {
+        let runner = PointRunner::new();
+        let bad = spec("t", AlgoSpec::named("no_such"), ConfigSpec::Setting(Setting::Ideal), 8);
+        assert_eq!(runner.point(bad.clone()), None);
+        // A second request is served from the memo, not recounted.
+        assert_eq!(runner.point(bad), None);
+        let report = runner.report();
+        assert_eq!(report.failed, 1);
+        assert_eq!(report.errors.len(), 1);
+        assert!(report.errors[0].message.contains("no_such"));
+    }
+
+    #[test]
+    fn panicking_point_is_isolated() {
+        // A panel width of 0 is rejected inside BlockedLu::run — whether
+        // it panics or errors, the point must degrade to a recorded
+        // failure, never an unwind out of the runner.
+        let p = PointSpec {
+            figure: "t".to_string(),
+            algo: AlgoSpec::BlockedLuSpec(LuSpec { panel: 0, tiling: "row_stripes".to_string() }),
+            config: ConfigSpec::LuLru,
+            machine: MachineConfig::quad_q32(),
+            problem: ProblemSpec::square(8),
+        };
+        let runner = PointRunner::new();
+        let got = runner.point(p);
+        let report = runner.report();
+        // Either a recorded panic or a recorded error — never an unwind.
+        assert_eq!(got, None);
+        assert_eq!(report.failed, 1);
+    }
+
+    #[test]
+    fn enumerate_then_replay_matches_inline() {
+        let specs: Vec<PointSpec> = vec![
+            spec("t", AlgoSpec::named("shared_opt"), ConfigSpec::Setting(Setting::Ideal), 16),
+            spec("t", AlgoSpec::named("outer_product"), ConfigSpec::Setting(Setting::LruAt(1)), 16),
+            spec("t", AlgoSpec::named("shared_opt"), ConfigSpec::Counting, 12),
+        ];
+        let inline = PointRunner::new();
+        let expected: Vec<_> = specs.iter().map(|s| inline.point(s.clone())).collect();
+
+        let sharded = PointRunner::new();
+        sharded.set_mode(RunMode::Enumerate);
+        for s in &specs {
+            let placeholder = sharded.point(s.clone()).unwrap();
+            // Placeholders have the right shape.
+            match s.config {
+                ConfigSpec::Counting => assert!(placeholder.scalars().is_some()),
+                _ => assert!(placeholder.stats().is_some()),
+            }
+        }
+        // Requesting a spec twice records it once.
+        let _ = sharded.point(specs[0].clone());
+        assert_eq!(sharded.pending_len(), specs.len());
+        sharded.compute_pending(false);
+        sharded.set_mode(RunMode::Replay);
+        let got: Vec<_> = specs.iter().map(|s| sharded.point(s.clone())).collect();
+        assert_eq!(got, expected);
+        assert_eq!(sharded.report().computed, specs.len());
+    }
+
+    #[test]
+    fn resolve_consults_and_fills_cache() {
+        let dir =
+            std::env::temp_dir().join(format!("mmc_points_cache_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let p = spec("t", AlgoSpec::named("shared_opt"), ConfigSpec::Setting(Setting::Ideal), 16);
+
+        let first = PointRunner::new();
+        first.set_cache(PointCache::new(&dir, true).unwrap());
+        let value = first.point(p.clone()).unwrap();
+        assert_eq!(first.report().computed, 1);
+
+        let second = PointRunner::new();
+        second.set_cache(PointCache::new(&dir, true).unwrap());
+        assert_eq!(second.point(p.clone()).unwrap(), value);
+        let report = second.report();
+        assert_eq!((report.cached, report.computed), (1, 0));
+
+        // Without --resume the same directory is ignored for reads.
+        let third = PointRunner::new();
+        third.set_cache(PointCache::new(&dir, false).unwrap());
+        assert_eq!(third.point(p).unwrap(), value);
+        let report = third.report();
+        assert_eq!((report.cached, report.computed), (0, 1));
+    }
+
+    #[test]
+    fn cluster_and_bsp_points_compute_scalars() {
+        let c = PointSpec {
+            figure: "t".to_string(),
+            algo: AlgoSpec::named("hierarchical_max_reuse"),
+            config: ConfigSpec::Cluster(ClusterSpec {
+                nodes: 2,
+                node_capacity: 4096,
+                cores_per_node: 2,
+                shared_capacity: 977,
+                dist_capacity: 21,
+            }),
+            machine: MachineConfig::new(4, 977 * 2, 21, 32),
+            problem: ProblemSpec::square(16),
+        };
+        let v = c.compute().unwrap();
+        assert_eq!(v.scalars().unwrap().len(), 3);
+        let b = spec(
+            "t",
+            AlgoSpec::named("shared_opt"),
+            ConfigSpec::Bsp(BspSpec { fma_time: 1.0 }),
+            12,
+        );
+        let v = b.compute().unwrap();
+        assert_eq!(v.scalars().unwrap().len(), 1);
+        assert!(v.scalars().unwrap()[0] > 0.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Integration tests for the sharded figure harness: byte-identical
+//! serial vs sharded output, and `--resume` cache behaviour.
+
+use mmc_bench::figures::{figure_ids, SweepOpts};
+use mmc_bench::sweep::Panel;
+use mmc_bench::{run_figure_sharded, HarnessOpts};
+use std::path::{Path, PathBuf};
+
+fn tiny() -> SweepOpts {
+    SweepOpts { orders: Some(vec![30, 60]), ..SweepOpts::default() }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mmc_sharded_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Render every panel of a figure the way the binaries do and return the
+/// concatenated CSV bytes.
+fn csv_bytes(panels: &[Panel], dir: &Path) -> Vec<u8> {
+    let mut all = Vec::new();
+    for p in panels {
+        let path = p.write_csv(dir).expect("write csv");
+        all.extend_from_slice(&std::fs::read(&path).expect("read csv"));
+    }
+    all
+}
+
+/// The tentpole guarantee: for every figure id, the sharded run emits
+/// CSV bytes identical to the serial run's. The id list covers every
+/// `ConfigSpec` variant — `Setting` (fig4/fig7), `Lru`
+/// (ablation_inclusion, ablation_associativity), `Bsp` (timing),
+/// `Counting` (event_counts), `Cluster` (cluster), `LuLru` (lu_update) —
+/// plus the formula-only q_sweep. fig12 pins m = 384 and is exercised by
+/// the CI smoke job instead.
+#[test]
+fn sharded_output_is_byte_identical_to_serial() {
+    let dir = temp_dir("identity");
+    for id in figure_ids() {
+        if id == "fig12" {
+            continue;
+        }
+        let serial_opts = HarnessOpts { serial: true, ..HarnessOpts::default() };
+        let (serial_panels, serial_report) = run_figure_sharded(id, &tiny(), &serial_opts);
+        assert_eq!(serial_report.failed, 0, "{id}: serial run failed points");
+
+        let sharded_opts = HarnessOpts { jobs: Some(4), ..HarnessOpts::default() };
+        let (sharded_panels, sharded_report) = run_figure_sharded(id, &tiny(), &sharded_opts);
+        assert_eq!(sharded_report.failed, 0, "{id}: sharded run failed points");
+
+        let serial_dir = dir.join(format!("{id}_serial"));
+        let sharded_dir = dir.join(format!("{id}_sharded"));
+        assert_eq!(
+            csv_bytes(&serial_panels, &serial_dir),
+            csv_bytes(&sharded_panels, &sharded_dir),
+            "{id}: sharded CSV differs from serial"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `--resume` semantics end to end: a second run against the same cache
+/// directory computes nothing, and deleting a single cache file recomputes
+/// exactly that one point.
+#[test]
+fn resume_serves_completed_points_from_the_cache() {
+    let dir = temp_dir("resume");
+    let cache_dir = dir.join("cache");
+    let opts = HarnessOpts {
+        jobs: Some(2),
+        resume: true,
+        cache_dir: Some(cache_dir.clone()),
+        serial: false,
+    };
+
+    let (panels1, report1) = run_figure_sharded("fig4", &tiny(), &opts);
+    assert!(report1.computed > 0, "first run computes points");
+    assert_eq!((report1.cached, report1.failed), (0, 0));
+
+    let (panels2, report2) = run_figure_sharded("fig4", &tiny(), &opts);
+    assert_eq!(report2.computed, 0, "second run must be fully cache-served");
+    assert_eq!(report2.cached, report1.computed);
+    assert_eq!(report2.failed, 0);
+    assert_eq!(
+        csv_bytes(&panels1, &dir.join("run1")),
+        csv_bytes(&panels2, &dir.join("run2")),
+        "resumed output differs from the original"
+    );
+
+    // Invalidate exactly one point: only it is recomputed.
+    let victim = std::fs::read_dir(&cache_dir)
+        .expect("cache dir exists")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|e| e == "json"))
+        .expect("cache has entries");
+    std::fs::remove_file(&victim).expect("remove one cache entry");
+    let (_, report3) = run_figure_sharded("fig4", &tiny(), &opts);
+    assert_eq!(report3.computed, 1, "exactly the deleted point is recomputed");
+    assert_eq!(report3.cached, report1.computed - 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Without `resume`, a populated cache directory is write-only: every
+/// point recomputes (and refreshes its entry).
+#[test]
+fn without_resume_the_cache_is_not_read() {
+    let dir = temp_dir("noresume");
+    let cache_dir = dir.join("cache");
+    let warm = HarnessOpts {
+        jobs: Some(2),
+        resume: true,
+        cache_dir: Some(cache_dir.clone()),
+        serial: false,
+    };
+    let (_, report1) = run_figure_sharded("event_counts", &tiny(), &warm);
+    assert!(report1.computed > 0);
+
+    let cold = HarnessOpts { resume: false, ..warm };
+    let (_, report2) = run_figure_sharded("event_counts", &tiny(), &cold);
+    assert_eq!(report2.cached, 0, "cache reads must be gated on --resume");
+    assert_eq!(report2.computed, report1.computed);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -123,7 +123,7 @@ mod tests {
                 block_mul_packed(v, c_packed.block_mut(0, 0), q, kc, &ap, &bp);
 
                 for k in 0..kb {
-                    block_fma_with(v, c_block.block_mut(0, 0), a.block(0, k), b.block(0, k), q);
+                    block_fma_with(v, c_block.block_mut(0, 0), a.block(0, k), b.block(k, 0), q);
                 }
                 // Scalar variant never drives the packed path in the
                 // executor; its packed fallback is fused while its block

@@ -208,8 +208,11 @@ pub fn gemm_parallel_with_kernel(
 /// thread computed which `C` tile, and when.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct TaskSpan {
-    /// Rayon worker-thread index that ran the task.
-    pub thread: usize,
+    /// Rayon worker-thread index that ran the task, or `None` when the
+    /// task ran off a pool worker (on the calling thread). `None` spans
+    /// get their own "caller" track in [`task_spans_to_chrome`] instead
+    /// of being folded into worker 0's lane.
+    pub thread: Option<usize>,
     /// First block row of the `C` tile.
     pub row0: u32,
     /// Block rows in the tile.
@@ -258,7 +261,7 @@ pub fn gemm_parallel_traced(
             let dur = started.elapsed();
             let (i0, th, j0, tw) = tile;
             TaskSpan {
-                thread: rayon::current_thread_index().unwrap_or(0),
+                thread: rayon::current_thread_index(),
                 row0: i0,
                 rows: th,
                 col0: j0,
@@ -274,15 +277,22 @@ pub fn gemm_parallel_traced(
 
 /// Render executor [`TaskSpan`]s as Chrome trace-event JSON (one track
 /// per worker thread), loadable in Perfetto alongside simulated traces.
+/// Spans recorded off a pool worker (`thread: None`) land on a dedicated
+/// "caller" track after the worker lanes, so they never overlap worker
+/// 0's spans.
 pub fn task_spans_to_chrome(spans: &[TaskSpan]) -> String {
     let mut b = ChromeTraceBuilder::new("mmc-exec gemm_parallel");
-    let threads = spans.iter().map(|s| s.thread).max().map_or(0, |t| t + 1);
-    for t in 0..threads {
+    let workers = spans.iter().filter_map(|s| s.thread).max().map_or(0, |t| t + 1);
+    for t in 0..workers {
         b.thread(t as u64, &format!("worker {t}"));
+    }
+    let caller_tid = workers as u64;
+    if spans.iter().any(|s| s.thread.is_none()) {
+        b.thread(caller_tid, "caller");
     }
     for s in spans {
         b.span(
-            s.thread as u64,
+            s.thread.map_or(caller_tid, |t| t as u64),
             &format!("tile C[{}..{}, {}..{}]", s.row0, s.row0 + s.rows, s.col0, s.col0 + s.cols),
             s.start_us,
             s.dur_us,
@@ -413,19 +423,32 @@ fn run_tile_packed(
     });
 }
 
+/// The cached single-thread pool shared by the `gemm_blocked*` baselines —
+/// building a fresh pool per call costs more than a small product itself
+/// and skews baseline timings.
+fn single_thread_pool() -> &'static rayon::ThreadPool {
+    static SINGLE_THREAD_POOL: OnceLock<rayon::ThreadPool> = OnceLock::new();
+    SINGLE_THREAD_POOL.get_or_init(|| {
+        rayon::ThreadPoolBuilder::new().num_threads(1).build().expect("single-thread pool")
+    })
+}
+
 /// Sequential blocked product with the same traversal as
 /// [`gemm_parallel`] (for single-thread baselines in benches).
-///
-/// The single-thread pool is built once and cached — building a fresh
-/// pool per call costs more than a small product itself and skews
-/// baseline timings.
 pub fn gemm_blocked(a: &BlockMatrix, b: &BlockMatrix, tiling: Tiling) -> BlockMatrix {
-    static SINGLE_THREAD_POOL: OnceLock<rayon::ThreadPool> = OnceLock::new();
-    SINGLE_THREAD_POOL
-        .get_or_init(|| {
-            rayon::ThreadPoolBuilder::new().num_threads(1).build().expect("single-thread pool")
-        })
-        .install(|| gemm_parallel(a, b, tiling))
+    single_thread_pool().install(|| gemm_parallel(a, b, tiling))
+}
+
+/// [`gemm_blocked`] with the flight record of [`gemm_parallel_traced`]:
+/// the single-thread baseline, with every task span attributed to the
+/// pool's one worker (or the caller lane if a span is ever recorded off
+/// the pool).
+pub fn gemm_blocked_traced(
+    a: &BlockMatrix,
+    b: &BlockMatrix,
+    tiling: Tiling,
+) -> (BlockMatrix, Vec<TaskSpan>) {
+    single_thread_pool().install(|| gemm_parallel_traced(a, b, tiling))
 }
 
 #[cfg(test)]
@@ -505,6 +528,64 @@ mod tests {
         }
     }
 
+    /// Ragged shapes for every variant: a `k` extent the tile depth does
+    /// not divide (`tile_k = 4`, `z = 10`) and block sides that are not
+    /// multiples of the register tile (`MR = 8`, `NR = 4`), so every edge
+    /// micro-kernel and the clipped final `k` panel are exercised. SIMD
+    /// variants are fused end to end and must match the fused oracle
+    /// bitwise; the scalar block kernel is unfused, so it gets a
+    /// tolerance.
+    #[test]
+    fn ragged_shapes_match_oracle_for_every_variant() {
+        for q in [5usize, 9, 13] {
+            let (a, b) = operands(6, 7, 10, q);
+            let oracle = gemm_naive(&a, &b);
+            for v in kernel::variants_available() {
+                let tiling = Tiling { tile_m: 4, tile_n: 5, tile_k: 4 };
+                let c = gemm_parallel_with_kernel(&a, &b, tiling, v);
+                if v.is_simd() {
+                    assert_eq!(c, oracle, "variant {v} q={q}");
+                } else {
+                    assert!(
+                        c.max_abs_diff(&oracle) < 1e-10,
+                        "variant {v} q={q} diverges: {}",
+                        c.max_abs_diff(&oracle)
+                    );
+                }
+            }
+        }
+    }
+
+    /// Two products with *different* block sides on the same worker
+    /// thread: the thread-local [`kernel::pack::PackArena`] keeps its
+    /// buffers between calls, so the second product packs into vectors
+    /// still holding the first product's (larger or smaller) panels. A
+    /// stale-length bug would feed leftover elements of the old `q` into
+    /// the micro-kernels; both orders (shrinking and growing `q`) must
+    /// still match the oracle.
+    #[test]
+    fn arena_reuse_across_block_sides_stays_correct() {
+        for v in kernel::variants_available() {
+            let check = |q: usize| {
+                let (a, b) = operands(5, 4, 7, q);
+                let oracle = gemm_naive(&a, &b);
+                let tiling = Tiling { tile_m: 3, tile_n: 2, tile_k: 3 };
+                let c = gemm_parallel_with_kernel(&a, &b, tiling, v);
+                if v.is_simd() {
+                    assert_eq!(c, oracle, "variant {v} q={q}");
+                } else {
+                    assert!(c.max_abs_diff(&oracle) < 1e-10, "variant {v} q={q}");
+                }
+            };
+            // One worker thread → one arena reused by every product.
+            single_thread_pool().install(|| {
+                check(13); // large, ragged q seeds the arena
+                check(5); // shrink: stale tail beyond the new panels
+                check(16); // grow back past the original length
+            });
+        }
+    }
+
     #[test]
     fn tilings_derive_from_machine_params() {
         let machine = MachineConfig::quad_q32();
@@ -547,6 +628,53 @@ mod tests {
         assert!(text.starts_with('{') && text.ends_with('}'));
         assert!(text.contains("\"traceEvents\""));
         assert!(text.contains("tile C[0..2, 0..2]"));
+    }
+
+    #[test]
+    fn blocked_traced_attributes_every_span_to_the_pool_worker() {
+        let (a, b) = operands(6, 6, 4, 3);
+        let oracle = gemm_naive(&a, &b);
+        let (c, spans) = gemm_blocked_traced(&a, &b, Tiling { tile_m: 2, tile_n: 3, tile_k: 2 });
+        assert_eq!(c, oracle);
+        assert_eq!(spans.len(), 3 * 2);
+        // The cached single-thread pool runs every task on worker 0 —
+        // spans keep the Some, they are not defaulted.
+        assert!(spans.iter().all(|s| s.thread == Some(0)), "spans: {spans:?}");
+        let text = task_spans_to_chrome(&spans);
+        assert!(text.contains("worker 0"));
+        assert!(!text.contains("\"caller\""));
+    }
+
+    #[test]
+    fn off_pool_spans_get_a_dedicated_caller_lane() {
+        // A span recorded off any pool thread must land on its own
+        // "caller" track after the worker lanes, never on worker 0's.
+        assert_eq!(rayon::current_thread_index(), None);
+        let worker = TaskSpan {
+            thread: Some(0),
+            row0: 0,
+            rows: 1,
+            col0: 0,
+            cols: 1,
+            start_us: 0.0,
+            dur_us: 1.0,
+        };
+        let caller = TaskSpan {
+            thread: rayon::current_thread_index(),
+            row0: 1,
+            rows: 1,
+            col0: 1,
+            cols: 1,
+            start_us: 0.5,
+            dur_us: 1.0,
+        };
+        assert_eq!(caller.thread, None);
+        let text = task_spans_to_chrome(&[worker, caller]);
+        // Track 0 is "worker 0"; the caller lane is the next tid (1).
+        assert!(text.contains("\"name\":\"worker 0\""));
+        assert!(text.contains("\"name\":\"caller\""));
+        assert!(text.contains("\"tid\":1,\"args\":{\"name\":\"caller\"}"));
+        assert!(text.contains("\"name\":\"tile C[1..2, 1..2]\",\"ph\":\"X\",\"pid\":1,\"tid\":1"));
     }
 
     #[test]

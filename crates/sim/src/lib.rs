@@ -71,3 +71,29 @@ pub use trace::{
 };
 pub use tree::{TreeLevel, TreeSimulator, TreeStats, TreeTopology};
 pub use validate::{validate_ideal_trace, TraceViolation};
+
+/// Compile-time audit that everything the sharded figure harness moves
+/// across `rayon` workers stays `Send` — a later `Rc`/`RefCell` inside a
+/// simulator would otherwise only surface as an opaque trait-bound error
+/// deep in `mmc-bench`.
+#[cfg(test)]
+mod send_audit {
+    use super::*;
+
+    fn assert_send<T: Send>() {}
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn harness_types_are_send() {
+        assert_send::<Simulator>();
+        assert_send::<TreeSimulator>();
+        assert_send::<FlightRecorder>();
+        assert_send::<CountingSink>();
+        assert_send::<ProfilingSink>();
+        assert_send_sync::<MachineConfig>();
+        assert_send_sync::<SimConfig>();
+        assert_send_sync::<SimStats>();
+        assert_send_sync::<TreeStats>();
+        assert_send_sync::<SimError>();
+    }
+}

@@ -58,8 +58,16 @@ impl MachineConfig {
     /// Derive block capacities from byte sizes, the way §4.1 derives its
     /// presets: a `q×q` block of `f64` takes `8q²` bytes; `data_fraction`
     /// of each private cache is usable for data (the paper uses ⅔, or ½
-    /// in the pessimistic variant). Returns `None` if either capacity
-    /// rounds to zero blocks.
+    /// in the pessimistic variant); and each capacity is the **ceiling**
+    /// of the byte ratio (the paper's 8 MB / 8·32² = 976.56 → `C_S =
+    /// 977`; 250 kB·⅔ / 8·32² = 20.83 → `C_D = 21`). Cache sizes are SI
+    /// bytes — `MachineConfig::from_bytes(4, 8_000_000, 256_000, q, frac)`
+    /// reproduces every §4.1 preset exactly for `q ∈ {32, 64, 80}` and
+    /// `frac ∈ {⅔, ½}`.
+    ///
+    /// Returns `None` when either cache cannot hold even one full block
+    /// (a raw ratio below 1 — the ceiling would otherwise fabricate a
+    /// capacity of one).
     pub fn from_bytes(
         cores: usize,
         shared_bytes: usize,
@@ -69,12 +77,12 @@ impl MachineConfig {
     ) -> Option<MachineConfig> {
         assert!((0.0..=1.0).contains(&data_fraction), "data fraction in [0, 1]");
         let block_bytes = q * q * std::mem::size_of::<f64>();
-        let cs = shared_bytes / block_bytes;
-        let cd = (dist_bytes as f64 * data_fraction / block_bytes as f64) as usize;
-        if cs == 0 || cd == 0 {
+        let cs_ratio = shared_bytes as f64 / block_bytes as f64;
+        let cd_ratio = dist_bytes as f64 * data_fraction / block_bytes as f64;
+        if cs_ratio < 1.0 || cd_ratio < 1.0 {
             return None;
         }
-        Some(MachineConfig::new(cores, cs, cd, q))
+        Some(MachineConfig::new(cores, cs_ratio.ceil() as usize, cd_ratio.ceil() as usize, q))
     }
 
     /// Paper preset: q = 32, data occupy two thirds of each private cache
@@ -182,17 +190,38 @@ mod tests {
 
     #[test]
     fn from_bytes_reproduces_paper_derivations() {
-        // 8 MB shared / 256 KB private, q = 32: C_S = 1024 raw blocks
-        // (the paper trims to 977 for instructions/metadata; we expose the
-        // raw arithmetic), C_D = 21 at the two-thirds assumption and 16 at
-        // one half — matching §4.1 exactly for the private caches.
-        let m = MachineConfig::from_bytes(4, 8 << 20, 256 << 10, 32, 2.0 / 3.0).unwrap();
-        assert_eq!(m.shared_capacity, 1024);
-        assert_eq!(m.dist_capacity, 21);
-        let m = MachineConfig::from_bytes(4, 8 << 20, 256 << 10, 32, 0.5).unwrap();
-        assert_eq!(m.dist_capacity, 16);
+        // SI byte sizes (8 MB shared, 256 kB private) with ceiling
+        // division reproduce §4.1's capacities for every block size.
+        let m = MachineConfig::from_bytes(4, 8_000_000, 256_000, 32, 2.0 / 3.0).unwrap();
+        assert_eq!((m.shared_capacity, m.dist_capacity), (977, 21));
+        let m = MachineConfig::from_bytes(4, 8_000_000, 256_000, 64, 2.0 / 3.0).unwrap();
+        assert_eq!((m.shared_capacity, m.dist_capacity), (245, 6));
+        let m = MachineConfig::from_bytes(4, 8_000_000, 256_000, 80, 2.0 / 3.0).unwrap();
+        assert_eq!((m.shared_capacity, m.dist_capacity), (157, 4));
         // Blocks too large for the private cache → None.
         assert!(MachineConfig::from_bytes(4, 8 << 20, 256 << 10, 256, 0.5).is_none());
+        // A shared cache smaller than one block is rejected too, not
+        // rounded up to capacity 1.
+        assert!(MachineConfig::from_bytes(4, 8000, 256_000, 32, 0.5).is_none());
+    }
+
+    #[test]
+    fn from_bytes_reconstructs_every_preset() {
+        // The six hard-coded presets are exactly the from_bytes derivation
+        // of the paper's 8 MB / 256 kB quad-core at q ∈ {32, 64, 80} under
+        // the optimistic (⅔) and pessimistic (½) data fractions.
+        let presets: [(MachineConfig, usize, f64); 6] = [
+            (MachineConfig::quad_q32(), 32, 2.0 / 3.0),
+            (MachineConfig::quad_q32_pessimistic(), 32, 0.5),
+            (MachineConfig::quad_q64(), 64, 2.0 / 3.0),
+            (MachineConfig::quad_q64_pessimistic(), 64, 0.5),
+            (MachineConfig::quad_q80(), 80, 2.0 / 3.0),
+            (MachineConfig::quad_q80_pessimistic(), 80, 0.5),
+        ];
+        for (preset, q, frac) in presets {
+            let derived = MachineConfig::from_bytes(4, 8_000_000, 256_000, q, frac).unwrap();
+            assert_eq!(derived, preset, "q = {q}, data fraction = {frac}");
+        }
     }
 
     #[test]

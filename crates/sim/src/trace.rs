@@ -486,9 +486,13 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// JSON number formatting: non-finite values (which JSON cannot
+/// represent) become `null`, and only integral values safely inside the
+/// `i64` range take the integer fast path — everything else goes through
+/// `f64`'s round-trip `Display`.
 fn fmt_num(x: f64) -> String {
     if !x.is_finite() {
-        "0".to_string()
+        "null".to_string()
     } else if x == x.trunc() && x.abs() < 1e15 {
         format!("{}", x as i64)
     } else {
@@ -826,5 +830,35 @@ mod tests {
         let text = b.finish();
         let doc: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
         assert_eq!(doc.get("traceEvents").and_then(|v| v.as_array()).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn fmt_num_emits_valid_json_numbers() {
+        assert_eq!(fmt_num(f64::NAN), "null");
+        assert_eq!(fmt_num(f64::INFINITY), "null");
+        assert_eq!(fmt_num(f64::NEG_INFINITY), "null");
+        assert_eq!(fmt_num(3.0), "3");
+        assert_eq!(fmt_num(-2.5), "-2.5");
+        // Integral but beyond the i64 fast-path range: must round-trip
+        // as a number, not saturate through an i64 cast.
+        assert_eq!(fmt_num(1e19).parse::<f64>(), Ok(1e19));
+        assert_ne!(fmt_num(1e19), format!("{}", i64::MAX));
+        assert_eq!(fmt_num(-1e300).parse::<f64>(), Ok(-1e300));
+    }
+
+    #[test]
+    fn non_finite_span_still_parses() {
+        // A span with NaN duration / infinite timestamp must still yield
+        // a document the vendored serde_json accepts (non-finite → null).
+        let mut b = ChromeTraceBuilder::new("nan");
+        b.span(0, "bad", f64::NAN, f64::NAN, &[("v", f64::INFINITY)]);
+        b.counter("c", f64::NEG_INFINITY, f64::NAN);
+        let text = b.finish();
+        let doc: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        let events = doc.get("traceEvents").and_then(|v| v.as_array()).unwrap();
+        let bad =
+            events.iter().find(|e| e.get("name").and_then(|n| n.as_str()) == Some("bad")).unwrap();
+        assert!(matches!(bad.get("dur"), Some(serde_json::Value::Null)));
+        assert!(matches!(bad.get("ts"), Some(serde_json::Value::Null)));
     }
 }

@@ -7,6 +7,7 @@
 //! mmc lu       --order 64 --panel 8 --tiling shared_opt
 //! mmc profile  --algo shared_opt --order 60
 //! mmc trace    --algo shared_opt --order 60 --out trace.json
+//! mmc figures  fig7 --jobs 4 --resume
 //! mmc list
 //! ```
 //!
@@ -32,6 +33,7 @@ fn usage() -> ! {
            mmc lu --order N [--panel W] [--tiling T] [--q Q]\n  \
            mmc profile --algo A --order N [--preset P] [--json]\n  \
            mmc trace --algo A --order N --out F [--preset P] [--setting S] [--granularity G] [--fma-time T]\n  \
+           mmc figures <id>...|all|list [--out DIR] [--full] [--jobs N] [--resume] [--serial] [--quiet]\n  \
            mmc list\n\
          presets: q32 q32p q64 q64p q80 q80p;\n\
          algorithms: shared_opt distributed_opt tradeoff outer_product shared_equal distributed_equal cache_oblivious;\n\
@@ -292,7 +294,7 @@ fn cmd_exec(flags: HashMap<String, String>) {
     let (c, spans) = gemm_parallel_traced(&a, &b, tiling);
     let dt = t0.elapsed().as_secs_f64();
     let flops = 2.0 * (order as f64 * q as f64).powi(3);
-    let threads = spans.iter().map(|s| s.thread).max().map_or(0, |t| t + 1);
+    let threads = spans.iter().filter_map(|s| s.thread).max().map_or(0, |t| t + 1);
     if let Some(path) = flags.get("trace-out") {
         if let Err(e) = std::fs::write(path, task_spans_to_chrome(&spans)) {
             eprintln!("error writing {path}: {e}");
@@ -443,6 +445,86 @@ fn cmd_profile(flags: HashMap<String, String>) {
     );
 }
 
+/// `mmc figures` — the sharded figure harness, embedded in the CLI so the
+/// paper sweep is reachable without `cargo run -p mmc-bench`. Positional
+/// ids plus the `figures` binary's flags (`--jobs`, `--resume`,
+/// `--serial`, `--full`, `--out`, `--quiet`).
+fn cmd_figures(args: &[String]) {
+    use mmc_bench::{figure_ids, run_figure_sharded, HarnessOpts, SweepOpts};
+    let mut ids: Vec<String> = Vec::new();
+    let mut out = std::path::PathBuf::from("target/figures");
+    let mut opts = SweepOpts { verbose: true, ..SweepOpts::default() };
+    let mut harness = HarnessOpts::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out = std::path::PathBuf::from(it.next().unwrap_or_else(|| usage())),
+            "--full" => opts.full = true,
+            "--quiet" => opts.verbose = false,
+            "--jobs" => {
+                harness.jobs = it.next().and_then(|v| v.parse().ok()).or_else(|| usage());
+            }
+            "--resume" => harness.resume = true,
+            "--serial" => harness.serial = true,
+            "--orders" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                let orders: Result<Vec<u32>, _> =
+                    spec.split(',').map(|t| t.trim().parse::<u32>()).collect();
+                match orders {
+                    Ok(o) if !o.is_empty() => opts.orders = Some(o),
+                    _ => usage(),
+                }
+            }
+            "list" => {
+                for id in figure_ids() {
+                    println!("{id}");
+                }
+                return;
+            }
+            "all" => ids.extend(figure_ids().iter().map(|s| s.to_string())),
+            s if s.starts_with('-') => usage(),
+            s => ids.push(s.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        usage();
+    }
+    ids.dedup();
+    for id in &ids {
+        if !figure_ids().contains(&id.as_str()) {
+            eprintln!("unknown figure id {id:?}");
+            usage();
+        }
+    }
+    harness.cache_dir = Some(out.join("cache"));
+    let mut failures = 0usize;
+    for id in &ids {
+        let t0 = Instant::now();
+        eprintln!("== {id} ==");
+        let (panels, report) = run_figure_sharded(id, &opts, &harness);
+        eprintln!("{}", report.summary(id));
+        for err in &report.errors {
+            eprintln!("  [points] FAILED {}: {}", err.point, err.message);
+        }
+        failures += report.failed;
+        for panel in &panels {
+            match panel.write_csv(&out) {
+                Ok(path) => eprintln!("  wrote {}", path.display()),
+                Err(e) => {
+                    eprintln!("  failed to write CSV for {}: {e}", panel.id);
+                    exit(1);
+                }
+            }
+            println!("{}", panel.to_table());
+        }
+        eprintln!("== {id} done in {:.1}s ==\n", t0.elapsed().as_secs_f64());
+    }
+    if failures > 0 {
+        eprintln!("{failures} point(s) failed; affected cells are empty");
+        exit(1);
+    }
+}
+
 /// Journal-size threshold above which `--granularity auto` switches from
 /// per-event spans to per-superstep aggregation.
 const AUTO_GRANULARITY_LIMIT: usize = 200_000;
@@ -519,6 +601,7 @@ fn main() {
         "lu" => cmd_lu(parse_flags(rest)),
         "profile" => cmd_profile(parse_flags(rest)),
         "trace" => cmd_trace(parse_flags(rest)),
+        "figures" => cmd_figures(rest),
         "list" => {
             for a in all_algorithms() {
                 println!("{:<20} {}", a.id(), a.name());

@@ -5,7 +5,7 @@
 use mmc_bench::{figure_ids, run_figure, Panel, SweepOpts};
 
 fn tiny() -> SweepOpts {
-    SweepOpts { full: false, orders: Some(vec![32, 64]), verbose: false }
+    SweepOpts { orders: Some(vec![32, 64]), ..SweepOpts::default() }
 }
 
 fn check_panels(id: &str, panels: &[Panel]) {

@@ -11,8 +11,9 @@
 //!
 //! Parallel iterators here are *indexed*: every source exposes random
 //! access, workers claim indices from a shared counter, and adapter
-//! chains (`map`) stay random-access. Panics in workers propagate to the
-//! caller via `std::thread::scope`'s join semantics.
+//! chains (`map`) stay random-access. A panicking worker flags the shared
+//! stop so siblings quit claiming, and its original payload is rethrown
+//! to the caller from an explicit join.
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -146,7 +147,12 @@ pub trait ParallelIterator: Sized + Sync {
             &self,
             &|item| {
                 if predicate(&item) {
-                    *found.lock().unwrap() = Some(item);
+                    // First writer wins: a worker that raced past the stop
+                    // flag must not replace an already-recorded match.
+                    let mut slot = found.lock().unwrap();
+                    if slot.is_none() {
+                        *slot = Some(item);
+                    }
                     stop.store(true, Ordering::Relaxed);
                 }
             },
@@ -260,21 +266,48 @@ where
     }
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
-        for w in 0..workers {
-            let next = &next;
-            scope.spawn(move || {
-                WORKER_INDEX.with(|wi| wi.set(Some(w)));
-                loop {
-                    if stop.load(Ordering::Relaxed) {
-                        break;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let next = &next;
+                scope.spawn(move || {
+                    WORKER_INDEX.with(|wi| wi.set(Some(w)));
+                    // If this worker panics, flag the shared stop so
+                    // sibling workers quit claiming indices instead of
+                    // running the rest of the iteration; the panic itself
+                    // propagates through the explicit join below.
+                    struct PanicStop<'a>(&'a AtomicBool);
+                    impl Drop for PanicStop<'_> {
+                        fn drop(&mut self) {
+                            if std::thread::panicking() {
+                                self.0.store(true, Ordering::Relaxed);
+                            }
+                        }
                     }
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= len {
-                        break;
+                    let _panic_stop = PanicStop(stop);
+                    loop {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= len {
+                            break;
+                        }
+                        op(it.pi_get(i));
                     }
-                    op(it.pi_get(i));
-                }
-            });
+                })
+            })
+            .collect();
+        // Join explicitly and rethrow the first worker's own payload —
+        // scope's automatic join would replace it with a generic
+        // "a scoped thread panicked" message.
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for h in handles {
+            if let Err(payload) = h.join() {
+                panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = panic {
+            std::panic::resume_unwind(payload);
         }
     });
 }
@@ -475,6 +508,77 @@ mod tests {
             });
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn stop_bounds_extra_visits_per_worker() {
+        // Every item matches, so each worker's first visit sets the stop
+        // flag and its next claim check breaks: the total number of items
+        // visited is bounded by the worker count, not the input length.
+        let visited = AtomicUsize::new(0);
+        let hit = (0usize..100_000).into_par_iter().find_any(|_| {
+            visited.fetch_add(1, Ordering::Relaxed);
+            true
+        });
+        assert!(hit.is_some());
+        assert!(
+            visited.load(Ordering::Relaxed) <= current_num_threads(),
+            "visited {} items with {} workers",
+            visited.load(Ordering::Relaxed),
+            current_num_threads()
+        );
+    }
+
+    #[test]
+    fn find_any_returns_a_match_under_contention() {
+        // Many concurrent matches: first write wins, late matchers must
+        // not clobber the recorded result with a non-deterministic one —
+        // whatever comes back has to satisfy the predicate.
+        for _ in 0..50 {
+            let hit = (0u32..1_000).into_par_iter().find_any(|&i| i % 7 == 0);
+            assert!(matches!(hit, Some(i) if i % 7 == 0), "got {hit:?}");
+        }
+    }
+
+    #[test]
+    fn sibling_panic_stops_other_workers() {
+        // A panicking worker flags the shared stop, so siblings quit
+        // claiming instead of draining the whole iteration.
+        let visited = AtomicUsize::new(0);
+        let r = std::panic::catch_unwind(|| {
+            (0usize..1_000_000).into_par_iter().for_each(|i| {
+                if i == 0 {
+                    panic!("first item fails");
+                }
+                visited.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(r.is_err());
+        // Without the panic→stop guard every surviving worker would drain
+        // the counter and this would be exactly 999_999.
+        assert!(visited.load(Ordering::Relaxed) < 999_999);
+    }
+
+    #[test]
+    fn collect_panic_propagates_original_payload() {
+        // When a worker panics mid-collect, the unwind must carry the
+        // worker's own payload out of the scope join — never the
+        // "every index driven" expect on a slot the stopped siblings
+        // left unwritten.
+        let r = std::panic::catch_unwind(|| {
+            let _: Vec<u32> = (0u32..10_000)
+                .into_par_iter()
+                .map(|i| if i == 7 { panic!("slot panic") } else { i })
+                .collect();
+        });
+        let payload = r.expect_err("collect must propagate the worker panic");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_string)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("slot panic"), "unexpected panic payload: {msg:?}");
     }
 
     #[test]
