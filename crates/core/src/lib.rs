@@ -49,5 +49,5 @@ pub mod problem;
 
 pub use algorithms::{AlgoError, Algorithm, AlgorithmKind};
 pub use formulas::Prediction;
-pub use params::{CoreGrid, TradeoffParams};
+pub use params::{CoreGrid, OocStaging, TradeoffParams};
 pub use problem::ProblemSpec;

@@ -131,15 +131,24 @@ impl TradeoffParams {
 /// `g = p·σ_D/σ_S`; the removable singularity at `g = 1` has limit
 /// `√(C_S/3)`.
 pub fn alpha_num(machine: &MachineConfig) -> f64 {
-    let cs = machine.shared_capacity as f64;
     let g = machine.cores as f64 * machine.sigma_d / machine.sigma_s;
+    alpha_num_for(machine.shared_capacity as f64, g)
+}
+
+/// [`alpha_num`]'s closed form for an arbitrary capacity and bandwidth
+/// ratio `g` (= aggregate lower-level bandwidth over upper-level
+/// bandwidth). Shared by the in-core Tradeoff sizing (`C_S`, `p·σ_D/σ_S`)
+/// and the out-of-core staging ([`ooc_staging`]: RAM budget, `σ_S/σ_F`) —
+/// the paper's two-level objective is the same at every pair of adjacent
+/// hierarchy levels.
+pub fn alpha_num_for(capacity: f64, g: f64) -> f64 {
     if (g - 1.0).abs() < 1e-9 {
-        return (cs / 3.0).sqrt();
+        return (capacity / 3.0).sqrt();
     }
     let t = (1.0 + 2.0 * g - (1.0 + 8.0 * g).sqrt()) / (2.0 * (g - 1.0));
     // `t` is positive for all g > 0 (both numerator and denominator change
     // sign at g = 1); clamp defensively against rounding.
-    (cs * t.max(0.0)).sqrt()
+    (capacity * t.max(0.0)).sqrt()
 }
 
 /// Numerically minimize `F(α)` by golden-section search on
@@ -218,6 +227,91 @@ pub fn tradeoff_params_with_mu(machine: &MachineConfig, mu: u32) -> Option<Trade
     alpha = alpha.clamp(step, alpha_max);
     let beta = (((cs - alpha * alpha) / (2 * alpha)).max(1)) as u32;
     Some(TradeoffParams { alpha: alpha as u32, beta, mu, grid })
+}
+
+/// Out-of-core staging parameters: the Tradeoff algorithm's `α`-staging
+/// lifted one level up the hierarchy, where "cache" is the RAM budget and
+/// "memory" is a disk/NVMe tier of tiled files.
+///
+/// The streaming GEMM keeps one `α×α` block tile of `C` resident plus
+/// `slots` in-flight copies of an `α×β` `A` panel and a `β×α` `B` panel
+/// (the prefetch ring), so its resident footprint is
+/// `α² + 2·slots·α·β` blocks — the paper's `α² + 2αβ ≤ C_S` constraint
+/// with the panel term scaled by the ring depth.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OocStaging {
+    /// Side of the square `C` block tile kept resident in RAM.
+    pub alpha: u32,
+    /// Depth of each prefetched `A`/`B` panel, in blocks.
+    pub beta: u32,
+    /// Panel-ring depth the footprint was sized for (2 = double buffer).
+    pub slots: u32,
+}
+
+impl OocStaging {
+    /// Resident RAM footprint `α² + 2·slots·α·β`, in blocks.
+    pub fn resident_blocks(&self) -> u64 {
+        let a = self.alpha as u64;
+        a * a + 2 * self.slots as u64 * a * self.beta as u64
+    }
+
+    /// Predicted disk traffic of the staged product of an `m×n×z` block
+    /// problem, in blocks: every `C` tile streams full `A` row-panels and
+    /// `B` column-panels (`2·m·n·z/α` for divisible shapes, exact tile
+    /// clamping included here) and writes its `α²` tile once (`m·n`).
+    pub fn disk_blocks(&self, m: u32, n: u32, z: u32) -> u64 {
+        let (m, n, z) = (m as u64, n as u64, z as u64);
+        let a = self.alpha as u64;
+        let tiles_i = m.div_ceil(a);
+        let tiles_j = n.div_ceil(a);
+        // Per tile row: each of the `tiles_j` tiles reads its A row-panel
+        // (th·z blocks) and B column-panel (z·tw blocks); summing over the
+        // grid gives z·(tiles_j·m + tiles_i·n). C is written once: m·n.
+        z * (tiles_j * m + tiles_i * n) + m * n
+    }
+}
+
+/// Size the out-of-core staging from a RAM budget, exactly as §3.3 sizes
+/// the Tradeoff tile from `C_S`:
+///
+/// * `α` targets [`alpha_num_for`]`(budget, g)` with `g = σ_RAM/σ_F`
+///   (aggregate RAM bandwidth over disk bandwidth — the paper's
+///   `p·σ_D/σ_S` with the disk tier playing the memory role), clamped to
+///   `[1, α_max]` where `α_max` is the largest `α` with
+///   `α² + 2·slots·α ≤ budget` (a `β ≥ 1` ring must fit);
+/// * `β = max(⌊(budget − α²)/(2·slots·α)⌋, 1)`.
+///
+/// Returns `None` when the budget cannot hold even a `1×1` tile plus a
+/// depth-1 ring (`budget < 1 + 2·slots`).
+pub fn ooc_staging(
+    budget_blocks: u64,
+    slots: u32,
+    sigma_f: f64,
+    sigma_ram: f64,
+) -> Option<OocStaging> {
+    assert!(slots >= 1, "panel ring needs at least one slot");
+    assert!(sigma_f > 0.0 && sigma_ram > 0.0, "bandwidths must be positive");
+    let d = slots as u64;
+    if budget_blocks < 1 + 2 * d {
+        return None;
+    }
+    // Largest α with α² + 2·d·α ≤ budget.
+    let mut alpha_max = ((budget_blocks as f64 + (d * d) as f64).sqrt() - d as f64).floor() as u64;
+    while alpha_max >= 1 && alpha_max * alpha_max + 2 * d * alpha_max > budget_blocks {
+        alpha_max -= 1;
+    }
+    while (alpha_max + 1).pow(2) + 2 * d * (alpha_max + 1) <= budget_blocks {
+        alpha_max += 1;
+    }
+    if alpha_max == 0 {
+        return None;
+    }
+    let target = alpha_num_for(budget_blocks as f64, sigma_ram / sigma_f);
+    let alpha = (target.floor() as u64).clamp(1, alpha_max);
+    let beta = ((budget_blocks - alpha * alpha) / (2 * d * alpha)).max(1);
+    let staging = OocStaging { alpha: alpha as u32, beta: beta.min(u32::MAX as u64) as u32, slots };
+    debug_assert!(staging.resident_blocks() <= budget_blocks);
+    Some(staging)
 }
 
 #[cfg(test)]
@@ -345,6 +439,50 @@ mod tests {
         let m = MachineConfig::quad_q32().with_bandwidths(1e6, 1.0);
         let t = tradeoff_params(&m).unwrap();
         assert_eq!(t.alpha, t.grid.rows * t.mu);
+    }
+
+    #[test]
+    fn ooc_staging_respects_budget_and_is_maximal_in_alpha_max() {
+        for budget in [8u64, 64, 977, 4096, 100_000] {
+            for slots in [1u32, 2, 4] {
+                for (sf, sr) in [(1.0, 1.0), (1.0, 50.0), (50.0, 1.0)] {
+                    let Some(s) = ooc_staging(budget, slots, sf, sr) else {
+                        assert!(budget < 1 + 2 * slots as u64, "budget {budget} slots {slots}");
+                        continue;
+                    };
+                    assert!(s.alpha >= 1 && s.beta >= 1);
+                    assert!(
+                        s.resident_blocks() <= budget,
+                        "budget {budget} slots {slots}: footprint {} > budget",
+                        s.resident_blocks()
+                    );
+                }
+            }
+        }
+        assert_eq!(ooc_staging(4, 2, 1.0, 1.0), None);
+    }
+
+    #[test]
+    fn ooc_alpha_tracks_disk_ram_bandwidth_ratio() {
+        // Slow disk, fast RAM → minimize disk traffic: α near α_max.
+        let fast_ram = ooc_staging(10_000, 2, 1.0, 1e6).unwrap();
+        // Fast disk, slow RAM → small α (traffic shifts to the RAM tier).
+        let fast_disk = ooc_staging(10_000, 2, 1e6, 1.0).unwrap();
+        assert!(fast_ram.alpha > fast_disk.alpha, "{fast_ram:?} vs {fast_disk:?}");
+        assert_eq!(fast_disk.alpha, 1);
+        // Balanced: matches the paper's g = 1 limit √(C/3), rounded down.
+        let balanced = ooc_staging(10_000, 2, 1.0, 1.0).unwrap();
+        assert_eq!(balanced.alpha, ((10_000f64 / 3.0).sqrt()).floor() as u32);
+    }
+
+    #[test]
+    fn ooc_disk_traffic_counts_clamped_tiles() {
+        let s = OocStaging { alpha: 4, beta: 2, slots: 2 };
+        // 8×8×8 blocks, α = 4: 2×2 tiles, each reads 4·8 + 8·4 panels and
+        // writes 16 C blocks → 4·(32+32) + 64 = 320.
+        assert_eq!(s.disk_blocks(8, 8, 8), 320);
+        // Ragged 9×5×7: tiles_i = 3, tiles_j = 2 → 7·(2·9 + 3·5) + 45.
+        assert_eq!(s.disk_blocks(9, 5, 7), 7 * (2 * 9 + 3 * 5) + 45);
     }
 
     #[test]

@@ -36,6 +36,6 @@ pub use kernel::KernelVariant;
 pub use matrix::BlockMatrix;
 pub use naive::gemm_naive;
 pub use runner::{
-    gemm_blocked, gemm_blocked_traced, gemm_parallel, gemm_parallel_traced,
+    gemm_accumulate, gemm_blocked, gemm_blocked_traced, gemm_parallel, gemm_parallel_traced,
     gemm_parallel_with_kernel, run_schedule, task_spans_to_chrome, ExecSink, TaskSpan, Tiling,
 };

@@ -89,6 +89,33 @@ impl BlockMatrix {
         m
     }
 
+    /// Wrap an existing block-major buffer (row-major `q×q` blocks, blocks
+    /// laid out row-major) as a matrix of `rows × cols` blocks. The
+    /// inverse of [`BlockMatrix::into_vec`]; together they let streaming
+    /// executors recycle one allocation across many panel shapes.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows · cols · q²` or any dimension is 0.
+    #[must_use]
+    pub fn from_vec(rows: u32, cols: u32, q: usize, data: Vec<f64>) -> BlockMatrix {
+        assert!(rows > 0 && cols > 0, "matrix must have at least one block");
+        assert!(q > 0, "block side must be positive");
+        assert_eq!(
+            data.len(),
+            rows as usize * cols as usize * q * q,
+            "buffer length must match {rows}x{cols} blocks of side {q}"
+        );
+        BlockMatrix { rows, cols, q, data }
+    }
+
+    /// Consume the matrix, returning its block-major storage (so the
+    /// allocation can be resized and re-wrapped with
+    /// [`BlockMatrix::from_vec`]).
+    #[must_use]
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
     /// Block rows.
     #[inline]
     pub fn rows(&self) -> u32 {
@@ -235,5 +262,27 @@ mod tests {
     #[should_panic(expected = "at least one block")]
     fn zero_blocks_rejected() {
         let _ = BlockMatrix::zeros(0, 1, 4);
+    }
+
+    #[test]
+    fn from_vec_round_trips_without_reallocating() {
+        let m = BlockMatrix::pseudo_random(3, 2, 4, 9);
+        let copy = m.clone();
+        let data = m.into_vec();
+        let ptr = data.as_ptr();
+        let back = BlockMatrix::from_vec(3, 2, 4, data);
+        assert_eq!(back, copy);
+        assert_eq!(back.data().as_ptr(), ptr, "round trip must reuse the allocation");
+        // The same storage can be re-wrapped under a different shape.
+        let mut data = back.into_vec();
+        data.truncate(2 * 2 * 16);
+        let reshaped = BlockMatrix::from_vec(2, 2, 4, data);
+        assert_eq!(reshaped.block(0, 0), copy.block(0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_rejects_mismatched_length() {
+        let _ = BlockMatrix::from_vec(2, 2, 4, vec![0.0; 63]);
     }
 }

@@ -204,6 +204,43 @@ pub fn gemm_parallel_with_kernel(
     c
 }
 
+/// `C += A × B` with rayon tasks over `tiling`-sized `C` tiles,
+/// accumulating into the caller's `c` instead of zeroing it.
+///
+/// This is the panel-grained entry point the out-of-core executor
+/// streams through: each prefetched `(A panel, B panel)` pair is one
+/// call, with `c` the resident tile being built up across `k` panels.
+/// Per `C` element the kernel sequence is identical to
+/// [`gemm_parallel_with_kernel`]'s (ascending `k`, one multiply-accumulate
+/// per step through the same packed or blockwise path), so accumulating a
+/// product panel-by-panel is bit-identical to computing it in one call —
+/// which the out-of-core tests pin down with `==`.
+///
+/// # Panics
+/// Panics if shapes or block sides are incompatible (`c` must be
+/// `a.rows × b.cols`) or the tiling has a zero dimension.
+pub fn gemm_accumulate(
+    c: &mut BlockMatrix,
+    a: &BlockMatrix,
+    b: &BlockMatrix,
+    tiling: Tiling,
+    variant: KernelVariant,
+) {
+    assert_eq!(a.cols(), b.rows(), "inner block dimensions must agree");
+    assert_eq!(a.q(), b.q(), "block sides must agree");
+    assert_eq!((c.rows(), c.cols(), c.q()), (a.rows(), b.cols(), a.q()));
+    assert!(
+        tiling.tile_m > 0 && tiling.tile_n > 0 && tiling.tile_k > 0,
+        "tiling must be positive, got {tiling:?}"
+    );
+    let (m, n, z) = (a.rows(), b.cols(), a.cols());
+    let tiles = enumerate_tiles(m, n, tiling);
+    let cptr = SendPtr(c.data_mut().as_mut_ptr());
+    tiles.par_iter().for_each(|&tile| {
+        run_tile(variant, a, b, cptr, z, tiling, tile);
+    });
+}
+
 /// One wall-clock task record from [`gemm_parallel_traced`]: which worker
 /// thread computed which `C` tile, and when.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -583,6 +620,37 @@ mod tests {
                 check(5); // shrink: stale tail beyond the new panels
                 check(16); // grow back past the original length
             });
+        }
+    }
+
+    /// Accumulating a product one `k` panel at a time is bit-identical to
+    /// the one-shot parallel product for every variant — the invariant the
+    /// out-of-core executor's streaming loop relies on.
+    #[test]
+    fn panelwise_accumulation_is_bit_identical_to_one_shot() {
+        for q in [4usize, 5] {
+            let (a, b) = operands(6, 5, 9, q);
+            for v in kernel::variants_available() {
+                let tiling = Tiling { tile_m: 3, tile_n: 4, tile_k: 2 };
+                let oracle = gemm_parallel_with_kernel(&a, &b, tiling, v);
+                let mut c = BlockMatrix::zeros(6, 5, q);
+                let mut k0 = 0;
+                while k0 < 9 {
+                    let kb = tiling.tile_k.min(9 - k0);
+                    // Copy the k panel out, as the streaming path does.
+                    let ap = BlockMatrix::from_fn(6, kb, q, |i, j| a.get(i, k0 as usize * q + j));
+                    let bp = BlockMatrix::from_fn(kb, 5, q, |i, j| b.get(k0 as usize * q + i, j));
+                    gemm_accumulate(
+                        &mut c,
+                        &ap,
+                        &bp,
+                        Tiling { tile_m: 3, tile_n: 4, tile_k: kb },
+                        v,
+                    );
+                    k0 += kb;
+                }
+                assert_eq!(c, oracle, "variant {v} q={q}");
+            }
         }
     }
 

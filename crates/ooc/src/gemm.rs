@@ -1,0 +1,587 @@
+//! The out-of-core multiply driver: walk the Tradeoff staging order over
+//! tiled files, stream `A`/`B` panels through the prefetch pipeline, and
+//! accumulate each resident `C` tile with the in-core packed kernels.
+//!
+//! The schedule is the paper's Tradeoff algorithm lifted one level: RAM
+//! plays the role of the shared cache, disk the role of main memory. A
+//! `C` tile of `α×α` blocks stays resident while `β`-deep `A` row-panels
+//! and `B` column-panels stream past it, with `(α, β)` sized from the
+//! user's RAM budget by [`mmc_core::params::ooc_staging`] exactly as §3.3
+//! sizes them from `C_S` — the footprint `α² + 2·slots·αβ` (the `C`
+//! tile plus a `slots`-deep ring for each operand stream) never exceeds
+//! the budget.
+//!
+//! Every `C` element still accumulates its `z·q` contributions in
+//! ascending `k` with one kernel multiply-accumulate per step, so the
+//! result is bit-identical (`==`) to [`mmc_exec::gemm_parallel`] under
+//! the same kernel variant — the integration tests assert exactly that.
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use mmc_core::params::ooc_staging;
+use mmc_core::{formulas, OocStaging, ProblemSpec};
+use mmc_exec::runner::gemm_accumulate;
+use mmc_exec::{gemm_parallel_with_kernel, BlockMatrix, KernelVariant, Tiling};
+use mmc_sim::{ChromeTraceBuilder, MachineConfig, TData3};
+
+use crate::pipeline::{PrefetchStats, Prefetcher, StageRequest};
+use crate::tiled::{TiledError, TiledFile, TiledOutput};
+
+/// Ring depth per operand stream: 2 = double buffering (one panel in
+/// compute, one in flight).
+pub const RING_SLOTS: u32 = 2;
+
+/// Options for an out-of-core multiply.
+#[derive(Clone, Debug)]
+pub struct OocOpts {
+    /// RAM budget in bytes for the resident `C` tile plus the panel ring.
+    pub mem_budget_bytes: u64,
+    /// Dedicated I/O (prefetch) threads.
+    pub io_threads: usize,
+    /// Kernel variant for the in-core accumulation.
+    pub variant: KernelVariant,
+    /// Machine model used for the two in-core terms of the `T_data`
+    /// report and the compute tiling heuristic.
+    pub machine: MachineConfig,
+    /// Assumed disk/RAM bandwidth ratio `σ_F/σ_S` used only to *size*
+    /// `α` before the run (the report uses the measured `σ_F`). Smaller
+    /// means slower disk, which pushes `α` up to buy more reuse.
+    pub sigma_ratio_hint: f64,
+}
+
+impl OocOpts {
+    /// Defaults: dispatched kernel, two I/O threads, `quad_q32` model,
+    /// disk assumed 10× slower than RAM.
+    pub fn new(mem_budget_bytes: u64) -> OocOpts {
+        OocOpts {
+            mem_budget_bytes,
+            io_threads: 2,
+            variant: mmc_exec::kernel::variant(),
+            machine: MachineConfig::quad_q32(),
+            sigma_ratio_hint: 0.1,
+        }
+    }
+}
+
+/// Errors from the out-of-core driver.
+#[derive(Debug)]
+pub enum OocError {
+    /// Reading or writing a tiled file failed.
+    Tiled(TiledError),
+    /// Operand shapes or block sides disagree.
+    Shape(String),
+    /// The RAM budget cannot hold even the minimal staging footprint.
+    BudgetTooSmall(u64, u64),
+}
+
+impl std::fmt::Display for OocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OocError::Tiled(e) => write!(f, "{e}"),
+            OocError::Shape(why) => write!(f, "operand mismatch: {why}"),
+            OocError::BudgetTooSmall(budget, need) => write!(
+                f,
+                "--mem-budget of {budget} bytes is below the minimal staging footprint \
+                 ({need} bytes: a 1-block C tile plus a {RING_SLOTS}-deep ring per operand)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OocError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OocError::Tiled(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TiledError> for OocError {
+    fn from(e: TiledError) -> OocError {
+        OocError::Tiled(e)
+    }
+}
+
+/// One in-core accumulation step, for the trace's compute lane.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ComputeSpan {
+    /// First block row of the resident `C` tile.
+    pub i0: u32,
+    /// First block column of the resident `C` tile.
+    pub j0: u32,
+    /// First `k` block of the accumulated panel pair.
+    pub k0: u32,
+    /// Microseconds from run start.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+}
+
+/// The JSON metrics snapshot of one out-of-core run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OocReport {
+    /// `C` block rows.
+    pub m: u32,
+    /// `C` block columns.
+    pub n: u32,
+    /// Inner block dimension.
+    pub z: u32,
+    /// Block side in elements.
+    pub q: usize,
+    /// Kernel variant that ran.
+    pub kernel: String,
+    /// I/O threads that staged panels.
+    pub io_threads: usize,
+    /// The staging geometry the budget bought.
+    pub staging: OocStaging,
+    /// The RAM budget, bytes.
+    pub budget_bytes: u64,
+    /// The budget in `q×q` blocks (what the sizing saw).
+    pub budget_blocks: u64,
+    /// Measured peak bytes checked out of the panel ring.
+    pub peak_panel_bytes: u64,
+    /// Bytes of the largest resident `C` tile.
+    pub c_tile_bytes: u64,
+    /// Measured peak resident staging memory: panels + `C` tile.
+    pub peak_resident_bytes: u64,
+    /// Analytic bound on the kernels' thread-local pack arenas (not part
+    /// of the staged budget; reported for full accounting).
+    pub pack_arena_bound_bytes: u64,
+    /// Whether `peak_resident_bytes` stayed within `budget_bytes`.
+    pub within_budget: bool,
+    /// Bytes written to the `C` file.
+    pub bytes_written: u64,
+    /// Measured disk streaming bandwidth, blocks per second per thread.
+    pub sigma_f_blocks_per_s: f64,
+    /// The three-term data access time: measured disk term next to the
+    /// model's two in-core terms.
+    pub t_data3: TData3,
+    /// Wall-clock seconds for the whole multiply.
+    pub elapsed_seconds: f64,
+    /// Summed seconds inside the in-core accumulation calls.
+    pub compute_seconds: f64,
+    /// Pipeline statistics (bytes read, stalls, I/O spans).
+    pub prefetch: PrefetchStats,
+    /// Compute lane spans for the trace.
+    pub compute_spans: Vec<ComputeSpan>,
+}
+
+fn ceil_div(a: u32, b: u32) -> u32 {
+    a.div_ceil(b)
+}
+
+/// The compute tiling inside one resident `th×tw` `C` tile: split it
+/// into roughly `√p × √p` sub-tiles so every core gets work, with the
+/// panel's full depth as `tile_k` (any split is bit-identical; this one
+/// maximizes packing reuse).
+fn inner_tiling(th: u32, tw: u32, kd: u32, cores: usize) -> Tiling {
+    let pr = ((cores as f64).sqrt().round() as u32).max(1);
+    Tiling { tile_m: ceil_div(th, pr).max(1), tile_n: ceil_div(tw, pr).max(1), tile_k: kd.max(1) }
+}
+
+/// Build the Tradeoff staging order: for every `α×α` `C` tile in
+/// row-major order, alternate `A` row-panel and `B` column-panel
+/// requests along `k` in `β` steps.
+fn staging_requests(m: u32, n: u32, z: u32, staging: OocStaging) -> Vec<StageRequest> {
+    let (alpha, beta) = (staging.alpha, staging.beta);
+    let mut reqs = Vec::new();
+    for i0 in (0..m).step_by(alpha as usize) {
+        let th = alpha.min(m - i0);
+        for j0 in (0..n).step_by(alpha as usize) {
+            let tw = alpha.min(n - j0);
+            for k0 in (0..z).step_by(beta as usize) {
+                let kd = beta.min(z - k0);
+                let seq = reqs.len();
+                reqs.push(StageRequest {
+                    seq,
+                    file: 0,
+                    bi0: i0,
+                    bj0: k0,
+                    rows: th,
+                    cols: kd,
+                    label: format!("A[i={i0},k={k0}]"),
+                });
+                reqs.push(StageRequest {
+                    seq: seq + 1,
+                    file: 1,
+                    bi0: k0,
+                    bj0: j0,
+                    rows: kd,
+                    cols: tw,
+                    label: format!("B[k={k0},j={j0}]"),
+                });
+            }
+        }
+    }
+    reqs
+}
+
+/// Multiply the tiled files at `a_path` and `b_path` out of core,
+/// writing the tiled product to `out_path` and returning the run report.
+pub fn ooc_multiply(
+    a_path: &Path,
+    b_path: &Path,
+    out_path: &Path,
+    opts: &OocOpts,
+) -> Result<OocReport, OocError> {
+    let started = Instant::now();
+    let fa = Arc::new(TiledFile::open(a_path)?);
+    let fb = Arc::new(TiledFile::open(b_path)?);
+    let (ha, hb) = (fa.header(), fb.header());
+    if ha.q != hb.q {
+        return Err(OocError::Shape(format!(
+            "block sides differ: {} has q={}, {} has q={}",
+            a_path.display(),
+            ha.q,
+            b_path.display(),
+            hb.q
+        )));
+    }
+    if ha.cols != hb.rows {
+        return Err(OocError::Shape(format!(
+            "inner dimensions differ: {} is {}x{} blocks, {} is {}x{}",
+            a_path.display(),
+            ha.rows,
+            ha.cols,
+            b_path.display(),
+            hb.rows,
+            hb.cols
+        )));
+    }
+    let (m, z, n, q) = (ha.rows, ha.cols, hb.cols, ha.q);
+    let block_bytes = (q * q * 8) as u64;
+
+    let budget_blocks = opts.mem_budget_bytes / block_bytes;
+    let min_blocks = 1 + 2 * RING_SLOTS as u64; // α = β = 1 footprint
+    let staging = ooc_staging(budget_blocks, RING_SLOTS, opts.sigma_ratio_hint, 1.0)
+        .ok_or(OocError::BudgetTooSmall(opts.mem_budget_bytes, min_blocks * block_bytes))?;
+    let (alpha, beta) = (staging.alpha, staging.beta);
+
+    let requests = staging_requests(m, n, z, staging);
+    let n_requests = requests.len();
+    let panel_elems = alpha as usize * beta as usize * q * q;
+    let pool_buffers = 2 * RING_SLOTS as usize; // ring per operand stream
+    let mut pf = Prefetcher::spawn(
+        vec![Arc::clone(&fa), Arc::clone(&fb)],
+        requests,
+        pool_buffers,
+        opts.io_threads.max(1),
+        panel_elems,
+    );
+    let epoch = Instant::now();
+
+    let out = TiledOutput::create(out_path, m, n, q)?;
+    let mut bytes_written = 0u64;
+    let mut compute_spans = Vec::new();
+    let mut compute_seconds = 0.0;
+    let mut c_buf: Vec<f64> = Vec::new();
+    let mut consumed = 0usize;
+
+    for i0 in (0..m).step_by(alpha as usize) {
+        let th = alpha.min(m - i0);
+        for j0 in (0..n).step_by(alpha as usize) {
+            let tw = alpha.min(n - j0);
+            c_buf.clear();
+            c_buf.resize(th as usize * tw as usize * q * q, 0.0);
+            let mut c_tile = BlockMatrix::from_vec(th, tw, q, std::mem::take(&mut c_buf));
+            for k0 in (0..z).step_by(beta as usize) {
+                let kd = beta.min(z - k0);
+                let pa = pf.next().expect("staging order exhausted early")?;
+                let pb = pf.next().expect("staging order exhausted early")?;
+                consumed += 2;
+                let a_panel = BlockMatrix::from_vec(th, kd, q, pa.data);
+                let b_panel = BlockMatrix::from_vec(kd, tw, q, pb.data);
+                let tiling = inner_tiling(th, tw, kd, opts.machine.cores);
+                let t0 = Instant::now();
+                gemm_accumulate(&mut c_tile, &a_panel, &b_panel, tiling, opts.variant);
+                let dur = t0.elapsed();
+                compute_seconds += dur.as_secs_f64();
+                compute_spans.push(ComputeSpan {
+                    i0,
+                    j0,
+                    k0,
+                    start_us: t0.duration_since(epoch).as_micros() as u64,
+                    dur_us: dur.as_micros() as u64,
+                });
+                pf.recycle(a_panel.into_vec());
+                pf.recycle(b_panel.into_vec());
+            }
+            bytes_written += out.write_panel(i0, j0, th, tw, c_tile.data())?;
+            c_buf = c_tile.into_vec();
+        }
+    }
+    debug_assert_eq!(consumed, n_requests, "every staged panel consumed");
+    out.finish()?;
+    let prefetch = pf.finish();
+
+    let c_tile_bytes = alpha as u64 * alpha as u64 * block_bytes;
+    let peak_resident_bytes = prefetch.peak_resident_bytes + c_tile_bytes;
+    let read_blocks = prefetch.bytes_read / block_bytes;
+    let sigma_f = if prefetch.io_seconds > 0.0 {
+        read_blocks as f64 / prefetch.io_seconds
+    } else {
+        f64::INFINITY
+    };
+    let problem = ProblemSpec::new(m, n, z);
+    let (ms, md) = formulas::tradeoff(&problem, &opts.machine)
+        .or_else(|| formulas::shared_opt(&problem, &opts.machine))
+        .map(|p| (p.ms, p.md))
+        .unwrap_or((0.0, 0.0));
+    let t_data3 = TData3 {
+        mf: (read_blocks + bytes_written / block_bytes) as f64,
+        ms,
+        md,
+        sigma_f: if sigma_f.is_finite() { sigma_f } else { 1.0 },
+        sigma_s: opts.machine.sigma_s,
+        sigma_d: opts.machine.sigma_d,
+    };
+
+    // Pack-arena bound: each rayon worker (plus the caller) packs one
+    // inner A panel and one inner B panel of at most
+    // (tile_m + tile_n)·β·q² elements at a time.
+    let t = inner_tiling(alpha, alpha, beta, opts.machine.cores);
+    let workers = rayon::current_num_threads() as u64 + 1;
+    let pack_arena_bound_bytes =
+        workers * (t.tile_m as u64 + t.tile_n as u64) * beta as u64 * block_bytes;
+
+    Ok(OocReport {
+        m,
+        n,
+        z,
+        q,
+        kernel: opts.variant.name().to_string(),
+        io_threads: opts.io_threads.max(1),
+        staging,
+        budget_bytes: opts.mem_budget_bytes,
+        budget_blocks,
+        peak_panel_bytes: prefetch.peak_resident_bytes,
+        c_tile_bytes,
+        peak_resident_bytes,
+        pack_arena_bound_bytes,
+        within_budget: peak_resident_bytes <= opts.mem_budget_bytes,
+        bytes_written,
+        sigma_f_blocks_per_s: sigma_f,
+        t_data3,
+        elapsed_seconds: started.elapsed().as_secs_f64(),
+        compute_seconds,
+        prefetch,
+        compute_spans,
+    })
+}
+
+/// Stream a deterministic pseudo-random matrix straight to a tiled file,
+/// one block row at a time (never materializing the matrix), bit-exact
+/// with [`BlockMatrix::pseudo_random`] for the same `(rows, cols, q,
+/// seed)`.
+pub fn write_pseudo_random(
+    path: &Path,
+    rows: u32,
+    cols: u32,
+    q: usize,
+    seed: u64,
+) -> Result<(), TiledError> {
+    const M: u64 = 0x9E3779B97F4A7C15;
+    let mut w = crate::tiled::TiledWriter::create(path, rows, cols, q)?;
+    let mut slab = vec![0.0f64; cols as usize * q * q];
+    for bi in 0..rows {
+        for bj in 0..cols {
+            let blk = &mut slab[bj as usize * q * q..][..q * q];
+            let base_i = bi as usize * q;
+            let base_j = bj as usize * q;
+            for ii in 0..q {
+                let row_mul = (((base_i + ii) as u64) << 32).wrapping_mul(M);
+                let mut col_mul = (base_j as u64).wrapping_mul(M);
+                for jj in 0..q {
+                    let mut x = seed ^ row_mul.wrapping_add(col_mul);
+                    x ^= x >> 30;
+                    x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+                    x ^= x >> 27;
+                    x = x.wrapping_mul(0x94D049BB133111EB);
+                    x ^= x >> 31;
+                    blk[ii * q + jj] = (x >> 11) as f64 / (1u64 << 52) as f64 - 1.0;
+                    col_mul = col_mul.wrapping_add(M);
+                }
+            }
+        }
+        w.append_blocks(&slab)?;
+    }
+    w.finish()
+}
+
+/// Re-read all three tiled files, recompute the product in core with the
+/// same kernel variant, and return the element count that differs
+/// (0 means bit-identical). Intended for test- and smoke-scale matrices
+/// — it materializes all three operands.
+pub fn ooc_verify(
+    a_path: &Path,
+    b_path: &Path,
+    c_path: &Path,
+    variant: KernelVariant,
+    machine: &MachineConfig,
+) -> Result<u64, OocError> {
+    let a = TiledFile::open(a_path)?.read_matrix()?;
+    let b = TiledFile::open(b_path)?.read_matrix()?;
+    let c = TiledFile::open(c_path)?.read_matrix()?;
+    if a.cols() != b.rows() || a.q() != b.q() {
+        return Err(OocError::Shape("A and B do not multiply".into()));
+    }
+    if (c.rows(), c.cols(), c.q()) != (a.rows(), b.cols(), a.q()) {
+        return Err(OocError::Shape("C has the wrong shape for A*B".into()));
+    }
+    let tiling = Tiling::tradeoff(machine)
+        .or_else(|| Tiling::shared_opt(machine))
+        .unwrap_or(Tiling { tile_m: 1, tile_n: 1, tile_k: 1 });
+    let want = gemm_parallel_with_kernel(&a, &b, tiling, variant);
+    let mismatches =
+        c.data().iter().zip(want.data()).filter(|(x, y)| x.to_bits() != y.to_bits()).count() as u64;
+    Ok(mismatches)
+}
+
+/// Export the run as a Chrome trace: one Perfetto lane per I/O thread,
+/// one compute lane, and a cumulative `bytes_read` counter track.
+pub fn chrome_trace(report: &OocReport) -> String {
+    let mut b = ChromeTraceBuilder::new("mmc-ooc multiply");
+    for t in 0..report.io_threads {
+        b.thread(t as u64, &format!("io {t}"));
+    }
+    let compute_tid = report.io_threads as u64;
+    b.thread(compute_tid, "compute");
+    let mut reads: Vec<_> = report.prefetch.io_spans.iter().collect();
+    reads.sort_by_key(|s| s.start_us);
+    let mut cumulative = 0u64;
+    for s in &reads {
+        b.span(
+            s.thread as u64,
+            &s.label,
+            s.start_us as f64,
+            (s.dur_us.max(1)) as f64,
+            &[("bytes", s.bytes as f64)],
+        );
+        cumulative += s.bytes;
+        b.counter("bytes_read", (s.start_us + s.dur_us) as f64, cumulative as f64);
+    }
+    for s in &report.compute_spans {
+        b.span(
+            compute_tid,
+            &format!("C[{},{}] += k{}", s.i0, s.j0, s.k0),
+            s.start_us as f64,
+            (s.dur_us.max(1)) as f64,
+            &[],
+        );
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmc_exec::kernel::variants_available;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mmc-ooc-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn streamed_generation_matches_in_core_pseudo_random() {
+        let dir = tmp("gen");
+        let path = dir.join("a.tiled");
+        write_pseudo_random(&path, 5, 3, 7, 0xC0FFEE).unwrap();
+        let got = TiledFile::open(&path).unwrap().read_matrix().unwrap();
+        assert_eq!(got, BlockMatrix::pseudo_random(5, 3, 7, 0xC0FFEE));
+    }
+
+    #[test]
+    fn multiply_is_bit_identical_to_in_core_for_every_kernel() {
+        let dir = tmp("bitid");
+        let (m, z, n, q) = (9u32, 7u32, 8u32, 8usize);
+        let a_path = dir.join("a.tiled");
+        let b_path = dir.join("b.tiled");
+        write_pseudo_random(&a_path, m, z, q, 1).unwrap();
+        write_pseudo_random(&b_path, z, n, q, 2).unwrap();
+        let a = BlockMatrix::pseudo_random(m, z, q, 1);
+        let b = BlockMatrix::pseudo_random(z, n, q, 2);
+        for variant in variants_available() {
+            let c_path = dir.join(format!("c-{}.tiled", variant.name()));
+            let mut opts = OocOpts::new(0);
+            opts.variant = variant;
+            // Budget: ~20 blocks — far below the 9*7 + 7*8 + 9*8 = 191
+            // blocks the three operands need in core.
+            opts.mem_budget_bytes = 20 * (q * q * 8) as u64;
+            let report = ooc_multiply(&a_path, &b_path, &c_path, &opts).unwrap();
+            assert!(
+                report.within_budget,
+                "peak {} > budget {}",
+                report.peak_resident_bytes, report.budget_bytes
+            );
+            assert!(report.staging.alpha >= 1 && report.staging.beta >= 1);
+            let got = TiledFile::open(&c_path).unwrap().read_matrix().unwrap();
+            let tiling = Tiling { tile_m: 3, tile_n: 3, tile_k: 2 };
+            let want = gemm_parallel_with_kernel(&a, &b, tiling, variant);
+            assert_eq!(got, want, "ooc result must be bit-identical ({})", variant.name());
+            assert_eq!(ooc_verify(&a_path, &b_path, &c_path, variant, &opts.machine).unwrap(), 0);
+            // Disk traffic matches the staging predictor exactly.
+            let blocks = (q * q * 8) as u64;
+            assert_eq!(
+                report.prefetch.bytes_read / blocks + report.bytes_written / blocks,
+                report.staging.disk_blocks(m, n, z)
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_budget_is_rejected_with_context() {
+        let dir = tmp("smallbudget");
+        let a_path = dir.join("a.tiled");
+        let b_path = dir.join("b.tiled");
+        write_pseudo_random(&a_path, 2, 2, 4, 1).unwrap();
+        write_pseudo_random(&b_path, 2, 2, 4, 2).unwrap();
+        let opts = OocOpts::new(64); // less than one block
+        let err = ooc_multiply(&a_path, &b_path, &dir.join("c.tiled"), &opts).unwrap_err();
+        assert!(matches!(err, OocError::BudgetTooSmall(64, _)), "{err}");
+        assert!(err.to_string().contains("--mem-budget"));
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let dir = tmp("shape");
+        let a_path = dir.join("a.tiled");
+        let b_path = dir.join("b.tiled");
+        write_pseudo_random(&a_path, 2, 3, 4, 1).unwrap();
+        write_pseudo_random(&b_path, 2, 2, 4, 2).unwrap();
+        let opts = OocOpts::new(1 << 20);
+        let err = ooc_multiply(&a_path, &b_path, &dir.join("c.tiled"), &opts).unwrap_err();
+        assert!(matches!(err, OocError::Shape(_)), "{err}");
+    }
+
+    #[test]
+    fn report_serializes_and_traces() {
+        let dir = tmp("report");
+        let a_path = dir.join("a.tiled");
+        let b_path = dir.join("b.tiled");
+        let c_path = dir.join("c.tiled");
+        write_pseudo_random(&a_path, 4, 4, 4, 1).unwrap();
+        write_pseudo_random(&b_path, 4, 4, 4, 2).unwrap();
+        let opts = OocOpts::new(10 * 4 * 4 * 8);
+        let report = ooc_multiply(&a_path, &b_path, &c_path, &opts).unwrap();
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"within_budget\""));
+        assert!(json.contains("\"stall_seconds\""));
+        assert!(json.contains("\"bytes_read\""));
+        let back: OocReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.staging, report.staging);
+        assert!(report.t_data3.total() > 0.0);
+        let trace = chrome_trace(&report);
+        assert!(trace.contains("\"io 0\""), "I/O lane present");
+        assert!(trace.contains("\"compute\""), "compute lane present");
+        assert!(trace.contains("bytes_read"), "counter track present");
+        assert!(trace.contains("A[i=0,k=0]"), "panel span labeled");
+    }
+}

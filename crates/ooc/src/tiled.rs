@@ -1,0 +1,507 @@
+//! Block-major tiled matrix files: the on-disk operand format of the
+//! out-of-core executor.
+//!
+//! A tiled file is a fixed 40-byte checksummed header followed by the
+//! matrix's `q×q` blocks in block-row-major order, each block row-major
+//! little-endian `f64` — exactly [`BlockMatrix`]'s in-memory layout, so a
+//! whole-matrix read is one contiguous copy, and any rectangular panel of
+//! blocks is `rows` contiguous runs.
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic "MMCT"
+//!      4     4  layout version (little-endian u32, currently 1)
+//!      8     4  block rows
+//!     12     4  block cols
+//!     16     8  block side q
+//!     24     8  reserved (zero)
+//!     32     8  FNV-1a over bytes 0..32
+//! ```
+//!
+//! All block I/O is *positioned* (`pread`/`pwrite` via
+//! [`std::os::unix::fs::FileExt`]), so concurrent prefetch threads share
+//! one `File` handle without a seek-position race.
+
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use mmc_exec::BlockMatrix;
+
+/// Magic bytes opening every tiled file.
+pub const MAGIC: [u8; 4] = *b"MMCT";
+/// Current layout version.
+pub const LAYOUT_VERSION: u32 = 1;
+/// Bytes of header before the first block.
+pub const HEADER_LEN: u64 = 40;
+
+/// Errors from reading or validating a tiled file.
+#[derive(Debug)]
+pub enum TiledError {
+    /// Underlying I/O failure (with the path for context).
+    Io(PathBuf, io::Error),
+    /// The header is not a valid tiled-matrix header.
+    BadHeader(PathBuf, String),
+    /// Header parses but the file is shorter than `rows·cols` blocks.
+    Truncated(PathBuf, u64, u64),
+}
+
+impl std::fmt::Display for TiledError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TiledError::Io(path, e) => write!(f, "{}: {e}", path.display()),
+            TiledError::BadHeader(path, why) => {
+                write!(f, "{}: not a tiled matrix file ({why})", path.display())
+            }
+            TiledError::Truncated(path, want, got) => write!(
+                f,
+                "{}: truncated tiled file (need {want} bytes, found {got})",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TiledError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TiledError::Io(_, e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The parsed header of a tiled file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TiledHeader {
+    /// Block rows.
+    pub rows: u32,
+    /// Block columns.
+    pub cols: u32,
+    /// Block side in elements.
+    pub q: usize,
+}
+
+impl TiledHeader {
+    fn encode(&self) -> [u8; HEADER_LEN as usize] {
+        let mut buf = [0u8; HEADER_LEN as usize];
+        buf[0..4].copy_from_slice(&MAGIC);
+        buf[4..8].copy_from_slice(&LAYOUT_VERSION.to_le_bytes());
+        buf[8..12].copy_from_slice(&self.rows.to_le_bytes());
+        buf[12..16].copy_from_slice(&self.cols.to_le_bytes());
+        buf[16..24].copy_from_slice(&(self.q as u64).to_le_bytes());
+        // bytes 24..32 reserved, zero
+        let sum = fnv1a(&buf[0..32]);
+        buf[32..40].copy_from_slice(&sum.to_le_bytes());
+        buf
+    }
+
+    fn decode(buf: &[u8; HEADER_LEN as usize]) -> Result<TiledHeader, String> {
+        if buf[0..4] != MAGIC {
+            return Err("bad magic".into());
+        }
+        let stored = u64::from_le_bytes(buf[32..40].try_into().unwrap());
+        if stored != fnv1a(&buf[0..32]) {
+            return Err("header checksum mismatch".into());
+        }
+        let version = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+        if version != LAYOUT_VERSION {
+            return Err(format!("unsupported layout version {version}"));
+        }
+        let rows = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+        let cols = u32::from_le_bytes(buf[12..16].try_into().unwrap());
+        let q = u64::from_le_bytes(buf[16..24].try_into().unwrap());
+        if rows == 0 || cols == 0 || q == 0 {
+            return Err("zero dimension".into());
+        }
+        // Guard the size arithmetic below against overflow on hostile input.
+        let blocks = rows as u64 * cols as u64;
+        if q > u32::MAX as u64 || blocks.checked_mul(q * q * 8).is_none() {
+            return Err("dimensions overflow".into());
+        }
+        Ok(TiledHeader { rows, cols, q: q as usize })
+    }
+
+    /// Bytes per block (`q²·8`).
+    pub fn block_bytes(&self) -> u64 {
+        (self.q * self.q * 8) as u64
+    }
+
+    /// Total file size implied by the header.
+    pub fn file_len(&self) -> u64 {
+        HEADER_LEN + self.rows as u64 * self.cols as u64 * self.block_bytes()
+    }
+}
+
+#[cfg(unix)]
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, offset)
+}
+
+#[cfg(not(unix))]
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+    // Fallback for non-unix targets: clone the handle so the shared seek
+    // position is not raced between prefetch threads.
+    use std::io::{Seek, SeekFrom};
+    let mut f = file.try_clone()?;
+    f.seek(SeekFrom::Start(offset))?;
+    f.read_exact(buf)
+}
+
+/// A read-only tiled matrix file with positioned block access.
+///
+/// Cloneable handles are cheap (`try_clone` of the descriptor is not
+/// needed — positioned reads share one descriptor safely), so the
+/// prefetcher hands one `TiledFile` to every I/O thread behind an `Arc`.
+#[derive(Debug)]
+pub struct TiledFile {
+    path: PathBuf,
+    file: File,
+    header: TiledHeader,
+}
+
+impl TiledFile {
+    /// Open `path`, validate its header and length, and return a handle.
+    pub fn open(path: &Path) -> Result<TiledFile, TiledError> {
+        let mut file = File::open(path).map_err(|e| TiledError::Io(path.to_path_buf(), e))?;
+        let mut buf = [0u8; HEADER_LEN as usize];
+        file.read_exact(&mut buf).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                TiledError::BadHeader(path.to_path_buf(), "file shorter than header".into())
+            } else {
+                TiledError::Io(path.to_path_buf(), e)
+            }
+        })?;
+        let header = TiledHeader::decode(&buf)
+            .map_err(|why| TiledError::BadHeader(path.to_path_buf(), why))?;
+        let len = file.metadata().map_err(|e| TiledError::Io(path.to_path_buf(), e))?.len();
+        if len < header.file_len() {
+            return Err(TiledError::Truncated(path.to_path_buf(), header.file_len(), len));
+        }
+        Ok(TiledFile { path: path.to_path_buf(), file, header })
+    }
+
+    /// The validated header.
+    pub fn header(&self) -> TiledHeader {
+        self.header
+    }
+
+    /// The path this file was opened from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Byte offset of block `(bi, bj)`.
+    fn block_offset(&self, bi: u32, bj: u32) -> u64 {
+        debug_assert!(bi < self.header.rows && bj < self.header.cols);
+        HEADER_LEN + (bi as u64 * self.header.cols as u64 + bj as u64) * self.header.block_bytes()
+    }
+
+    /// Read the `rows×cols` panel of blocks whose top-left block is
+    /// `(bi0, bj0)` into `out` (block-major, caller-sized to
+    /// `rows·cols·q²`). Each block row of the panel is contiguous on
+    /// disk, so this issues `rows` positioned reads. Returns the bytes
+    /// read.
+    pub fn read_panel(
+        &self,
+        bi0: u32,
+        bj0: u32,
+        rows: u32,
+        cols: u32,
+        out: &mut [f64],
+    ) -> Result<u64, TiledError> {
+        let h = self.header;
+        assert!(bi0 + rows <= h.rows && bj0 + cols <= h.cols, "panel out of bounds");
+        let q2 = h.q * h.q;
+        assert_eq!(out.len(), rows as usize * cols as usize * q2, "panel buffer size");
+        let row_bytes = cols as u64 * h.block_bytes();
+        for r in 0..rows {
+            let dst = &mut out[r as usize * cols as usize * q2..][..cols as usize * q2];
+            let byte_dst = bytemuck_cast_mut(dst);
+            read_exact_at(&self.file, byte_dst, self.block_offset(bi0 + r, bj0))
+                .map_err(|e| TiledError::Io(self.path.clone(), e))?;
+            debug_assert_eq!(byte_dst.len() as u64, row_bytes);
+        }
+        if cfg!(target_endian = "big") {
+            for v in out.iter_mut() {
+                *v = f64::from_bits(u64::from_le(v.to_bits()));
+            }
+        }
+        Ok(rows as u64 * row_bytes)
+    }
+
+    /// Read the whole matrix into a [`BlockMatrix`].
+    pub fn read_matrix(&self) -> Result<BlockMatrix, TiledError> {
+        let h = self.header;
+        let mut out = vec![0.0f64; h.rows as usize * h.cols as usize * h.q * h.q];
+        self.read_panel(0, 0, h.rows, h.cols, &mut out)?;
+        Ok(BlockMatrix::from_vec(h.rows, h.cols, h.q, out))
+    }
+}
+
+/// View a `&mut [f64]` as little-endian bytes for positioned I/O.
+///
+/// Safe: `f64` has no invalid bit patterns and the slice stays within one
+/// allocation; alignment only decreases.
+fn bytemuck_cast_mut(data: &mut [f64]) -> &mut [u8] {
+    unsafe { std::slice::from_raw_parts_mut(data.as_mut_ptr().cast::<u8>(), data.len() * 8) }
+}
+
+fn bytemuck_cast(data: &[f64]) -> &[u8] {
+    unsafe { std::slice::from_raw_parts(data.as_ptr().cast::<u8>(), data.len() * 8) }
+}
+
+/// A streaming writer producing a tiled file block-row by block-row.
+#[derive(Debug)]
+pub struct TiledWriter {
+    path: PathBuf,
+    file: File,
+    header: TiledHeader,
+    written_blocks: u64,
+}
+
+impl TiledWriter {
+    /// Create (truncating) `path` with the given shape and write the
+    /// header. Blocks must then be appended in block-row-major order.
+    pub fn create(path: &Path, rows: u32, cols: u32, q: usize) -> Result<TiledWriter, TiledError> {
+        assert!(rows > 0 && cols > 0 && q > 0, "matrix must have at least one block");
+        let header = TiledHeader { rows, cols, q };
+        let file = File::create(path).map_err(|e| TiledError::Io(path.to_path_buf(), e))?;
+        let mut w = TiledWriter { path: path.to_path_buf(), file, header, written_blocks: 0 };
+        w.file.write_all(&header.encode()).map_err(|e| TiledError::Io(w.path.clone(), e))?;
+        Ok(w)
+    }
+
+    /// Append the next blocks in block-row-major order (`data` holds a
+    /// whole number of `q²`-element blocks).
+    pub fn append_blocks(&mut self, data: &[f64]) -> Result<(), TiledError> {
+        let q2 = self.header.q * self.header.q;
+        assert_eq!(data.len() % q2, 0, "must append whole blocks");
+        if cfg!(target_endian = "big") {
+            let le: Vec<u64> = data.iter().map(|v| v.to_bits().to_le()).collect();
+            let bytes =
+                unsafe { std::slice::from_raw_parts(le.as_ptr().cast::<u8>(), le.len() * 8) };
+            self.file.write_all(bytes).map_err(|e| TiledError::Io(self.path.clone(), e))?;
+        } else {
+            self.file
+                .write_all(bytemuck_cast(data))
+                .map_err(|e| TiledError::Io(self.path.clone(), e))?;
+        }
+        self.written_blocks += (data.len() / q2) as u64;
+        Ok(())
+    }
+
+    /// Flush and close, verifying every block was written.
+    pub fn finish(mut self) -> Result<(), TiledError> {
+        let want = self.header.rows as u64 * self.header.cols as u64;
+        assert_eq!(
+            self.written_blocks, want,
+            "tiled file incomplete: wrote {} of {want} blocks",
+            self.written_blocks
+        );
+        self.file.flush().map_err(|e| TiledError::Io(self.path.clone(), e))
+    }
+}
+
+#[cfg(unix)]
+fn write_all_at(file: &File, buf: &[u8], offset: u64) -> io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.write_all_at(buf, offset)
+}
+
+#[cfg(not(unix))]
+fn write_all_at(file: &File, buf: &[u8], offset: u64) -> io::Result<()> {
+    use std::io::{Seek, SeekFrom};
+    let mut f = file.try_clone()?;
+    f.seek(SeekFrom::Start(offset))?;
+    f.write_all(buf)
+}
+
+/// A tiled output file supporting positioned panel writes, for producers
+/// (like the out-of-core executor) that finish `C` tiles out of
+/// block-row order. The file is pre-sized at creation so every write
+/// lands inside the final extent.
+#[derive(Debug)]
+pub struct TiledOutput {
+    path: PathBuf,
+    file: File,
+    header: TiledHeader,
+}
+
+impl TiledOutput {
+    /// Create (truncating) `path`, write the header, and pre-size the
+    /// file to hold all `rows·cols` blocks.
+    pub fn create(path: &Path, rows: u32, cols: u32, q: usize) -> Result<TiledOutput, TiledError> {
+        assert!(rows > 0 && cols > 0 && q > 0, "matrix must have at least one block");
+        let header = TiledHeader { rows, cols, q };
+        let file = File::create(path).map_err(|e| TiledError::Io(path.to_path_buf(), e))?;
+        write_all_at(&file, &header.encode(), 0)
+            .map_err(|e| TiledError::Io(path.to_path_buf(), e))?;
+        file.set_len(header.file_len()).map_err(|e| TiledError::Io(path.to_path_buf(), e))?;
+        Ok(TiledOutput { path: path.to_path_buf(), file, header })
+    }
+
+    /// Write the `rows×cols` block panel with top-left block `(bi0, bj0)`
+    /// from `data` (block-major, `rows·cols·q²` elements). Returns the
+    /// bytes written.
+    pub fn write_panel(
+        &self,
+        bi0: u32,
+        bj0: u32,
+        rows: u32,
+        cols: u32,
+        data: &[f64],
+    ) -> Result<u64, TiledError> {
+        let h = self.header;
+        assert!(bi0 + rows <= h.rows && bj0 + cols <= h.cols, "panel out of bounds");
+        let q2 = h.q * h.q;
+        assert_eq!(data.len(), rows as usize * cols as usize * q2, "panel buffer size");
+        let row_elems = cols as usize * q2;
+        for r in 0..rows {
+            let src = &data[r as usize * row_elems..][..row_elems];
+            let offset =
+                HEADER_LEN + ((bi0 + r) as u64 * h.cols as u64 + bj0 as u64) * h.block_bytes();
+            if cfg!(target_endian = "big") {
+                let le: Vec<u64> = src.iter().map(|v| v.to_bits().to_le()).collect();
+                let bytes =
+                    unsafe { std::slice::from_raw_parts(le.as_ptr().cast::<u8>(), le.len() * 8) };
+                write_all_at(&self.file, bytes, offset)
+                    .map_err(|e| TiledError::Io(self.path.clone(), e))?;
+            } else {
+                write_all_at(&self.file, bytemuck_cast(src), offset)
+                    .map_err(|e| TiledError::Io(self.path.clone(), e))?;
+            }
+        }
+        Ok(rows as u64 * row_elems as u64 * 8)
+    }
+
+    /// Flush the file to disk.
+    pub fn finish(mut self) -> Result<(), TiledError> {
+        self.file.flush().map_err(|e| TiledError::Io(self.path.clone(), e))
+    }
+}
+
+/// Write a whole [`BlockMatrix`] to `path` as a tiled file.
+pub fn write_matrix(path: &Path, m: &BlockMatrix) -> Result<(), TiledError> {
+    let mut w = TiledWriter::create(path, m.rows(), m.cols(), m.q())?;
+    w.append_blocks(m.data())?;
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mmc-tiled-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("m.tiled")
+    }
+
+    #[test]
+    fn round_trips_block_matrix() {
+        let path = tmp("roundtrip");
+        let m = BlockMatrix::pseudo_random(3, 5, 7, 42);
+        write_matrix(&path, &m).unwrap();
+        let f = TiledFile::open(&path).unwrap();
+        assert_eq!(f.header(), TiledHeader { rows: 3, cols: 5, q: 7 });
+        assert_eq!(f.read_matrix().unwrap(), m);
+    }
+
+    #[test]
+    fn panel_reads_match_blocks() {
+        let path = tmp("panel");
+        let m = BlockMatrix::pseudo_random(4, 6, 3, 7);
+        write_matrix(&path, &m).unwrap();
+        let f = TiledFile::open(&path).unwrap();
+        // A 2x3 panel at (1, 2).
+        let mut buf = vec![0.0; 2 * 3 * 9];
+        let bytes = f.read_panel(1, 2, 2, 3, &mut buf).unwrap();
+        assert_eq!(bytes, 2 * 3 * 9 * 8);
+        let panel = BlockMatrix::from_vec(2, 3, 3, buf);
+        for bi in 0..2u32 {
+            for bj in 0..3u32 {
+                assert_eq!(panel.block(bi, bj), m.block(bi + 1, bj + 2));
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_corrupted_header_and_truncation() {
+        let path = tmp("corrupt");
+        let m = BlockMatrix::pseudo_random(2, 2, 4, 1);
+        write_matrix(&path, &m).unwrap();
+
+        // Flip a header byte: checksum must catch it.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[9] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(TiledFile::open(&path), Err(TiledError::BadHeader(_, _))));
+
+        // Restore the header but drop the last block: truncation.
+        bytes[9] ^= 0xFF;
+        bytes.truncate(bytes.len() - 10);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(TiledFile::open(&path), Err(TiledError::Truncated(_, _, _))));
+
+        // Wrong magic.
+        bytes[0] = b'X';
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(TiledFile::open(&path), Err(TiledError::BadHeader(_, _))));
+
+        // Shorter than a header.
+        std::fs::write(&path, b"MMCT").unwrap();
+        assert!(matches!(TiledFile::open(&path), Err(TiledError::BadHeader(_, _))));
+    }
+
+    #[test]
+    fn positioned_output_accepts_out_of_order_panels() {
+        let path = tmp("output");
+        let m = BlockMatrix::pseudo_random(5, 4, 3, 11);
+        let out = TiledOutput::create(&path, 5, 4, 3).unwrap();
+        // Write 2x2-ish panels in reverse order.
+        let mut panels = Vec::new();
+        for bi0 in (0..5u32).step_by(2) {
+            for bj0 in (0..4u32).step_by(2) {
+                panels.push((bi0, bj0, 2u32.min(5 - bi0), 2u32.min(4 - bj0)));
+            }
+        }
+        for &(bi0, bj0, rows, cols) in panels.iter().rev() {
+            let mut data = Vec::with_capacity((rows * cols) as usize * 9);
+            for bi in 0..rows {
+                for bj in 0..cols {
+                    data.extend_from_slice(m.block(bi0 + bi, bj0 + bj));
+                }
+            }
+            let bytes = out.write_panel(bi0, bj0, rows, cols, &data).unwrap();
+            assert_eq!(bytes, (rows * cols) as u64 * 9 * 8);
+        }
+        out.finish().unwrap();
+        assert_eq!(TiledFile::open(&path).unwrap().read_matrix().unwrap(), m);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let missing = tmp("missing").with_file_name("nope.tiled");
+        assert!(matches!(TiledFile::open(&missing), Err(TiledError::Io(_, _))));
+    }
+
+    #[test]
+    #[should_panic(expected = "incomplete")]
+    fn unfinished_writer_panics_on_finish() {
+        let path = tmp("unfinished");
+        let mut w = TiledWriter::create(&path, 2, 2, 2).unwrap();
+        w.append_blocks(&[0.0; 4]).unwrap();
+        w.finish().unwrap();
+    }
+}

@@ -1,0 +1,152 @@
+//! Third memory level: extending the paper's two-level `T_data` to an
+//! out-of-core disk/NVMe tier.
+//!
+//! The paper's objective is `T_data = M_S/σ_S + M_D/σ_D` over an
+//! inclusive two-level hierarchy (§2.2). Its §6 points toward deeper
+//! hierarchies, and Smith et al.'s tight multi-level I/O bound shows the
+//! same per-level `2mnz/√C` structure repeats at every level. This module
+//! is that extension for one extra level below memory: a *file* tier of
+//! capacity `C_F` blocks (the tiled on-disk operands) reached at
+//! bandwidth `σ_F`, giving the three-term objective
+//!
+//! ```text
+//! T_data = M_F/σ_F + M_S/σ_S + M_D/σ_D
+//! ```
+//!
+//! where `M_F` counts blocks moved between disk and RAM. The `mmc-ooc`
+//! streaming executor reports a [`TData3`] built from its *measured* disk
+//! traffic and bandwidth next to the model's predicted `M_S`/`M_D`, so
+//! predictions and real runs line up term by term.
+
+use serde::{Deserialize, Serialize};
+
+/// The added (lowest) hierarchy level: a disk/NVMe tier of tiled files.
+///
+/// Mirrors the role `C_S`/`σ_S` play in
+/// [`MachineConfig`](crate::MachineConfig), one level down: `capacity` is
+/// the RAM budget (in blocks) available for staging resident tiles, and
+/// `sigma_f` the disk→RAM bandwidth in blocks per time unit.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FileLevel {
+    /// RAM budget available to the staged product, in `q×q` blocks.
+    pub capacity: u64,
+    /// Disk → RAM bandwidth, in blocks per time unit.
+    pub sigma_f: f64,
+}
+
+impl FileLevel {
+    /// A file level with the given RAM budget and bandwidth.
+    pub fn new(capacity: u64, sigma_f: f64) -> FileLevel {
+        assert!(sigma_f > 0.0, "disk bandwidth must be positive");
+        FileLevel { capacity, sigma_f }
+    }
+
+    /// The lower bound on disk traffic for an `m×n×z` block product with
+    /// `capacity` blocks of RAM: the multi-level analogue of the paper's
+    /// §2.2 bound, `2mnz/√C_F + mn` (read `A`/`B` at reuse `√C_F`, write
+    /// `C` once). Matches Smith et al.'s tight bound up to the additive
+    /// output term.
+    pub fn mf_lower_bound(&self, m: u32, n: u32, z: u32) -> f64 {
+        let (m, n, z) = (m as f64, n as f64, z as f64);
+        2.0 * m * n * z / (self.capacity as f64).sqrt() + m * n
+    }
+}
+
+/// The three-term data access time of an out-of-core run, with each
+/// term's traffic and bandwidth kept separate so reports can show where
+/// the time goes.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TData3 {
+    /// Blocks moved between disk and RAM (`M_F`).
+    pub mf: f64,
+    /// Shared-cache misses (`M_S`), from the two-level model.
+    pub ms: f64,
+    /// Distributed-cache misses (`M_D = max_c`), from the two-level model.
+    pub md: f64,
+    /// Disk → RAM bandwidth `σ_F` (blocks per time unit).
+    pub sigma_f: f64,
+    /// Memory → shared-cache bandwidth `σ_S`.
+    pub sigma_s: f64,
+    /// Shared → distributed bandwidth `σ_D`.
+    pub sigma_d: f64,
+}
+
+impl TData3 {
+    /// The disk term `M_F/σ_F`.
+    pub fn disk_term(&self) -> f64 {
+        self.mf / self.sigma_f
+    }
+
+    /// The shared term `M_S/σ_S`.
+    pub fn shared_term(&self) -> f64 {
+        self.ms / self.sigma_s
+    }
+
+    /// The distributed term `M_D/σ_D`.
+    pub fn dist_term(&self) -> f64 {
+        self.md / self.sigma_d
+    }
+
+    /// `T_data = M_F/σ_F + M_S/σ_S + M_D/σ_D`.
+    pub fn total(&self) -> f64 {
+        self.disk_term() + self.shared_term() + self.dist_term()
+    }
+}
+
+impl std::fmt::Display for TData3 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "T_data = M_F/sigma_F + M_S/sigma_S + M_D/sigma_D = {:.0}/{:.3} + {:.0}/{:.3} + {:.0}/{:.3} = {:.0}",
+            self.mf,
+            self.sigma_f,
+            self.ms,
+            self.sigma_s,
+            self.md,
+            self.sigma_d,
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_terms_sum() {
+        let t = TData3 { mf: 100.0, ms: 50.0, md: 20.0, sigma_f: 2.0, sigma_s: 1.0, sigma_d: 4.0 };
+        assert!((t.disk_term() - 50.0).abs() < 1e-12);
+        assert!((t.shared_term() - 50.0).abs() < 1e-12);
+        assert!((t.dist_term() - 5.0).abs() < 1e-12);
+        assert!((t.total() - 105.0).abs() < 1e-12);
+        let text = format!("{t}");
+        assert!(text.contains("M_F/sigma_F"), "{text}");
+        assert!(text.ends_with("= 105"), "{text}");
+    }
+
+    #[test]
+    fn mf_bound_reduces_to_paper_form() {
+        // C_F = 100 blocks of RAM: 2mnz/10 + mn.
+        let level = FileLevel::new(100, 1.0);
+        assert!((level.mf_lower_bound(10, 10, 10) - (200.0 + 100.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serializes_round_trip() {
+        let t = TData3 { mf: 1.5, ms: 2.0, md: 3.0, sigma_f: 0.5, sigma_s: 1.0, sigma_d: 2.0 };
+        let text = serde_json::to_string(&t).unwrap();
+        let back: TData3 = serde_json::from_str(&text).unwrap();
+        assert_eq!(t, back);
+        let level = FileLevel::new(64, 2.0);
+        let text = serde_json::to_string(&level).unwrap();
+        let back: FileLevel = serde_json::from_str(&text).unwrap();
+        assert_eq!(level, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_disk_bandwidth_rejected() {
+        let _ = FileLevel::new(1, 0.0);
+    }
+}

@@ -45,6 +45,7 @@ pub(crate) mod cache;
 pub mod error;
 pub mod hierarchy;
 pub mod ideal;
+pub mod level3;
 pub mod lru;
 pub mod machine;
 pub mod sink;
@@ -60,6 +61,7 @@ pub use block::{Block, BlockSpace, MatrixId};
 pub use error::SimError;
 pub use hierarchy::{Policy, SimConfig, Simulator};
 pub use ideal::{IdealCache, LoadOutcome};
+pub use level3::{FileLevel, TData3};
 pub use lru::{Eviction, LruCache};
 pub use machine::MachineConfig;
 pub use sink::{CountingSink, SimSink, TraceEvent, TraceSink};

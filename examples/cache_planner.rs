@@ -24,6 +24,8 @@ struct Args {
     sigma_d: f64,
     order: u32,
     data_fraction: f64,
+    ram_mb: Option<usize>,
+    sigma_f: f64,
 }
 
 fn parse_args() -> Args {
@@ -36,6 +38,8 @@ fn parse_args() -> Args {
         sigma_d: 4.0,
         order: 1000,
         data_fraction: 2.0 / 3.0,
+        ram_mb: None,
+        sigma_f: 0.1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -54,6 +58,8 @@ fn parse_args() -> Args {
             "--sigma-d" => a.sigma_d = val().parse().expect("--sigma-d"),
             "--order" => a.order = val().parse().expect("--order"),
             "--data-fraction" => a.data_fraction = val().parse().expect("--data-fraction"),
+            "--ram-mb" => a.ram_mb = Some(val().parse().expect("--ram-mb")),
+            "--sigma-f" => a.sigma_f = val().parse().expect("--sigma-f"),
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -150,5 +156,48 @@ fn main() {
     println!("\nlower bound     T_data >= {:.0}", bounds::tdata_lower_bound(&problem, &machine));
     if let Some((name, t)) = best {
         println!("recommendation: {name} (predicted T_data = {t:.0})");
+    }
+
+    // With --ram-mb the planner also sizes the out-of-core level: RAM
+    // plays the role of the shared cache and disk the role of memory, so
+    // the same §3.3 sizing yields the (alpha, beta) staging for
+    // `mmc ooc multiply --mem-budget`.
+    if let Some(ram_mb) = args.ram_mb {
+        let budget_bytes = ram_mb as u64 * 1024 * 1024;
+        let budget_blocks = budget_bytes / block_bytes as u64;
+        println!("\nout-of-core staging for a {ram_mb} MiB RAM budget ({budget_blocks} blocks):");
+        match params::ooc_staging(
+            budget_blocks,
+            multicore_matmul::ooc::RING_SLOTS,
+            args.sigma_f,
+            args.sigma_s,
+        ) {
+            Some(s) => {
+                let n = args.order;
+                println!(
+                    "  alpha = {}, beta = {} (ring depth {}, resident {} blocks = {:.1} MiB)",
+                    s.alpha,
+                    s.beta,
+                    s.slots,
+                    s.resident_blocks(),
+                    s.resident_blocks() as f64 * block_bytes as f64 / (1 << 20) as f64
+                );
+                println!(
+                    "  predicted disk traffic for the {n}x{n} block product: {} blocks \
+                     ({:.1} MiB at sigma_F = {})",
+                    s.disk_blocks(n, n, n),
+                    s.disk_blocks(n, n, n) as f64 * block_bytes as f64 / (1 << 20) as f64,
+                    args.sigma_f
+                );
+                println!(
+                    "  run: mmc ooc multiply --a A.tiled --b B.tiled --out C.tiled \
+                     --mem-budget {ram_mb}m"
+                );
+            }
+            None => println!(
+                "  infeasible: the budget holds fewer than {} blocks — raise --ram-mb or lower --q",
+                1 + 2 * multicore_matmul::ooc::RING_SLOTS
+            ),
+        }
     }
 }

@@ -8,6 +8,9 @@
 //! mmc profile  --algo shared_opt --order 60
 //! mmc trace    --algo shared_opt --order 60 --out trace.json
 //! mmc figures  fig7 --jobs 4 --resume
+//! mmc ooc gen --out a.tiled --rows 64 --cols 64 --q 32
+//! mmc ooc multiply --a a.tiled --b b.tiled --out c.tiled --mem-budget 8m
+//! mmc ooc verify --a a.tiled --b b.tiled --c c.tiled
 //! mmc list
 //! ```
 //!
@@ -34,11 +37,14 @@ fn usage() -> ! {
            mmc profile --algo A --order N [--preset P] [--json]\n  \
            mmc trace --algo A --order N --out F [--preset P] [--setting S] [--granularity G] [--fma-time T]\n  \
            mmc figures <id>...|all|list [--out DIR] [--full] [--jobs N] [--resume] [--serial] [--quiet]\n  \
+           mmc ooc gen --out F --rows R --cols C [--q Q] [--seed S]\n  \
+           mmc ooc multiply --a F --b F --out F --mem-budget BYTES[k|m|g] [--io-threads N] [--kernel K] [--preset P] [--sigma-ratio X] [--json] [--trace-out F]\n  \
+           mmc ooc verify --a F --b F --c F [--kernel K] [--preset P]\n  \
            mmc list\n\
          presets: q32 q32p q64 q64p q80 q80p;\n\
          algorithms: shared_opt distributed_opt tradeoff outer_product shared_equal distributed_equal cache_oblivious;\n\
          tilings (exec): shared_opt distributed_opt tradeoff equal; (lu): row_stripes shared_opt tradeoff;\n\
-         granularities (trace): auto events steps;\n\
+         granularities (trace): auto events steps; kernels (ooc): auto scalar avx2 neon;\n\
          env: MMC_KERNEL=scalar|avx2|neon|auto forces the exec micro-kernel variant"
     );
     exit(2);
@@ -591,6 +597,205 @@ fn cmd_trace(flags: HashMap<String, String>) {
     );
 }
 
+/// A flag whose value is required; missing means usage error (exit 2).
+fn req<'a>(flags: &'a HashMap<String, String>, key: &str) -> &'a str {
+    flags.get(key).map(String::as_str).unwrap_or_else(|| {
+        eprintln!("--{key} is required");
+        usage();
+    })
+}
+
+/// Parse a byte count with an optional binary suffix: `4096`, `64k`,
+/// `8m`, `1g`.
+fn parse_bytes(s: &str) -> Option<u64> {
+    let t = s.trim().to_ascii_lowercase();
+    let (digits, mult) = match t.strip_suffix(['k', 'm', 'g']) {
+        Some(d) => {
+            let mult = match t.as_bytes()[t.len() - 1] {
+                b'k' => 1u64 << 10,
+                b'm' => 1 << 20,
+                _ => 1 << 30,
+            };
+            (d, mult)
+        }
+        None => (t.as_str(), 1),
+    };
+    digits.parse::<u64>().ok()?.checked_mul(mult)
+}
+
+/// Resolve `--kernel` to a variant runnable on this CPU.
+fn kernel_flag(flags: &HashMap<String, String>) -> KernelVariant {
+    let v = match flags.get("kernel").map(String::as_str).unwrap_or("auto") {
+        "auto" => multicore_matmul::exec::kernel::variant(),
+        "scalar" => KernelVariant::Scalar,
+        "avx2" | "avx2_fma" => KernelVariant::Avx2Fma,
+        "neon" => KernelVariant::Neon,
+        other => {
+            eprintln!("unknown kernel {other:?}");
+            usage();
+        }
+    };
+    if !v.is_available() {
+        eprintln!("error: kernel {} is not available on this CPU", v.name());
+        exit(1);
+    }
+    v
+}
+
+fn mib(bytes: u64) -> f64 {
+    bytes as f64 / (1 << 20) as f64
+}
+
+/// `mmc ooc gen|multiply|verify` — the out-of-core streaming subsystem.
+/// Every file argument that is missing, unreadable, or not a tiled
+/// matrix produces a clean error and a nonzero exit, never a panic.
+fn cmd_ooc(args: &[String]) {
+    use multicore_matmul::ooc;
+    let Some((sub, rest)) = args.split_first() else {
+        eprintln!("ooc needs a subcommand: gen, multiply, verify");
+        usage();
+    };
+    let flags = parse_flags(rest);
+    match sub.as_str() {
+        "gen" => {
+            let out = req(&flags, "out");
+            let rows: u32 = num(&flags, "rows", 0);
+            let cols: u32 = num(&flags, "cols", 0);
+            if rows == 0 || cols == 0 {
+                eprintln!("--rows and --cols are required");
+                usage();
+            }
+            let q: usize = num(&flags, "q", 32);
+            let seed: u64 = num(&flags, "seed", 1);
+            if let Err(e) = ooc::write_pseudo_random(std::path::Path::new(out), rows, cols, q, seed)
+            {
+                eprintln!("error: {e}");
+                exit(1);
+            }
+            println!(
+                "wrote {out}: {rows}x{cols} blocks of {q}x{q} (seed {seed}, {:.1} MiB)",
+                mib(40 + rows as u64 * cols as u64 * (q * q * 8) as u64)
+            );
+        }
+        "multiply" => {
+            let a = req(&flags, "a").to_string();
+            let b = req(&flags, "b").to_string();
+            let out = req(&flags, "out").to_string();
+            let budget_text = req(&flags, "mem-budget");
+            let Some(budget) = parse_bytes(budget_text) else {
+                eprintln!("invalid --mem-budget {budget_text:?} (use e.g. 4096, 64k, 8m, 1g)");
+                usage();
+            };
+            let mut opts = ooc::OocOpts::new(budget);
+            opts.io_threads = num(&flags, "io-threads", 2usize).max(1);
+            opts.variant = kernel_flag(&flags);
+            opts.machine = preset(&flags);
+            opts.sigma_ratio_hint = num(&flags, "sigma-ratio", 0.1f64);
+            if opts.sigma_ratio_hint <= 0.0 {
+                eprintln!("--sigma-ratio must be positive");
+                usage();
+            }
+            let report = match ooc::ooc_multiply(
+                std::path::Path::new(&a),
+                std::path::Path::new(&b),
+                std::path::Path::new(&out),
+                &opts,
+            ) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    exit(1);
+                }
+            };
+            if let Some(path) = flags.get("trace-out") {
+                if let Err(e) = std::fs::write(path, ooc::chrome_trace(&report)) {
+                    eprintln!("error writing {path}: {e}");
+                    exit(1);
+                }
+            }
+            if flags.contains_key("json") {
+                println!("{}", serde_json::to_string_pretty(&report).expect("serialize report"));
+                return;
+            }
+            let s = report.staging;
+            println!(
+                "out-of-core C = A x B: {}x{}x{} blocks of {}x{} through a {:.1} MiB budget",
+                report.m,
+                report.n,
+                report.z,
+                report.q,
+                report.q,
+                mib(report.budget_bytes)
+            );
+            println!(
+                "  staging: alpha = {}, beta = {}, ring depth {} (resident {} blocks; \
+                 pack arenas add <= {:.1} MiB outside the budget)",
+                s.alpha,
+                s.beta,
+                s.slots,
+                s.resident_blocks(),
+                mib(report.pack_arena_bound_bytes)
+            );
+            println!(
+                "  disk: read {:.1} MiB over {} panels, wrote {:.1} MiB; \
+                 measured sigma_F = {:.0} blocks/s/thread",
+                mib(report.prefetch.bytes_read),
+                report.prefetch.panels_staged,
+                mib(report.bytes_written),
+                report.sigma_f_blocks_per_s
+            );
+            println!(
+                "  peak resident {:.2} MiB of {:.2} MiB budget (within budget: {})",
+                mib(report.peak_resident_bytes),
+                mib(report.budget_bytes),
+                report.within_budget
+            );
+            println!(
+                "  stalls: compute waited {:.3}s for disk, disk waited {:.3}s for buffers",
+                report.prefetch.stall_seconds, report.prefetch.buffer_wait_seconds
+            );
+            println!("  {}", report.t_data3);
+            println!(
+                "  {:.3}s wall ({:.3}s compute, {} kernel, {} I/O threads); wrote {out}",
+                report.elapsed_seconds, report.compute_seconds, report.kernel, report.io_threads
+            );
+            if !report.within_budget {
+                exit(1);
+            }
+        }
+        "verify" => {
+            let a = req(&flags, "a");
+            let b = req(&flags, "b");
+            let c = req(&flags, "c");
+            let variant = kernel_flag(&flags);
+            let machine = preset(&flags);
+            match ooc::ooc_verify(
+                std::path::Path::new(a),
+                std::path::Path::new(b),
+                std::path::Path::new(c),
+                variant,
+                &machine,
+            ) {
+                Ok(0) => println!("{c} is bit-identical to the in-core {} product", variant.name()),
+                Ok(mismatches) => {
+                    eprintln!(
+                        "error: {c} differs from the in-core product in {mismatches} elements"
+                    );
+                    exit(1);
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    exit(1);
+                }
+            }
+        }
+        other => {
+            eprintln!("unknown ooc subcommand {other:?}");
+            usage();
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else { usage() };
@@ -602,6 +807,7 @@ fn main() {
         "profile" => cmd_profile(parse_flags(rest)),
         "trace" => cmd_trace(parse_flags(rest)),
         "figures" => cmd_figures(rest),
+        "ooc" => cmd_ooc(rest),
         "list" => {
             for a in all_algorithms() {
                 println!("{:<20} {}", a.id(), a.name());

@@ -17,7 +17,10 @@
 //!   closed-form miss predictions;
 //! * [`exec`] (`mmc-exec`) — block-matrix storage, the `q×q` micro-kernel
 //!   and rayon-parallel executors that run the same schedules on real
-//!   data.
+//!   data;
+//! * [`ooc`] (`mmc-ooc`) — out-of-core streaming GEMM over block-major
+//!   tiled files, with a bounded double-buffered prefetch pipeline and a
+//!   three-level `T_data` report.
 //!
 //! See `examples/quickstart.rs` for a guided tour, and the `mmc-bench`
 //! crate for the harness that regenerates every figure of the paper.
@@ -40,6 +43,7 @@
 pub use mmc_core as core;
 pub use mmc_exec as exec;
 pub use mmc_lu as lu;
+pub use mmc_ooc as ooc;
 pub use mmc_sim as sim;
 
 /// The names most programs need, in one `use`.
@@ -55,9 +59,10 @@ pub mod prelude {
         gemm_naive, gemm_parallel, gemm_parallel_traced, gemm_parallel_with_kernel, run_schedule,
         task_spans_to_chrome, BlockMatrix, ExecSink, KernelVariant, TaskSpan, Tiling,
     };
+    pub use mmc_ooc::{ooc_multiply, ooc_verify, write_pseudo_random, OocOpts, OocReport};
     pub use mmc_sim::{
         Block, BlockSpace, ChromeGranularity, ChromeTraceBuilder, CountingSink, EventKind,
-        FlightRecorder, MachineConfig, MatrixId, MetricsSnapshot, Policy, SimConfig, SimError,
-        SimSink, SimStats, Simulator, TimingModel, TraceSink,
+        FileLevel, FlightRecorder, MachineConfig, MatrixId, MetricsSnapshot, Policy, SimConfig,
+        SimError, SimSink, SimStats, Simulator, TData3, TimingModel, TraceSink,
     };
 }
