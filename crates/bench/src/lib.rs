@@ -26,7 +26,7 @@ pub mod sweep;
 
 pub use cache::{PointCache, POINT_CACHE_VERSION};
 pub use figures::{figure_ids, run_figure, SweepOpts};
-pub use perf::{write_records, PerfRecord, PerfReport};
+pub use perf::{regressions, write_records, write_report, PerfRecord, PerfReport};
 pub use points::{
     run_figure_sharded, HarnessOpts, PointReport, PointRunner, PointSpec, PointValue, RunMode,
 };

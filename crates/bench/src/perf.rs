@@ -53,20 +53,82 @@ impl PerfRecord {
 /// A batch of records plus the file layout they serialize to.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct PerfReport {
+    /// Report schema version ([`mmc_obs::SCHEMA_VERSION`]); files
+    /// written before the field read back as 0.
+    #[serde(default)]
+    pub schema_version: u32,
     /// Suite name; the file is `BENCH_<suite>.json`.
     pub suite: String,
     /// The measurements.
     pub records: Vec<PerfRecord>,
+    /// Roofline points for the kernel-variant records (empty for suites
+    /// that don't run kernels, and for files written before the field).
+    #[serde(default)]
+    pub roofline: Vec<mmc_obs::RooflineRecord>,
+}
+
+impl PerfReport {
+    /// Assemble a report, stamping the current schema version.
+    pub fn new(
+        suite: &str,
+        records: Vec<PerfRecord>,
+        roofline: Vec<mmc_obs::RooflineRecord>,
+    ) -> PerfReport {
+        PerfReport {
+            schema_version: mmc_obs::SCHEMA_VERSION,
+            suite: suite.to_string(),
+            records,
+            roofline,
+        }
+    }
+
+    /// The record named `name`, if present.
+    pub fn record(&self, name: &str) -> Option<&PerfRecord> {
+        self.records.iter().find(|r| r.name == name)
+    }
 }
 
 /// Serialize `records` to `<dir>/BENCH_<suite>.json` (pretty-printed),
 /// returning the path written.
 pub fn write_records(dir: &Path, suite: &str, records: &[PerfRecord]) -> io::Result<PathBuf> {
-    let report = PerfReport { suite: suite.to_string(), records: records.to_vec() };
-    let path = dir.join(format!("BENCH_{suite}.json"));
+    write_report(dir, &PerfReport::new(suite, records.to_vec(), Vec::new()))
+}
+
+/// Serialize a full report (records + roofline points) to
+/// `<dir>/BENCH_<suite>.json`, returning the path written.
+pub fn write_report(dir: &Path, report: &PerfReport) -> io::Result<PathBuf> {
+    let path = dir.join(format!("BENCH_{}.json", report.suite));
     let file = std::fs::File::create(&path)?;
-    serde_json::to_writer_pretty(file, &report).map_err(io::Error::other)?;
+    serde_json::to_writer_pretty(file, report).map_err(io::Error::other)?;
     Ok(path)
+}
+
+/// Compare fresh exec records against a committed baseline report: any
+/// kernel-variant record whose rate drops more than `tolerance`
+/// (fractional, e.g. `0.2`) below the baseline's is a regression.
+/// Returns human-readable regression lines (empty = gate passes).
+/// Records missing from either side are skipped — new benchmarks must
+/// not fail the gate, and retired ones must not block it.
+pub fn regressions(baseline: &PerfReport, fresh: &PerfReport, tolerance: f64) -> Vec<String> {
+    let mut out = Vec::new();
+    for base in &baseline.records {
+        let Some(now) = fresh.record(&base.name) else { continue };
+        let (base_rate, now_rate) = (base.rate(), now.rate());
+        if base_rate <= 0.0 {
+            continue;
+        }
+        if now_rate < base_rate * (1.0 - tolerance) {
+            out.push(format!(
+                "{}: {:.3e} {}/s vs baseline {:.3e} ({:+.1}%)",
+                base.name,
+                now_rate,
+                base.rate_unit,
+                base_rate,
+                100.0 * (now_rate / base_rate - 1.0),
+            ));
+        }
+    }
+    out
 }
 
 /// Time `f` (one warmup + `runs` timed runs) and return the best seconds.
@@ -115,6 +177,49 @@ mod tests {
                       "seconds":0.1,"work":8000.0,"rate_unit":"block_fmas"}"#;
         let rec: PerfRecord = serde_json::from_str(old).unwrap();
         assert_eq!(rec.kernel, "-");
+    }
+
+    fn rec(name: &str, seconds: f64) -> PerfRecord {
+        PerfRecord {
+            suite: "exec".into(),
+            name: name.into(),
+            order: 6,
+            seconds,
+            work: 1.0e9,
+            rate_unit: "flop".into(),
+            kernel: "scalar".into(),
+        }
+    }
+
+    #[test]
+    fn regression_gate_flags_big_drops_only() {
+        let baseline = PerfReport::new(
+            "exec",
+            vec![rec("gemm_q64/scalar", 1.0), rec("gemm_q64/avx2_fma", 0.5), rec("gone", 1.0)],
+            Vec::new(),
+        );
+        let fresh = PerfReport::new(
+            "exec",
+            vec![
+                rec("gemm_q64/scalar", 1.1),    // 9% slower: within tolerance
+                rec("gemm_q64/avx2_fma", 0.75), // 33% slower: regression
+                rec("brand_new", 5.0),          // not in baseline: skipped
+            ],
+            Vec::new(),
+        );
+        let bad = regressions(&baseline, &fresh, 0.2);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].starts_with("gemm_q64/avx2_fma"), "{bad:?}");
+        assert!(regressions(&baseline, &fresh, 0.5).is_empty());
+    }
+
+    #[test]
+    fn old_reports_read_with_schema_defaults() {
+        let old = r#"{"suite":"exec","records":[]}"#;
+        let rep: PerfReport = serde_json::from_str(old).unwrap();
+        assert_eq!(rep.schema_version, 0);
+        assert!(rep.roofline.is_empty());
+        assert_eq!(PerfReport::new("exec", vec![], vec![]).schema_version, mmc_obs::SCHEMA_VERSION);
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub fn pack_a_panel(dst: &mut Vec<f64>, a: &BlockMatrix, i0: u32, th: u32, k0: u
     let n_ip = q.div_ceil(MR);
     dst.clear();
     dst.resize(th as usize * a_panel_stride(q, kc), 0.0);
+    crate::metrics::pack_bytes().add(dst.len() as u64 * 8);
     let mut off = 0;
     for bi in 0..th {
         for ip in 0..n_ip {
@@ -92,6 +93,7 @@ pub fn pack_b_panel(dst: &mut Vec<f64>, b: &BlockMatrix, j0: u32, tw: u32, k0: u
     let n_jp = q.div_ceil(NR);
     dst.clear();
     dst.resize(tw as usize * b_panel_stride(q, kc), 0.0);
+    crate::metrics::pack_bytes().add(dst.len() as u64 * 8);
     let mut off = 0;
     for bj in 0..tw {
         for jp in 0..n_jp {

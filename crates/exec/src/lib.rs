@@ -29,6 +29,7 @@
 
 pub mod kernel;
 pub mod matrix;
+pub mod metrics;
 pub mod naive;
 pub mod runner;
 

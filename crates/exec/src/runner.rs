@@ -72,6 +72,8 @@ impl SimSink for ExecSink<'_> {
             self.a.q(),
         );
         self.fmas += 1;
+        let q = self.a.q() as u64;
+        crate::metrics::schedule_flops().add(2 * q * q * q);
         Ok(())
     }
     fn load_shared(&mut self, _block: Block) -> Result<(), SimError> {
@@ -379,6 +381,12 @@ fn run_tile(
     } else {
         run_tile_blockwise(variant, a, b, cptr, z, tiling, tile);
     }
+    // One relaxed add per *tile* (not per block): th·tw C blocks each
+    // accumulate z block FMAs of 2q³ FLOPs.
+    let (_, th, _, tw) = tile;
+    let q = a.q() as u64;
+    crate::metrics::flops(variant).add(2 * q * q * q * th as u64 * tw as u64 * z as u64);
+    crate::metrics::tiles(variant).add(1);
 }
 
 /// Mutable view of `C` block `(i, j)` through the shared tile pointer.

@@ -1,0 +1,50 @@
+//! # mmc-obs
+//!
+//! Observability substrate for the multicore matrix-product workspace:
+//! the layer that closes the paper's predicted-vs-measured loop.
+//!
+//! * [`registry`] — a zero-dependency, lock-free metrics registry
+//!   (per-thread sharded counters, gauges, log2-bucketed histograms)
+//!   with a process-wide instance ([`registry::global`]), serializable
+//!   snapshots, and Prometheus-style text exposition for the future
+//!   `mmc serve` scraper.
+//! * [`perf_event`] — a raw `perf_event_open(2)` wrapper (no external
+//!   deps) that samples cycles / instructions / LLC loads & misses
+//!   around any GEMM run and degrades gracefully to a
+//!   `counters: "unavailable"` marker when the PMU or permissions are
+//!   missing.
+//! * [`roofline`] — measured STREAM-triad bandwidth plus derived
+//!   arithmetic-intensity / percent-of-peak records for
+//!   `BENCH_exec.json`.
+//!
+//! Every `--json` report in the workspace stamps [`SCHEMA_VERSION`] so
+//! downstream tooling (the perf regression gate, scrapers) can parse all
+//! subcommands with one schema.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod perf_event;
+pub mod registry;
+pub mod roofline;
+
+pub use perf_event::{CounterReading, CounterValue, PerfCounters};
+pub use registry::{
+    global, Counter, CounterSnapshot, Gauge, GaugeSnapshot, Histogram, HistogramBucket,
+    HistogramSnapshot, Registry, RegistrySnapshot,
+};
+pub use roofline::{
+    cpu_ghz_estimate, flops_per_cycle_for_kernel, peak_gflops_estimate, roofline_bound,
+    stream_triad_bandwidth_gbs, RooflineRecord,
+};
+
+/// Version stamped into every `--json` report across `simulate` / `exec`
+/// / `profile` / `ooc` / `counters` and `BENCH_*.json`. Bump when a
+/// field is renamed or removed (additions are backward compatible).
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Default value hook for `#[serde(default = "...")]` on report structs:
+/// reports loaded from files that predate the field read as version 0.
+pub fn schema_version_default() -> u32 {
+    0
+}

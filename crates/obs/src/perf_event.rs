@@ -1,0 +1,442 @@
+//! Raw `perf_event_open(2)` hardware-counter sampling with graceful
+//! degradation.
+//!
+//! The workspace builds offline, so this is a direct syscall wrapper —
+//! no `perf-event` crate, no bindgen. Only the fields this repo needs
+//! from `struct perf_event_attr` are declared; the kernel accepts any
+//! attr whose `size` matches a published ABI revision, and
+//! `PERF_ATTR_SIZE_VER0` (64 bytes) covers everything used here.
+//!
+//! Degradation contract (the part callers rely on): [`PerfCounters::open`]
+//! **never fails**. On containers without a PMU (hardware events return
+//! `ENOENT`), under `perf_event_paranoid >= 2` without `CAP_PERFMON`
+//! (`EPERM`/`EACCES`), or when the user sets `MMC_PERF=off`, the returned
+//! sampler simply reports [`CounterReading::hardware`] as empty and
+//! [`PerfCounters::unavailable_reason`] explains why. Software events
+//! (task-clock, page-faults, context-switches) are attempted
+//! independently and usually survive even when the PMU does not.
+//!
+//! Counting strategy: events are opened **enabled** (`disabled = 0`)
+//! with `inherit = 1`, immediately before the measured region, so
+//! threads spawned inside the region (the rayon pool) are counted too.
+//! Inheritance only covers children created *after* the open — open the
+//! sampler before the first pool use. A grouped open (one leader, one
+//! `read` for all values) is attempted first for self-consistent
+//! multiplexing; if the kernel rejects the group (`inherit` + grouped
+//! reads EINVALs on some kernels) each event falls back to its own fd.
+//! Per-event `time_enabled`/`time_running` are always requested so
+//! multiplexed values can be scaled.
+
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::os::raw::{c_int, c_long, c_ulong};
+
+// --- syscall plumbing -------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+const SYS_PERF_EVENT_OPEN: c_long = 298;
+#[cfg(target_arch = "aarch64")]
+const SYS_PERF_EVENT_OPEN: c_long = 241;
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+const SYS_PERF_EVENT_OPEN: c_long = -1;
+
+extern "C" {
+    fn syscall(num: c_long, ...) -> c_long;
+    fn ioctl(fd: c_int, request: c_ulong, ...) -> c_int;
+    fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+    fn __errno_location() -> *mut c_int;
+}
+
+fn errno() -> i32 {
+    unsafe { *__errno_location() }
+}
+
+const EPERM: i32 = 1;
+const ENOENT: i32 = 2;
+const EACCES: i32 = 13;
+
+// --- perf ABI constants -----------------------------------------------------
+
+const PERF_TYPE_HARDWARE: u32 = 0;
+const PERF_TYPE_SOFTWARE: u32 = 1;
+const PERF_TYPE_HW_CACHE: u32 = 3;
+
+const PERF_COUNT_HW_CPU_CYCLES: u64 = 0;
+const PERF_COUNT_HW_INSTRUCTIONS: u64 = 1;
+const PERF_COUNT_HW_CACHE_REFERENCES: u64 = 2;
+const PERF_COUNT_HW_CACHE_MISSES: u64 = 3;
+
+const PERF_COUNT_SW_TASK_CLOCK: u64 = 1;
+const PERF_COUNT_SW_PAGE_FAULTS: u64 = 2;
+const PERF_COUNT_SW_CONTEXT_SWITCHES: u64 = 3;
+
+/// `PERF_COUNT_HW_CACHE_LL | (OP_READ << 8) | (RESULT_ACCESS << 16)`.
+const HW_CACHE_LL_READ_ACCESS: u64 = 2;
+/// `PERF_COUNT_HW_CACHE_LL | (OP_READ << 8) | (RESULT_MISS << 16)`.
+const HW_CACHE_LL_READ_MISS: u64 = 2 | (1 << 16);
+
+const PERF_FORMAT_TOTAL_TIME_ENABLED: u64 = 1;
+const PERF_FORMAT_TOTAL_TIME_RUNNING: u64 = 2;
+const PERF_FORMAT_GROUP: u64 = 8;
+
+const PERF_EVENT_IOC_DISABLE: c_ulong = 0x2401;
+
+/// `PERF_ATTR_SIZE_VER0`: the 64-byte first revision of the attr struct.
+const ATTR_SIZE_VER0: u32 = 64;
+
+/// attr flag bits (bit 0 = disabled, 1 = inherit, 5 = exclude_kernel,
+/// 6 = exclude_hv).
+const FLAG_INHERIT: u64 = 1 << 1;
+const FLAG_EXCLUDE_KERNEL: u64 = 1 << 5;
+const FLAG_EXCLUDE_HV: u64 = 1 << 6;
+
+/// The leading 64 bytes of `struct perf_event_attr` (ABI VER0), which is
+/// all this wrapper needs. `size` tells the kernel where the struct ends.
+#[repr(C)]
+#[derive(Clone, Copy, Default)]
+struct PerfEventAttr {
+    type_: u32,
+    size: u32,
+    config: u64,
+    sample_period: u64,
+    sample_type: u64,
+    read_format: u64,
+    flags: u64,
+    wakeup_events: u32,
+    bp_type: u32,
+    config1: u64,
+}
+
+fn perf_event_open(attr: &PerfEventAttr, group_fd: c_int) -> Result<c_int, i32> {
+    // pid = 0 (this process + inherited children), cpu = -1 (any cpu).
+    let pid: c_int = 0;
+    let cpu: c_int = -1;
+    let flags: c_ulong = 0;
+    let fd = unsafe {
+        syscall(SYS_PERF_EVENT_OPEN, attr as *const PerfEventAttr, pid, cpu, group_fd, flags)
+    };
+    if fd < 0 {
+        Err(errno())
+    } else {
+        Ok(fd as c_int)
+    }
+}
+
+fn disable(fd: c_int) {
+    let arg: c_ulong = 0;
+    unsafe { ioctl(fd, PERF_EVENT_IOC_DISABLE, arg) };
+}
+
+// --- event table ------------------------------------------------------------
+
+/// (exported name, type, config) for every hardware event we sample.
+const HW_EVENTS: &[(&str, u32, u64)] = &[
+    ("cycles", PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES),
+    ("instructions", PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS),
+    ("cache_references", PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES),
+    ("cache_misses", PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES),
+    ("llc_loads", PERF_TYPE_HW_CACHE, HW_CACHE_LL_READ_ACCESS),
+    ("llc_load_misses", PERF_TYPE_HW_CACHE, HW_CACHE_LL_READ_MISS),
+];
+
+/// Software events, opened individually; these work even without a PMU.
+const SW_EVENTS: &[(&str, u32, u64)] = &[
+    ("task_clock_ns", PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK),
+    ("page_faults", PERF_TYPE_SOFTWARE, PERF_COUNT_SW_PAGE_FAULTS),
+    ("context_switches", PERF_TYPE_SOFTWARE, PERF_COUNT_SW_CONTEXT_SWITCHES),
+];
+
+// --- public reading types ---------------------------------------------------
+
+/// One sampled counter value.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CounterValue {
+    /// Event name (`cycles`, `llc_load_misses`, `task_clock_ns`, ...).
+    pub event: String,
+    /// Counted value, scaled for multiplexing when the event was not
+    /// scheduled on the PMU the whole time.
+    pub value: u64,
+}
+
+/// Everything read back from one measurement window.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CounterReading {
+    /// Hardware events (empty when the PMU is unavailable).
+    pub hardware: Vec<CounterValue>,
+    /// Software events (usually available even in containers).
+    pub software: Vec<CounterValue>,
+    /// True if any hardware value was scaled because the kernel
+    /// multiplexed the counter group.
+    pub multiplexed: bool,
+}
+
+impl CounterReading {
+    /// Value of hardware or software event `name`, if present.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.hardware.iter().chain(self.software.iter()).find(|c| c.event == name).map(|c| c.value)
+    }
+}
+
+// --- sampler ----------------------------------------------------------------
+
+enum HwBackend {
+    /// Group leader fd + member names, read with `PERF_FORMAT_GROUP`.
+    Group { leader: c_int, fds: Vec<c_int>, names: Vec<&'static str> },
+    /// One fd per event (group open rejected by this kernel).
+    Individual { fds: Vec<(c_int, &'static str)> },
+    /// No hardware counters; `reason` says why.
+    Unavailable { reason: String },
+}
+
+/// An open set of perf counters wrapping one measurement window.
+///
+/// Construct with [`PerfCounters::open`] immediately before the measured
+/// region (events start enabled), and call [`PerfCounters::read`] right
+/// after it. Dropping closes every fd.
+pub struct PerfCounters {
+    hw: HwBackend,
+    sw_fds: Vec<(c_int, &'static str)>,
+}
+
+impl PerfCounters {
+    /// Open the full event set. Never fails: any event or group the
+    /// kernel refuses is recorded as unavailable and skipped.
+    pub fn open() -> PerfCounters {
+        if std::env::var("MMC_PERF").as_deref() == Ok("off") {
+            return PerfCounters {
+                hw: HwBackend::Unavailable { reason: "disabled by MMC_PERF=off".to_string() },
+                sw_fds: Vec::new(),
+            };
+        }
+        if SYS_PERF_EVENT_OPEN < 0 {
+            return PerfCounters {
+                hw: HwBackend::Unavailable {
+                    reason: "perf_event_open syscall number unknown on this architecture"
+                        .to_string(),
+                },
+                sw_fds: Vec::new(),
+            };
+        }
+        let hw = open_hardware();
+        let sw_fds = SW_EVENTS
+            .iter()
+            .filter_map(|&(name, type_, config)| {
+                perf_event_open(&event_attr(type_, config, false), -1).ok().map(|fd| (fd, name))
+            })
+            .collect();
+        PerfCounters { hw, sw_fds }
+    }
+
+    /// Whether hardware counters are live.
+    pub fn hardware_available(&self) -> bool {
+        !matches!(self.hw, HwBackend::Unavailable { .. })
+    }
+
+    /// Why hardware counters are unavailable, when they are.
+    pub fn unavailable_reason(&self) -> Option<&str> {
+        match &self.hw {
+            HwBackend::Unavailable { reason } => Some(reason),
+            _ => None,
+        }
+    }
+
+    /// Stop counting and read every event, scaling multiplexed values by
+    /// `time_enabled / time_running`.
+    pub fn read(&self) -> CounterReading {
+        let mut reading = CounterReading::default();
+        match &self.hw {
+            HwBackend::Group { leader, fds, names } => {
+                for fd in std::iter::once(leader).chain(fds.iter()) {
+                    disable(*fd);
+                }
+                // Layout: [nr, time_enabled, time_running, value0, value1, ...]
+                let mut buf = vec![0u64; 3 + names.len()];
+                if read_u64s(*leader, &mut buf) && buf[0] as usize == names.len() {
+                    let (enabled, running) = (buf[1], buf[2]);
+                    let scaled = running > 0 && running < enabled;
+                    reading.multiplexed = scaled;
+                    for (i, name) in names.iter().enumerate() {
+                        reading.hardware.push(CounterValue {
+                            event: name.to_string(),
+                            value: scale(buf[3 + i], enabled, running),
+                        });
+                    }
+                }
+            }
+            HwBackend::Individual { fds } => {
+                for &(fd, name) in fds {
+                    disable(fd);
+                    // Layout: [value, time_enabled, time_running]
+                    let mut buf = [0u64; 3];
+                    if read_u64s(fd, &mut buf) {
+                        let scaled = buf[2] > 0 && buf[2] < buf[1];
+                        reading.multiplexed |= scaled;
+                        reading.hardware.push(CounterValue {
+                            event: name.to_string(),
+                            value: scale(buf[0], buf[1], buf[2]),
+                        });
+                    }
+                }
+            }
+            HwBackend::Unavailable { .. } => {}
+        }
+        for &(fd, name) in &self.sw_fds {
+            disable(fd);
+            let mut buf = [0u64; 3];
+            if read_u64s(fd, &mut buf) {
+                reading.software.push(CounterValue {
+                    event: name.to_string(),
+                    value: scale(buf[0], buf[1], buf[2]),
+                });
+            }
+        }
+        reading
+    }
+}
+
+impl Drop for PerfCounters {
+    fn drop(&mut self) {
+        let mut all: Vec<c_int> = Vec::new();
+        match &self.hw {
+            HwBackend::Group { leader, fds, .. } => {
+                all.extend(fds.iter().copied());
+                all.push(*leader); // leader last
+            }
+            HwBackend::Individual { fds } => all.extend(fds.iter().map(|&(fd, _)| fd)),
+            HwBackend::Unavailable { .. } => {}
+        }
+        all.extend(self.sw_fds.iter().map(|&(fd, _)| fd));
+        for fd in all {
+            unsafe { close(fd) };
+        }
+    }
+}
+
+fn event_attr(type_: u32, config: u64, grouped: bool) -> PerfEventAttr {
+    let mut read_format = PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+    if grouped {
+        read_format |= PERF_FORMAT_GROUP;
+    }
+    PerfEventAttr {
+        type_,
+        size: ATTR_SIZE_VER0,
+        config,
+        read_format,
+        // Start enabled (disabled bit clear) so nothing needs an enable
+        // ioctl — inherit + group enable semantics vary across kernels.
+        flags: FLAG_INHERIT | FLAG_EXCLUDE_KERNEL | FLAG_EXCLUDE_HV,
+        ..PerfEventAttr::default()
+    }
+}
+
+/// Open the hardware event set: grouped first, then individual fds, then
+/// give up with a diagnostic that includes errno and the paranoid level.
+fn open_hardware() -> HwBackend {
+    // Grouped attempt: leader = cycles, members = the rest. LLC events
+    // may be missing on some PMUs — a partial group keeps what opened.
+    let (name0, type0, config0) = HW_EVENTS[0];
+    let first_err = match perf_event_open(&event_attr(type0, config0, true), -1) {
+        Ok(leader) => {
+            let mut fds = Vec::new();
+            let mut names = vec![name0];
+            for &(name, type_, config) in &HW_EVENTS[1..] {
+                if let Ok(fd) = perf_event_open(&event_attr(type_, config, true), leader) {
+                    fds.push(fd);
+                    names.push(name);
+                }
+            }
+            return HwBackend::Group { leader, fds, names };
+        }
+        Err(e) => e,
+    };
+
+    // Individual attempt: some kernels reject inherit+group combinations.
+    let mut fds = Vec::new();
+    for &(name, type_, config) in HW_EVENTS {
+        if let Ok(fd) = perf_event_open(&event_attr(type_, config, false), -1) {
+            fds.push((fd, name));
+        }
+    }
+    if !fds.is_empty() {
+        return HwBackend::Individual { fds };
+    }
+
+    let paranoid = fs::read_to_string("/proc/sys/kernel/perf_event_paranoid")
+        .ok()
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "?".to_string());
+    let why = match first_err {
+        EPERM | EACCES => "permission denied",
+        ENOENT => "event not supported (no PMU exposed to this machine)",
+        _ => "perf_event_open failed",
+    };
+    HwBackend::Unavailable {
+        reason: format!("{why} (errno {first_err}, perf_event_paranoid {paranoid})"),
+    }
+}
+
+fn read_u64s(fd: c_int, buf: &mut [u64]) -> bool {
+    let bytes = std::mem::size_of_val(buf);
+    let n = unsafe { read(fd, buf.as_mut_ptr() as *mut u8, bytes) };
+    n > 0
+}
+
+/// Scale a multiplexed value by `enabled / running` (u128 to avoid
+/// overflow on long runs), matching what `perf stat` reports.
+fn scale(value: u64, enabled: u64, running: u64) -> u64 {
+    if running == 0 || running >= enabled {
+        value
+    } else {
+        ((value as u128 * enabled as u128) / running as u128) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_never_fails_and_reads_something() {
+        let counters = PerfCounters::open();
+        // Burn a little CPU so software counters have something to see.
+        let mut acc = 0u64;
+        for i in 0..2_000_000u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(acc);
+        let reading = counters.read();
+        if counters.hardware_available() {
+            assert!(!reading.hardware.is_empty());
+        } else {
+            assert!(reading.hardware.is_empty());
+            assert!(counters.unavailable_reason().is_some());
+        }
+        // task_clock should have advanced if software events opened at all.
+        if let Some(tc) = reading.get("task_clock_ns") {
+            assert!(tc > 0, "task clock must advance over a busy loop");
+        }
+    }
+
+    #[test]
+    fn mmc_perf_off_disables_hardware() {
+        // Scoped env mutation: this test is the only writer of MMC_PERF in
+        // this process (unit tests in this file run in one binary; keep it so).
+        std::env::set_var("MMC_PERF", "off");
+        let counters = PerfCounters::open();
+        std::env::remove_var("MMC_PERF");
+        assert!(!counters.hardware_available());
+        assert_eq!(counters.unavailable_reason(), Some("disabled by MMC_PERF=off"));
+        let reading = counters.read();
+        assert!(reading.hardware.is_empty());
+        assert!(reading.software.is_empty());
+    }
+
+    #[test]
+    fn scaling_math_is_sane() {
+        assert_eq!(scale(100, 10, 10), 100);
+        assert_eq!(scale(100, 10, 0), 100);
+        assert_eq!(scale(100, 10, 5), 200);
+        assert_eq!(scale(u64::MAX / 2, 4, 2), u64::MAX - 1);
+    }
+}

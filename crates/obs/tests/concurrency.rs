@@ -1,0 +1,124 @@
+//! Concurrency proptest: the sharded counters must never lose an
+//! increment no matter how many threads hammer them, how the increments
+//! are sized, or how the work is split — the registry's whole value
+//! proposition is that relaxed per-shard adds still sum exactly.
+
+use mmc_obs::{Counter, Gauge, Registry};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// N threads x M increments of arbitrary size: the final sum is the
+    /// exact total, for any interleaving the scheduler produces.
+    #[test]
+    fn sharded_counter_never_drops_increments(
+        threads in 1usize..12,
+        per_thread in prop::collection::vec(0u64..1_000_000, 1..64),
+    ) {
+        let counter = Arc::new(Counter::new());
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                let incs = per_thread.clone();
+                std::thread::spawn(move || {
+                    for &n in &incs {
+                        c.add(n);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let expected = threads as u64 * per_thread.iter().sum::<u64>();
+        prop_assert_eq!(counter.get(), expected);
+    }
+
+    /// Histograms observed from many threads keep count and sum exact,
+    /// and the bucket totals always add up to the count.
+    #[test]
+    fn concurrent_histogram_totals_stay_exact(
+        threads in 1usize..8,
+        values in prop::collection::vec(0u64..1_000_000_000, 1..48),
+    ) {
+        let registry = Arc::new(Registry::new());
+        let hist = registry.histogram("h");
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let h = Arc::clone(&hist);
+                let vals = values.clone();
+                std::thread::spawn(move || {
+                    for &v in &vals {
+                        h.observe(v);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let full = registry.snapshot();
+        let snap = full.histogram("h").expect("histogram registered");
+        let n = threads as u64 * values.len() as u64;
+        prop_assert_eq!(snap.count, n);
+        prop_assert_eq!(snap.sum, threads as u64 * values.iter().sum::<u64>());
+        prop_assert_eq!(snap.buckets.iter().map(|b| b.count).sum::<u64>(), n);
+    }
+
+    /// Interleaved registration and mutation through a shared registry:
+    /// every name interns to the same instrument, so per-name totals are
+    /// exact even when threads race to create them.
+    #[test]
+    fn registry_interning_is_race_free(
+        threads in 2usize..10,
+        adds in 1u64..500,
+    ) {
+        let registry = Arc::new(Registry::new());
+        let handles: Vec<_> = (0..threads)
+            .map(|i| {
+                let r = Arc::clone(&registry);
+                std::thread::spawn(move || {
+                    for _ in 0..adds {
+                        r.counter("shared.total").add(1);
+                        r.gauge("shared.level").add(1);
+                    }
+                    r.counter(&format!("private.{i}")).add(adds);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = registry.snapshot();
+        prop_assert_eq!(snap.counter("shared.total"), Some(threads as u64 * adds));
+        prop_assert_eq!(snap.gauge("shared.level"), Some((threads as u64 * adds) as i64));
+        for i in 0..threads {
+            prop_assert_eq!(snap.counter(&format!("private.{i}")), Some(adds));
+        }
+    }
+}
+
+/// A non-proptest sanity check that gauges tolerate concurrent set/add
+/// without tearing (the last set wins, adds on top remain bounded).
+#[test]
+fn gauge_concurrent_set_and_add_is_sane() {
+    let gauge = Arc::new(Gauge::new());
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let g = Arc::clone(&gauge);
+            std::thread::spawn(move || {
+                for i in 0..1000i64 {
+                    g.set(i);
+                    g.add(1);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let v = gauge.get();
+    assert!((0..=1004).contains(&v), "gauge value {v} out of plausible range");
+}

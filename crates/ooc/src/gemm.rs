@@ -125,6 +125,10 @@ pub struct ComputeSpan {
 /// The JSON metrics snapshot of one out-of-core run.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct OocReport {
+    /// Report schema version ([`mmc_obs::SCHEMA_VERSION`]); reports
+    /// written before the field read back as 0.
+    #[serde(default)]
+    pub schema_version: u32,
     /// `C` block rows.
     pub m: u32,
     /// `C` block columns.
@@ -350,6 +354,7 @@ pub fn ooc_multiply(
         workers * (t.tile_m as u64 + t.tile_n as u64) * beta as u64 * block_bytes;
 
     Ok(OocReport {
+        schema_version: mmc_obs::SCHEMA_VERSION,
         m,
         n,
         z,

@@ -40,6 +40,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod gemm;
+pub mod metrics;
 pub mod pipeline;
 pub mod tiled;
 

@@ -1,0 +1,59 @@
+//! Prefetch-pipeline metrics, registered in the process-wide
+//! [`mmc_obs`] registry alongside the per-run [`crate::PrefetchStats`].
+//!
+//! `PrefetchStats` is the per-run report (reset every `ooc_multiply`);
+//! these metrics are the process-lifetime view a scraper reads. Names
+//! are stable API (the golden reconciliation test pins registry deltas
+//! against `PrefetchStats` for the same run):
+//!
+//! * `ooc.bytes_read` — counter, bytes read from tiled files.
+//! * `ooc.panels_staged` — counter, panels through the ring.
+//! * `ooc.read_us` — histogram, per-panel positioned-read latency (µs).
+//! * `ooc.buffer_wait_us` — histogram, I/O-thread backpressure waits
+//!   (µs): compute is the bottleneck when these grow.
+//! * `ooc.stall_us` — histogram, compute-side waits for the next panel
+//!   (µs): disk is the bottleneck when these grow.
+//! * `ooc.pool_free` — gauge, free buffers in the pool.
+//! * `ooc.queue_depth` — gauge, staging requests not yet claimed.
+
+use mmc_obs::{global, Counter, Gauge, Histogram};
+use std::sync::{Arc, OnceLock};
+
+macro_rules! cached {
+    ($(#[$doc:meta])* $fn_name:ident, $kind:ident, $ty:ty, $name:literal) => {
+        $(#[$doc])*
+        pub fn $fn_name() -> &'static $ty {
+            static CACHE: OnceLock<Arc<$ty>> = OnceLock::new();
+            CACHE.get_or_init(|| global().$kind($name))
+        }
+    };
+}
+
+cached!(
+    /// The `ooc.bytes_read` counter.
+    bytes_read, counter, Counter, "ooc.bytes_read"
+);
+cached!(
+    /// The `ooc.panels_staged` counter.
+    panels_staged, counter, Counter, "ooc.panels_staged"
+);
+cached!(
+    /// The `ooc.read_us` latency histogram.
+    read_us, histogram, Histogram, "ooc.read_us"
+);
+cached!(
+    /// The `ooc.buffer_wait_us` backpressure histogram.
+    buffer_wait_us, histogram, Histogram, "ooc.buffer_wait_us"
+);
+cached!(
+    /// The `ooc.stall_us` compute-stall histogram.
+    stall_us, histogram, Histogram, "ooc.stall_us"
+);
+cached!(
+    /// The `ooc.pool_free` buffer-pool occupancy gauge.
+    pool_free, gauge, Gauge, "ooc.pool_free"
+);
+cached!(
+    /// The `ooc.queue_depth` staging-queue gauge.
+    queue_depth, gauge, Gauge, "ooc.queue_depth"
+);

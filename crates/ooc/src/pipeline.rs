@@ -249,7 +249,9 @@ impl Prefetcher {
             }
             let start = Instant::now();
             let msg = self.rx.recv();
-            self.stall_seconds += start.elapsed().as_secs_f64();
+            let stalled = start.elapsed();
+            self.stall_seconds += stalled.as_secs_f64();
+            crate::metrics::stall_us().observe(stalled.as_micros() as u64);
             match msg {
                 Ok((_, Ok(panel))) => self.reorder.push(Pending(panel)),
                 Ok((_, Err(e))) => {
@@ -271,6 +273,7 @@ impl Prefetcher {
         self.shared.checked_out_bytes.fetch_sub((buf.capacity() * 8) as u64, Ordering::Relaxed);
         let mut pool = self.shared.pool.lock().unwrap();
         pool.push(buf);
+        crate::metrics::pool_free().set(pool.len() as i64);
         drop(pool);
         self.shared.pool_cv.notify_one();
     }
@@ -327,15 +330,24 @@ fn worker(
                     return;
                 }
                 if let Some(b) = pool.pop() {
+                    crate::metrics::pool_free().set(pool.len() as i64);
                     break b;
                 }
                 pool = shared.pool_cv.wait(pool).unwrap();
             }
         };
-        shared.buffer_wait_ns.fetch_add(wait_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let waited = wait_start.elapsed();
+        shared.buffer_wait_ns.fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+        crate::metrics::buffer_wait_us().observe(waited.as_micros() as u64);
         shared.note_checkout((buf.capacity() * 8) as u64);
 
-        let Some(req) = shared.queue.lock().unwrap().pop_front() else {
+        let req = {
+            let mut queue = shared.queue.lock().unwrap();
+            let req = queue.pop_front();
+            crate::metrics::queue_depth().set(queue.len() as i64);
+            req
+        };
+        let Some(req) = req else {
             // No work left: put the buffer back (dropping it would be
             // fine, returning it keeps the pool's inventory intact) and
             // retire this thread.
@@ -353,10 +365,13 @@ fn worker(
         let result = file.read_panel(req.bi0, req.bj0, req.rows, req.cols, &mut buf[..elems]);
         let dur = io_start.elapsed();
         shared.io_ns.fetch_add(dur.as_nanos() as u64, Ordering::Relaxed);
+        crate::metrics::read_us().observe(dur.as_micros() as u64);
 
         let msg = match result {
             Ok(bytes) => {
                 shared.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+                crate::metrics::bytes_read().add(bytes);
+                crate::metrics::panels_staged().add(1);
                 shared.spans.lock().unwrap().push(IoSpan {
                     thread: tid,
                     seq: req.seq,

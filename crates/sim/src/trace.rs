@@ -465,9 +465,16 @@ impl MetricsSnapshot {
 /// (`{"traceEvents": [...]}`), loadable by Perfetto and
 /// `chrome://tracing`. Hand-rolled — the workspace deliberately has no
 /// tracing dependency. All events share `pid` 1; tracks are `tid`s.
+///
+/// Every lane is guaranteed a human-readable name in the Perfetto UI:
+/// [`ChromeTraceBuilder::finish`] backfills a `thread_name` metadata
+/// event for any track that carried spans or instants but was never
+/// explicitly named with [`ChromeTraceBuilder::thread`].
 pub struct ChromeTraceBuilder {
     out: String,
     any: bool,
+    named_tids: std::collections::BTreeSet<u64>,
+    used_tids: std::collections::BTreeSet<u64>,
 }
 
 fn json_escape(s: &str) -> String {
@@ -506,6 +513,8 @@ impl ChromeTraceBuilder {
         let mut b = ChromeTraceBuilder {
             out: String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["),
             any: false,
+            named_tids: std::collections::BTreeSet::new(),
+            used_tids: std::collections::BTreeSet::new(),
         };
         b.raw(format!(
             "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
@@ -526,6 +535,7 @@ impl ChromeTraceBuilder {
 
     /// Name track `tid` (a `thread_name` metadata event).
     pub fn thread(&mut self, tid: u64, name: &str) {
+        self.named_tids.insert(tid);
         self.raw(format!(
             "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
              \"args\":{{\"name\":\"{}\"}}}}",
@@ -535,6 +545,7 @@ impl ChromeTraceBuilder {
 
     /// A complete span (`ph: "X"`) on track `tid`; times in microseconds.
     pub fn span(&mut self, tid: u64, name: &str, ts_us: f64, dur_us: f64, args: &[(&str, f64)]) {
+        self.used_tids.insert(tid);
         let mut ev = format!(
             "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\
              \"ts\":{},\"dur\":{}",
@@ -558,6 +569,7 @@ impl ChromeTraceBuilder {
 
     /// A thread-scoped instant event (`ph: "i"`) on track `tid`.
     pub fn instant(&mut self, tid: u64, name: &str, ts_us: f64) {
+        self.used_tids.insert(tid);
         self.raw(format!(
             "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{tid},\"ts\":{}}}",
             json_escape(name),
@@ -576,8 +588,14 @@ impl ChromeTraceBuilder {
         ));
     }
 
-    /// Close the event array and return the JSON document.
+    /// Close the event array and return the JSON document, first naming
+    /// any track that carried events but never got a `thread_name` —
+    /// Perfetto then shows "lane N" instead of a bare tid.
     pub fn finish(mut self) -> String {
+        let unnamed: Vec<u64> = self.used_tids.difference(&self.named_tids).copied().collect();
+        for tid in unnamed {
+            self.thread(tid, &format!("lane {tid}"));
+        }
         self.out.push_str("\n]}");
         self.out
     }
@@ -830,6 +848,23 @@ mod tests {
         let text = b.finish();
         let doc: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
         assert_eq!(doc.get("traceEvents").and_then(|v| v.as_array()).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn finish_backfills_names_for_unnamed_lanes() {
+        let mut b = ChromeTraceBuilder::new("p");
+        b.thread(0, "core 0");
+        b.span(0, "s", 0.0, 1.0, &[]);
+        b.span(7, "orphan", 0.0, 1.0, &[]);
+        b.instant(9, "tick", 2.0);
+        let text = b.finish();
+        // Lanes 7 and 9 had events but no explicit name → backfilled.
+        assert!(text.contains("\"tid\":7,\"args\":{\"name\":\"lane 7\"}"), "{text}");
+        assert!(text.contains("\"tid\":9,\"args\":{\"name\":\"lane 9\"}"), "{text}");
+        // Lane 0 was explicitly named: no backfill duplicate.
+        assert!(!text.contains("lane 0"), "{text}");
+        let doc: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        assert!(doc.get("traceEvents").is_some());
     }
 
     #[test]

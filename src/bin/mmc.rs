@@ -6,6 +6,7 @@
 //! mmc exec     --order 8 --q 32 --tiling tradeoff
 //! mmc lu       --order 64 --panel 8 --tiling shared_opt
 //! mmc profile  --algo shared_opt --order 60
+//! mmc counters --order 12 --tiling tradeoff --json
 //! mmc trace    --algo shared_opt --order 60 --out trace.json
 //! mmc figures  fig7 --jobs 4 --resume
 //! mmc ooc gen --out a.tiled --rows 64 --cols 64 --q 32
@@ -15,15 +16,19 @@
 //! ```
 //!
 //! Every subcommand prints a compact human-readable report; simulation
-//! counts are exact (the simulator is deterministic). `simulate`, `exec`
-//! and `profile` accept `--json` for machine-readable output; `trace`
+//! counts are exact (the simulator is deterministic). `simulate`, `exec`,
+//! `profile` and `counters` accept `--json` for machine-readable output
+//! (all reports share one `schema_version`); `counters` samples hardware
+//! events via `perf_event_open(2)` next to the model's predicted misses,
+//! printing `counters: "unavailable"` and exiting zero when the PMU or
+//! permissions are missing; `trace`
 //! records a flight-recorder journal and exports Chrome trace-event JSON
 //! loadable at <https://ui.perfetto.dev>.
 
 use multicore_matmul::lu::{bounds as lu_bounds, BlockedLu, SimLuHooks, UpdateTiling};
 use multicore_matmul::prelude::*;
 use multicore_matmul::sim::ProfilingSink;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::collections::HashMap;
 use std::process::exit;
 use std::time::Instant;
@@ -35,6 +40,7 @@ fn usage() -> ! {
            mmc exec --order N [--q Q] [--tiling T] [--seed S] [--json] [--trace-out F]\n  \
            mmc lu --order N [--panel W] [--tiling T] [--q Q]\n  \
            mmc profile --algo A --order N [--preset P] [--json]\n  \
+           mmc counters --order N [--q Q] [--tiling T] [--kernel K] [--preset P] [--seed S] [--json]\n  \
            mmc trace --algo A --order N --out F [--preset P] [--setting S] [--granularity G] [--fma-time T]\n  \
            mmc figures <id>...|all|list [--out DIR] [--full] [--jobs N] [--resume] [--serial] [--quiet]\n  \
            mmc ooc gen --out F --rows R --cols C [--q Q] [--seed S]\n  \
@@ -141,6 +147,8 @@ fn sim_setting(
 /// Machine-readable `mmc simulate --json` output.
 #[derive(Serialize, Deserialize)]
 struct SimulateReport {
+    #[serde(default)]
+    schema_version: u32,
     algo: String,
     order: u32,
     setting: String,
@@ -174,6 +182,7 @@ fn cmd_simulate(flags: HashMap<String, String>) {
     if flags.contains_key("json") {
         let model = TimingModel::data_only(machine.sigma_s, machine.sigma_d);
         let report = SimulateReport {
+            schema_version: SCHEMA_VERSION,
             algo: a.id().to_string(),
             order,
             setting: setting.to_string(),
@@ -261,6 +270,8 @@ fn cmd_plan(flags: HashMap<String, String>) {
 /// Machine-readable `mmc exec --json` output.
 #[derive(Serialize, Deserialize)]
 struct ExecReport {
+    #[serde(default)]
+    schema_version: u32,
     order: u32,
     q: usize,
     tiling: String,
@@ -314,6 +325,7 @@ fn cmd_exec(flags: HashMap<String, String>) {
     let kernel = multicore_matmul::exec::kernel::variant().name();
     if flags.contains_key("json") {
         let report = ExecReport {
+            schema_version: SCHEMA_VERSION,
             order,
             q,
             tiling: tiling_name,
@@ -397,6 +409,8 @@ fn cmd_lu(flags: HashMap<String, String>) {
 /// Machine-readable `mmc profile --json` output.
 #[derive(Serialize, Deserialize)]
 struct ProfileReport {
+    #[serde(default)]
+    schema_version: u32,
     algo: String,
     order: u32,
     capacities: Vec<u64>,
@@ -420,6 +434,7 @@ fn cmd_profile(flags: HashMap<String, String>) {
     let capacities = [base / 4, base / 2, base, 2 * base, 4 * base];
     if flags.contains_key("json") {
         let report = ProfileReport {
+            schema_version: SCHEMA_VERSION,
             algo: a.id().to_string(),
             order,
             capacities: capacities.iter().map(|&c| c as u64).collect(),
@@ -449,6 +464,225 @@ fn cmd_profile(flags: HashMap<String, String>) {
         sink.shared_profile.distinct(),
         sink.shared_profile.working_set()
     );
+}
+
+/// The algorithm whose block schedule an exec tiling implements, so the
+/// `counters` subcommand can place model predictions (closed form + exact
+/// LRU simulation) next to hardware measurements of the same point.
+fn tiling_algorithm(name: &str) -> Box<dyn Algorithm> {
+    match name {
+        "shared_opt" => Box::new(SharedOpt),
+        "distributed_opt" => Box::new(DistributedOpt::default()),
+        "tradeoff" => Box::new(Tradeoff::default()),
+        "equal" => Box::new(SharedEqual),
+        other => {
+            eprintln!("unknown tiling {other:?}");
+            usage();
+        }
+    }
+}
+
+/// An object `Value` from literal key/value pairs. The `counters` report
+/// is assembled by hand because its `counters` field is a union (object
+/// when the PMU is live, the string `"unavailable"` otherwise), which the
+/// derive facade cannot express.
+fn jobj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// `mmc counters` — model-vs-machine reconciliation for one GEMM point.
+///
+/// Runs the chosen tiling's schedule twice: once through the cache
+/// simulator (exact LRU misses at the declared capacities) and once for
+/// real under `perf_event_open(2)` hardware counters, then prints both
+/// sides. Degrades gracefully: when the PMU is missing (container,
+/// `perf_event_paranoid`, `MMC_PERF=off`) the report carries
+/// `counters: "unavailable"` plus the reason and the command still exits
+/// zero, so scripted callers never have to special-case permission
+/// errors.
+fn cmd_counters(flags: HashMap<String, String>) {
+    let machine = preset(&flags);
+    let order: u32 = num(&flags, "order", 12);
+    let q: usize = num(&flags, "q", 16);
+    let seed: u64 = num(&flags, "seed", 1);
+    let tiling_name = flags.get("tiling").cloned().unwrap_or_else(|| "tradeoff".into());
+    let tiling = match tiling_name.as_str() {
+        "shared_opt" => Tiling::shared_opt(&machine),
+        "distributed_opt" => Tiling::distributed_opt(&machine),
+        "tradeoff" => Tiling::tradeoff(&machine),
+        "equal" => Tiling::equal(machine.shared_capacity),
+        other => {
+            eprintln!("unknown tiling {other:?}");
+            usage();
+        }
+    }
+    .unwrap_or_else(|| {
+        eprintln!("tiling infeasible on this preset");
+        exit(1);
+    });
+    let variant = kernel_flag(&flags);
+    let a = tiling_algorithm(&tiling_name);
+    let problem = ProblemSpec::square(order);
+
+    // Model side: paper closed form plus an exact LRU simulation of the
+    // same (algorithm, order) point.
+    let pred = a.predict(&machine, &problem);
+    let mut sim = Simulator::new(SimConfig::lru(&machine), order, order, order);
+    if let Err(e) = a.execute(&machine, &problem, &mut sim) {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+    let stats = sim.stats();
+    let block_bytes = (q * q * 8) as u64;
+    let predicted_bytes = stats.ms() * block_bytes;
+
+    // Machine side: the same schedule executed for real, wrapped in perf
+    // counters, with registry deltas isolating this run's contribution.
+    let ma = BlockMatrix::pseudo_random(order, order, q, seed);
+    let mb = BlockMatrix::pseudo_random(order, order, q, seed + 1);
+    let before = multicore_matmul::obs::global().snapshot();
+    let counters = PerfCounters::open();
+    let t0 = Instant::now();
+    let c = gemm_parallel_with_kernel(&ma, &mb, tiling, variant);
+    let seconds = t0.elapsed().as_secs_f64();
+    let reading = counters.read();
+    let after = multicore_matmul::obs::global().snapshot();
+    std::hint::black_box(&c);
+
+    let delta = |name: &str| {
+        after.counter(name).unwrap_or(0).saturating_sub(before.counter(name).unwrap_or(0))
+    };
+    let flops = delta(&format!("exec.flops.{}", variant.name()));
+    let pack_bytes = delta("exec.pack_bytes");
+    let gflops = if seconds > 0.0 { flops as f64 / seconds / 1e9 } else { 0.0 };
+    let llc_miss_bytes = if counters.hardware_available() {
+        reading.get("llc_load_misses").or_else(|| reading.get("cache_misses")).map(|m| m * 64)
+    } else {
+        None
+    };
+
+    if flags.contains_key("json") {
+        let predicted = jobj(vec![
+            ("ms_formula_blocks", pred.as_ref().map_or(Value::Null, |p| Value::Float(p.ms))),
+            ("md_formula_blocks", pred.as_ref().map_or(Value::Null, |p| Value::Float(p.md))),
+            (
+                "t_data_formula",
+                pred.as_ref().map_or(Value::Null, |p| Value::Float(p.t_data(&machine))),
+            ),
+            ("ms_simulated_blocks", Value::UInt(stats.ms())),
+            ("md_simulated_blocks", Value::UInt(stats.md())),
+            ("t_data_simulated", Value::Float(stats.t_data(machine.sigma_s, machine.sigma_d))),
+            ("shared_traffic_bytes", Value::UInt(predicted_bytes)),
+        ]);
+        let measured = jobj(vec![
+            ("wall_seconds", Value::Float(seconds)),
+            ("gflops", Value::Float(gflops)),
+            ("kernel_flops", Value::UInt(flops)),
+            ("pack_bytes", Value::UInt(pack_bytes)),
+        ]);
+        let (counters_value, mut extra) = if counters.hardware_available() {
+            let hw: Vec<(&str, Value)> =
+                reading.hardware.iter().map(|v| (v.event.as_str(), Value::UInt(v.value))).collect();
+            let hw =
+                Value::Object(hw.into_iter().map(|(k, v)| (k.to_string(), v)).collect::<Vec<_>>());
+            let mut extra =
+                vec![("counters_multiplexed".to_string(), Value::Bool(reading.multiplexed))];
+            if let Some(bytes) = llc_miss_bytes {
+                let mut derived = vec![("llc_miss_bytes".to_string(), Value::UInt(bytes))];
+                if predicted_bytes > 0 {
+                    derived.push((
+                        "measured_vs_predicted_bytes".to_string(),
+                        Value::Float(bytes as f64 / predicted_bytes as f64),
+                    ));
+                }
+                extra.push(("derived".to_string(), Value::Object(derived)));
+            }
+            (hw, extra)
+        } else {
+            (
+                Value::Str("unavailable".to_string()),
+                vec![(
+                    "counters_reason".to_string(),
+                    Value::Str(counters.unavailable_reason().unwrap_or("unknown").to_string()),
+                )],
+            )
+        };
+        let software = Value::Object(
+            reading
+                .software
+                .iter()
+                .map(|v| (v.event.clone(), Value::UInt(v.value)))
+                .collect::<Vec<_>>(),
+        );
+        let mut fields = vec![
+            ("schema_version".to_string(), Value::UInt(SCHEMA_VERSION as u64)),
+            ("order".to_string(), Value::UInt(order as u64)),
+            ("q".to_string(), Value::UInt(q as u64)),
+            ("tiling".to_string(), Value::Str(tiling_name)),
+            ("algorithm".to_string(), Value::Str(a.id().to_string())),
+            ("kernel".to_string(), Value::Str(variant.name().to_string())),
+            ("predicted".to_string(), predicted),
+            ("measured".to_string(), measured),
+            ("counters".to_string(), counters_value),
+        ];
+        fields.append(&mut extra);
+        fields.push(("software_counters".to_string(), software));
+        let report = Value::Object(fields);
+        println!("{}", serde_json::to_string_pretty(&report).expect("serialize report"));
+        return;
+    }
+
+    println!(
+        "{} schedule on {order}x{order} blocks of {q}x{q} ({} kernel):",
+        a.name(),
+        variant.name()
+    );
+    match &pred {
+        Some(p) => println!(
+            "  model:    M_S = {:.0} (formula) / {} (LRU sim), M_D = {:.0} / {}, \
+             shared traffic {:.1} MiB",
+            p.ms,
+            stats.ms(),
+            p.md,
+            stats.md(),
+            mib(predicted_bytes)
+        ),
+        None => println!(
+            "  model:    M_S = {} (LRU sim), M_D = {} (no closed form), \
+             shared traffic {:.1} MiB",
+            stats.ms(),
+            stats.md(),
+            mib(predicted_bytes)
+        ),
+    }
+    println!(
+        "  machine:  {seconds:.3}s wall, {gflops:.2} GFLOP/s, {flops} kernel FLOPs, \
+         {:.1} MiB packed",
+        mib(pack_bytes)
+    );
+    if counters.hardware_available() {
+        for v in &reading.hardware {
+            println!("  counter:  {:<18} {}", v.event, v.value);
+        }
+        if reading.multiplexed {
+            println!("  counter:  (values scaled for multiplexing)");
+        }
+        if let Some(bytes) = llc_miss_bytes {
+            print!("  derived:  LLC miss traffic {:.1} MiB", mib(bytes));
+            if predicted_bytes > 0 {
+                print!(" = {:.2}x predicted shared traffic", bytes as f64 / predicted_bytes as f64);
+            }
+            println!();
+        }
+    } else {
+        println!(
+            "  counters: unavailable ({})",
+            counters.unavailable_reason().unwrap_or("unknown")
+        );
+    }
+    for v in &reading.software {
+        println!("  software: {:<18} {}", v.event, v.value);
+    }
 }
 
 /// `mmc figures` — the sharded figure harness, embedded in the CLI so the
@@ -805,6 +1039,7 @@ fn main() {
         "exec" => cmd_exec(parse_flags(rest)),
         "lu" => cmd_lu(parse_flags(rest)),
         "profile" => cmd_profile(parse_flags(rest)),
+        "counters" => cmd_counters(parse_flags(rest)),
         "trace" => cmd_trace(parse_flags(rest)),
         "figures" => cmd_figures(rest),
         "ooc" => cmd_ooc(rest),

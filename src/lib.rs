@@ -20,7 +20,11 @@
 //!   data;
 //! * [`ooc`] (`mmc-ooc`) — out-of-core streaming GEMM over block-major
 //!   tiled files, with a bounded double-buffered prefetch pipeline and a
-//!   three-level `T_data` report.
+//!   three-level `T_data` report;
+//! * [`obs`] (`mmc-obs`) — the observability substrate: a lock-free
+//!   metrics registry, raw `perf_event_open` hardware-counter sampling
+//!   with graceful fallback, and roofline records that put the paper's
+//!   predicted `M_S`/`T_data` next to measured LLC misses.
 //!
 //! See `examples/quickstart.rs` for a guided tour, and the `mmc-bench`
 //! crate for the harness that regenerates every figure of the paper.
@@ -43,6 +47,7 @@
 pub use mmc_core as core;
 pub use mmc_exec as exec;
 pub use mmc_lu as lu;
+pub use mmc_obs as obs;
 pub use mmc_ooc as ooc;
 pub use mmc_sim as sim;
 
@@ -58,6 +63,9 @@ pub mod prelude {
     pub use mmc_exec::{
         gemm_naive, gemm_parallel, gemm_parallel_traced, gemm_parallel_with_kernel, run_schedule,
         task_spans_to_chrome, BlockMatrix, ExecSink, KernelVariant, TaskSpan, Tiling,
+    };
+    pub use mmc_obs::{
+        CounterReading, PerfCounters, Registry, RegistrySnapshot, RooflineRecord, SCHEMA_VERSION,
     };
     pub use mmc_ooc::{ooc_multiply, ooc_verify, write_pseudo_random, OocOpts, OocReport};
     pub use mmc_sim::{
