@@ -6,11 +6,13 @@
 //! ```
 //!
 //! Writes `BENCH_exec.json` (parallel/blocked GEMM wall-clock, a
-//! per-micro-kernel-variant comparison at q=64 so the dispatched SIMD
-//! path's speedup over the scalar fallback is recorded, an out-of-core
-//! streamed run of the same product at a ~5x-undersized RAM budget, and
-//! one `roofline` point per kernel variant — arithmetic intensity,
-//! GFLOP/s, measured STREAM-triad bandwidth, percent-of-peak) and
+//! per-micro-kernel-variant comparison at q=64 in both f64 and f32 so
+//! the dispatched SIMD path's speedup over the scalar fallback is
+//! recorded, an out-of-core streamed run of the same product at a
+//! ~5x-undersized RAM budget, and one `roofline` point per kernel
+//! variant and element width — arithmetic intensity, GFLOP/s, measured
+//! STREAM-triad bandwidth, percent-of-peak, and the 5-loop blocking
+//! plan the run executed under) and
 //! `BENCH_sim.json` (simulator event throughput per algorithm) into the
 //! output directory (default `.`).
 //!
@@ -27,8 +29,8 @@ use mmc_bench::{run_figure_sharded, HarnessOpts, Setting};
 use mmc_core::algorithms::all_algorithms;
 use mmc_core::ProblemSpec;
 use mmc_exec::{
-    gemm_blocked, gemm_parallel, gemm_parallel_with_kernel, kernel, BlockMatrix, KernelVariant,
-    Tiling,
+    blocking, gemm_blocked, gemm_parallel, gemm_parallel_with_kernel, kernel, BlockMatrix,
+    BlockMatrixOf, Tiling,
 };
 use mmc_obs::{PerfCounters, RooflineRecord};
 use mmc_sim::MachineConfig;
@@ -44,11 +46,15 @@ const REGRESSION_TOLERANCE: f64 = 0.2;
 
 /// One roofline point for a kernel-variant run: bytes moved from LLC
 /// misses when the PMU is live, else the model's compulsory traffic
-/// (2 operand reads + 1 result write of `N²` doubles each).
+/// (2 operand reads + 1 result write of `N²` elements of `elem_bytes`).
+#[allow(clippy::too_many_arguments)]
 fn roofline_point(
-    v: KernelVariant,
+    name: &str,
+    kernel_name: &str,
+    blocking: &str,
     korder: u32,
     kq: usize,
+    elem_bytes: u64,
     kflops: f64,
     seconds: f64,
     bandwidth_gbs: f64,
@@ -60,17 +66,18 @@ fn roofline_point(
     let n = korder as u64 * kq as u64;
     let (bytes_moved, bytes_source) = match reading.get("llc_load_misses") {
         Some(misses) if counters.hardware_available() => (misses * 64, "llc_misses"),
-        _ => (3 * n * n * 8, "model"),
+        _ => (3 * n * n * elem_bytes, "model"),
     };
     let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let peak = mmc_obs::peak_gflops_estimate(
         threads,
         mmc_obs::cpu_ghz_estimate(),
-        mmc_obs::flops_per_cycle_for_kernel(v.name()),
+        mmc_obs::flops_per_cycle_for_kernel(kernel_name),
     );
     RooflineRecord::from_measurements(
-        &format!("gemm_q64/{}", v.name()),
-        v.name(),
+        name,
+        kernel_name,
+        blocking,
         korder as usize,
         kflops as u64,
         seconds,
@@ -146,7 +153,12 @@ fn main() {
     let mut roofline = Vec::new();
     let bandwidth_gbs = mmc_obs::stream_triad_bandwidth_gbs();
     if let Some(tiling) = Tiling::tradeoff(&machine) {
+        // The 5-loop plans the SIMD variants run under (scalar bypasses
+        // the macro-kernel, so its records carry no blocking).
+        let plan64 = blocking::active_plan::<f64>().to_string();
+        let plan32 = blocking::active_plan::<f32>().to_string();
         for v in kernel::variants_available() {
+            let plan = if v.is_simd() { plan64.as_str() } else { "" };
             let secs = best_seconds(5, || {
                 std::hint::black_box(gemm_parallel_with_kernel(&ka, &kb, tiling, v));
             });
@@ -161,9 +173,55 @@ fn main() {
             });
             // One extra counted run puts the variant under the roofline
             // (bytes from LLC misses when the PMU is live).
-            roofline.push(roofline_point(v, korder, kq, kflops, secs, bandwidth_gbs, || {
-                std::hint::black_box(gemm_parallel_with_kernel(&ka, &kb, tiling, v));
-            }));
+            roofline.push(roofline_point(
+                &format!("gemm_q64/{}", v.name()),
+                v.name(),
+                plan,
+                korder,
+                kq,
+                8,
+                kflops,
+                secs,
+                bandwidth_gbs,
+                || {
+                    std::hint::black_box(gemm_parallel_with_kernel(&ka, &kb, tiling, v));
+                },
+            ));
+        }
+        // The same product in f32: twice the SIMD lanes, half the
+        // traffic. Records are named `gemm_q64_f32/<variant>` with kernel
+        // `<variant>_f32` so the roofline uses the doubled flat roof.
+        let ka32 = BlockMatrixOf::<f32>::pseudo_random(korder, korder, kq, 3);
+        let kb32 = BlockMatrixOf::<f32>::pseudo_random(korder, korder, kq, 4);
+        for v in kernel::variants_available() {
+            let kname = format!("{}_f32", v.name());
+            let plan = if v.is_simd() { plan32.as_str() } else { "" };
+            let secs = best_seconds(5, || {
+                std::hint::black_box(gemm_parallel_with_kernel(&ka32, &kb32, tiling, v));
+            });
+            exec_records.push(PerfRecord {
+                suite: "exec".into(),
+                name: format!("gemm_q64_f32/{}", v.name()),
+                order: korder,
+                seconds: secs,
+                work: kflops,
+                rate_unit: "flop".into(),
+                kernel: kname.clone(),
+            });
+            roofline.push(roofline_point(
+                &format!("gemm_q64_f32/{}", v.name()),
+                &kname,
+                plan,
+                korder,
+                kq,
+                4,
+                kflops,
+                secs,
+                bandwidth_gbs,
+                || {
+                    std::hint::black_box(gemm_parallel_with_kernel(&ka32, &kb32, tiling, v));
+                },
+            ));
         }
     }
     // Out-of-core suite: the same product streamed from tiled files on

@@ -53,6 +53,30 @@ pub fn equal_tile(capacity: usize) -> Option<u32> {
     Some(t as u32)
 }
 
+/// Largest panel depth `d ≥ 1` such that a resident `rows×cols` tile plus
+/// one depth-`d` panel along each side fits in `capacity`:
+/// `rows·cols + d·(rows + cols) ≤ capacity`.
+///
+/// This is the Tradeoff footprint constraint `α² + 2αβ ≤ C_S` (§3.3)
+/// generalized to a non-square tile — with `rows = cols = α` it returns
+/// exactly the paper's `β = ⌊(C_S − α²)/(2α)⌋`. The executor's analytic
+/// 5-loop blocking applies it at every cache level: `KC` from L1 around
+/// the `MR×NR` register tile, `MC` from L2 around the `KC×NR` B
+/// micro-panel, `NC` from the shared cache around the `MC×KC` A panel.
+///
+/// Returns `None` when even `d = 1` does not fit.
+pub fn max_panel_depth(capacity: usize, rows: usize, cols: usize) -> Option<usize> {
+    if rows == 0 || cols == 0 {
+        return None;
+    }
+    let tile = rows.checked_mul(cols)?;
+    let edges = rows + cols;
+    if capacity < tile + edges {
+        return None;
+    }
+    Some((capacity - tile) / edges)
+}
+
 /// A 2-D arrangement of the `p` cores into `rows × cols == p`.
 ///
 /// The paper assumes `√p` is an integer (§3.2); [`CoreGrid::square`]
@@ -346,6 +370,34 @@ mod tests {
             let l1 = l + 1;
             assert!(1 + l1 + l1 * l1 > c as u64, "capacity {c}: λ not maximal");
         }
+    }
+
+    #[test]
+    fn max_panel_depth_generalizes_tradeoff_beta() {
+        // With rows = cols = α it is exactly the paper's
+        // β = ⌊(C_S − α²)/(2α)⌋ — cross-check against the Tradeoff
+        // derivation over a range of capacities and tile sides.
+        for cs in [157usize, 245, 977, 4096] {
+            for alpha in [4usize, 8, 12, 30] {
+                let beta = max_panel_depth(cs, alpha, alpha);
+                let direct = if cs >= alpha * alpha + 2 * alpha {
+                    Some((cs - alpha * alpha) / (2 * alpha))
+                } else {
+                    None
+                };
+                assert_eq!(beta, direct, "C_S={cs} α={alpha}");
+                if let Some(d) = beta {
+                    // Maximality: d fits, d+1 does not.
+                    assert!(alpha * alpha + d * 2 * alpha <= cs);
+                    assert!(alpha * alpha + (d + 1) * 2 * alpha > cs);
+                }
+            }
+        }
+        // Non-square tiles and degenerate inputs.
+        assert_eq!(max_panel_depth(100, 6, 8), Some((100 - 48) / 14));
+        assert_eq!(max_panel_depth(61, 6, 8), None); // 48 + 14 > 61
+        assert_eq!(max_panel_depth(1000, 0, 8), None);
+        assert_eq!(max_panel_depth(1000, 8, 0), None);
     }
 
     #[test]

@@ -4,11 +4,13 @@
 //! blocks (§2.1). This module tree is that routine, grown from a single
 //! auto-vectorized scalar loop into a small BLIS-style stack:
 //!
+//! * [`elem`] — the [`Element`](elem::Element) abstraction (`f64` /
+//!   `f32`) fixing each type's register-tile shape and kernel dispatch;
 //! * [`scalar`] — the portable fallback: the original `i/k/j` triple loop
 //!   whose inner loop the compiler auto-vectorizes;
-//! * [`x86`] (x86_64 only) — register-blocked AVX2+FMA kernels holding an
-//!   [`MR`]`×`[`NR`] tile of `C` in YMM accumulators;
-//! * [`neon`] (aarch64 only) — the same register tiling on 128-bit NEON;
+//! * [`x86`] (x86_64 only) — register-blocked AVX2+FMA kernels holding a
+//!   6×8 (`f64`) or 6×16 (`f32`) tile of `C` in twelve YMM accumulators;
+//! * [`neon`] (aarch64 only) — the same tile shapes on 128-bit NEON;
 //! * [`pack`] — thread-local scratch arenas that copy `A` row-panels and
 //!   `B` column-panels into contiguous micro-panel layout (the Maximum
 //!   Reuse residency pattern — a `µ×µ` tile of `C`, a row of `A`, a
@@ -21,22 +23,25 @@
 //! The active [`KernelVariant`] is selected once per process (cached in a
 //! `OnceLock`): AVX2+FMA when `is_x86_feature_detected!` says so, NEON on
 //! aarch64, otherwise the scalar loop. Set `MMC_KERNEL=scalar` (or
-//! `avx2` / `neon` / `auto`) before the first kernel call to override.
+//! `avx2` / `neon` / `auto`) before the first kernel call to override; an
+//! unknown name is a hard error listing the valid variants.
 //!
 //! # Determinism
 //!
-//! Within one variant, every executor path performs, for each `C`
-//! element, one multiply-accumulate per `k` step in ascending `k` order —
-//! the SIMD variants use fused multiply-add everywhere (vector lanes and
-//! scalar edges alike), the scalar variant uses an unfused multiply+add
-//! everywhere. Results are therefore **bit-identical across executors**
-//! (`gemm_naive`, `run_schedule`, `gemm_parallel` packed or not) for any
-//! fixed variant, which the test suite checks with `==`. Switching
-//! variants changes rounding (fused vs unfused), so cross-variant
-//! comparisons use a tolerance.
+//! Within one variant and element type, every executor path performs, for
+//! each `C` element, one multiply-accumulate per `k` step in ascending
+//! `k` order — the SIMD variants use fused multiply-add everywhere
+//! (vector lanes and scalar edges alike), the scalar variant uses an
+//! unfused multiply+add everywhere. Results are therefore
+//! **bit-identical across executors** (`gemm_naive`, `run_schedule`,
+//! `gemm_parallel` packed or not, any `MC/KC/NC` blocking) for any fixed
+//! variant, which the test suite checks with `==`. Switching variants
+//! changes rounding (fused vs unfused), so cross-variant comparisons use
+//! a tolerance.
 
 use std::sync::OnceLock;
 
+pub mod elem;
 pub mod pack;
 pub mod packed;
 pub mod scalar;
@@ -46,19 +51,16 @@ pub mod neon;
 #[cfg(target_arch = "x86_64")]
 pub mod x86;
 
-/// Rows of `C` held in registers by the SIMD micro-kernels.
-pub const MR: usize = 8;
-/// Columns of `C` held in registers by the SIMD micro-kernels.
-pub const NR: usize = 4;
+use elem::Element;
 
 /// One implementation of the `q×q` block kernel.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum KernelVariant {
     /// Portable scalar triple loop (auto-vectorized by the compiler).
     Scalar,
-    /// 8×4 register-tiled AVX2 kernel using fused multiply-add (x86_64).
+    /// Register-tiled AVX2 kernel using fused multiply-add (x86_64).
     Avx2Fma,
-    /// 8×4 register-tiled NEON kernel using fused multiply-add (aarch64).
+    /// Register-tiled NEON kernel using fused multiply-add (aarch64).
     Neon,
 }
 
@@ -115,32 +117,46 @@ pub fn variants_available() -> Vec<KernelVariant> {
 ///
 /// Honors `MMC_KERNEL` (`scalar`, `avx2`, `neon`, `auto`) if it is set
 /// before the first kernel call; a requested variant the CPU lacks falls
-/// back to auto-detection.
+/// back to auto-detection. An *unknown* name is a usage error: the
+/// process exits with a message listing the valid variants rather than
+/// silently benchmarking the wrong kernel.
 pub fn variant() -> KernelVariant {
     static VARIANT: OnceLock<KernelVariant> = OnceLock::new();
-    *VARIANT.get_or_init(|| select(std::env::var("MMC_KERNEL").ok().as_deref()))
+    *VARIANT.get_or_init(|| match select(std::env::var("MMC_KERNEL").ok().as_deref()) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("mmc-exec: {e}");
+            std::process::exit(2);
+        }
+    })
 }
 
 /// Resolve an `MMC_KERNEL`-style request against the CPU's abilities.
-fn select(request: Option<&str>) -> KernelVariant {
+///
+/// `Ok`: the variant to run (a known-but-unavailable request falls back
+/// to the best available variant, with a note on stderr). `Err`: the
+/// name is not a kernel variant at all; the message lists the valid
+/// spellings so callers can fail cleanly.
+pub fn select(request: Option<&str>) -> Result<KernelVariant, String> {
     let requested = match request {
         Some("scalar") => Some(KernelVariant::Scalar),
         Some("avx2") | Some("avx2_fma") => Some(KernelVariant::Avx2Fma),
         Some("neon") => Some(KernelVariant::Neon),
         Some("auto") | None => None,
         Some(other) => {
-            eprintln!("mmc-exec: unknown MMC_KERNEL value {other:?}; auto-detecting");
-            None
+            return Err(format!(
+                "unknown kernel {other:?}; valid variants: scalar, avx2_fma (alias: avx2), neon, auto"
+            ));
         }
     };
-    match requested {
+    Ok(match requested {
         Some(v) if v.is_available() => v,
         Some(v) => {
             eprintln!("mmc-exec: MMC_KERNEL={} unavailable on this CPU; auto-detecting", v.name());
             best_available()
         }
         None => best_available(),
-    }
+    })
 }
 
 /// The fastest variant the CPU supports.
@@ -152,6 +168,28 @@ fn best_available() -> KernelVariant {
     } else {
         KernelVariant::Scalar
     }
+}
+
+/// Hint the cache to pull the line at `p` toward L1.
+///
+/// Prefetch instructions never fault, even on addresses past the end of
+/// an allocation, so callers may aim a fixed distance ahead of a stream
+/// without clamping (use `wrapping_add` to form such pointers). No-op on
+/// architectures without a stable prefetch primitive.
+#[inline(always)]
+pub(crate) fn prefetch_read<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch is a hint; it cannot fault or write.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(p as *const i8)
+    }
+    #[cfg(target_arch = "aarch64")]
+    // SAFETY: prfm is a hint; it cannot fault or write.
+    unsafe {
+        core::arch::asm!("prfm pldl1keep, [{0}]", in(reg) p, options(nostack, preserves_flags));
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    let _ = p;
 }
 
 /// `c += a × b` for row-major `q×q` blocks, via the dispatched kernel.
@@ -166,49 +204,40 @@ fn best_available() -> KernelVariant {
 /// Panics (via `debug_assert!` in debug builds and slice indexing
 /// otherwise) if any slice is shorter than `q²`.
 #[inline]
-pub fn block_fma(c: &mut [f64], a: &[f64], b: &[f64], q: usize) {
+pub fn block_fma<T: Element>(c: &mut [T], a: &[T], b: &[T], q: usize) {
     block_fma_with(variant(), c, a, b, q)
 }
 
 /// [`block_fma`] through an explicitly chosen variant (for tests and
 /// benches). A variant the CPU lacks falls back to the scalar loop.
 #[inline]
-pub fn block_fma_with(v: KernelVariant, c: &mut [f64], a: &[f64], b: &[f64], q: usize) {
+pub fn block_fma_with<T: Element>(v: KernelVariant, c: &mut [T], a: &[T], b: &[T], q: usize) {
     debug_assert!(c.len() >= q * q && a.len() >= q * q && b.len() >= q * q);
-    match v {
-        #[cfg(target_arch = "x86_64")]
-        // SAFETY: `is_available` verified AVX2+FMA; slice lengths checked
-        // by the debug_assert above and by indexing inside the kernel.
-        KernelVariant::Avx2Fma if v.is_available() => unsafe { x86::block_fma_avx2(c, a, b, q) },
-        #[cfg(target_arch = "aarch64")]
-        // SAFETY: NEON is baseline on aarch64.
-        KernelVariant::Neon if v.is_available() => unsafe { neon::block_fma_neon(c, a, b, q) },
-        _ => scalar::block_fma_scalar(c, a, b, q),
-    }
+    T::block_fma(v, c, a, b, q)
 }
 
 /// Reference scalar implementation (j-inner with explicit indexing), used
 /// to validate every dispatched variant.
-pub fn block_fma_reference(c: &mut [f64], a: &[f64], b: &[f64], q: usize) {
+pub fn block_fma_reference<T: Element>(c: &mut [T], a: &[T], b: &[T], q: usize) {
     for i in 0..q {
         for j in 0..q {
-            let mut acc = 0.0;
+            let mut acc = T::ZERO;
             for k in 0..q {
-                acc += a[i * q + k] * b[k * q + j];
+                acc = acc + a[i * q + k] * b[k * q + j];
             }
-            c[i * q + j] += acc;
+            c[i * q + j] = c[i * q + j] + acc;
         }
     }
 }
 
 /// Fused-FMA remainder kernel on unpacked row-major `q×q` operands:
 /// updates the `mi×nj` sub-tile of `C` at `(i0, j0)`, ascending `k` per
-/// element, one `f64::mul_add` per step — bit-identical to the SIMD
+/// element, one fused `mul_add` per step — bit-identical to the SIMD
 /// lanes, so partial register tiles round exactly like full ones.
-pub(crate) fn edge_fused(
-    c: &mut [f64],
-    a: &[f64],
-    b: &[f64],
+pub(crate) fn edge_fused<T: Element>(
+    c: &mut [T],
+    a: &[T],
+    b: &[T],
     q: usize,
     (i0, mi, j0, nj): (usize, usize, usize, usize),
 ) {
@@ -276,6 +305,23 @@ mod tests {
     }
 
     #[test]
+    fn f32_variants_match_f32_reference() {
+        for v in variants_available() {
+            for q in [1usize, 3, 7, 16, 17] {
+                let a: Vec<f32> = (0..q * q).map(|x| ((x * 7) % 11) as f32 - 5.0).collect();
+                let b: Vec<f32> = (0..q * q).map(|x| ((x * 3) % 7) as f32 * 0.25).collect();
+                let mut c1 = vec![1.0f32; q * q];
+                let mut c2 = c1.clone();
+                block_fma_with(v, &mut c1, &a, &b, q);
+                block_fma_reference(&mut c2, &a, &b, q);
+                for (x, y) in c1.iter().zip(&c2) {
+                    assert!((x - y).abs() < 1e-3, "{v} q={q}: {x} vs {y}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn q1_is_scalar_fma() {
         let mut c = [10.0];
         block_fma(&mut c, &[3.0], &[4.0], 1);
@@ -299,14 +345,19 @@ mod tests {
     }
 
     #[test]
-    fn selection_honors_requests_and_falls_back() {
-        assert_eq!(select(Some("scalar")), KernelVariant::Scalar);
-        let auto = select(None);
+    fn selection_honors_requests_and_rejects_unknown_names() {
+        assert_eq!(select(Some("scalar")).unwrap(), KernelVariant::Scalar);
+        let auto = select(None).unwrap();
         assert!(auto.is_available());
-        assert_eq!(select(Some("definitely-not-a-kernel")), auto);
-        // A SIMD request resolves to something the CPU can run.
-        assert!(select(Some("avx2")).is_available());
-        assert!(select(Some("neon")).is_available());
+        // Bogus names are a hard error whose message lists every valid
+        // spelling — no silent fallback to auto-detection.
+        let err = select(Some("definitely-not-a-kernel")).unwrap_err();
+        for valid in ["scalar", "avx2_fma", "neon", "auto"] {
+            assert!(err.contains(valid), "error must list {valid:?}: {err}");
+        }
+        // A known SIMD request resolves to something the CPU can run.
+        assert!(select(Some("avx2")).unwrap().is_available());
+        assert!(select(Some("neon")).unwrap().is_available());
         // The cached dispatch returns an available variant and is stable.
         assert_eq!(variant(), variant());
         assert!(variant().is_available());

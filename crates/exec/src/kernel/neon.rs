@@ -1,54 +1,104 @@
 //! NEON register-blocked micro-kernels (aarch64).
 //!
-//! Same register tiling as the AVX2 kernels — an [`MR`]`×`[`NR`] tile of
-//! `C` in accumulators — but on 128-bit vectors: each `C` row is a pair
-//! of `float64x2_t` registers (16 accumulators of the 32 available), and
-//! each `k` step issues two `B` loads, eight `A` broadcasts, and sixteen
-//! fused multiply-adds.
+//! Same tile shapes as the AVX2 kernels — 6×8 for `f64`, 6×16 for `f32`
+//! — but on 128-bit vectors: each `C` row is four `float64x2_t` (or
+//! `float32x4_t`) registers, so the tile occupies 24 of the 32 vector
+//! registers, leaving room for the four `B` vectors and the `A`
+//! broadcast of each `k` step. Software prefetch pulls the packed
+//! streams a few steps ahead, mirroring [`super::x86`].
 //!
 //! Rounding contract matches [`super::x86`]: one fused multiply-add per
 //! element per `k` step, ascending `k`, so full tiles, edges, and every
 //! executor path through the NEON variant agree bitwise.
 
-use super::{edge_fused, MR, NR};
+use super::{edge_fused, prefetch_read};
 use core::arch::aarch64::*;
 
-/// `C(MR×NR) += Apanel × Bpanel` on packed micro-panels.
+/// Rows of `C` per register tile (both element types).
+const MR: usize = 6;
+/// `f64` columns per register tile (four 2-wide NEON registers).
+const NR_F64: usize = 8;
+/// `f32` columns per register tile (four 4-wide NEON registers).
+const NR_F32: usize = 16;
+/// How many `k` steps ahead the packed streams are prefetched.
+const PF_AHEAD: usize = 8;
+
+/// `C(6×8) += Apanel × Bpanel` on packed `f64` micro-panels.
 ///
 /// Layout contract is identical to
-/// [`micro_8x4_packed`](super::x86::micro_8x4_packed) on x86: `ap` holds
-/// `kc` groups of [`MR`] `A` values, `bp` holds `kc` groups of [`NR`]
-/// `B` values, `c` is an `MR×NR` tile with row stride `ldc`.
+/// [`micro_6x8_f64`](super::x86::micro_6x8_f64) on x86: `ap` holds `kc`
+/// groups of 6 `A` values, `bp` holds `kc` groups of 8 `B` values, `c`
+/// is a 6×8 tile with row stride `ldc`.
 ///
 /// # Safety
-/// `ap` must have at least `kc·MR` elements, `bp` at least `kc·NR`, and
-/// the `MR` rows of `NR` elements at `c` (stride `ldc`) must be in
-/// bounds and unaliased.
+/// `ap` must have at least `kc·6` elements, `bp` at least `kc·8`, and
+/// the 6 rows of 8 elements at `c` (stride `ldc`) must be in bounds and
+/// unaliased.
 #[target_feature(enable = "neon")]
-pub unsafe fn micro_8x4_packed(kc: usize, ap: *const f64, bp: *const f64, c: *mut f64, ldc: usize) {
-    let mut lo = [vdupq_n_f64(0.0); MR];
-    let mut hi = [vdupq_n_f64(0.0); MR];
-    for r in 0..MR {
-        lo[r] = vld1q_f64(c.add(r * ldc));
-        hi[r] = vld1q_f64(c.add(r * ldc + 2));
-    }
-    for k in 0..kc {
-        let b_lo = vld1q_f64(bp.add(k * NR));
-        let b_hi = vld1q_f64(bp.add(k * NR + 2));
-        let ak = ap.add(k * MR);
-        for r in 0..MR {
-            let av = vdupq_n_f64(*ak.add(r));
-            lo[r] = vfmaq_f64(lo[r], av, b_lo);
-            hi[r] = vfmaq_f64(hi[r], av, b_hi);
+pub unsafe fn micro_6x8_f64(kc: usize, ap: *const f64, bp: *const f64, c: *mut f64, ldc: usize) {
+    let mut acc = [[vdupq_n_f64(0.0); 4]; MR];
+    for (r, row) in acc.iter_mut().enumerate() {
+        for (s, lane) in row.iter_mut().enumerate() {
+            *lane = vld1q_f64(c.add(r * ldc + 2 * s));
         }
     }
-    for r in 0..MR {
-        vst1q_f64(c.add(r * ldc), lo[r]);
-        vst1q_f64(c.add(r * ldc + 2), hi[r]);
+    for k in 0..kc {
+        prefetch_read(bp.wrapping_add((k + PF_AHEAD) * NR_F64));
+        prefetch_read(ap.wrapping_add((k + PF_AHEAD) * MR));
+        let bk = bp.add(k * NR_F64);
+        let bv = [vld1q_f64(bk), vld1q_f64(bk.add(2)), vld1q_f64(bk.add(4)), vld1q_f64(bk.add(6))];
+        let ak = ap.add(k * MR);
+        for (r, row) in acc.iter_mut().enumerate() {
+            let av = vdupq_n_f64(*ak.add(r));
+            for (s, lane) in row.iter_mut().enumerate() {
+                *lane = vfmaq_f64(*lane, av, bv[s]);
+            }
+        }
+    }
+    for (r, row) in acc.iter().enumerate() {
+        for (s, lane) in row.iter().enumerate() {
+            vst1q_f64(c.add(r * ldc + 2 * s), *lane);
+        }
     }
 }
 
-/// `c += a × b` on unpacked row-major `q×q` blocks, register-blocked.
+/// `C(6×16) += Apanel × Bpanel` on packed `f32` micro-panels.
+///
+/// Same layout contract as [`micro_6x8_f64`] with `NR = 16`.
+///
+/// # Safety
+/// `ap` must have at least `kc·6` elements, `bp` at least `kc·16`, and
+/// the 6 rows of 16 elements at `c` (stride `ldc`) must be in bounds and
+/// unaliased.
+#[target_feature(enable = "neon")]
+pub unsafe fn micro_6x16_f32(kc: usize, ap: *const f32, bp: *const f32, c: *mut f32, ldc: usize) {
+    let mut acc = [[vdupq_n_f32(0.0); 4]; MR];
+    for (r, row) in acc.iter_mut().enumerate() {
+        for (s, lane) in row.iter_mut().enumerate() {
+            *lane = vld1q_f32(c.add(r * ldc + 4 * s));
+        }
+    }
+    for k in 0..kc {
+        prefetch_read(bp.wrapping_add((k + PF_AHEAD) * NR_F32));
+        prefetch_read(ap.wrapping_add((k + PF_AHEAD) * MR));
+        let bk = bp.add(k * NR_F32);
+        let bv = [vld1q_f32(bk), vld1q_f32(bk.add(4)), vld1q_f32(bk.add(8)), vld1q_f32(bk.add(12))];
+        let ak = ap.add(k * MR);
+        for (r, row) in acc.iter_mut().enumerate() {
+            let av = vdupq_n_f32(*ak.add(r));
+            for (s, lane) in row.iter_mut().enumerate() {
+                *lane = vfmaq_f32(*lane, av, bv[s]);
+            }
+        }
+    }
+    for (r, row) in acc.iter().enumerate() {
+        for (s, lane) in row.iter().enumerate() {
+            vst1q_f32(c.add(r * ldc + 4 * s), *lane);
+        }
+    }
+}
+
+/// `c += a × b` on unpacked row-major `q×q` `f64` blocks, register-blocked.
 ///
 /// # Safety
 /// Each slice must hold at least `q²` elements.
@@ -61,28 +111,35 @@ pub unsafe fn block_fma_neon(c: &mut [f64], a: &[f64], b: &[f64], q: usize) {
     let mut ir = 0;
     while ir + MR <= q {
         let mut jr = 0;
-        while jr + NR <= q {
+        while jr + NR_F64 <= q {
             let ctile = cp.add(ir * q + jr);
-            let mut lo = [vdupq_n_f64(0.0); MR];
-            let mut hi = [vdupq_n_f64(0.0); MR];
-            for r in 0..MR {
-                lo[r] = vld1q_f64(ctile.add(r * q));
-                hi[r] = vld1q_f64(ctile.add(r * q + 2));
-            }
-            for k in 0..q {
-                let b_lo = vld1q_f64(bpn.add(k * q + jr));
-                let b_hi = vld1q_f64(bpn.add(k * q + jr + 2));
-                for r in 0..MR {
-                    let av = vdupq_n_f64(*apn.add((ir + r) * q + k));
-                    lo[r] = vfmaq_f64(lo[r], av, b_lo);
-                    hi[r] = vfmaq_f64(hi[r], av, b_hi);
+            let mut acc = [[vdupq_n_f64(0.0); 4]; MR];
+            for (r, row) in acc.iter_mut().enumerate() {
+                for (s, lane) in row.iter_mut().enumerate() {
+                    *lane = vld1q_f64(ctile.add(r * q + 2 * s));
                 }
             }
-            for r in 0..MR {
-                vst1q_f64(ctile.add(r * q), lo[r]);
-                vst1q_f64(ctile.add(r * q + 2), hi[r]);
+            for k in 0..q {
+                let bk = bpn.add(k * q + jr);
+                let bv = [
+                    vld1q_f64(bk),
+                    vld1q_f64(bk.add(2)),
+                    vld1q_f64(bk.add(4)),
+                    vld1q_f64(bk.add(6)),
+                ];
+                for (r, row) in acc.iter_mut().enumerate() {
+                    let av = vdupq_n_f64(*apn.add((ir + r) * q + k));
+                    for (s, lane) in row.iter_mut().enumerate() {
+                        *lane = vfmaq_f64(*lane, av, bv[s]);
+                    }
+                }
             }
-            jr += NR;
+            for (r, row) in acc.iter().enumerate() {
+                for (s, lane) in row.iter().enumerate() {
+                    vst1q_f64(ctile.add(r * q + 2 * s), *lane);
+                }
+            }
+            jr += NR_F64;
         }
         if jr < q {
             edge_fused(c, a, b, q, (ir, MR, jr, q - jr));
@@ -101,7 +158,7 @@ mod tests {
 
     #[test]
     fn neon_block_kernel_matches_reference() {
-        for q in [1usize, 4, 7, 8, 9, 12, 31, 32, 64] {
+        for q in [1usize, 4, 6, 7, 8, 9, 12, 14, 31, 32, 64] {
             let a: Vec<f64> = (0..q * q).map(|x| ((x * 37) % 23) as f64 - 11.0).collect();
             let b: Vec<f64> = (0..q * q).map(|x| ((x * 5) % 17) as f64 * 0.125).collect();
             let mut c1: Vec<f64> = (0..q * q).map(|x| x as f64 * 0.01).collect();
@@ -113,5 +170,32 @@ mod tests {
                 assert!((x - y).abs() < 1e-9, "q={q} elem {i}: {x} vs {y}");
             }
         }
+    }
+
+    #[test]
+    fn packed_f32_micro_kernel_matches_fused_scalar() {
+        let kc = 9usize;
+        let a: Vec<f32> = (0..MR * kc).map(|x| ((x * 11) % 19) as f32 - 9.0).collect();
+        let b: Vec<f32> = (0..kc * NR_F32).map(|x| ((x * 7) % 13) as f32 * 0.25).collect();
+        let mut ap = vec![0.0f32; kc * MR];
+        for k in 0..kc {
+            for r in 0..MR {
+                ap[k * MR + r] = a[r * kc + k];
+            }
+        }
+        let mut c = vec![1.0f32; MR * NR_F32];
+        let mut oracle = c.clone();
+        // SAFETY: NEON is baseline on aarch64; buffers sized exactly.
+        unsafe { micro_6x16_f32(kc, ap.as_ptr(), b.as_ptr(), c.as_mut_ptr(), NR_F32) };
+        for r in 0..MR {
+            for j in 0..NR_F32 {
+                let mut acc = oracle[r * NR_F32 + j];
+                for k in 0..kc {
+                    acc = a[r * kc + k].mul_add(b[k * NR_F32 + j], acc);
+                }
+                oracle[r * NR_F32 + j] = acc;
+            }
+        }
+        assert_eq!(c, oracle, "fused f32 vector lanes must equal fused scalar exactly");
     }
 }

@@ -1,10 +1,10 @@
 //! Panel packing: contiguous micro-panel operands for the register kernels.
 //!
 //! The parallel executor's tasks stream `A` row-panels and `B`
-//! column-panels out of block-major [`BlockMatrix`] storage. Before the
-//! `k` loop, each task copies the panels it is about to reuse into a
+//! column-panels out of block-major [`BlockMatrixOf`] storage. The
+//! 5-loop macro-kernel copies the panels it is about to reuse into a
 //! thread-local scratch arena, laid out exactly in the order the
-//! [`MR`]`×`[`NR`] micro-kernels consume them:
+//! `MR×NR` micro-kernels consume them:
 //!
 //! * `A` panels: per local block row, `⌈q/MR⌉` micro-panels of `MR`
 //!   values per `k` step (`[ip][k][r]`, rows past `q` zero-padded);
@@ -16,117 +16,173 @@
 //! order: the micro-kernel's entire `k` loop reads two forward-moving
 //! contiguous streams. Padding is multiplied by zero only in lanes that
 //! are never written back, so it cannot perturb results.
+//!
+//! Reused arena buffers are **not** re-zeroed: every slot below the
+//! packed length, padding lanes included, is written explicitly, so the
+//! buffers only grow (`resize` fires solely when a larger panel arrives)
+//! and repacking costs one pass instead of a memset plus a pass.
 
-use super::{MR, NR};
-use crate::matrix::BlockMatrix;
-use std::cell::RefCell;
+use super::elem::Element;
+use crate::matrix::BlockMatrixOf;
 
 /// Thread-local packing scratch, reused across a task's `k` panels and
-/// across tasks run by the same worker thread.
-pub struct PackArena {
+/// across tasks run by the same worker thread. One arena exists per
+/// element type per thread (see [`Element::with_arena`]).
+pub struct PackArena<T = f64> {
     /// Packed `A` row-panel buffer.
-    pub a: Vec<f64>,
+    pub a: Vec<T>,
     /// Packed `B` column-panel buffer.
-    pub b: Vec<f64>,
+    pub b: Vec<T>,
 }
 
-thread_local! {
-    static ARENA: RefCell<PackArena> =
-        const { RefCell::new(PackArena { a: Vec::new(), b: Vec::new() }) };
+impl<T> PackArena<T> {
+    /// An empty arena (the per-type thread-local slots start here).
+    pub const fn new() -> PackArena<T> {
+        PackArena { a: Vec::new(), b: Vec::new() }
+    }
 }
 
-/// Run `f` with the current thread's packing arena.
-pub fn with_arena<R>(f: impl FnOnce(&mut PackArena) -> R) -> R {
-    ARENA.with(|cell| f(&mut cell.borrow_mut()))
+impl<T> Default for PackArena<T> {
+    fn default() -> Self {
+        PackArena::new()
+    }
+}
+
+/// Run `f` with the current thread's packing arena for element type `T`.
+pub fn with_arena<T: Element, R>(f: impl FnOnce(&mut PackArena<T>) -> R) -> R {
+    T::with_arena(f)
 }
 
 /// Packed size of one block row's `A` micro-panels for a depth-`kc` panel.
-pub fn a_panel_stride(q: usize, kc: usize) -> usize {
-    q.div_ceil(MR) * kc * MR
+pub fn a_panel_stride<T: Element>(q: usize, kc: usize) -> usize {
+    q.div_ceil(T::MR) * kc * T::MR
 }
 
 /// Packed size of one block column's `B` micro-panels for a depth-`kc` panel.
-pub fn b_panel_stride(q: usize, kc: usize) -> usize {
-    q.div_ceil(NR) * kc * NR
+pub fn b_panel_stride<T: Element>(q: usize, kc: usize) -> usize {
+    q.div_ceil(T::NR) * kc * T::NR
+}
+
+/// Size `dst` for `len` packed elements without re-zeroing retained
+/// capacity: grow (zero-filling only the new tail) or truncate, never
+/// clear-and-refill. Callers overwrite every slot below `len`.
+fn size_for_pack<T: Element>(dst: &mut Vec<T>, len: usize) {
+    if dst.len() < len {
+        dst.resize(len, T::ZERO);
+    } else {
+        dst.truncate(len);
+    }
+    crate::metrics::pack_bytes().add((len * std::mem::size_of::<T>()) as u64);
 }
 
 /// Pack the `A` row-panel `A[i0..i0+th, k0..k0+kb]` into `dst`.
 ///
 /// Layout: block row `bi`, then micro-panel `ip`, then `k` ascending over
 /// the whole `kb·q`-deep panel, then `MR` row values (zero-padded past
-/// `q`). `dst` is resized to `th · `[`a_panel_stride`]` elements.
-pub fn pack_a_panel(dst: &mut Vec<f64>, a: &BlockMatrix, i0: u32, th: u32, k0: u32, kb: u32) {
+/// `q`). `dst` is sized to `th · `[`a_panel_stride`]` elements. While one
+/// source block streams out, the next block's rows are prefetched.
+pub fn pack_a_panel<T: Element>(
+    dst: &mut Vec<T>,
+    a: &BlockMatrixOf<T>,
+    i0: u32,
+    th: u32,
+    k0: u32,
+    kb: u32,
+) {
     let q = a.q();
     let kc = kb as usize * q;
-    let n_ip = q.div_ceil(MR);
-    dst.clear();
-    dst.resize(th as usize * a_panel_stride(q, kc), 0.0);
-    crate::metrics::pack_bytes().add(dst.len() as u64 * 8);
+    let mr = T::MR;
+    let n_ip = q.div_ceil(mr);
+    let len = th as usize * a_panel_stride::<T>(q, kc);
+    size_for_pack(dst, len);
     let mut off = 0;
     for bi in 0..th {
         for ip in 0..n_ip {
+            let rows = ip * mr..((ip + 1) * mr).min(q);
             for kblk in 0..kb {
                 let blk = a.block(i0 + bi, k0 + kblk);
+                if kblk + 1 < kb {
+                    let next = a.block(i0 + bi, k0 + kblk + 1);
+                    for row in rows.clone() {
+                        super::prefetch_read(&next[row * q]);
+                    }
+                }
                 for kk in 0..q {
-                    for r in 0..MR {
-                        let row = ip * MR + r;
-                        if row < q {
-                            dst[off] = blk[row * q + kk];
-                        }
+                    for r in 0..mr {
+                        let row = ip * mr + r;
+                        dst[off] = if row < q { blk[row * q + kk] } else { T::ZERO };
                         off += 1;
                     }
                 }
             }
         }
     }
+    debug_assert_eq!(off, len, "packed A panel length must match tile geometry");
 }
 
 /// Pack the `B` column-panel `B[k0..k0+kb, j0..j0+tw]` into `dst`.
 ///
 /// Layout: block column `bj`, then micro-panel `jp`, then `k` ascending
 /// over the whole `kb·q`-deep panel, then `NR` column values
-/// (zero-padded past `q`). `dst` is resized to `tw · `[`b_panel_stride`]`
-/// elements.
-pub fn pack_b_panel(dst: &mut Vec<f64>, b: &BlockMatrix, j0: u32, tw: u32, k0: u32, kb: u32) {
+/// (zero-padded past `q`). `dst` is sized to `tw · `[`b_panel_stride`]`
+/// elements. While one source block streams out, the next block's first
+/// rows are prefetched.
+pub fn pack_b_panel<T: Element>(
+    dst: &mut Vec<T>,
+    b: &BlockMatrixOf<T>,
+    j0: u32,
+    tw: u32,
+    k0: u32,
+    kb: u32,
+) {
     let q = b.q();
     let kc = kb as usize * q;
-    let n_jp = q.div_ceil(NR);
-    dst.clear();
-    dst.resize(tw as usize * b_panel_stride(q, kc), 0.0);
-    crate::metrics::pack_bytes().add(dst.len() as u64 * 8);
+    let nr = T::NR;
+    let n_jp = q.div_ceil(nr);
+    let len = tw as usize * b_panel_stride::<T>(q, kc);
+    size_for_pack(dst, len);
     let mut off = 0;
     for bj in 0..tw {
         for jp in 0..n_jp {
             for kblk in 0..kb {
                 let blk = b.block(k0 + kblk, j0 + bj);
+                if kblk + 1 < kb {
+                    let next = b.block(k0 + kblk + 1, j0 + bj);
+                    for kk in 0..q.min(4) {
+                        super::prefetch_read(&next[kk * q + jp * nr]);
+                    }
+                }
                 for kk in 0..q {
                     let row = &blk[kk * q..(kk + 1) * q];
-                    for c in 0..NR {
-                        let col = jp * NR + c;
-                        if col < q {
-                            dst[off] = row[col];
-                        }
+                    for c in 0..nr {
+                        let col = jp * nr + c;
+                        dst[off] = if col < q { row[col] } else { T::ZERO };
                         off += 1;
                     }
                 }
             }
         }
     }
+    debug_assert_eq!(off, len, "packed B panel length must match tile geometry");
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::matrix::BlockMatrix;
+
+    const MR: usize = <f64 as Element>::MR;
+    const NR: usize = <f64 as Element>::NR;
 
     #[test]
     fn a_panel_layout_round_trips() {
-        // 1 block row, 2 k blocks, q = 5 (ragged: n_ip = 1, rows 5..8 padded).
+        // 1 block row, 2 k blocks, q = 5 (ragged: n_ip = 1, rows 5..6 padded).
         let q = 5;
         let a = BlockMatrix::from_fn(1, 2, q, |i, j| (i * 100 + j) as f64);
         let mut dst = Vec::new();
         pack_a_panel(&mut dst, &a, 0, 1, 0, 2);
         let kc = 2 * q;
-        assert_eq!(dst.len(), a_panel_stride(q, kc));
+        assert_eq!(dst.len(), a_panel_stride::<f64>(q, kc));
         // Element (row r, global k) lives at [k][r]; global k spans both blocks.
         for k in 0..kc {
             for r in 0..MR {
@@ -138,13 +194,13 @@ mod tests {
 
     #[test]
     fn b_panel_layout_round_trips() {
-        // 2 k blocks, 1 block col, q = 6 (n_jp = 2, cols 4..8 of panel 1 ragged).
+        // 2 k blocks, 1 block col, q = 6 (n_jp = 1, cols 6..8 of the panel padded).
         let q = 6;
         let b = BlockMatrix::from_fn(2, 1, q, |i, j| (i * 10 + j) as f64);
         let mut dst = Vec::new();
         pack_b_panel(&mut dst, &b, 0, 1, 0, 2);
         let kc = 2 * q;
-        assert_eq!(dst.len(), b_panel_stride(q, kc));
+        assert_eq!(dst.len(), b_panel_stride::<f64>(q, kc));
         for jp in 0..q.div_ceil(NR) {
             for k in 0..kc {
                 for c in 0..NR {
@@ -156,13 +212,34 @@ mod tests {
         }
     }
 
+    /// Shrinking repacks leave no stale tail and growing repacks pad
+    /// correctly — the grow-only sizing never exposes old data because
+    /// every slot below the packed length is overwritten.
+    #[test]
+    fn repacking_after_shrink_holds_no_stale_data() {
+        let big = BlockMatrix::from_fn(1, 2, 9, |i, j| (i * 50 + j) as f64 + 1.0);
+        let small = BlockMatrix::from_fn(1, 1, 3, |i, j| -((i * 10 + j) as f64) - 1.0);
+        let mut dst = Vec::new();
+        pack_a_panel(&mut dst, &big, 0, 1, 0, 2);
+        pack_a_panel(&mut dst, &small, 0, 1, 0, 1);
+        assert_eq!(dst.len(), a_panel_stride::<f64>(3, 3));
+        // q = 3 < MR: lanes 3..MR of each k group must be freshly zeroed,
+        // not residue from the larger pack.
+        for k in 0..3 {
+            for r in 0..MR {
+                let want = if r < 3 { -((r * 10 + k) as f64) - 1.0 } else { 0.0 };
+                assert_eq!(dst[k * MR + r], want, "k={k} r={r}");
+            }
+        }
+    }
+
     #[test]
     fn arena_is_reused() {
-        let cap = with_arena(|ar| {
+        let cap = with_arena::<f64, _>(|ar| {
             ar.a.resize(1024, 0.0);
             ar.a.capacity()
         });
-        let cap2 = with_arena(|ar| ar.a.capacity());
+        let cap2 = with_arena::<f64, _>(|ar| ar.a.capacity());
         assert_eq!(cap, cap2, "same thread sees the same arena");
     }
 }

@@ -2,14 +2,19 @@
 //!
 //! [`block_mul_packed`] updates a single row-major `q×q` `C` block from
 //! packed `A` and `B` micro-panels (see [`super::pack`] for the layout),
-//! walking the block's [`MR`]`×`[`NR`] register-tile grid. Full tiles run
-//! the variant's vector kernel; tiles clipped by the `q % MR` / `q % NR`
-//! edges run a fused scalar remainder over the zero-padded panels, which
-//! rounds identically to the vector lanes — so a packed update is
-//! bit-identical to the same variant's unpacked [`super::block_fma_with`]
-//! applied `k`-block by `k`-block.
+//! walking the block's `MR×NR` register-tile grid for the element type.
+//! Full tiles run the variant's vector kernel straight on `C`; tiles
+//! clipped by the `q % MR` / `q % NR` edges run the *same* vector kernel
+//! into a scratch `MR×NR` tile (the panels are zero-padded to full
+//! register width, so the pad lanes accumulate exact zeros) and copy the
+//! live corner back. Every element therefore takes one fused
+//! multiply-add per ascending `k` step regardless of which path ran — a
+//! packed update is bit-identical to the same variant's unpacked
+//! [`super::block_fma_with`] applied `k`-block by `k`-block, and edge
+//! tiles run at vector speed instead of a latency-bound scalar chain.
 
-use super::{KernelVariant, MR, NR};
+use super::elem::Element;
+use super::KernelVariant;
 
 /// `C += Apanel × Bpanel` for one row-major `q×q` block of `C`.
 ///
@@ -24,64 +29,65 @@ use super::{KernelVariant, MR, NR};
 ///
 /// # Panics
 /// Panics (in debug builds) if the slice sizes disagree with `q`/`kc`.
-pub fn block_mul_packed(
+pub fn block_mul_packed<T: Element>(
     v: KernelVariant,
-    cblk: &mut [f64],
+    cblk: &mut [T],
     q: usize,
     kc: usize,
-    apack: &[f64],
-    bpack: &[f64],
+    apack: &[T],
+    bpack: &[T],
 ) {
-    let n_ip = q.div_ceil(MR);
-    let n_jp = q.div_ceil(NR);
+    let (mr, nr) = (T::MR, T::NR);
+    let n_ip = q.div_ceil(mr);
+    let n_jp = q.div_ceil(nr);
     debug_assert!(cblk.len() >= q * q);
-    debug_assert!(apack.len() >= n_ip * kc * MR && bpack.len() >= n_jp * kc * NR);
+    debug_assert!(apack.len() >= n_ip * kc * mr && bpack.len() >= n_jp * kc * nr);
     let vector = v.is_simd() && v.is_available();
+    // Scratch C tile for edge tiles on the vector path. The packed
+    // panels are zero-padded to full `MR`/`NR`, so the full vector
+    // kernel can run against this tile: pad lanes accumulate exact
+    // zeros onto scratch values that are never copied back, while the
+    // live `mrc×nrc` corner sees the identical fused ascending-`k`
+    // chain it would get from the scalar remainder. 96 elements is the
+    // largest tile of any element type (f32's 6×16).
+    let mut scratch = [T::ZERO; 96];
+    debug_assert!(mr * nr <= scratch.len());
     for jp in 0..n_jp {
-        let nr = NR.min(q - jp * NR);
-        let bp = &bpack[jp * kc * NR..][..kc * NR];
+        let nrc = nr.min(q - jp * nr);
+        let bp = &bpack[jp * kc * nr..][..kc * nr];
         for ip in 0..n_ip {
-            let mr = MR.min(q - ip * MR);
-            let ap = &apack[ip * kc * MR..][..kc * MR];
-            let coff = ip * MR * q + jp * NR;
-            if vector && mr == MR && nr == NR {
-                micro_full(v, kc, ap, bp, &mut cblk[coff..], q);
-            } else {
-                micro_edge_packed(kc, ap, bp, &mut cblk[coff..], q, mr, nr);
+            let mrc = mr.min(q - ip * mr);
+            let ap = &apack[ip * kc * mr..][..kc * mr];
+            let coff = ip * mr * q + jp * nr;
+            if vector && mrc == mr && nrc == nr {
+                if T::micro_full(v, kc, ap, bp, &mut cblk[coff..], q) {
+                    continue;
+                }
+            } else if vector {
+                for r in 0..mrc {
+                    scratch[r * nr..r * nr + nrc].copy_from_slice(&cblk[coff + r * q..][..nrc]);
+                }
+                if T::micro_full(v, kc, ap, bp, &mut scratch, nr) {
+                    for r in 0..mrc {
+                        cblk[coff + r * q..][..nrc].copy_from_slice(&scratch[r * nr..r * nr + nrc]);
+                    }
+                    continue;
+                }
             }
+            micro_edge_packed(kc, ap, bp, &mut cblk[coff..], q, mrc, nrc);
         }
-    }
-}
-
-/// Run the variant's full `MR×NR` vector kernel on one register tile.
-#[inline]
-fn micro_full(v: KernelVariant, kc: usize, ap: &[f64], bp: &[f64], c: &mut [f64], ldc: usize) {
-    debug_assert!(c.len() >= (MR - 1) * ldc + NR);
-    match v {
-        #[cfg(target_arch = "x86_64")]
-        // SAFETY: caller checked `v.is_available()`; panel sizes are
-        // checked by the debug_asserts here and in `block_mul_packed`.
-        KernelVariant::Avx2Fma => unsafe {
-            super::x86::micro_8x4_packed(kc, ap.as_ptr(), bp.as_ptr(), c.as_mut_ptr(), ldc)
-        },
-        #[cfg(target_arch = "aarch64")]
-        // SAFETY: NEON is baseline on aarch64; sizes checked as above.
-        KernelVariant::Neon => unsafe {
-            super::neon::micro_8x4_packed(kc, ap.as_ptr(), bp.as_ptr(), c.as_mut_ptr(), ldc)
-        },
-        _ => micro_edge_packed(kc, ap, bp, c, ldc, MR, NR),
     }
 }
 
 /// Fused scalar micro-kernel over packed panels for partial register
 /// tiles: updates the `mr×nr` corner of the tile at `c` (row stride
-/// `ldc`), one `f64::mul_add` per `k` step, ascending `k` — bit-identical
-/// to the vector lanes.
-fn micro_edge_packed(
+/// `ldc`), one fused `mul_add` per `k` step, ascending `k` —
+/// bit-identical to the vector lanes.
+fn micro_edge_packed<T: Element>(
     kc: usize,
-    ap: &[f64],
-    bp: &[f64],
-    c: &mut [f64],
+    ap: &[T],
+    bp: &[T],
+    c: &mut [T],
     ldc: usize,
     mr: usize,
     nr: usize,
@@ -91,7 +97,7 @@ fn micro_edge_packed(
             let idx = r * ldc + j;
             let mut acc = c[idx];
             for k in 0..kc {
-                acc = ap[k * MR + r].mul_add(bp[k * NR + j], acc);
+                acc = ap[k * T::MR + r].mul_add(bp[k * T::NR + j], acc);
             }
             c[idx] = acc;
         }
@@ -102,7 +108,7 @@ fn micro_edge_packed(
 mod tests {
     use super::*;
     use crate::kernel::{block_fma_with, pack, variants_available};
-    use crate::matrix::BlockMatrix;
+    use crate::matrix::{BlockMatrix, BlockMatrixOf};
 
     /// Packed and unpacked paths of the same variant are bit-identical,
     /// including ragged q and multi-block k panels.
@@ -133,6 +139,36 @@ mod tests {
                     assert_eq!(c_packed, c_block, "{v} q={q}");
                 } else {
                     assert!(c_packed.max_abs_diff(&c_block) < 1e-10, "{v} q={q}");
+                }
+            }
+        }
+    }
+
+    /// Same bit-identity for f32: the packed vector kernels and the fused
+    /// whole-block fallback share one rounding contract.
+    #[test]
+    fn packed_f32_update_is_bit_identical_to_blockwise_kernel() {
+        for v in variants_available() {
+            for q in [1usize, 5, 16, 19, 32] {
+                let kb = 2u32;
+                let a = BlockMatrixOf::<f32>::pseudo_random(1, kb, q, 7);
+                let b = BlockMatrixOf::<f32>::pseudo_random(kb, 1, q, 8);
+                let mut c_packed = BlockMatrixOf::<f32>::pseudo_random(1, 1, q, 9);
+                let mut c_block = c_packed.clone();
+
+                let kc = kb as usize * q;
+                let (mut ap, mut bp) = (Vec::new(), Vec::new());
+                pack::pack_a_panel(&mut ap, &a, 0, 1, 0, kb);
+                pack::pack_b_panel(&mut bp, &b, 0, 1, 0, kb);
+                block_mul_packed(v, c_packed.block_mut(0, 0), q, kc, &ap, &bp);
+
+                for k in 0..kb {
+                    block_fma_with(v, c_block.block_mut(0, 0), a.block(0, k), b.block(k, 0), q);
+                }
+                if v.is_simd() {
+                    assert_eq!(c_packed, c_block, "{v} q={q}");
+                } else {
+                    assert!(c_packed.max_abs_diff(&c_block) < 1e-4, "{v} q={q}");
                 }
             }
         }

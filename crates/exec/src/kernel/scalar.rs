@@ -5,7 +5,10 @@
 //! and a `B` row that the compiler auto-vectorizes. Every
 //! multiply-accumulate is an *unfused* multiply then add, per element in
 //! ascending `k` order — the determinism contract the SIMD variants
-//! mirror (with fused ops) on their side.
+//! mirror (with fused ops) on their side. Generic over the element type,
+//! since unfused multiply+add needs nothing beyond `Add`/`Mul`.
+
+use super::elem::Element;
 
 /// `c += a × b` for row-major `q×q` blocks, scalar triple loop.
 ///
@@ -13,7 +16,7 @@
 /// Panics (via `debug_assert!` in debug builds and slice indexing
 /// otherwise) if any slice is shorter than `q²`.
 #[inline]
-pub fn block_fma_scalar(c: &mut [f64], a: &[f64], b: &[f64], q: usize) {
+pub fn block_fma_scalar<T: Element>(c: &mut [T], a: &[T], b: &[T], q: usize) {
     debug_assert!(c.len() >= q * q && a.len() >= q * q && b.len() >= q * q);
     for i in 0..q {
         let c_row = &mut c[i * q..(i + 1) * q];
@@ -22,7 +25,7 @@ pub fn block_fma_scalar(c: &mut [f64], a: &[f64], b: &[f64], q: usize) {
             let aik = a_row[k];
             let b_row = &b[k * q..(k + 1) * q];
             for (cv, bv) in c_row.iter_mut().zip(b_row) {
-                *cv += aik * *bv;
+                *cv = *cv + aik * *bv;
             }
         }
     }
@@ -45,6 +48,20 @@ mod tests {
             for (x, y) in c1.iter().zip(&c2) {
                 assert!((x - y).abs() < 1e-9, "q={q}");
             }
+        }
+    }
+
+    #[test]
+    fn scalar_is_generic_over_f32() {
+        let q = 5usize;
+        let a: Vec<f32> = (0..q * q).map(|x| (x % 13) as f32 - 6.0).collect();
+        let b: Vec<f32> = (0..q * q).map(|x| (x % 7) as f32 * 0.5).collect();
+        let mut c1 = vec![1.0f32; q * q];
+        let mut c2 = c1.clone();
+        block_fma_scalar(&mut c1, &a, &b, q);
+        block_fma_reference(&mut c2, &a, &b, q);
+        for (x, y) in c1.iter().zip(&c2) {
+            assert!((x - y).abs() < 1e-4, "q={q}");
         }
     }
 }

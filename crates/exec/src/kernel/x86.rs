@@ -1,55 +1,113 @@
 //! AVX2+FMA register-blocked micro-kernels (x86_64).
 //!
-//! Both kernels hold an [`MR`]`×`[`NR`] tile of `C` in eight YMM
-//! accumulators (one 4-wide register per `C` row) and, per `k` step,
-//! issue one 4-wide `B` load, eight `A` broadcasts, and eight fused
-//! multiply-adds — the operand-reuse pattern of the Maximum Reuse
-//! analysis (a register tile of `C`, a column sliver of `A`, a row
-//! sliver of `B`) expressed in registers.
+//! Tile shapes are chosen against Haswell-class port budgets, where two
+//! FMA ports compete with two load ports:
+//!
+//! * `f64` 6×8 — twelve YMM accumulators (two 4-wide registers per `C`
+//!   row). Per `k` step: two `B` loads + six `A` broadcasts = 8 load-port
+//!   µops against 12 FMAs, so the kernel runs at the FMA limit
+//!   (16 FLOP/cycle) instead of the load-port limit the old 8×4 shape hit
+//!   (one `B` load + eight broadcasts = 9 load µops per 8 FMAs).
+//! * `f32` 6×16 — the same twelve accumulators at twice the lane width.
+//!
+//! Twelve accumulators also cover the FMA latency×throughput product
+//! (4–5 cycles × 2 ports), so the dependency chains never stall. Software
+//! prefetch pulls the packed streams a few steps ahead; the two extra
+//! load-port µops still fit under the FMA-bound cycle count.
 //!
 //! Rounding contract: every element update is one *fused* multiply-add
-//! per `k` step, ascending `k` — identical to the scalar
-//! `f64::mul_add` edge paths, so full and partial register tiles agree
-//! bitwise and every executor path through the AVX2 variant is
-//! bit-identical.
+//! per `k` step, ascending `k` — identical to the scalar `mul_add` edge
+//! paths, so full and partial register tiles agree bitwise and every
+//! executor path through the AVX2 variant is bit-identical.
 
-use super::{edge_fused, MR, NR};
+use super::{edge_fused, prefetch_read};
 use core::arch::x86_64::*;
 
-/// `C(MR×NR) += Apanel × Bpanel` on packed micro-panels.
+/// Rows of `C` per register tile (both element types).
+const MR: usize = 6;
+/// `f64` columns per register tile (two 4-wide YMM registers).
+const NR_F64: usize = 8;
+/// `f32` columns per register tile (two 8-wide YMM registers).
+const NR_F32: usize = 16;
+/// How many `k` steps ahead the packed streams are prefetched.
+const PF_AHEAD: usize = 8;
+
+/// `C(6×8) += Apanel × Bpanel` on packed `f64` micro-panels.
 ///
-/// `ap` holds `kc` groups of [`MR`] `A` values (one per `C` row), `bp`
-/// holds `kc` groups of [`NR`] `B` values (one per `C` column), `c`
-/// points at an `MR×NR` tile stored with row stride `ldc`.
+/// `ap` holds `kc` groups of 6 `A` values (one per `C` row), `bp` holds
+/// `kc` groups of 8 `B` values (one per `C` column), `c` points at a
+/// 6×8 tile stored with row stride `ldc`.
 ///
 /// # Safety
 /// Caller must ensure AVX2 and FMA are available, `ap` has at least
-/// `kc·MR` elements, `bp` at least `kc·NR`, and the `MR` rows of `NR`
-/// elements at `c` (stride `ldc`) are in bounds and unaliased.
+/// `kc·6` elements, `bp` at least `kc·8`, and the 6 rows of 8 elements
+/// at `c` (stride `ldc`) are in bounds and unaliased.
 #[target_feature(enable = "avx2,fma")]
-pub unsafe fn micro_8x4_packed(kc: usize, ap: *const f64, bp: *const f64, c: *mut f64, ldc: usize) {
-    let mut acc = [_mm256_setzero_pd(); MR];
-    for (r, accr) in acc.iter_mut().enumerate() {
-        *accr = _mm256_loadu_pd(c.add(r * ldc));
+pub unsafe fn micro_6x8_f64(kc: usize, ap: *const f64, bp: *const f64, c: *mut f64, ldc: usize) {
+    let mut acc = [[_mm256_setzero_pd(); 2]; MR];
+    for (r, row) in acc.iter_mut().enumerate() {
+        row[0] = _mm256_loadu_pd(c.add(r * ldc));
+        row[1] = _mm256_loadu_pd(c.add(r * ldc + 4));
     }
     for k in 0..kc {
-        let bv = _mm256_loadu_pd(bp.add(k * NR));
+        prefetch_read(bp.wrapping_add((k + PF_AHEAD) * NR_F64));
+        prefetch_read(ap.wrapping_add((k + PF_AHEAD) * MR));
+        let b0 = _mm256_loadu_pd(bp.add(k * NR_F64));
+        let b1 = _mm256_loadu_pd(bp.add(k * NR_F64 + 4));
         let ak = ap.add(k * MR);
-        for (r, accr) in acc.iter_mut().enumerate() {
-            *accr = _mm256_fmadd_pd(_mm256_set1_pd(*ak.add(r)), bv, *accr);
+        for (r, row) in acc.iter_mut().enumerate() {
+            let av = _mm256_set1_pd(*ak.add(r));
+            row[0] = _mm256_fmadd_pd(av, b0, row[0]);
+            row[1] = _mm256_fmadd_pd(av, b1, row[1]);
         }
     }
-    for (r, accr) in acc.iter().enumerate() {
-        _mm256_storeu_pd(c.add(r * ldc), *accr);
+    for (r, row) in acc.iter().enumerate() {
+        _mm256_storeu_pd(c.add(r * ldc), row[0]);
+        _mm256_storeu_pd(c.add(r * ldc + 4), row[1]);
     }
 }
 
-/// `c += a × b` on unpacked row-major `q×q` blocks, register-blocked.
+/// `C(6×16) += Apanel × Bpanel` on packed `f32` micro-panels.
 ///
-/// Full `MR×NR` tiles run the vector kernel straight off the block
-/// storage (broadcasting `A` with stride `q`, loading `B` rows
-/// contiguously); partial tiles at the `q % MR` / `q % NR` edges use the
-/// fused scalar remainder, which rounds identically.
+/// Same layout contract as [`micro_6x8_f64`] with `NR = 16`: `ap` holds
+/// `kc` groups of 6 `A` values, `bp` holds `kc` groups of 16 `B` values.
+///
+/// # Safety
+/// Caller must ensure AVX2 and FMA are available, `ap` has at least
+/// `kc·6` elements, `bp` at least `kc·16`, and the 6 rows of 16 elements
+/// at `c` (stride `ldc`) are in bounds and unaliased.
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn micro_6x16_f32(kc: usize, ap: *const f32, bp: *const f32, c: *mut f32, ldc: usize) {
+    let mut acc = [[_mm256_setzero_ps(); 2]; MR];
+    for (r, row) in acc.iter_mut().enumerate() {
+        row[0] = _mm256_loadu_ps(c.add(r * ldc));
+        row[1] = _mm256_loadu_ps(c.add(r * ldc + 8));
+    }
+    for k in 0..kc {
+        prefetch_read(bp.wrapping_add((k + PF_AHEAD) * NR_F32));
+        prefetch_read(ap.wrapping_add((k + PF_AHEAD) * MR));
+        let b0 = _mm256_loadu_ps(bp.add(k * NR_F32));
+        let b1 = _mm256_loadu_ps(bp.add(k * NR_F32 + 8));
+        let ak = ap.add(k * MR);
+        for (r, row) in acc.iter_mut().enumerate() {
+            let av = _mm256_set1_ps(*ak.add(r));
+            row[0] = _mm256_fmadd_ps(av, b0, row[0]);
+            row[1] = _mm256_fmadd_ps(av, b1, row[1]);
+        }
+    }
+    for (r, row) in acc.iter().enumerate() {
+        _mm256_storeu_ps(c.add(r * ldc), row[0]);
+        _mm256_storeu_ps(c.add(r * ldc + 8), row[1]);
+    }
+}
+
+/// `c += a × b` on unpacked row-major `q×q` `f64` blocks, register-blocked.
+///
+/// Full 6×8 tiles run the vector kernel straight off the block storage
+/// (broadcasting `A` with stride `q`, loading `B` rows contiguously);
+/// the `q % 6` row strip runs the same vector loop with a runtime row
+/// count, and only the `q % 8` column sliver uses the fused scalar
+/// remainder — all paths round identically (fused, ascending `k`).
 ///
 /// # Safety
 /// Caller must ensure AVX2 and FMA are available and each slice holds at
@@ -63,30 +121,65 @@ pub unsafe fn block_fma_avx2(c: &mut [f64], a: &[f64], b: &[f64], q: usize) {
     let mut ir = 0;
     while ir + MR <= q {
         let mut jr = 0;
-        while jr + NR <= q {
+        while jr + NR_F64 <= q {
             let ctile = cp.add(ir * q + jr);
-            let mut acc = [_mm256_setzero_pd(); MR];
-            for (r, accr) in acc.iter_mut().enumerate() {
-                *accr = _mm256_loadu_pd(ctile.add(r * q));
+            let mut acc = [[_mm256_setzero_pd(); 2]; MR];
+            for (r, row) in acc.iter_mut().enumerate() {
+                row[0] = _mm256_loadu_pd(ctile.add(r * q));
+                row[1] = _mm256_loadu_pd(ctile.add(r * q + 4));
             }
             for k in 0..q {
-                let bv = _mm256_loadu_pd(bpn.add(k * q + jr));
-                for (r, accr) in acc.iter_mut().enumerate() {
-                    *accr = _mm256_fmadd_pd(_mm256_set1_pd(*apn.add((ir + r) * q + k)), bv, *accr);
+                let b0 = _mm256_loadu_pd(bpn.add(k * q + jr));
+                let b1 = _mm256_loadu_pd(bpn.add(k * q + jr + 4));
+                for (r, row) in acc.iter_mut().enumerate() {
+                    let av = _mm256_set1_pd(*apn.add((ir + r) * q + k));
+                    row[0] = _mm256_fmadd_pd(av, b0, row[0]);
+                    row[1] = _mm256_fmadd_pd(av, b1, row[1]);
                 }
             }
-            for (r, accr) in acc.iter().enumerate() {
-                _mm256_storeu_pd(ctile.add(r * q), *accr);
+            for (r, row) in acc.iter().enumerate() {
+                _mm256_storeu_pd(ctile.add(r * q), row[0]);
+                _mm256_storeu_pd(ctile.add(r * q + 4), row[1]);
             }
-            jr += NR;
+            jr += NR_F64;
         }
         if jr < q {
             edge_fused(c, a, b, q, (ir, MR, jr, q - jr));
         }
         ir += MR;
     }
+    // Row-remainder strip (`q % 6` rows): the same vector loop with a
+    // runtime row count, so the strip stays FMA-bound instead of falling
+    // into the latency-bound scalar chain. Fused ascending-`k` like the
+    // full tiles, so the rounding is unchanged.
     if ir < q {
-        edge_fused(c, a, b, q, (ir, q - ir, 0, q));
+        let mi = q - ir;
+        let mut jr = 0;
+        while jr + NR_F64 <= q {
+            let ctile = cp.add(ir * q + jr);
+            let mut acc = [[_mm256_setzero_pd(); 2]; MR];
+            for (r, row) in acc.iter_mut().take(mi).enumerate() {
+                row[0] = _mm256_loadu_pd(ctile.add(r * q));
+                row[1] = _mm256_loadu_pd(ctile.add(r * q + 4));
+            }
+            for k in 0..q {
+                let b0 = _mm256_loadu_pd(bpn.add(k * q + jr));
+                let b1 = _mm256_loadu_pd(bpn.add(k * q + jr + 4));
+                for (r, row) in acc.iter_mut().take(mi).enumerate() {
+                    let av = _mm256_set1_pd(*apn.add((ir + r) * q + k));
+                    row[0] = _mm256_fmadd_pd(av, b0, row[0]);
+                    row[1] = _mm256_fmadd_pd(av, b1, row[1]);
+                }
+            }
+            for (r, row) in acc.iter().take(mi).enumerate() {
+                _mm256_storeu_pd(ctile.add(r * q), row[0]);
+                _mm256_storeu_pd(ctile.add(r * q + 4), row[1]);
+            }
+            jr += NR_F64;
+        }
+        if jr < q {
+            edge_fused(c, a, b, q, (ir, mi, jr, q - jr));
+        }
     }
 }
 
@@ -102,7 +195,7 @@ mod tests {
             return;
         }
         // Multiples of the register tile and ragged edges alike.
-        for q in [1usize, 4, 7, 8, 9, 12, 31, 32, 64] {
+        for q in [1usize, 4, 6, 7, 8, 9, 12, 14, 31, 32, 64] {
             let a: Vec<f64> = (0..q * q).map(|x| ((x * 37) % 23) as f64 - 11.0).collect();
             let b: Vec<f64> = (0..q * q).map(|x| ((x * 5) % 17) as f64 * 0.125).collect();
             let mut c1: Vec<f64> = (0..q * q).map(|x| x as f64 * 0.01).collect();
@@ -122,29 +215,60 @@ mod tests {
             eprintln!("skipping: no AVX2+FMA on this host");
             return;
         }
-        // One full MR×NR tile with kc = 16: pack operands by hand.
+        // One full 6×8 tile with kc = 16: pack operands by hand.
         let kc = 16usize;
         let a: Vec<f64> = (0..MR * kc).map(|x| ((x * 11) % 19) as f64 - 9.0).collect(); // row-major MR×kc
-        let b: Vec<f64> = (0..kc * NR).map(|x| ((x * 7) % 13) as f64 * 0.25).collect(); // row-major kc×NR
+        let b: Vec<f64> = (0..kc * NR_F64).map(|x| ((x * 7) % 13) as f64 * 0.25).collect(); // row-major kc×NR
         let mut ap = vec![0.0; kc * MR];
         for k in 0..kc {
             for r in 0..MR {
                 ap[k * MR + r] = a[r * kc + k];
             }
         }
-        let mut c = vec![1.0; MR * NR];
+        let mut c = vec![1.0; MR * NR_F64];
         let mut oracle = c.clone();
         // SAFETY: availability checked; buffers sized exactly.
-        unsafe { micro_8x4_packed(kc, ap.as_ptr(), b.as_ptr(), c.as_mut_ptr(), NR) };
+        unsafe { micro_6x8_f64(kc, ap.as_ptr(), b.as_ptr(), c.as_mut_ptr(), NR_F64) };
         for r in 0..MR {
-            for j in 0..NR {
-                let mut acc = oracle[r * NR + j];
+            for j in 0..NR_F64 {
+                let mut acc = oracle[r * NR_F64 + j];
                 for k in 0..kc {
-                    acc = a[r * kc + k].mul_add(b[k * NR + j], acc);
+                    acc = a[r * kc + k].mul_add(b[k * NR_F64 + j], acc);
                 }
-                oracle[r * NR + j] = acc;
+                oracle[r * NR_F64 + j] = acc;
             }
         }
         assert_eq!(c, oracle, "fused vector lanes must equal fused scalar exactly");
+    }
+
+    #[test]
+    fn packed_f32_micro_kernel_matches_fused_scalar() {
+        if !KernelVariant::Avx2Fma.is_available() {
+            eprintln!("skipping: no AVX2+FMA on this host");
+            return;
+        }
+        let kc = 11usize;
+        let a: Vec<f32> = (0..MR * kc).map(|x| ((x * 11) % 19) as f32 - 9.0).collect();
+        let b: Vec<f32> = (0..kc * NR_F32).map(|x| ((x * 7) % 13) as f32 * 0.25).collect();
+        let mut ap = vec![0.0f32; kc * MR];
+        for k in 0..kc {
+            for r in 0..MR {
+                ap[k * MR + r] = a[r * kc + k];
+            }
+        }
+        let mut c = vec![1.0f32; MR * NR_F32];
+        let mut oracle = c.clone();
+        // SAFETY: availability checked; buffers sized exactly.
+        unsafe { micro_6x16_f32(kc, ap.as_ptr(), b.as_ptr(), c.as_mut_ptr(), NR_F32) };
+        for r in 0..MR {
+            for j in 0..NR_F32 {
+                let mut acc = oracle[r * NR_F32 + j];
+                for k in 0..kc {
+                    acc = a[r * kc + k].mul_add(b[k * NR_F32 + j], acc);
+                }
+                oracle[r * NR_F32 + j] = acc;
+            }
+        }
+        assert_eq!(c, oracle, "fused f32 vector lanes must equal fused scalar exactly");
     }
 }

@@ -1,17 +1,20 @@
 //! # mmc-exec — real execution of the paper's schedules
 //!
 //! While `mmc-sim` counts the cache misses of each schedule, this crate
-//! *runs* them: dense block-major `f64` matrices ([`BlockMatrix`]), a
-//! register-blocked `q×q` micro-kernel subsystem with runtime CPU
-//! dispatch and panel packing ([`kernel`]), an exact schedule replayer
-//! ([`ExecSink`] / [`run_schedule`]) and rayon-parallel tiled executors
+//! *runs* them: dense block-major matrices generic over `f64`/`f32`
+//! ([`BlockMatrix`] / [`BlockMatrixOf`]), a register-blocked `q×q`
+//! micro-kernel subsystem with runtime CPU dispatch and panel packing
+//! ([`kernel`]), analytic 5-loop blocking derived from the paper's cache
+//! model ([`blocking`]), an exact schedule replayer ([`ExecSink`] /
+//! [`run_schedule`]) and rayon-parallel tiled executors
 //! ([`gemm_parallel`]) whose tilings come straight from the paper's
 //! parameters (`λ`, `√p·µ`, `(α, β)`).
 //!
 //! Every path accumulates contributions in ascending `k` order with the
 //! same dispatched kernel, so all executors produce bit-identical
-//! results and the tests compare them with `==`. See [`kernel`] for the
-//! dispatch rules and the `MMC_KERNEL` override.
+//! results — across code paths *and* across blocking plans — and the
+//! tests compare them with `==`. See [`kernel`] for the dispatch rules
+//! and the `MMC_KERNEL` override, and [`blocking`] for `MMC_BLOCKING`.
 //!
 //! ```
 //! use mmc_exec::{gemm_parallel, gemm_naive, BlockMatrix, Tiling};
@@ -27,16 +30,20 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod blocking;
 pub mod kernel;
 pub mod matrix;
 pub mod metrics;
 pub mod naive;
 pub mod runner;
 
+pub use blocking::BlockingPlan;
+pub use kernel::elem::Element;
 pub use kernel::KernelVariant;
-pub use matrix::BlockMatrix;
+pub use matrix::{BlockMatrix, BlockMatrixOf};
 pub use naive::gemm_naive;
 pub use runner::{
     gemm_accumulate, gemm_blocked, gemm_blocked_traced, gemm_parallel, gemm_parallel_traced,
-    gemm_parallel_with_kernel, run_schedule, task_spans_to_chrome, ExecSink, TaskSpan, Tiling,
+    gemm_parallel_with_kernel, gemm_parallel_with_plan, run_schedule, task_spans_to_chrome,
+    ExecSink, TaskSpan, Tiling,
 };

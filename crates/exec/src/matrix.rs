@@ -1,30 +1,40 @@
 //! Block-major dense matrix storage.
 //!
-//! A [`BlockMatrix`] stores an `R·q × C·q` matrix of `f64` as `R × C`
-//! square `q×q` blocks, each block contiguous in memory (row-major inside
-//! the block, blocks laid out row-major). This is the storage layout the
-//! paper's algorithms assume — "the atomic elements that we manipulate are
-//! not matrix coefficients but rather square blocks of coefficients of
-//! size q × q" — and it makes every block-level operation a dense
-//! cache-friendly kernel call.
+//! A [`BlockMatrixOf<T>`] stores an `R·q × C·q` matrix of elements as
+//! `R × C` square `q×q` blocks, each block contiguous in memory
+//! (row-major inside the block, blocks laid out row-major). This is the
+//! storage layout the paper's algorithms assume — "the atomic elements
+//! that we manipulate are not matrix coefficients but rather square
+//! blocks of coefficients of size q × q" — and it makes every
+//! block-level operation a dense cache-friendly kernel call.
+//!
+//! The element type defaults to `f64`; [`BlockMatrix`] is the `f64`
+//! alias the rest of the workspace uses. `f32` matrices flow through the
+//! same executors via the [`Element`] abstraction.
 
-/// A dense matrix stored as square `q×q` blocks.
+use crate::kernel::elem::Element;
+
+/// A dense matrix stored as square `q×q` blocks of `T`.
 #[derive(Clone, Debug, PartialEq)]
-pub struct BlockMatrix {
+pub struct BlockMatrixOf<T = f64> {
     rows: u32,
     cols: u32,
     q: usize,
-    data: Vec<f64>,
+    data: Vec<T>,
 }
 
-impl BlockMatrix {
+/// The default `f64` block matrix (the type every schedule executor and
+/// downstream crate works with).
+pub type BlockMatrix = BlockMatrixOf<f64>;
+
+impl<T: Element> BlockMatrixOf<T> {
     /// An all-zero matrix of `rows × cols` blocks of side `q`.
     #[must_use]
-    pub fn zeros(rows: u32, cols: u32, q: usize) -> BlockMatrix {
+    pub fn zeros(rows: u32, cols: u32, q: usize) -> BlockMatrixOf<T> {
         assert!(rows > 0 && cols > 0, "matrix must have at least one block");
         assert!(q > 0, "block side must be positive");
         let len = rows as usize * cols as usize * q * q;
-        BlockMatrix { rows, cols, q, data: vec![0.0; len] }
+        BlockMatrixOf { rows, cols, q, data: vec![T::ZERO; len] }
     }
 
     /// Build from a function of *global element* coordinates
@@ -34,9 +44,9 @@ impl BlockMatrix {
         rows: u32,
         cols: u32,
         q: usize,
-        mut f: impl FnMut(usize, usize) -> f64,
-    ) -> BlockMatrix {
-        let mut m = BlockMatrix::zeros(rows, cols, q);
+        mut f: impl FnMut(usize, usize) -> T,
+    ) -> BlockMatrixOf<T> {
+        let mut m = BlockMatrixOf::zeros(rows, cols, q);
         for bi in 0..rows {
             for bj in 0..cols {
                 let base_i = bi as usize * q;
@@ -54,16 +64,19 @@ impl BlockMatrix {
 
     /// Filled with a deterministic pseudo-random pattern seeded by `seed`
     /// (splitmix64 over the element index — reproducible without pulling a
-    /// RNG into the library API).
+    /// RNG into the library API). The stream is generated in `f64` and
+    /// narrowed via [`Element::from_f64`], so every element type draws
+    /// from the same underlying pattern (and `f64` matrices are
+    /// bit-stable across releases).
     ///
     /// Values are identical to hashing `(i << 32 | j) · M` per element;
     /// the constant multiply is hoisted — `(i·2³² | j)·M = (i·2³²)·M +
     /// j·M (mod 2⁶⁴)` since `j < 2³²` — so each row pays one multiply
     /// and each element one add.
     #[must_use]
-    pub fn pseudo_random(rows: u32, cols: u32, q: usize, seed: u64) -> BlockMatrix {
+    pub fn pseudo_random(rows: u32, cols: u32, q: usize, seed: u64) -> BlockMatrixOf<T> {
         const M: u64 = 0x9E3779B97F4A7C15;
-        let mut m = BlockMatrix::zeros(rows, cols, q);
+        let mut m = BlockMatrixOf::zeros(rows, cols, q);
         for bi in 0..rows {
             for bj in 0..cols {
                 let base_i = bi as usize * q;
@@ -80,7 +93,8 @@ impl BlockMatrix {
                         x = x.wrapping_mul(0x94D049BB133111EB);
                         x ^= x >> 31;
                         // Map to [-1, 1) to keep products well-conditioned.
-                        blk[ii * q + jj] = (x >> 11) as f64 / (1u64 << 52) as f64 - 1.0;
+                        blk[ii * q + jj] =
+                            T::from_f64((x >> 11) as f64 / (1u64 << 52) as f64 - 1.0);
                         col_mul = col_mul.wrapping_add(M);
                     }
                 }
@@ -91,13 +105,13 @@ impl BlockMatrix {
 
     /// Wrap an existing block-major buffer (row-major `q×q` blocks, blocks
     /// laid out row-major) as a matrix of `rows × cols` blocks. The
-    /// inverse of [`BlockMatrix::into_vec`]; together they let streaming
+    /// inverse of [`BlockMatrixOf::into_vec`]; together they let streaming
     /// executors recycle one allocation across many panel shapes.
     ///
     /// # Panics
     /// Panics if `data.len() != rows · cols · q²` or any dimension is 0.
     #[must_use]
-    pub fn from_vec(rows: u32, cols: u32, q: usize, data: Vec<f64>) -> BlockMatrix {
+    pub fn from_vec(rows: u32, cols: u32, q: usize, data: Vec<T>) -> BlockMatrixOf<T> {
         assert!(rows > 0 && cols > 0, "matrix must have at least one block");
         assert!(q > 0, "block side must be positive");
         assert_eq!(
@@ -105,14 +119,14 @@ impl BlockMatrix {
             rows as usize * cols as usize * q * q,
             "buffer length must match {rows}x{cols} blocks of side {q}"
         );
-        BlockMatrix { rows, cols, q, data }
+        BlockMatrixOf { rows, cols, q, data }
     }
 
     /// Consume the matrix, returning its block-major storage (so the
     /// allocation can be resized and re-wrapped with
-    /// [`BlockMatrix::from_vec`]).
+    /// [`BlockMatrixOf::from_vec`]).
     #[must_use]
-    pub fn into_vec(self) -> Vec<f64> {
+    pub fn into_vec(self) -> Vec<T> {
         self.data
     }
 
@@ -152,28 +166,28 @@ impl BlockMatrix {
 
     /// The `q²` elements of block `(bi, bj)`, row-major.
     #[inline]
-    pub fn block(&self, bi: u32, bj: u32) -> &[f64] {
+    pub fn block(&self, bi: u32, bj: u32) -> &[T] {
         let o = self.offset(bi, bj);
         &self.data[o..o + self.q * self.q]
     }
 
     /// Mutable access to block `(bi, bj)`.
     #[inline]
-    pub fn block_mut(&mut self, bi: u32, bj: u32) -> &mut [f64] {
+    pub fn block_mut(&mut self, bi: u32, bj: u32) -> &mut [T] {
         let o = self.offset(bi, bj);
         let q2 = self.q * self.q;
         &mut self.data[o..o + q2]
     }
 
     /// Read one element by global coordinates.
-    pub fn get(&self, i: usize, j: usize) -> f64 {
+    pub fn get(&self, i: usize, j: usize) -> T {
         let (bi, ii) = ((i / self.q) as u32, i % self.q);
         let (bj, jj) = ((j / self.q) as u32, j % self.q);
         self.block(bi, bj)[ii * self.q + jj]
     }
 
     /// Write one element by global coordinates.
-    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
         let q = self.q;
         let (bi, ii) = ((i / q) as u32, i % q);
         let (bj, jj) = ((j / q) as u32, j % q);
@@ -181,22 +195,26 @@ impl BlockMatrix {
     }
 
     /// Raw storage (block-major), for executors that partition it.
-    pub fn data(&self) -> &[f64] {
+    pub fn data(&self) -> &[T] {
         &self.data
     }
 
     /// Raw mutable storage (block-major).
-    pub fn data_mut(&mut self) -> &mut [f64] {
+    pub fn data_mut(&mut self) -> &mut [T] {
         &mut self.data
     }
 
-    /// Maximum absolute element-wise difference against `other`.
+    /// Maximum absolute element-wise difference against `other`, in `f64`.
     ///
     /// # Panics
     /// Panics if shapes differ.
-    pub fn max_abs_diff(&self, other: &BlockMatrix) -> f64 {
+    pub fn max_abs_diff(&self, other: &BlockMatrixOf<T>) -> f64 {
         assert_eq!((self.rows, self.cols, self.q), (other.rows, other.cols, other.q));
-        self.data.iter().zip(&other.data).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(x, y)| (x.to_f64() - y.to_f64()).abs())
+            .fold(0.0, f64::max)
     }
 }
 
@@ -248,6 +266,17 @@ mod tests {
         let c = BlockMatrix::pseudo_random(2, 2, 8, 8);
         assert!(a.max_abs_diff(&c) > 0.0, "different seeds differ");
         assert!(a.data().iter().all(|x| (-1.0..1.0).contains(x)));
+    }
+
+    /// The f32 fill narrows the f64 stream element-by-element, so both
+    /// element types see the same underlying pattern.
+    #[test]
+    fn f32_pseudo_random_narrows_the_f64_stream() {
+        let a64 = BlockMatrix::pseudo_random(2, 3, 5, 42);
+        let a32 = BlockMatrixOf::<f32>::pseudo_random(2, 3, 5, 42);
+        for (x64, x32) in a64.data().iter().zip(a32.data()) {
+            assert_eq!(*x32, *x64 as f32);
+        }
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Reference block matrix product (the correctness oracle).
 
 use crate::kernel::block_fma;
-use crate::matrix::BlockMatrix;
+use crate::kernel::elem::Element;
+use crate::matrix::BlockMatrixOf;
 
 /// `C = A × B` by the canonical sequential triple loop over blocks, `k`
 /// ascending per `C` block.
@@ -9,15 +10,16 @@ use crate::matrix::BlockMatrix;
 /// Every schedule in `mmc-core` accumulates each `C` block's contributions
 /// in ascending `k` order and bottoms out in the same kernel, so their
 /// executed results are *bit-identical* to this oracle — the executor
-/// tests compare with `==`, not a tolerance.
+/// tests compare with `==`, not a tolerance. Generic over the element
+/// type: the f32 oracle plays the same role for the f32 executors.
 ///
 /// # Panics
 /// Panics if the shapes or block sides are incompatible.
-pub fn gemm_naive(a: &BlockMatrix, b: &BlockMatrix) -> BlockMatrix {
+pub fn gemm_naive<T: Element>(a: &BlockMatrixOf<T>, b: &BlockMatrixOf<T>) -> BlockMatrixOf<T> {
     assert_eq!(a.cols(), b.rows(), "inner block dimensions must agree");
     assert_eq!(a.q(), b.q(), "block sides must agree");
     let q = a.q();
-    let mut c = BlockMatrix::zeros(a.rows(), b.cols(), q);
+    let mut c = BlockMatrixOf::<T>::zeros(a.rows(), b.cols(), q);
     for i in 0..a.rows() {
         for j in 0..b.cols() {
             let cb = c.block_mut(i, j);
@@ -32,6 +34,7 @@ pub fn gemm_naive(a: &BlockMatrix, b: &BlockMatrix) -> BlockMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::matrix::BlockMatrix;
 
     #[test]
     fn identity_product() {
@@ -52,6 +55,14 @@ mod tests {
         assert_eq!(c.get(0, 1), 2.0);
         assert_eq!(c.get(1, 0), 7.0);
         assert_eq!(c.get(1, 1), 8.0);
+    }
+
+    #[test]
+    fn f32_oracle_matches_f64_narrowing() {
+        let a = BlockMatrixOf::<f32>::pseudo_random(2, 3, 4, 5);
+        let b = BlockMatrixOf::<f32>::pseudo_random(3, 2, 4, 6);
+        let c = gemm_naive(&a, &b);
+        assert_eq!((c.rows(), c.cols(), c.q()), (2, 2, 4));
     }
 
     #[test]

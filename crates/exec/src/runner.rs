@@ -11,12 +11,32 @@
 //!   map onto a real shared-memory machine (the paper's "future work:
 //!   implement all algorithms on state-of-the-art multicore machines").
 //!
+//! Inside each task, SIMD variants run a BLIS-style 5-loop macro-kernel:
+//!
+//! ```text
+//! jc over NC columns of the tile          (B panel chosen)
+//!   pc over KC of k                       (B panel packed once, L3/L2)
+//!     ic over MC rows of the tile         (A block packed, L2)
+//!       jr over NR columns                (B micro-panel, L1)
+//!         ir over MR rows                 (register micro-kernel)
+//! ```
+//!
+//! with `MC`/`KC`/`NC` supplied by [`crate::blocking`] — derived from the
+//! paper's footprint constraint per cache level, or pinned via
+//! `MMC_BLOCKING`. The packed `B` panel is built once per `(jc, pc)` and
+//! reused across the entire `ic` loop; `A` micro-panels are repacked per
+//! `MC` block, which is the macro-kernel's intended `⌈n/NC⌉`-fold `A`
+//! traffic (see `mmc_sim`'s five-loop traffic model).
+//!
 //! All executors accumulate each `C` block's contributions in ascending
-//! `k` order with the same kernel, so results are bit-identical across
-//! every path — tests compare with `==`.
+//! `k` order with one multiply-accumulate per step, so results are
+//! bit-identical across every path *and every blocking plan* of a given
+//! variant — tests compare with `==`.
 
+use crate::blocking::{self, BlockingPlan};
+use crate::kernel::elem::Element;
 use crate::kernel::{self, block_fma, KernelVariant};
-use crate::matrix::BlockMatrix;
+use crate::matrix::{BlockMatrix, BlockMatrixOf};
 use mmc_core::algorithms::{AlgoError, Algorithm};
 use mmc_core::{params, ProblemSpec};
 use mmc_sim::{Block, ChromeTraceBuilder, MachineConfig, MatrixId, SimError, SimSink};
@@ -114,7 +134,9 @@ pub struct Tiling {
     pub tile_m: u32,
     /// `C` tile columns.
     pub tile_n: u32,
-    /// `k`-panel depth processed per tile pass.
+    /// `k`-panel depth processed per tile pass (the blockwise scalar
+    /// path's panel depth; the packed path's `KC` comes from the
+    /// [`BlockingPlan`] instead).
     pub tile_k: u32,
 }
 
@@ -147,21 +169,37 @@ impl Tiling {
 
 /// Raw pointer wrapper so disjoint `C` tiles can be filled from rayon
 /// tasks. Soundness argument at the single unsafe use site below.
-#[derive(Clone, Copy)]
-struct SendPtr(*mut f64);
+struct SendPtr<T>(*mut T);
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
 // SAFETY: the pointer is only dereferenced for block indices owned by the
 // current task; tasks own disjoint index sets (see `gemm_parallel`).
-unsafe impl Send for SendPtr {}
-unsafe impl Sync for SendPtr {}
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Sync> Sync for SendPtr<T> {}
 
-impl SendPtr {
+impl<T> SendPtr<T> {
     /// Accessor (rather than a public field) so closures capture the
     /// `Sync` wrapper itself — Rust 2021's precise capture would otherwise
-    /// grab the raw `*mut f64` field, which is not `Sync`.
+    /// grab the raw `*mut T` field, which is not `Sync`.
     #[inline]
-    fn get(self) -> *mut f64 {
+    fn get(self) -> *mut T {
         self.0
     }
+}
+
+fn check_gemm_shapes<T: Element>(a: &BlockMatrixOf<T>, b: &BlockMatrixOf<T>, tiling: Tiling) {
+    assert_eq!(a.cols(), b.rows(), "inner block dimensions must agree");
+    assert_eq!(a.q(), b.q(), "block sides must agree");
+    assert!(
+        tiling.tile_m > 0 && tiling.tile_n > 0 && tiling.tile_k > 0,
+        "tiling must be positive, got {tiling:?}"
+    );
 }
 
 /// `C = A × B` with rayon tasks over `tiling`-sized `C` tiles.
@@ -169,39 +207,54 @@ impl SendPtr {
 /// Each task computes one `C` tile completely (all `k` panels in ascending
 /// order), mirroring how the paper's algorithms hand whole `C` tiles /
 /// sub-blocks to cores so that each output block is written by exactly one
-/// core.
+/// core. Within a task, SIMD variants run the 5-loop macro-kernel under
+/// [`blocking::active_plan`].
 ///
 /// # Panics
 /// Panics if the shapes or block sides are incompatible or the tiling has
 /// a zero dimension.
-pub fn gemm_parallel(a: &BlockMatrix, b: &BlockMatrix, tiling: Tiling) -> BlockMatrix {
+pub fn gemm_parallel<T: Element>(
+    a: &BlockMatrixOf<T>,
+    b: &BlockMatrixOf<T>,
+    tiling: Tiling,
+) -> BlockMatrixOf<T> {
     gemm_parallel_with_kernel(a, b, tiling, kernel::variant())
 }
 
 /// [`gemm_parallel`] through an explicitly chosen kernel variant (for
 /// benches and A/B perf records; normal callers use the dispatched
-/// variant). SIMD variants drive the packed-panel path; the scalar
+/// variant). SIMD variants drive the packed 5-loop path; the scalar
 /// fallback streams unpacked blocks exactly like the original executor.
-pub fn gemm_parallel_with_kernel(
-    a: &BlockMatrix,
-    b: &BlockMatrix,
+pub fn gemm_parallel_with_kernel<T: Element>(
+    a: &BlockMatrixOf<T>,
+    b: &BlockMatrixOf<T>,
     tiling: Tiling,
     variant: KernelVariant,
-) -> BlockMatrix {
-    assert_eq!(a.cols(), b.rows(), "inner block dimensions must agree");
-    assert_eq!(a.q(), b.q(), "block sides must agree");
-    assert!(
-        tiling.tile_m > 0 && tiling.tile_n > 0 && tiling.tile_k > 0,
-        "tiling must be positive, got {tiling:?}"
-    );
+) -> BlockMatrixOf<T> {
+    gemm_parallel_with_plan(a, b, tiling, variant, blocking::active_plan::<T>())
+}
+
+/// [`gemm_parallel_with_kernel`] under an explicit [`BlockingPlan`] —
+/// the full-control entry point. Results are bit-identical across plans
+/// for a given variant (the plan moves panel boundaries, never the
+/// per-element accumulation order), which the plan-invariance tests pin
+/// down with `==`.
+pub fn gemm_parallel_with_plan<T: Element>(
+    a: &BlockMatrixOf<T>,
+    b: &BlockMatrixOf<T>,
+    tiling: Tiling,
+    variant: KernelVariant,
+    plan: BlockingPlan,
+) -> BlockMatrixOf<T> {
+    check_gemm_shapes(a, b, tiling);
     let (m, n, z) = (a.rows(), b.cols(), a.cols());
     let q = a.q();
-    let mut c = BlockMatrix::zeros(m, n, q);
+    let mut c = BlockMatrixOf::<T>::zeros(m, n, q);
 
     let tiles = enumerate_tiles(m, n, tiling);
     let cptr = SendPtr(c.data_mut().as_mut_ptr());
     tiles.par_iter().for_each(|&tile| {
-        run_tile(variant, a, b, cptr, z, tiling, tile);
+        run_tile(variant, a, b, cptr, z, tiling, plan, tile);
     });
     c
 }
@@ -221,25 +274,21 @@ pub fn gemm_parallel_with_kernel(
 /// # Panics
 /// Panics if shapes or block sides are incompatible (`c` must be
 /// `a.rows × b.cols`) or the tiling has a zero dimension.
-pub fn gemm_accumulate(
-    c: &mut BlockMatrix,
-    a: &BlockMatrix,
-    b: &BlockMatrix,
+pub fn gemm_accumulate<T: Element>(
+    c: &mut BlockMatrixOf<T>,
+    a: &BlockMatrixOf<T>,
+    b: &BlockMatrixOf<T>,
     tiling: Tiling,
     variant: KernelVariant,
 ) {
-    assert_eq!(a.cols(), b.rows(), "inner block dimensions must agree");
-    assert_eq!(a.q(), b.q(), "block sides must agree");
+    check_gemm_shapes(a, b, tiling);
     assert_eq!((c.rows(), c.cols(), c.q()), (a.rows(), b.cols(), a.q()));
-    assert!(
-        tiling.tile_m > 0 && tiling.tile_n > 0 && tiling.tile_k > 0,
-        "tiling must be positive, got {tiling:?}"
-    );
     let (m, n, z) = (a.rows(), b.cols(), a.cols());
+    let plan = blocking::active_plan::<T>();
     let tiles = enumerate_tiles(m, n, tiling);
     let cptr = SendPtr(c.data_mut().as_mut_ptr());
     tiles.par_iter().for_each(|&tile| {
-        run_tile(variant, a, b, cptr, z, tiling, tile);
+        run_tile(variant, a, b, cptr, z, tiling, plan, tile);
     });
 }
 
@@ -274,20 +323,16 @@ pub struct TaskSpan {
 /// through `par_iter().map(...).collect()`, so tracing adds no shared
 /// lock to the timed region and does not perturb the wall-clock numbers
 /// it reports.
-pub fn gemm_parallel_traced(
-    a: &BlockMatrix,
-    b: &BlockMatrix,
+pub fn gemm_parallel_traced<T: Element>(
+    a: &BlockMatrixOf<T>,
+    b: &BlockMatrixOf<T>,
     tiling: Tiling,
-) -> (BlockMatrix, Vec<TaskSpan>) {
-    assert_eq!(a.cols(), b.rows(), "inner block dimensions must agree");
-    assert_eq!(a.q(), b.q(), "block sides must agree");
-    assert!(
-        tiling.tile_m > 0 && tiling.tile_n > 0 && tiling.tile_k > 0,
-        "tiling must be positive, got {tiling:?}"
-    );
+) -> (BlockMatrixOf<T>, Vec<TaskSpan>) {
+    check_gemm_shapes(a, b, tiling);
     let variant = kernel::variant();
+    let plan = blocking::active_plan::<T>();
     let (m, n, z) = (a.rows(), b.cols(), a.cols());
-    let mut c = BlockMatrix::zeros(m, n, a.q());
+    let mut c = BlockMatrixOf::<T>::zeros(m, n, a.q());
 
     let tiles = enumerate_tiles(m, n, tiling);
     let cptr = SendPtr(c.data_mut().as_mut_ptr());
@@ -296,7 +341,7 @@ pub fn gemm_parallel_traced(
         .par_iter()
         .map(|&tile| {
             let started = Instant::now();
-            run_tile(variant, a, b, cptr, z, tiling, tile);
+            run_tile(variant, a, b, cptr, z, tiling, plan, tile);
             let dur = started.elapsed();
             let (i0, th, j0, tw) = tile;
             TaskSpan {
@@ -360,24 +405,24 @@ fn enumerate_tiles(m: u32, n: u32, tiling: Tiling) -> Vec<(u32, u32, u32, u32)> 
 
 /// Compute one `C` tile completely (all `k` panels in ascending order).
 ///
-/// SIMD kernel variants take the packed-panel path: the task's `A`
-/// row-panel and `B` column-panel are copied into the thread-local
-/// packing arena once per `k` panel and the register kernels run over
-/// contiguous micro-panels. The scalar fallback streams unpacked blocks
-/// through the original per-block kernel. Both orders accumulate each
-/// `C` element ascending in `k`, so results are bit-identical between
-/// the two paths of a given variant's rounding mode.
-fn run_tile(
+/// SIMD kernel variants take the packed 5-loop path under `plan`; the
+/// scalar fallback streams unpacked blocks through the original per-block
+/// kernel at `tiling.tile_k` depth. Both orders accumulate each `C`
+/// element ascending in `k`, so results are bit-identical between the two
+/// paths of a given variant's rounding mode.
+#[allow(clippy::too_many_arguments)]
+fn run_tile<T: Element>(
     variant: KernelVariant,
-    a: &BlockMatrix,
-    b: &BlockMatrix,
-    cptr: SendPtr,
+    a: &BlockMatrixOf<T>,
+    b: &BlockMatrixOf<T>,
+    cptr: SendPtr<T>,
     z: u32,
     tiling: Tiling,
+    plan: BlockingPlan,
     tile: (u32, u32, u32, u32),
 ) {
     if variant.is_simd() && variant.is_available() {
-        run_tile_packed(variant, a, b, cptr, z, tiling, tile);
+        run_tile_packed(variant, a, b, cptr, z, plan, tile);
     } else {
         run_tile_blockwise(variant, a, b, cptr, z, tiling, tile);
     }
@@ -397,16 +442,22 @@ fn run_tile(
 /// the slice is never aliased. The offset is in bounds for `i < m`,
 /// `j < n`.
 #[inline]
-unsafe fn c_block_mut<'c>(cptr: SendPtr, ncols: usize, q2: usize, i: u32, j: u32) -> &'c mut [f64] {
+unsafe fn c_block_mut<'c, T>(
+    cptr: SendPtr<T>,
+    ncols: usize,
+    q2: usize,
+    i: u32,
+    j: u32,
+) -> &'c mut [T] {
     std::slice::from_raw_parts_mut(cptr.get().add((i as usize * ncols + j as usize) * q2), q2)
 }
 
 /// The original unpacked tile loop (scalar fallback path).
-fn run_tile_blockwise(
+fn run_tile_blockwise<T: Element>(
     variant: KernelVariant,
-    a: &BlockMatrix,
-    b: &BlockMatrix,
-    cptr: SendPtr,
+    a: &BlockMatrixOf<T>,
+    b: &BlockMatrixOf<T>,
+    cptr: SendPtr<T>,
     z: u32,
     tiling: Tiling,
     (i0, th, j0, tw): (u32, u32, u32, u32),
@@ -430,40 +481,65 @@ fn run_tile_blockwise(
     }
 }
 
-/// Packed-panel tile loop: pack once per `k` panel, then run the
-/// register kernels over every `C` block of the tile.
-fn run_tile_packed(
+/// The 5-loop macro-kernel over one `C` tile.
+///
+/// Loop order is `jc` (NC) → `pc` (KC) → `ic` (MC) → register tiles:
+/// `B[k panel, jc columns]` is packed **once** per `(jc, pc)` and reused
+/// across the whole `ic` loop; `A[ic rows, k panel]` is packed per `MC`
+/// block. The plan's element counts convert to whole-block loop steps
+/// (at least one block each, clamped to the tile), so a plan finer than
+/// one block degenerates to the block-at-a-time schedule.
+///
+/// For a fixed `C` block the `pc` loop is the only loop that revisits it,
+/// in ascending `k` — panel boundaries never reorder or re-associate the
+/// per-element accumulation, which keeps results bit-identical across
+/// plans and to the blockwise path of the same variant.
+fn run_tile_packed<T: Element>(
     variant: KernelVariant,
-    a: &BlockMatrix,
-    b: &BlockMatrix,
-    cptr: SendPtr,
+    a: &BlockMatrixOf<T>,
+    b: &BlockMatrixOf<T>,
+    cptr: SendPtr<T>,
     z: u32,
-    tiling: Tiling,
+    plan: BlockingPlan,
     (i0, th, j0, tw): (u32, u32, u32, u32),
 ) {
     let q = a.q();
     let q2 = q * q;
     let ncols = b.cols() as usize;
-    kernel::pack::with_arena(|arena| {
-        let mut k0 = 0;
-        while k0 < z {
-            let kb = tiling.tile_k.min(z - k0);
-            let kc = kb as usize * q;
-            kernel::pack::pack_a_panel(&mut arena.a, a, i0, th, k0, kb);
-            kernel::pack::pack_b_panel(&mut arena.b, b, j0, tw, k0, kb);
-            let a_stride = kernel::pack::a_panel_stride(q, kc);
-            let b_stride = kernel::pack::b_panel_stride(q, kc);
-            for bi in 0..th {
-                let apack = &arena.a[bi as usize * a_stride..][..a_stride];
-                for bj in 0..tw {
-                    let bpack = &arena.b[bj as usize * b_stride..][..b_stride];
-                    // SAFETY: see `c_block_mut` — (i0+bi, j0+bj) is owned
-                    // by this tile.
-                    let cblk = unsafe { c_block_mut(cptr, ncols, q2, i0 + bi, j0 + bj) };
-                    kernel::packed::block_mul_packed(variant, cblk, q, kc, apack, bpack);
+    let nc_b = ((plan.nc / q).max(1) as u32).min(tw);
+    let kc_b = ((plan.kc / q).max(1) as u32).min(z);
+    let mc_b = ((plan.mc / q).max(1) as u32).min(th);
+    kernel::pack::with_arena::<T, _>(|arena| {
+        let mut jc = 0;
+        while jc < tw {
+            let jw = nc_b.min(tw - jc);
+            let mut k0 = 0;
+            while k0 < z {
+                let kb = kc_b.min(z - k0);
+                let kc = kb as usize * q;
+                kernel::pack::pack_b_panel(&mut arena.b, b, j0 + jc, jw, k0, kb);
+                let a_stride = kernel::pack::a_panel_stride::<T>(q, kc);
+                let b_stride = kernel::pack::b_panel_stride::<T>(q, kc);
+                let mut ic = 0;
+                while ic < th {
+                    let ih = mc_b.min(th - ic);
+                    kernel::pack::pack_a_panel(&mut arena.a, a, i0 + ic, ih, k0, kb);
+                    for bj in 0..jw {
+                        let bpack = &arena.b[bj as usize * b_stride..][..b_stride];
+                        for bi in 0..ih {
+                            let apack = &arena.a[bi as usize * a_stride..][..a_stride];
+                            // SAFETY: see `c_block_mut` — (i0+ic+bi,
+                            // j0+jc+bj) is owned by this tile.
+                            let cblk =
+                                unsafe { c_block_mut(cptr, ncols, q2, i0 + ic + bi, j0 + jc + bj) };
+                            kernel::packed::block_mul_packed(variant, cblk, q, kc, apack, bpack);
+                        }
+                    }
+                    ic += ih;
                 }
+                k0 += kb;
             }
-            k0 += kb;
+            jc += jw;
         }
     });
 }
@@ -480,7 +556,11 @@ fn single_thread_pool() -> &'static rayon::ThreadPool {
 
 /// Sequential blocked product with the same traversal as
 /// [`gemm_parallel`] (for single-thread baselines in benches).
-pub fn gemm_blocked(a: &BlockMatrix, b: &BlockMatrix, tiling: Tiling) -> BlockMatrix {
+pub fn gemm_blocked<T: Element>(
+    a: &BlockMatrixOf<T>,
+    b: &BlockMatrixOf<T>,
+    tiling: Tiling,
+) -> BlockMatrixOf<T> {
     single_thread_pool().install(|| gemm_parallel(a, b, tiling))
 }
 
@@ -488,11 +568,11 @@ pub fn gemm_blocked(a: &BlockMatrix, b: &BlockMatrix, tiling: Tiling) -> BlockMa
 /// the single-thread baseline, with every task span attributed to the
 /// pool's one worker (or the caller lane if a span is ever recorded off
 /// the pool).
-pub fn gemm_blocked_traced(
-    a: &BlockMatrix,
-    b: &BlockMatrix,
+pub fn gemm_blocked_traced<T: Element>(
+    a: &BlockMatrixOf<T>,
+    b: &BlockMatrixOf<T>,
     tiling: Tiling,
-) -> (BlockMatrix, Vec<TaskSpan>) {
+) -> (BlockMatrixOf<T>, Vec<TaskSpan>) {
     single_thread_pool().install(|| gemm_parallel_traced(a, b, tiling))
 }
 
@@ -575,11 +655,11 @@ mod tests {
 
     /// Ragged shapes for every variant: a `k` extent the tile depth does
     /// not divide (`tile_k = 4`, `z = 10`) and block sides that are not
-    /// multiples of the register tile (`MR = 8`, `NR = 4`), so every edge
-    /// micro-kernel and the clipped final `k` panel are exercised. SIMD
-    /// variants are fused end to end and must match the fused oracle
-    /// bitwise; the scalar block kernel is unfused, so it gets a
-    /// tolerance.
+    /// multiples of the register tile (`MR = 6`, `NR = 8` for f64), so
+    /// every edge micro-kernel and the clipped final `k` panel are
+    /// exercised. SIMD variants are fused end to end and must match the
+    /// fused oracle bitwise; the scalar block kernel is unfused, so it
+    /// gets a tolerance.
     #[test]
     fn ragged_shapes_match_oracle_for_every_variant() {
         for q in [5usize, 9, 13] {
@@ -596,6 +676,36 @@ mod tests {
                         "variant {v} q={q} diverges: {}",
                         c.max_abs_diff(&oracle)
                     );
+                }
+            }
+        }
+    }
+
+    /// The blocking plan moves macro-loop boundaries, never the
+    /// per-element accumulation order: any two plans — including
+    /// degenerate one-block steps and steps larger than the whole tile —
+    /// produce bit-identical products for every variant.
+    #[test]
+    fn five_loop_results_are_invariant_across_blocking_plans() {
+        for q in [4usize, 7] {
+            let (a, b) = operands(9, 8, 11, q);
+            let tiling = Tiling { tile_m: 5, tile_n: 6, tile_k: 3 };
+            for v in kernel::variants_available() {
+                let baseline = gemm_parallel_with_plan(
+                    &a,
+                    &b,
+                    tiling,
+                    v,
+                    BlockingPlan { mc: 1, kc: 1, nc: 1 },
+                );
+                for plan in [
+                    BlockingPlan { mc: 2 * q, kc: 3 * q, nc: 2 * q },
+                    BlockingPlan { mc: q, kc: 5 * q, nc: 1000 * q },
+                    BlockingPlan { mc: 1000, kc: 1000, nc: 1000 },
+                    blocking::active_plan::<f64>(),
+                ] {
+                    let c = gemm_parallel_with_plan(&a, &b, tiling, v, plan);
+                    assert_eq!(c, baseline, "variant {v} q={q} plan {plan:?}");
                 }
             }
         }
@@ -659,6 +769,35 @@ mod tests {
                 }
                 assert_eq!(c, oracle, "variant {v} q={q}");
             }
+        }
+    }
+
+    /// The generic executors compute correct f32 products against an f64
+    /// oracle of the same inputs, within single-precision tolerance.
+    #[test]
+    fn f32_parallel_product_tracks_the_f64_oracle() {
+        let (a64, b64) = operands(6, 5, 7, 9);
+        let oracle = gemm_naive(&a64, &b64);
+        let a32 = BlockMatrixOf::<f32>::pseudo_random(6, 7, 9, 11);
+        let b32 = BlockMatrixOf::<f32>::pseudo_random(7, 5, 9, 22);
+        for v in kernel::variants_available() {
+            let c = gemm_parallel_with_kernel(
+                &a32,
+                &b32,
+                Tiling { tile_m: 3, tile_n: 2, tile_k: 2 },
+                v,
+            );
+            // pseudo_random narrows the same f64 stream, so the f32
+            // product approximates the f64 oracle to f32 accuracy. The
+            // stream is in [0,1): accumulated dot products of length 63
+            // stay O(16), so 1e-3 absolute is comfortably loose.
+            let mut worst = 0.0f64;
+            for i in 0..c.rows() as usize * c.q() {
+                for j in 0..c.cols() as usize * c.q() {
+                    worst = worst.max((c.get(i, j) as f64 - oracle.get(i, j)).abs());
+                }
+            }
+            assert!(worst < 1e-3, "variant {v} worst f32-vs-f64 gap {worst}");
         }
     }
 

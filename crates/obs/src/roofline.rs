@@ -18,6 +18,11 @@ pub struct RooflineRecord {
     pub name: String,
     /// Kernel variant that produced the point.
     pub kernel: String,
+    /// 5-loop blocking plan the run executed under
+    /// (`mc=.. kc=.. nc=..`, elements), empty for records that predate
+    /// the macro-kernel or paths that bypass it.
+    #[serde(default)]
+    pub blocking: String,
     /// Problem order (matrix blocks per side).
     pub order: usize,
     /// Useful floating-point operations performed.
@@ -49,6 +54,7 @@ impl RooflineRecord {
     pub fn from_measurements(
         name: &str,
         kernel: &str,
+        blocking: &str,
         order: usize,
         flops: u64,
         seconds: f64,
@@ -65,6 +71,7 @@ impl RooflineRecord {
         RooflineRecord {
             name: name.to_string(),
             kernel: kernel.to_string(),
+            blocking: blocking.to_string(),
             order,
             flops,
             seconds,
@@ -143,11 +150,14 @@ pub fn cpu_ghz_estimate() -> f64 {
 
 /// FLOPs per cycle per core for a kernel variant name, used when sizing
 /// the flat roof: 16 for 4-wide FMA f64 (`avx2_fma`), 4 for 2-wide NEON
-/// FMA, 2 for scalar mul+add.
+/// FMA, 2 for scalar mul+add; f32 variants (`*_f32`) double the lane
+/// count and therefore the roof.
 pub fn flops_per_cycle_for_kernel(kernel: &str) -> f64 {
     match kernel {
         "avx2_fma" => 16.0,
+        "avx2_fma_f32" => 32.0,
         "neon" => 4.0,
+        "neon_f32" => 8.0,
         _ => 2.0,
     }
 }
@@ -169,6 +179,7 @@ mod tests {
         let r = RooflineRecord::from_measurements(
             "gemm_q64/scalar",
             "scalar",
+            "mc=6 kc=8 nc=8",
             6,
             2_000_000_000,
             1.0,
@@ -188,6 +199,7 @@ mod tests {
         let r = RooflineRecord::from_measurements(
             "x",
             "scalar",
+            "",
             4,
             100,
             0.5,
@@ -214,8 +226,29 @@ mod tests {
     }
 
     #[test]
+    fn f32_variants_double_the_roof() {
+        assert_eq!(flops_per_cycle_for_kernel("avx2_fma_f32"), 32.0);
+        assert_eq!(flops_per_cycle_for_kernel("neon_f32"), 8.0);
+        assert_eq!(flops_per_cycle_for_kernel("scalar"), 2.0);
+        assert_eq!(flops_per_cycle_for_kernel("scalar_f32"), 2.0);
+    }
+
+    #[test]
+    fn blocking_field_defaults_for_legacy_records() {
+        // Records written before the 5-loop macro-kernel have no
+        // `blocking` key; deserialization must not reject them.
+        let legacy = r#"{"name":"old","kernel":"scalar","order":2,"flops":1,
+            "seconds":1.0,"gflops":0.0,"bytes_moved":1,"bytes_source":"model",
+            "arithmetic_intensity":1.0,"bandwidth_gbs":1.0,"peak_gflops":1.0,
+            "percent_of_peak":0.0}"#;
+        let r: RooflineRecord = serde_json::from_str(legacy).unwrap();
+        assert_eq!(r.blocking, "");
+    }
+
+    #[test]
     fn zero_denominators_do_not_panic() {
-        let r = RooflineRecord::from_measurements("z", "scalar", 1, 0, 0.0, 0, "model", 0.0, 0.0);
+        let r =
+            RooflineRecord::from_measurements("z", "scalar", "", 1, 0, 0.0, 0, "model", 0.0, 0.0);
         assert_eq!(r.gflops, 0.0);
         assert_eq!(r.arithmetic_intensity, 0.0);
         assert_eq!(r.percent_of_peak, 0.0);

@@ -302,6 +302,12 @@ pub fn ooc_multiply(
                 let b_panel = BlockMatrix::from_vec(kd, tw, q, pb.data);
                 let tiling = inner_tiling(th, tw, kd, opts.machine.cores);
                 let t0 = Instant::now();
+                // Inside each call the executor runs its 5-loop
+                // macro-kernel; accumulating panel-by-panel here stays
+                // bit-identical to a one-shot in-RAM product because
+                // every path applies one multiply-accumulate per C
+                // element per ascending k step, and neither the panel
+                // split nor the blocking plan moves that order.
                 gemm_accumulate(&mut c_tile, &a_panel, &b_panel, tiling, opts.variant);
                 let dur = t0.elapsed();
                 compute_seconds += dur.as_secs_f64();

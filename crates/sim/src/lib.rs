@@ -43,6 +43,7 @@ pub mod assoc;
 pub mod block;
 pub(crate) mod cache;
 pub mod error;
+pub mod fiveloop;
 pub mod hierarchy;
 pub mod ideal;
 pub mod level3;
@@ -59,6 +60,7 @@ pub use analysis::{ProfilingSink, StackDistanceProfile};
 pub use assoc::SetAssocCache;
 pub use block::{Block, BlockSpace, MatrixId};
 pub use error::SimError;
+pub use fiveloop::{five_loop_traffic, FiveLoopTraffic};
 pub use hierarchy::{Policy, SimConfig, Simulator};
 pub use ideal::{IdealCache, LoadOutcome};
 pub use level3::{FileLevel, TData3};

@@ -51,7 +51,8 @@ fn usage() -> ! {
          algorithms: shared_opt distributed_opt tradeoff outer_product shared_equal distributed_equal cache_oblivious;\n\
          tilings (exec): shared_opt distributed_opt tradeoff equal; (lu): row_stripes shared_opt tradeoff;\n\
          granularities (trace): auto events steps; kernels (ooc): auto scalar avx2 neon;\n\
-         env: MMC_KERNEL=scalar|avx2|neon|auto forces the exec micro-kernel variant"
+         env: MMC_KERNEL=scalar|avx2|neon|auto forces the exec micro-kernel variant;\n\
+         env: MMC_BLOCKING=mc,kc,nc (elements) pins the 5-loop macro-kernel blocking (default: derived from host caches)"
     );
     exit(2);
 }
@@ -277,6 +278,10 @@ struct ExecReport {
     tiling: String,
     /// Dispatched micro-kernel variant (`scalar`, `avx2_fma`, `neon`).
     kernel: String,
+    /// Active 5-loop blocking plan (`mc=.. kc=.. nc=..`, elements) —
+    /// analytic from the host caches unless pinned via `MMC_BLOCKING`.
+    #[serde(default)]
+    blocking: String,
     tasks: usize,
     threads: usize,
     seconds: f64,
@@ -323,6 +328,7 @@ fn cmd_exec(flags: HashMap<String, String>) {
     let dt_naive = t0.elapsed().as_secs_f64();
     let matches = c == oracle;
     let kernel = multicore_matmul::exec::kernel::variant().name();
+    let blocking = multicore_matmul::exec::blocking::active_plan::<f64>();
     if flags.contains_key("json") {
         let report = ExecReport {
             schema_version: SCHEMA_VERSION,
@@ -330,6 +336,7 @@ fn cmd_exec(flags: HashMap<String, String>) {
             q,
             tiling: tiling_name,
             kernel: kernel.to_string(),
+            blocking: blocking.to_string(),
             tasks: spans.len(),
             threads,
             seconds: dt,
@@ -348,7 +355,7 @@ fn cmd_exec(flags: HashMap<String, String>) {
             tiling
         );
         println!(
-            "  {dt:.3}s  ->  {:.2} GFLOP/s ({} tile tasks over {threads} threads, {kernel} kernel)",
+            "  {dt:.3}s  ->  {:.2} GFLOP/s ({} tile tasks over {threads} threads, {kernel} kernel, {blocking})",
             flops / dt / 1e9,
             spans.len()
         );
@@ -536,6 +543,20 @@ fn cmd_counters(flags: HashMap<String, String>) {
     let block_bytes = (q * q * 8) as u64;
     let predicted_bytes = stats.ms() * block_bytes;
 
+    // 5-loop macro-kernel model: the analytic blocking the executor will
+    // actually run, converted to whole-block loop steps exactly as the
+    // packed path does, fed to the closed-form traffic count (modeled at
+    // whole-problem granularity, i.e. one C tile).
+    let plan = multicore_matmul::exec::blocking::active_plan::<f64>();
+    let fiveloop = five_loop_traffic(
+        order as u64,
+        order as u64,
+        order as u64,
+        (plan.mc / q).max(1) as u64,
+        (plan.kc / q).max(1) as u64,
+        (plan.nc / q).max(1) as u64,
+    );
+
     // Machine side: the same schedule executed for real, wrapped in perf
     // counters, with registry deltas isolating this run's contribution.
     let ma = BlockMatrix::pseudo_random(order, order, q, seed);
@@ -573,6 +594,9 @@ fn cmd_counters(flags: HashMap<String, String>) {
             ("md_simulated_blocks", Value::UInt(stats.md())),
             ("t_data_simulated", Value::Float(stats.t_data(machine.sigma_s, machine.sigma_d))),
             ("shared_traffic_bytes", Value::UInt(predicted_bytes)),
+            ("fiveloop_ms_blocks", Value::UInt(fiveloop.ms)),
+            ("fiveloop_md_blocks", Value::UInt(fiveloop.md)),
+            ("blocking", Value::Str(plan.to_string())),
         ]);
         let measured = jobj(vec![
             ("wall_seconds", Value::Float(seconds)),
@@ -655,6 +679,11 @@ fn cmd_counters(flags: HashMap<String, String>) {
             mib(predicted_bytes)
         ),
     }
+    println!(
+        "  5-loop:   M_S = {} / M_D = {} blocks under {plan} \
+         (macro-kernel model, whole-problem tile)",
+        fiveloop.ms, fiveloop.md
+    );
     println!(
         "  machine:  {seconds:.3}s wall, {gflops:.2} GFLOP/s, {flops} kernel FLOPs, \
          {:.1} MiB packed",

@@ -61,16 +61,18 @@ pub mod prelude {
         bounds, formulas, params, CoreGrid, Prediction, ProblemSpec, TradeoffParams,
     };
     pub use mmc_exec::{
-        gemm_naive, gemm_parallel, gemm_parallel_traced, gemm_parallel_with_kernel, run_schedule,
-        task_spans_to_chrome, BlockMatrix, ExecSink, KernelVariant, TaskSpan, Tiling,
+        gemm_naive, gemm_parallel, gemm_parallel_traced, gemm_parallel_with_kernel,
+        gemm_parallel_with_plan, run_schedule, task_spans_to_chrome, BlockMatrix, BlockMatrixOf,
+        BlockingPlan, ExecSink, KernelVariant, TaskSpan, Tiling,
     };
     pub use mmc_obs::{
         CounterReading, PerfCounters, Registry, RegistrySnapshot, RooflineRecord, SCHEMA_VERSION,
     };
     pub use mmc_ooc::{ooc_multiply, ooc_verify, write_pseudo_random, OocOpts, OocReport};
     pub use mmc_sim::{
-        Block, BlockSpace, ChromeGranularity, ChromeTraceBuilder, CountingSink, EventKind,
-        FileLevel, FlightRecorder, MachineConfig, MatrixId, MetricsSnapshot, Policy, SimConfig,
-        SimError, SimSink, SimStats, Simulator, TData3, TimingModel, TraceSink,
+        five_loop_traffic, Block, BlockSpace, ChromeGranularity, ChromeTraceBuilder, CountingSink,
+        EventKind, FileLevel, FiveLoopTraffic, FlightRecorder, MachineConfig, MatrixId,
+        MetricsSnapshot, Policy, SimConfig, SimError, SimSink, SimStats, Simulator, TData3,
+        TimingModel, TraceSink,
     };
 }
