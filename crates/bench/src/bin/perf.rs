@@ -29,10 +29,10 @@ use mmc_bench::{run_figure_sharded, HarnessOpts, Setting};
 use mmc_core::algorithms::all_algorithms;
 use mmc_core::ProblemSpec;
 use mmc_exec::{
-    blocking, gemm_blocked, gemm_parallel, gemm_parallel_with_kernel, kernel, BlockMatrix,
-    BlockMatrixOf, Tiling,
+    blocking, exec_drift, gemm_blocked, gemm_parallel, gemm_parallel_with_kernel, kernel,
+    run_traced, BlockMatrix, BlockMatrixOf, ExecModel, Tiling,
 };
-use mmc_obs::{PerfCounters, RooflineRecord};
+use mmc_obs::{span, PerfCounters, RooflineRecord};
 use mmc_sim::MachineConfig;
 use std::path::PathBuf;
 use std::process::exit;
@@ -151,6 +151,7 @@ fn main() {
     let kb = BlockMatrix::pseudo_random(korder, korder, kq, 4);
     let kflops = 2.0 * (korder as f64 * kq as f64).powi(3);
     let mut roofline = Vec::new();
+    let mut drift_reports = Vec::new();
     let bandwidth_gbs = mmc_obs::stream_triad_bandwidth_gbs();
     if let Some(tiling) = Tiling::tradeoff(&machine) {
         // The 5-loop plans the SIMD variants run under (scalar bypasses
@@ -223,6 +224,34 @@ fn main() {
                 },
             ));
         }
+        // Span-recorder overhead A/B: the dispatched variant again with
+        // recording disabled. `gemm_q64/<k>` vs `gemm_q64_nospans/<k>`
+        // in the committed file *is* the always-on-tracing overhead
+        // claim, machine-readable.
+        let v = kernel::variant();
+        let spans_were_on = span::enabled();
+        span::set_enabled(false);
+        let secs = best_seconds(5, || {
+            std::hint::black_box(gemm_parallel_with_kernel(&ka, &kb, tiling, v));
+        });
+        span::set_enabled(spans_were_on);
+        exec_records.push(PerfRecord {
+            suite: "exec".into(),
+            name: format!("gemm_q64_nospans/{}", v.name()),
+            order: korder,
+            seconds: secs,
+            work: kflops,
+            rate_unit: "flop".into(),
+            kernel: v.name().into(),
+        });
+        // Drift leg: one whole-problem-tile traced run so the five-loop
+        // closed forms apply exactly, held to account per phase.
+        if span::enabled() {
+            let whole = Tiling { tile_m: korder, tile_n: korder, tile_k: 1 };
+            let (_c, trun) = run_traced(&ka, &kb, whole, v, blocking::active_plan::<f64>());
+            let model = ExecModel::for_run(&ka, &kb, whole, v);
+            drift_reports.push(exec_drift(&trun, &model, mmc_obs::drift::DEFAULT_BAND));
+        }
     }
     // Out-of-core suite: the same product streamed from tiled files on
     // disk through the double-buffered prefetch pipeline, with a RAM
@@ -238,11 +267,14 @@ fn main() {
         write_pseudo_random(&b_path, order, order, q, 2).expect("gen B");
         let operand_blocks = 3 * u64::from(order) * u64::from(order);
         let opts = OocOpts::new(operand_blocks / 5 * (q * q * 8) as u64);
+        let mut streamed = None;
         let secs = best_seconds(3, || {
-            std::hint::black_box(
-                ooc_multiply(&a_path, &b_path, &c_path, &opts).expect("ooc multiply"),
-            );
+            span::new_job();
+            streamed = Some(ooc_multiply(&a_path, &b_path, &c_path, &opts).expect("ooc multiply"));
         });
+        if let Some(d) = streamed.and_then(|r| r.drift) {
+            drift_reports.push(d);
+        }
         exec_records.push(PerfRecord {
             suite: "exec".into(),
             name: "ooc_stream/tradeoff".into(),
@@ -254,7 +286,8 @@ fn main() {
         });
         let _ = std::fs::remove_dir_all(&dir);
     }
-    let exec_report = PerfReport::new("exec", exec_records, roofline);
+    let mut exec_report = PerfReport::new("exec", exec_records, roofline);
+    exec_report.drift = drift_reports;
 
     // Regression-gate mode: compare against the committed baseline and
     // exit without writing anything.

@@ -65,10 +65,44 @@ pub struct PerfReport {
     /// that don't run kernels, and for files written before the field).
     #[serde(default)]
     pub roofline: Vec<mmc_obs::RooflineRecord>,
+    /// Git commit the record was measured at (best-effort `git
+    /// rev-parse HEAD`; `"unknown"` when git or the repo is missing,
+    /// and for files written before the field).
+    #[serde(default = "unknown_commit")]
+    pub git_commit: String,
+    /// Predicted-vs-measured drift reports captured alongside the
+    /// timings (exec and ooc legs; empty for suites without traced
+    /// runs and for files written before the field).
+    #[serde(default)]
+    pub drift: Vec<mmc_obs::DriftReport>,
+}
+
+/// Placeholder for reports measured outside a git checkout.
+fn unknown_commit() -> String {
+    "unknown".to_string()
+}
+
+/// Best-effort commit stamp: `git rev-parse HEAD` in the current
+/// directory, `"unknown"` when git is absent, the cwd is not a repo, or
+/// the output is not a hex id.
+pub fn git_commit() -> String {
+    let out = std::process::Command::new("git").args(["rev-parse", "HEAD"]).output();
+    match out {
+        Ok(o) if o.status.success() => {
+            let text = String::from_utf8_lossy(&o.stdout).trim().to_string();
+            if !text.is_empty() && text.chars().all(|c| c.is_ascii_hexdigit()) {
+                text
+            } else {
+                unknown_commit()
+            }
+        }
+        _ => unknown_commit(),
+    }
 }
 
 impl PerfReport {
-    /// Assemble a report, stamping the current schema version.
+    /// Assemble a report, stamping the current schema version and the
+    /// checkout's commit id.
     pub fn new(
         suite: &str,
         records: Vec<PerfRecord>,
@@ -79,6 +113,8 @@ impl PerfReport {
             suite: suite.to_string(),
             records,
             roofline,
+            git_commit: git_commit(),
+            drift: Vec::new(),
         }
     }
 
@@ -219,7 +255,21 @@ mod tests {
         let rep: PerfReport = serde_json::from_str(old).unwrap();
         assert_eq!(rep.schema_version, 0);
         assert!(rep.roofline.is_empty());
+        assert_eq!(rep.git_commit, "unknown");
+        assert!(rep.drift.is_empty());
         assert_eq!(PerfReport::new("exec", vec![], vec![]).schema_version, mmc_obs::SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn commit_stamp_is_hex_or_unknown() {
+        let c = git_commit();
+        assert!(
+            c == "unknown" || (c.len() == 40 && c.chars().all(|ch| ch.is_ascii_hexdigit())),
+            "{c}"
+        );
+        // Fresh reports carry the stamp.
+        let rep = PerfReport::new("exec", vec![], vec![]);
+        assert_eq!(rep.git_commit, c);
     }
 
     #[test]

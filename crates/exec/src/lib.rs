@@ -36,6 +36,7 @@ pub mod matrix;
 pub mod metrics;
 pub mod naive;
 pub mod runner;
+pub mod tracing;
 
 pub use blocking::BlockingPlan;
 pub use kernel::elem::Element;
@@ -47,3 +48,4 @@ pub use runner::{
     gemm_parallel_with_kernel, gemm_parallel_with_plan, run_schedule, task_spans_to_chrome,
     ExecSink, TaskSpan, Tiling,
 };
+pub use tracing::{exec_drift, run_traced, spans_to_chrome, task_spans, ExecModel, TracedRun};

@@ -39,11 +39,11 @@ use crate::kernel::{self, block_fma, KernelVariant};
 use crate::matrix::{BlockMatrix, BlockMatrixOf};
 use mmc_core::algorithms::{AlgoError, Algorithm};
 use mmc_core::{params, ProblemSpec};
+use mmc_obs::span::{self, SpanKind};
 use mmc_sim::{Block, ChromeTraceBuilder, MachineConfig, MatrixId, SimError, SimSink};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::sync::OnceLock;
-use std::time::Instant;
 
 /// A [`SimSink`] that *performs* the block arithmetic of a schedule.
 ///
@@ -253,8 +253,11 @@ pub fn gemm_parallel_with_plan<T: Element>(
 
     let tiles = enumerate_tiles(m, n, tiling);
     let cptr = SendPtr(c.data_mut().as_mut_ptr());
+    // The caller's trace context, carried into the pool closures (worker
+    // threads cannot see the caller's thread-local job).
+    let job = span::current_job();
     tiles.par_iter().for_each(|&tile| {
-        run_tile(variant, a, b, cptr, z, tiling, plan, tile);
+        run_tile(variant, a, b, cptr, z, tiling, plan, tile, job);
     });
     c
 }
@@ -287,8 +290,9 @@ pub fn gemm_accumulate<T: Element>(
     let plan = blocking::active_plan::<T>();
     let tiles = enumerate_tiles(m, n, tiling);
     let cptr = SendPtr(c.data_mut().as_mut_ptr());
+    let job = span::current_job();
     tiles.par_iter().for_each(|&tile| {
-        run_tile(variant, a, b, cptr, z, tiling, plan, tile);
+        run_tile(variant, a, b, cptr, z, tiling, plan, tile, job);
     });
 }
 
@@ -319,43 +323,22 @@ pub struct TaskSpan {
 /// and one [`TaskSpan`] per `C` tile (thread id, tile coordinates,
 /// start/duration). Spans are sorted by start time.
 ///
-/// Span collection is lock-free: each task produces its own record
-/// through `par_iter().map(...).collect()`, so tracing adds no shared
-/// lock to the timed region and does not perturb the wall-clock numbers
-/// it reports.
+/// Built on the unified span recorder ([`mmc_obs::span`]): the run gets
+/// a fresh trace job, every tile emits into its thread's lock-free ring,
+/// and the tile-level spans are collected back out by job id — so
+/// tracing adds no shared lock to the timed region and the same run also
+/// leaves `jc`/`pc`/`ic`/pack spans behind for [`crate::tracing`]'s
+/// merged export and drift reports. With `MMC_SPANS=off` the record
+/// comes back empty.
 pub fn gemm_parallel_traced<T: Element>(
     a: &BlockMatrixOf<T>,
     b: &BlockMatrixOf<T>,
     tiling: Tiling,
 ) -> (BlockMatrixOf<T>, Vec<TaskSpan>) {
-    check_gemm_shapes(a, b, tiling);
     let variant = kernel::variant();
     let plan = blocking::active_plan::<T>();
-    let (m, n, z) = (a.rows(), b.cols(), a.cols());
-    let mut c = BlockMatrixOf::<T>::zeros(m, n, a.q());
-
-    let tiles = enumerate_tiles(m, n, tiling);
-    let cptr = SendPtr(c.data_mut().as_mut_ptr());
-    let epoch = Instant::now();
-    let mut spans: Vec<TaskSpan> = tiles
-        .par_iter()
-        .map(|&tile| {
-            let started = Instant::now();
-            run_tile(variant, a, b, cptr, z, tiling, plan, tile);
-            let dur = started.elapsed();
-            let (i0, th, j0, tw) = tile;
-            TaskSpan {
-                thread: rayon::current_thread_index(),
-                row0: i0,
-                rows: th,
-                col0: j0,
-                cols: tw,
-                start_us: started.duration_since(epoch).as_secs_f64() * 1e6,
-                dur_us: dur.as_secs_f64() * 1e6,
-            }
-        })
-        .collect();
-    spans.sort_by(|x, y| x.start_us.total_cmp(&y.start_us));
+    let (c, run) = crate::tracing::run_traced(a, b, tiling, variant, plan);
+    let spans = crate::tracing::task_spans(&run);
     (c, spans)
 }
 
@@ -420,18 +403,39 @@ fn run_tile<T: Element>(
     tiling: Tiling,
     plan: BlockingPlan,
     tile: (u32, u32, u32, u32),
+    job: u64,
 ) {
+    let start = if span::enabled() { span::now_ns() } else { 0 };
     if variant.is_simd() && variant.is_available() {
-        run_tile_packed(variant, a, b, cptr, z, plan, tile);
+        run_tile_packed(variant, a, b, cptr, z, plan, tile, job);
     } else {
-        run_tile_blockwise(variant, a, b, cptr, z, tiling, tile);
+        run_tile_blockwise(variant, a, b, cptr, z, tiling, tile, job);
     }
     // One relaxed add per *tile* (not per block): th·tw C blocks each
     // accumulate z block FMAs of 2q³ FLOPs.
-    let (_, th, _, tw) = tile;
+    let (i0, th, j0, tw) = tile;
     let q = a.q() as u64;
-    crate::metrics::flops(variant).add(2 * q * q * q * th as u64 * tw as u64 * z as u64);
+    let flops = 2 * q * q * q * th as u64 * tw as u64 * z as u64;
+    crate::metrics::flops(variant).add(flops);
     crate::metrics::tiles(variant).add(1);
+    if span::enabled() {
+        span::emit(
+            job,
+            SpanKind::Tile,
+            worker_thread(),
+            start,
+            span::now_ns().saturating_sub(start),
+            flops,
+            flops,
+            [i0, th, j0, tw],
+        );
+    }
+}
+
+/// The rayon worker index of the current thread, in span form.
+#[inline]
+fn worker_thread() -> Option<u32> {
+    rayon::current_thread_index().map(|t| t as u32)
 }
 
 /// Mutable view of `C` block `(i, j)` through the shared tile pointer.
@@ -453,6 +457,11 @@ unsafe fn c_block_mut<'c, T>(
 }
 
 /// The original unpacked tile loop (scalar fallback path).
+///
+/// Emits one `pc` span per `k` panel — the scalar path has a single
+/// macro-loop level, so the drift report still sees every FLOP under a
+/// loop phase even without the packed nest.
+#[allow(clippy::too_many_arguments)]
 fn run_tile_blockwise<T: Element>(
     variant: KernelVariant,
     a: &BlockMatrixOf<T>,
@@ -461,13 +470,16 @@ fn run_tile_blockwise<T: Element>(
     z: u32,
     tiling: Tiling,
     (i0, th, j0, tw): (u32, u32, u32, u32),
+    job: u64,
 ) {
     let q = a.q();
     let q2 = q * q;
     let ncols = b.cols() as usize;
+    let tracing = span::enabled();
     let mut k0 = 0;
     while k0 < z {
         let kb = tiling.tile_k.min(z - k0);
+        let pc_start = if tracing { span::now_ns() } else { 0 };
         for i in i0..i0 + th {
             for j in j0..j0 + tw {
                 // SAFETY: see `c_block_mut` — (i, j) is owned by this tile.
@@ -476,6 +488,19 @@ fn run_tile_blockwise<T: Element>(
                     kernel::block_fma_with(variant, cblk, a.block(i, k), b.block(k, j), q);
                 }
             }
+        }
+        if tracing {
+            let flops = 2 * (q as u64).pow(3) * th as u64 * tw as u64 * kb as u64;
+            span::emit(
+                job,
+                SpanKind::LoopPc,
+                worker_thread(),
+                pc_start,
+                span::now_ns().saturating_sub(pc_start),
+                flops,
+                flops,
+                [i0, j0, k0, kb],
+            );
         }
         k0 += kb;
     }
@@ -494,6 +519,7 @@ fn run_tile_blockwise<T: Element>(
 /// in ascending `k` — panel boundaries never reorder or re-associate the
 /// per-element accumulation, which keeps results bit-identical across
 /// plans and to the blockwise path of the same variant.
+#[allow(clippy::too_many_arguments)]
 fn run_tile_packed<T: Element>(
     variant: KernelVariant,
     a: &BlockMatrixOf<T>,
@@ -502,6 +528,7 @@ fn run_tile_packed<T: Element>(
     z: u32,
     plan: BlockingPlan,
     (i0, th, j0, tw): (u32, u32, u32, u32),
+    job: u64,
 ) {
     let q = a.q();
     let q2 = q * q;
@@ -509,21 +536,55 @@ fn run_tile_packed<T: Element>(
     let nc_b = ((plan.nc / q).max(1) as u32).min(tw);
     let kc_b = ((plan.kc / q).max(1) as u32).min(z);
     let mc_b = ((plan.mc / q).max(1) as u32).min(th);
+    let tracing = span::enabled();
+    let es = std::mem::size_of::<T>() as u64;
+    let q3_2 = 2 * (q as u64).pow(3);
     kernel::pack::with_arena::<T, _>(|arena| {
         let mut jc = 0;
         while jc < tw {
             let jw = nc_b.min(tw - jc);
+            let jc_start = if tracing { span::now_ns() } else { 0 };
             let mut k0 = 0;
             while k0 < z {
                 let kb = kc_b.min(z - k0);
                 let kc = kb as usize * q;
+                let pc_start = if tracing { span::now_ns() } else { 0 };
                 kernel::pack::pack_b_panel(&mut arena.b, b, j0 + jc, jw, k0, kb);
                 let a_stride = kernel::pack::a_panel_stride::<T>(q, kc);
                 let b_stride = kernel::pack::b_panel_stride::<T>(q, kc);
+                if tracing {
+                    // pred = logical panel bytes, val = padded packed
+                    // bytes actually written (stride includes edge pad).
+                    span::emit(
+                        job,
+                        SpanKind::PackB,
+                        worker_thread(),
+                        pc_start,
+                        span::now_ns().saturating_sub(pc_start),
+                        jw as u64 * kb as u64 * q2 as u64 * es,
+                        jw as u64 * b_stride as u64 * es,
+                        [j0 + jc, jw, k0, kb],
+                    );
+                }
+                let pc_body = if tracing { span::now_ns() } else { 0 };
                 let mut ic = 0;
                 while ic < th {
                     let ih = mc_b.min(th - ic);
+                    let pack_a_start = if tracing { span::now_ns() } else { 0 };
                     kernel::pack::pack_a_panel(&mut arena.a, a, i0 + ic, ih, k0, kb);
+                    if tracing {
+                        span::emit(
+                            job,
+                            SpanKind::PackA,
+                            worker_thread(),
+                            pack_a_start,
+                            span::now_ns().saturating_sub(pack_a_start),
+                            ih as u64 * kb as u64 * q2 as u64 * es,
+                            ih as u64 * a_stride as u64 * es,
+                            [i0 + ic, ih, k0, kb],
+                        );
+                    }
+                    let ic_start = if tracing { span::now_ns() } else { 0 };
                     for bj in 0..jw {
                         let bpack = &arena.b[bj as usize * b_stride..][..b_stride];
                         for bi in 0..ih {
@@ -535,9 +596,48 @@ fn run_tile_packed<T: Element>(
                             kernel::packed::block_mul_packed(variant, cblk, q, kc, apack, bpack);
                         }
                     }
+                    if tracing {
+                        let flops = q3_2 * ih as u64 * jw as u64 * kb as u64;
+                        span::emit(
+                            job,
+                            SpanKind::LoopIc,
+                            worker_thread(),
+                            ic_start,
+                            span::now_ns().saturating_sub(ic_start),
+                            flops,
+                            flops,
+                            [i0 + ic, ih, j0 + jc, jw],
+                        );
+                    }
                     ic += ih;
                 }
+                if tracing {
+                    let flops = q3_2 * th as u64 * jw as u64 * kb as u64;
+                    span::emit(
+                        job,
+                        SpanKind::LoopPc,
+                        worker_thread(),
+                        pc_body,
+                        span::now_ns().saturating_sub(pc_body),
+                        flops,
+                        flops,
+                        [j0 + jc, jw, k0, kb],
+                    );
+                }
                 k0 += kb;
+            }
+            if tracing {
+                let flops = q3_2 * th as u64 * jw as u64 * z as u64;
+                span::emit(
+                    job,
+                    SpanKind::LoopJc,
+                    worker_thread(),
+                    jc_start,
+                    span::now_ns().saturating_sub(jc_start),
+                    flops,
+                    flops,
+                    [i0, th, j0 + jc, jw],
+                );
             }
             jc += jw;
         }

@@ -16,6 +16,12 @@
 //! * [`roofline`] — measured STREAM-triad bandwidth plus derived
 //!   arithmetic-intensity / percent-of-peak records for
 //!   `BENCH_exec.json`.
+//! * [`span`] — per-job span tracing: lock-free per-thread ring-buffer
+//!   recorders (seqlock slots, overwrite-oldest, no allocation or
+//!   locking on the hot path) stamping every 5-loop macro-step and ooc
+//!   pipeline stage with its predicted cost.
+//! * [`drift`] — per-phase measured/predicted ratio reports over traced
+//!   spans, with band flagging and always-finite ratios.
 //!
 //! Every `--json` report in the workspace stamps [`SCHEMA_VERSION`] so
 //! downstream tooling (the perf regression gate, scrapers) can parse all
@@ -24,10 +30,13 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod drift;
 pub mod perf_event;
 pub mod registry;
 pub mod roofline;
+pub mod span;
 
+pub use drift::{DriftReport, PhaseDrift, PhaseSample};
 pub use perf_event::{CounterReading, CounterValue, PerfCounters};
 pub use registry::{
     global, Counter, CounterSnapshot, Gauge, GaugeSnapshot, Histogram, HistogramBucket,
@@ -37,6 +46,7 @@ pub use roofline::{
     cpu_ghz_estimate, flops_per_cycle_for_kernel, peak_gflops_estimate, roofline_bound,
     stream_triad_bandwidth_gbs, RooflineRecord,
 };
+pub use span::{SpanKind, SpanRecord, ThreadRing};
 
 /// Version stamped into every `--json` report across `simulate` / `exec`
 /// / `profile` / `ooc` / `counters` and `BENCH_*.json`. Bump when a

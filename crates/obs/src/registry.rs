@@ -195,6 +195,16 @@ pub struct HistogramSnapshot {
     pub sum: u64,
     /// Non-empty buckets, ascending `le`.
     pub buckets: Vec<HistogramBucket>,
+    /// Median estimate ([`HistogramSnapshot::quantile`] at 0.5); `None`
+    /// when empty or read back from a snapshot that predates the field.
+    #[serde(default)]
+    pub p50: Option<u64>,
+    /// 95th-percentile estimate; `None` when empty.
+    #[serde(default)]
+    pub p95: Option<u64>,
+    /// 99th-percentile estimate; `None` when empty.
+    #[serde(default)]
+    pub p99: Option<u64>,
 }
 
 impl HistogramSnapshot {
@@ -214,16 +224,26 @@ impl HistogramSnapshot {
         }
         self.buckets.last().map(|b| b.le)
     }
+
+    /// The quantile summary (p50/p95/p99) this snapshot's buckets imply.
+    fn with_quantiles(mut self) -> HistogramSnapshot {
+        self.p50 = self.quantile(0.5);
+        self.p95 = self.quantile(0.95);
+        self.p99 = self.quantile(0.99);
+        self
+    }
 }
 
-/// A point-in-time copy of every registered metric.
+/// A point-in-time copy of every registered metric, **sorted by metric
+/// name** so two snapshots of the same state serialize byte-identically
+/// regardless of which thread registered which metric first.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RegistrySnapshot {
-    /// All counters, in registration order.
+    /// All counters, sorted by name.
     pub counters: Vec<CounterSnapshot>,
-    /// All gauges, in registration order.
+    /// All gauges, sorted by name.
     pub gauges: Vec<GaugeSnapshot>,
-    /// All histograms, in registration order.
+    /// All histograms, sorted by name.
     pub histograms: Vec<HistogramSnapshot>,
 }
 
@@ -284,23 +304,28 @@ impl Registry {
         intern(&self.histograms, name)
     }
 
-    /// Copy every metric's current value.
+    /// Copy every metric's current value. Entries are sorted by name:
+    /// registration order depends on which thread's instrumentation ran
+    /// first, and `--json` reports and golden tests need byte-stable
+    /// output across those interleavings.
     pub fn snapshot(&self) -> RegistrySnapshot {
-        let counters = self
+        let mut counters: Vec<CounterSnapshot> = self
             .counters
             .lock()
             .unwrap()
             .iter()
             .map(|(n, c)| CounterSnapshot { name: n.clone(), value: c.get() })
             .collect();
-        let gauges = self
+        counters.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut gauges: Vec<GaugeSnapshot> = self
             .gauges
             .lock()
             .unwrap()
             .iter()
             .map(|(n, g)| GaugeSnapshot { name: n.clone(), value: g.get() })
             .collect();
-        let histograms = self
+        gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut histograms: Vec<HistogramSnapshot> = self
             .histograms
             .lock()
             .unwrap()
@@ -312,9 +337,19 @@ impl Registry {
                         (count > 0).then(|| HistogramBucket { le: bucket_le(i), count })
                     })
                     .collect();
-                HistogramSnapshot { name: n.clone(), count: h.count(), sum: h.sum(), buckets }
+                HistogramSnapshot {
+                    name: n.clone(),
+                    count: h.count(),
+                    sum: h.sum(),
+                    buckets,
+                    p50: None,
+                    p95: None,
+                    p99: None,
+                }
+                .with_quantiles()
             })
             .collect();
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
         RegistrySnapshot { counters, gauges, histograms }
     }
 
@@ -342,6 +377,14 @@ impl Registry {
             }
             out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
             out.push_str(&format!("{name}_sum {}\n{name}_count {}\n", h.sum, h.count));
+            // Summary-style quantile estimates (log2-bucket upper
+            // bounds), so scrapers get percentiles without re-deriving
+            // them from the cumulative buckets.
+            for (q, v) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
+                if let Some(v) = v {
+                    out.push_str(&format!("{name}{{quantile=\"{q}\"}} {v}\n"));
+                }
+            }
         }
         out
     }
@@ -424,6 +467,75 @@ mod tests {
         assert_eq!(counts, vec![1, 1, 2, 1]);
         assert_eq!(hs.quantile(0.5), Some(3));
         assert_eq!(hs.quantile(1.0), Some(1023));
+    }
+
+    #[test]
+    fn snapshot_carries_quantile_estimates() {
+        let reg = Registry::new();
+        let h = reg.histogram("q");
+        // 50 observations at 10 (le=15), one outlier at 1000 (le=1023):
+        // p50 and p95 sit in the le=15 bucket, p99 (rank 51 of 51) falls
+        // on the outlier's bucket.
+        for _ in 0..50 {
+            h.observe(10);
+        }
+        h.observe(1000);
+        let snap = reg.snapshot();
+        let hs = snap.histogram("q").unwrap();
+        assert_eq!(hs.p50, Some(15));
+        assert_eq!(hs.p95, Some(15));
+        assert_eq!(hs.p99, Some(1023));
+        assert_eq!(hs.p50, hs.quantile(0.5));
+        // Empty histograms report no quantiles.
+        let reg2 = Registry::new();
+        reg2.histogram("empty");
+        let snap2 = reg2.snapshot();
+        let empty = snap2.histogram("empty").unwrap();
+        assert_eq!((empty.p50, empty.p95, empty.p99), (None, None, None));
+    }
+
+    #[test]
+    fn exposition_renders_summary_quantiles() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat_us");
+        for v in [4, 4, 4, 4, 500] {
+            h.observe(v);
+        }
+        let text = reg.render_prometheus();
+        assert!(text.contains("lat_us{quantile=\"0.5\"} 7\n"), "{text}");
+        assert!(text.contains("lat_us{quantile=\"0.95\"} 511\n"), "{text}");
+        assert!(text.contains("lat_us{quantile=\"0.99\"} 511\n"), "{text}");
+    }
+
+    #[test]
+    fn snapshots_sort_by_name_not_registration_order() {
+        let reg = Registry::new();
+        reg.counter("z.last").add(1);
+        reg.counter("a.first").add(2);
+        reg.gauge("m.mid").set(3);
+        reg.gauge("b.gauge").set(4);
+        reg.histogram("z.h").observe(1);
+        reg.histogram("a.h").observe(2);
+        let snap = reg.snapshot();
+        let counter_names: Vec<&str> = snap.counters.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(counter_names, vec!["a.first", "z.last"]);
+        let gauge_names: Vec<&str> = snap.gauges.iter().map(|g| g.name.as_str()).collect();
+        assert_eq!(gauge_names, vec!["b.gauge", "m.mid"]);
+        let hist_names: Vec<&str> = snap.histograms.iter().map(|h| h.name.as_str()).collect();
+        assert_eq!(hist_names, vec!["a.h", "z.h"]);
+        // Byte-stable: the same state serializes identically however
+        // registration interleaved.
+        let reg2 = Registry::new();
+        reg2.histogram("a.h").observe(2);
+        reg2.histogram("z.h").observe(1);
+        reg2.gauge("b.gauge").set(4);
+        reg2.gauge("m.mid").set(3);
+        reg2.counter("a.first").add(2);
+        reg2.counter("z.last").add(1);
+        assert_eq!(
+            serde_json::to_string_pretty(&snap).unwrap(),
+            serde_json::to_string_pretty(&reg2.snapshot()).unwrap()
+        );
     }
 
     #[test]

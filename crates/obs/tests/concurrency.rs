@@ -1,11 +1,34 @@
-//! Concurrency proptest: the sharded counters must never lose an
+//! Concurrency proptests: the sharded counters must never lose an
 //! increment no matter how many threads hammer them, how the increments
-//! are sized, or how the work is split — the registry's whole value
-//! proposition is that relaxed per-shard adds still sum exactly.
+//! are sized, or how the work is split — and the span ring's seqlock
+//! must never hand a reader a torn record, no matter how the writer's
+//! overwrites interleave with concurrent scans.
 
+use mmc_obs::span::{SpanKind, SpanRecord, ThreadRing};
 use mmc_obs::{Counter, Gauge, Registry};
 use proptest::prelude::*;
 use std::sync::Arc;
+
+/// A record whose every field is derived from one index, so a reader
+/// can prove the record it got back is internally consistent (untorn).
+fn coded(i: u64) -> SpanRecord {
+    SpanRecord {
+        job: i,
+        kind: SpanKind::ALL[(i % 10) as usize],
+        thread: if i.is_multiple_of(4) { None } else { Some(i as u32) },
+        start_ns: i.wrapping_mul(3),
+        dur_ns: i ^ 0xABCD_1234,
+        pred: i.wrapping_mul(7),
+        val: i.wrapping_mul(11),
+        args: [i as u32, (i >> 1) as u32, (i >> 2) as u32, (i >> 3) as u32],
+    }
+}
+
+/// The tear check: every field must agree with the record's `job` index.
+fn assert_coded(r: &SpanRecord) {
+    let expect = coded(r.job);
+    assert_eq!(*r, expect, "torn record for index {}", r.job);
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -97,6 +120,88 @@ proptest! {
         for i in 0..threads {
             prop_assert_eq!(snap.counter(&format!("private.{i}")), Some(adds));
         }
+    }
+
+    /// One writer overwriting a small ring while reader threads scan it
+    /// continuously: no scan ever returns a torn record, and a quiescent
+    /// scan afterwards returns exactly the most recent `capacity` spans
+    /// in push order.
+    #[test]
+    fn ring_scans_never_tear_under_concurrent_overwrite(
+        capacity in 1usize..64,
+        pushes in 1u64..2_000,
+        readers in 1usize..4,
+    ) {
+        let ring = Arc::new(ThreadRing::new(capacity));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let handles: Vec<_> = (0..readers)
+            .map(|_| {
+                let r = Arc::clone(&ring);
+                let s = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut seen = 0usize;
+                    while !s.load(std::sync::atomic::Ordering::Acquire) {
+                        for rec in r.scan() {
+                            assert_coded(&rec);
+                            seen += 1;
+                        }
+                    }
+                    seen
+                })
+            })
+            .collect();
+        for i in 0..pushes {
+            ring.push(&coded(i));
+        }
+        stop.store(true, std::sync::atomic::Ordering::Release);
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Quiescent scan: exactly the newest min(pushes, capacity) spans,
+        // in push order, none torn.
+        let live = ring.scan();
+        let expect_lo = pushes.saturating_sub(capacity as u64);
+        prop_assert_eq!(live.len() as u64, pushes - expect_lo);
+        for (offset, rec) in live.iter().enumerate() {
+            assert_coded(rec);
+            prop_assert_eq!(rec.job, expect_lo + offset as u64);
+        }
+        prop_assert_eq!(ring.head(), pushes);
+    }
+
+    /// The consuming sweep never double-reports and never skips a span
+    /// that was still live at sweep time: consecutive `collect_new`
+    /// calls partition the pushed indices (modulo overwrite loss, which
+    /// can only drop the *oldest* spans between sweeps).
+    #[test]
+    fn ring_collect_new_partitions_pushes(
+        capacity in 1usize..48,
+        batches in prop::collection::vec(1u64..96, 1..8),
+    ) {
+        let ring = ThreadRing::new(capacity);
+        let mut next = 0u64;
+        let mut collected: Vec<u64> = Vec::new();
+        for batch in &batches {
+            for _ in 0..*batch {
+                ring.push(&coded(next));
+                next += 1;
+            }
+            for rec in ring.collect_new() {
+                assert_coded(&rec);
+                collected.push(rec.job);
+            }
+        }
+        // No duplicates, strictly increasing (each sweep resumes past
+        // the watermark), and the final span is always reported.
+        prop_assert!(collected.windows(2).all(|w| w[0] < w[1]), "{collected:?}");
+        prop_assert_eq!(*collected.last().unwrap(), next - 1);
+        // A sweep after quiescence finds nothing left.
+        prop_assert!(ring.collect_new().is_empty());
+        // Only overwrite can lose spans, and it only loses the oldest:
+        // each batch contributes at least its newest min(batch, capacity).
+        let min_kept: u64 =
+            batches.iter().map(|b| (*b).min(capacity as u64)).sum();
+        prop_assert!(collected.len() as u64 >= min_kept, "{} < {min_kept}", collected.len());
     }
 }
 

@@ -26,6 +26,8 @@ use mmc_core::params::ooc_staging;
 use mmc_core::{formulas, OocStaging, ProblemSpec};
 use mmc_exec::runner::gemm_accumulate;
 use mmc_exec::{gemm_parallel_with_kernel, BlockMatrix, KernelVariant, Tiling};
+use mmc_obs::span::{self, SpanKind};
+use mmc_obs::{DriftReport, PhaseSample};
 use mmc_sim::{ChromeTraceBuilder, MachineConfig, TData3};
 
 use crate::pipeline::{PrefetchStats, Prefetcher, StageRequest};
@@ -173,6 +175,15 @@ pub struct OocReport {
     pub prefetch: PrefetchStats,
     /// Compute lane spans for the trace.
     pub compute_spans: Vec<ComputeSpan>,
+    /// Trace job id the run recorded under ([`mmc_obs::span`]); 0 when
+    /// the caller never opened a job. Reports written before the field
+    /// read back as 0.
+    #[serde(default)]
+    pub trace_job: u64,
+    /// Predicted-vs-measured drift over the run's phases (see
+    /// [`ooc_drift`]); absent in reports written before the field.
+    #[serde(default)]
+    pub drift: Option<DriftReport>,
 }
 
 fn ceil_div(a: u32, b: u32) -> u32 {
@@ -259,6 +270,9 @@ pub fn ooc_multiply(
     }
     let (m, z, n, q) = (ha.rows, ha.cols, hb.cols, ha.q);
     let block_bytes = (q * q * 8) as u64;
+    // The caller's trace job (the CLI opens one before the run); the
+    // pipeline's I/O threads pick it up through `Prefetcher::spawn`.
+    let trace_job = span::current_job();
 
     let budget_blocks = opts.mem_budget_bytes / block_bytes;
     let min_blocks = 1 + 2 * RING_SLOTS as u64; // α = β = 1 footprint
@@ -301,6 +315,7 @@ pub fn ooc_multiply(
                 let a_panel = BlockMatrix::from_vec(th, kd, q, pa.data);
                 let b_panel = BlockMatrix::from_vec(kd, tw, q, pb.data);
                 let tiling = inner_tiling(th, tw, kd, opts.machine.cores);
+                let acc_start = if span::enabled() { span::now_ns() } else { 0 };
                 let t0 = Instant::now();
                 // Inside each call the executor runs its 5-loop
                 // macro-kernel; accumulating panel-by-panel here stays
@@ -318,6 +333,19 @@ pub fn ooc_multiply(
                     start_us: t0.duration_since(epoch).as_micros() as u64,
                     dur_us: dur.as_micros() as u64,
                 });
+                if span::enabled() {
+                    let flops = 2 * (q as u64).pow(3) * th as u64 * tw as u64 * kd as u64;
+                    span::emit(
+                        trace_job,
+                        SpanKind::Accumulate,
+                        None,
+                        acc_start,
+                        dur.as_nanos() as u64,
+                        flops,
+                        flops,
+                        [i0, j0, k0, kd],
+                    );
+                }
                 pf.recycle(a_panel.into_vec());
                 pf.recycle(b_panel.into_vec());
             }
@@ -359,7 +387,7 @@ pub fn ooc_multiply(
     let pack_arena_bound_bytes =
         workers * (t.tile_m as u64 + t.tile_n as u64) * beta as u64 * block_bytes;
 
-    Ok(OocReport {
+    let mut report = OocReport {
         schema_version: mmc_obs::SCHEMA_VERSION,
         m,
         n,
@@ -382,7 +410,85 @@ pub fn ooc_multiply(
         compute_seconds,
         prefetch,
         compute_spans,
-    })
+        trace_job,
+        drift: None,
+    };
+    report.drift = Some(ooc_drift(&report, mmc_obs::drift::DEFAULT_BAND));
+    Ok(report)
+}
+
+/// Predicted-vs-measured drift for an out-of-core run, from the report's
+/// aggregate statistics (so it works even with `MMC_SPANS=off`):
+///
+/// * `read` — measured positioned-read time against the staging
+///   predictor's traffic ([`OocStaging::disk_blocks`] minus the written
+///   `C`) priced at the *measured* `σ_F`; the time ratio therefore
+///   equals the traffic ratio `bytes_read / predicted_bytes`, which is
+///   the paper-accountability check in time units.
+/// * `accumulate` — in-core compute wall time against the product's
+///   `2·m·n·z·q³` FLOPs at the machine model's full-chip in-core rate
+///   (the `M_S/σ_S + M_D/σ_D` terms of the three-term `T_data`).
+/// * `stall` — measured compute-side prefetch stall against the
+///   pipeline model's prediction: zero when predicted compute time
+///   covers predicted read time (perfect overlap), else the uncovered
+///   remainder.
+pub fn ooc_drift(report: &OocReport, band: f64) -> DriftReport {
+    let block_bytes = (report.q * report.q * 8) as u64;
+    let write_blocks = report.m as u64 * report.n as u64;
+    let pred_read_blocks =
+        report.staging.disk_blocks(report.m, report.n, report.z).saturating_sub(write_blocks);
+    let pred_read_bytes = pred_read_blocks * block_bytes;
+    let sigma_f_bytes_per_us = (report.sigma_f_blocks_per_s * block_bytes as f64 / 1e6).max(1e-9);
+    let pred_read_us = pred_read_bytes as f64 / sigma_f_bytes_per_us;
+    let measured_read_us = report.prefetch.io_seconds * 1e6;
+
+    // In-core terms of T_data, in block accesses per σ (the machine
+    // model's native unit), converted to µs through σ_S blocks/s.
+    let pred_acc_us = (report.t_data3.ms / report.t_data3.sigma_s
+        + report.t_data3.md / report.t_data3.sigma_d)
+        * 1e6;
+    let flops =
+        2.0 * (report.q as f64).powi(3) * report.m as f64 * report.n as f64 * report.z as f64;
+    let measured_acc_us = report.compute_seconds * 1e6;
+
+    let pred_stall_us = (pred_read_us - pred_acc_us).max(0.0);
+    let measured_stall_us = report.prefetch.stall_seconds * 1e6;
+
+    DriftReport::from_samples(
+        "ooc",
+        report.trace_job,
+        band,
+        vec![
+            PhaseSample {
+                phase: "read".to_string(),
+                spans: report.prefetch.io_spans.len().max(report.prefetch.panels_staged as usize)
+                    as u64,
+                measured_us: measured_read_us,
+                predicted_us: pred_read_us,
+                unit: "byte".to_string(),
+                measured_units: report.prefetch.bytes_read as f64,
+                predicted_units: pred_read_bytes as f64,
+            },
+            PhaseSample {
+                phase: "accumulate".to_string(),
+                spans: report.compute_spans.len() as u64,
+                measured_us: measured_acc_us,
+                predicted_us: pred_acc_us,
+                unit: "flop".to_string(),
+                measured_units: flops,
+                predicted_units: flops,
+            },
+            PhaseSample {
+                phase: "stall".to_string(),
+                spans: report.prefetch.panels_staged,
+                measured_us: measured_stall_us,
+                predicted_us: pred_stall_us,
+                unit: "ns".to_string(),
+                measured_units: measured_stall_us * 1e3,
+                predicted_units: pred_stall_us * 1e3,
+            },
+        ],
+    )
 }
 
 /// Stream a deterministic pseudo-random matrix straight to a tiled file,
@@ -570,6 +676,51 @@ mod tests {
         let opts = OocOpts::new(1 << 20);
         let err = ooc_multiply(&a_path, &b_path, &dir.join("c.tiled"), &opts).unwrap_err();
         assert!(matches!(err, OocError::Shape(_)), "{err}");
+    }
+
+    #[test]
+    fn run_carries_a_drift_report_and_recorder_spans() {
+        let dir = tmp("drift");
+        let a_path = dir.join("a.tiled");
+        let b_path = dir.join("b.tiled");
+        let c_path = dir.join("c.tiled");
+        let (m, z, n, q) = (6u32, 5u32, 4u32, 4usize);
+        write_pseudo_random(&a_path, m, z, q, 1).unwrap();
+        write_pseudo_random(&b_path, z, n, q, 2).unwrap();
+        let job = span::new_job();
+        let opts = OocOpts::new(24 * (q * q * 8) as u64);
+        let report = ooc_multiply(&a_path, &b_path, &c_path, &opts).unwrap();
+        assert_eq!(report.trace_job, job);
+        let drift = report.drift.as_ref().expect("drift attached");
+        assert_eq!(drift.source, "ooc");
+        assert_eq!(drift.job, job);
+        assert!(drift.all_finite());
+        let names: Vec<&str> = drift.phases.iter().map(|p| p.phase.as_str()).collect();
+        for phase in ["read", "accumulate", "stall"] {
+            assert!(names.contains(&phase), "missing {phase} in {names:?}");
+        }
+        // Traffic accounting: measured read bytes equal the staging
+        // predictor's read term, so the read phase's units_ratio is 1.
+        let read = drift.phases.iter().find(|p| p.phase == "read").unwrap();
+        assert!((read.units_ratio - 1.0).abs() < 1e-12, "units_ratio {}", read.units_ratio);
+        // The recorder saw the pipeline: read/stage spans per staged
+        // panel, one accumulate span per compute step.
+        if span::enabled() {
+            let spans = span::collect_job(job);
+            let count = |k: SpanKind| spans.iter().filter(|s| s.kind == k).count() as u64;
+            assert_eq!(count(SpanKind::Read), report.prefetch.panels_staged);
+            assert_eq!(count(SpanKind::Stage), report.prefetch.panels_staged);
+            assert_eq!(count(SpanKind::Accumulate), report.compute_spans.len() as u64);
+            assert!(count(SpanKind::Stall) >= 1, "compute stalls are recorded");
+            let read_bytes: u64 =
+                spans.iter().filter(|s| s.kind == SpanKind::Read).map(|s| s.val).sum();
+            assert_eq!(read_bytes, report.prefetch.bytes_read);
+        }
+        // The report round-trips with the new optional fields.
+        let json = serde_json::to_string(&report).unwrap();
+        let back: OocReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.trace_job, report.trace_job);
+        assert_eq!(back.drift, report.drift);
     }
 
     #[test]

@@ -23,6 +23,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use mmc_obs::span::{self, SpanKind};
 use serde::{Deserialize, Serialize};
 
 use crate::tiled::{TiledError, TiledFile};
@@ -119,6 +120,10 @@ struct Shared {
     peak_resident_bytes: AtomicU64,
     spans: Mutex<Vec<IoSpan>>,
     epoch: Instant,
+    // Trace job of the spawning (compute) thread, stamped onto the I/O
+    // threads' recorder spans — workers cannot see the caller's
+    // thread-local job.
+    job: u64,
 }
 
 impl Shared {
@@ -204,6 +209,7 @@ impl Prefetcher {
             peak_resident_bytes: AtomicU64::new(0),
             spans: Mutex::new(Vec::new()),
             epoch: Instant::now(),
+            job: span::current_job(),
         });
         let (tx, rx) = mpsc::channel();
         let workers = (0..io_threads)
@@ -248,10 +254,26 @@ impl Prefetcher {
                 }
             }
             let start = Instant::now();
+            let stall_start = if span::enabled() { span::now_ns() } else { 0 };
             let msg = self.rx.recv();
             let stalled = start.elapsed();
             self.stall_seconds += stalled.as_secs_f64();
             crate::metrics::stall_us().observe(stalled.as_micros() as u64);
+            if span::enabled() {
+                // Perfect prefetch overlap predicts zero stall, so
+                // pred = 0 and val carries the measured nanoseconds.
+                let ns = stalled.as_nanos() as u64;
+                span::emit(
+                    self.shared.job,
+                    SpanKind::Stall,
+                    None,
+                    stall_start,
+                    ns,
+                    0,
+                    ns,
+                    [self.next_seq as u32, 0, 0, 0],
+                );
+            }
             match msg {
                 Ok((_, Ok(panel))) => self.reorder.push(Pending(panel)),
                 Ok((_, Err(e))) => {
@@ -322,6 +344,7 @@ fn worker(
         // Take a free buffer FIRST (see module docs: claiming the buffer
         // before the request keeps in-flight panels aligned with the
         // staging order, which is what rules out deadlock).
+        let stage_start = if span::enabled() { span::now_ns() } else { 0 };
         let wait_start = Instant::now();
         let mut buf = {
             let mut pool = shared.pool.lock().unwrap();
@@ -361,11 +384,36 @@ fn worker(
         let q = file.header().q;
         let elems = req.rows as usize * req.cols as usize * q * q;
         buf.resize(elems, 0.0);
+        let read_start = if span::enabled() { span::now_ns() } else { 0 };
         let io_start = Instant::now();
         let result = file.read_panel(req.bi0, req.bj0, req.rows, req.cols, &mut buf[..elems]);
         let dur = io_start.elapsed();
         shared.io_ns.fetch_add(dur.as_nanos() as u64, Ordering::Relaxed);
         crate::metrics::read_us().observe(dur.as_micros() as u64);
+        if span::enabled() {
+            let requested = (elems * 8) as u64;
+            let got = *result.as_ref().unwrap_or(&0);
+            span::emit(
+                shared.job,
+                SpanKind::Read,
+                Some(tid as u32),
+                read_start,
+                dur.as_nanos() as u64,
+                requested,
+                got,
+                [req.file as u32, req.seq as u32, req.rows, req.cols],
+            );
+            span::emit(
+                shared.job,
+                SpanKind::Stage,
+                Some(tid as u32),
+                stage_start,
+                span::now_ns().saturating_sub(stage_start),
+                requested,
+                got,
+                [req.file as u32, req.seq as u32, req.rows, req.cols],
+            );
+        }
 
         let msg = match result {
             Ok(bytes) => {

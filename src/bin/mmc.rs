@@ -37,14 +37,15 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  mmc simulate --algo A --order N [--preset P] [--setting ideal|lru|lru2|lru50] [--json]\n  \
            mmc plan [--preset P] [--order N] [--sigma-s X --sigma-d Y]\n  \
-           mmc exec --order N [--q Q] [--tiling T] [--seed S] [--json] [--trace-out F]\n  \
+           mmc exec --order N [--q Q] [--tiling T] [--seed S] [--json] [--trace-out F] [--drift] [--band X]\n  \
+           mmc drift --order N [--q Q] [--kernel K] [--preset P] [--seed S] [--band X] [--mem-budget BYTES[k|m|g]] [--json] [--trace-out F]\n  \
            mmc lu --order N [--panel W] [--tiling T] [--q Q]\n  \
            mmc profile --algo A --order N [--preset P] [--json]\n  \
            mmc counters --order N [--q Q] [--tiling T] [--kernel K] [--preset P] [--seed S] [--json]\n  \
            mmc trace --algo A --order N --out F [--preset P] [--setting S] [--granularity G] [--fma-time T]\n  \
            mmc figures <id>...|all|list [--out DIR] [--full] [--jobs N] [--resume] [--serial] [--quiet]\n  \
            mmc ooc gen --out F --rows R --cols C [--q Q] [--seed S]\n  \
-           mmc ooc multiply --a F --b F --out F --mem-budget BYTES[k|m|g] [--io-threads N] [--kernel K] [--preset P] [--sigma-ratio X] [--json] [--trace-out F]\n  \
+           mmc ooc multiply --a F --b F --out F --mem-budget BYTES[k|m|g] [--io-threads N] [--kernel K] [--preset P] [--sigma-ratio X] [--json] [--trace-out F] [--drift]\n  \
            mmc ooc verify --a F --b F --c F [--kernel K] [--preset P]\n  \
            mmc list\n\
          presets: q32 q32p q64 q64p q80 q80p;\n\
@@ -52,13 +53,14 @@ fn usage() -> ! {
          tilings (exec): shared_opt distributed_opt tradeoff equal; (lu): row_stripes shared_opt tradeoff;\n\
          granularities (trace): auto events steps; kernels (ooc): auto scalar avx2 neon;\n\
          env: MMC_KERNEL=scalar|avx2|neon|auto forces the exec micro-kernel variant;\n\
-         env: MMC_BLOCKING=mc,kc,nc (elements) pins the 5-loop macro-kernel blocking (default: derived from host caches)"
+         env: MMC_BLOCKING=mc,kc,nc (elements) pins the 5-loop macro-kernel blocking (default: derived from host caches);\n\
+         env: MMC_SPANS=off disables the always-on span recorder; MMC_SPAN_RING=N sets its per-thread ring capacity"
     );
     exit(2);
 }
 
 /// Flags that take no value (presence means `"true"`).
-const BOOL_FLAGS: &[&str] = &["json"];
+const BOOL_FLAGS: &[&str] = &["json", "drift"];
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut flags = HashMap::new();
@@ -288,6 +290,10 @@ struct ExecReport {
     gflops: f64,
     naive_seconds: f64,
     matches: bool,
+    /// Predicted-vs-measured drift over the traced 5-loop phases;
+    /// present only under `--drift`.
+    #[serde(default)]
+    drift: Option<DriftReport>,
 }
 
 fn cmd_exec(flags: HashMap<String, String>) {
@@ -312,9 +318,12 @@ fn cmd_exec(flags: HashMap<String, String>) {
     });
     let a = BlockMatrix::pseudo_random(order, order, q, seed);
     let b = BlockMatrix::pseudo_random(order, order, q, seed + 1);
+    let variant = multicore_matmul::exec::kernel::variant();
+    let blocking = multicore_matmul::exec::blocking::active_plan::<f64>();
     let t0 = Instant::now();
-    let (c, spans) = gemm_parallel_traced(&a, &b, tiling);
+    let (c, run) = run_traced(&a, &b, tiling, variant, blocking);
     let dt = t0.elapsed().as_secs_f64();
+    let spans = task_spans(&run);
     let flops = 2.0 * (order as f64 * q as f64).powi(3);
     let threads = spans.iter().filter_map(|s| s.thread).max().map_or(0, |t| t + 1);
     if let Some(path) = flags.get("trace-out") {
@@ -323,12 +332,18 @@ fn cmd_exec(flags: HashMap<String, String>) {
             exit(1);
         }
     }
+    let drift = if flags.contains_key("drift") {
+        let band: f64 = num(&flags, "band", multicore_matmul::obs::drift::DEFAULT_BAND);
+        let model = ExecModel::for_run(&a, &b, tiling, variant);
+        Some(exec_drift(&run, &model, band))
+    } else {
+        None
+    };
     let t0 = Instant::now();
     let oracle = gemm_naive(&a, &b);
     let dt_naive = t0.elapsed().as_secs_f64();
     let matches = c == oracle;
-    let kernel = multicore_matmul::exec::kernel::variant().name();
-    let blocking = multicore_matmul::exec::blocking::active_plan::<f64>();
+    let kernel = variant.name();
     if flags.contains_key("json") {
         let report = ExecReport {
             schema_version: SCHEMA_VERSION,
@@ -343,6 +358,7 @@ fn cmd_exec(flags: HashMap<String, String>) {
             gflops: flops / dt / 1e9,
             naive_seconds: dt_naive,
             matches,
+            drift,
         };
         println!("{}", serde_json::to_string_pretty(&report).expect("serialize report"));
     } else {
@@ -360,6 +376,9 @@ fn cmd_exec(flags: HashMap<String, String>) {
             spans.len()
         );
         println!("  naive oracle: {dt_naive:.3}s; results identical: {matches}");
+        if let Some(d) = &drift {
+            print!("{}", d.render_text());
+        }
     }
     if !matches {
         exit(1);
@@ -958,6 +977,9 @@ fn cmd_ooc(args: &[String]) {
                 eprintln!("--sigma-ratio must be positive");
                 usage();
             }
+            // Give the run its own trace job so recorder spans (and the
+            // report's drift section) are attributable to this invocation.
+            multicore_matmul::obs::span::new_job();
             let report = match ooc::ooc_multiply(
                 std::path::Path::new(&a),
                 std::path::Path::new(&b),
@@ -1022,6 +1044,11 @@ fn cmd_ooc(args: &[String]) {
                 "  {:.3}s wall ({:.3}s compute, {} kernel, {} I/O threads); wrote {out}",
                 report.elapsed_seconds, report.compute_seconds, report.kernel, report.io_threads
             );
+            if flags.contains_key("drift") {
+                if let Some(d) = &report.drift {
+                    print!("{}", d.render_text());
+                }
+            }
             if !report.within_budget {
                 exit(1);
             }
@@ -1059,6 +1086,125 @@ fn cmd_ooc(args: &[String]) {
     }
 }
 
+/// Combined `mmc drift --json` payload: one in-memory and one
+/// out-of-core drift report over the same problem shape.
+#[derive(Serialize, Deserialize)]
+struct DriftSummary {
+    schema_version: u32,
+    order: u32,
+    q: usize,
+    band: f64,
+    exec: DriftReport,
+    ooc: DriftReport,
+}
+
+fn cmd_drift(flags: HashMap<String, String>) {
+    use multicore_matmul::obs::span;
+    use multicore_matmul::ooc;
+
+    let machine = preset(&flags);
+    let order: u32 = num(&flags, "order", 6);
+    let q: usize = num(&flags, "q", 16);
+    let seed: u64 = num(&flags, "seed", 1);
+    let band: f64 = num(&flags, "band", multicore_matmul::obs::drift::DEFAULT_BAND);
+    if order == 0 || q == 0 {
+        eprintln!("--order and --q must be positive");
+        usage();
+    }
+    if !span::enabled() {
+        eprintln!("error: the span recorder is disabled (MMC_SPANS=off); drift needs spans");
+        exit(1);
+    }
+    let variant = kernel_flag(&flags);
+
+    // In-memory leg: one whole-problem tile so the five-loop closed
+    // forms (m·z·⌈n/NC⌉, z·n, ...) apply to the trace exactly.
+    let a = BlockMatrix::pseudo_random(order, order, q, seed);
+    let b = BlockMatrix::pseudo_random(order, order, q, seed + 1);
+    let tiling = Tiling { tile_m: order, tile_n: order, tile_k: 1 };
+    let plan = multicore_matmul::exec::blocking::active_plan::<f64>();
+    let (_c, run) = run_traced(&a, &b, tiling, variant, plan);
+    let model = ExecModel::for_run(&a, &b, tiling, variant);
+    let exec_report = exec_drift(&run, &model, band);
+
+    // Out-of-core leg: the same shape streamed from disk through a
+    // small budget, in a scratch directory we clean up afterwards.
+    let block_bytes = (q * q * 8) as u64;
+    let budget = match flags.get("mem-budget") {
+        Some(text) => parse_bytes(text).unwrap_or_else(|| {
+            eprintln!("invalid --mem-budget {text:?} (use e.g. 4096, 64k, 8m, 1g)");
+            usage();
+        }),
+        None => 24 * block_bytes,
+    };
+    let dir = std::env::temp_dir().join(format!("mmc-drift-{}", std::process::id()));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("error creating {}: {e}", dir.display());
+        exit(1);
+    }
+    let (fa, fb, fc) = (dir.join("a.tiled"), dir.join("b.tiled"), dir.join("c.tiled"));
+    let gen = ooc::write_pseudo_random(&fa, order, order, q, seed)
+        .and_then(|()| ooc::write_pseudo_random(&fb, order, order, q, seed + 1));
+    if let Err(e) = gen {
+        eprintln!("error generating operands: {e}");
+        exit(1);
+    }
+    let mut opts = ooc::OocOpts::new(budget);
+    opts.variant = variant;
+    opts.machine = machine;
+    let ooc_job = span::new_job();
+    let report = match ooc::ooc_multiply(&fa, &fb, &fc, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            let _ = std::fs::remove_dir_all(&dir);
+            exit(1);
+        }
+    };
+    let ooc_report = ooc_drift(&report, band);
+
+    if let Some(path) = flags.get("trace-out") {
+        // Both jobs stamp the process-wide epoch, so their spans merge
+        // into one coherent timeline; registry totals ride along as
+        // Chrome counter events.
+        let mut merged = run.spans.clone();
+        merged.extend(span::collect_job(ooc_job));
+        merged.sort_by_key(|s| (s.start_ns, s.kind, s.thread));
+        let counters: Vec<(String, f64)> = multicore_matmul::obs::global()
+            .snapshot()
+            .counters
+            .into_iter()
+            .map(|c| (c.name, c.value as f64))
+            .collect();
+        if let Err(e) = std::fs::write(path, spans_to_chrome("mmc drift", &merged, &counters)) {
+            eprintln!("error writing {path}: {e}");
+            let _ = std::fs::remove_dir_all(&dir);
+            exit(1);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if flags.contains_key("json") {
+        let summary = DriftSummary {
+            schema_version: SCHEMA_VERSION,
+            order,
+            q,
+            band,
+            exec: exec_report,
+            ooc: ooc_report,
+        };
+        println!("{}", serde_json::to_string_pretty(&summary).expect("serialize summary"));
+    } else {
+        println!(
+            "drift check: {order}x{order} blocks of {q}x{q}, {} kernel, band ±{:.0}%",
+            variant.name(),
+            band * 100.0
+        );
+        print!("{}", exec_report.render_text());
+        print!("{}", ooc_report.render_text());
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else { usage() };
@@ -1066,6 +1212,7 @@ fn main() {
         "simulate" => cmd_simulate(parse_flags(rest)),
         "plan" => cmd_plan(parse_flags(rest)),
         "exec" => cmd_exec(parse_flags(rest)),
+        "drift" => cmd_drift(parse_flags(rest)),
         "lu" => cmd_lu(parse_flags(rest)),
         "profile" => cmd_profile(parse_flags(rest)),
         "counters" => cmd_counters(parse_flags(rest)),

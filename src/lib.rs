@@ -23,8 +23,10 @@
 //!   three-level `T_data` report;
 //! * [`obs`] (`mmc-obs`) — the observability substrate: a lock-free
 //!   metrics registry, raw `perf_event_open` hardware-counter sampling
-//!   with graceful fallback, and roofline records that put the paper's
-//!   predicted `M_S`/`T_data` next to measured LLC misses.
+//!   with graceful fallback, roofline records that put the paper's
+//!   predicted `M_S`/`T_data` next to measured LLC misses, per-job span
+//!   tracing through lock-free per-thread rings, and
+//!   predicted-vs-measured drift reports over the traced phases.
 //!
 //! See `examples/quickstart.rs` for a guided tour, and the `mmc-bench`
 //! crate for the harness that regenerates every figure of the paper.
@@ -61,14 +63,18 @@ pub mod prelude {
         bounds, formulas, params, CoreGrid, Prediction, ProblemSpec, TradeoffParams,
     };
     pub use mmc_exec::{
-        gemm_naive, gemm_parallel, gemm_parallel_traced, gemm_parallel_with_kernel,
-        gemm_parallel_with_plan, run_schedule, task_spans_to_chrome, BlockMatrix, BlockMatrixOf,
-        BlockingPlan, ExecSink, KernelVariant, TaskSpan, Tiling,
+        exec_drift, gemm_naive, gemm_parallel, gemm_parallel_traced, gemm_parallel_with_kernel,
+        gemm_parallel_with_plan, run_schedule, run_traced, spans_to_chrome, task_spans,
+        task_spans_to_chrome, BlockMatrix, BlockMatrixOf, BlockingPlan, ExecModel, ExecSink,
+        KernelVariant, TaskSpan, Tiling, TracedRun,
     };
     pub use mmc_obs::{
-        CounterReading, PerfCounters, Registry, RegistrySnapshot, RooflineRecord, SCHEMA_VERSION,
+        CounterReading, DriftReport, PerfCounters, PhaseDrift, Registry, RegistrySnapshot,
+        RooflineRecord, SpanKind, SpanRecord, SCHEMA_VERSION,
     };
-    pub use mmc_ooc::{ooc_multiply, ooc_verify, write_pseudo_random, OocOpts, OocReport};
+    pub use mmc_ooc::{
+        ooc_drift, ooc_multiply, ooc_verify, write_pseudo_random, OocOpts, OocReport,
+    };
     pub use mmc_sim::{
         five_loop_traffic, Block, BlockSpace, ChromeGranularity, ChromeTraceBuilder, CountingSink,
         EventKind, FileLevel, FiveLoopTraffic, FlightRecorder, MachineConfig, MatrixId,
