@@ -88,7 +88,7 @@ impl CacheLevels {
             else {
                 continue;
             };
-            let Some(bytes) = parse_size(size.trim()) else { continue };
+            let Some(bytes) = parse_bytes(size.trim()) else { continue };
             match (level.trim(), ty.trim()) {
                 ("1", "Data") => l1d = Some(bytes),
                 ("2", _) => l2 = Some(bytes),
@@ -104,16 +104,22 @@ impl CacheLevels {
     }
 }
 
-/// Parse a sysfs cache size string (`"48K"`, `"2048K"`, `"8M"`, bare
-/// bytes) into bytes.
-fn parse_size(s: &str) -> Option<u64> {
+/// Parse a byte-size string with an optional binary suffix (`"48K"`,
+/// `"64m"`, `"2g"`, bare bytes) into bytes.
+///
+/// This is the one byte-size parser shared by the sysfs cache probe,
+/// the CLI budget flags (`--mem-budget`, `serve --ram-budget`) and any
+/// other place that accepts human-sized capacities. Multiplication is
+/// checked: a hostile or corrupt value like `"99999999999999999G"`
+/// returns `None` instead of overflowing in release builds.
+pub fn parse_bytes(s: &str) -> Option<u64> {
     let (digits, mul) = match s.as_bytes().last()? {
         b'K' | b'k' => (&s[..s.len() - 1], 1u64 << 10),
         b'M' | b'm' => (&s[..s.len() - 1], 1 << 20),
         b'G' | b'g' => (&s[..s.len() - 1], 1 << 30),
         _ => (s, 1),
     };
-    digits.parse::<u64>().ok().map(|v| v * mul)
+    digits.parse::<u64>().ok().and_then(|v| v.checked_mul(mul))
 }
 
 /// Derive the analytic plan for element type `T` from `levels`.
@@ -188,12 +194,24 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parse_size_handles_sysfs_spellings() {
-        assert_eq!(parse_size("48K"), Some(48 << 10));
-        assert_eq!(parse_size("2048K"), Some(2 << 20));
-        assert_eq!(parse_size("8M"), Some(8 << 20));
-        assert_eq!(parse_size("512"), Some(512));
-        assert_eq!(parse_size("nope"), None);
+    fn parse_bytes_handles_sysfs_and_cli_spellings() {
+        assert_eq!(parse_bytes("48K"), Some(48 << 10));
+        assert_eq!(parse_bytes("2048K"), Some(2 << 20));
+        assert_eq!(parse_bytes("8M"), Some(8 << 20));
+        assert_eq!(parse_bytes("64m"), Some(64 << 20));
+        assert_eq!(parse_bytes("2g"), Some(2 << 30));
+        assert_eq!(parse_bytes("512"), Some(512));
+        assert_eq!(parse_bytes("nope"), None);
+        assert_eq!(parse_bytes(""), None);
+    }
+
+    #[test]
+    fn parse_bytes_rejects_overflowing_sizes_instead_of_wrapping() {
+        // A corrupt sysfs string (or hostile CLI flag) whose product
+        // exceeds u64 must come back None, not a wrapped small number.
+        assert_eq!(parse_bytes("99999999999999999G"), None);
+        assert_eq!(parse_bytes("18446744073709551615"), Some(u64::MAX));
+        assert_eq!(parse_bytes("18446744073709551616"), None);
     }
 
     #[test]

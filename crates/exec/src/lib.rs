@@ -31,6 +31,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod blocking;
+pub mod job;
 pub mod kernel;
 pub mod matrix;
 pub mod metrics;
@@ -38,14 +39,15 @@ pub mod naive;
 pub mod runner;
 pub mod tracing;
 
-pub use blocking::BlockingPlan;
+pub use blocking::{parse_bytes, BlockingPlan};
+pub use job::CancelToken;
 pub use kernel::elem::Element;
 pub use kernel::KernelVariant;
 pub use matrix::{BlockMatrix, BlockMatrixOf};
 pub use naive::gemm_naive;
 pub use runner::{
-    gemm_accumulate, gemm_blocked, gemm_blocked_traced, gemm_parallel, gemm_parallel_traced,
-    gemm_parallel_with_kernel, gemm_parallel_with_plan, run_schedule, task_spans_to_chrome,
-    ExecSink, TaskSpan, Tiling,
+    gemm_accumulate, gemm_accumulate_cancellable, gemm_blocked, gemm_blocked_traced, gemm_parallel,
+    gemm_parallel_cancellable, gemm_parallel_traced, gemm_parallel_with_kernel,
+    gemm_parallel_with_plan, run_schedule, task_spans_to_chrome, ExecSink, TaskSpan, Tiling,
 };
 pub use tracing::{exec_drift, run_traced, spans_to_chrome, task_spans, ExecModel, TracedRun};

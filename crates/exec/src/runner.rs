@@ -34,6 +34,7 @@
 //! variant — tests compare with `==`.
 
 use crate::blocking::{self, BlockingPlan};
+use crate::job::CancelToken;
 use crate::kernel::elem::Element;
 use crate::kernel::{self, block_fma, KernelVariant};
 use crate::matrix::{BlockMatrix, BlockMatrixOf};
@@ -246,6 +247,35 @@ pub fn gemm_parallel_with_plan<T: Element>(
     variant: KernelVariant,
     plan: BlockingPlan,
 ) -> BlockMatrixOf<T> {
+    gemm_parallel_inner(a, b, tiling, variant, plan, None)
+        .expect("uncancellable run cannot be cancelled")
+}
+
+/// [`gemm_parallel_with_plan`] as a cancellable job unit: every worker
+/// polls `cancel` at its macro-loop boundaries (the `jc` loop of the
+/// packed path, the `k0` panel loop of the blockwise path) and bails
+/// within one macro-panel of work. Returns `None` when the run was
+/// cancelled — the partial product is discarded, never observed — and
+/// leaves the rayon pool immediately reusable.
+pub fn gemm_parallel_cancellable<T: Element>(
+    a: &BlockMatrixOf<T>,
+    b: &BlockMatrixOf<T>,
+    tiling: Tiling,
+    variant: KernelVariant,
+    plan: BlockingPlan,
+    cancel: &CancelToken,
+) -> Option<BlockMatrixOf<T>> {
+    gemm_parallel_inner(a, b, tiling, variant, plan, Some(cancel))
+}
+
+fn gemm_parallel_inner<T: Element>(
+    a: &BlockMatrixOf<T>,
+    b: &BlockMatrixOf<T>,
+    tiling: Tiling,
+    variant: KernelVariant,
+    plan: BlockingPlan,
+    cancel: Option<&CancelToken>,
+) -> Option<BlockMatrixOf<T>> {
     check_gemm_shapes(a, b, tiling);
     let (m, n, z) = (a.rows(), b.cols(), a.cols());
     let q = a.q();
@@ -257,9 +287,12 @@ pub fn gemm_parallel_with_plan<T: Element>(
     // threads cannot see the caller's thread-local job).
     let job = span::current_job();
     tiles.par_iter().for_each(|&tile| {
-        run_tile(variant, a, b, cptr, z, tiling, plan, tile, job);
+        run_tile(variant, a, b, cptr, z, tiling, plan, tile, job, cancel);
     });
-    c
+    if cancel.is_some_and(CancelToken::is_cancelled) {
+        return None;
+    }
+    Some(c)
 }
 
 /// `C += A × B` with rayon tasks over `tiling`-sized `C` tiles,
@@ -284,6 +317,21 @@ pub fn gemm_accumulate<T: Element>(
     tiling: Tiling,
     variant: KernelVariant,
 ) {
+    gemm_accumulate_cancellable(c, a, b, tiling, variant, None);
+}
+
+/// [`gemm_accumulate`] with an optional cancellation token (the
+/// out-of-core job path). Returns `false` when the pass was cancelled —
+/// `c` then holds an unspecified partial accumulation and must be
+/// discarded by the caller.
+pub fn gemm_accumulate_cancellable<T: Element>(
+    c: &mut BlockMatrixOf<T>,
+    a: &BlockMatrixOf<T>,
+    b: &BlockMatrixOf<T>,
+    tiling: Tiling,
+    variant: KernelVariant,
+    cancel: Option<&CancelToken>,
+) -> bool {
     check_gemm_shapes(a, b, tiling);
     assert_eq!((c.rows(), c.cols(), c.q()), (a.rows(), b.cols(), a.q()));
     let (m, n, z) = (a.rows(), b.cols(), a.cols());
@@ -292,8 +340,9 @@ pub fn gemm_accumulate<T: Element>(
     let cptr = SendPtr(c.data_mut().as_mut_ptr());
     let job = span::current_job();
     tiles.par_iter().for_each(|&tile| {
-        run_tile(variant, a, b, cptr, z, tiling, plan, tile, job);
+        run_tile(variant, a, b, cptr, z, tiling, plan, tile, job, cancel);
     });
+    !cancel.is_some_and(CancelToken::is_cancelled)
 }
 
 /// One wall-clock task record from [`gemm_parallel_traced`]: which worker
@@ -404,12 +453,21 @@ fn run_tile<T: Element>(
     plan: BlockingPlan,
     tile: (u32, u32, u32, u32),
     job: u64,
+    cancel: Option<&CancelToken>,
 ) {
+    if cancel.is_some_and(CancelToken::is_cancelled) {
+        return;
+    }
     let start = if span::enabled() { span::now_ns() } else { 0 };
     if variant.is_simd() && variant.is_available() {
-        run_tile_packed(variant, a, b, cptr, z, plan, tile, job);
+        run_tile_packed(variant, a, b, cptr, z, plan, tile, job, cancel);
     } else {
-        run_tile_blockwise(variant, a, b, cptr, z, tiling, tile, job);
+        run_tile_blockwise(variant, a, b, cptr, z, tiling, tile, job, cancel);
+    }
+    if cancel.is_some_and(CancelToken::is_cancelled) {
+        // A cancelled tile did partial (discarded) work — keep the FLOP
+        // counters honest by not charging the full tile.
+        return;
     }
     // One relaxed add per *tile* (not per block): th·tw C blocks each
     // accumulate z block FMAs of 2q³ FLOPs.
@@ -471,6 +529,7 @@ fn run_tile_blockwise<T: Element>(
     tiling: Tiling,
     (i0, th, j0, tw): (u32, u32, u32, u32),
     job: u64,
+    cancel: Option<&CancelToken>,
 ) {
     let q = a.q();
     let q2 = q * q;
@@ -478,6 +537,9 @@ fn run_tile_blockwise<T: Element>(
     let tracing = span::enabled();
     let mut k0 = 0;
     while k0 < z {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            return;
+        }
         let kb = tiling.tile_k.min(z - k0);
         let pc_start = if tracing { span::now_ns() } else { 0 };
         for i in i0..i0 + th {
@@ -529,6 +591,7 @@ fn run_tile_packed<T: Element>(
     plan: BlockingPlan,
     (i0, th, j0, tw): (u32, u32, u32, u32),
     job: u64,
+    cancel: Option<&CancelToken>,
 ) {
     let q = a.q();
     let q2 = q * q;
@@ -542,6 +605,9 @@ fn run_tile_packed<T: Element>(
     kernel::pack::with_arena::<T, _>(|arena| {
         let mut jc = 0;
         while jc < tw {
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                return;
+            }
             let jw = nc_b.min(tw - jc);
             let jc_start = if tracing { span::now_ns() } else { 0 };
             let mut k0 = 0;
@@ -1000,5 +1066,53 @@ mod tests {
             gemm_parallel(&a, &b, Tiling { tile_m: 1, tile_n: 1, tile_k: 1 })
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn pre_cancelled_run_returns_none_and_pool_keeps_serving() {
+        let (a, b) = operands(6, 6, 5, 4);
+        let tiling = Tiling { tile_m: 2, tile_n: 2, tile_k: 2 };
+        let plan = blocking::active_plan::<f64>();
+        let v = kernel::variant();
+        let token = CancelToken::new();
+        token.cancel();
+        assert!(gemm_parallel_cancellable(&a, &b, tiling, v, plan, &token).is_none());
+        // The same rayon pool immediately serves the next (live) job.
+        let live = CancelToken::new();
+        let c = gemm_parallel_cancellable(&a, &b, tiling, v, plan, &live)
+            .expect("uncancelled job completes");
+        assert_eq!(c, gemm_naive(&a, &b));
+    }
+
+    #[test]
+    fn uncancelled_cancellable_run_is_bit_identical_to_plain_run() {
+        let (a, b) = operands(7, 5, 6, 4);
+        let tiling = Tiling { tile_m: 3, tile_n: 2, tile_k: 2 };
+        let plan = blocking::active_plan::<f64>();
+        for v in kernel::variants_available() {
+            let token = CancelToken::new();
+            let c = gemm_parallel_cancellable(&a, &b, tiling, v, plan, &token).unwrap();
+            assert_eq!(c, gemm_parallel_with_plan(&a, &b, tiling, v, plan), "variant {v}");
+        }
+    }
+
+    #[test]
+    fn cancelled_accumulate_reports_false() {
+        let (a, b) = operands(3, 3, 3, 4);
+        let mut c = BlockMatrix::zeros(3, 3, 4);
+        let tiling = Tiling { tile_m: 1, tile_n: 1, tile_k: 1 };
+        let token = CancelToken::new();
+        token.cancel();
+        assert!(!gemm_accumulate_cancellable(
+            &mut c,
+            &a,
+            &b,
+            tiling,
+            kernel::variant(),
+            Some(&token)
+        ));
+        let mut c2 = BlockMatrix::zeros(3, 3, 4);
+        assert!(gemm_accumulate_cancellable(&mut c2, &a, &b, tiling, kernel::variant(), None));
+        assert_eq!(c2, gemm_naive(&a, &b));
     }
 }

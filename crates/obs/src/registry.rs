@@ -377,13 +377,25 @@ impl Registry {
             }
             out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
             out.push_str(&format!("{name}_sum {}\n{name}_count {}\n", h.sum, h.count));
-            // Summary-style quantile estimates (log2-bucket upper
-            // bounds), so scrapers get percentiles without re-deriving
-            // them from the cumulative buckets.
-            for (q, v) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
-                if let Some(v) = v {
-                    out.push_str(&format!("{name}{{quantile=\"{q}\"}} {v}\n"));
-                }
+        }
+        // Quantile estimates (log2-bucket upper bounds) go out as their
+        // own `_quantile`-suffixed gauge family. They used to be
+        // summary-style `name{quantile="..."}` samples under the
+        // `# TYPE name histogram` declaration — an exposition-format
+        // violation (a histogram family may only carry `_bucket`,
+        // `_sum` and `_count` samples) that conformant scrapers reject.
+        for h in &snap.histograms {
+            let name = prom_name(&h.name);
+            let quantiles: Vec<(&str, u64)> = [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)]
+                .into_iter()
+                .filter_map(|(q, v)| v.map(|v| (q, v)))
+                .collect();
+            if quantiles.is_empty() {
+                continue;
+            }
+            out.push_str(&format!("# TYPE {name}_quantile gauge\n"));
+            for (q, v) in quantiles {
+                out.push_str(&format!("{name}_quantile{{quantile=\"{q}\"}} {v}\n"));
             }
         }
         out
@@ -495,16 +507,75 @@ mod tests {
     }
 
     #[test]
-    fn exposition_renders_summary_quantiles() {
+    fn exposition_renders_quantiles_as_their_own_gauge_family() {
         let reg = Registry::new();
         let h = reg.histogram("lat_us");
         for v in [4, 4, 4, 4, 500] {
             h.observe(v);
         }
         let text = reg.render_prometheus();
-        assert!(text.contains("lat_us{quantile=\"0.5\"} 7\n"), "{text}");
-        assert!(text.contains("lat_us{quantile=\"0.95\"} 511\n"), "{text}");
-        assert!(text.contains("lat_us{quantile=\"0.99\"} 511\n"), "{text}");
+        assert!(text.contains("# TYPE lat_us_quantile gauge\n"), "{text}");
+        assert!(text.contains("lat_us_quantile{quantile=\"0.5\"} 7\n"), "{text}");
+        assert!(text.contains("lat_us_quantile{quantile=\"0.95\"} 511\n"), "{text}");
+        assert!(text.contains("lat_us_quantile{quantile=\"0.99\"} 511\n"), "{text}");
+        // Never again as summary-style samples of the histogram family.
+        assert!(!text.contains("lat_us{quantile="), "{text}");
+        // An empty histogram emits no quantile family at all.
+        let reg2 = Registry::new();
+        reg2.histogram("empty_us");
+        let text2 = reg2.render_prometheus();
+        assert!(!text2.contains("empty_us_quantile"), "{text2}");
+    }
+
+    /// Exposition-format conformance: every sample line must belong to
+    /// its declared family — bare `name` samples for counters/gauges,
+    /// and only `name_bucket{le=…}` / `name_sum` / `name_count` samples
+    /// under a `# TYPE name histogram` declaration. The old renderer
+    /// violated this with `name{quantile=…}` lines under histograms.
+    #[test]
+    fn exposition_is_conformant_per_declared_family() {
+        let reg = Registry::new();
+        reg.counter("jobs.total").add(7);
+        reg.gauge("ram.in_use").set(123);
+        let h = reg.histogram("job_us");
+        for v in [1, 8, 64, 4000] {
+            h.observe(v);
+        }
+        let text = reg.render_prometheus();
+
+        let mut declared: Vec<(String, String)> = Vec::new(); // (name, type)
+        for line in text.lines().filter(|l| l.starts_with("# TYPE ")) {
+            let mut parts = line["# TYPE ".len()..].split_whitespace();
+            let name = parts.next().unwrap().to_string();
+            let ty = parts.next().unwrap().to_string();
+            assert!(["counter", "gauge", "histogram"].contains(&ty.as_str()), "{line}");
+            declared.push((name, ty));
+        }
+
+        for line in text.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+            let sample = line.split([' ', '{']).next().unwrap();
+            // Find the family this sample belongs to.
+            let family = declared
+                .iter()
+                .find(|(name, ty)| match ty.as_str() {
+                    "histogram" => {
+                        [format!("{name}_bucket"), format!("{name}_sum"), format!("{name}_count")]
+                            .contains(&sample.to_string())
+                    }
+                    _ => sample == name,
+                })
+                .unwrap_or_else(|| panic!("sample {sample:?} belongs to no declared family"));
+            // Histogram families may not carry quantile-labelled samples.
+            if family.1 == "histogram" {
+                assert!(
+                    !line.contains("quantile="),
+                    "histogram family {} carries a quantile sample: {line}",
+                    family.0
+                );
+            }
+        }
+        // And the quantile gauges exist, under their own declaration.
+        assert!(text.contains("# TYPE job_us_quantile gauge\n"), "{text}");
     }
 
     #[test]

@@ -24,8 +24,8 @@ use serde::{Deserialize, Serialize};
 
 use mmc_core::params::ooc_staging;
 use mmc_core::{formulas, OocStaging, ProblemSpec};
-use mmc_exec::runner::gemm_accumulate;
-use mmc_exec::{gemm_parallel_with_kernel, BlockMatrix, KernelVariant, Tiling};
+use mmc_exec::runner::gemm_accumulate_cancellable;
+use mmc_exec::{gemm_parallel_with_kernel, BlockMatrix, CancelToken, KernelVariant, Tiling};
 use mmc_obs::span::{self, SpanKind};
 use mmc_obs::{DriftReport, PhaseSample};
 use mmc_sim::{ChromeTraceBuilder, MachineConfig, TData3};
@@ -78,6 +78,9 @@ pub enum OocError {
     Shape(String),
     /// The RAM budget cannot hold even the minimal staging footprint.
     BudgetTooSmall(u64, u64),
+    /// The run was cancelled through its [`CancelToken`]; the partial
+    /// output file has been removed.
+    Cancelled,
 }
 
 impl std::fmt::Display for OocError {
@@ -90,6 +93,7 @@ impl std::fmt::Display for OocError {
                 "--mem-budget of {budget} bytes is below the minimal staging footprint \
                  ({need} bytes: a 1-block C tile plus a {RING_SLOTS}-deep ring per operand)"
             ),
+            OocError::Cancelled => write!(f, "multiply cancelled before completion"),
         }
     }
 }
@@ -162,10 +166,15 @@ pub struct OocReport {
     pub within_budget: bool,
     /// Bytes written to the `C` file.
     pub bytes_written: u64,
-    /// Measured disk streaming bandwidth, blocks per second per thread.
-    pub sigma_f_blocks_per_s: f64,
-    /// The three-term data access time: measured disk term next to the
-    /// model's two in-core terms.
+    /// Measured disk streaming bandwidth, blocks per second per thread —
+    /// `None` when the run performed no timed I/O (everything served
+    /// from cache in under the clock's resolution), in which case
+    /// [`OocReport::t_data3`] prices the disk term at the machine
+    /// model's assumed bandwidth ([`default_sigma_f`]) instead.
+    pub sigma_f_blocks_per_s: Option<f64>,
+    /// The three-term data access time: measured disk term (or the
+    /// model default when unmeasured) next to the model's two in-core
+    /// terms. `sigma_f` here is always finite and meaningful.
     pub t_data3: TData3,
     /// Wall-clock seconds for the whole multiply.
     pub elapsed_seconds: f64,
@@ -236,6 +245,22 @@ fn staging_requests(m: u32, n: u32, z: u32, staging: OocStaging) -> Vec<StageReq
     reqs
 }
 
+/// The measured disk bandwidth of a run, blocks per second per thread —
+/// `None` when no I/O time was observed (nothing read, or reads too
+/// fast for the clock), so callers never divide by a fictitious rate.
+pub fn measured_sigma_f(read_blocks: u64, io_seconds: f64) -> Option<f64> {
+    (io_seconds > 0.0 && read_blocks > 0).then(|| read_blocks as f64 / io_seconds)
+}
+
+/// The machine model's assumed disk bandwidth in blocks/s: `σ_S`
+/// scaled by the disk/RAM ratio hint. This is what prices the `M_F`
+/// term of [`TData3`] when a run measured no I/O — an explicit model
+/// default rather than the old silent `1.0 block/s` fallback, which
+/// predicted multi-second read legs for instant runs.
+pub fn default_sigma_f(machine: &MachineConfig, sigma_ratio_hint: f64) -> f64 {
+    (machine.sigma_s * sigma_ratio_hint.max(1e-6)).max(1e-6)
+}
+
 /// Multiply the tiled files at `a_path` and `b_path` out of core,
 /// writing the tiled product to `out_path` and returning the run report.
 pub fn ooc_multiply(
@@ -243,6 +268,33 @@ pub fn ooc_multiply(
     b_path: &Path,
     out_path: &Path,
     opts: &OocOpts,
+) -> Result<OocReport, OocError> {
+    ooc_multiply_inner(a_path, b_path, out_path, opts, None)
+}
+
+/// [`ooc_multiply`] as a cancellable job unit: the driver polls `cancel`
+/// at every panel-stage boundary (before claiming the next prefetched
+/// panel pair) and inside the in-core accumulation's macro loops. On
+/// cancellation the prefetch pipeline is shut down and joined
+/// mid-stream, the partial output file is removed, and
+/// [`OocError::Cancelled`] comes back — the worker pool and filesystem
+/// are left exactly as before the job started.
+pub fn ooc_multiply_cancellable(
+    a_path: &Path,
+    b_path: &Path,
+    out_path: &Path,
+    opts: &OocOpts,
+    cancel: &CancelToken,
+) -> Result<OocReport, OocError> {
+    ooc_multiply_inner(a_path, b_path, out_path, opts, Some(cancel))
+}
+
+fn ooc_multiply_inner(
+    a_path: &Path,
+    b_path: &Path,
+    out_path: &Path,
+    opts: &OocOpts,
+    cancel: Option<&CancelToken>,
 ) -> Result<OocReport, OocError> {
     let started = Instant::now();
     let fa = Arc::new(TiledFile::open(a_path)?);
@@ -300,7 +352,8 @@ pub fn ooc_multiply(
     let mut c_buf: Vec<f64> = Vec::new();
     let mut consumed = 0usize;
 
-    for i0 in (0..m).step_by(alpha as usize) {
+    let mut cancelled = false;
+    'tiles: for i0 in (0..m).step_by(alpha as usize) {
         let th = alpha.min(m - i0);
         for j0 in (0..n).step_by(alpha as usize) {
             let tw = alpha.min(n - j0);
@@ -308,6 +361,13 @@ pub fn ooc_multiply(
             c_buf.resize(th as usize * tw as usize * q * q, 0.0);
             let mut c_tile = BlockMatrix::from_vec(th, tw, q, std::mem::take(&mut c_buf));
             for k0 in (0..z).step_by(beta as usize) {
+                // Panel-stage boundary: the coarsest cooperative
+                // cancellation point — bail before claiming the next
+                // prefetched pair so the ring never deadlocks.
+                if cancel.is_some_and(CancelToken::is_cancelled) {
+                    cancelled = true;
+                    break 'tiles;
+                }
                 let kd = beta.min(z - k0);
                 let pa = pf.next().expect("staging order exhausted early")?;
                 let pb = pf.next().expect("staging order exhausted early")?;
@@ -323,7 +383,18 @@ pub fn ooc_multiply(
                 // every path applies one multiply-accumulate per C
                 // element per ascending k step, and neither the panel
                 // split nor the blocking plan moves that order.
-                gemm_accumulate(&mut c_tile, &a_panel, &b_panel, tiling, opts.variant);
+                let finished = gemm_accumulate_cancellable(
+                    &mut c_tile,
+                    &a_panel,
+                    &b_panel,
+                    tiling,
+                    opts.variant,
+                    cancel,
+                );
+                if !finished {
+                    cancelled = true;
+                    break 'tiles;
+                }
                 let dur = t0.elapsed();
                 compute_seconds += dur.as_secs_f64();
                 compute_spans.push(ComputeSpan {
@@ -353,6 +424,15 @@ pub fn ooc_multiply(
             c_buf = c_tile.into_vec();
         }
     }
+    if cancelled {
+        // Dropping the prefetcher shuts down and joins the I/O threads
+        // mid-stream (the pipeline is proven safe against this); the
+        // partial output must not look like a product.
+        drop(pf);
+        drop(out);
+        let _ = std::fs::remove_file(out_path);
+        return Err(OocError::Cancelled);
+    }
     debug_assert_eq!(consumed, n_requests, "every staged panel consumed");
     out.finish()?;
     let prefetch = pf.finish();
@@ -360,11 +440,7 @@ pub fn ooc_multiply(
     let c_tile_bytes = alpha as u64 * alpha as u64 * block_bytes;
     let peak_resident_bytes = prefetch.peak_resident_bytes + c_tile_bytes;
     let read_blocks = prefetch.bytes_read / block_bytes;
-    let sigma_f = if prefetch.io_seconds > 0.0 {
-        read_blocks as f64 / prefetch.io_seconds
-    } else {
-        f64::INFINITY
-    };
+    let sigma_f = measured_sigma_f(read_blocks, prefetch.io_seconds);
     let problem = ProblemSpec::new(m, n, z);
     let (ms, md) = formulas::tradeoff(&problem, &opts.machine)
         .or_else(|| formulas::shared_opt(&problem, &opts.machine))
@@ -374,7 +450,9 @@ pub fn ooc_multiply(
         mf: (read_blocks + bytes_written / block_bytes) as f64,
         ms,
         md,
-        sigma_f: if sigma_f.is_finite() { sigma_f } else { 1.0 },
+        // Unmeasured bandwidth prices at the machine model's assumed
+        // rate, never a fictitious 1 block/s.
+        sigma_f: sigma_f.unwrap_or_else(|| default_sigma_f(&opts.machine, opts.sigma_ratio_hint)),
         sigma_s: opts.machine.sigma_s,
         sigma_d: opts.machine.sigma_d,
     };
@@ -422,9 +500,12 @@ pub fn ooc_multiply(
 ///
 /// * `read` — measured positioned-read time against the staging
 ///   predictor's traffic ([`OocStaging::disk_blocks`] minus the written
-///   `C`) priced at the *measured* `σ_F`; the time ratio therefore
-///   equals the traffic ratio `bytes_read / predicted_bytes`, which is
-///   the paper-accountability check in time units.
+///   `C`) priced at the report's `σ_F` — the *measured* bandwidth when
+///   the run timed any I/O, else the machine model's assumed rate
+///   (`t_data3.sigma_f` either way, never a `1.0 block/s` artifact);
+///   with a measured `σ_F` the time ratio equals the traffic ratio
+///   `bytes_read / predicted_bytes`, which is the paper-accountability
+///   check in time units.
 /// * `accumulate` — in-core compute wall time against the product's
 ///   `2·m·n·z·q³` FLOPs at the machine model's full-chip in-core rate
 ///   (the `M_S/σ_S + M_D/σ_D` terms of the three-term `T_data`).
@@ -438,7 +519,7 @@ pub fn ooc_drift(report: &OocReport, band: f64) -> DriftReport {
     let pred_read_blocks =
         report.staging.disk_blocks(report.m, report.n, report.z).saturating_sub(write_blocks);
     let pred_read_bytes = pred_read_blocks * block_bytes;
-    let sigma_f_bytes_per_us = (report.sigma_f_blocks_per_s * block_bytes as f64 / 1e6).max(1e-9);
+    let sigma_f_bytes_per_us = (report.t_data3.sigma_f * block_bytes as f64 / 1e6).max(1e-9);
     let pred_read_us = pred_read_bytes as f64 / sigma_f_bytes_per_us;
     let measured_read_us = report.prefetch.io_seconds * 1e6;
 
@@ -721,6 +802,92 @@ mod tests {
         let back: OocReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.trace_job, report.trace_job);
         assert_eq!(back.drift, report.drift);
+    }
+
+    #[test]
+    fn unmeasured_bandwidth_is_explicit_and_never_one_block_per_s() {
+        // The helper itself: zero timed I/O (or zero blocks) is None,
+        // not a made-up rate.
+        assert_eq!(measured_sigma_f(0, 0.0), None);
+        assert_eq!(measured_sigma_f(100, 0.0), None);
+        assert_eq!(measured_sigma_f(0, 1.0), None);
+        assert_eq!(measured_sigma_f(50, 2.0), Some(25.0));
+
+        // A real run, then the pathological zero-I/O case layered on
+        // top: the drift's read leg must price at the machine default,
+        // not at 1 block/s (which predicted multi-second read legs for
+        // instant runs).
+        let dir = tmp("nosigma");
+        let a_path = dir.join("a.tiled");
+        let b_path = dir.join("b.tiled");
+        let (m, z, n, q) = (4u32, 3u32, 4u32, 4usize);
+        write_pseudo_random(&a_path, m, z, q, 1).unwrap();
+        write_pseudo_random(&b_path, z, n, q, 2).unwrap();
+        let opts = OocOpts::new(16 * (q * q * 8) as u64);
+        let mut report = ooc_multiply(&a_path, &b_path, &dir.join("c.tiled"), &opts).unwrap();
+        // Whatever was measured, the modelled sigma_f is finite and
+        // consistent with the report.
+        assert!(report.t_data3.sigma_f.is_finite() && report.t_data3.sigma_f > 0.0);
+        if let Some(s) = report.sigma_f_blocks_per_s {
+            assert_eq!(s, report.t_data3.sigma_f);
+        }
+
+        // Zero-I/O run: unmeasured bandwidth, model default in TData3.
+        report.prefetch.io_seconds = 0.0;
+        report.sigma_f_blocks_per_s = None;
+        report.t_data3.sigma_f = default_sigma_f(&opts.machine, opts.sigma_ratio_hint);
+        // The default carries the machine's semantics — σ_S scaled by
+        // the disk/RAM ratio hint — not the old hardcoded 1.0 (which,
+        // unrelated to any bandwidth, predicted multi-second read legs
+        // for instant runs on real-bandwidth machines).
+        assert_eq!(report.t_data3.sigma_f, opts.machine.sigma_s * opts.sigma_ratio_hint);
+        let drift = ooc_drift(&report, 1.0);
+        assert!(drift.all_finite());
+        let read = drift.phases.iter().find(|p| p.phase == "read").unwrap();
+        // The read leg is priced exactly at the model default: predicted
+        // time = predicted bytes / (default sigma_f in bytes/us).
+        let block_bytes = (q * q * 8) as f64;
+        let want_us = read.predicted_units / (report.t_data3.sigma_f * block_bytes / 1e6);
+        assert!(
+            (read.predicted_us - want_us).abs() <= 1e-9 * want_us.abs(),
+            "priced at the model default: {} vs {}",
+            read.predicted_us,
+            want_us
+        );
+        // And on a machine with *real* bandwidths the default scales
+        // with them — the fix is machine-derived, not another constant.
+        let fast = MachineConfig::quad_q32().with_bandwidths(2.0e5, 8.0e5);
+        assert_eq!(default_sigma_f(&fast, 0.1), 2.0e4);
+
+        // The Option round-trips as null through the report JSON.
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"sigma_f_blocks_per_s\":null"));
+        let back: OocReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.sigma_f_blocks_per_s, None);
+        assert_eq!(back.t_data3.sigma_f, report.t_data3.sigma_f);
+    }
+
+    #[test]
+    fn cancelled_multiply_cleans_up_and_pool_keeps_serving() {
+        let dir = tmp("cancel");
+        let a_path = dir.join("a.tiled");
+        let b_path = dir.join("b.tiled");
+        let c_path = dir.join("c.tiled");
+        let (m, z, n, q) = (6u32, 5u32, 4u32, 4usize);
+        write_pseudo_random(&a_path, m, z, q, 1).unwrap();
+        write_pseudo_random(&b_path, z, n, q, 2).unwrap();
+        let opts = OocOpts::new(24 * (q * q * 8) as u64);
+        let token = CancelToken::new();
+        token.cancel();
+        let err = ooc_multiply_cancellable(&a_path, &b_path, &c_path, &opts, &token).unwrap_err();
+        assert!(matches!(err, OocError::Cancelled), "{err}");
+        assert!(!c_path.exists(), "partial output removed");
+        // The same process (same rayon pool, fresh prefetcher) serves
+        // the next, uncancelled job to completion, bit-identically.
+        let live = CancelToken::new();
+        let report = ooc_multiply_cancellable(&a_path, &b_path, &c_path, &opts, &live).unwrap();
+        assert!(report.within_budget);
+        assert_eq!(ooc_verify(&a_path, &b_path, &c_path, opts.variant, &opts.machine).unwrap(), 0);
     }
 
     #[test]

@@ -45,8 +45,9 @@ pub mod pipeline;
 pub mod tiled;
 
 pub use gemm::{
-    chrome_trace, ooc_drift, ooc_multiply, ooc_verify, write_pseudo_random, ComputeSpan, OocError,
-    OocOpts, OocReport, RING_SLOTS,
+    chrome_trace, default_sigma_f, measured_sigma_f, ooc_drift, ooc_multiply,
+    ooc_multiply_cancellable, ooc_verify, write_pseudo_random, ComputeSpan, OocError, OocOpts,
+    OocReport, RING_SLOTS,
 };
 pub use pipeline::{IoSpan, PrefetchStats, Prefetcher, StageRequest, StagedPanel};
 pub use tiled::{TiledError, TiledFile, TiledHeader, TiledOutput, TiledWriter};

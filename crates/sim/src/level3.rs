@@ -72,6 +72,22 @@ pub struct TData3 {
 }
 
 impl TData3 {
+    /// The three-term objective of a purely in-core job: no disk leg
+    /// (`M_F = 0`), the model's two in-core terms, and `σ_F` pinned to
+    /// `σ_S` so the unused disk bandwidth is a real, finite rate — a
+    /// serve-scheduler pricing an in-RAM multiply must never divide by
+    /// a fictitious `1 block/s` placeholder.
+    pub fn in_core(ms: f64, md: f64, machine: &crate::MachineConfig) -> TData3 {
+        TData3 {
+            mf: 0.0,
+            ms,
+            md,
+            sigma_f: machine.sigma_s,
+            sigma_s: machine.sigma_s,
+            sigma_d: machine.sigma_d,
+        }
+    }
+
     /// The disk term `M_F/σ_F`.
     pub fn disk_term(&self) -> f64 {
         self.mf / self.sigma_f
@@ -123,6 +139,16 @@ mod tests {
         let text = format!("{t}");
         assert!(text.contains("M_F/sigma_F"), "{text}");
         assert!(text.ends_with("= 105"), "{text}");
+    }
+
+    #[test]
+    fn in_core_pricing_has_no_disk_leg_and_finite_bandwidths() {
+        let machine = crate::MachineConfig::quad_q32().with_bandwidths(0.25, 4.0);
+        let t = TData3::in_core(50.0, 20.0, &machine);
+        assert_eq!(t.disk_term(), 0.0);
+        assert!((t.total() - (50.0 / 0.25 + 20.0 / 4.0)).abs() < 1e-12);
+        assert!(t.sigma_f.is_finite() && t.sigma_f > 0.0);
+        assert_ne!(t.sigma_f, 1.0, "pinned to the machine, not a placeholder");
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! records a flight-recorder journal and exports Chrome trace-event JSON
 //! loadable at <https://ui.perfetto.dev>.
 
+use multicore_matmul::exec::parse_bytes;
 use multicore_matmul::lu::{bounds as lu_bounds, BlockedLu, SimLuHooks, UpdateTiling};
 use multicore_matmul::prelude::*;
 use multicore_matmul::sim::ProfilingSink;
@@ -47,6 +48,7 @@ fn usage() -> ! {
            mmc ooc gen --out F --rows R --cols C [--q Q] [--seed S]\n  \
            mmc ooc multiply --a F --b F --out F --mem-budget BYTES[k|m|g] [--io-threads N] [--kernel K] [--preset P] [--sigma-ratio X] [--json] [--trace-out F] [--drift]\n  \
            mmc ooc verify --a F --b F --c F [--kernel K] [--preset P]\n  \
+           mmc serve [--addr HOST:PORT] [--ram-budget BYTES[k|m|g]] [--workers N] [--preset P] [--band X]\n  \
            mmc list\n\
          presets: q32 q32p q64 q64p q80 q80p;\n\
          algorithms: shared_opt distributed_opt tradeoff outer_product shared_equal distributed_equal cache_oblivious;\n\
@@ -887,22 +889,22 @@ fn req<'a>(flags: &'a HashMap<String, String>, key: &str) -> &'a str {
     })
 }
 
-/// Parse a byte count with an optional binary suffix: `4096`, `64k`,
-/// `8m`, `1g`.
-fn parse_bytes(s: &str) -> Option<u64> {
-    let t = s.trim().to_ascii_lowercase();
-    let (digits, mult) = match t.strip_suffix(['k', 'm', 'g']) {
-        Some(d) => {
-            let mult = match t.as_bytes()[t.len() - 1] {
-                b'k' => 1u64 << 10,
-                b'm' => 1 << 20,
-                _ => 1 << 30,
-            };
-            (d, mult)
-        }
-        None => (t.as_str(), 1),
-    };
-    digits.parse::<u64>().ok()?.checked_mul(mult)
+/// Resolve a `--<key> BYTES[k|m|g]` budget flag through the shared
+/// overflow-checked [`parse_bytes`] helper (the same one the blocking
+/// planner uses on sysfs cache sizes). `default` fills in when the flag
+/// is absent; `None` makes the flag required. Malformed or overflowing
+/// spellings are a usage error, never a wrapped value.
+fn budget_flag(flags: &HashMap<String, String>, key: &str, default: Option<u64>) -> u64 {
+    match flags.get(key) {
+        Some(text) => parse_bytes(text.trim()).unwrap_or_else(|| {
+            eprintln!("invalid --{key} {text:?} (use e.g. 4096, 64k, 8m, 1g)");
+            usage();
+        }),
+        None => default.unwrap_or_else(|| {
+            eprintln!("--{key} is required");
+            usage();
+        }),
+    }
 }
 
 /// Resolve `--kernel` to a variant runnable on this CPU.
@@ -963,11 +965,7 @@ fn cmd_ooc(args: &[String]) {
             let a = req(&flags, "a").to_string();
             let b = req(&flags, "b").to_string();
             let out = req(&flags, "out").to_string();
-            let budget_text = req(&flags, "mem-budget");
-            let Some(budget) = parse_bytes(budget_text) else {
-                eprintln!("invalid --mem-budget {budget_text:?} (use e.g. 4096, 64k, 8m, 1g)");
-                usage();
-            };
+            let budget = budget_flag(&flags, "mem-budget", None);
             let mut opts = ooc::OocOpts::new(budget);
             opts.io_threads = num(&flags, "io-threads", 2usize).max(1);
             opts.variant = kernel_flag(&flags);
@@ -1021,13 +1019,18 @@ fn cmd_ooc(args: &[String]) {
                 s.resident_blocks(),
                 mib(report.pack_arena_bound_bytes)
             );
+            let sigma_f = match report.sigma_f_blocks_per_s {
+                Some(s) => format!("measured sigma_F = {s:.0} blocks/s/thread"),
+                None => format!(
+                    "sigma_F unmeasured (no timed I/O); model assumes {:.0} blocks/s",
+                    report.t_data3.sigma_f
+                ),
+            };
             println!(
-                "  disk: read {:.1} MiB over {} panels, wrote {:.1} MiB; \
-                 measured sigma_F = {:.0} blocks/s/thread",
+                "  disk: read {:.1} MiB over {} panels, wrote {:.1} MiB; {sigma_f}",
                 mib(report.prefetch.bytes_read),
                 report.prefetch.panels_staged,
                 mib(report.bytes_written),
-                report.sigma_f_blocks_per_s
             );
             println!(
                 "  peak resident {:.2} MiB of {:.2} MiB budget (within budget: {})",
@@ -1130,13 +1133,7 @@ fn cmd_drift(flags: HashMap<String, String>) {
     // Out-of-core leg: the same shape streamed from disk through a
     // small budget, in a scratch directory we clean up afterwards.
     let block_bytes = (q * q * 8) as u64;
-    let budget = match flags.get("mem-budget") {
-        Some(text) => parse_bytes(text).unwrap_or_else(|| {
-            eprintln!("invalid --mem-budget {text:?} (use e.g. 4096, 64k, 8m, 1g)");
-            usage();
-        }),
-        None => 24 * block_bytes,
-    };
+    let budget = budget_flag(&flags, "mem-budget", Some(24 * block_bytes));
     let dir = std::env::temp_dir().join(format!("mmc-drift-{}", std::process::id()));
     if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("error creating {}: {e}", dir.display());
@@ -1205,6 +1202,39 @@ fn cmd_drift(flags: HashMap<String, String>) {
     }
 }
 
+/// `mmc serve` — run the model-driven GEMM-as-a-service daemon until a
+/// client sends `shutdown` (or the process is killed). The listening
+/// line is printed (and flushed) first so wrappers can scrape the bound
+/// port even when `--addr` asked for an ephemeral one.
+fn cmd_serve(flags: HashMap<String, String>) {
+    use multicore_matmul::serve::{ServeConfig, Server};
+    let config = ServeConfig {
+        addr: flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:0".into()),
+        ram_budget_bytes: budget_flag(&flags, "ram-budget", Some(256 << 20)),
+        max_concurrent: num(&flags, "workers", 4usize).max(1),
+        machine: preset(&flags),
+        band: num(&flags, "band", multicore_matmul::obs::drift::DEFAULT_BAND),
+    };
+    let budget = config.ram_budget_bytes;
+    let workers = config.max_concurrent;
+    let server = match Server::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error starting server: {e}");
+            exit(1);
+        }
+    };
+    println!(
+        "mmc serve listening on {} (ram budget {:.1} MiB, {workers} workers)",
+        server.local_addr(),
+        mib(budget)
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.wait();
+    println!("mmc serve: clean shutdown");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else { usage() };
@@ -1219,6 +1249,7 @@ fn main() {
         "trace" => cmd_trace(parse_flags(rest)),
         "figures" => cmd_figures(rest),
         "ooc" => cmd_ooc(rest),
+        "serve" => cmd_serve(parse_flags(rest)),
         "list" => {
             for a in all_algorithms() {
                 println!("{:<20} {}", a.id(), a.name());

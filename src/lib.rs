@@ -28,6 +28,12 @@
 //!   tracing through lock-free per-thread rings, and
 //!   predicted-vs-measured drift reports over the traced phases.
 //!
+//! On top of those it adds [`serve`] — the `mmc serve` daemon: a
+//! std-only TCP server that prices every submitted multiply with the
+//! paper's model (`T_data`, predicted FLOPs, peak resident bytes) and
+//! packs compatible jobs onto a shared worker pool under a RAM budget,
+//! with cooperative cancellation and per-job drift reports.
+//!
 //! See `examples/quickstart.rs` for a guided tour, and the `mmc-bench`
 //! crate for the harness that regenerates every figure of the paper.
 //!
@@ -52,6 +58,8 @@ pub use mmc_lu as lu;
 pub use mmc_obs as obs;
 pub use mmc_ooc as ooc;
 pub use mmc_sim as sim;
+
+pub mod serve;
 
 /// The names most programs need, in one `use`.
 pub mod prelude {

@@ -1,0 +1,157 @@
+//! Wire protocol of the serve daemon: line-delimited JSON over TCP.
+//!
+//! Each request is one JSON object on one line, dispatched on its
+//! `"cmd"` field; each response is one JSON object on one line with an
+//! `"ok"` boolean. The same port also answers plain `GET /metrics`
+//! HTTP requests (sniffed from the first line) with the Prometheus
+//! exposition of the global metrics registry, so a scraper needs no
+//! separate endpoint.
+//!
+//! ```text
+//! {"cmd":"submit","kind":"mem","m":8,"n":8,"z":8,"q":32,"seed_a":1,"seed_b":2}
+//! {"ok":true,"job_id":1,"price":{...}}
+//! {"cmd":"wait","job_id":1}
+//! {"ok":true,"job_id":1,"state":"done","report":{...}}
+//! ```
+
+use serde::Value;
+
+use super::scheduler::{MemJobSpec, OocJobSpec};
+
+/// A parsed client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Submit an in-memory multiply.
+    SubmitMem(MemJobSpec),
+    /// Submit an out-of-core multiply over `.tiled` files.
+    SubmitOoc(OocJobSpec),
+    /// Report a job's current state without blocking.
+    Status(u64),
+    /// Block until a job reaches a terminal state, then report it.
+    Wait(u64),
+    /// Cancel a queued or running job.
+    Cancel(u64),
+    /// Snapshot the scheduler (budget, in-use, peak, counters).
+    Stats,
+    /// Return the Prometheus exposition as a JSON string field.
+    Metrics,
+    /// Stop admitting, cancel outstanding work, and exit.
+    Shutdown,
+}
+
+fn u64_field(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key).and_then(Value::as_u64).ok_or_else(|| format!("missing or invalid \"{key}\""))
+}
+
+fn str_field<'v>(v: &'v Value, key: &str) -> Result<&'v str, String> {
+    v.get(key).and_then(Value::as_str).ok_or_else(|| format!("missing or invalid \"{key}\""))
+}
+
+fn job_id(v: &Value) -> Result<u64, String> {
+    u64_field(v, "job_id")
+}
+
+/// Parse one request line. Errors are human-readable and go straight
+/// back to the client in an `{"ok":false,"error":...}` response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v: Value =
+        serde_json::from_str(line.trim()).map_err(|e| format!("request is not valid JSON: {e}"))?;
+    let cmd = str_field(&v, "cmd")?;
+    match cmd {
+        "submit" => match str_field(&v, "kind")? {
+            "mem" => Ok(Request::SubmitMem(MemJobSpec {
+                m: u64_field(&v, "m")? as u32,
+                n: u64_field(&v, "n")? as u32,
+                z: u64_field(&v, "z")? as u32,
+                q: u64_field(&v, "q")? as usize,
+                seed_a: u64_field(&v, "seed_a").unwrap_or(1),
+                seed_b: u64_field(&v, "seed_b").unwrap_or(2),
+            })),
+            "ooc" => Ok(Request::SubmitOoc(OocJobSpec {
+                a: str_field(&v, "a")?.to_string(),
+                b: str_field(&v, "b")?.to_string(),
+                out: str_field(&v, "out")?.to_string(),
+                mem_budget_bytes: u64_field(&v, "mem_budget_bytes")?,
+                io_threads: v.get("io_threads").and_then(Value::as_u64).unwrap_or(2) as usize,
+            })),
+            other => Err(format!("unknown submit kind \"{other}\" (expected \"mem\" or \"ooc\")")),
+        },
+        "status" => Ok(Request::Status(job_id(&v)?)),
+        "wait" => Ok(Request::Wait(job_id(&v)?)),
+        "cancel" => Ok(Request::Cancel(job_id(&v)?)),
+        "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown cmd \"{other}\"")),
+    }
+}
+
+/// Serialize any `Serialize` value to one response line (no trailing
+/// newline; the connection loop appends it).
+pub fn response_line<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string(value).unwrap_or_else(|e| {
+        format!("{{\"ok\":false,\"error\":\"response serialization failed: {e}\"}}")
+    })
+}
+
+/// The `{"ok":false,...}` error response.
+pub fn error_line(error: &str) -> String {
+    let mut out = String::from("{\"ok\":false,\"error\":");
+    out.push_str(&serde_json::to_string(&error.to_string()).unwrap_or_else(|_| "\"?\"".into()));
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_command() {
+        let r = parse_request(
+            r#"{"cmd":"submit","kind":"mem","m":3,"n":4,"z":5,"q":8,"seed_a":7,"seed_b":9}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            r,
+            Request::SubmitMem(MemJobSpec { m: 3, n: 4, z: 5, q: 8, seed_a: 7, seed_b: 9 })
+        );
+        let r = parse_request(
+            r#"{"cmd":"submit","kind":"ooc","a":"/t/a","b":"/t/b","out":"/t/c","mem_budget_bytes":65536}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            r,
+            Request::SubmitOoc(OocJobSpec {
+                a: "/t/a".into(),
+                b: "/t/b".into(),
+                out: "/t/c".into(),
+                mem_budget_bytes: 65536,
+                io_threads: 2,
+            })
+        );
+        assert_eq!(parse_request(r#"{"cmd":"status","job_id":4}"#).unwrap(), Request::Status(4));
+        assert_eq!(parse_request(r#"{"cmd":"wait","job_id":4}"#).unwrap(), Request::Wait(4));
+        assert_eq!(parse_request(r#"{"cmd":"cancel","job_id":4}"#).unwrap(), Request::Cancel(4));
+        assert_eq!(parse_request(r#"{"cmd":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(parse_request(r#"{"cmd":"metrics"}"#).unwrap(), Request::Metrics);
+        assert_eq!(parse_request(r#"{"cmd":"shutdown"}"#).unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_readable_errors() {
+        assert!(parse_request("not json").unwrap_err().contains("not valid JSON"));
+        assert!(parse_request(r#"{"cmd":"fly"}"#).unwrap_err().contains("unknown cmd"));
+        assert!(parse_request(r#"{"cmd":"submit","kind":"gpu"}"#)
+            .unwrap_err()
+            .contains("unknown submit kind"));
+        assert!(parse_request(r#"{"cmd":"submit","kind":"mem","m":3}"#)
+            .unwrap_err()
+            .contains("\"n\""));
+        assert!(parse_request(r#"{"cmd":"wait"}"#).unwrap_err().contains("job_id"));
+        let err = error_line("boom \"quoted\"");
+        assert!(err.starts_with("{\"ok\":false,\"error\":"), "{err}");
+        let v: Value = serde_json::from_str(&err).unwrap();
+        assert_eq!(v.get("error").and_then(Value::as_str), Some("boom \"quoted\""));
+    }
+}
