@@ -253,6 +253,97 @@ fn main() {
             drift_reports.push(exec_drift(&trun, &model, mmc_obs::drift::DEFAULT_BAND));
         }
     }
+    // Strassen–Winograd suite: the recursion against the classic 5-loop
+    // path, machine-readable. Three record families:
+    //   gemm_strassen_q64/<variant> — a depth-1 recursion at the
+    //     kernel-comparison shape with work set to the simulator's
+    //     closed-form flop count, so the rate column is directly
+    //     comparable with gemm_q64/<variant>;
+    //   strassen_cutoff/<c> — one fixed shape swept across leaf
+    //     cutoffs (the largest cutoff degenerates to the classic
+    //     fallback, anchoring the sweep);
+    //   strassen_crossover/measured — the first swept block order where
+    //     the measured recursion beats the measured classic run, stored
+    //     in the `order` field (0 when classic won everywhere). `work`
+    //     is 0 so the regression gate skips this record: the crossover
+    //     is a claim about the machine, not a rate to defend.
+    {
+        use mmc_sim::strassen as sim_strassen;
+        use mmc_strassen::{strassen_multiply, StrassenOpts};
+        let plan = sim_strassen::strassen_plan(u64::from(korder), 3);
+        let sflops = sim_strassen::flops(&plan, kq as u64) as f64;
+        for v in kernel::variants_available() {
+            let mut opts = StrassenOpts::with_cutoff::<f64>(3);
+            opts.variant = v;
+            let secs = best_seconds(5, || {
+                std::hint::black_box(strassen_multiply(&ka, &kb, &opts));
+            });
+            exec_records.push(PerfRecord {
+                suite: "exec".into(),
+                name: format!("gemm_strassen_q64/{}", v.name()),
+                order: korder,
+                seconds: secs,
+                work: sflops,
+                rate_unit: "flop".into(),
+                kernel: v.name().into(),
+            });
+        }
+        let sorder = 8u32;
+        let sa = BlockMatrix::pseudo_random(sorder, sorder, kq, 5);
+        let sb = BlockMatrix::pseudo_random(sorder, sorder, kq, 6);
+        for cutoff in [2u32, 4, 8] {
+            let plan = sim_strassen::strassen_plan(u64::from(sorder), u64::from(cutoff));
+            let work = sim_strassen::flops(&plan, kq as u64) as f64;
+            let secs = best_seconds(3, || {
+                let opts = StrassenOpts::with_cutoff::<f64>(cutoff);
+                std::hint::black_box(strassen_multiply(&sa, &sb, &opts));
+            });
+            exec_records.push(PerfRecord {
+                suite: "exec".into(),
+                name: format!("strassen_cutoff/{cutoff}"),
+                order: sorder,
+                seconds: secs,
+                work,
+                rate_unit: "flop".into(),
+                kernel: dispatched.into(),
+            });
+        }
+        // Crossover sweep at q=32 so the cubic growth stays affordable:
+        // best-of-3 classic vs best-of-3 depth-capable recursion per
+        // order, first strassen win recorded.
+        let xq = 32usize;
+        let mut measured = 0u32;
+        let mut measured_secs = 0.0f64;
+        if let Some(tiling) = Tiling::tradeoff(&machine) {
+            for n in [4u32, 6, 8, 10, 12] {
+                let a = BlockMatrix::pseudo_random(n, n, xq, 7);
+                let b = BlockMatrix::pseudo_random(n, n, xq, 8);
+                let classic = best_seconds(3, || {
+                    std::hint::black_box(gemm_parallel(&a, &b, tiling));
+                });
+                let strassen = best_seconds(3, || {
+                    let opts = StrassenOpts::with_cutoff::<f64>(2);
+                    std::hint::black_box(strassen_multiply(&a, &b, &opts));
+                });
+                println!(
+                    "  strassen crossover n={n}: classic {classic:.3e}s, strassen {strassen:.3e}s"
+                );
+                if measured == 0 && strassen < classic {
+                    measured = n;
+                    measured_secs = strassen;
+                }
+            }
+        }
+        exec_records.push(PerfRecord {
+            suite: "exec".into(),
+            name: "strassen_crossover/measured".into(),
+            order: measured,
+            seconds: measured_secs,
+            work: 0.0,
+            rate_unit: "blocks".into(),
+            kernel: dispatched.into(),
+        });
+    }
     // Out-of-core suite: the same product streamed from tiled files on
     // disk through the double-buffered prefetch pipeline, with a RAM
     // budget ~5x smaller than the operands so the record tracks the

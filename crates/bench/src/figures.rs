@@ -18,6 +18,7 @@
 
 use crate::points::{
     AlgoSpec, BspSpec, ClusterSpec, ConfigSpec, LruSpec, LuSpec, PointRunner, PointSpec,
+    StrassenSpec,
 };
 use crate::sweep::{Metric, Panel, Series, Setting};
 use mmc_core::algorithms::{
@@ -989,6 +990,67 @@ pub fn event_counts(opts: &SweepOpts) -> Vec<Panel> {
     vec![panel]
 }
 
+/// Extension: the Strassen–Winograd cutoff sweep. For each recursion
+/// cutoff, the cost model prices a large square product both ways
+/// (classic packed 5-loop versus the `7^d` recursion on the paper's
+/// quad-core q=32 machine) and reports the predicted crossover side —
+/// where the recursion starts to win. Deep recursion (small cutoff)
+/// pays addition and conversion traffic; shallow recursion (large
+/// cutoff) forfeits the sub-cubic exponent; the sweep exposes the
+/// moderate-cutoff sweet spot `mmc exec --algo auto` rides.
+pub fn strassen_cutoff(opts: &SweepOpts) -> Vec<Panel> {
+    let machine = MachineConfig::quad_q32();
+    let q = machine.block_size as u64;
+    // One large fixed side, well past every interesting crossover;
+    // opts.orders overrides for the smoke tests.
+    let d = match &opts.orders {
+        Some(o) => o.iter().copied().max().unwrap_or(512),
+        None => {
+            if opts.full {
+                1024
+            } else {
+                512
+            }
+        }
+    };
+    let cutoffs = [2u64, 3, 4, 6, 8, 12, 16, 24, 32];
+    let mut time_panel = Panel::new(
+        "strassen_cutoff",
+        format!("Predicted time vs Strassen cutoff (order {d}, quad q=32, blocking 8x8x8)"),
+        "cutoff (blocks)",
+        "predicted time (block-transfer units)",
+    );
+    let mut xover_panel = Panel::new(
+        "strassen_crossover",
+        "Predicted classic/Strassen crossover vs cutoff (quad q=32)",
+        "cutoff (blocks)",
+        "crossover side (blocks; -1 = never)",
+    );
+    let mut classic = Series::new("classic 5-loop");
+    let mut strassen = Series::new("Strassen-Winograd");
+    let mut depth = Series::new("recursion depth");
+    let mut crossover = Series::new("predicted crossover");
+    for &cutoff in &cutoffs {
+        opts.progress(&format!("strassen_cutoff: cutoff {cutoff}"));
+        let scalars = opts.runner.scalars(PointSpec {
+            figure: "strassen_cutoff".to_string(),
+            algo: AlgoSpec::named("strassen"),
+            config: ConfigSpec::StrassenModel(StrassenSpec { q, cutoff, mcb: 8, kcb: 8, ncb: 8 }),
+            machine: machine.clone(),
+            problem: ProblemSpec::square(d),
+        });
+        if let Some(s) = scalars {
+            classic.push(cutoff as f64, s[0]);
+            strassen.push(cutoff as f64, s[1]);
+            depth.push(cutoff as f64, s[2]);
+            crossover.push(cutoff as f64, s[4]);
+        }
+    }
+    time_panel.series = vec![classic, strassen];
+    xover_panel.series = vec![crossover, depth];
+    vec![time_panel, xover_panel]
+}
+
 /// Stable ids of every figure/ablation the harness can regenerate.
 pub fn figure_ids() -> Vec<&'static str> {
     vec![
@@ -1011,6 +1073,7 @@ pub fn figure_ids() -> Vec<&'static str> {
         "lu_update",
         "cluster",
         "event_counts",
+        "strassen_cutoff",
     ]
 }
 
@@ -1039,6 +1102,7 @@ pub fn run_figure(id: &str, opts: &SweepOpts) -> Vec<Panel> {
         "lu_update" => lu_update(opts),
         "cluster" => cluster(opts),
         "event_counts" => event_counts(opts),
+        "strassen_cutoff" => strassen_cutoff(opts),
         other => panic!("unknown figure id {other:?}; known: {:?}", figure_ids()),
     }
 }

@@ -37,8 +37,8 @@ use mmc_core::params::{CoreGrid, TradeoffParams};
 use mmc_core::ProblemSpec;
 use mmc_lu::{BlockedLu, SimLuHooks, UpdateTiling};
 use mmc_sim::{
-    BspTiming, CountingSink, MachineConfig, SimConfig, SimStats, Simulator, TimingModel,
-    TreeSimulator, TreeTopology,
+    choose_algorithm, predicted_crossover, BspTiming, CostEnv, CountingSink, MachineConfig,
+    SimConfig, SimStats, Simulator, TimingModel, TreeSimulator, TreeTopology,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -136,6 +136,28 @@ pub enum ConfigSpec {
     /// Blocked LU under full-capacity LRU (`z = 1` simulator); the
     /// algorithm must be [`AlgoSpec::BlockedLuSpec`].
     LuLru,
+    /// Strassen–Winograd cost model at the point's square side
+    /// (`problem.m` blocks). Value: `Scalars[classic_time,
+    /// strassen_time, depth, use_strassen, crossover]` (`crossover` is
+    /// `-1` when the recursion never wins in the scanned range). The
+    /// algorithm spec is ignored — the point prices both algorithms.
+    StrassenModel(StrassenSpec),
+}
+
+/// Parameters of a [`ConfigSpec::StrassenModel`] point.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StrassenSpec {
+    /// Block side in elements.
+    pub q: u64,
+    /// Recursion cutoff: leaf side at or below which the 5-loop kernel
+    /// takes over, in blocks.
+    pub cutoff: u64,
+    /// Leaf 5-loop blocking `MC`, in blocks.
+    pub mcb: u64,
+    /// Leaf 5-loop blocking `KC`, in blocks.
+    pub kcb: u64,
+    /// Leaf 5-loop blocking `NC`, in blocks.
+    pub ncb: u64,
 }
 
 /// Overrides for [`ConfigSpec::Lru`] on top of [`SimConfig::lru`].
@@ -245,6 +267,7 @@ impl PointSpec {
             ConfigSpec::Counting => "counting".to_string(),
             ConfigSpec::Cluster(c) => format!("cluster({}x{})", c.nodes, c.cores_per_node),
             ConfigSpec::LuLru => "LU LRU".to_string(),
+            ConfigSpec::StrassenModel(s) => format!("strassen(q={}, cutoff={})", s.q, s.cutoff),
         }
     }
 
@@ -258,6 +281,7 @@ impl PointSpec {
             }
             ConfigSpec::Bsp(_) => PointValue::Scalars(vec![0.0]),
             ConfigSpec::Counting | ConfigSpec::Cluster(_) => PointValue::Scalars(vec![0.0; 3]),
+            ConfigSpec::StrassenModel(_) => PointValue::Scalars(vec![0.0; 5]),
         }
     }
 
@@ -342,6 +366,19 @@ impl PointSpec {
                     lu.run(&self.machine, n, &mut hooks).map_err(|e| e.to_string())?;
                 }
                 Ok(PointValue::Stats(sim.into_stats()))
+            }
+            ConfigSpec::StrassenModel(s) => {
+                let env = CostEnv::for_machine(&self.machine, s.mcb, s.kcb, s.ncb);
+                let choice = choose_algorithm(problem.m as u64, s.q, s.cutoff, &env);
+                let crossover =
+                    predicted_crossover(s.q, s.cutoff, &env, 8192).map_or(-1.0, |n| n as f64);
+                Ok(PointValue::Scalars(vec![
+                    choice.classic_time,
+                    choice.strassen_time,
+                    choice.depth as f64,
+                    if choice.use_strassen { 1.0 } else { 0.0 },
+                    crossover,
+                ]))
             }
         }
     }

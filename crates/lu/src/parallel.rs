@@ -5,12 +5,17 @@
 //! the column-panel solves, the `U` block-row solves and the trailing
 //! update — everything outside the tiny diagonal factor — fan out over a
 //! rayon pool. Each parallel region writes disjoint blocks, and every
-//! block's updates apply in ascending `k` order, so the result is
-//! **bit-identical** to the sequential factorization (tests use `==`).
+//! block's updates apply in ascending `k` order. The Schur-complement
+//! trailing update runs through the packed 5-loop
+//! [`gemm_accumulate`] (with `L` negated during extraction, so the
+//! kernel's `+=` applies the subtraction); the packed micro-kernel
+//! associates its FMAs differently from the blockwise stripes, so the
+//! parallel result agrees with the sequential factorization to rounding
+//! (tests bound `max_abs_diff`), not bit-for-bit.
 
 use crate::kernel::{block_fms, getrf_nopiv, trsm_left_lower_unit, trsm_right_upper};
 use crate::schedule::LuError;
-use mmc_exec::BlockMatrix;
+use mmc_exec::{gemm_accumulate, kernel, BlockMatrix, Tiling};
 use rayon::prelude::*;
 
 /// Raw-pointer wrapper for disjoint-block writes from rayon tasks.
@@ -131,18 +136,50 @@ pub fn lu_factor_parallel(m: &mut BlockMatrix, w: u32) -> Result<(), LuError> {
                     trsm_left_lower_unit(diag, target, q);
                 }
             });
-            // --- 3. Trailing update: row stripes -------------------------
-            (base..n).into_par_iter().for_each(|i| {
-                for k in kp..kp + pw {
-                    // SAFETY: row i owned by this task; L/U panels read-only.
-                    let a = unsafe { block_ref(ptr, ncols, q2, i, k) };
-                    for j in base..n {
-                        let b = unsafe { block_ref(ptr, ncols, q2, k, j) };
-                        let c = unsafe { block_mut(ptr, ncols, q2, i, j) };
-                        block_fms(c, a, b, q);
+            // --- 3. Trailing update: packed Schur complement -------------
+            // C[base.., base..] -= L[base.., kp..base] · U[kp..base, base..]
+            // through the packed 5-loop `gemm_accumulate`: `L` is negated
+            // during extraction so the kernel's `+=` applies the
+            // subtraction, and the whole panel width goes in one call
+            // (ascending `k` inside the packed panels, like the stripes
+            // this replaces — only the FMA association differs).
+            let tn = n - base;
+            let mut lneg = BlockMatrix::zeros(tn, pw, q);
+            let mut upan = BlockMatrix::zeros(pw, tn, q);
+            let mut csub = BlockMatrix::zeros(tn, tn, q);
+            for i in 0..tn {
+                for k in 0..pw {
+                    // SAFETY: exclusive access between parallel regions.
+                    let src = unsafe { block_ref(ptr, ncols, q2, base + i, kp + k) };
+                    for (d, s) in lneg.block_mut(i, k).iter_mut().zip(src) {
+                        *d = -*s;
                     }
                 }
-            });
+            }
+            for k in 0..pw {
+                for j in 0..tn {
+                    // SAFETY: as above.
+                    let src = unsafe { block_ref(ptr, ncols, q2, kp + k, base + j) };
+                    upan.block_mut(k, j).copy_from_slice(src);
+                }
+            }
+            for i in 0..tn {
+                for j in 0..tn {
+                    // SAFETY: as above.
+                    let src = unsafe { block_ref(ptr, ncols, q2, base + i, base + j) };
+                    csub.block_mut(i, j).copy_from_slice(src);
+                }
+            }
+            // Row-stripe tiles keep the update's rayon granularity.
+            let tiling = Tiling { tile_m: 1, tile_n: tn, tile_k: pw };
+            gemm_accumulate(&mut csub, &lneg, &upan, tiling, kernel::variant());
+            for i in 0..tn {
+                for j in 0..tn {
+                    // SAFETY: as above.
+                    let dst = unsafe { block_mut(ptr, ncols, q2, base + i, base + j) };
+                    dst.copy_from_slice(csub.block(i, j));
+                }
+            }
         }
         kp += pw;
     }
@@ -157,7 +194,7 @@ mod tests {
     use mmc_sim::MachineConfig;
 
     #[test]
-    fn parallel_matches_sequential_bit_exactly() {
+    fn parallel_matches_sequential_to_rounding() {
         let machine = MachineConfig::quad_q32();
         let a = diagonally_dominant(14, 5, 3);
         let mut reference = a.clone();
@@ -165,7 +202,9 @@ mod tests {
         for w in [1u32, 2, 4, 7, 14, 30] {
             let mut m = a.clone();
             lu_factor_parallel(&mut m, w).unwrap();
-            assert_eq!(m, reference, "w={w}");
+            // The packed trailing update reassociates FMAs, so equality
+            // holds to rounding, not bit-for-bit.
+            assert!(m.max_abs_diff(&reference) < 1e-11, "w={w}");
         }
     }
 

@@ -51,6 +51,7 @@ pub mod lru;
 pub mod machine;
 pub mod sink;
 pub mod stats;
+pub mod strassen;
 pub mod timing;
 pub mod trace;
 pub mod tree;
@@ -68,6 +69,7 @@ pub use lru::{Eviction, LruCache};
 pub use machine::MachineConfig;
 pub use sink::{CountingSink, SimSink, TraceEvent, TraceSink};
 pub use stats::SimStats;
+pub use strassen::{choose_algorithm, predicted_crossover, AlgoChoice, CostEnv, StrassenPlan};
 pub use timing::{BspTiming, TimingModel};
 pub use trace::{
     ChromeGranularity, ChromeTraceBuilder, EventKind, FlightRecorder, JournalEvent,

@@ -1,0 +1,370 @@
+//! Closed-form cost model of the Strassen–Winograd recursion, alongside
+//! [`crate::fiveloop`] and [`crate::level3`] in the same `M_S`/`M_D`
+//! block currency — so recursive schedules price exactly like classic
+//! ones, and the model can choose *which algorithm* runs, not just how
+//! it is blocked.
+//!
+//! The executor (`mmc-strassen`) pads an `m×z · z×n` block product to a
+//! square of side `S = ℓ·2^d` blocks, recurses `d` levels with 7
+//! products and 15 quadrant additions per level, and hands `7^d` leaf
+//! products of side `ℓ` to the packed 5-loop kernels. Every term of
+//! that schedule has a closed form here:
+//!
+//! * multiplication work: `7^d · ℓ³` block FMAs ([`block_fmas`]) —
+//!   sub-cubic in `S` with exponent `log₂7 ≈ 2.807`;
+//! * addition work: `Σ_{i<d} 7^i · 15 · (S/2^{i+1})²` block additions
+//!   ([`add_block_ops`]), each `q²` scalar adds against the `2q³` flops
+//!   of a block FMA;
+//! * workspace: two pooled quadrant temporaries per live level plus one
+//!   leaf staging set ([`workspace_blocks`]) — the admission term the
+//!   serve scheduler adds for `"algo": "strassen"` jobs.
+//!
+//! Traffic ([`strassen_traffic`]) follows the cache-oblivious analysis
+//! the recursion is designed around: a recursion node whose working set
+//! (three matrices of its side) fits within a cache level generates
+//! **no** misses at that level — its operands were staged by the parent,
+//! whose own addition traffic is charged where *it* overflows. So each
+//! level's 15 quadrant additions charge two operand loads per touched
+//! block (write-backs are not counted, matching [`five_loop_traffic`]
+//! which also counts loads) to exactly the cache levels its node
+//! overflows, the `7^d` leaf products charge their 5-loop closed form
+//! the same way, and the one-time Morton conversion streams all three
+//! `S²` operands. Under the paper's machines the distributed cache
+//! (tens of blocks) overflows at every interesting level while the
+//! shared cache absorbs the deepest levels — which is precisely how the
+//! recursion escapes the classic traffic floor.
+//!
+//! [`choose_algorithm`] compares the resulting [`strassen_time`] with
+//! the classic 5-loop prediction at the same shape, and
+//! [`predicted_crossover`] scans for the smallest square side where the
+//! recursion wins — the model-predicted crossover the CI smoke test and
+//! EXPERIMENTS.md quote.
+
+use serde::{Deserialize, Serialize};
+
+use crate::fiveloop::{five_loop_traffic, FiveLoopTraffic};
+use crate::machine::MachineConfig;
+use crate::timing::TimingModel;
+
+/// Hard cap on recursion depth, matching the executor's layout search.
+const MAX_DEPTH: u32 = 20;
+
+/// Geometry the recursion adopts for a given square side and cutoff —
+/// the modeling twin of the executor's Morton layout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StrassenPlan {
+    /// Recursion depth `d` (0 means the classic fallback runs).
+    pub depth: u32,
+    /// Leaf side `ℓ = ⌈base/2^d⌉`, in blocks.
+    pub leaf_side: u64,
+    /// Padded square side `S = ℓ·2^d`, in blocks.
+    pub padded_side: u64,
+}
+
+/// The plan for a square product of side `base` blocks under `cutoff`:
+/// the *smallest* depth that brings the leaf side down to the cutoff.
+/// Must mirror the executor's `MortonLayout::for_shape` exactly — the
+/// golden reconciliation test in the workspace root pins the agreement.
+pub fn strassen_plan(base: u64, cutoff: u64) -> StrassenPlan {
+    let base = base.max(1);
+    let cutoff = cutoff.max(1);
+    let mut depth = 0u32;
+    while base.div_ceil(1 << depth) > cutoff && depth < MAX_DEPTH {
+        depth += 1;
+    }
+    let leaf_side = base.div_ceil(1 << depth);
+    StrassenPlan { depth, leaf_side, padded_side: leaf_side << depth }
+}
+
+fn pow7(d: u32) -> u128 {
+    7u128.pow(d)
+}
+
+fn sat(x: u128) -> u64 {
+    u64::try_from(x).unwrap_or(u64::MAX)
+}
+
+/// Block FMAs the leaves execute: `7^d · ℓ³` — the sub-cubic
+/// multiplication count (classic would be `S³`).
+pub fn block_fmas(plan: &StrassenPlan) -> u64 {
+    let l = plan.leaf_side as u128;
+    sat(pow7(plan.depth) * l * l * l)
+}
+
+/// Quadrant-addition block operations across all levels:
+/// `Σ_{i=0}^{d-1} 7^i · 15 · (S/2^{i+1})²`. Each is one `q×q` block
+/// worth of scalar adds (the `O(n²)` term Strassen trades for a whole
+/// recursive product).
+pub fn add_block_ops(plan: &StrassenPlan) -> u64 {
+    let mut total = 0u128;
+    for i in 0..plan.depth {
+        let half = (plan.padded_side >> (i + 1)) as u128;
+        total += pow7(i) * 15 * half * half;
+    }
+    sat(total)
+}
+
+/// Pooled recursion workspace, in blocks: two quadrant temps per level
+/// along one root-to-leaf path (`Σ_{i=1}^{d} 2·(S/2^i)²`, a geometric
+/// series ≤ `(2/3)·S²`) plus the `3ℓ²` leaf staging set. Zero at depth
+/// 0, where the classic path runs in place.
+pub fn workspace_blocks(plan: &StrassenPlan) -> u64 {
+    if plan.depth == 0 {
+        return 0;
+    }
+    let mut temps = 0u128;
+    for i in 1..=plan.depth {
+        let side = (plan.padded_side >> i) as u128;
+        temps += 2 * side * side;
+    }
+    let l = plan.leaf_side as u128;
+    sat(temps + 3 * l * l)
+}
+
+/// Scalar multiplication FLOPs the leaves execute: `7^d · ℓ³ · 2q³` —
+/// exactly what the kernel registry counters record, so the golden
+/// reconciliation test compares against this closed form with `==`.
+pub fn flops(plan: &StrassenPlan, q: u64) -> u64 {
+    sat(block_fmas(plan) as u128 * 2 * (q as u128).pow(3))
+}
+
+/// Everything the cost model needs to know about the machine and the
+/// leaf executor to price an algorithm choice.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CostEnv {
+    /// Per-block-FMA time and the two bandwidths.
+    pub model: TimingModel,
+    /// Shared-cache capacity `C_S`, in blocks.
+    pub shared_blocks: u64,
+    /// Per-core distributed-cache capacity `C_D`, in blocks.
+    pub dist_blocks: u64,
+    /// Leaf 5-loop blocking `MC`, in blocks.
+    pub mcb: u64,
+    /// Leaf 5-loop blocking `KC`, in blocks.
+    pub kcb: u64,
+    /// Leaf 5-loop blocking `NC`, in blocks.
+    pub ncb: u64,
+}
+
+impl CostEnv {
+    /// Environment for a modeled machine and a `(mcb, kcb, ncb)` leaf
+    /// blocking, with the trace-calibration convention `fma_time =
+    /// 1/σ_D` (one block FMA per distributed-cache transfer).
+    pub fn for_machine(machine: &MachineConfig, mcb: u64, kcb: u64, ncb: u64) -> CostEnv {
+        CostEnv {
+            model: TimingModel {
+                fma_time: 1.0 / machine.sigma_d,
+                sigma_s: machine.sigma_s,
+                sigma_d: machine.sigma_d,
+            },
+            shared_blocks: machine.shared_capacity as u64,
+            dist_blocks: machine.dist_capacity as u64,
+            mcb,
+            kcb,
+            ncb,
+        }
+    }
+}
+
+/// Predicted block traffic of the full recursion under a cost
+/// environment (see the module docs for the charging rule). At depth 0
+/// this degenerates to the classic [`five_loop_traffic`] closed form.
+pub fn strassen_traffic(plan: &StrassenPlan, env: &CostEnv) -> FiveLoopTraffic {
+    let l = plan.leaf_side;
+    let leaf = five_loop_traffic(l, l, l, env.mcb, env.kcb, env.ncb);
+    if plan.depth == 0 {
+        return leaf;
+    }
+    // A node of matrix side s has working set 3s² blocks; it generates
+    // traffic at a cache level only when that overflows the level.
+    let overflows = |side: u128, capacity: u64| 3 * side * side > capacity as u128;
+    let products = pow7(plan.depth);
+    let leaf_ws = plan.leaf_side as u128;
+    let mut ms = if overflows(leaf_ws, env.shared_blocks) { products * leaf.ms as u128 } else { 0 };
+    let mut md = if overflows(leaf_ws, env.dist_blocks) { products * leaf.md as u128 } else { 0 };
+    for i in 0..plan.depth {
+        let node_side = (plan.padded_side >> i) as u128;
+        let half = (plan.padded_side >> (i + 1)) as u128;
+        // 15 quadrant additions, two operand loads per touched block.
+        let loads = pow7(i) * 15 * 2 * half * half;
+        if overflows(node_side, env.shared_blocks) {
+            ms += loads;
+        }
+        if overflows(node_side, env.dist_blocks) {
+            md += loads;
+        }
+    }
+    // One-time Morton conversion: all three S² operands stream in and
+    // out of the root node.
+    let s2 = (plan.padded_side as u128) * (plan.padded_side as u128);
+    let root = plan.padded_side as u128;
+    if overflows(root, env.shared_blocks) {
+        ms += 6 * s2;
+    }
+    if overflows(root, env.dist_blocks) {
+        md += 6 * s2;
+    }
+    FiveLoopTraffic { ms: sat(ms), md: sat(md) }
+}
+
+/// Predicted wall time of the recursion in the paper's currency:
+/// `T = fma_time · (block_fmas + add_ops/2q) + M_S/σ_S + M_D/σ_D`.
+/// A block addition is `q²` scalar adds against the `2q³` flops of one
+/// block FMA, hence the `1/2q` weight on the addition term.
+pub fn strassen_time(plan: &StrassenPlan, q: u64, env: &CostEnv) -> f64 {
+    let traffic = strassen_traffic(plan, env);
+    let adds = add_block_ops(plan) as f64 / (2.0 * q.max(1) as f64);
+    env.model.fma_time * (block_fmas(plan) as f64 + adds)
+        + traffic.t_data(env.model.sigma_s, env.model.sigma_d)
+}
+
+/// The model's verdict for one square product: which algorithm is
+/// predicted cheaper, and both predicted times for reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AlgoChoice {
+    /// `true` when the recursion is predicted to beat the classic path.
+    pub use_strassen: bool,
+    /// The recursion depth the Strassen plan would use.
+    pub depth: u32,
+    /// Predicted classic 5-loop time at this shape.
+    pub classic_time: f64,
+    /// Predicted Strassen–Winograd time at this shape.
+    pub strassen_time: f64,
+}
+
+/// Price both algorithms for an `n×n·n×n` block product and pick the
+/// cheaper prediction. Classic is the 5-loop plan at the *unpadded*
+/// shape; Strassen pays its padding, additions, conversion, and leaf
+/// products. Ties go to classic (no reason to pay the workspace).
+pub fn choose_algorithm(n: u64, q: u64, cutoff: u64, env: &CostEnv) -> AlgoChoice {
+    let n = n.max(1);
+    let classic_traffic = five_loop_traffic(n, n, n, env.mcb, env.kcb, env.ncb);
+    let classic_time = env.model.fma_time * (n * n * n) as f64
+        + classic_traffic.t_data(env.model.sigma_s, env.model.sigma_d);
+    let plan = strassen_plan(n, cutoff);
+    let st = strassen_time(&plan, q, env);
+    AlgoChoice {
+        use_strassen: plan.depth > 0 && st < classic_time,
+        depth: plan.depth,
+        classic_time,
+        strassen_time: st,
+    }
+}
+
+/// Smallest square side (in blocks, scanned up to `max_n`) where the
+/// model predicts the recursion beats the classic path — the predicted
+/// crossover. `None` when the recursion never wins in range.
+pub fn predicted_crossover(q: u64, cutoff: u64, env: &CostEnv, max_n: u64) -> Option<u64> {
+    (cutoff + 1..=max_n).find(|&n| choose_algorithm(n, q, cutoff, env).use_strassen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> CostEnv {
+        CostEnv::for_machine(&MachineConfig::quad_q32(), 8, 8, 8)
+    }
+
+    #[test]
+    fn plan_mirrors_the_executor_layout_search() {
+        assert_eq!(strassen_plan(12, 4), StrassenPlan { depth: 2, leaf_side: 3, padded_side: 12 });
+        assert_eq!(strassen_plan(13, 4), StrassenPlan { depth: 2, leaf_side: 4, padded_side: 16 });
+        assert_eq!(strassen_plan(3, 4), StrassenPlan { depth: 0, leaf_side: 3, padded_side: 3 });
+    }
+
+    #[test]
+    fn depth_zero_degenerates_to_the_classic_model() {
+        let plan = strassen_plan(6, 8);
+        assert_eq!(plan.depth, 0);
+        assert_eq!(block_fmas(&plan), 6 * 6 * 6);
+        assert_eq!(add_block_ops(&plan), 0);
+        assert_eq!(workspace_blocks(&plan), 0);
+        assert_eq!(strassen_traffic(&plan, &env()), five_loop_traffic(6, 6, 6, 8, 8, 8));
+    }
+
+    #[test]
+    fn work_grows_as_seven_to_the_depth() {
+        // ℓ fixed at 4: doubling the side adds one level and ×7 leaf work.
+        let d1 = strassen_plan(8, 4);
+        let d2 = strassen_plan(16, 4);
+        assert_eq!((d1.depth, d2.depth), (1, 2));
+        assert_eq!(block_fmas(&d1), 7 * 4 * 4 * 4);
+        assert_eq!(block_fmas(&d2), 49 * 4 * 4 * 4);
+        // One level of S=8: 15 quadrant ops on 4×4 quadrants.
+        assert_eq!(add_block_ops(&d1), 15 * 16);
+        // Two levels of S=16: top level 15·64, then 7 products each 15·16.
+        assert_eq!(add_block_ops(&d2), 15 * 64 + 7 * 15 * 16);
+        assert_eq!(flops(&d1, 2), 7 * 64 * 16);
+    }
+
+    #[test]
+    fn workspace_matches_the_geometric_series() {
+        // S=16, d=2, ℓ=4: temps 2·8² + 2·4², staging 3·4².
+        let plan = strassen_plan(16, 4);
+        assert_eq!(workspace_blocks(&plan), 2 * 64 + 2 * 16 + 3 * 16);
+        // Always under the (2/3)·S² + 3ℓ² analytic bound.
+        for base in [8u64, 32, 100, 1000] {
+            let p = strassen_plan(base, 8);
+            let bound = 2 * p.padded_side * p.padded_side / 3 + 3 * p.leaf_side * p.leaf_side + 1;
+            assert!(workspace_blocks(&p) <= bound, "base {base}");
+        }
+    }
+
+    #[test]
+    fn cache_resident_levels_generate_no_traffic() {
+        // A machine whose shared cache swallows the whole root working
+        // set: only the distributed level sees any Strassen traffic.
+        let plan = strassen_plan(16, 4);
+        let big_shared = CostEnv { shared_blocks: 10_000, ..env() };
+        let t = strassen_traffic(&plan, &big_shared);
+        assert_eq!(t.ms, 0, "fully shared-resident recursion has no memory misses");
+        assert!(t.md > 0, "the tiny distributed cache still streams");
+        // Shrinking the shared cache only adds traffic, monotonically.
+        let small = CostEnv { shared_blocks: 10, ..env() };
+        let t_small = strassen_traffic(&plan, &small);
+        assert!(t_small.ms > strassen_traffic(&plan, &env()).ms || t_small.ms > 0);
+    }
+
+    #[test]
+    fn crossover_exists_and_auto_agrees_on_both_sides() {
+        let env = env();
+        let (q, cutoff) = (16u64, 8u64);
+        let xover = predicted_crossover(q, cutoff, &env, 8192)
+            .expect("the 7^d recursion must eventually beat n³");
+        // Under the paper's quad_q32 machine the win shows up at modest
+        // block counts; pin a sane range so model regressions are loud.
+        assert!((cutoff + 1..=4096).contains(&xover), "crossover at {xover}");
+        let below = choose_algorithm(xover - 1, q, cutoff, &env);
+        let above = choose_algorithm(xover, q, cutoff, &env);
+        assert!(!below.use_strassen);
+        assert!(above.use_strassen);
+        assert!(above.strassen_time < above.classic_time);
+        // Well past the crossover the margin only widens.
+        let far = choose_algorithm(4 * xover, q, cutoff, &env);
+        assert!(far.use_strassen);
+        assert!(
+            far.strassen_time / far.classic_time < above.strassen_time / above.classic_time,
+            "sub-cubic advantage must grow with n"
+        );
+    }
+
+    #[test]
+    fn tiny_problems_never_choose_strassen() {
+        let env = env();
+        for n in 1..=8 {
+            let c = choose_algorithm(n, 16, 8, &env);
+            assert!(!c.use_strassen, "n={n} chose strassen");
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let plan = strassen_plan(24, 5);
+        let json = serde_json::to_string(&plan).unwrap();
+        assert_eq!(serde_json::from_str::<StrassenPlan>(&json).unwrap(), plan);
+        let choice = choose_algorithm(100, 16, 8, &env());
+        let json = serde_json::to_string(&choice).unwrap();
+        assert_eq!(serde_json::from_str::<AlgoChoice>(&json).unwrap(), choice);
+    }
+}

@@ -25,7 +25,7 @@ use crate::hierarchy::Simulator;
 use crate::sink::SimSink;
 
 /// Cost parameters of the BSP estimate.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TimingModel {
     /// Time per block FMA (e.g. `2q³ / flops-per-core`).
     pub fma_time: f64,

@@ -38,7 +38,7 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  mmc simulate --algo A --order N [--preset P] [--setting ideal|lru|lru2|lru50] [--json]\n  \
            mmc plan [--preset P] [--order N] [--sigma-s X --sigma-d Y]\n  \
-           mmc exec --order N [--q Q] [--tiling T] [--seed S] [--json] [--trace-out F] [--drift] [--band X]\n  \
+           mmc exec --order N [--q Q] [--tiling T] [--algo classic|strassen|auto] [--cutoff N] [--seed S] [--json] [--trace-out F] [--drift] [--band X]\n  \
            mmc drift --order N [--q Q] [--kernel K] [--preset P] [--seed S] [--band X] [--mem-budget BYTES[k|m|g]] [--json] [--trace-out F]\n  \
            mmc lu --order N [--panel W] [--tiling T] [--q Q]\n  \
            mmc profile --algo A --order N [--preset P] [--json]\n  \
@@ -292,8 +292,26 @@ struct ExecReport {
     gflops: f64,
     naive_seconds: f64,
     matches: bool,
+    /// Algorithm that ran: `classic` or `strassen` (after `auto`
+    /// resolution).
+    #[serde(default)]
+    algo: String,
+    /// Smallest square side (blocks) where the cost model predicts the
+    /// Strassen recursion beats the classic 5-loop path.
+    #[serde(default)]
+    predicted_crossover_blocks: Option<u64>,
+    /// Geometry/workspace report of the Strassen run, when one ran.
+    #[serde(default)]
+    strassen: Option<multicore_matmul::strassen::StrassenReport>,
+    /// Strassen-vs-oracle max elementwise difference.
+    #[serde(default)]
+    max_abs_diff: Option<f64>,
+    /// The documented Winograd error bound the difference was checked
+    /// against (Higham's `18^d` growth, scaled by the operand maxima).
+    #[serde(default)]
+    tolerance: Option<f64>,
     /// Predicted-vs-measured drift over the traced 5-loop phases;
-    /// present only under `--drift`.
+    /// present only under `--drift` on the classic path.
     #[serde(default)]
     drift: Option<DriftReport>,
 }
@@ -322,10 +340,55 @@ fn cmd_exec(flags: HashMap<String, String>) {
     let b = BlockMatrix::pseudo_random(order, order, q, seed + 1);
     let variant = multicore_matmul::exec::kernel::variant();
     let blocking = multicore_matmul::exec::blocking::active_plan::<f64>();
+
+    // Model-driven algorithm selection: price the classic 5-loop path
+    // and the Strassen recursion in the chosen preset machine's world
+    // (same convention as `mmc plan`), with the selected tiling as the
+    // model's blocking — so the prediction is deterministic per preset,
+    // independent of the host caches the real executor tunes for.
+    let cutoff: u32 = num(&flags, "cutoff", multicore_matmul::strassen::DEFAULT_CUTOFF);
+    let env = CostEnv::for_machine(
+        &machine,
+        tiling.tile_m as u64,
+        tiling.tile_k as u64,
+        tiling.tile_n as u64,
+    );
+    let choice = choose_algorithm(order as u64, q as u64, cutoff as u64, &env);
+    let crossover = predicted_crossover(q as u64, cutoff as u64, &env, 8192);
+    let algo = match flags.get("algo").map(String::as_str).unwrap_or("classic") {
+        "classic" => "classic",
+        "strassen" => "strassen",
+        "auto" => {
+            if choice.use_strassen {
+                "strassen"
+            } else {
+                "classic"
+            }
+        }
+        other => {
+            eprintln!("unknown algo {other:?} (expected classic|strassen|auto)");
+            usage();
+        }
+    };
+
+    let mut strassen_report = None;
     let t0 = Instant::now();
-    let (c, run) = run_traced(&a, &b, tiling, variant, blocking);
+    let (c, run) = if algo == "strassen" {
+        let opts =
+            multicore_matmul::strassen::StrassenOpts { cutoff, variant, plan: blocking, tiling };
+        let trace_job = multicore_matmul::obs::span::new_job();
+        let epoch_ns = multicore_matmul::obs::span::now_ns();
+        let (c, sr) = multicore_matmul::strassen::strassen_multiply(&a, &b, &opts);
+        let spans = multicore_matmul::obs::span::collect_job(trace_job);
+        strassen_report = Some(sr);
+        (c, TracedRun { job: trace_job, epoch_ns, variant, plan: blocking, spans })
+    } else {
+        run_traced(&a, &b, tiling, variant, blocking)
+    };
     let dt = t0.elapsed().as_secs_f64();
     let spans = task_spans(&run);
+    // Effective flops: Strassen does fewer, but GFLOP/s is reported
+    // against the classic 2n³ so the two algorithms compare directly.
     let flops = 2.0 * (order as f64 * q as f64).powi(3);
     let threads = spans.iter().filter_map(|s| s.thread).max().map_or(0, |t| t + 1);
     if let Some(path) = flags.get("trace-out") {
@@ -335,16 +398,31 @@ fn cmd_exec(flags: HashMap<String, String>) {
         }
     }
     let drift = if flags.contains_key("drift") {
-        let band: f64 = num(&flags, "band", multicore_matmul::obs::drift::DEFAULT_BAND);
-        let model = ExecModel::for_run(&a, &b, tiling, variant);
-        Some(exec_drift(&run, &model, band))
+        if algo == "strassen" {
+            eprintln!("note: --drift models the classic 5-loop phases; skipped for strassen");
+            None
+        } else {
+            let band: f64 = num(&flags, "band", multicore_matmul::obs::drift::DEFAULT_BAND);
+            let model = ExecModel::for_run(&a, &b, tiling, variant);
+            Some(exec_drift(&run, &model, band))
+        }
     } else {
         None
     };
     let t0 = Instant::now();
     let oracle = gemm_naive(&a, &b);
     let dt_naive = t0.elapsed().as_secs_f64();
-    let matches = c == oracle;
+    // Classic runs round identically to the blockwise oracle; Winograd
+    // re-associates, so it is checked against its documented bound.
+    let (matches, max_abs_diff, tolerance) = match &strassen_report {
+        None => (c == oracle, None, None),
+        Some(sr) => {
+            let tol =
+                multicore_matmul::strassen::comparison_tolerance(&a, &b, sr, f64::EPSILON / 2.0);
+            let diff = c.max_abs_diff(&oracle);
+            (diff <= tol, Some(diff), Some(tol))
+        }
+    };
     let kernel = variant.name();
     if flags.contains_key("json") {
         let report = ExecReport {
@@ -360,6 +438,11 @@ fn cmd_exec(flags: HashMap<String, String>) {
             gflops: flops / dt / 1e9,
             naive_seconds: dt_naive,
             matches,
+            algo: algo.to_string(),
+            predicted_crossover_blocks: crossover,
+            strassen: strassen_report,
+            max_abs_diff,
+            tolerance,
             drift,
         };
         println!("{}", serde_json::to_string_pretty(&report).expect("serialize report"));
@@ -373,11 +456,33 @@ fn cmd_exec(flags: HashMap<String, String>) {
             tiling
         );
         println!(
+            "  algorithm: {algo} (predicted classic {:.3e} vs strassen {:.3e}; crossover ~{} blocks)",
+            choice.classic_time,
+            choice.strassen_time,
+            crossover.map_or_else(|| "none".into(), |x| x.to_string()),
+        );
+        println!(
             "  {dt:.3}s  ->  {:.2} GFLOP/s ({} tile tasks over {threads} threads, {kernel} kernel, {blocking})",
             flops / dt / 1e9,
             spans.len()
         );
-        println!("  naive oracle: {dt_naive:.3}s; results identical: {matches}");
+        match (&strassen_report, max_abs_diff, tolerance) {
+            (Some(sr), Some(diff), Some(tol)) => {
+                println!(
+                    "  depth {} over {}x{} padded blocks (leaf {}), {} leaf products, {} workspace bytes",
+                    sr.depth,
+                    sr.padded_side,
+                    sr.padded_side,
+                    sr.leaf_side,
+                    sr.leaf_products,
+                    sr.workspace_bytes
+                );
+                println!(
+                    "  naive oracle: {dt_naive:.3}s; within Winograd tolerance: {matches} (max diff {diff:.3e} <= {tol:.3e})"
+                );
+            }
+            _ => println!("  naive oracle: {dt_naive:.3}s; results identical: {matches}"),
+        }
         if let Some(d) = &drift {
             print!("{}", d.render_text());
         }

@@ -18,6 +18,10 @@
 //! * [`exec`] (`mmc-exec`) — block-matrix storage, the `q×q` micro-kernel
 //!   and rayon-parallel executors that run the same schedules on real
 //!   data;
+//! * [`strassen`] (`mmc-strassen`) — Strassen–Winograd recursive GEMM
+//!   over Morton-ordered blocks: sub-cubic `7^d` leaf products handed to
+//!   the packed 5-loop kernels below a tunable cutoff, with pooled,
+//!   bounded workspace and a cost-model-predicted crossover;
 //! * [`ooc`] (`mmc-ooc`) — out-of-core streaming GEMM over block-major
 //!   tiled files, with a bounded double-buffered prefetch pipeline and a
 //!   three-level `T_data` report;
@@ -58,6 +62,7 @@ pub use mmc_lu as lu;
 pub use mmc_obs as obs;
 pub use mmc_ooc as ooc;
 pub use mmc_sim as sim;
+pub use mmc_strassen as strassen;
 
 pub mod serve;
 
@@ -84,9 +89,14 @@ pub mod prelude {
         ooc_drift, ooc_multiply, ooc_verify, write_pseudo_random, OocOpts, OocReport,
     };
     pub use mmc_sim::{
-        five_loop_traffic, Block, BlockSpace, ChromeGranularity, ChromeTraceBuilder, CountingSink,
-        EventKind, FileLevel, FiveLoopTraffic, FlightRecorder, MachineConfig, MatrixId,
-        MetricsSnapshot, Policy, SimConfig, SimError, SimSink, SimStats, Simulator, TData3,
-        TimingModel, TraceSink,
+        choose_algorithm, five_loop_traffic, predicted_crossover, AlgoChoice, Block, BlockSpace,
+        ChromeGranularity, ChromeTraceBuilder, CostEnv, CountingSink, EventKind, FileLevel,
+        FiveLoopTraffic, FlightRecorder, MachineConfig, MatrixId, MetricsSnapshot, Policy,
+        SimConfig, SimError, SimSink, SimStats, Simulator, StrassenPlan, TData3, TimingModel,
+        TraceSink,
+    };
+    pub use mmc_strassen::{
+        strassen_multiply, strassen_multiply_cancellable, StrassenOpts, StrassenReport,
+        DEFAULT_CUTOFF,
     };
 }

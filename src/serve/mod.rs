@@ -39,6 +39,7 @@ use crate::exec::{
 use crate::obs::{span, SCHEMA_VERSION};
 use crate::ooc::{ooc_multiply_cancellable, OocError, OocOpts, TiledFile};
 use crate::sim::MachineConfig;
+use crate::strassen::{strassen_multiply_cancellable, StrassenOpts};
 use serde::Serialize;
 
 /// How a [`Server`] is configured.
@@ -230,14 +231,27 @@ fn run_mem_job(
     let b = BlockMatrix::pseudo_random(spec.z, spec.n, spec.q, spec.seed_b);
     let trace_job = span::new_job();
     let epoch_ns = span::now_ns();
-    let c = gemm_parallel_cancellable(&a, &b, tiling, variant, plan, token);
+    let strassen = spec.algo == "strassen";
+    let c = if strassen {
+        let opts = StrassenOpts { cutoff: crate::strassen::DEFAULT_CUTOFF, variant, plan, tiling };
+        strassen_multiply_cancellable(&a, &b, &opts, Some(token)).map(|(c, _report)| c)
+    } else {
+        gemm_parallel_cancellable(&a, &b, tiling, variant, plan, token)
+    };
     let spans = span::collect_job(trace_job);
     let Some(c) = c else {
         return JobState::Cancelled;
     };
-    let run = TracedRun { job: trace_job, epoch_ns, variant, plan, spans };
-    let model = ExecModel::for_run(&a, &b, tiling, variant);
-    let drift = exec_drift(&run, &model, sched.band);
+    // The drift model prices the classic 5-loop schedule; a Strassen run
+    // intentionally does less multiplication work, so comparing it would
+    // only report the algorithmic gap as "drift".
+    let drift = if strassen {
+        None
+    } else {
+        let run = TracedRun { job: trace_job, epoch_ns, variant, plan, spans };
+        let model = ExecModel::for_run(&a, &b, tiling, variant);
+        Some(exec_drift(&run, &model, sched.band))
+    };
     JobState::Done(Box::new(JobReport {
         schema_version: SCHEMA_VERSION,
         job_id: id,
@@ -250,7 +264,7 @@ fn run_mem_job(
         checksum: Some(checksum_f64(c.data())),
         out: None,
         sigma_f_blocks_per_s: None,
-        drift: Some(drift),
+        drift,
     }))
 }
 

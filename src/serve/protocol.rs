@@ -10,6 +10,8 @@
 //! ```text
 //! {"cmd":"submit","kind":"mem","m":8,"n":8,"z":8,"q":32,"seed_a":1,"seed_b":2}
 //! {"ok":true,"job_id":1,"price":{...}}
+//! {"cmd":"submit","kind":"mem","m":16,"n":16,"z":16,"q":8,"algo":"strassen"}
+//! {"ok":true,"job_id":2,"price":{...}}
 //! {"cmd":"wait","job_id":1}
 //! {"ok":true,"job_id":1,"state":"done","report":{...}}
 //! ```
@@ -59,14 +61,23 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     let cmd = str_field(&v, "cmd")?;
     match cmd {
         "submit" => match str_field(&v, "kind")? {
-            "mem" => Ok(Request::SubmitMem(MemJobSpec {
-                m: u64_field(&v, "m")? as u32,
-                n: u64_field(&v, "n")? as u32,
-                z: u64_field(&v, "z")? as u32,
-                q: u64_field(&v, "q")? as usize,
-                seed_a: u64_field(&v, "seed_a").unwrap_or(1),
-                seed_b: u64_field(&v, "seed_b").unwrap_or(2),
-            })),
+            "mem" => {
+                let algo = v.get("algo").and_then(Value::as_str).unwrap_or("classic");
+                if algo != "classic" && algo != "strassen" {
+                    return Err(format!(
+                        "unknown algo \"{algo}\" (expected \"classic\" or \"strassen\")"
+                    ));
+                }
+                Ok(Request::SubmitMem(MemJobSpec {
+                    m: u64_field(&v, "m")? as u32,
+                    n: u64_field(&v, "n")? as u32,
+                    z: u64_field(&v, "z")? as u32,
+                    q: u64_field(&v, "q")? as usize,
+                    seed_a: u64_field(&v, "seed_a").unwrap_or(1),
+                    seed_b: u64_field(&v, "seed_b").unwrap_or(2),
+                    algo: algo.to_string(),
+                }))
+            }
             "ooc" => Ok(Request::SubmitOoc(OocJobSpec {
                 a: str_field(&v, "a")?.to_string(),
                 b: str_field(&v, "b")?.to_string(),
@@ -114,8 +125,24 @@ mod tests {
         .unwrap();
         assert_eq!(
             r,
-            Request::SubmitMem(MemJobSpec { m: 3, n: 4, z: 5, q: 8, seed_a: 7, seed_b: 9 })
+            Request::SubmitMem(MemJobSpec {
+                m: 3,
+                n: 4,
+                z: 5,
+                q: 8,
+                seed_a: 7,
+                seed_b: 9,
+                algo: "classic".into(),
+            })
         );
+        let r = parse_request(
+            r#"{"cmd":"submit","kind":"mem","m":3,"n":3,"z":3,"q":4,"algo":"strassen"}"#,
+        )
+        .unwrap();
+        match r {
+            Request::SubmitMem(spec) => assert_eq!(spec.algo, "strassen"),
+            other => panic!("expected mem submit, got {other:?}"),
+        }
         let r = parse_request(
             r#"{"cmd":"submit","kind":"ooc","a":"/t/a","b":"/t/b","out":"/t/c","mem_budget_bytes":65536}"#,
         )
@@ -148,6 +175,11 @@ mod tests {
         assert!(parse_request(r#"{"cmd":"submit","kind":"mem","m":3}"#)
             .unwrap_err()
             .contains("\"n\""));
+        assert!(parse_request(
+            r#"{"cmd":"submit","kind":"mem","m":3,"n":3,"z":3,"q":4,"algo":"karatsuba"}"#
+        )
+        .unwrap_err()
+        .contains("unknown algo"));
         assert!(parse_request(r#"{"cmd":"wait"}"#).unwrap_err().contains("job_id"));
         let err = error_line("boom \"quoted\"");
         assert!(err.starts_with("{\"ok\":false,\"error\":"), "{err}");

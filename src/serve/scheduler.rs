@@ -24,7 +24,7 @@ use crate::core::{formulas, OocStaging, ProblemSpec};
 use crate::exec::{blocking, CancelToken, Tiling};
 use crate::obs::DriftReport;
 use crate::ooc::{default_sigma_f, RING_SLOTS};
-use crate::sim::{MachineConfig, TData3};
+use crate::sim::{strassen as sim_strassen, CostEnv, MachineConfig, TData3};
 use serde::{Deserialize, Serialize};
 
 /// An in-memory multiply: deterministic pseudo-random operands, so the
@@ -43,6 +43,18 @@ pub struct MemJobSpec {
     pub seed_a: u64,
     /// Seed for `B = pseudo_random(z, n, q, seed_b)`.
     pub seed_b: u64,
+    /// Algorithm the job runs: `"classic"` (packed 5-loop) or
+    /// `"strassen"` (Winograd recursion over Morton blocks). Strassen
+    /// jobs are admitted with the recursion workspace added to their
+    /// footprint.
+    #[serde(default = "classic_algo")]
+    pub algo: String,
+}
+
+// Named to avoid the substring "default": the vendored derive locates
+// the fallback path by splitting the attribute text on that keyword.
+fn classic_algo() -> String {
+    "classic".into()
 }
 
 /// An out-of-core multiply over `.tiled` files.
@@ -138,7 +150,10 @@ fn in_core_misses(m: u32, n: u32, z: u32, machine: &MachineConfig) -> (f64, f64)
 }
 
 /// Price an in-memory job: all three operands resident plus the packing
-/// arenas; no disk leg in `T_data`.
+/// arenas; no disk leg in `T_data`. Strassen jobs additionally reserve
+/// the Morton copies of the padded operands plus the pooled recursion
+/// workspace, and their `T_data`/FLOPs come from the recursion's closed
+/// forms ([`sim_strassen`]) instead of the classic schedule predictions.
 pub fn price_mem(spec: &MemJobSpec, machine: &MachineConfig) -> Result<JobPrice, String> {
     let MemJobSpec { m, n, z, q, .. } = *spec;
     if m == 0 || n == 0 || z == 0 || q == 0 {
@@ -150,6 +165,35 @@ pub fn price_mem(spec: &MemJobSpec, machine: &MachineConfig) -> Result<JobPrice,
         .checked_mul(block_bytes)
         .and_then(|b| b.checked_add(pack_arena_bound(m, n, z, q)))
         .ok_or_else(|| format!("job footprint overflows: {operand_blocks} blocks of {q}x{q}"))?;
+    if spec.algo == "strassen" {
+        let base = m.max(n).max(z) as u64;
+        let plan = sim_strassen::strassen_plan(base, crate::strassen::DEFAULT_CUTOFF as u64);
+        // Three padded Morton copies plus the pooled recursion temps —
+        // the workspace term the admission controller reserves on top
+        // of the row-major operands.
+        let s2 = plan.padded_side.saturating_mul(plan.padded_side);
+        let extra_blocks = s2
+            .checked_mul(3)
+            .and_then(|b| b.checked_add(sim_strassen::workspace_blocks(&plan)))
+            .unwrap_or(u64::MAX);
+        let footprint_bytes = extra_blocks
+            .checked_mul(block_bytes)
+            .and_then(|b| b.checked_add(footprint_bytes))
+            .ok_or_else(|| {
+                format!("strassen workspace overflows: {extra_blocks} blocks of {q}x{q}")
+            })?;
+        let tiling = default_tiling(machine);
+        let env = CostEnv::for_machine(
+            machine,
+            tiling.tile_m as u64,
+            tiling.tile_k as u64,
+            tiling.tile_n as u64,
+        );
+        let t_data =
+            sim_strassen::strassen_traffic(&plan, &env).t_data(machine.sigma_s, machine.sigma_d);
+        let flops = sim_strassen::flops(&plan, q as u64) as f64;
+        return Ok(JobPrice { flops, t_data, footprint_bytes, staging: None });
+    }
     let (ms, md) = in_core_misses(m, n, z, machine);
     let t_data = TData3::in_core(ms, md, machine).total();
     let flops = 2.0 * (q as f64).powi(3) * m as f64 * n as f64 * z as f64;
@@ -612,7 +656,7 @@ mod tests {
     use super::*;
 
     fn mem_spec(m: u32, n: u32, z: u32, q: usize) -> MemJobSpec {
-        MemJobSpec { m, n, z, q, seed_a: 1, seed_b: 2 }
+        MemJobSpec { m, n, z, q, seed_a: 1, seed_b: 2, algo: "classic".into() }
     }
 
     #[test]
@@ -625,6 +669,42 @@ mod tests {
         assert!(p.t_data.is_finite() && p.t_data > 0.0);
         assert!(p.staging.is_none());
         assert!(price_mem(&mem_spec(0, 1, 1, 4), &machine).is_err());
+    }
+
+    #[test]
+    fn strassen_price_adds_workspace_and_sub_cubic_flops() {
+        let machine = MachineConfig::quad_q32();
+        let classic = price_mem(&mem_spec(16, 16, 16, 8), &machine).unwrap();
+        let mut spec = mem_spec(16, 16, 16, 8);
+        spec.algo = "strassen".into();
+        let strassen = price_mem(&spec, &machine).unwrap();
+        // Same operands, plus Morton copies and pooled recursion temps.
+        assert!(
+            strassen.footprint_bytes > classic.footprint_bytes,
+            "strassen footprint {} must exceed classic {}",
+            strassen.footprint_bytes,
+            classic.footprint_bytes
+        );
+        let plan = sim_strassen::strassen_plan(16, crate::strassen::DEFAULT_CUTOFF as u64);
+        assert!(plan.depth > 0, "16 blocks above the default cutoff must recurse");
+        let extra = (3 * plan.padded_side * plan.padded_side
+            + sim_strassen::workspace_blocks(&plan))
+            * (8 * 8 * 8) as u64;
+        assert_eq!(strassen.footprint_bytes, classic.footprint_bytes + extra);
+        // 7^d leaf work beats 2q³mnz.
+        assert!(strassen.flops < classic.flops);
+        assert_eq!(strassen.flops, sim_strassen::flops(&plan, 8) as f64);
+        assert!(strassen.t_data.is_finite() && strassen.t_data > 0.0);
+    }
+
+    #[test]
+    fn algo_field_defaults_to_classic_on_the_wire() {
+        let spec: MemJobSpec =
+            serde_json::from_str(r#"{"m":2,"n":2,"z":2,"q":4,"seed_a":1,"seed_b":2}"#).unwrap();
+        assert_eq!(spec.algo, "classic");
+        let round: MemJobSpec =
+            serde_json::from_str(&serde_json::to_string(&mem_spec(1, 2, 3, 4)).unwrap()).unwrap();
+        assert_eq!(round, mem_spec(1, 2, 3, 4));
     }
 
     #[test]

@@ -35,9 +35,12 @@ proptest! {
         prop_assert!(r < 1e-9, "n={n} q={q} w={w} {t:?}: residual {r}");
     }
 
-    /// The factors are bit-identical across every (panel width, tiling,
-    /// parallel/sequential) configuration — ascending-k accumulation is a
-    /// schedule invariant, not an accident of one code path.
+    /// The factors are bit-identical across every (panel width, tiling)
+    /// configuration of the sequential path — ascending-k accumulation is
+    /// a schedule invariant, not an accident of one code path. The
+    /// parallel path routes its trailing update through the packed
+    /// `gemm_accumulate`, whose micro-kernel reassociates FMAs, so it
+    /// agrees to rounding rather than bit-for-bit.
     #[test]
     fn factors_are_configuration_independent(
         n in 2u32..9,
@@ -57,7 +60,8 @@ proptest! {
         prop_assert_eq!(&m1, &m2);
         let mut m3 = a.clone();
         lu_factor_parallel(&mut m3, w1).unwrap();
-        prop_assert_eq!(&m1, &m3);
+        let diff = m1.max_abs_diff(&m3);
+        prop_assert!(diff < 1e-10, "parallel vs sequential diff {diff}");
     }
 
     /// Simulated operation volume is machine- and tiling-independent.

@@ -15,6 +15,7 @@ use multicore_matmul::serve::{
     ServeConfig, Server,
 };
 use multicore_matmul::sim::MachineConfig;
+use multicore_matmul::strassen::{strassen_multiply, StrassenOpts, DEFAULT_CUTOFF};
 use serde::Value;
 
 struct Client {
@@ -49,8 +50,8 @@ fn str_of<'v>(v: &'v Value, key: &str) -> &'v str {
 
 fn submit_mem(c: &mut Client, s: &MemJobSpec) -> Value {
     c.call(&format!(
-        r#"{{"cmd":"submit","kind":"mem","m":{},"n":{},"z":{},"q":{},"seed_a":{},"seed_b":{}}}"#,
-        s.m, s.n, s.z, s.q, s.seed_a, s.seed_b
+        r#"{{"cmd":"submit","kind":"mem","m":{},"n":{},"z":{},"q":{},"seed_a":{},"seed_b":{},"algo":"{}"}}"#,
+        s.m, s.n, s.z, s.q, s.seed_a, s.seed_b, s.algo
     ))
 }
 
@@ -83,7 +84,15 @@ fn concurrent_jobs_pack_within_budget_and_match_direct_apis() {
     let dir = scratch_dir("pack");
 
     let mem_specs: Vec<MemJobSpec> = (0..6)
-        .map(|i| MemJobSpec { m: 4, n: 4, z: 4, q: 16, seed_a: 10 + i, seed_b: 20 + i })
+        .map(|i| MemJobSpec {
+            m: 4,
+            n: 4,
+            z: 4,
+            q: 16,
+            seed_a: 10 + i,
+            seed_b: 20 + i,
+            algo: "classic".into(),
+        })
         .collect();
     let mut ooc_specs = Vec::new();
     for i in 0..2u64 {
@@ -216,7 +225,8 @@ fn rejection_carries_the_predicted_footprint() {
     .unwrap();
     let mut client = Client::connect(server.local_addr());
 
-    let spec = MemJobSpec { m: 64, n: 64, z: 64, q: 32, seed_a: 1, seed_b: 2 };
+    let spec =
+        MemJobSpec { m: 64, n: 64, z: 64, q: 32, seed_a: 1, seed_b: 2, algo: "classic".into() };
     let price = price_mem(&spec, &machine).unwrap();
     assert!(price.footprint_bytes > 1 << 20);
 
@@ -263,8 +273,9 @@ fn cancellation_leaves_the_pool_serving() {
 
     // ~2 GFLOP: long enough that it is still mid-flight while the two
     // cancel round-trips (sub-millisecond each) happen behind it.
-    let big = MemJobSpec { m: 16, n: 16, z: 16, q: 64, seed_a: 1, seed_b: 2 };
-    let small = MemJobSpec { m: 3, n: 3, z: 3, q: 8, seed_a: 3, seed_b: 4 };
+    let big =
+        MemJobSpec { m: 16, n: 16, z: 16, q: 64, seed_a: 1, seed_b: 2, algo: "classic".into() };
+    let small = MemJobSpec { m: 3, n: 3, z: 3, q: 8, seed_a: 3, seed_b: 4, algo: "classic".into() };
     let id1 = u64_of(&submit_mem(&mut client, &big), "job_id");
     let id2 = u64_of(&submit_mem(&mut client, &small), "job_id");
     let id3 = u64_of(&submit_mem(&mut client, &small), "job_id");
@@ -305,6 +316,73 @@ fn cancellation_leaves_the_pool_serving() {
     server.wait();
 }
 
+/// `"algo":"strassen"` jobs run the Winograd recursion server-side:
+/// admitted with the Morton copies plus recursion workspace in their
+/// footprint, priced with sub-cubic FLOPs, and bit-identical to the
+/// direct `strassen_multiply` API under the server's own options.
+#[test]
+fn strassen_jobs_reserve_workspace_and_match_the_direct_api() {
+    let machine = MachineConfig::quad_q32();
+    let server =
+        Server::start(ServeConfig { machine: machine.clone(), ..ServeConfig::default() }).unwrap();
+    let mut client = Client::connect(server.local_addr());
+
+    let classic =
+        MemJobSpec { m: 16, n: 16, z: 16, q: 8, seed_a: 5, seed_b: 6, algo: "classic".into() };
+    let mut strassen = classic.clone();
+    strassen.algo = "strassen".into();
+
+    let rc = submit_mem(&mut client, &classic);
+    let rs = submit_mem(&mut client, &strassen);
+    assert_eq!(rc.get("ok").and_then(Value::as_bool), Some(true), "{rc:?}");
+    assert_eq!(rs.get("ok").and_then(Value::as_bool), Some(true), "{rs:?}");
+    // Same shape, but the strassen admission reserves the recursion
+    // workspace on top of the operands.
+    let fp = |v: &Value| {
+        u64_of(v.get("price").expect("submit response carries the price"), "footprint_bytes")
+    };
+    assert!(fp(&rs) > fp(&rc), "strassen footprint {} must exceed classic {}", fp(&rs), fp(&rc));
+
+    let done_report = |client: &mut Client, id: u64| {
+        let resp = wait_job(client, id);
+        assert_eq!(str_of(&resp, "state"), "done", "{resp:?}");
+        resp.get("report").cloned().expect("done job carries a report")
+    };
+    let classic_report = done_report(&mut client, u64_of(&rc, "job_id"));
+    let strassen_report = done_report(&mut client, u64_of(&rs, "job_id"));
+
+    // The classic drift model does not apply to the recursion.
+    assert!(!matches!(classic_report.get("drift"), None | Some(Value::Null)));
+    assert!(matches!(strassen_report.get("drift"), None | Some(Value::Null)));
+    assert_eq!(strassen_report.get("within_budget").and_then(Value::as_bool), Some(true));
+
+    // Bit-identity against the direct API with the server's options.
+    let a = BlockMatrix::pseudo_random(strassen.m, strassen.z, strassen.q, strassen.seed_a);
+    let b = BlockMatrix::pseudo_random(strassen.z, strassen.n, strassen.q, strassen.seed_b);
+    let opts = StrassenOpts {
+        cutoff: DEFAULT_CUTOFF,
+        variant: serve_variant(),
+        plan: blocking::active_plan::<f64>(),
+        tiling: default_tiling(&machine),
+    };
+    let (c, report) = strassen_multiply(&a, &b, &opts);
+    assert!(report.depth > 0, "16 blocks above the default cutoff must recurse");
+    assert_eq!(
+        strassen_report.get("checksum").and_then(Value::as_u64),
+        Some(checksum_f64(c.data())),
+        "served strassen product must be bit-identical to the direct API"
+    );
+
+    // An unknown algorithm is a clean protocol error.
+    let resp =
+        client.call(r#"{"cmd":"submit","kind":"mem","m":2,"n":2,"z":2,"q":4,"algo":"karatsuba"}"#);
+    assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(false));
+    assert!(str_of(&resp, "error").contains("unknown algo"), "{resp:?}");
+
+    client.call(r#"{"cmd":"shutdown"}"#);
+    server.wait();
+}
+
 /// The same port speaks enough HTTP for a Prometheus scraper, and the
 /// JSON protocol mirrors the exposition in its `metrics` command.
 #[test]
@@ -313,7 +391,7 @@ fn metrics_endpoint_serves_prometheus_over_http() {
     let mut client = Client::connect(server.local_addr());
 
     // Run one job so serve metrics exist.
-    let spec = MemJobSpec { m: 2, n: 2, z: 2, q: 8, seed_a: 5, seed_b: 6 };
+    let spec = MemJobSpec { m: 2, n: 2, z: 2, q: 8, seed_a: 5, seed_b: 6, algo: "classic".into() };
     let id = u64_of(&submit_mem(&mut client, &spec), "job_id");
     assert_eq!(str_of(&wait_job(&mut client, id), "state"), "done");
 
